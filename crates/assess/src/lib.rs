@@ -1,0 +1,31 @@
+//! # assess — learning-outcomes assessment (§III.C)
+//!
+//! The paper's evaluation is three tables: programming-assignment passing
+//! rates, exam passing rates, and entrance/exit survey means, all over one
+//! 19-student class. The students are the one thing we cannot download, so
+//! this crate simulates the cohort with an item-response-theory model:
+//!
+//! * every student has a latent ability `a ~ N(0, 1)`;
+//! * every assessment item has a difficulty `d`, *calibrated by bisection*
+//!   so the cohort's expected passing rate equals the paper's reported rate;
+//! * a student passes an item with probability `sigmoid(a - d)`.
+//!
+//! Crucially, lab passes are not just coin flips: a passing student submits
+//! the lab's reference solution and a failing student submits the buggy
+//! handout, and the [`labs`] autograder *actually runs* the submission on
+//! the VM — so Table 1 is regenerated end to end through the real grading
+//! pipeline.
+//!
+//! [`tables`] renders the three tables side by side with the paper's values;
+//! EXPERIMENTS.md records the comparison.
+
+pub mod cohort;
+pub mod exams;
+pub mod stats;
+pub mod survey;
+pub mod tables;
+
+pub use cohort::{Cohort, StudentOutcome};
+pub use exams::{ExamModel, ExamResults};
+pub use survey::{SurveyModel, SurveyQuestion};
+pub use tables::{table1, table2, table3, Table};

@@ -1,0 +1,206 @@
+//! Table 3: entrance vs exit survey means.
+//!
+//! Six questions; scales differ (Q1 is 1-4, Q2-Q4 are 1-3, Q5-Q6 are 1-5;
+//! Q1-Q4 are coded so *lower* is better / more confident). The paper's
+//! means: 3.00→2.00, 2.56→2.38, 1.33→1.38, 1.44→1.31, 2.00→2.75,
+//! 2.22→3.00.
+
+use crate::stats::{likert, mean};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One survey question with its scale and the paper's reported means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyQuestion {
+    /// Question number (1-based, as in the paper).
+    pub number: usize,
+    /// Short description.
+    pub text: &'static str,
+    /// Scale bounds (inclusive).
+    pub scale: (i32, i32),
+    /// Paper's entrance-survey mean.
+    pub paper_entrance: f64,
+    /// Paper's exit-survey mean.
+    pub paper_exit: f64,
+}
+
+/// The six questions of §III.C.
+pub fn questions() -> Vec<SurveyQuestion> {
+    vec![
+        SurveyQuestion {
+            number: 1,
+            text: "How much do you know about PDC technology? (1=a lot .. 4=not at all)",
+            scale: (1, 4),
+            paper_entrance: 3.00,
+            paper_exit: 2.00,
+        },
+        SurveyQuestion {
+            number: 2,
+            text: "Is the single-processor OS course still sufficient? (1=yes .. 3=no)",
+            scale: (1, 3),
+            paper_entrance: 2.56,
+            paper_exit: 2.38,
+        },
+        SurveyQuestion {
+            number: 3,
+            text: "Relevance of multi-core topics in the curriculum (1=highly important .. 3=not important)",
+            scale: (1, 3),
+            paper_entrance: 1.33,
+            paper_exit: 1.38,
+        },
+        SurveyQuestion {
+            number: 4,
+            text: "Usefulness of multi-core skills for career/graduate study (1=very useful .. 3=not useful)",
+            scale: (1, 3),
+            paper_entrance: 1.44,
+            paper_exit: 1.31,
+        },
+        SurveyQuestion {
+            number: 5,
+            text: "Self-rated knowledge of message-passing systems (1=least .. 5=full)",
+            scale: (1, 5),
+            paper_entrance: 2.00,
+            paper_exit: 2.75,
+        },
+        SurveyQuestion {
+            number: 6,
+            text: "Self-rated knowledge of Pthread multithreading (1=least .. 5=full)",
+            scale: (1, 5),
+            paper_entrance: 2.22,
+            paper_exit: 3.00,
+        },
+    ]
+}
+
+/// Simulated survey results for one administration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyRun {
+    /// Per-question responses (one inner vec per question, one entry per
+    /// respondent).
+    pub responses: Vec<Vec<i32>>,
+}
+
+impl SurveyRun {
+    /// Sample mean per question.
+    pub fn means(&self) -> Vec<f64> {
+        self.responses
+            .iter()
+            .map(|r| mean(&r.iter().map(|v| *v as f64).collect::<Vec<f64>>()))
+            .collect()
+    }
+}
+
+/// Generates entrance and exit surveys whose population means are the
+/// paper's values.
+#[derive(Debug)]
+pub struct SurveyModel {
+    /// Response noise (standard deviation on the latent scale).
+    pub sigma: f64,
+    /// Respondents per administration (paper class: ~16-19 responded).
+    pub respondents: usize,
+}
+
+impl Default for SurveyModel {
+    fn default() -> Self {
+        SurveyModel { sigma: 0.7, respondents: 16 }
+    }
+}
+
+impl SurveyModel {
+    /// Run the entrance and exit surveys; deterministic per seed.
+    pub fn run(&self, seed: u64) -> (SurveyRun, SurveyRun) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x50b7));
+        let qs = questions();
+        let sample = |rng: &mut StdRng, pick_exit: bool| SurveyRun {
+            responses: qs
+                .iter()
+                .map(|q| {
+                    let mu = if pick_exit { q.paper_exit } else { q.paper_entrance };
+                    (0..self.respondents).map(|_| likert(rng, mu, self.sigma, q.scale.0, q.scale.1)).collect()
+                })
+                .collect(),
+        };
+        let entrance = sample(&mut rng, false);
+        let exit = sample(&mut rng, true);
+        (entrance, exit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_table_matches_paper() {
+        let qs = questions();
+        assert_eq!(qs.len(), 6);
+        let means: Vec<(f64, f64)> = qs.iter().map(|q| (q.paper_entrance, q.paper_exit)).collect();
+        assert_eq!(
+            means,
+            vec![(3.00, 2.00), (2.56, 2.38), (1.33, 1.38), (1.44, 1.31), (2.00, 2.75), (2.22, 3.00)]
+        );
+    }
+
+    #[test]
+    fn responses_respect_scales() {
+        let (entrance, exit) = SurveyModel::default().run(1);
+        let qs = questions();
+        for run in [&entrance, &exit] {
+            for (q, resp) in qs.iter().zip(&run.responses) {
+                assert_eq!(resp.len(), 16);
+                for v in resp {
+                    assert!(
+                        (q.scale.0..=q.scale.1).contains(v),
+                        "Q{} value {v} outside {:?}",
+                        q.number,
+                        q.scale
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn means_track_paper_within_noise() {
+        // Average many administrations: simulated means approach targets.
+        let model = SurveyModel { sigma: 0.7, respondents: 16 };
+        let qs = questions();
+        let reps = 30u64;
+        let mut ent_sums = vec![0.0; 6];
+        let mut exit_sums = vec![0.0; 6];
+        for seed in 0..reps {
+            let (e, x) = model.run(seed);
+            for (i, m) in e.means().iter().enumerate() {
+                ent_sums[i] += m;
+            }
+            for (i, m) in x.means().iter().enumerate() {
+                exit_sums[i] += m;
+            }
+        }
+        for (i, q) in qs.iter().enumerate() {
+            let em = ent_sums[i] / reps as f64;
+            let xm = exit_sums[i] / reps as f64;
+            // Clipping at the scale edge biases extreme targets slightly;
+            // allow 0.25.
+            assert!((em - q.paper_entrance).abs() < 0.25, "Q{} entrance {em} vs {}", q.number, q.paper_entrance);
+            assert!((xm - q.paper_exit).abs() < 0.25, "Q{} exit {xm} vs {}", q.number, q.paper_exit);
+        }
+    }
+
+    #[test]
+    fn knowledge_gains_have_right_direction() {
+        // Q1 falls (less "not at all"), Q5/Q6 rise (more knowledge).
+        let (e, x) = SurveyModel::default().run(7);
+        let (em, xm) = (e.means(), x.means());
+        assert!(xm[0] < em[0], "Q1 should fall: {} -> {}", em[0], xm[0]);
+        assert!(xm[4] > em[4], "Q5 should rise: {} -> {}", em[4], xm[4]);
+        assert!(xm[5] > em[5], "Q6 should rise: {} -> {}", em[5], xm[5]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = SurveyModel::default();
+        assert_eq!(m.run(3), m.run(3));
+        assert_ne!(m.run(3), m.run(4));
+    }
+}

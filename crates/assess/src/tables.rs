@@ -1,0 +1,190 @@
+//! Render the paper's three tables, paper value beside measured value.
+//!
+//! These are the functions the `table1_labs` / `table2_exams` /
+//! `table3_survey` bench targets and the `course_session` example call.
+
+use crate::cohort::Cohort;
+use crate::exams::ExamModel;
+use crate::survey::{questions, SurveyModel};
+use labs::LabId;
+
+/// A simple two-or-three column table for terminal output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = format!("== {} ==\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Table 1 — passing rates of the programming assignments: run the cohort
+/// through the real autograder and compare with the paper.
+pub fn table1(seed: u64) -> Table {
+    let cohort = Cohort::new(seed);
+    let outcomes = cohort.run_labs();
+    let rates = Cohort::lab_passing_rates(&outcomes);
+    let rows = LabId::ALL
+        .iter()
+        .zip(&rates)
+        .map(|(lab, r)| {
+            vec![
+                lab.title().to_string(),
+                format!("{:.0}%", lab.paper_passing_rate() * 100.0),
+                format!("{:.0}%", r * 100.0),
+            ]
+        })
+        .collect();
+    Table {
+        title: "Table 1: Multicore hands-on experience passing rates (19 students)".into(),
+        headers: vec!["Assignment".into(), "Paper".into(), "Reproduced".into()],
+        rows,
+    }
+}
+
+/// Table 2 — exam passing rates (all students / course passers).
+pub fn table2(seed: u64) -> Table {
+    let cohort = Cohort::new(seed);
+    let outcomes = cohort.run_labs();
+    let exams = ExamModel::default().run(&cohort, &outcomes, seed);
+    let rows = vec![
+        vec![
+            "Midterm".into(),
+            "17%".into(),
+            format!("{:.0}%", exams.midterm_rate_all() * 100.0),
+            "33%".into(),
+            format!("{:.0}%", exams.midterm_rate_passers() * 100.0),
+        ],
+        vec![
+            "Final".into(),
+            "22%".into(),
+            format!("{:.0}%", exams.final_rate_all() * 100.0),
+            "80%".into(),
+            format!("{:.0}%", exams.final_rate_passers() * 100.0),
+        ],
+    ];
+    Table {
+        title: "Table 2: Multicore exam-question passing rates".into(),
+        headers: vec![
+            "Exam".into(),
+            "Paper all".into(),
+            "Repro all".into(),
+            "Paper passers".into(),
+            "Repro passers".into(),
+        ],
+        rows,
+    }
+}
+
+/// Table 3 — entrance vs exit survey means.
+pub fn table3(seed: u64) -> Table {
+    let (entrance, exit) = SurveyModel::default().run(seed);
+    let (em, xm) = (entrance.means(), exit.means());
+    let rows = questions()
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            vec![
+                format!("Q{}", q.number),
+                format!("{:.2}", q.paper_entrance),
+                format!("{:.2}", em[i]),
+                format!("{:.2}", q.paper_exit),
+                format!("{:.2}", xm[i]),
+            ]
+        })
+        .collect();
+    Table {
+        title: "Table 3: Entrance vs exit survey means".into(),
+        headers: vec![
+            "Question".into(),
+            "Paper entr.".into(),
+            "Repro entr.".into(),
+            "Paper exit".into(),
+            "Repro exit".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_seven_rows() {
+        let t = table1(0);
+        assert_eq!(t.rows.len(), 7);
+        assert!(t.rows[0][0].contains("Synchronization"));
+        let text = t.render();
+        assert!(text.contains("Paper"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn table2_shape() {
+        let t = table2(0);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.headers.len(), 5);
+        assert_eq!(t.rows[0][1], "17%");
+        assert_eq!(t.rows[1][3], "80%");
+    }
+
+    #[test]
+    fn table3_shape() {
+        let t = table3(0);
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.rows[0][1], "3.00");
+        assert_eq!(t.rows[5][3], "3.00");
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let t = Table {
+            title: "x".into(),
+            headers: vec!["a".into(), "bb".into()],
+            rows: vec![vec!["lonng".into(), "1".into()]],
+        };
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("a    "), "{:?}", lines[1]);
+    }
+
+    #[test]
+    fn tables_deterministic() {
+        assert_eq!(table1(4), table1(4));
+        assert_eq!(table3(4), table3(4));
+    }
+}

@@ -1,0 +1,224 @@
+//! Expiring bearer-token sessions for the web portal.
+//!
+//! Time is a logical `u64` supplied by the caller (the portal passes wall
+//! seconds; tests pass a counter), which keeps the crate deterministic.
+
+use crate::sha256::Sha256;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An opaque session token (64 hex chars).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token(String);
+
+impl Token {
+    /// The token text (what goes into the cookie).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Wrap a client-presented token string for lookup.
+    pub fn from_string(s: impl Into<String>) -> Token {
+        Token(s.into())
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A live session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// Authenticated username.
+    pub username: String,
+    /// Creation time (caller clock).
+    pub created_at: u64,
+    /// Expiry time (caller clock).
+    pub expires_at: u64,
+}
+
+/// Session errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// No such token (never issued, expired-and-purged, or logged out).
+    InvalidToken,
+    /// Token exists but expired.
+    Expired {
+        /// When it expired (caller clock).
+        expired_at: u64,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::InvalidToken => f.write_str("invalid session token"),
+            SessionError::Expired { expired_at } => write!(f, "session expired at {expired_at}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Issues, validates and revokes session tokens.
+#[derive(Debug)]
+pub struct SessionManager {
+    sessions: HashMap<String, Session>,
+    ttl: u64,
+    rng: StdRng,
+    issued: u64,
+}
+
+impl SessionManager {
+    /// A manager whose tokens live `ttl` clock units; `seed` drives token
+    /// randomness.
+    pub fn new(ttl: u64, seed: u64) -> SessionManager {
+        SessionManager { sessions: HashMap::new(), ttl, rng: StdRng::seed_from_u64(seed), issued: 0 }
+    }
+
+    /// Issue a token for `username` at time `now`.
+    pub fn issue(&mut self, username: &str, now: u64) -> Token {
+        let mut entropy = [0u8; 32];
+        self.rng.fill_bytes(&mut entropy);
+        self.issued += 1;
+        // Hash entropy with the issue counter and username so even a
+        // compromised RNG state cannot collide tokens.
+        let mut h = Sha256::new();
+        h.update(&entropy);
+        h.update(&self.issued.to_le_bytes());
+        h.update(username.as_bytes());
+        let tok = Token(Sha256::to_hex(&h.finalize()));
+        self.sessions.insert(
+            tok.0.clone(),
+            Session { username: username.to_string(), created_at: now, expires_at: now.saturating_add(self.ttl) },
+        );
+        tok
+    }
+
+    /// Validate a token at time `now`, returning its session.
+    pub fn validate(&self, token: &Token, now: u64) -> Result<&Session, SessionError> {
+        let s = self.sessions.get(&token.0).ok_or(SessionError::InvalidToken)?;
+        if now >= s.expires_at {
+            return Err(SessionError::Expired { expired_at: s.expires_at });
+        }
+        Ok(s)
+    }
+
+    /// Extend a valid token's expiry to `now + ttl` (sliding sessions).
+    pub fn touch(&mut self, token: &Token, now: u64) -> Result<(), SessionError> {
+        let ttl = self.ttl;
+        let s = self.sessions.get_mut(&token.0).ok_or(SessionError::InvalidToken)?;
+        if now >= s.expires_at {
+            return Err(SessionError::Expired { expired_at: s.expires_at });
+        }
+        s.expires_at = now.saturating_add(ttl);
+        Ok(())
+    }
+
+    /// Revoke (log out) a token. Idempotent.
+    pub fn revoke(&mut self, token: &Token) -> bool {
+        self.sessions.remove(&token.0).is_some()
+    }
+
+    /// Drop every expired session; returns how many were purged.
+    pub fn purge_expired(&mut self, now: u64) -> usize {
+        let before = self.sessions.len();
+        self.sessions.retain(|_, s| now < s.expires_at);
+        before - self.sessions.len()
+    }
+
+    /// Number of live (unpurged) sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions are held.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Revoke all sessions belonging to `username`; returns the count.
+    pub fn revoke_user(&mut self, username: &str) -> usize {
+        let before = self.sessions.len();
+        self.sessions.retain(|_, s| s.username != username);
+        before - self.sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_validate_roundtrip() {
+        let mut m = SessionManager::new(100, 1);
+        let t = m.issue("alice", 0);
+        let s = m.validate(&t, 50).unwrap();
+        assert_eq!(s.username, "alice");
+        assert_eq!(s.expires_at, 100);
+    }
+
+    #[test]
+    fn tokens_are_unique_and_hex() {
+        let mut m = SessionManager::new(100, 1);
+        let a = m.issue("alice", 0);
+        let b = m.issue("alice", 0);
+        assert_ne!(a, b);
+        assert_eq!(a.as_str().len(), 64);
+        assert!(a.as_str().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn expiry_enforced() {
+        let mut m = SessionManager::new(10, 1);
+        let t = m.issue("alice", 0);
+        assert!(m.validate(&t, 9).is_ok());
+        assert_eq!(m.validate(&t, 10), Err(SessionError::Expired { expired_at: 10 }));
+    }
+
+    #[test]
+    fn touch_slides_expiry() {
+        let mut m = SessionManager::new(10, 1);
+        let t = m.issue("alice", 0);
+        m.touch(&t, 9).unwrap();
+        assert!(m.validate(&t, 15).is_ok());
+        assert!(m.validate(&t, 19).is_err());
+    }
+
+    #[test]
+    fn revoke_and_unknown_token() {
+        let mut m = SessionManager::new(10, 1);
+        let t = m.issue("alice", 0);
+        assert!(m.revoke(&t));
+        assert!(!m.revoke(&t));
+        assert_eq!(m.validate(&t, 1), Err(SessionError::InvalidToken));
+        let fake = Token::from_string("feedbeef".repeat(8));
+        assert_eq!(m.validate(&fake, 0), Err(SessionError::InvalidToken));
+    }
+
+    #[test]
+    fn purge_removes_only_expired() {
+        let mut m = SessionManager::new(10, 1);
+        let _a = m.issue("alice", 0);
+        let b = m.issue("bob", 5);
+        assert_eq!(m.purge_expired(12), 1);
+        assert_eq!(m.len(), 1);
+        assert!(m.validate(&b, 12).is_ok());
+    }
+
+    #[test]
+    fn revoke_user_clears_all_their_sessions() {
+        let mut m = SessionManager::new(100, 1);
+        m.issue("alice", 0);
+        m.issue("alice", 0);
+        let b = m.issue("bob", 0);
+        assert_eq!(m.revoke_user("alice"), 2);
+        assert!(m.validate(&b, 1).is_ok());
+        assert!(m.is_empty() == false);
+    }
+}

@@ -1,0 +1,322 @@
+//! The user store: accounts, roles, login verification and lockout.
+//!
+//! Roles mirror the paper's audience: "faculty members, research personnel,
+//! and students" (§I), plus an administrator role for portal management.
+
+use crate::password::{PasswordHash, PasswordPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Authorization role of an account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Course students: own files, submit jobs.
+    Student,
+    /// Faculty/research staff: students' powers plus lab management.
+    Faculty,
+    /// Portal administrators: everything, including user management.
+    Admin,
+}
+
+impl Role {
+    /// Whether this role subsumes `other`'s privileges.
+    pub fn at_least(self, other: Role) -> bool {
+        self.rank() >= other.rank()
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Role::Student => 0,
+            Role::Faculty => 1,
+            Role::Admin => 2,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Student => "student",
+            Role::Faculty => "faculty",
+            Role::Admin => "admin",
+        }
+    }
+}
+
+/// Authentication failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// Username not registered.
+    UnknownUser(String),
+    /// Username already registered.
+    UserExists(String),
+    /// Wrong password.
+    BadCredentials,
+    /// Too many consecutive failures; account must be unlocked by an admin.
+    AccountLocked {
+        /// Username affected.
+        user: String,
+        /// Consecutive failures recorded.
+        failures: u32,
+    },
+    /// Password violates the policy.
+    WeakPassword {
+        /// Required minimum length.
+        min_length: usize,
+    },
+    /// Caller's role is insufficient.
+    Forbidden {
+        /// Role required.
+        required: Role,
+        /// Role held.
+        held: Role,
+    },
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            AuthError::UserExists(u) => write!(f, "user {u} already exists"),
+            AuthError::BadCredentials => write!(f, "bad credentials"),
+            AuthError::AccountLocked { user, failures } => {
+                write!(f, "account {user} locked after {failures} failures")
+            }
+            AuthError::WeakPassword { min_length } => {
+                write!(f, "password too weak (minimum {min_length} characters)")
+            }
+            AuthError::Forbidden { required, held } => {
+                write!(f, "requires {} role, caller is {}", required.name(), held.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// One account.
+#[derive(Debug, Clone)]
+pub struct User {
+    /// Login name.
+    pub username: String,
+    /// Authorization role.
+    pub role: Role,
+    hash: PasswordHash,
+    consecutive_failures: u32,
+    locked: bool,
+}
+
+/// Maximum consecutive failures before lockout.
+pub const LOCKOUT_THRESHOLD: u32 = 5;
+
+/// The account database.
+#[derive(Debug)]
+pub struct UserStore {
+    users: HashMap<String, User>,
+    policy: PasswordPolicy,
+    rng: StdRng,
+}
+
+impl UserStore {
+    /// An empty store; `seed` drives salt generation (use a random seed in
+    /// production, a fixed one in tests).
+    pub fn new(seed: u64) -> UserStore {
+        UserStore { users: HashMap::new(), policy: PasswordPolicy::default(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Override the password policy (e.g. fewer iterations in tests).
+    pub fn with_policy(mut self, policy: PasswordPolicy) -> UserStore {
+        self.policy = policy;
+        self
+    }
+
+    /// Register a new account.
+    pub fn register(&mut self, username: &str, password: &str, role: Role) -> Result<(), AuthError> {
+        if self.users.contains_key(username) {
+            return Err(AuthError::UserExists(username.to_string()));
+        }
+        if password.chars().count() < self.policy.min_length {
+            return Err(AuthError::WeakPassword { min_length: self.policy.min_length });
+        }
+        let hash = PasswordHash::create(password, self.policy, &mut self.rng);
+        self.users.insert(
+            username.to_string(),
+            User { username: username.to_string(), role, hash, consecutive_failures: 0, locked: false },
+        );
+        Ok(())
+    }
+
+    /// Verify a login attempt. Success resets the failure counter; failure
+    /// increments it and locks the account at [`LOCKOUT_THRESHOLD`].
+    pub fn verify(&mut self, username: &str, password: &str) -> Result<&User, AuthError> {
+        let user = self
+            .users
+            .get_mut(username)
+            .ok_or_else(|| AuthError::UnknownUser(username.to_string()))?;
+        if user.locked {
+            return Err(AuthError::AccountLocked {
+                user: username.to_string(),
+                failures: user.consecutive_failures,
+            });
+        }
+        if user.hash.verify(password) {
+            user.consecutive_failures = 0;
+            Ok(&self.users[username])
+        } else {
+            user.consecutive_failures += 1;
+            if user.consecutive_failures >= LOCKOUT_THRESHOLD {
+                user.locked = true;
+                return Err(AuthError::AccountLocked {
+                    user: username.to_string(),
+                    failures: user.consecutive_failures,
+                });
+            }
+            Err(AuthError::BadCredentials)
+        }
+    }
+
+    /// Admin operation: clear a lockout.
+    pub fn unlock(&mut self, admin_role: Role, username: &str) -> Result<(), AuthError> {
+        if !admin_role.at_least(Role::Admin) {
+            return Err(AuthError::Forbidden { required: Role::Admin, held: admin_role });
+        }
+        let user = self
+            .users
+            .get_mut(username)
+            .ok_or_else(|| AuthError::UnknownUser(username.to_string()))?;
+        user.locked = false;
+        user.consecutive_failures = 0;
+        Ok(())
+    }
+
+    /// Change a password (requires the current one).
+    pub fn change_password(&mut self, username: &str, old: &str, new: &str) -> Result<(), AuthError> {
+        self.verify(username, old)?;
+        if new.chars().count() < self.policy.min_length {
+            return Err(AuthError::WeakPassword { min_length: self.policy.min_length });
+        }
+        let hash = PasswordHash::create(new, self.policy, &mut self.rng);
+        self.users.get_mut(username).expect("verified above").hash = hash;
+        Ok(())
+    }
+
+    /// Look an account up without authenticating.
+    pub fn get(&self, username: &str) -> Option<&User> {
+        self.users.get(username)
+    }
+
+    /// All usernames, sorted.
+    pub fn usernames(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.users.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when no accounts exist.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> UserStore {
+        UserStore::new(42).with_policy(PasswordPolicy { iterations: 10, min_length: 8 })
+    }
+
+    #[test]
+    fn register_and_login() {
+        let mut s = store();
+        s.register("alice", "p4ssword!", Role::Student).unwrap();
+        let u = s.verify("alice", "p4ssword!").unwrap();
+        assert_eq!(u.role, Role::Student);
+    }
+
+    #[test]
+    fn duplicate_and_weak_rejected() {
+        let mut s = store();
+        s.register("alice", "p4ssword!", Role::Student).unwrap();
+        assert_eq!(s.register("alice", "password2", Role::Student), Err(AuthError::UserExists("alice".into())));
+        assert_eq!(
+            s.register("bob", "short", Role::Student),
+            Err(AuthError::WeakPassword { min_length: 8 })
+        );
+    }
+
+    #[test]
+    fn unknown_user_distinct_error() {
+        let mut s = store();
+        assert!(matches!(s.verify("ghost", "whatever1"), Err(AuthError::UnknownUser(u)) if u == "ghost"));
+    }
+
+    #[test]
+    fn lockout_after_threshold() {
+        let mut s = store();
+        s.register("alice", "p4ssword!", Role::Student).unwrap();
+        for i in 0..LOCKOUT_THRESHOLD - 1 {
+            assert!(matches!(s.verify("alice", "nope-nope"), Err(AuthError::BadCredentials)), "attempt {i}");
+        }
+        assert!(matches!(s.verify("alice", "nope-nope"), Err(AuthError::AccountLocked { .. })));
+        // Even the right password fails while locked.
+        assert!(matches!(s.verify("alice", "p4ssword!"), Err(AuthError::AccountLocked { .. })));
+    }
+
+    #[test]
+    fn success_resets_failure_count() {
+        let mut s = store();
+        s.register("alice", "p4ssword!", Role::Student).unwrap();
+        for _ in 0..LOCKOUT_THRESHOLD - 1 {
+            let _ = s.verify("alice", "wrong-pass");
+        }
+        s.verify("alice", "p4ssword!").unwrap();
+        // Counter reset: more failures allowed before lockout again.
+        assert!(matches!(s.verify("alice", "wrong-pass"), Err(AuthError::BadCredentials)));
+    }
+
+    #[test]
+    fn unlock_requires_admin() {
+        let mut s = store();
+        s.register("alice", "p4ssword!", Role::Student).unwrap();
+        for _ in 0..LOCKOUT_THRESHOLD {
+            let _ = s.verify("alice", "wrong-pass");
+        }
+        assert!(matches!(s.unlock(Role::Faculty, "alice"), Err(AuthError::Forbidden { .. })));
+        s.unlock(Role::Admin, "alice").unwrap();
+        assert!(s.verify("alice", "p4ssword!").is_ok());
+    }
+
+    #[test]
+    fn change_password_flow() {
+        let mut s = store();
+        s.register("alice", "p4ssword!", Role::Student).unwrap();
+        assert!(matches!(s.change_password("alice", "wrong-old", "newpass99"), Err(AuthError::BadCredentials)));
+        s.change_password("alice", "p4ssword!", "newpass99").unwrap();
+        assert!(s.verify("alice", "p4ssword!").is_err());
+        assert!(s.verify("alice", "newpass99").is_ok());
+    }
+
+    #[test]
+    fn role_ordering() {
+        assert!(Role::Admin.at_least(Role::Faculty));
+        assert!(Role::Faculty.at_least(Role::Student));
+        assert!(!Role::Student.at_least(Role::Faculty));
+        assert!(Role::Student.at_least(Role::Student));
+    }
+
+    #[test]
+    fn usernames_sorted() {
+        let mut s = store();
+        s.register("zed", "p4ssword!", Role::Student).unwrap();
+        s.register("amy", "p4ssword!", Role::Faculty).unwrap();
+        assert_eq!(s.usernames(), vec!["amy", "zed"]);
+        assert_eq!(s.len(), 2);
+    }
+}

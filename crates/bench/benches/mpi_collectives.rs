@@ -1,0 +1,77 @@
+//! The message-passing module's levers: topology, latency, routing.
+//!
+//! Prints allreduce virtual-time by topology and message size, then
+//! benchmarks the collectives over real threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpik::{Reduce, World};
+use simnet::{LinkProfile, Topology};
+use std::hint::black_box;
+
+fn topologies(n: usize) -> Vec<(&'static str, Topology)> {
+    vec![
+        ("ring", Topology::ring(n)),
+        ("mesh", Topology::mesh2d(2, n / 2)),
+        ("hypercube", Topology::hypercube((n as f64).log2() as usize)),
+        ("star", Topology::star(n)),
+        ("clique", Topology::fully_connected(n)),
+    ]
+}
+
+fn report() {
+    ccp_bench::banner("MPI collectives: virtual time by topology (8 ranks)");
+    eprintln!("  {:<12} {:>16} {:>16}", "topology", "allreduce (ns)", "bcast 4KiB (ns)");
+    for (name, topo) in topologies(8) {
+        let w = World::new(8, topo.clone(), LinkProfile::gigabit_ethernet());
+        let (_, s1) = w.run_stats(|p| p.allreduce_i64(1, Reduce::Sum).unwrap()).unwrap();
+        let w = World::new(8, topo, LinkProfile::gigabit_ethernet());
+        let (_, s2) = w
+            .run_stats(|p| {
+                let data = (p.rank() == 0).then(|| vec![0u8; 4096]);
+                p.bcast(0, data).unwrap().len()
+            })
+            .unwrap();
+        let vt = |st: &[mpik::RankStats]| st.iter().map(|s| s.virtual_time_ns).max().unwrap_or(0);
+        eprintln!("  {:<12} {:>16} {:>16}", name, vt(&s1), vt(&s2));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut g = c.benchmark_group("mpi");
+    g.sample_size(10);
+
+    for (name, topo) in topologies(8) {
+        g.bench_function(format!("allreduce_8r_{name}"), |b| {
+            b.iter(|| {
+                let w = World::new(8, topo.clone(), LinkProfile::backplane());
+                black_box(w.run(|p| p.allreduce_i64(p.rank() as i64, Reduce::Sum).unwrap()).unwrap())
+            })
+        });
+    }
+
+    g.bench_function("alltoall_8r_clique", |b| {
+        b.iter(|| {
+            let w = World::new(8, Topology::fully_connected(8), LinkProfile::backplane());
+            black_box(
+                w.run(|p| {
+                    let blocks: Vec<Vec<i64>> = (0..8).map(|d| vec![d as i64; 16]).collect();
+                    p.alltoall_i64(&blocks).unwrap().len()
+                })
+                .unwrap(),
+            )
+        })
+    });
+
+    g.bench_function("barrier_16r", |b| {
+        b.iter(|| {
+            let w = World::new(16, Topology::fully_connected(16), LinkProfile::backplane());
+            black_box(w.run(|p| p.barrier().unwrap()).unwrap())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

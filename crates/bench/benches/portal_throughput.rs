@@ -1,0 +1,124 @@
+//! The paper's §I claim: the portal "tremendously increases the access to
+//! harness the computational power of the cluster". Quantified: requests
+//! per second through the full HTTP stack, end-to-end submit→compile→run
+//! latency, and job-dispatch throughput.
+
+use auth::Role;
+use ccp_core::{Portal, PortalConfig};
+use cluster::ClusterSpec;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use httpd::Method;
+use std::hint::black_box;
+use std::sync::Arc;
+use webportal::{app::dispatch, build_router, App};
+
+fn portal_with_student() -> (Arc<App>, httpd::Router, String) {
+    let mut portal = Portal::new(PortalConfig { cluster: ClusterSpec::small(2, 4), ..PortalConfig::default() });
+    portal.bootstrap_admin("admin", "super-secret9").unwrap();
+    let app = App::new(portal);
+    let router = build_router(Arc::clone(&app));
+    // Sessions must be minted through the HTTP layer so their clocks match
+    // the wall-clock `now()` the dispatcher validates against.
+    let resp = dispatch(&router, Method::Post, "/api/login", br#"{"user":"admin","password":"super-secret9"}"#, None);
+    let admin = resp
+        .body_str()
+        .split("\"token\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("admin login succeeds")
+        .to_string();
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/admin/users",
+        br#"{"name":"alice","password":"password99","role":"student"}"#,
+        Some(&admin),
+    );
+    assert_eq!(resp.status.0, 201, "student created: {}", resp.body_str());
+    let resp = dispatch(&router, Method::Post, "/api/login", br#"{"user":"alice","password":"password99"}"#, None);
+    let token = resp
+        .body_str()
+        .split("\"token\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("student login succeeds")
+        .to_string();
+    (app, router, token)
+}
+
+fn report() {
+    ccp_bench::banner("Portal throughput (see Criterion timings below)");
+    eprintln!("end-to-end flow measured: HTTP upload -> compile -> interactive run");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut g = c.benchmark_group("portal");
+    g.sample_size(20);
+
+    // Read-only request through the whole router.
+    let (_app, router, token) = portal_with_student();
+    dispatch(&router, Method::Post, "/api/file?path=p.mini", b"fn main() { println(1); }", Some(&token));
+    g.bench_function("http_status_request", |b| {
+        b.iter(|| black_box(dispatch(&router, Method::Get, "/api/status", b"", None)))
+    });
+    g.bench_function("http_file_listing", |b| {
+        b.iter(|| black_box(dispatch(&router, Method::Get, "/api/files", b"", Some(&token))))
+    });
+    g.bench_function("http_upload_compile_run", |b| {
+        b.iter(|| {
+            dispatch(&router, Method::Post, "/api/file?path=p.mini", b"fn main() { println(1); }", Some(&token));
+            let resp = dispatch(&router, Method::Post, "/api/compile?path=p.mini", b"", Some(&token));
+            let body = resp.body_str().to_string();
+            let artifact = body.split("\"artifact\":\"").nth(1).and_then(|s| s.split('"').next()).unwrap().to_string();
+            black_box(dispatch(&router, Method::Post, &format!("/api/run?artifact={artifact}"), b"", Some(&token)))
+        })
+    });
+
+    // Batch path: submit N jobs and drain the distributor.
+    g.bench_function("submit_and_drain_16_jobs", |b| {
+        b.iter_batched(
+            || {
+                let mut portal = Portal::new(PortalConfig {
+                    cluster: ClusterSpec::small(2, 4),
+                    ..PortalConfig::default()
+                });
+                portal.bootstrap_admin("admin", "super-secret9").unwrap();
+                let admin = portal.login("admin", "super-secret9", 0).unwrap();
+                portal.create_user(&admin, "alice", "password99", Role::Student, 0).unwrap();
+                let tok = portal.login("alice", "password99", 0).unwrap();
+                portal.write_file(&tok, "j.mini", b"fn main() { }".to_vec(), 0).unwrap();
+                let art = portal.compile(&tok, "j.mini", 0).unwrap().artifact.unwrap().to_string();
+                (portal, tok, art)
+            },
+            |(mut portal, tok, art)| {
+                for _ in 0..16 {
+                    portal.submit_job(&tok, &art, 2, 3, 0).unwrap();
+                }
+                black_box(portal.drain_jobs(500))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Login cost is dominated by password stretching — by design.
+    g.sample_size(10);
+    g.bench_function("login_password_stretch", |b| {
+        let (app, router, _) = portal_with_student();
+        let _ = app;
+        b.iter(|| {
+            black_box(dispatch(
+                &router,
+                Method::Post,
+                "/api/login",
+                br#"{"user":"alice","password":"password99"}"#,
+                None,
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation: the job-distribution policies under a bursty workload.
+//!
+//! Prints makespan + mean wait per policy on the same trace, then
+//! benchmarks a full drain per policy.
+
+use cluster::{Cluster, ClusterSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sched::{JobSpec, SchedPolicyKind, Scheduler};
+use std::hint::black_box;
+
+/// A reproducible bursty trace: mixed widths and runtimes.
+fn trace(seed: u64, n: usize) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let cores = [1u32, 1, 2, 4, 8, 16][rng.gen_range(0..6)];
+            let ticks = rng.gen_range(2..40);
+            let est = (ticks as f64 * rng.gen_range(0.8..1.6)) as u64;
+            JobSpec::parallel(&format!("u{}", i % 5), "a.out", cores, ticks).with_estimate(est.max(1))
+        })
+        .collect()
+}
+
+fn drain(policy: SchedPolicyKind, jobs: &[JobSpec]) -> (u64, f64) {
+    let mut s = Scheduler::new(Cluster::new(ClusterSpec::small(2, 4)), policy);
+    for j in jobs {
+        s.submit(j.clone()).unwrap();
+    }
+    let makespan = s.drain(100_000).expect("drains");
+    (makespan, s.mean_wait())
+}
+
+fn report() {
+    ccp_bench::banner("Scheduler policy ablation (64-job bursty trace, 32 cores)");
+    eprintln!("  {:<14} {:>10} {:>12}", "policy", "makespan", "mean wait");
+    let jobs = trace(42, 64);
+    for p in SchedPolicyKind::ALL {
+        let (makespan, wait) = drain(p, &jobs);
+        eprintln!("  {:<14} {:>10} {:>12.1}", p.name(), makespan, wait);
+    }
+
+    ccp_bench::banner("Arrival-process replay (geometric arrivals, 64 jobs)");
+    eprintln!("  {:<14} {:>10} {:>12} {:>10}", "policy", "makespan", "mean wait", "peak util");
+    let arrivals = sched::WorkloadSpec::default().generate(42);
+    for p in SchedPolicyKind::ALL {
+        let r = sched::replay(
+            Cluster::new(ClusterSpec::small(2, 4)),
+            p,
+            &arrivals,
+            1_000_000,
+        );
+        eprintln!(
+            "  {:<14} {:>10} {:>12.1} {:>9.0}%",
+            p.name(),
+            r.makespan,
+            r.mean_wait,
+            r.peak_utilization * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let jobs = trace(42, 64);
+    let mut g = c.benchmark_group("sched");
+    for p in SchedPolicyKind::ALL {
+        g.bench_function(format!("drain_64jobs_{}", p.name()), |b| {
+            b.iter_batched(|| jobs.clone(), |jobs| black_box(drain(p, &jobs)), BatchSize::PerIteration)
+        });
+    }
+    let arrivals = sched::WorkloadSpec::default().generate(42);
+    g.bench_function("replay_arrival_process_backfill", |b| {
+        b.iter(|| {
+            black_box(sched::replay(
+                Cluster::new(ClusterSpec::small(2, 4)),
+                SchedPolicyKind::Backfill,
+                &arrivals,
+                1_000_000,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

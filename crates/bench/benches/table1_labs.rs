@@ -1,0 +1,59 @@
+//! Table 1 — passing rates of the programming assignments.
+//!
+//! Prints the paper-vs-reproduced table (through the real autograder),
+//! then benchmarks the three cost centres behind it: grading one
+//! submission, grading a full cohort, and the buggy-vs-fixed lab runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn report() {
+    ccp_bench::banner("Table 1: assignment passing rates (paper vs reproduced)");
+    eprintln!("{}", assess::table1(2012).render());
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+
+    g.bench_function("grade_one_submission_lab1", |b| {
+        b.iter(|| {
+            let r = labs::grade(labs::LabId::Sync, black_box(labs::lab1_sync::FIXED_SOURCE));
+            black_box(r.score)
+        })
+    });
+
+    g.bench_function("autograde_full_cohort_19x7", |b| {
+        b.iter_batched(
+            || assess::Cohort::new(7),
+            |cohort| {
+                let outcomes = cohort.run_labs();
+                black_box(assess::Cohort::lab_passing_rates(&outcomes))
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.bench_function("lab1_buggy_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(labs::lab1_sync::run_counter(labs::lab1_sync::BUGGY_SOURCE, seed))
+        })
+    });
+
+    g.bench_function("lab1_fixed_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(labs::lab1_sync::run_counter(labs::lab1_sync::FIXED_SOURCE, seed))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

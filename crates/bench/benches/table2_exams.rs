@@ -1,0 +1,50 @@
+//! Table 2 — exam passing rates (all students / course passers).
+//!
+//! Prints the paper-vs-reproduced rows (plus the seed-sensitivity spread),
+//! then benchmarks the exam simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn report() {
+    ccp_bench::banner("Table 2: exam passing rates (paper vs reproduced)");
+    eprintln!("{}", assess::table2(2012).render());
+    // Seed sensitivity: the class is 19 students, so rates are grainy;
+    // show the spread over 10 cohorts.
+    let mut mids = Vec::new();
+    let mut fins = Vec::new();
+    for seed in 0..10u64 {
+        let cohort = assess::Cohort::new(seed);
+        let outcomes = cohort.run_labs();
+        let exams = assess::ExamModel::default().run(&cohort, &outcomes, seed);
+        mids.push(exams.midterm_rate_all());
+        fins.push(exams.final_rate_passers());
+    }
+    let fmt = |xs: &[f64]| {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        format!("{:.0}%..{:.0}%", lo * 100.0, hi * 100.0)
+    };
+    eprintln!("seed sensitivity over 10 cohorts:");
+    eprintln!("  midterm-all spread: {} (paper 17%)", fmt(&mids));
+    eprintln!("  final-among-passers spread: {} (paper 80%)", fmt(&fins));
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let cohort = assess::Cohort::new(3);
+    let outcomes = cohort.run_labs();
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+    g.bench_function("exam_simulation", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(assess::ExamModel::default().run(&cohort, &outcomes, seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 3 — entrance vs exit survey means.
+//!
+//! Prints paper-vs-reproduced means with a Welch t-test per question
+//! (entrance vs exit), then benchmarks survey generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn report() {
+    ccp_bench::banner("Table 3: survey means (paper vs reproduced)");
+    eprintln!("{}", assess::table3(2012).render());
+    let (entrance, exit) = assess::SurveyModel::default().run(2012);
+    eprintln!("per-question Welch t (entrance vs exit, negative = exit higher):");
+    for (i, q) in assess::survey::questions().iter().enumerate() {
+        let e: Vec<f64> = entrance.responses[i].iter().map(|v| *v as f64).collect();
+        let x: Vec<f64> = exit.responses[i].iter().map(|v| *v as f64).collect();
+        let (t, df) = assess::stats::welch_t(&e, &x);
+        eprintln!("  Q{}: t={t:.2} (df~{df:.0})", q.number);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut g = c.benchmark_group("table3");
+    g.bench_function("survey_generation", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(assess::SurveyModel::default().run(seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Lab 3's measured quantity: UMA vs NUMA access times.
+//!
+//! Prints the four-domain access-time table and the payload sweep, then
+//! benchmarks the memory-system model and the real-thread MPI pull.
+
+use cluster::{AccessKind, MemorySystem};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn report() {
+    ccp_bench::banner("Lab 3: UMA/NUMA access times (simulated ns/access)");
+    for row in labs::lab3_numa::full_table(2048, 4096) {
+        eprintln!("  {:<24} {:>12.1}", row.domain.to_string(), row.mean_ns);
+    }
+    eprintln!("remote-node payload sweep:");
+    for shift in [6u32, 12, 18, 20] {
+        let row = labs::lab3_numa::measure_remote_node(64, 1 << shift);
+        eprintln!("  {:>8} bytes {:>14.0} ns", 1u64 << shift, row.mean_ns);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut g = c.benchmark_group("uma_numa");
+
+    g.bench_function("on_node_access_model", |b| {
+        b.iter_batched(
+            || MemorySystem::new(2, 2),
+            |mut mem| black_box(mem.sweep(0, 0, 4096, 64, AccessKind::Read)),
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.bench_function("remote_node_cost_query", |b| {
+        let mem = MemorySystem::new(1, 2);
+        let net = simnet::Network::uhd_cluster();
+        let a = net.topology().segment_slave(0, 0).unwrap();
+        let z = net.topology().segment_slave(3, 0).unwrap();
+        b.iter(|| black_box(mem.access_remote_node(&net, a, z, 4096, AccessKind::Read).unwrap()))
+    });
+
+    g.sample_size(10);
+    g.bench_function("mpi_pull_4ranks_real_threads", |b| {
+        b.iter(|| black_box(labs::lab3_numa::mpi_pull_experiment(4, 1024)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

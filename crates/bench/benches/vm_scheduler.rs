@@ -1,0 +1,58 @@
+//! Ablation: how the VM's preemption quantum and policy change race
+//! exposure (how often the buggy Lab 1 counter actually loses updates)
+//! and execution cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minilang::{compile, SchedPolicy, Value, Vm, VmConfig};
+use std::hint::black_box;
+
+fn race_exposure(quantum: u32, policy: SchedPolicy, seeds: u64) -> f64 {
+    let program = compile(labs::lab1_sync::BUGGY_SOURCE).expect("compiles");
+    let mut wrong = 0u64;
+    for seed in 0..seeds {
+        let mut vm = Vm::new(program.clone(), VmConfig { seed, quantum, policy, ..VmConfig::default() });
+        if let Ok(out) = vm.run() {
+            if out.main_result != Value::Int(labs::lab1_sync::EXPECTED) {
+                wrong += 1;
+            }
+        }
+    }
+    wrong as f64 / seeds as f64
+}
+
+fn report() {
+    ccp_bench::banner("VM scheduler ablation: race exposure of the buggy Lab 1 counter");
+    eprintln!("  {:<14} {:>8} {:>14}", "policy", "quantum", "races exposed");
+    for (pname, policy) in [("round-robin", SchedPolicy::RoundRobin), ("random", SchedPolicy::RandomPreempt)] {
+        for quantum in [1u32, 4, 8, 32, 128] {
+            let rate = race_exposure(quantum, policy, 20);
+            eprintln!("  {:<14} {:>8} {:>13.0}%", pname, quantum, rate * 100.0);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let program = compile(labs::lab1_sync::FIXED_SOURCE).expect("compiles");
+    let mut g = c.benchmark_group("vm");
+    for quantum in [1u32, 8, 64] {
+        g.bench_function(format!("locked_counter_q{quantum}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut vm = Vm::new(
+                    program.clone(),
+                    VmConfig { seed, quantum, ..VmConfig::default() },
+                );
+                black_box(vm.run().unwrap().executed)
+            })
+        });
+    }
+    g.bench_function("compile_lab1", |b| {
+        b.iter(|| black_box(compile(labs::lab1_sync::FIXED_SOURCE).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! # ccp-bench — the benchmark harness
+//!
+//! One Criterion bench target per table/figure in the paper plus the
+//! ablations DESIGN.md calls out. Each bench prints the corresponding
+//! report rows once (paper value beside reproduced value where the paper
+//! reports numbers), then measures the regenerating computation so
+//! `cargo bench` both reproduces and times every experiment.
+//!
+//! | Bench target | Experiment |
+//! |---|---|
+//! | `table1_labs` | Table 1 — assignment passing rates |
+//! | `table2_exams` | Table 2 — exam passing rates |
+//! | `table3_survey` | Table 3 — survey means |
+//! | `uma_numa` | Lab 3's measured UMA/NUMA access times |
+//! | `spinlock_coherence` | Lab 2's TAS/TTAS invalidation traffic + native contention |
+//! | `mpi_collectives` | §III.A topology/latency/routing sweep |
+//! | `portal_throughput` | §I access claim: portal request + dispatch throughput |
+//! | `scheduler_policies` | Ablation: FIFO vs best-fit vs backfill vs RR |
+//! | `vm_scheduler` | Ablation: VM quantum/policy vs race exposure |
+//! | `ablations` | Coherence protocol + auth hash stretching |
+
+/// Print a section header once per bench process.
+pub fn banner(title: &str) {
+    eprintln!("\n=============== {title} ===============");
+}

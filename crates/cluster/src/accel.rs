@@ -1,0 +1,136 @@
+//! The accelerator ("GPU machine") cost model.
+//!
+//! The lab platform includes "a GPU machine" (§III.B). We model it as a
+//! wide-SIMD offload device: kernels pay a fixed launch overhead plus
+//! transfer time for their working set, then execute at `lanes`-way
+//! parallelism. Good enough to let coursework compare CPU vs accelerator
+//! execution of data-parallel loops, which is all the curriculum needs.
+
+use simnet::SimDuration;
+
+/// Static description of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Number of independent work items.
+    pub work_items: u64,
+    /// Arithmetic operations per item.
+    pub ops_per_item: u64,
+    /// Bytes copied host->device before launch.
+    pub bytes_in: u64,
+    /// Bytes copied device->host after completion.
+    pub bytes_out: u64,
+}
+
+/// The accelerator device model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accelerator {
+    /// SIMD lanes executing in lockstep.
+    pub lanes: u32,
+    /// Device clock in MHz.
+    pub clock_mhz: u32,
+    /// Fixed kernel-launch overhead in nanoseconds.
+    pub launch_overhead_ns: u64,
+    /// Host<->device copy bandwidth, bytes/second.
+    pub copy_bytes_per_sec: u64,
+}
+
+impl Default for Accelerator {
+    fn default() -> Self {
+        // A period-appropriate small GPU: 128 lanes at 1.2 GHz, PCIe-2-ish copies.
+        Accelerator { lanes: 128, clock_mhz: 1_200, launch_overhead_ns: 10_000, copy_bytes_per_sec: 3_000_000_000 }
+    }
+}
+
+impl Accelerator {
+    /// Time to execute `k` end to end (copy in, compute, copy out).
+    pub fn kernel_time(&self, k: &KernelProfile) -> SimDuration {
+        let copy = |bytes: u64| -> u64 {
+            (bytes as u128 * 1_000_000_000u128)
+                .div_ceil(self.copy_bytes_per_sec as u128)
+                .min(u64::MAX as u128) as u64
+        };
+        // Waves of `lanes` items; each wave runs ops_per_item cycles.
+        let waves = k.work_items.div_ceil(self.lanes as u64).max(if k.work_items == 0 { 0 } else { 1 });
+        let cycles = waves.saturating_mul(k.ops_per_item);
+        let compute_ns = (cycles as u128 * 1_000u128).div_ceil(self.clock_mhz as u128) as u64;
+        SimDuration::from_nanos(
+            self.launch_overhead_ns
+                .saturating_add(copy(k.bytes_in))
+                .saturating_add(compute_ns)
+                .saturating_add(copy(k.bytes_out)),
+        )
+    }
+
+    /// Time for a scalar CPU at `cpu_mhz` to do the same work (no copies).
+    pub fn cpu_time(k: &KernelProfile, cpu_mhz: u32) -> SimDuration {
+        let cycles = k.work_items.saturating_mul(k.ops_per_item);
+        let ns = (cycles as u128 * 1_000u128).div_ceil(cpu_mhz.max(1) as u128) as u64;
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Speedup of the accelerator over a scalar CPU for kernel `k`
+    /// (values < 1 mean the offload does not pay off).
+    pub fn speedup_vs_cpu(&self, k: &KernelProfile, cpu_mhz: u32) -> f64 {
+        let dev = self.kernel_time(k).nanos().max(1) as f64;
+        let cpu = Self::cpu_time(k, cpu_mhz).nanos() as f64;
+        cpu / dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_kernel() -> KernelProfile {
+        KernelProfile { work_items: 1 << 20, ops_per_item: 100, bytes_in: 4 << 20, bytes_out: 4 << 20 }
+    }
+
+    #[test]
+    fn big_kernels_beat_cpu() {
+        let acc = Accelerator::default();
+        let s = acc.speedup_vs_cpu(&big_kernel(), 2_600);
+        assert!(s > 10.0, "expected large speedup, got {s}");
+    }
+
+    #[test]
+    fn tiny_kernels_lose_to_overhead() {
+        let acc = Accelerator::default();
+        let k = KernelProfile { work_items: 64, ops_per_item: 4, bytes_in: 256, bytes_out: 256 };
+        let s = acc.speedup_vs_cpu(&k, 2_600);
+        assert!(s < 1.0, "tiny kernel should not pay off, got speedup {s}");
+    }
+
+    #[test]
+    fn zero_item_kernel_costs_only_overhead_and_copies() {
+        let acc = Accelerator::default();
+        let k = KernelProfile { work_items: 0, ops_per_item: 100, bytes_in: 0, bytes_out: 0 };
+        assert_eq!(acc.kernel_time(&k).nanos(), acc.launch_overhead_ns);
+    }
+
+    #[test]
+    fn compute_scales_with_waves() {
+        let acc = Accelerator { lanes: 4, clock_mhz: 1_000, launch_overhead_ns: 0, copy_bytes_per_sec: 1 << 40 };
+        let k1 = KernelProfile { work_items: 4, ops_per_item: 1_000, bytes_in: 0, bytes_out: 0 };
+        let k2 = KernelProfile { work_items: 8, ops_per_item: 1_000, bytes_in: 0, bytes_out: 0 };
+        let t1 = acc.kernel_time(&k1).nanos();
+        let t2 = acc.kernel_time(&k2).nanos();
+        assert_eq!(t2, 2 * t1);
+    }
+
+    #[test]
+    fn crossover_exists() {
+        // Sweep work size: somewhere the accelerator starts winning.
+        let acc = Accelerator::default();
+        let mut last = 0.0;
+        let mut crossed = false;
+        for shift in 4..22 {
+            let k = KernelProfile { work_items: 1 << shift, ops_per_item: 64, bytes_in: 1 << shift, bytes_out: 0 };
+            let s = acc.speedup_vs_cpu(&k, 2_600);
+            if last < 1.0 && s >= 1.0 {
+                crossed = true;
+            }
+            last = s;
+        }
+        assert!(crossed, "no CPU/accelerator crossover found");
+    }
+}

@@ -1,0 +1,75 @@
+//! The portal's unified error type.
+
+use auth::{AuthError, SessionError};
+use sched::SchedError;
+use std::fmt;
+use toolchain::ExecutorError;
+use vfs::VfsError;
+
+/// Anything a portal operation can fail with.
+#[derive(Debug)]
+pub enum PortalError {
+    /// Authentication / account error.
+    Auth(AuthError),
+    /// Session invalid or expired.
+    Session(SessionError),
+    /// Filesystem error.
+    Vfs(VfsError),
+    /// Scheduler error.
+    Sched(SchedError),
+    /// Execution error.
+    Exec(ExecutorError),
+    /// Path escapes the caller's home directory (students may only touch
+    /// their own files; faculty/admin use absolute paths).
+    OutsideHome {
+        /// The resolved path.
+        path: String,
+    },
+    /// Operation requires a higher role.
+    Forbidden(&'static str),
+    /// The portal has no admin yet / already has one.
+    Bootstrap(&'static str),
+}
+
+impl fmt::Display for PortalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortalError::Auth(e) => write!(f, "auth: {e}"),
+            PortalError::Session(e) => write!(f, "session: {e}"),
+            PortalError::Vfs(e) => write!(f, "filesystem: {e}"),
+            PortalError::Sched(e) => write!(f, "scheduler: {e}"),
+            PortalError::Exec(e) => write!(f, "executor: {e}"),
+            PortalError::OutsideHome { path } => write!(f, "{path}: outside your home directory"),
+            PortalError::Forbidden(what) => write!(f, "forbidden: {what}"),
+            PortalError::Bootstrap(what) => write!(f, "bootstrap: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PortalError {}
+
+impl From<AuthError> for PortalError {
+    fn from(e: AuthError) -> Self {
+        PortalError::Auth(e)
+    }
+}
+impl From<SessionError> for PortalError {
+    fn from(e: SessionError) -> Self {
+        PortalError::Session(e)
+    }
+}
+impl From<VfsError> for PortalError {
+    fn from(e: VfsError) -> Self {
+        PortalError::Vfs(e)
+    }
+}
+impl From<SchedError> for PortalError {
+    fn from(e: SchedError) -> Self {
+        PortalError::Sched(e)
+    }
+}
+impl From<ExecutorError> for PortalError {
+    fn from(e: ExecutorError) -> Self {
+        PortalError::Exec(e)
+    }
+}

@@ -1,0 +1,427 @@
+//! The [`Portal`]: every substrate behind one session-authenticated API.
+
+use crate::error::PortalError;
+use crate::view::{state_label, FileView, JobView, QuotaView};
+use auth::{Role, SessionManager, Token, UserStore};
+use cluster::{Cluster, ClusterSpec};
+use parking_lot::Mutex;
+use sched::{JobId, JobSpec, Scheduler, SchedPolicyKind};
+use std::sync::Arc;
+use toolchain::{ArtifactId, ArtifactStore, CompileReport, CompileRequest, ExecReport, Executor};
+use vfs::{EntryKind, Vfs};
+
+/// Portal construction parameters.
+#[derive(Debug, Clone)]
+pub struct PortalConfig {
+    /// Hardware to boot.
+    pub cluster: ClusterSpec,
+    /// Job-distribution policy.
+    pub policy: SchedPolicyKind,
+    /// Session time-to-live (caller clock units; the web layer passes
+    /// seconds).
+    pub session_ttl: u64,
+    /// Default per-user quota in bytes.
+    pub default_quota: u64,
+    /// Seed for token generation and password salts.
+    pub seed: u64,
+    /// How many VM instructions equal one scheduler tick when deriving a
+    /// dispatched job's runtime.
+    pub instructions_per_tick: u64,
+}
+
+impl Default for PortalConfig {
+    fn default() -> Self {
+        PortalConfig {
+            cluster: ClusterSpec::uhd(),
+            policy: SchedPolicyKind::Backfill,
+            session_ttl: 3600,
+            default_quota: 16 << 20,
+            seed: 0x5eed,
+            instructions_per_tick: 10_000,
+        }
+    }
+}
+
+/// The portal backend. One instance serves the whole site; the web layer
+/// wraps it in a mutex.
+pub struct Portal {
+    users: UserStore,
+    sessions: SessionManager,
+    fs: Arc<Mutex<Vfs>>,
+    artifacts: ArtifactStore,
+    scheduler: Scheduler,
+    config: PortalConfig,
+    admin_bootstrapped: bool,
+}
+
+impl Portal {
+    /// Boot a portal: empty user store, fresh filesystem, cold cluster.
+    pub fn new(config: PortalConfig) -> Portal {
+        let cluster = Cluster::new(config.cluster.clone());
+        Portal {
+            users: UserStore::new(config.seed),
+            sessions: SessionManager::new(config.session_ttl, config.seed.wrapping_add(1)),
+            fs: Arc::new(Mutex::new(Vfs::new())),
+            artifacts: ArtifactStore::new(),
+            scheduler: Scheduler::new(cluster, config.policy),
+            config,
+            admin_bootstrapped: false,
+        }
+    }
+
+    /// Create the first (admin) account. Callable exactly once.
+    pub fn bootstrap_admin(&mut self, name: &str, password: &str) -> Result<(), PortalError> {
+        if self.admin_bootstrapped {
+            return Err(PortalError::Bootstrap("admin already exists"));
+        }
+        self.users.register(name, password, Role::Admin)?;
+        self.fs.lock().add_user(name, u64::MAX)?;
+        self.admin_bootstrapped = true;
+        Ok(())
+    }
+
+    // ---- sessions ----------------------------------------------------------
+
+    /// Authenticate and mint a session token.
+    pub fn login(&mut self, name: &str, password: &str, now: u64) -> Result<Token, PortalError> {
+        self.users.verify(name, password)?;
+        Ok(self.sessions.issue(name, now))
+    }
+
+    /// Invalidate a token. Idempotent.
+    pub fn logout(&mut self, token: &Token) {
+        self.sessions.revoke(token);
+    }
+
+    /// Resolve a token to `(username, role)`.
+    pub fn whoami(&self, token: &Token, now: u64) -> Result<(String, Role), PortalError> {
+        let s = self.sessions.validate(token, now)?;
+        let user = self
+            .users
+            .get(&s.username)
+            .ok_or(PortalError::Forbidden("account removed"))?;
+        Ok((user.username.clone(), user.role))
+    }
+
+    // ---- admin -------------------------------------------------------------
+
+    /// Create an account (admin only). Also creates the vfs home.
+    pub fn create_user(
+        &mut self,
+        admin: &Token,
+        name: &str,
+        password: &str,
+        role: Role,
+        now: u64,
+    ) -> Result<(), PortalError> {
+        let (_, caller_role) = self.whoami(admin, now)?;
+        if !caller_role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("user creation requires admin"));
+        }
+        self.users.register(name, password, role)?;
+        self.fs.lock().add_user(name, self.config.default_quota)?;
+        Ok(())
+    }
+
+    /// All usernames (admin only).
+    pub fn list_users(&self, admin: &Token, now: u64) -> Result<Vec<String>, PortalError> {
+        let (_, role) = self.whoami(admin, now)?;
+        if !role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("user listing requires admin"));
+        }
+        Ok(self.users.usernames())
+    }
+
+    // ---- path resolution -----------------------------------------------------
+
+    /// Resolve a client-supplied path for `user` with `role`: relative paths
+    /// anchor at the home directory; students may not escape their home.
+    fn resolve(&self, user: &str, role: Role, path: &str) -> Result<String, PortalError> {
+        let home = format!("/home/{user}");
+        let full = if path.starts_with('/') { path.to_string() } else { format!("{home}/{path}") };
+        // Normalize through VPath to fold any `..`.
+        let normalized = vfs::VPath::parse(&full)?.to_string();
+        if role == Role::Student && !normalized.starts_with(&home) {
+            return Err(PortalError::OutsideHome { path: normalized });
+        }
+        Ok(normalized)
+    }
+
+    // ---- file manager ---------------------------------------------------------
+
+    /// List a directory.
+    pub fn list_dir(&self, token: &Token, path: &str, now: u64) -> Result<Vec<FileView>, PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let full = self.resolve(&user, role, path)?;
+        let entries = self.fs.lock().list(&user, &full)?;
+        Ok(entries
+            .into_iter()
+            .map(|e| FileView {
+                name: e.name,
+                is_dir: e.stat.kind == EntryKind::Dir,
+                size: e.stat.size,
+                owner: e.stat.owner,
+                mtime: e.stat.mtime,
+            })
+            .collect())
+    }
+
+    /// Read (download) a file.
+    pub fn read_file(&self, token: &Token, path: &str, now: u64) -> Result<Vec<u8>, PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let full = self.resolve(&user, role, path)?;
+        Ok(self.fs.lock().read(&user, &full)?)
+    }
+
+    /// Write (upload / save) a file.
+    pub fn write_file(&self, token: &Token, path: &str, data: Vec<u8>, now: u64) -> Result<(), PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let full = self.resolve(&user, role, path)?;
+        Ok(self.fs.lock().write(&user, &full, data)?)
+    }
+
+    /// Create a directory (and parents).
+    pub fn mkdir(&self, token: &Token, path: &str, now: u64) -> Result<(), PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let full = self.resolve(&user, role, path)?;
+        Ok(self.fs.lock().mkdir_p(&user, &full)?)
+    }
+
+    /// Delete a file or directory subtree.
+    pub fn remove(&self, token: &Token, path: &str, now: u64) -> Result<(), PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let full = self.resolve(&user, role, path)?;
+        Ok(self.fs.lock().remove_recursive(&user, &full)?)
+    }
+
+    /// Rename / move.
+    pub fn rename(&self, token: &Token, from: &str, to: &str, now: u64) -> Result<(), PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let f = self.resolve(&user, role, from)?;
+        let t = self.resolve(&user, role, to)?;
+        Ok(self.fs.lock().rename(&user, &f, &t)?)
+    }
+
+    /// Copy a file or subtree.
+    pub fn copy(&self, token: &Token, from: &str, to: &str, now: u64) -> Result<(), PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let f = self.resolve(&user, role, from)?;
+        let t = self.resolve(&user, role, to)?;
+        Ok(self.fs.lock().copy(&user, &f, &t)?)
+    }
+
+    /// The caller's quota.
+    pub fn quota(&self, token: &Token, now: u64) -> Result<QuotaView, PortalError> {
+        let (user, _) = self.whoami(token, now)?;
+        let (used, limit) = self.fs.lock().quota(&user)?;
+        Ok(QuotaView { used, limit })
+    }
+
+    // ---- compilation & execution ------------------------------------------------
+
+    /// Compile a source file; the report carries gcc-style diagnostics.
+    pub fn compile(&mut self, token: &Token, path: &str, now: u64) -> Result<CompileReport, PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let full = self.resolve(&user, role, path)?;
+        let fs = self.fs.lock();
+        Ok(CompileRequest::new(&user, &full).run(&fs, &mut self.artifacts))
+    }
+
+    /// The caller's artifacts, most recent first, as `(id, source_path)`.
+    pub fn my_artifacts(&self, token: &Token, now: u64) -> Result<Vec<(String, String)>, PortalError> {
+        let (user, _) = self.whoami(token, now)?;
+        Ok(self
+            .artifacts
+            .by_owner(&user)
+            .into_iter()
+            .map(|a| (a.id.to_string(), a.source_path.clone()))
+            .collect())
+    }
+
+    fn artifact_for(&self, user: &str, role: Role, id: &str) -> Result<ArtifactId, PortalError> {
+        let aid = ArtifactId::from_string(id);
+        let art = self
+            .artifacts
+            .get(&aid)
+            .ok_or_else(|| PortalError::Exec(toolchain::ExecutorError::NoSuchArtifact(id.to_string())))?;
+        if art.owner != user && !role.at_least(Role::Faculty) {
+            return Err(PortalError::Forbidden("artifact belongs to another user"));
+        }
+        Ok(aid)
+    }
+
+    /// Run an artifact synchronously (the "run in browser" button), with
+    /// stdin lines queued up front.
+    pub fn run_interactive(
+        &mut self,
+        token: &Token,
+        artifact: &str,
+        seed: u64,
+        now: u64,
+    ) -> Result<ExecReport, PortalError> {
+        self.run_interactive_stdin(token, artifact, seed, &[], now)
+    }
+
+    /// [`Portal::run_interactive`] with stdin lines.
+    pub fn run_interactive_stdin(
+        &mut self,
+        token: &Token,
+        artifact: &str,
+        seed: u64,
+        stdin: &[String],
+        now: u64,
+    ) -> Result<ExecReport, PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let aid = self.artifact_for(&user, role, artifact)?;
+        let exec = Executor::with_seed(seed);
+        Ok(exec.run_with_stdin(&self.artifacts, &aid, Arc::clone(&self.fs), &user, stdin)?)
+    }
+
+    // ---- the job distributor -----------------------------------------------------
+
+    /// Submit an artifact as a batch job on `cores` cores. Returns the job
+    /// id immediately; execution happens when the distributor dispatches it.
+    pub fn submit_job(
+        &mut self,
+        token: &Token,
+        artifact: &str,
+        cores: u32,
+        estimated_ticks: u64,
+        now: u64,
+    ) -> Result<JobId, PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let aid = self.artifact_for(&user, role, artifact)?;
+        let spec = if cores <= 1 {
+            JobSpec::sequential(&user, aid.as_str(), estimated_ticks.max(1))
+        } else {
+            JobSpec::parallel(&user, aid.as_str(), cores, estimated_ticks.max(1))
+        };
+        Ok(self.scheduler.submit(spec.with_estimate(estimated_ticks.max(1)))?)
+    }
+
+    /// Advance the distributor one tick. Newly dispatched jobs execute on
+    /// the VM now: their streams fill and their true runtime (derived from
+    /// instructions executed) replaces the estimate.
+    pub fn tick(&mut self) -> Vec<JobId> {
+        let dispatched = self.scheduler.tick();
+        for &id in &dispatched {
+            let (artifact, user, stdin): (String, String, Vec<String>) = {
+                let job = self.scheduler.job(id).expect("just dispatched");
+                (
+                    job.spec.executable.clone(),
+                    job.spec.user.clone(),
+                    job.streams.stdin.iter().cloned().collect(),
+                )
+            };
+            let aid = ArtifactId::from_string(artifact);
+            let exec = Executor::with_seed(self.config.seed ^ id.0);
+            let report = exec.run_with_stdin(&self.artifacts, &aid, Arc::clone(&self.fs), &user, &stdin);
+            let ipt = self.config.instructions_per_tick.max(1);
+            if let Ok(job) = self.scheduler.job_mut(id) {
+                match report {
+                    Ok(r) => {
+                        if let Some(out) = &r.outcome {
+                            job.streams.stdout = out.stdout.clone();
+                            job.spec.actual_ticks = out.executed / ipt + 1;
+                        }
+                        if let Some(e) = &r.error {
+                            job.streams.stderr = e.to_string();
+                            job.spec.actual_ticks = 1;
+                        }
+                    }
+                    Err(e) => {
+                        job.streams.stderr = e.to_string();
+                        job.spec.actual_ticks = 1;
+                    }
+                }
+            }
+        }
+        dispatched
+    }
+
+    /// Run the distributor until all jobs are terminal (bounded).
+    pub fn drain_jobs(&mut self, max_ticks: u64) -> bool {
+        for _ in 0..max_ticks {
+            self.tick();
+            if self.scheduler.jobs().all(|j| j.state.is_terminal()) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The caller's jobs (admins see everyone's).
+    pub fn jobs(&self, token: &Token, now: u64) -> Result<Vec<JobView>, PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        Ok(self
+            .scheduler
+            .jobs()
+            .filter(|j| role.at_least(Role::Admin) || j.spec.user == user)
+            .map(job_view)
+            .collect())
+    }
+
+    /// One job (owner or admin).
+    pub fn job(&self, token: &Token, id: JobId, now: u64) -> Result<JobView, PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let j = self.scheduler.job(id)?;
+        if j.spec.user != user && !role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("job belongs to another user"));
+        }
+        Ok(job_view(j))
+    }
+
+    /// Queue a stdin line for a pending job (consumed when it dispatches).
+    pub fn send_stdin(&mut self, token: &Token, id: JobId, line: &str, now: u64) -> Result<(), PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let j = self.scheduler.job_mut(id)?;
+        if j.spec.user != user && !role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("job belongs to another user"));
+        }
+        j.streams.push_stdin(line);
+        Ok(())
+    }
+
+    /// Cancel a job (owner or admin).
+    pub fn cancel_job(&mut self, token: &Token, id: JobId, now: u64) -> Result<(), PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        {
+            let j = self.scheduler.job(id)?;
+            if j.spec.user != user && !role.at_least(Role::Admin) {
+                return Err(PortalError::Forbidden("job belongs to another user"));
+            }
+        }
+        Ok(self.scheduler.cancel(id)?)
+    }
+
+    // ---- status -------------------------------------------------------------------
+
+    /// `(free_cores, total_cores, utilization)` for the dashboard.
+    pub fn cluster_status(&self) -> (u32, u32, f64) {
+        let c = self.scheduler.cluster();
+        (c.free_cores(), c.total_cores(), c.utilization())
+    }
+
+    /// Direct scheduler access for tests and the bench harness.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler {
+        &mut self.scheduler
+    }
+
+    /// Shared filesystem handle (the bench harness preloads lab files).
+    pub fn fs(&self) -> Arc<Mutex<Vfs>> {
+        Arc::clone(&self.fs)
+    }
+}
+
+fn job_view(j: &sched::JobRecord) -> JobView {
+    JobView {
+        id: j.id,
+        user: j.spec.user.clone(),
+        executable: j.spec.executable.clone(),
+        state: j.state.clone(),
+        state_label: state_label(&j.state),
+        cores: j.spec.cores_needed(),
+        stdout: j.streams.stdout.clone(),
+        stderr: j.streams.stderr.clone(),
+    }
+}

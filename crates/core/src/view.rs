@@ -1,0 +1,71 @@
+//! Plain-data views the web layer renders; no substrate types leak out.
+
+use sched::{JobId, JobState};
+
+/// One file-browser row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileView {
+    /// Entry name.
+    pub name: String,
+    /// True for directories.
+    pub is_dir: bool,
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+    /// Owner.
+    pub owner: String,
+    /// Logical mtime.
+    pub mtime: u64,
+}
+
+/// One job-monitor row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobView {
+    /// Job id.
+    pub id: JobId,
+    /// Submitting user.
+    pub user: String,
+    /// Executable (artifact id).
+    pub executable: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Human-readable state label.
+    pub state_label: String,
+    /// Cores the job asked for.
+    pub cores: u32,
+    /// Captured stdout so far.
+    pub stdout: String,
+    /// Captured stderr so far.
+    pub stderr: String,
+}
+
+/// Quota summary for the dashboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaView {
+    /// Bytes in use.
+    pub used: u64,
+    /// Byte limit.
+    pub limit: u64,
+}
+
+/// Render a [`JobState`] the way the job monitor shows it.
+pub fn state_label(state: &JobState) -> String {
+    match state {
+        JobState::Pending => "pending".to_string(),
+        JobState::Running { started_at } => format!("running since t={started_at}"),
+        JobState::Completed { at } => format!("completed at t={at}"),
+        JobState::Cancelled { at } => format!("cancelled at t={at}"),
+        JobState::Failed { at, reason } => format!("failed at t={at}: {reason}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(state_label(&JobState::Pending), "pending");
+        assert_eq!(state_label(&JobState::Running { started_at: 3 }), "running since t=3");
+        assert!(state_label(&JobState::Failed { at: 9, reason: "node down".into() }).contains("node down"));
+    }
+}

@@ -1,0 +1,250 @@
+//! End-to-end portal flows: the §II user journey — authenticate, manage
+//! files, compile, execute, submit to the distributor, monitor streams.
+
+use auth::Role;
+use ccp_core::{Portal, PortalConfig, PortalError};
+use cluster::ClusterSpec;
+use sched::JobState;
+
+fn portal() -> Portal {
+    let config = PortalConfig { cluster: ClusterSpec::small(2, 2), ..PortalConfig::default() };
+    let mut p = Portal::new(config);
+    p.bootstrap_admin("admin", "super-secret9").unwrap();
+    p
+}
+
+fn student(p: &mut Portal, name: &str) -> auth::Token {
+    let admin = p.login("admin", "super-secret9", 0).unwrap();
+    p.create_user(&admin, name, "password99", Role::Student, 0).unwrap();
+    p.login(name, "password99", 0).unwrap()
+}
+
+#[test]
+fn bootstrap_only_once() {
+    let mut p = portal();
+    assert!(matches!(p.bootstrap_admin("other", "password99"), Err(PortalError::Bootstrap(_))));
+}
+
+#[test]
+fn login_bad_password_rejected() {
+    let mut p = portal();
+    assert!(matches!(p.login("admin", "wrong-password", 0), Err(PortalError::Auth(_))));
+    assert!(matches!(p.login("ghost", "whatever99", 0), Err(PortalError::Auth(_))));
+}
+
+#[test]
+fn session_expiry_enforced() {
+    let mut p = portal();
+    let t = p.login("admin", "super-secret9", 0).unwrap();
+    assert!(p.whoami(&t, 100).is_ok());
+    assert!(matches!(p.whoami(&t, 4000), Err(PortalError::Session(_))));
+}
+
+#[test]
+fn logout_invalidates() {
+    let mut p = portal();
+    let t = p.login("admin", "super-secret9", 0).unwrap();
+    p.logout(&t);
+    assert!(p.whoami(&t, 1).is_err());
+}
+
+#[test]
+fn only_admin_creates_users() {
+    let mut p = portal();
+    let s = student(&mut p, "alice");
+    assert!(matches!(
+        p.create_user(&s, "bob", "password99", Role::Student, 0),
+        Err(PortalError::Forbidden(_))
+    ));
+    let admin = p.login("admin", "super-secret9", 0).unwrap();
+    assert_eq!(p.list_users(&admin, 0).unwrap(), vec!["admin", "alice"]);
+    assert!(p.list_users(&s, 0).is_err());
+}
+
+#[test]
+fn file_manager_crud() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.mkdir(&t, "src", 0).unwrap();
+    p.write_file(&t, "src/main.mini", b"fn main() { }".to_vec(), 0).unwrap();
+    p.write_file(&t, "notes.txt", b"hello".to_vec(), 0).unwrap();
+    let listing = p.list_dir(&t, "", 0).unwrap();
+    let names: Vec<&str> = listing.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, vec!["notes.txt", "src"]);
+    assert!(listing[1].is_dir);
+    assert_eq!(p.read_file(&t, "notes.txt", 0).unwrap(), b"hello");
+    p.copy(&t, "notes.txt", "notes2.txt", 0).unwrap();
+    p.rename(&t, "notes2.txt", "archive.txt", 0).unwrap();
+    assert_eq!(p.read_file(&t, "archive.txt", 0).unwrap(), b"hello");
+    p.remove(&t, "src", 0).unwrap();
+    assert_eq!(p.list_dir(&t, "", 0).unwrap().len(), 2);
+    let q = p.quota(&t, 0).unwrap();
+    assert_eq!(q.used, 10); // two 5-byte files
+}
+
+#[test]
+fn students_cannot_escape_home() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    let _t2 = student(&mut p, "eve");
+    assert!(matches!(
+        p.read_file(&t, "/home/eve/secret", 0),
+        Err(PortalError::OutsideHome { .. })
+    ));
+    assert!(matches!(
+        p.read_file(&t, "../eve/secret", 0),
+        Err(PortalError::OutsideHome { .. })
+    ));
+    assert!(matches!(p.write_file(&t, "/etc/passwd", vec![], 0), Err(PortalError::OutsideHome { .. })));
+}
+
+#[test]
+fn compile_run_roundtrip() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(&t, "hello.mini", b"fn main() { println(\"from cluster\"); }".to_vec(), 0).unwrap();
+    let report = p.compile(&t, "hello.mini", 0).unwrap();
+    assert!(report.success(), "{}", report.render());
+    let artifacts = p.my_artifacts(&t, 0).unwrap();
+    assert_eq!(artifacts.len(), 1);
+    let run = p.run_interactive(&t, &artifacts[0].0, 0, 0).unwrap();
+    assert_eq!(run.outcome.unwrap().stdout, "from cluster\n");
+}
+
+#[test]
+fn compile_errors_reported() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(&t, "bad.mini", b"fn main() { var = ; }".to_vec(), 0).unwrap();
+    let report = p.compile(&t, "bad.mini", 0).unwrap();
+    assert!(!report.success());
+    assert!(report.render().contains("error"));
+}
+
+#[test]
+fn cannot_run_another_users_artifact() {
+    let mut p = portal();
+    let alice = student(&mut p, "alice");
+    let bob = student(&mut p, "bob");
+    p.write_file(&alice, "a.mini", b"fn main() { }".to_vec(), 0).unwrap();
+    let report = p.compile(&alice, "a.mini", 0).unwrap();
+    let id = report.artifact.unwrap().to_string();
+    assert!(matches!(
+        p.run_interactive(&bob, &id, 0, 0),
+        Err(PortalError::Forbidden(_))
+    ));
+    // Alice herself can.
+    assert!(p.run_interactive(&alice, &id, 0, 0).is_ok());
+}
+
+#[test]
+fn batch_job_lifecycle_with_streams() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(
+        &t,
+        "job.mini",
+        b"fn main() { for (var i = 0; i < 3; i = i + 1) { println(\"line \", i); } }".to_vec(),
+        0,
+    )
+    .unwrap();
+    let report = p.compile(&t, "job.mini", 0).unwrap();
+    let art = report.artifact.unwrap().to_string();
+    let id = p.submit_job(&t, &art, 1, 5, 0).unwrap();
+    assert!(matches!(p.job(&t, id, 0).unwrap().state, JobState::Pending));
+    p.tick(); // dispatch + execute
+    let view = p.job(&t, id, 0).unwrap();
+    assert!(view.stdout.contains("line 0") && view.stdout.contains("line 2"), "{}", view.stdout);
+    assert!(p.drain_jobs(100));
+    assert!(matches!(p.job(&t, id, 0).unwrap().state, JobState::Completed { .. }));
+    // Resources returned.
+    let (free, total, util) = p.cluster_status();
+    assert_eq!(free, total);
+    assert_eq!(util, 0.0);
+}
+
+#[test]
+fn stdin_reaches_batch_job() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(
+        &t,
+        "echo.mini",
+        b"fn main() { println(\"got: \", read_line()); }".to_vec(),
+        0,
+    )
+    .unwrap();
+    let art = p.compile(&t, "echo.mini", 0).unwrap().artifact.unwrap().to_string();
+    let id = p.submit_job(&t, &art, 1, 5, 0).unwrap();
+    p.send_stdin(&t, id, "forty-two", 0).unwrap();
+    p.drain_jobs(100);
+    let view = p.job(&t, id, 0).unwrap();
+    assert_eq!(view.stdout, "got: forty-two\n");
+}
+
+#[test]
+fn parallel_job_occupies_cores() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(&t, "par.mini", b"fn main() { sleep(100000); }".to_vec(), 0).unwrap();
+    let art = p.compile(&t, "par.mini", 0).unwrap().artifact.unwrap().to_string();
+    let _id = p.submit_job(&t, &art, 8, 50, 0).unwrap();
+    p.tick();
+    let (free, total, _) = p.cluster_status();
+    assert_eq!(total - free, 8);
+}
+
+#[test]
+fn failing_job_reports_stderr() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(&t, "dead.mini", b"fn main() { var m = mutex(); lock(m); lock(m); }".to_vec(), 0).unwrap();
+    let art = p.compile(&t, "dead.mini", 0).unwrap().artifact.unwrap().to_string();
+    let id = p.submit_job(&t, &art, 1, 5, 0).unwrap();
+    p.drain_jobs(100);
+    let view = p.job(&t, id, 0).unwrap();
+    assert!(view.stderr.contains("deadlock"), "{}", view.stderr);
+}
+
+#[test]
+fn job_visibility_rules() {
+    let mut p = portal();
+    let alice = student(&mut p, "alice");
+    let bob = student(&mut p, "bob");
+    p.write_file(&alice, "x.mini", b"fn main() { }".to_vec(), 0).unwrap();
+    let art = p.compile(&alice, "x.mini", 0).unwrap().artifact.unwrap().to_string();
+    let id = p.submit_job(&alice, &art, 1, 1, 0).unwrap();
+    assert!(matches!(p.job(&bob, id, 0), Err(PortalError::Forbidden(_))));
+    assert!(p.jobs(&bob, 0).unwrap().is_empty());
+    let admin = p.login("admin", "super-secret9", 0).unwrap();
+    assert_eq!(p.jobs(&admin, 0).unwrap().len(), 1);
+    assert!(matches!(p.cancel_job(&bob, id, 0), Err(PortalError::Forbidden(_))));
+    p.cancel_job(&alice, id, 0).unwrap();
+}
+
+#[test]
+fn interactive_run_is_seed_deterministic() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    let src = br#"
+        var counter = 0;
+        fn w() { for (var i = 0; i < 100; i = i + 1) { counter = counter + 1; } }
+        fn main() { var a = spawn w(); var b = spawn w(); join(a); join(b); println(counter); }
+    "#;
+    p.write_file(&t, "race.mini", src.to_vec(), 0).unwrap();
+    let art = p.compile(&t, "race.mini", 0).unwrap().artifact.unwrap().to_string();
+    let r1 = p.run_interactive(&t, &art, 99, 0).unwrap().outcome.unwrap().stdout;
+    let r2 = p.run_interactive(&t, &art, 99, 0).unwrap().outcome.unwrap().stdout;
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn vm_file_io_lands_in_portal_home() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(&t, "writer.mini", br#"fn main() { write_file("result.txt", "computed"); }"#.to_vec(), 0)
+        .unwrap();
+    let art = p.compile(&t, "writer.mini", 0).unwrap().artifact.unwrap().to_string();
+    p.run_interactive(&t, &art, 0, 0).unwrap();
+    assert_eq!(p.read_file(&t, "result.txt", 0).unwrap(), b"computed");
+}

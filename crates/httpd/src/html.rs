@@ -1,0 +1,75 @@
+//! HTML escaping and tiny page-assembly helpers for the portal UI.
+
+/// Escape text for safe inclusion in HTML content or attribute values.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Wrap `body` in the portal's page chrome.
+pub fn page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>{}</title>\
+         <style>body{{font-family:sans-serif;margin:2em}}table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #999;padding:4px 8px}}pre{{background:#f4f4f4;padding:1em}}</style>\
+         </head><body><h1>{}</h1>{}</body></html>",
+        escape(title),
+        escape(title),
+        body
+    )
+}
+
+/// Render rows as an HTML table; `headers` and each row are escaped.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("<table><tr>");
+    for h in headers {
+        out.push_str(&format!("<th>{}</th>", escape(h)));
+    }
+    out.push_str("</tr>");
+    for row in rows {
+        out.push_str("<tr>");
+        for cell in row {
+            out.push_str(&format!("<td>{}</td>", escape(cell)));
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</table>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_neutralizes_html() {
+        assert_eq!(escape("<script>alert('x')</script>"), "&lt;script&gt;alert(&#39;x&#39;)&lt;/script&gt;");
+        assert_eq!(escape("a & b \"q\""), "a &amp; b &quot;q&quot;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn page_escapes_title_not_body() {
+        let p = page("<Home>", "<b>bold</b>");
+        assert!(p.contains("<title>&lt;Home&gt;</title>"));
+        assert!(p.contains("<b>bold</b>"));
+    }
+
+    #[test]
+    fn table_renders_and_escapes() {
+        let t = table(&["Name", "Size"], &[vec!["a<b".to_string(), "10".to_string()]]);
+        assert!(t.contains("<th>Name</th>"));
+        assert!(t.contains("<td>a&lt;b</td>"));
+        assert!(t.contains("<td>10</td>"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # httpd — a hand-rolled HTTP/1.1 server substrate
+//!
+//! "The means of remote access to the cluster resources are provided by the
+//! use of a web browser" (§I). No HTTP framework is on the allowed
+//! dependency list, so this crate implements the slice of HTTP/1.1 the
+//! portal needs, from `std::net` up:
+//!
+//! * [`http`] — request parsing / response serialization, status codes;
+//! * [`router`] — method + path-pattern routing with `:param` captures;
+//! * [`server`] — a threaded TCP accept loop with graceful shutdown;
+//! * [`json`] — a JSON value type, parser and serializer (RFC 8259 subset:
+//!   no surrogate-pair escapes);
+//! * [`forms`] — query strings, urlencoded bodies, cookies;
+//! * [`html`] — escaping and tiny page-assembly helpers.
+
+pub mod forms;
+pub mod html;
+pub mod http;
+pub mod json;
+pub mod router;
+pub mod server;
+
+pub use http::{Method, Request, Response, Status};
+pub use json::Json;
+pub use router::Router;
+pub use server::{Server, ServerHandle};

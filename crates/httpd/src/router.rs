@@ -1,0 +1,172 @@
+//! Method + path-pattern routing with `:param` captures.
+
+use crate::http::{Method, Request, Response, Status};
+use std::collections::BTreeMap;
+
+type Handler = Box<dyn Fn(&mut Request) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    /// Pattern segments; `:name` captures one segment.
+    segments: Vec<String>,
+    handler: Handler,
+}
+
+impl Route {
+    fn matches(&self, method: Method, path: &str) -> Option<BTreeMap<String, String>> {
+        if method != self.method {
+            return None;
+        }
+        let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        if parts.len() != self.segments.len() {
+            return None;
+        }
+        let mut params = BTreeMap::new();
+        for (seg, part) in self.segments.iter().zip(&parts) {
+            if let Some(name) = seg.strip_prefix(':') {
+                params.insert(name.to_string(), crate::forms::url_decode(part));
+            } else if seg != part {
+                return None;
+            }
+        }
+        Some(params)
+    }
+}
+
+/// The router: ordered route list, first match wins.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Register a route; patterns look like `/api/jobs/:id/stdin`.
+    pub fn add<F>(&mut self, method: Method, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&mut Request) -> Response + Send + Sync + 'static,
+    {
+        let segments = pattern.split('/').filter(|s| !s.is_empty()).map(String::from).collect();
+        self.routes.push(Route { method, segments, handler: Box::new(handler) });
+        self
+    }
+
+    /// GET shorthand.
+    pub fn get<F>(&mut self, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&mut Request) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Get, pattern, handler)
+    }
+
+    /// POST shorthand.
+    pub fn post<F>(&mut self, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&mut Request) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Post, pattern, handler)
+    }
+
+    /// Dispatch a request: 404 when no pattern matches, 405 when the path
+    /// matches under a different method.
+    pub fn dispatch(&self, req: &mut Request) -> Response {
+        for route in &self.routes {
+            if let Some(params) = route.matches(req.method, &req.path) {
+                req.params = params;
+                return (route.handler)(req);
+            }
+        }
+        // Distinguish 405 (path exists under another method) from 404.
+        let parts: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        let path_known = self.routes.iter().any(|r| {
+            parts.len() == r.segments.len()
+                && r.segments.iter().zip(&parts).all(|(seg, part)| seg.starts_with(':') || seg == part)
+        });
+        if path_known {
+            Response::error(Status::METHOD_NOT_ALLOWED, "method not allowed")
+        } else {
+            Response::error(Status::NOT_FOUND, format!("no route for {} {}", req.method, req.path))
+        }
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.get("/", |_| Response::text("home"));
+        r.get("/jobs", |_| Response::text("list"));
+        r.post("/jobs", |_| Response::text("create"));
+        r.get("/jobs/:id", |req| Response::text(format!("job {}", req.param("id").unwrap())));
+        r.post("/jobs/:id/stdin", |req| {
+            Response::text(format!("stdin {} <- {}", req.param("id").unwrap(), req.body_str()))
+        });
+        r
+    }
+
+    fn get(r: &Router, path: &str) -> Response {
+        let mut req = Request::synthetic(Method::Get, path, b"");
+        r.dispatch(&mut req)
+    }
+
+    #[test]
+    fn static_routes() {
+        let r = router();
+        assert_eq!(get(&r, "/").body_str(), "home");
+        assert_eq!(get(&r, "/jobs").body_str(), "list");
+    }
+
+    #[test]
+    fn method_distinguishes() {
+        let r = router();
+        let mut req = Request::synthetic(Method::Post, "/jobs", b"");
+        assert_eq!(r.dispatch(&mut req).body_str(), "create");
+    }
+
+    #[test]
+    fn params_captured_and_decoded() {
+        let r = router();
+        assert_eq!(get(&r, "/jobs/42").body_str(), "job 42");
+        assert_eq!(get(&r, "/jobs/a%20b").body_str(), "job a b");
+        let mut req = Request::synthetic(Method::Post, "/jobs/7/stdin", b"input!");
+        assert_eq!(r.dispatch(&mut req).body_str(), "stdin 7 <- input!");
+    }
+
+    #[test]
+    fn not_found_and_wrong_shape() {
+        let r = router();
+        assert_eq!(get(&r, "/nope").status, Status::NOT_FOUND);
+        assert_eq!(get(&r, "/jobs/1/2/3").status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn trailing_slash_equivalence() {
+        let r = router();
+        assert_eq!(get(&r, "/jobs/").body_str(), "list");
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut r = Router::new();
+        r.get("/x/:a", |_| Response::text("first"));
+        r.get("/x/specific", |_| Response::text("second"));
+        assert_eq!(get(&r, "/x/specific").body_str(), "first");
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! The TCP accept loop: one worker thread per connection (the portal's
+//! traffic is a classroom, not a CDN), with graceful shutdown.
+
+use crate::http::{Request, Response, Status};
+use crate::router::Router;
+use parking_lot::Mutex;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running server, returned by [`Server::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The HTTP server: a router behind a TCP listener.
+pub struct Server {
+    router: Arc<Mutex<Router>>,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new(Router::new())
+    }
+}
+
+impl Server {
+    /// Wrap a router.
+    pub fn new(router: Router) -> Server {
+        Server { router: Arc::new(Mutex::new(router)) }
+    }
+
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and serve on a background thread.
+    pub fn spawn(self, addr: &str) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let router = self.router;
+        let stop2 = Arc::clone(&stop);
+        let served2 = Arc::clone(&served);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let router = Arc::clone(&router);
+                let served = Arc::clone(&served2);
+                std::thread::spawn(move || {
+                    handle_connection(stream, &router);
+                    served.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        Ok(ServerHandle { addr: local, stop, served, accept_thread: Some(accept_thread) })
+    }
+}
+
+fn handle_connection(stream: TcpStream, router: &Mutex<Router>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let response = match Request::parse(&mut reader) {
+        Ok(mut req) => router.lock().dispatch(&mut req),
+        Err(e) => Response::error(Status::BAD_REQUEST, e.to_string()),
+    };
+    let _ = response.write_to(&mut writer);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+    use std::io::{Read, Write};
+
+    fn raw_request(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn test_server() -> ServerHandle {
+        let mut router = Router::new();
+        router.get("/ping", |_| Response::text("pong"));
+        router.post("/echo", |req| Response::text(req.body_str().to_string()));
+        router.get("/jobs/:id", |req| {
+            Response::text(format!("job={}", req.param("id").unwrap()))
+        });
+        Server::new(router).spawn("127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn serves_get_over_real_socket() {
+        let h = test_server();
+        let resp = raw_request(h.addr(), "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.ends_with("pong"), "{resp}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn serves_post_body_roundtrip() {
+        let h = test_server();
+        let resp = raw_request(
+            h.addr(),
+            "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert!(resp.ends_with("hello"), "{resp}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn path_params_over_socket() {
+        let h = test_server();
+        let resp = raw_request(h.addr(), "GET /jobs/17 HTTP/1.1\r\n\r\n");
+        assert!(resp.ends_with("job=17"), "{resp}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_400() {
+        let h = test_server();
+        let resp = raw_request(h.addr(), "BOGUS /x HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_404s() {
+        let h = test_server();
+        let resp = raw_request(h.addr(), "GET /missing HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let h = test_server();
+        let addr = h.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n"))
+            })
+            .collect();
+        for t in handles {
+            assert!(t.join().unwrap().ends_with("pong"));
+        }
+        assert!(h.served() >= 8);
+        h.shutdown();
+    }
+
+    #[test]
+    fn dispatch_without_socket() {
+        // The webportal drives the router in-process for most tests.
+        let mut router = Router::new();
+        router.get("/x", |_| Response::text("y"));
+        let mut req = Request::synthetic(Method::Get, "/x", b"");
+        assert_eq!(router.dispatch(&mut req).body_str(), "y");
+    }
+}

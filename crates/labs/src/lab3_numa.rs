@@ -1,0 +1,152 @@
+//! Multicore Lab 3 — UMA and NUMA Access.
+//!
+//! "Using Pthread and MPI to simulate and evaluate the access times to
+//! local shared memory and the access times to remote memory. ... UMA mode
+//! is used among threads that run on multi-cores of the same processor,
+//! while NUMA mode is used when a process needs to read data located in a
+//! remote processor" (§III.B.3). This lab had the lowest passing rate (39%)
+//! because it combines the threading and message-passing toolchains — the
+//! module mirrors that by combining [`cluster::MemorySystem`] (the Pthreads
+//! half) and [`mpik`] (the MPI half).
+
+use cluster::{AccessKind, MemoryDomain, MemorySystem};
+use mpik::{Tag, World};
+use simnet::{LinkProfile, Network, Topology};
+
+/// One row of the lab's measurement table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessRow {
+    /// Which memory domain was measured.
+    pub domain: MemoryDomain,
+    /// Mean simulated nanoseconds per access.
+    pub mean_ns: f64,
+    /// Number of accesses measured.
+    pub n: usize,
+}
+
+/// The thread-level half: measure cache / local-DRAM / remote-socket access
+/// on one dual-socket node. `n` accesses per domain.
+pub fn measure_on_node(n: usize) -> Vec<AccessRow> {
+    let mut mem = MemorySystem::new(2, 2);
+    // Domain 1: repeated access to one line = cache hits after the miss.
+    let mut cache_total = 0u64;
+    mem.access(0, 0, AccessKind::Read); // warm
+    for _ in 0..n {
+        cache_total += mem.access(0, 0, AccessKind::Read).time.nanos();
+    }
+    // Domain 2: streaming fresh lines homed on socket 0 from core 0 (UMA).
+    let mut dram_total = 0u64;
+    let mut dram_count = 0usize;
+    let mut addr = 0u64;
+    while dram_count < n {
+        addr += 64;
+        if mem.home_socket(addr) == 0 {
+            dram_total += mem.access(0, addr, AccessKind::Read).time.nanos();
+            dram_count += 1;
+        }
+    }
+    // Domain 3: streaming lines homed on socket 1 from core 0 (NUMA).
+    let mut remote_total = 0u64;
+    let mut remote_count = 0usize;
+    while remote_count < n {
+        addr += 64;
+        if mem.home_socket(addr) == 1 {
+            remote_total += mem.access(0, addr, AccessKind::Read).time.nanos();
+            remote_count += 1;
+        }
+    }
+    vec![
+        AccessRow { domain: MemoryDomain::LocalCache, mean_ns: cache_total as f64 / n as f64, n },
+        AccessRow { domain: MemoryDomain::LocalDram, mean_ns: dram_total as f64 / n as f64, n },
+        AccessRow { domain: MemoryDomain::RemoteSocket, mean_ns: remote_total as f64 / n as f64, n },
+    ]
+}
+
+/// The MPI half: measure remote-node access time over the cluster fabric
+/// (`bytes` pulled per access, `n` accesses) between two slaves in
+/// *different* segments — the worst case the paper's cluster has.
+pub fn measure_remote_node(n: usize, bytes: u64) -> AccessRow {
+    let mem = MemorySystem::new(1, 2);
+    let net = Network::uhd_cluster();
+    let topo = net.topology();
+    let a = topo.segment_slave(0, 0).expect("slave exists");
+    let b = topo.segment_slave(3, 0).expect("slave exists");
+    let mut total = 0u64;
+    for _ in 0..n {
+        let r = mem.access_remote_node(&net, a, b, bytes, AccessKind::Read).expect("route exists");
+        total += r.time.nanos();
+    }
+    AccessRow { domain: MemoryDomain::RemoteNode, mean_ns: total as f64 / n.max(1) as f64, n }
+}
+
+/// The full lab: all four rows, cache -> remote node.
+pub fn full_table(n: usize, remote_bytes: u64) -> Vec<AccessRow> {
+    let mut rows = measure_on_node(n);
+    rows.push(measure_remote_node(n, remote_bytes));
+    rows
+}
+
+/// The MPI exercise proper: rank 0 owns an array; every other rank pulls a
+/// slice and measures its *virtual* transfer time. Returns rank-ordered
+/// mean ns (rank 0 reports 0). This runs real threads under `mpik`.
+pub fn mpi_pull_experiment(ranks: usize, slice_words: usize) -> Vec<f64> {
+    let world = World::new(ranks, Topology::segmented_cluster(4, 16), LinkProfile::gigabit_ethernet());
+    let results = world
+        .run_stats(|p| {
+            if p.rank() == 0 {
+                // Serve one slice to each peer.
+                let data: Vec<i64> = (0..slice_words as i64).collect();
+                for _ in 1..p.size() {
+                    let req = p.recv_any(Tag(1)).expect("request");
+                    p.send_vec_i64(req.src, Tag(2), &data).expect("response");
+                }
+                0.0
+            } else {
+                let before = p.virtual_time();
+                p.send_i64(0, Tag(1), p.rank() as i64).expect("request");
+                let _data = p.recv_vec_i64(0, Tag(2)).expect("slice");
+                (p.virtual_time() - before) as f64
+            }
+        })
+        .expect("world runs");
+    results.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_ordering_holds() {
+        // The lab's core lesson: cache < local DRAM < remote socket << remote node.
+        let rows = full_table(256, 4096);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].mean_ns < rows[1].mean_ns, "cache {} !< dram {}", rows[0].mean_ns, rows[1].mean_ns);
+        assert!(rows[1].mean_ns < rows[2].mean_ns);
+        assert!(rows[2].mean_ns * 10.0 < rows[3].mean_ns, "remote node must dwarf on-node NUMA");
+    }
+
+    #[test]
+    fn domains_labelled_correctly() {
+        let rows = full_table(32, 64);
+        assert_eq!(rows[0].domain, MemoryDomain::LocalCache);
+        assert_eq!(rows[3].domain, MemoryDomain::RemoteNode);
+    }
+
+    #[test]
+    fn remote_cost_scales_with_bytes() {
+        let small = measure_remote_node(16, 64);
+        let large = measure_remote_node(16, 1 << 20);
+        assert!(large.mean_ns > small.mean_ns);
+    }
+
+    #[test]
+    fn mpi_pull_reports_nonzero_remote_times() {
+        let times = mpi_pull_experiment(4, 1024);
+        assert_eq!(times.len(), 4);
+        assert_eq!(times[0], 0.0);
+        for (r, t) in times.iter().enumerate().skip(1) {
+            assert!(*t > 0.0, "rank {r} measured {t}");
+        }
+    }
+}

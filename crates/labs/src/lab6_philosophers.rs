@@ -1,0 +1,157 @@
+//! Lab for Deadlock (Chapter 10) — dining philosophers.
+//!
+//! "The program should use five Pthreads to simulate five philosophers and
+//! declare an array of five semaphores to represent five forks. ...
+//! Repeatedly run the program to see that deadlock occurs when the
+//! philosophers run to a cyclic hold and wait situation. ... Then, write
+//! another program that makes Philosopher 4 request the forks in the other
+//! order so that the cyclic hold and wait condition is prevented"
+//! (§III.B.6).
+
+use minilang::{compile_and_run, LangError, RuntimeError};
+
+/// Number of philosophers (and forks).
+pub const N: usize = 5;
+
+fn program(fixed: bool, rounds: usize) -> String {
+    // Philosopher i takes fork i then fork (i+1)%5. In the fixed version,
+    // philosopher 4 takes them in the opposite order, breaking the cycle.
+    let order = if fixed {
+        r#"
+    var first = id;
+    var second = (id + 1) % 5;
+    if (id == 4) {
+        // Philosopher 4 requests the forks in the other order.
+        first = 0;
+        second = 4;
+    }"#
+    } else {
+        r#"
+    var first = id;
+    var second = (id + 1) % 5;"#
+    };
+    format!(
+        r#"
+var forks;          // array of five binary semaphores
+var meals = 0;
+
+fn philosopher(id, rounds) {{
+    for (var r = 0; r < rounds; r = r + 1) {{
+        {order}
+        println("phil ", id, " requests fork ", first);
+        sem_wait(forks[first]);
+        println("phil ", id, " acquired fork ", first);
+        yield_now();    // widen the window for the cyclic hold-and-wait
+        yield_now();
+        yield_now();
+        println("phil ", id, " requests fork ", second);
+        sem_wait(forks[second]);
+        println("phil ", id, " acquired fork ", second);
+        // eat
+        atomic_add(meals, 1);
+        println("phil ", id, " releases fork ", second);
+        sem_post(forks[second]);
+        println("phil ", id, " releases fork ", first);
+        sem_post(forks[first]);
+    }}
+}}
+
+fn main() {{
+    forks = [semaphore(1), semaphore(1), semaphore(1), semaphore(1), semaphore(1)];
+    var ts = [0, 0, 0, 0, 0];
+    for (var i = 0; i < 5; i = i + 1) {{
+        ts[i] = spawn philosopher(i, {rounds});
+    }}
+    for (var i = 0; i < 5; i = i + 1) {{
+        join(ts[i]);
+    }}
+    println("all philosophers done, meals = ", meals);
+    return meals;
+}}
+"#
+    )
+}
+
+/// The deadlock-prone handout.
+pub fn naive_source(rounds: usize) -> String {
+    program(false, rounds)
+}
+
+/// The resource-ordering fix.
+pub fn ordered_source(rounds: usize) -> String {
+    program(true, rounds)
+}
+
+/// What one run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DinnerOutcome {
+    /// Everyone finished `rounds` meals; payload is total meals.
+    Completed(i64),
+    /// The VM detected the cyclic wait; payload is the blocked-thread report.
+    Deadlocked(Vec<String>),
+    /// Some other failure (should not happen).
+    Other(String),
+}
+
+/// Run a philosophers program under `seed`.
+pub fn dine(source: &str, seed: u64) -> DinnerOutcome {
+    match compile_and_run(source, seed) {
+        Ok(out) => match out.main_result {
+            minilang::Value::Int(v) => DinnerOutcome::Completed(v),
+            other => DinnerOutcome::Other(format!("unexpected result {other}")),
+        },
+        Err(LangError::Runtime(RuntimeError::Deadlock { blocked })) => DinnerOutcome::Deadlocked(blocked),
+        Err(e) => DinnerOutcome::Other(e.to_string()),
+    }
+}
+
+/// "Repeatedly run the program": fraction of `seeds` that deadlock.
+pub fn deadlock_rate(source: &str, seeds: std::ops::Range<u64>) -> f64 {
+    let total = seeds.end - seeds.start;
+    let deadlocks = seeds.filter(|&s| matches!(dine(source, s), DinnerOutcome::Deadlocked(_))).count();
+    deadlocks as f64 / total.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_version_deadlocks_often() {
+        let rate = deadlock_rate(&naive_source(20), 0..12);
+        assert!(rate >= 0.5, "deadlock rate only {rate}");
+    }
+
+    #[test]
+    fn ordered_version_never_deadlocks() {
+        let src = ordered_source(8);
+        for seed in 0..12 {
+            match dine(&src, seed) {
+                DinnerOutcome::Completed(meals) => assert_eq!(meals, 40, "seed {seed}"),
+                other => panic!("seed {seed}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deadlock_report_names_semaphores() {
+        let src = naive_source(10);
+        for seed in 0..20 {
+            if let DinnerOutcome::Deadlocked(blocked) = dine(&src, seed) {
+                assert!(blocked.iter().any(|b| b.contains("semaphore")), "{blocked:?}");
+                return;
+            }
+        }
+        panic!("no deadlock observed in 20 seeds");
+    }
+
+    #[test]
+    fn event_log_shows_request_allocation_release() {
+        // The lab asks for a message at every event.
+        let src = ordered_source(1);
+        let out = minilang::compile_and_run(&src, 3).unwrap();
+        for verb in ["requests", "acquired", "releases"] {
+            assert!(out.stdout.contains(verb), "missing `{verb}` events:\n{}", out.stdout);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Diagnostics for every stage of the minilang pipeline.
+//!
+//! All errors carry source positions (line/column, 1-based) so the portal
+//! can render compiler output the way gcc would have.
+
+use std::fmt;
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number, 1-based (0 = unknown).
+    pub line: u32,
+    /// Column number, 1-based (0 = unknown).
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the bad input starts.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where parsing failed.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Semantic / code-generation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Offending location (best effort).
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Runtime failures raised by the VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Wrong operand types for an operation.
+    TypeError {
+        /// What was attempted.
+        op: String,
+        /// What was found.
+        found: String,
+    },
+    /// Integer division or modulo by zero.
+    DivisionByZero,
+    /// Array index out of bounds.
+    IndexOutOfBounds {
+        /// Index requested.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// Every live thread is blocked: the classic deadlock.
+    Deadlock {
+        /// Human-readable wait-state of each blocked thread.
+        blocked: Vec<String>,
+    },
+    /// The instruction budget was exhausted (runaway program).
+    BudgetExhausted {
+        /// Instructions executed before the stop.
+        executed: u64,
+    },
+    /// Unlocking a mutex the thread does not hold.
+    NotLockOwner {
+        /// Mutex id.
+        mutex: usize,
+    },
+    /// Joining a thread id that was never spawned.
+    NoSuchThread(usize),
+    /// A host I/O operation failed (file missing, etc.).
+    Io(String),
+    /// `assert(...)` failed.
+    AssertionFailed,
+    /// Internal VM invariant violation — indicates a compiler bug.
+    Internal(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::TypeError { op, found } => write!(f, "type error: {op} on {found}"),
+            RuntimeError::DivisionByZero => f.write_str("division by zero"),
+            RuntimeError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds (len {len})")
+            }
+            RuntimeError::Deadlock { blocked } => {
+                write!(f, "deadlock: all threads blocked [{}]", blocked.join("; "))
+            }
+            RuntimeError::BudgetExhausted { executed } => {
+                write!(f, "instruction budget exhausted after {executed} instructions")
+            }
+            RuntimeError::NotLockOwner { mutex } => write!(f, "unlock of mutex {mutex} not held"),
+            RuntimeError::NoSuchThread(t) => write!(f, "join on unknown thread {t}"),
+            RuntimeError::Io(m) => write!(f, "io error: {m}"),
+            RuntimeError::AssertionFailed => f.write_str("assertion failed"),
+            RuntimeError::Internal(m) => write!(f, "internal VM error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Any stage's failure, for the one-call convenience APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexing failed.
+    Lex(LexError),
+    /// Parsing failed.
+    Parse(ParseError),
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Execution failed.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex(e) => e.fmt(f),
+            LangError::Parse(e) => e.fmt(f),
+            LangError::Compile(e) => e.fmt(f),
+            LangError::Runtime(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<LexError> for LangError {
+    fn from(e: LexError) -> Self {
+        LangError::Lex(e)
+    }
+}
+impl From<ParseError> for LangError {
+    fn from(e: ParseError) -> Self {
+        LangError::Parse(e)
+    }
+}
+impl From<CompileError> for LangError {
+    fn from(e: CompileError) -> Self {
+        LangError::Compile(e)
+    }
+}
+impl From<RuntimeError> for LangError {
+    fn from(e: RuntimeError) -> Self {
+        LangError::Runtime(e)
+    }
+}

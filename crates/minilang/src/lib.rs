@@ -1,0 +1,59 @@
+//! # minilang — the teaching language and virtual machine
+//!
+//! The portal's job is "limited platform processing, compilation and
+//! execution of C, C++, and Java source code" (§I). We cannot ship gcc and
+//! a JVM inside a Rust reproduction, so this crate supplies the equivalent
+//! substrate: a small imperative language with the exact concurrency
+//! surface the course labs need — threads, mutexes, semaphores, channels,
+//! test-and-set, atomic add — compiled to bytecode and executed by a
+//! preemptive green-thread VM with a *seeded, deterministic* scheduler.
+//!
+//! Determinism is the pedagogical win over a real JVM: a data race or a
+//! dining-philosophers deadlock found with seed 17 reproduces with seed 17,
+//! every time, so the autograder can assert "the buggy program loses
+//! updates" and "the fixed program never does".
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`compiler`] → [`vm`].
+//!
+//! ```
+//! use minilang::compile_and_run;
+//!
+//! let src = r#"
+//!     fn main() {
+//!         var i = 0;
+//!         while (i < 3) { println(i); i = i + 1; }
+//!     }
+//! "#;
+//! let out = compile_and_run(src, 0).unwrap();
+//! assert_eq!(out.stdout, "0\n1\n2\n");
+//! ```
+
+pub mod ast;
+pub mod bytecode;
+pub mod compiler;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+pub mod vm;
+
+pub use bytecode::Program;
+pub use error::{CompileError, LangError, LexError, ParseError, RuntimeError};
+pub use value::Value;
+pub use vm::{ExecOutcome, HostIo, MemoryIo, SchedPolicy, Vm, VmConfig};
+
+/// Compile `src` and run its `main` with the default configuration and the
+/// given scheduler seed. Convenience for tests, labs and the toolchain.
+pub fn compile(src: &str) -> Result<Program, LangError> {
+    let tokens = lexer::lex(src)?;
+    let ast = parser::parse(tokens)?;
+    let prog = compiler::compile(&ast)?;
+    Ok(prog)
+}
+
+/// Compile and execute in one step; `seed` drives preemption points.
+pub fn compile_and_run(src: &str, seed: u64) -> Result<ExecOutcome, LangError> {
+    let prog = compile(src)?;
+    let mut vm = Vm::new(prog, VmConfig { seed, ..VmConfig::default() });
+    Ok(vm.run()?)
+}

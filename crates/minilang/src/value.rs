@@ -1,0 +1,181 @@
+//! Runtime values.
+//!
+//! The VM runs all green threads on one OS thread, but compiled programs
+//! (and their constant pools) travel across OS threads — the portal stores
+//! them and bench harnesses fan them out — so shared structures use
+//! `Arc<Mutex<..>>`. Inside a VM run the locks are never contended. Handles
+//! (thread, mutex, semaphore, channel ids) are carried as dedicated
+//! variants to catch misuse (e.g. `lock()` on a number that is not a mutex).
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// A minilang runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Immutable string.
+    Str(Arc<String>),
+    /// Mutable shared array.
+    Array(Arc<Mutex<Vec<Value>>>),
+    /// Thread handle returned by `spawn`.
+    Thread(usize),
+    /// Mutex handle returned by `mutex()`.
+    Mutex(usize),
+    /// Semaphore handle returned by `semaphore(n)`.
+    Semaphore(usize),
+    /// Channel handle returned by `channel(cap)`.
+    Channel(usize),
+    /// Condition-variable handle returned by `condvar()`.
+    Cond(usize),
+    /// The unit value (statements, functions without return).
+    Unit,
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Arc::new(s.into()))
+    }
+
+    /// Build an array value.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value::Array(Arc::new(Mutex::new(items)))
+    }
+
+    /// Truthiness: `false`, `0`, and `unit` are falsy; everything else truthy.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Unit => false,
+            Value::Str(s) => !s.is_empty(),
+            Value::Array(a) => !a.lock().is_empty(),
+            Value::Thread(_) | Value::Mutex(_) | Value::Semaphore(_) | Value::Channel(_) | Value::Cond(_) => true,
+        }
+    }
+
+    /// Type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Thread(_) => "thread",
+            Value::Mutex(_) => "mutex",
+            Value::Semaphore(_) => "semaphore",
+            Value::Channel(_) => "channel",
+            Value::Cond(_) => "condvar",
+            Value::Unit => "unit",
+        }
+    }
+
+    /// Structural equality (used by `==`). Arrays compare element-wise.
+    pub fn eq_value(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Unit, Value::Unit) => true,
+            (Value::Thread(a), Value::Thread(b)) => a == b,
+            (Value::Mutex(a), Value::Mutex(b)) => a == b,
+            (Value::Semaphore(a), Value::Semaphore(b)) => a == b,
+            (Value::Channel(a), Value::Channel(b)) => a == b,
+            (Value::Cond(a), Value::Cond(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    return true;
+                }
+                let (a, b) = (a.lock(), b.lock());
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.eq_value(y))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality, identical to [`Value::eq_value`]. Arrays compare
+    /// element-wise (by reference first, as a fast path).
+    fn eq(&self, other: &Self) -> bool {
+        self.eq_value(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Array(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.lock().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Thread(t) => write!(f, "<thread {t}>"),
+            Value::Mutex(m) => write!(f, "<mutex {m}>"),
+            Value::Semaphore(s) => write!(f, "<semaphore {s}>"),
+            Value::Channel(c) => write!(f, "<channel {c}>"),
+            Value::Cond(c) => write!(f, "<condvar {c}>"),
+            Value::Unit => write!(f, "()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Unit.truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::array(vec![]).truthy());
+        assert!(Value::Thread(0).truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(Value::array(vec![Value::Int(1), Value::str("a")]).to_string(), "[1, a]");
+        assert_eq!(Value::Unit.to_string(), "()");
+    }
+
+    #[test]
+    fn equality_structural_and_by_ref() {
+        let a = Value::array(vec![Value::Int(1)]);
+        let b = Value::array(vec![Value::Int(1)]);
+        assert!(a.eq_value(&b));
+        assert!(a.eq_value(&a.clone()));
+        assert!(!Value::Int(1).eq_value(&Value::Bool(true)));
+        assert!(!Value::Mutex(0).eq_value(&Value::Semaphore(0)));
+    }
+
+    #[test]
+    fn array_shared_mutation_visible() {
+        let a = Value::array(vec![Value::Int(1)]);
+        let b = a.clone();
+        if let Value::Array(arr) = &a {
+            arr.lock().push(Value::Int(2));
+        }
+        if let Value::Array(arr) = &b {
+            assert_eq!(arr.lock().len(), 2);
+        }
+    }
+}

@@ -1,0 +1,1165 @@
+//! The virtual machine: preemptive green threads over bytecode.
+//!
+//! All scheduling decisions flow from one seeded RNG, so every execution —
+//! including every data race and every deadlock — replays exactly given the
+//! same program, config and seed. Preemption happens between instructions;
+//! a blocked operation (lock, sem_wait, send, recv, join) leaves the pc in
+//! place and re-executes when the thread is next scheduled, which models
+//! barging (unfair) synchronization like real futexes do.
+
+use crate::bytecode::{Builtin, FnId, Function, Instr, Program};
+use crate::error::RuntimeError;
+use crate::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// Host I/O hooks: `read_file` / `write_file` / `append_file` builtins land
+/// here, so the toolchain can wire the VM to the portal's [`vfs`]
+/// (or to nothing, in pure tests).
+pub trait HostIo {
+    /// Read a whole file as a string.
+    fn read_file(&mut self, path: &str) -> Result<String, String>;
+    /// Create/overwrite a file.
+    fn write_file(&mut self, path: &str, content: &str) -> Result<(), String>;
+    /// Append to a file (creating it if missing).
+    fn append_file(&mut self, path: &str, content: &str) -> Result<(), String>;
+}
+
+/// An in-memory [`HostIo`]: a map of path -> contents.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryIo {
+    /// Backing store, exposed for test setup and inspection.
+    pub files: HashMap<String, String>,
+}
+
+impl HostIo for MemoryIo {
+    fn read_file(&mut self, path: &str) -> Result<String, String> {
+        self.files.get(path).cloned().ok_or_else(|| format!("{path}: no such file"))
+    }
+
+    fn write_file(&mut self, path: &str, content: &str) -> Result<(), String> {
+        self.files.insert(path.to_string(), content.to_string());
+        Ok(())
+    }
+
+    fn append_file(&mut self, path: &str, content: &str) -> Result<(), String> {
+        self.files.entry(path.to_string()).or_default().push_str(content);
+        Ok(())
+    }
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Rotate through ready threads, fixed quantum. Reproducible and calm —
+    /// the mode for teaching "what should happen".
+    RoundRobin,
+    /// Pick a random ready thread with a random slice length each time.
+    /// The race-hunting mode: maximizes observed interleavings per seed.
+    RandomPreempt,
+}
+
+/// VM tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Seed for every scheduling (and `rand_int`) decision.
+    pub seed: u64,
+    /// Maximum instructions per scheduling slice.
+    pub quantum: u32,
+    /// Total instruction budget across all threads (runaway-loop guard).
+    pub max_instructions: u64,
+    /// Thread-selection policy.
+    pub policy: SchedPolicy,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig { seed: 0, quantum: 8, max_instructions: 10_000_000, policy: SchedPolicy::RandomPreempt }
+    }
+}
+
+/// What a completed execution produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Everything printed.
+    pub stdout: String,
+    /// `main`'s return value.
+    pub main_result: Value,
+    /// Total instructions executed.
+    pub executed: u64,
+    /// Number of scheduling slices (context switches).
+    pub context_switches: u64,
+    /// Peak number of live threads.
+    pub peak_threads: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ThreadState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedSem(usize),
+    BlockedSend(usize),
+    BlockedRecv(usize),
+    BlockedJoin(usize),
+    /// Parked on a condition variable; `woken` flips on notify, after which
+    /// the thread still needs the mutex back before it can resume.
+    BlockedCond {
+        cv: usize,
+        mutex: usize,
+        woken: bool,
+    },
+    Sleeping { until: u64 },
+    Finished,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: FnId,
+    pc: usize,
+    locals: Vec<Value>,
+}
+
+#[derive(Debug)]
+struct GreenThread {
+    frames: Vec<Frame>,
+    stack: Vec<Value>,
+    state: ThreadState,
+    result: Value,
+    /// Set when this thread was woken from a cond_wait and must complete
+    /// the re-acquire phase instead of re-running the wait from scratch.
+    cond_resume: Option<(usize, usize)>,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    locked_by: Option<usize>,
+}
+
+#[derive(Debug)]
+struct SemState {
+    count: i64,
+}
+
+#[derive(Debug)]
+struct ChanState {
+    cap: usize,
+    queue: VecDeque<Value>,
+}
+
+/// Condition variables carry no state of their own: waiters are found by
+/// scanning thread states (FIFO by thread id for notify).
+#[derive(Debug, Default)]
+struct CondState;
+
+enum Step {
+    /// Keep running this slice.
+    Continue,
+    /// The instruction could not complete; thread is now blocked, pc unchanged.
+    Blocked,
+    /// Thread finished (outer frame returned).
+    Finished,
+    /// Thread voluntarily ended its slice (yield/sleep).
+    EndSlice,
+}
+
+/// The virtual machine.
+pub struct Vm {
+    program: Program,
+    globals: Vec<Value>,
+    threads: Vec<GreenThread>,
+    mutexes: Vec<MutexState>,
+    sems: Vec<SemState>,
+    chans: Vec<ChanState>,
+    conds: Vec<CondState>,
+    stdout: String,
+    executed: u64,
+    context_switches: u64,
+    peak_threads: usize,
+    rng: StdRng,
+    config: VmConfig,
+    rr_cursor: usize,
+    io: Box<dyn HostIo>,
+    boot: FnId,
+    stdin: VecDeque<String>,
+}
+
+impl Vm {
+    /// Build a VM for `program` with an in-memory filesystem.
+    pub fn new(program: Program, config: VmConfig) -> Vm {
+        Vm::with_io(program, config, Box::new(MemoryIo::default()))
+    }
+
+    /// Build a VM with a caller-supplied I/O backend.
+    pub fn with_io(mut program: Program, config: VmConfig, io: Box<dyn HostIo>) -> Vm {
+        // Synthesize `__boot`: run __init, discard, run main, return its value.
+        let boot = program.functions.len();
+        program.functions.push(Function {
+            name: "__boot".into(),
+            arity: 0,
+            locals: 0,
+            code: vec![
+                Instr::Call { func: program.init, argc: 0 },
+                Instr::Pop,
+                Instr::Call { func: program.entry, argc: 0 },
+                Instr::Return,
+            ],
+        });
+        let globals = vec![Value::Int(0); program.global_names.len()];
+        let main_thread = GreenThread {
+            frames: vec![Frame { func: boot, pc: 0, locals: Vec::new() }],
+            stack: Vec::new(),
+            state: ThreadState::Runnable,
+            result: Value::Unit,
+            cond_resume: None,
+        };
+        Vm {
+            program,
+            globals,
+            threads: vec![main_thread],
+            mutexes: Vec::new(),
+            sems: Vec::new(),
+            chans: Vec::new(),
+            conds: Vec::new(),
+            stdout: String::new(),
+            executed: 0,
+            context_switches: 0,
+            peak_threads: 1,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            rr_cursor: 0,
+            io,
+            boot,
+            stdin: VecDeque::new(),
+        }
+    }
+
+    /// Queue a line for `read_line()` to consume.
+    pub fn push_stdin(&mut self, line: impl Into<String>) {
+        self.stdin.push_back(line.into());
+    }
+
+    /// Execute to completion.
+    pub fn run(&mut self) -> Result<ExecOutcome, RuntimeError> {
+        loop {
+            if self.threads.iter().all(|t| t.state == ThreadState::Finished) {
+                break;
+            }
+            let ready: Vec<usize> = (0..self.threads.len()).filter(|&t| self.is_ready(t)).collect();
+            if ready.is_empty() {
+                // Maybe everyone is asleep: jump the clock.
+                let min_wake = self
+                    .threads
+                    .iter()
+                    .filter_map(|t| match t.state {
+                        ThreadState::Sleeping { until } => Some(until),
+                        _ => None,
+                    })
+                    .min();
+                if let Some(until) = min_wake {
+                    self.executed = self.executed.max(until);
+                    continue;
+                }
+                // Not asleep, not ready, not finished: deadlock.
+                let blocked = self.describe_blocked();
+                return Err(RuntimeError::Deadlock { blocked });
+            }
+            let (tid, quantum) = match self.config.policy {
+                SchedPolicy::RoundRobin => {
+                    // Next ready thread at or after the cursor.
+                    let tid = *ready
+                        .iter()
+                        .find(|&&t| t >= self.rr_cursor)
+                        .unwrap_or(&ready[0]);
+                    self.rr_cursor = tid + 1;
+                    if self.rr_cursor >= self.threads.len() {
+                        self.rr_cursor = 0;
+                    }
+                    (tid, self.config.quantum.max(1))
+                }
+                SchedPolicy::RandomPreempt => {
+                    let tid = ready[self.rng.gen_range(0..ready.len())];
+                    let q = self.rng.gen_range(1..=self.config.quantum.max(1));
+                    (tid, q)
+                }
+            };
+            self.context_switches += 1;
+            self.run_slice(tid, quantum)?;
+        }
+        Ok(ExecOutcome {
+            stdout: std::mem::take(&mut self.stdout),
+            main_result: self.threads[0].result.clone(),
+            executed: self.executed,
+            context_switches: self.context_switches,
+            peak_threads: self.peak_threads,
+        })
+    }
+
+    fn is_ready(&self, tid: usize) -> bool {
+        match self.threads[tid].state {
+            ThreadState::Runnable => true,
+            ThreadState::Finished => false,
+            ThreadState::Sleeping { until } => until <= self.executed,
+            ThreadState::BlockedMutex(m) => self.mutexes[m].locked_by.is_none(),
+            ThreadState::BlockedSem(s) => self.sems[s].count > 0,
+            ThreadState::BlockedSend(c) => self.chans[c].queue.len() < self.chans[c].cap,
+            ThreadState::BlockedRecv(c) => !self.chans[c].queue.is_empty(),
+            ThreadState::BlockedJoin(u) => {
+                self.threads.get(u).map(|t| t.state == ThreadState::Finished).unwrap_or(true)
+            }
+            ThreadState::BlockedCond { mutex, woken, .. } => {
+                woken && self.mutexes[mutex].locked_by.is_none()
+            }
+        }
+    }
+
+    fn describe_blocked(&self) -> Vec<String> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                let what = match t.state {
+                    ThreadState::BlockedMutex(m) => format!("mutex {m}"),
+                    ThreadState::BlockedSem(s) => format!("semaphore {s}"),
+                    ThreadState::BlockedSend(c) => format!("send on channel {c}"),
+                    ThreadState::BlockedRecv(c) => format!("recv on channel {c}"),
+                    ThreadState::BlockedJoin(u) => format!("join on thread {u}"),
+                    ThreadState::BlockedCond { cv, woken: false, .. } => format!("condvar {cv}"),
+                    ThreadState::BlockedCond { mutex, woken: true, .. } => {
+                        format!("mutex {mutex} (condvar re-acquire)")
+                    }
+                    _ => return None,
+                };
+                Some(format!("thread {i} waiting on {what}"))
+            })
+            .collect()
+    }
+
+    fn run_slice(&mut self, tid: usize, quantum: u32) -> Result<(), RuntimeError> {
+        // A woken cond-waiter completes the re-acquire phase rather than
+        // re-running the wait from scratch.
+        if let ThreadState::BlockedCond { cv, mutex, woken: true } = self.threads[tid].state {
+            self.threads[tid].cond_resume = Some((cv, mutex));
+        }
+        // A blocked thread that got scheduled retries its instruction.
+        self.threads[tid].state = ThreadState::Runnable;
+        for _ in 0..quantum {
+            if self.executed >= self.config.max_instructions {
+                return Err(RuntimeError::BudgetExhausted { executed: self.executed });
+            }
+            match self.step(tid)? {
+                Step::Continue => {}
+                Step::Blocked | Step::Finished | Step::EndSlice => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one instruction of thread `tid`.
+    fn step(&mut self, tid: usize) -> Result<Step, RuntimeError> {
+        let (func, pc) = {
+            let f = self.threads[tid].frames.last().ok_or_else(|| {
+                RuntimeError::Internal("thread has no frames".into())
+            })?;
+            (f.func, f.pc)
+        };
+        let instr = self.program.functions[func]
+            .code
+            .get(pc)
+            .cloned()
+            .ok_or_else(|| RuntimeError::Internal(format!("pc {pc} out of range in {func}")))?;
+        self.executed += 1;
+
+        macro_rules! frame {
+            () => {
+                self.threads[tid].frames.last_mut().expect("frame checked")
+            };
+        }
+        macro_rules! push {
+            ($v:expr) => {
+                self.threads[tid].stack.push($v)
+            };
+        }
+        macro_rules! pop {
+            () => {
+                self.threads[tid]
+                    .stack
+                    .pop()
+                    .ok_or_else(|| RuntimeError::Internal("stack underflow".into()))?
+            };
+        }
+
+        match instr {
+            Instr::Const(i) => {
+                let v = self.program.consts[i].clone();
+                push!(v);
+            }
+            Instr::LoadLocal(i) => {
+                let v = frame!().locals[i].clone();
+                push!(v);
+            }
+            Instr::StoreLocal(i) => {
+                let v = pop!();
+                let f = frame!();
+                if f.locals.len() <= i {
+                    f.locals.resize(i + 1, Value::Int(0));
+                }
+                f.locals[i] = v;
+            }
+            Instr::LoadGlobal(i) => {
+                let v = self.globals[i].clone();
+                push!(v);
+            }
+            Instr::StoreGlobal(i) => {
+                let v = pop!();
+                self.globals[i] = v;
+            }
+            Instr::Add => {
+                let b = pop!();
+                let a = pop!();
+                let r = self.arith_add(a, b)?;
+                push!(r);
+            }
+            Instr::Sub => {
+                let b = pop!();
+                let a = pop!();
+                let (x, y) = int_pair(a, b, "-")?;
+                push!(Value::Int(x.wrapping_sub(y)));
+            }
+            Instr::Mul => {
+                let b = pop!();
+                let a = pop!();
+                let (x, y) = int_pair(a, b, "*")?;
+                push!(Value::Int(x.wrapping_mul(y)));
+            }
+            Instr::Div => {
+                let b = pop!();
+                let a = pop!();
+                let (x, y) = int_pair(a, b, "/")?;
+                if y == 0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                push!(Value::Int(x.wrapping_div(y)));
+            }
+            Instr::Mod => {
+                let b = pop!();
+                let a = pop!();
+                let (x, y) = int_pair(a, b, "%")?;
+                if y == 0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                push!(Value::Int(x.wrapping_rem(y)));
+            }
+            Instr::Neg => {
+                let a = pop!();
+                match a {
+                    Value::Int(v) => push!(Value::Int(v.wrapping_neg())),
+                    other => {
+                        return Err(RuntimeError::TypeError { op: "-".into(), found: other.type_name().into() })
+                    }
+                }
+            }
+            Instr::Not => {
+                let a = pop!();
+                push!(Value::Bool(!a.truthy()));
+            }
+            Instr::CmpEq => {
+                let b = pop!();
+                let a = pop!();
+                push!(Value::Bool(a.eq_value(&b)));
+            }
+            Instr::CmpNe => {
+                let b = pop!();
+                let a = pop!();
+                push!(Value::Bool(!a.eq_value(&b)));
+            }
+            Instr::CmpLt | Instr::CmpLe | Instr::CmpGt | Instr::CmpGe => {
+                let b = pop!();
+                let a = pop!();
+                let ord = compare(&a, &b)?;
+                let r = match instr {
+                    Instr::CmpLt => ord.is_lt(),
+                    Instr::CmpLe => ord.is_le(),
+                    Instr::CmpGt => ord.is_gt(),
+                    _ => ord.is_ge(),
+                };
+                push!(Value::Bool(r));
+            }
+            Instr::Jump(t) => {
+                frame!().pc = t;
+                return Ok(Step::Continue);
+            }
+            Instr::JumpIfFalse(t) => {
+                let v = pop!();
+                if !v.truthy() {
+                    frame!().pc = t;
+                    return Ok(Step::Continue);
+                }
+            }
+            Instr::JumpIfTrue(t) => {
+                let v = pop!();
+                if v.truthy() {
+                    frame!().pc = t;
+                    return Ok(Step::Continue);
+                }
+            }
+            Instr::Dup => {
+                let v = self.threads[tid]
+                    .stack
+                    .last()
+                    .cloned()
+                    .ok_or_else(|| RuntimeError::Internal("dup on empty stack".into()))?;
+                push!(v);
+            }
+            Instr::Pop => {
+                let _ = pop!();
+            }
+            Instr::MakeArray(n) => {
+                let len = self.threads[tid].stack.len();
+                if len < n {
+                    return Err(RuntimeError::Internal("stack underflow in MakeArray".into()));
+                }
+                let items = self.threads[tid].stack.split_off(len - n);
+                push!(Value::array(items));
+            }
+            Instr::IndexGet => {
+                let idx = pop!();
+                let arr = pop!();
+                push!(index_get(&arr, &idx)?);
+            }
+            Instr::IndexSet => {
+                let v = pop!();
+                let idx = pop!();
+                let arr = pop!();
+                index_set(&arr, &idx, v)?;
+            }
+            Instr::Call { func: callee, argc } => {
+                let f = &self.program.functions[callee];
+                debug_assert_eq!(f.arity, argc, "compiler enforces arity");
+                let locals_len = f.locals.max(argc);
+                let mut locals = vec![Value::Int(0); locals_len];
+                for i in (0..argc).rev() {
+                    locals[i] = pop!();
+                }
+                frame!().pc = pc + 1;
+                self.threads[tid].frames.push(Frame { func: callee, pc: 0, locals });
+                return Ok(Step::Continue);
+            }
+            Instr::Spawn { func: callee, argc } => {
+                let f = &self.program.functions[callee];
+                let locals_len = f.locals.max(argc);
+                let mut locals = vec![Value::Int(0); locals_len];
+                for i in (0..argc).rev() {
+                    locals[i] = pop!();
+                }
+                let new_tid = self.threads.len();
+                self.threads.push(GreenThread {
+                    frames: vec![Frame { func: callee, pc: 0, locals }],
+                    stack: Vec::new(),
+                    state: ThreadState::Runnable,
+                    result: Value::Unit,
+                    cond_resume: None,
+                });
+                self.peak_threads = self.peak_threads.max(self.live_count());
+                push!(Value::Thread(new_tid));
+            }
+            Instr::Return => {
+                let ret = pop!();
+                self.threads[tid].frames.pop();
+                if self.threads[tid].frames.is_empty() {
+                    self.threads[tid].result = ret;
+                    self.threads[tid].state = ThreadState::Finished;
+                    return Ok(Step::Finished);
+                }
+                push!(ret);
+                return Ok(Step::Continue);
+            }
+            Instr::Tas(slot) => {
+                let old = match &self.globals[slot] {
+                    Value::Int(v) => *v,
+                    other => {
+                        return Err(RuntimeError::TypeError { op: "tas".into(), found: other.type_name().into() })
+                    }
+                };
+                self.globals[slot] = Value::Int(1);
+                push!(Value::Int(old));
+            }
+            Instr::AtomicAdd(slot) => {
+                let delta = match pop!() {
+                    Value::Int(v) => v,
+                    other => {
+                        return Err(RuntimeError::TypeError {
+                            op: "atomic_add".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                };
+                let old = match &self.globals[slot] {
+                    Value::Int(v) => *v,
+                    other => {
+                        return Err(RuntimeError::TypeError {
+                            op: "atomic_add".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                };
+                self.globals[slot] = Value::Int(old.wrapping_add(delta));
+                push!(Value::Int(old));
+            }
+            Instr::CallBuiltin { builtin, argc } => {
+                return self.builtin(tid, builtin, argc, pc);
+            }
+        }
+        frame!().pc = pc + 1;
+        Ok(Step::Continue)
+    }
+
+    fn live_count(&self) -> usize {
+        self.threads.iter().filter(|t| t.state != ThreadState::Finished).count()
+    }
+
+    fn arith_add(&mut self, a: Value, b: Value) -> Result<Value, RuntimeError> {
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(y))),
+            // `+` concatenates when either side is a string (Java-style).
+            (Value::Str(x), y) => Ok(Value::str(format!("{x}{y}"))),
+            (x, Value::Str(y)) => Ok(Value::str(format!("{x}{y}"))),
+            (x, y) => Err(RuntimeError::TypeError {
+                op: "+".into(),
+                found: format!("{} and {}", x.type_name(), y.type_name()),
+            }),
+        }
+    }
+
+    /// Execute one builtin. Blocking builtins may return [`Step::Blocked`]
+    /// *without* advancing the pc (retry semantics).
+    fn builtin(&mut self, tid: usize, b: Builtin, argc: usize, pc: usize) -> Result<Step, RuntimeError> {
+        macro_rules! push {
+            ($v:expr) => {
+                self.threads[tid].stack.push($v)
+            };
+        }
+        macro_rules! pop {
+            () => {
+                self.threads[tid]
+                    .stack
+                    .pop()
+                    .ok_or_else(|| RuntimeError::Internal("stack underflow".into()))?
+            };
+        }
+        macro_rules! advance {
+            () => {
+                self.threads[tid].frames.last_mut().expect("frame").pc = pc + 1
+            };
+        }
+
+        match b {
+            Builtin::Print | Builtin::Println => {
+                let len = self.threads[tid].stack.len();
+                let args = self.threads[tid].stack.split_off(len - argc);
+                for a in &args {
+                    self.stdout.push_str(&a.to_string());
+                }
+                if b == Builtin::Println {
+                    self.stdout.push('\n');
+                }
+                push!(Value::Unit);
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::Len => {
+                let v = pop!();
+                let n = match &v {
+                    Value::Array(a) => a.lock().len() as i64,
+                    Value::Str(s) => s.len() as i64,
+                    other => {
+                        return Err(RuntimeError::TypeError { op: "len".into(), found: other.type_name().into() })
+                    }
+                };
+                push!(Value::Int(n));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::Push => {
+                let v = pop!();
+                let arr = pop!();
+                match &arr {
+                    Value::Array(a) => a.lock().push(v),
+                    other => {
+                        return Err(RuntimeError::TypeError { op: "push".into(), found: other.type_name().into() })
+                    }
+                }
+                push!(Value::Unit);
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::ToStr => {
+                let v = pop!();
+                push!(Value::str(v.to_string()));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::MutexNew => {
+                let id = self.mutexes.len();
+                self.mutexes.push(MutexState::default());
+                push!(Value::Mutex(id));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::Lock => {
+                let m = as_mutex(self.threads[tid].stack.last(), "lock")?;
+                match self.mutexes[m].locked_by {
+                    None => {
+                        self.mutexes[m].locked_by = Some(tid);
+                        let _ = pop!();
+                        push!(Value::Unit);
+                        advance!();
+                        Ok(Step::Continue)
+                    }
+                    Some(_) => {
+                        // Includes self-lock: a thread that locks a mutex it
+                        // already holds deadlocks, as with a non-recursive
+                        // pthread mutex.
+                        self.threads[tid].state = ThreadState::BlockedMutex(m);
+                        self.executed -= 1; // retried instruction doesn't consume budget twice
+                        Ok(Step::Blocked)
+                    }
+                }
+            }
+            Builtin::Unlock => {
+                let m = as_mutex(self.threads[tid].stack.last(), "unlock")?;
+                if self.mutexes[m].locked_by != Some(tid) {
+                    return Err(RuntimeError::NotLockOwner { mutex: m });
+                }
+                self.mutexes[m].locked_by = None;
+                let _ = pop!();
+                push!(Value::Unit);
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::SemNew => {
+                let n = match pop!() {
+                    Value::Int(v) => v,
+                    other => {
+                        return Err(RuntimeError::TypeError {
+                            op: "semaphore".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                };
+                let id = self.sems.len();
+                self.sems.push(SemState { count: n.max(0) });
+                push!(Value::Semaphore(id));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::SemWait => {
+                let s = as_sem(self.threads[tid].stack.last(), "sem_wait")?;
+                if self.sems[s].count > 0 {
+                    self.sems[s].count -= 1;
+                    let _ = pop!();
+                    push!(Value::Unit);
+                    advance!();
+                    Ok(Step::Continue)
+                } else {
+                    self.threads[tid].state = ThreadState::BlockedSem(s);
+                    self.executed -= 1;
+                    Ok(Step::Blocked)
+                }
+            }
+            Builtin::SemPost => {
+                let s = as_sem(self.threads[tid].stack.last(), "sem_post")?;
+                self.sems[s].count += 1;
+                let _ = pop!();
+                push!(Value::Unit);
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::ChanNew => {
+                let cap = match pop!() {
+                    Value::Int(v) => v.max(1) as usize,
+                    other => {
+                        return Err(RuntimeError::TypeError {
+                            op: "channel".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                };
+                let id = self.chans.len();
+                self.chans.push(ChanState { cap, queue: VecDeque::new() });
+                push!(Value::Channel(id));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::Send => {
+                // Stack: [chan, value]; peek both without popping until we
+                // know the send can complete.
+                let len = self.threads[tid].stack.len();
+                if len < 2 {
+                    return Err(RuntimeError::Internal("send needs chan and value".into()));
+                }
+                let c = as_chan(self.threads[tid].stack.get(len - 2), "send")?;
+                if self.chans[c].queue.len() < self.chans[c].cap {
+                    let v = pop!();
+                    let _ = pop!();
+                    self.chans[c].queue.push_back(v);
+                    push!(Value::Unit);
+                    advance!();
+                    Ok(Step::Continue)
+                } else {
+                    self.threads[tid].state = ThreadState::BlockedSend(c);
+                    self.executed -= 1;
+                    Ok(Step::Blocked)
+                }
+            }
+            Builtin::Recv => {
+                let c = as_chan(self.threads[tid].stack.last(), "recv")?;
+                if let Some(v) = self.chans[c].queue.pop_front() {
+                    let _ = pop!();
+                    push!(v);
+                    advance!();
+                    Ok(Step::Continue)
+                } else {
+                    self.threads[tid].state = ThreadState::BlockedRecv(c);
+                    self.executed -= 1;
+                    Ok(Step::Blocked)
+                }
+            }
+            Builtin::Join => {
+                let u = match self.threads[tid].stack.last() {
+                    Some(Value::Thread(u)) => *u,
+                    Some(other) => {
+                        return Err(RuntimeError::TypeError { op: "join".into(), found: other.type_name().into() })
+                    }
+                    None => return Err(RuntimeError::Internal("join with empty stack".into())),
+                };
+                if u >= self.threads.len() {
+                    return Err(RuntimeError::NoSuchThread(u));
+                }
+                if self.threads[u].state == ThreadState::Finished {
+                    let _ = pop!();
+                    let r = self.threads[u].result.clone();
+                    push!(r);
+                    advance!();
+                    Ok(Step::Continue)
+                } else {
+                    self.threads[tid].state = ThreadState::BlockedJoin(u);
+                    self.executed -= 1;
+                    Ok(Step::Blocked)
+                }
+            }
+            Builtin::YieldNow => {
+                push!(Value::Unit);
+                advance!();
+                Ok(Step::EndSlice)
+            }
+            Builtin::Sleep => {
+                let n = match pop!() {
+                    Value::Int(v) => v.max(0) as u64,
+                    other => {
+                        return Err(RuntimeError::TypeError { op: "sleep".into(), found: other.type_name().into() })
+                    }
+                };
+                push!(Value::Unit);
+                advance!();
+                self.threads[tid].state = ThreadState::Sleeping { until: self.executed + n };
+                Ok(Step::EndSlice)
+            }
+            Builtin::ThreadId => {
+                push!(Value::Int(tid as i64));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::RandInt => {
+                let hi = match pop!() {
+                    Value::Int(v) => v,
+                    other => {
+                        return Err(RuntimeError::TypeError {
+                            op: "rand_int".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                };
+                let lo = match pop!() {
+                    Value::Int(v) => v,
+                    other => {
+                        return Err(RuntimeError::TypeError {
+                            op: "rand_int".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                };
+                let v = if lo >= hi { lo } else { self.rng.gen_range(lo..=hi) };
+                push!(Value::Int(v));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::ReadFile => {
+                let path = as_str(pop!(), "read_file")?;
+                let content = self.io.read_file(&path).map_err(RuntimeError::Io)?;
+                push!(Value::str(content));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::WriteFile => {
+                let content = as_str(pop!(), "write_file")?;
+                let path = as_str(pop!(), "write_file")?;
+                self.io.write_file(&path, &content).map_err(RuntimeError::Io)?;
+                push!(Value::Unit);
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::AppendFile => {
+                let content = as_str(pop!(), "append_file")?;
+                let path = as_str(pop!(), "append_file")?;
+                self.io.append_file(&path, &content).map_err(RuntimeError::Io)?;
+                push!(Value::Unit);
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::Now => {
+                push!(Value::Int(self.executed as i64));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::ReadLine => {
+                let line = self.stdin.pop_front().unwrap_or_default();
+                push!(Value::str(line));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::ParseInt => {
+                let s = as_str(pop!(), "parse_int")?;
+                let v: i64 = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| RuntimeError::TypeError { op: "parse_int".into(), found: format!("{s:?}") })?;
+                push!(Value::Int(v));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::Substr => {
+                let len = match pop!() {
+                    Value::Int(v) => v,
+                    other => {
+                        return Err(RuntimeError::TypeError { op: "substr".into(), found: other.type_name().into() })
+                    }
+                };
+                let start = match pop!() {
+                    Value::Int(v) => v,
+                    other => {
+                        return Err(RuntimeError::TypeError { op: "substr".into(), found: other.type_name().into() })
+                    }
+                };
+                let s = as_str(pop!(), "substr")?;
+                let start = start.clamp(0, s.len() as i64) as usize;
+                let end = (start + len.max(0) as usize).min(s.len());
+                push!(Value::str(s[start..end].to_string()));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::Assert => {
+                let cond = pop!();
+                if !cond.truthy() {
+                    return Err(RuntimeError::AssertionFailed);
+                }
+                push!(Value::Unit);
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::CondNew => {
+                let id = self.conds.len();
+                self.conds.push(CondState);
+                push!(Value::Cond(id));
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::CondWait => {
+                // Stack: [cv, m]. Two phases; `cond_resume` marks phase two.
+                let len = self.threads[tid].stack.len();
+                if len < 2 {
+                    return Err(RuntimeError::Internal("cond_wait needs cv and mutex".into()));
+                }
+                let m = as_mutex(self.threads[tid].stack.last(), "cond_wait")?;
+                let cv = match self.threads[tid].stack.get(len - 2) {
+                    Some(Value::Cond(c)) => *c,
+                    Some(other) => {
+                        return Err(RuntimeError::TypeError {
+                            op: "cond_wait".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                    None => return Err(RuntimeError::Internal("cond_wait stack".into())),
+                };
+                if let Some((rcv, rm)) = self.threads[tid].cond_resume {
+                    debug_assert_eq!((rcv, rm), (cv, m), "resume matches the waited pair");
+                    // Phase two: take the mutex back (it is free, is_ready
+                    // guaranteed it; but another thread may have barged in
+                    // this same slice).
+                    if self.mutexes[m].locked_by.is_none() {
+                        self.mutexes[m].locked_by = Some(tid);
+                        self.threads[tid].cond_resume = None;
+                        let _ = pop!();
+                        let _ = pop!();
+                        push!(Value::Unit);
+                        advance!();
+                        Ok(Step::Continue)
+                    } else {
+                        self.threads[tid].state =
+                            ThreadState::BlockedCond { cv, mutex: m, woken: true };
+                        self.executed -= 1;
+                        Ok(Step::Blocked)
+                    }
+                } else {
+                    // Phase one: caller must hold the mutex; release it and park.
+                    if self.mutexes[m].locked_by != Some(tid) {
+                        return Err(RuntimeError::NotLockOwner { mutex: m });
+                    }
+                    self.mutexes[m].locked_by = None;
+                    self.threads[tid].state = ThreadState::BlockedCond { cv, mutex: m, woken: false };
+                    self.executed -= 1;
+                    Ok(Step::Blocked)
+                }
+            }
+            Builtin::CondNotify | Builtin::CondBroadcast => {
+                let cv = match self.threads[tid].stack.last() {
+                    Some(Value::Cond(c)) => *c,
+                    Some(other) => {
+                        return Err(RuntimeError::TypeError {
+                            op: "cond_notify".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                    None => return Err(RuntimeError::Internal("cond_notify stack".into())),
+                };
+                let broadcast = b == Builtin::CondBroadcast;
+                for t in 0..self.threads.len() {
+                    if let ThreadState::BlockedCond { cv: tcv, woken: false, mutex } = self.threads[t].state {
+                        if tcv == cv {
+                            self.threads[t].state =
+                                ThreadState::BlockedCond { cv: tcv, mutex, woken: true };
+                            if !broadcast {
+                                break;
+                            }
+                        }
+                    }
+                }
+                let _ = pop!();
+                push!(Value::Unit);
+                advance!();
+                Ok(Step::Continue)
+            }
+            Builtin::Tas | Builtin::AtomicAdd => {
+                Err(RuntimeError::Internal("atomics must lower to dedicated instructions".into()))
+            }
+        }
+    }
+
+    /// Snapshot a global by name after a run (autograders use this).
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        let slot = self.program.find_global(name)?;
+        self.globals.get(slot)
+    }
+
+    /// The synthesized boot function id (exposed for tests).
+    pub fn boot_fn(&self) -> FnId {
+        self.boot
+    }
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+fn int_pair(a: Value, b: Value, op: &str) -> Result<(i64, i64), RuntimeError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok((x, y)),
+        (x, y) => Err(RuntimeError::TypeError {
+            op: op.into(),
+            found: format!("{} and {}", x.type_name(), y.type_name()),
+        }),
+    }
+}
+
+fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering, RuntimeError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
+        (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
+        (Value::Bool(x), Value::Bool(y)) => Ok(x.cmp(y)),
+        (x, y) => Err(RuntimeError::TypeError {
+            op: "comparison".into(),
+            found: format!("{} and {}", x.type_name(), y.type_name()),
+        }),
+    }
+}
+
+fn index_get(arr: &Value, idx: &Value) -> Result<Value, RuntimeError> {
+    let i = match idx {
+        Value::Int(v) => *v,
+        other => return Err(RuntimeError::TypeError { op: "index".into(), found: other.type_name().into() }),
+    };
+    match arr {
+        Value::Array(a) => {
+            let a = a.lock();
+            if i < 0 || i as usize >= a.len() {
+                return Err(RuntimeError::IndexOutOfBounds { index: i, len: a.len() });
+            }
+            Ok(a[i as usize].clone())
+        }
+        Value::Str(s) => {
+            if i < 0 || i as usize >= s.len() {
+                return Err(RuntimeError::IndexOutOfBounds { index: i, len: s.len() });
+            }
+            Ok(Value::str(s[i as usize..i as usize + 1].to_string()))
+        }
+        other => Err(RuntimeError::TypeError { op: "index".into(), found: other.type_name().into() }),
+    }
+}
+
+fn index_set(arr: &Value, idx: &Value, v: Value) -> Result<(), RuntimeError> {
+    let i = match idx {
+        Value::Int(x) => *x,
+        other => return Err(RuntimeError::TypeError { op: "index".into(), found: other.type_name().into() }),
+    };
+    match arr {
+        Value::Array(a) => {
+            let mut a = a.lock();
+            let len = a.len();
+            if i < 0 || i as usize >= len {
+                return Err(RuntimeError::IndexOutOfBounds { index: i, len });
+            }
+            a[i as usize] = v;
+            Ok(())
+        }
+        other => Err(RuntimeError::TypeError { op: "index assignment".into(), found: other.type_name().into() }),
+    }
+}
+
+fn as_mutex(v: Option<&Value>, op: &str) -> Result<usize, RuntimeError> {
+    match v {
+        Some(Value::Mutex(m)) => Ok(*m),
+        Some(other) => Err(RuntimeError::TypeError { op: op.into(), found: other.type_name().into() }),
+        None => Err(RuntimeError::Internal(format!("{op} with empty stack"))),
+    }
+}
+
+fn as_sem(v: Option<&Value>, op: &str) -> Result<usize, RuntimeError> {
+    match v {
+        Some(Value::Semaphore(s)) => Ok(*s),
+        Some(other) => Err(RuntimeError::TypeError { op: op.into(), found: other.type_name().into() }),
+        None => Err(RuntimeError::Internal(format!("{op} with empty stack"))),
+    }
+}
+
+fn as_chan(v: Option<&Value>, op: &str) -> Result<usize, RuntimeError> {
+    match v {
+        Some(Value::Channel(c)) => Ok(*c),
+        Some(other) => Err(RuntimeError::TypeError { op: op.into(), found: other.type_name().into() }),
+        None => Err(RuntimeError::Internal(format!("{op} with empty stack"))),
+    }
+}
+
+fn as_str(v: Value, op: &str) -> Result<String, RuntimeError> {
+    match v {
+        Value::Str(s) => Ok(s.as_ref().clone()),
+        other => Err(RuntimeError::TypeError { op: op.into(), found: other.type_name().into() }),
+    }
+}

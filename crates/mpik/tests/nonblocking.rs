@@ -1,0 +1,63 @@
+//! Nonblocking point-to-point: overlap of communication and computation.
+
+use mpik::{Tag, World};
+use simnet::{LinkProfile, Topology};
+
+#[test]
+fn irecv_test_wait_roundtrip() {
+    let w = World::new(2, Topology::ring(2), LinkProfile::new(100, 1 << 30));
+    let out = w
+        .run(|p| {
+            if p.rank() == 0 {
+                // Compute "while" the message is in flight, then send.
+                p.compute(5_000);
+                p.isend(1, Tag(9), vec![42]).unwrap();
+                0u8
+            } else {
+                let req = p.irecv(0, Tag(9)).unwrap();
+                // Poll a few times (may legitimately be None early).
+                let mut polls = 0;
+                let msg = loop {
+                    if let Some(m) = p.test(&req).unwrap() {
+                        break m;
+                    }
+                    polls += 1;
+                    if polls > 3 {
+                        break p.wait(req).unwrap();
+                    }
+                    std::thread::yield_now();
+                };
+                msg.data[0]
+            }
+        })
+        .unwrap();
+    assert_eq!(out[1], 42);
+}
+
+#[test]
+fn overlapping_requests_match_by_tag() {
+    let w = World::new(2, Topology::ring(2), LinkProfile::new(1, 1 << 30));
+    let out = w
+        .run(|p| {
+            if p.rank() == 0 {
+                p.isend(1, Tag(2), vec![2]).unwrap();
+                p.isend(1, Tag(1), vec![1]).unwrap();
+                0
+            } else {
+                let r1 = p.irecv(0, Tag(1)).unwrap();
+                let r2 = p.irecv(0, Tag(2)).unwrap();
+                let m1 = p.wait(r1).unwrap();
+                let m2 = p.wait(r2).unwrap();
+                (m1.data[0] as i32) * 10 + m2.data[0] as i32
+            }
+        })
+        .unwrap();
+    assert_eq!(out[1], 12);
+}
+
+#[test]
+fn irecv_bad_rank_rejected() {
+    let w = World::new(2, Topology::ring(2), LinkProfile::new(1, 1 << 30));
+    let out = w.run(|p| p.irecv(5, Tag(0)).is_err()).unwrap();
+    assert!(out.iter().all(|&e| e));
+}

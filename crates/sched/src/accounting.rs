@@ -1,0 +1,87 @@
+//! Per-user usage accounting: who consumed what, for fair-share reporting.
+
+use std::collections::BTreeMap;
+
+/// One user's accumulated usage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UserUsage {
+    /// Completed jobs.
+    pub jobs_completed: u64,
+    /// Core-ticks consumed (cores x runtime).
+    pub core_ticks: u64,
+    /// Total queue-wait ticks across completed jobs.
+    pub wait_ticks: u64,
+}
+
+/// The accounting ledger.
+#[derive(Debug, Default)]
+pub struct Accounting {
+    users: BTreeMap<String, UserUsage>,
+}
+
+impl Accounting {
+    /// An empty ledger.
+    pub fn new() -> Accounting {
+        Accounting::default()
+    }
+
+    /// Record one completed job.
+    pub fn record(&mut self, user: &str, core_ticks: u64, wait_ticks: u64) {
+        let u = self.users.entry(user.to_string()).or_default();
+        u.jobs_completed += 1;
+        u.core_ticks += core_ticks;
+        u.wait_ticks += wait_ticks;
+    }
+
+    /// Usage for one user.
+    pub fn usage(&self, user: &str) -> Option<&UserUsage> {
+        self.users.get(user)
+    }
+
+    /// All users' usage, name-ordered.
+    pub fn all(&self) -> impl Iterator<Item = (&str, &UserUsage)> {
+        self.users.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total core-ticks across users.
+    pub fn total_core_ticks(&self) -> u64 {
+        self.users.values().map(|u| u.core_ticks).sum()
+    }
+
+    /// A user's share of total consumption, in `[0, 1]`.
+    pub fn share(&self, user: &str) -> f64 {
+        let total = self.total_core_ticks();
+        if total == 0 {
+            return 0.0;
+        }
+        self.usage(user).map(|u| u.core_ticks as f64 / total as f64).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut a = Accounting::new();
+        a.record("alice", 100, 5);
+        a.record("alice", 50, 0);
+        a.record("bob", 50, 10);
+        let alice = a.usage("alice").unwrap();
+        assert_eq!(alice.jobs_completed, 2);
+        assert_eq!(alice.core_ticks, 150);
+        assert_eq!(alice.wait_ticks, 5);
+        assert_eq!(a.total_core_ticks(), 200);
+        assert!((a.share("alice") - 0.75).abs() < 1e-12);
+        assert_eq!(a.share("nobody"), 0.0);
+        assert_eq!(a.all().count(), 2);
+    }
+
+    #[test]
+    fn empty_ledger_shares_zero() {
+        let a = Accounting::new();
+        assert_eq!(a.share("x"), 0.0);
+        assert!(a.usage("x").is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! Job specifications, lifecycle and stdio streams.
+
+use cluster::Allocation;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Unique job identifier (monotonic per scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// What kind of execution the job needs — the portal's distinction between
+/// "sequential or parallel in nature" (§II), plus interactive jobs whose
+/// stdin the web UI can feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// One core on one node.
+    Sequential,
+    /// `cores` cores, possibly spanning nodes (an MPI-style job).
+    Parallel {
+        /// Total cores requested.
+        cores: u32,
+    },
+    /// Sequential, but stays attached for stdin/stdout streaming.
+    Interactive,
+}
+
+/// A job submission.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Submitting user.
+    pub user: String,
+    /// Executable name (artifact id from the toolchain).
+    pub executable: String,
+    /// Execution shape.
+    pub kind: JobKind,
+    /// Estimated runtime in scheduler ticks (used by backfill; a wrong
+    /// estimate only hurts efficiency, never correctness).
+    pub estimated_ticks: u64,
+    /// Actual runtime in ticks (known to the simulation driver; in a real
+    /// deployment this is when the process exits).
+    pub actual_ticks: u64,
+}
+
+impl JobSpec {
+    /// A 1-core sequential job.
+    pub fn sequential(user: &str, executable: &str, ticks: u64) -> JobSpec {
+        JobSpec {
+            user: user.to_string(),
+            executable: executable.to_string(),
+            kind: JobKind::Sequential,
+            estimated_ticks: ticks,
+            actual_ticks: ticks,
+        }
+    }
+
+    /// A parallel job over `cores` cores.
+    pub fn parallel(user: &str, executable: &str, cores: u32, ticks: u64) -> JobSpec {
+        JobSpec {
+            user: user.to_string(),
+            executable: executable.to_string(),
+            kind: JobKind::Parallel { cores },
+            estimated_ticks: ticks,
+            actual_ticks: ticks,
+        }
+    }
+
+    /// An interactive job (stays attached).
+    pub fn interactive(user: &str, executable: &str) -> JobSpec {
+        JobSpec {
+            user: user.to_string(),
+            executable: executable.to_string(),
+            kind: JobKind::Interactive,
+            estimated_ticks: u64::MAX,
+            actual_ticks: u64::MAX,
+        }
+    }
+
+    /// With a (possibly wrong) runtime estimate, for backfill experiments.
+    pub fn with_estimate(mut self, estimated: u64) -> JobSpec {
+        self.estimated_ticks = estimated;
+        self
+    }
+
+    /// Cores this job needs.
+    pub fn cores_needed(&self) -> u32 {
+        match self.kind {
+            JobKind::Sequential | JobKind::Interactive => 1,
+            JobKind::Parallel { cores } => cores.max(1),
+        }
+    }
+}
+
+/// Lifecycle state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Pending,
+    /// Dispatched; `started_at` is the tick it began.
+    Running {
+        /// Dispatch tick.
+        started_at: u64,
+    },
+    /// Finished normally at the given tick.
+    Completed {
+        /// Completion tick.
+        at: u64,
+    },
+    /// Cancelled by the user or an admin.
+    Cancelled {
+        /// Cancellation tick.
+        at: u64,
+    },
+    /// Failed (e.g. its node went down).
+    Failed {
+        /// Failure tick.
+        at: u64,
+        /// Reason string for the portal to display.
+        reason: String,
+    },
+}
+
+impl JobState {
+    /// Is the job currently running?
+    pub fn is_running(&self) -> bool {
+        matches!(self, JobState::Running { .. })
+    }
+
+    /// Has the job reached a terminal state?
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Completed { .. } | JobState::Cancelled { .. } | JobState::Failed { .. })
+    }
+}
+
+/// Captured standard streams plus an interactive stdin queue — the portal
+/// "allows the user to monitor the standard streams, and even provide
+/// input, if so the target application requires it" (§II).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StdStreams {
+    /// Captured stdout.
+    pub stdout: String,
+    /// Captured stderr.
+    pub stderr: String,
+    /// Lines queued for the application to consume.
+    pub stdin: VecDeque<String>,
+}
+
+impl StdStreams {
+    /// Queue one line of user input.
+    pub fn push_stdin(&mut self, line: impl Into<String>) {
+        self.stdin.push_back(line.into());
+    }
+
+    /// Application-side: take the next input line.
+    pub fn pop_stdin(&mut self) -> Option<String> {
+        self.stdin.pop_front()
+    }
+}
+
+/// A job known to the scheduler: spec + state + placement + streams.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: JobId,
+    /// The submission.
+    pub spec: JobSpec,
+    /// Current state.
+    pub state: JobState,
+    /// Submission tick.
+    pub submitted_at: u64,
+    /// Resources held while running.
+    pub allocation: Option<Allocation>,
+    /// Tick at which the job first started (None while pending).
+    pub started_at: Option<u64>,
+    /// Stdio capture.
+    pub streams: StdStreams,
+}
+
+impl JobRecord {
+    /// Queue wait so far (or total, once started), given the current tick.
+    pub fn wait_ticks(&self, now: u64) -> u64 {
+        match (&self.state, self.started_at) {
+            (JobState::Pending, _) => now.saturating_sub(self.submitted_at),
+            (_, Some(started)) => started.saturating_sub(self.submitted_at),
+            // Terminal without ever starting (cancelled in queue): full
+            // queue residence counts as wait.
+            (JobState::Completed { at }, None)
+            | (JobState::Cancelled { at }, None)
+            | (JobState::Failed { at, .. }, None) => at.saturating_sub(self.submitted_at),
+            (JobState::Running { started_at }, None) => started_at.saturating_sub(self.submitted_at),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cores_needed_by_kind() {
+        assert_eq!(JobSpec::sequential("u", "x", 1).cores_needed(), 1);
+        assert_eq!(JobSpec::parallel("u", "x", 16, 1).cores_needed(), 16);
+        assert_eq!(JobSpec::parallel("u", "x", 0, 1).cores_needed(), 1);
+        assert_eq!(JobSpec::interactive("u", "x").cores_needed(), 1);
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(!JobState::Pending.is_terminal());
+        assert!(JobState::Running { started_at: 0 }.is_running());
+        assert!(JobState::Completed { at: 3 }.is_terminal());
+        assert!(JobState::Failed { at: 3, reason: "node down".into() }.is_terminal());
+    }
+
+    #[test]
+    fn stdin_fifo() {
+        let mut s = StdStreams::default();
+        s.push_stdin("first");
+        s.push_stdin("second");
+        assert_eq!(s.pop_stdin().as_deref(), Some("first"));
+        assert_eq!(s.pop_stdin().as_deref(), Some("second"));
+        assert_eq!(s.pop_stdin(), None);
+    }
+
+    #[test]
+    fn estimate_override() {
+        let j = JobSpec::sequential("u", "x", 100).with_estimate(10);
+        assert_eq!(j.estimated_ticks, 10);
+        assert_eq!(j.actual_ticks, 100);
+    }
+}

@@ -1,0 +1,36 @@
+//! # sched — the cluster job distributor
+//!
+//! The portal's backend "contacts a job distributor to allocate resources
+//! on the cluster and finally dispatch the job onto those resources" (§II).
+//! This crate is that distributor:
+//!
+//! * [`job`] — job specifications (sequential / parallel / interactive),
+//!   lifecycle states, stdio stream buffers with interactive stdin;
+//! * [`policy`] — queueing policies: FIFO, round-robin across segments,
+//!   best-fit, and EASY backfill;
+//! * [`queue`] — the scheduler proper: submit → allocate → dispatch →
+//!   complete, driven by a logical clock;
+//! * [`accounting`] — per-user usage records and fair-share statistics.
+//!
+//! ```
+//! use sched::{JobSpec, Scheduler, SchedPolicyKind};
+//! use cluster::{Cluster, ClusterSpec};
+//!
+//! let cluster = Cluster::new(ClusterSpec::small(2, 2));
+//! let mut sched = Scheduler::new(cluster, SchedPolicyKind::Fifo);
+//! let id = sched.submit(JobSpec::sequential("alice", "a.out", 100)).unwrap();
+//! sched.tick();                       // dispatches the job
+//! assert!(sched.job(id).unwrap().state.is_running());
+//! ```
+
+pub mod accounting;
+pub mod job;
+pub mod policy;
+pub mod queue;
+pub mod workload;
+
+pub use accounting::{Accounting, UserUsage};
+pub use job::{JobId, JobKind, JobSpec, JobState, JobRecord, StdStreams};
+pub use policy::SchedPolicyKind;
+pub use queue::{SchedError, Scheduler};
+pub use workload::{replay, Arrival, ReplayReport, WorkloadSpec};

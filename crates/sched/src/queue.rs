@@ -1,0 +1,509 @@
+//! The scheduler: submit → queue → dispatch → complete, on a logical clock.
+//!
+//! The driver calls [`Scheduler::tick`] once per time unit; each tick
+//! completes due jobs, then asks the policy which pending jobs to start and
+//! allocates cores for them from the [`Cluster`].
+
+use crate::accounting::Accounting;
+use crate::job::{JobId, JobKind, JobRecord, JobSpec, JobState, StdStreams};
+use crate::policy::SchedPolicyKind;
+use cluster::{Cluster, ClusterError, NodeHealth, SlaveId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Scheduler errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// Unknown job id.
+    NoSuchJob(JobId),
+    /// Job is in a state that does not allow the operation.
+    BadState {
+        /// The job.
+        job: JobId,
+        /// What was attempted.
+        op: &'static str,
+    },
+    /// The job can never run on this cluster (even empty).
+    Impossible {
+        /// Cores requested.
+        requested: u32,
+        /// Maximum schedulable cores.
+        capacity: u32,
+    },
+    /// Underlying cluster error.
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoSuchJob(id) => write!(f, "no such job {id}"),
+            SchedError::BadState { job, op } => write!(f, "{job}: cannot {op} in current state"),
+            SchedError::Impossible { requested, capacity } => {
+                write!(f, "job needs {requested} cores, cluster has {capacity}")
+            }
+            SchedError::Cluster(e) => write!(f, "cluster error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for SchedError {
+    fn from(e: ClusterError) -> Self {
+        SchedError::Cluster(e)
+    }
+}
+
+/// The job distributor.
+#[derive(Debug)]
+pub struct Scheduler {
+    cluster: Cluster,
+    policy: SchedPolicyKind,
+    jobs: BTreeMap<JobId, JobRecord>,
+    /// FIFO of pending job ids.
+    queue: Vec<JobId>,
+    next_id: u64,
+    now: u64,
+    dispatch_count: u64,
+    accounting: Accounting,
+}
+
+impl Scheduler {
+    /// A scheduler over `cluster` using `policy`.
+    pub fn new(cluster: Cluster, policy: SchedPolicyKind) -> Scheduler {
+        Scheduler {
+            cluster,
+            policy,
+            jobs: BTreeMap::new(),
+            queue: Vec::new(),
+            next_id: 1,
+            now: 0,
+            dispatch_count: 0,
+            accounting: Accounting::new(),
+        }
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> SchedPolicyKind {
+        self.policy
+    }
+
+    /// The backing cluster (read-only).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access (fault injection in tests).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Usage accounting.
+    pub fn accounting(&self) -> &Accounting {
+        &self.accounting
+    }
+
+    /// Submit a job; it enters the pending queue.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SchedError> {
+        let capacity = self.cluster.spec().total_cores();
+        if spec.cores_needed() > capacity {
+            return Err(SchedError::Impossible { requested: spec.cores_needed(), capacity });
+        }
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            JobRecord {
+                id,
+                spec,
+                state: JobState::Pending,
+                submitted_at: self.now,
+                allocation: None,
+                started_at: None,
+                streams: StdStreams::default(),
+            },
+        );
+        self.queue.push(id);
+        Ok(id)
+    }
+
+    /// Look a job up.
+    pub fn job(&self, id: JobId) -> Result<&JobRecord, SchedError> {
+        self.jobs.get(&id).ok_or(SchedError::NoSuchJob(id))
+    }
+
+    /// Mutable job access (the portal appends stdin through this).
+    pub fn job_mut(&mut self, id: JobId) -> Result<&mut JobRecord, SchedError> {
+        self.jobs.get_mut(&id).ok_or(SchedError::NoSuchJob(id))
+    }
+
+    /// All jobs, id-ordered.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.values()
+    }
+
+    /// Ids of currently pending jobs, queue-ordered.
+    pub fn pending(&self) -> &[JobId] {
+        &self.queue
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.jobs.values().filter(|j| j.state.is_running()).count()
+    }
+
+    /// Cancel a pending or running job.
+    pub fn cancel(&mut self, id: JobId) -> Result<(), SchedError> {
+        let now = self.now;
+        let job = self.jobs.get_mut(&id).ok_or(SchedError::NoSuchJob(id))?;
+        match job.state {
+            JobState::Pending => {
+                job.state = JobState::Cancelled { at: now };
+                self.queue.retain(|&q| q != id);
+                Ok(())
+            }
+            JobState::Running { .. } => {
+                job.state = JobState::Cancelled { at: now };
+                if let Some(alloc) = job.allocation.take() {
+                    self.cluster.release(&alloc);
+                }
+                Ok(())
+            }
+            _ => Err(SchedError::BadState { job: id, op: "cancel" }),
+        }
+    }
+
+    /// Advance time by one tick: complete due jobs, fail jobs on dead nodes,
+    /// then dispatch from the queue per policy. Returns ids dispatched.
+    pub fn tick(&mut self) -> Vec<JobId> {
+        self.now += 1;
+        self.complete_due();
+        self.fail_on_dead_nodes();
+        self.dispatch()
+    }
+
+    /// Run `n` ticks, returning total dispatches.
+    pub fn run_ticks(&mut self, n: u64) -> usize {
+        let mut total = 0;
+        for _ in 0..n {
+            total += self.tick().len();
+        }
+        total
+    }
+
+    /// Drive until every submitted job is terminal (or `max_ticks` elapse).
+    /// Returns the tick at which the system drained, if it did.
+    pub fn drain(&mut self, max_ticks: u64) -> Option<u64> {
+        for _ in 0..max_ticks {
+            self.tick();
+            let all_done = self.jobs.values().all(|j| j.state.is_terminal());
+            if all_done {
+                return Some(self.now);
+            }
+        }
+        None
+    }
+
+    fn complete_due(&mut self) {
+        let now = self.now;
+        let due: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter_map(|j| match j.state {
+                JobState::Running { started_at }
+                    if j.spec.actual_ticks != u64::MAX && now >= started_at + j.spec.actual_ticks =>
+                {
+                    Some(j.id)
+                }
+                _ => None,
+            })
+            .collect();
+        for id in due {
+            let job = self.jobs.get_mut(&id).expect("listed above");
+            let started_at = match job.state {
+                JobState::Running { started_at } => started_at,
+                _ => unreachable!(),
+            };
+            job.state = JobState::Completed { at: now };
+            let alloc = job.allocation.take();
+            let cores = alloc.as_ref().map(|a| a.total_cores()).unwrap_or(0);
+            self.accounting.record(
+                &job.spec.user,
+                cores as u64 * (now - started_at),
+                now - job.submitted_at - (now - started_at),
+            );
+            if let Some(a) = alloc {
+                self.cluster.release(&a);
+            }
+        }
+    }
+
+    fn fail_on_dead_nodes(&mut self) {
+        let now = self.now;
+        let dead: Vec<SlaveId> = self
+            .cluster
+            .slave_ids()
+            .into_iter()
+            .filter(|&id| self.cluster.health(id) == Ok(NodeHealth::Down))
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        let doomed: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|j| {
+                j.state.is_running()
+                    && j.allocation
+                        .as_ref()
+                        .map(|a| a.cores.keys().any(|n| dead.contains(n)))
+                        .unwrap_or(false)
+            })
+            .map(|j| j.id)
+            .collect();
+        for id in doomed {
+            let job = self.jobs.get_mut(&id).expect("listed above");
+            job.state = JobState::Failed { at: now, reason: "node went down".to_string() };
+            if let Some(a) = job.allocation.take() {
+                self.cluster.release(&a);
+            }
+        }
+    }
+
+    fn dispatch(&mut self) -> Vec<JobId> {
+        let pending_refs: Vec<&JobRecord> =
+            self.queue.iter().map(|id| &self.jobs[id]).collect();
+        if pending_refs.is_empty() {
+            return Vec::new();
+        }
+        let free = self.cluster.free_cores();
+        let releases: Vec<(u64, u32)> = self
+            .jobs
+            .values()
+            .filter_map(|j| match (&j.state, &j.allocation) {
+                (JobState::Running { started_at }, Some(a)) if j.spec.actual_ticks != u64::MAX => {
+                    Some((started_at + j.spec.estimated_ticks.min(j.spec.actual_ticks), a.total_cores()))
+                }
+                _ => None,
+            })
+            .collect();
+        let picks = self.policy.pick(&pending_refs, free, self.now, &releases);
+        let pick_ids: Vec<JobId> = picks.iter().map(|&i| pending_refs[i].id).collect();
+        drop(pending_refs);
+
+        let mut started = Vec::new();
+        for id in pick_ids {
+            let (cores_needed, is_interactive) = {
+                let j = &self.jobs[&id];
+                (j.spec.cores_needed(), matches!(j.spec.kind, JobKind::Interactive))
+            };
+            let _ = is_interactive;
+            // Placement: round-robin prefers a segment, falling back to any.
+            let preferred = self.policy.preferred_segment(self.dispatch_count, &self.cluster);
+            let alloc = match preferred {
+                Some(seg) => self
+                    .cluster
+                    .allocate_cores_filtered(cores_needed, |sid, _| sid.segment == seg)
+                    .or_else(|_| self.cluster.allocate_cores(cores_needed)),
+                None => self.cluster.allocate_cores(cores_needed),
+            };
+            match alloc {
+                Ok(a) => {
+                    let now = self.now;
+                    let job = self.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = JobState::Running { started_at: now };
+                    job.started_at = Some(now);
+                    job.allocation = Some(a);
+                    self.queue.retain(|&q| q != id);
+                    self.dispatch_count += 1;
+                    started.push(id);
+                }
+                Err(_) => {
+                    // Policy thought it fit but placement failed (e.g. the
+                    // preferred segment was full and the whole cluster too);
+                    // leave it queued.
+                }
+            }
+        }
+        started
+    }
+
+    /// Mean queue wait of completed jobs, in ticks.
+    pub fn mean_wait(&self) -> f64 {
+        let waits: Vec<u64> = self
+            .jobs
+            .values()
+            .filter(|j| j.state.is_terminal())
+            .map(|j| j.wait_ticks(self.now))
+            .collect();
+        if waits.is_empty() {
+            return 0.0;
+        }
+        waits.iter().sum::<u64>() as f64 / waits.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::ClusterSpec;
+
+    fn sched(policy: SchedPolicyKind) -> Scheduler {
+        // 2 segments x 2 quad-core nodes = 16 cores.
+        Scheduler::new(Cluster::new(ClusterSpec::small(2, 2)), policy)
+    }
+
+    #[test]
+    fn submit_dispatch_complete() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        let id = s.submit(JobSpec::sequential("alice", "a.out", 3)).unwrap();
+        assert_eq!(s.pending(), &[id]);
+        let started = s.tick();
+        assert_eq!(started, vec![id]);
+        assert!(s.job(id).unwrap().state.is_running());
+        assert_eq!(s.cluster().free_cores(), 15);
+        s.run_ticks(3);
+        assert!(matches!(s.job(id).unwrap().state, JobState::Completed { .. }));
+        assert_eq!(s.cluster().free_cores(), 16);
+    }
+
+    #[test]
+    fn impossible_job_rejected_at_submit() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        let err = s.submit(JobSpec::parallel("bob", "x", 1000, 1)).unwrap_err();
+        assert!(matches!(err, SchedError::Impossible { requested: 1000, capacity: 16 }));
+    }
+
+    #[test]
+    fn fifo_head_blocks_queue() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        let _a = s.submit(JobSpec::parallel("u", "x", 16, 10)).unwrap();
+        let b = s.submit(JobSpec::parallel("u", "y", 16, 5)).unwrap();
+        let c = s.submit(JobSpec::sequential("u", "z", 1)).unwrap();
+        s.tick();
+        // a runs, b blocks, c must NOT start under FIFO.
+        assert!(matches!(s.job(b).unwrap().state, JobState::Pending));
+        assert!(matches!(s.job(c).unwrap().state, JobState::Pending));
+        assert_eq!(s.running_count(), 1);
+    }
+
+    #[test]
+    fn backfill_runs_short_job_in_gap() {
+        let mut s = sched(SchedPolicyKind::Backfill);
+        let a = s.submit(JobSpec::parallel("u", "a", 12, 100)).unwrap();
+        let b = s.submit(JobSpec::parallel("u", "b", 16, 100)).unwrap();
+        let c = s.submit(JobSpec::sequential("u", "c", 10)).unwrap();
+        s.tick();
+        assert!(s.job(a).unwrap().state.is_running());
+        assert!(matches!(s.job(b).unwrap().state, JobState::Pending));
+        // c (1 core, 10 ticks) finishes before a releases at ~101.
+        assert!(s.job(c).unwrap().state.is_running(), "backfill should start c");
+    }
+
+    #[test]
+    fn cancel_pending_and_running() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        let a = s.submit(JobSpec::sequential("u", "a", 100)).unwrap();
+        let b = s.submit(JobSpec::sequential("u", "b", 100)).unwrap();
+        s.cancel(b).unwrap();
+        s.tick();
+        assert!(s.job(a).unwrap().state.is_running());
+        s.cancel(a).unwrap();
+        assert_eq!(s.cluster().free_cores(), 16);
+        assert!(matches!(s.cancel(a), Err(SchedError::BadState { .. })));
+    }
+
+    #[test]
+    fn interactive_jobs_never_autocomplete() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        let id = s.submit(JobSpec::interactive("u", "shell")).unwrap();
+        s.run_ticks(1000);
+        assert!(s.job(id).unwrap().state.is_running());
+        s.cancel(id).unwrap();
+    }
+
+    #[test]
+    fn stdin_reaches_job_record() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        let id = s.submit(JobSpec::interactive("u", "shell")).unwrap();
+        s.tick();
+        s.job_mut(id).unwrap().streams.push_stdin("42");
+        assert_eq!(s.job_mut(id).unwrap().streams.pop_stdin().as_deref(), Some("42"));
+    }
+
+    #[test]
+    fn node_failure_fails_running_jobs() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        let id = s.submit(JobSpec::parallel("u", "x", 16, 1000)).unwrap();
+        s.tick();
+        assert!(s.job(id).unwrap().state.is_running());
+        let victim = s.cluster().slave_ids()[0];
+        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.tick();
+        let JobState::Failed { ref reason, .. } = s.job(id).unwrap().state else {
+            panic!("expected failure")
+        };
+        assert!(reason.contains("node"));
+        // Cores on surviving nodes were released.
+        assert_eq!(s.cluster().free_cores(), 12);
+    }
+
+    #[test]
+    fn drain_reports_completion_tick() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        for i in 0..8 {
+            s.submit(JobSpec::parallel("u", "x", 4, 5 + i % 3)).unwrap();
+        }
+        let done_at = s.drain(1000).expect("should drain");
+        assert!(done_at >= 5, "{done_at}");
+        assert!(s.jobs().all(|j| j.state.is_terminal()));
+    }
+
+    #[test]
+    fn accounting_accumulates_core_ticks() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        s.submit(JobSpec::parallel("alice", "x", 4, 10)).unwrap();
+        s.submit(JobSpec::sequential("bob", "y", 10)).unwrap();
+        s.drain(100).unwrap();
+        let alice = s.accounting().usage("alice").unwrap();
+        assert_eq!(alice.core_ticks, 40);
+        let bob = s.accounting().usage("bob").unwrap();
+        assert_eq!(bob.core_ticks, 10);
+    }
+
+    #[test]
+    fn round_robin_spreads_segments() {
+        let mut s = sched(SchedPolicyKind::RoundRobinSegments);
+        let a = s.submit(JobSpec::parallel("u", "a", 4, 100)).unwrap();
+        let b = s.submit(JobSpec::parallel("u", "b", 4, 100)).unwrap();
+        s.tick();
+        let seg_of = |s: &Scheduler, id| {
+            s.job(id).unwrap().allocation.as_ref().unwrap().cores.keys().next().unwrap().segment
+        };
+        assert_ne!(seg_of(&s, a), seg_of(&s, b), "jobs should land on different segments");
+    }
+
+    #[test]
+    fn mean_wait_computed() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        s.submit(JobSpec::parallel("u", "a", 16, 10)).unwrap();
+        s.submit(JobSpec::parallel("u", "b", 16, 10)).unwrap();
+        s.drain(100).unwrap();
+        // First job waits ~0, second waits ~10.
+        let mw = s.mean_wait();
+        assert!(mw > 3.0 && mw < 8.0, "mean wait {mw}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Event queue primitives: scheduled entries with stable tie-breaking.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// Identifier of a scheduled event, unique within one [`crate::engine::Engine`].
+///
+/// Returned by `Engine::schedule*` and usable with `Engine::cancel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw sequence number. Monotonic in scheduling order.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A payload scheduled to fire at a given simulated instant.
+///
+/// Ordered for use inside a *max*-heap such that the earliest time pops
+/// first; ties are broken by insertion sequence so that two events scheduled
+/// for the same instant fire in the order they were scheduled (FIFO), which
+/// keeps runs deterministic.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Queue-unique sequence number (insertion order).
+    pub id: EventId,
+    /// The caller-defined payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first, and for
+        // equal times the *lowest* sequence number first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn sched(at: u64, id: u64) -> Scheduled<&'static str> {
+        Scheduled { at: SimTime(at), id: EventId(id), payload: "x" }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut h = BinaryHeap::new();
+        h.push(sched(30, 0));
+        h.push(sched(10, 1));
+        h.push(sched(20, 2));
+        assert_eq!(h.pop().unwrap().at, SimTime(10));
+        assert_eq!(h.pop().unwrap().at, SimTime(20));
+        assert_eq!(h.pop().unwrap().at, SimTime(30));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut h = BinaryHeap::new();
+        h.push(sched(5, 7));
+        h.push(sched(5, 3));
+        h.push(sched(5, 9));
+        assert_eq!(h.pop().unwrap().id, EventId(3));
+        assert_eq!(h.pop().unwrap().id, EventId(7));
+        assert_eq!(h.pop().unwrap().id, EventId(9));
+    }
+}

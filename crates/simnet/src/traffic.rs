@@ -1,0 +1,158 @@
+//! Synthetic traffic patterns for driving the network in tests and benches.
+//!
+//! Each generator yields `(src, dst, bytes)` triples. They implement the
+//! classic patterns used to stress interconnects: uniform random, nearest
+//! neighbour, hotspot (everyone talks to rank 0, the pattern a master/worker
+//! lab produces), transpose and all-to-all.
+
+use crate::topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One message to inject: source, destination, payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// The traffic patterns the benches sweep over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Every node sends to a uniformly random other node.
+    UniformRandom,
+    /// Node `i` sends to node `(i + 1) % n`.
+    NearestNeighbor,
+    /// Every node sends to node 0 (master/worker collectives).
+    Hotspot,
+    /// Node `i` sends to node `(n - 1) - i` (bit-reversal-like stress).
+    Transpose,
+    /// Every ordered pair exchanges one message.
+    AllToAll,
+}
+
+impl Pattern {
+    /// All patterns, for sweeps.
+    pub const ALL: [Pattern; 5] = [
+        Pattern::UniformRandom,
+        Pattern::NearestNeighbor,
+        Pattern::Hotspot,
+        Pattern::Transpose,
+        Pattern::AllToAll,
+    ];
+
+    /// Short name for report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::UniformRandom => "uniform",
+            Pattern::NearestNeighbor => "neighbor",
+            Pattern::Hotspot => "hotspot",
+            Pattern::Transpose => "transpose",
+            Pattern::AllToAll => "alltoall",
+        }
+    }
+
+    /// Generate one round of flows for `n` nodes with `bytes`-sized payloads.
+    ///
+    /// Self-sends are skipped. `seed` only matters for [`Pattern::UniformRandom`].
+    pub fn generate(self, n: usize, bytes: u64, seed: u64) -> Vec<Flow> {
+        assert!(n > 0, "traffic needs at least one node");
+        match self {
+            Pattern::UniformRandom => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..n)
+                    .filter_map(|src| {
+                        if n == 1 {
+                            return None;
+                        }
+                        let mut dst = rng.gen_range(0..n - 1);
+                        if dst >= src {
+                            dst += 1;
+                        }
+                        Some(Flow { src, dst, bytes })
+                    })
+                    .collect()
+            }
+            Pattern::NearestNeighbor => (0..n)
+                .filter_map(|src| {
+                    let dst = (src + 1) % n;
+                    (dst != src).then_some(Flow { src, dst, bytes })
+                })
+                .collect(),
+            Pattern::Hotspot => (1..n).map(|src| Flow { src, dst: 0, bytes }).collect(),
+            Pattern::Transpose => (0..n)
+                .filter_map(|src| {
+                    let dst = n - 1 - src;
+                    (dst != src).then_some(Flow { src, dst, bytes })
+                })
+                .collect(),
+            Pattern::AllToAll => {
+                let mut flows = Vec::with_capacity(n * n.saturating_sub(1));
+                for src in 0..n {
+                    for dst in 0..n {
+                        if src != dst {
+                            flows.push(Flow { src, dst, bytes });
+                        }
+                    }
+                }
+                flows
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = Pattern::UniformRandom.generate(16, 64, 7);
+        let b = Pattern::UniformRandom.generate(16, 64, 7);
+        let c = Pattern::UniformRandom.generate(16, 64, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|f| f.src != f.dst && f.dst < 16));
+    }
+
+    #[test]
+    fn neighbor_is_a_cycle() {
+        let f = Pattern::NearestNeighbor.generate(4, 1, 0);
+        let dsts: Vec<_> = f.iter().map(|x| x.dst).collect();
+        assert_eq!(dsts, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn hotspot_targets_zero() {
+        let f = Pattern::Hotspot.generate(5, 8, 0);
+        assert_eq!(f.len(), 4);
+        assert!(f.iter().all(|x| x.dst == 0 && x.src != 0));
+    }
+
+    #[test]
+    fn transpose_mirrors() {
+        let f = Pattern::Transpose.generate(4, 1, 0);
+        assert_eq!(f[0], Flow { src: 0, dst: 3, bytes: 1 });
+        assert_eq!(f.len(), 4);
+        // Odd n skips the self-paired middle node.
+        let g = Pattern::Transpose.generate(5, 1, 0);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn alltoall_count() {
+        let f = Pattern::AllToAll.generate(6, 1, 0);
+        assert_eq!(f.len(), 30);
+    }
+
+    #[test]
+    fn single_node_produces_no_flows() {
+        for p in Pattern::ALL {
+            assert!(p.generate(1, 1, 0).is_empty(), "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The compiled-artifact store: content-addressed compiled programs.
+
+use crate::language::LanguageId;
+use minilang::Program;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Content-addressed artifact identifier (FNV-1a over the source text plus
+/// the owner, rendered as 16 hex chars).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArtifactId(String);
+
+impl ArtifactId {
+    /// Derive the id for `owner`'s compilation of `source`.
+    pub fn derive(owner: &str, source: &str) -> ArtifactId {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in owner.as_bytes().iter().chain([0u8].iter()).chain(source.as_bytes()) {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        ArtifactId(format!("{h:016x}"))
+    }
+
+    /// The id text (what job specs carry as `executable`).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Wrap an id string received from a client.
+    pub fn from_string(s: impl Into<String>) -> ArtifactId {
+        ArtifactId(s.into())
+    }
+}
+
+impl fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A stored compiled program plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Identifier.
+    pub id: ArtifactId,
+    /// Owning user.
+    pub owner: String,
+    /// Source path it was compiled from.
+    pub source_path: String,
+    /// Detected language of the source.
+    pub language: LanguageId,
+    /// The compiled program.
+    pub program: Program,
+    /// Monotonic compile counter (store-local logical time).
+    pub compiled_at: u64,
+}
+
+/// The artifact store.
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    items: HashMap<ArtifactId, Artifact>,
+    clock: u64,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// Insert (or replace) an artifact, stamping `compiled_at`.
+    pub fn put(
+        &mut self,
+        owner: &str,
+        source_path: &str,
+        language: LanguageId,
+        source: &str,
+        program: Program,
+    ) -> ArtifactId {
+        self.clock += 1;
+        let id = ArtifactId::derive(owner, source);
+        self.items.insert(
+            id.clone(),
+            Artifact {
+                id: id.clone(),
+                owner: owner.to_string(),
+                source_path: source_path.to_string(),
+                language,
+                program,
+                compiled_at: self.clock,
+            },
+        );
+        id
+    }
+
+    /// Fetch an artifact.
+    pub fn get(&self, id: &ArtifactId) -> Option<&Artifact> {
+        self.items.get(id)
+    }
+
+    /// All of a user's artifacts, most recent first.
+    pub fn by_owner(&self, owner: &str) -> Vec<&Artifact> {
+        let mut v: Vec<&Artifact> = self.items.values().filter(|a| a.owner == owner).collect();
+        v.sort_by_key(|a| std::cmp::Reverse(a.compiled_at));
+        v
+    }
+
+    /// Remove an artifact; true if it existed.
+    pub fn remove(&mut self, id: &ArtifactId) -> bool {
+        self.items.remove(id).is_some()
+    }
+
+    /// Number of stored artifacts.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog() -> Program {
+        minilang::compile("fn main() { }").unwrap()
+    }
+
+    #[test]
+    fn ids_are_content_addressed() {
+        let a = ArtifactId::derive("alice", "fn main() {}");
+        let b = ArtifactId::derive("alice", "fn main() {}");
+        let c = ArtifactId::derive("alice", "fn main() { var x = 1; }");
+        let d = ArtifactId::derive("bob", "fn main() {}");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a.as_str().len(), 16);
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut store = ArtifactStore::new();
+        let id = store.put("alice", "/home/alice/a.mini", LanguageId::MiniLang, "src", prog());
+        let art = store.get(&id).unwrap();
+        assert_eq!(art.owner, "alice");
+        assert_eq!(art.language, LanguageId::MiniLang);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn recompile_replaces_same_id() {
+        let mut store = ArtifactStore::new();
+        let id1 = store.put("alice", "/a.mini", LanguageId::MiniLang, "same", prog());
+        let id2 = store.put("alice", "/a.mini", LanguageId::MiniLang, "same", prog());
+        assert_eq!(id1, id2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&id1).unwrap().compiled_at, 2);
+    }
+
+    #[test]
+    fn by_owner_recency_order() {
+        let mut store = ArtifactStore::new();
+        store.put("alice", "/1.mini", LanguageId::MiniLang, "one", prog());
+        store.put("bob", "/2.mini", LanguageId::MiniLang, "two", prog());
+        store.put("alice", "/3.mini", LanguageId::MiniLang, "three", prog());
+        let mine = store.by_owner("alice");
+        assert_eq!(mine.len(), 2);
+        assert_eq!(mine[0].source_path, "/3.mini");
+    }
+
+    #[test]
+    fn remove_artifact() {
+        let mut store = ArtifactStore::new();
+        let id = store.put("alice", "/a.mini", LanguageId::MiniLang, "x", prog());
+        assert!(store.remove(&id));
+        assert!(!store.remove(&id));
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Executor objects: run a compiled artifact on the VM, with file I/O wired
+//! into the user's vfs home and stdin lines available to the program.
+//!
+//! This is the paper's "executor object, which in turn upon success contacts
+//! a job distributor" (§II) — the distributor half lives in `ccp-core`,
+//! which submits these executions as jobs; this module is the part that
+//! actually runs bytecode.
+
+use crate::artifact::{ArtifactId, ArtifactStore};
+use minilang::{ExecOutcome, HostIo, RuntimeError, SchedPolicy, Vm, VmConfig};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use vfs::Vfs;
+
+/// A [`HostIo`] backed by the shared [`Vfs`], acting as a specific user.
+/// Relative paths resolve against the user's home directory.
+pub struct VfsIo {
+    fs: Arc<Mutex<Vfs>>,
+    user: String,
+}
+
+impl VfsIo {
+    /// Wrap the shared filesystem for `user`.
+    pub fn new(fs: Arc<Mutex<Vfs>>, user: &str) -> VfsIo {
+        VfsIo { fs, user: user.to_string() }
+    }
+
+    fn resolve(&self, path: &str) -> String {
+        if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("/home/{}/{}", self.user, path)
+        }
+    }
+}
+
+impl HostIo for VfsIo {
+    fn read_file(&mut self, path: &str) -> Result<String, String> {
+        let full = self.resolve(path);
+        let bytes = self.fs.lock().read(&self.user, &full).map_err(|e| e.to_string())?;
+        String::from_utf8(bytes).map_err(|_| format!("{full}: not UTF-8"))
+    }
+
+    fn write_file(&mut self, path: &str, content: &str) -> Result<(), String> {
+        let full = self.resolve(path);
+        self.fs
+            .lock()
+            .write(&self.user, &full, content.as_bytes().to_vec())
+            .map_err(|e| e.to_string())
+    }
+
+    fn append_file(&mut self, path: &str, content: &str) -> Result<(), String> {
+        let full = self.resolve(path);
+        self.fs
+            .lock()
+            .append(&self.user, &full, content.as_bytes())
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Executor failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutorError {
+    /// Artifact id not found in the store.
+    NoSuchArtifact(String),
+    /// The program failed at runtime (deadlock, type error, ...).
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutorError::NoSuchArtifact(id) => write!(f, "no such artifact {id}"),
+            ExecutorError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
+
+/// What an execution produced (success or failure, streams always captured).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// The artifact that ran.
+    pub artifact: ArtifactId,
+    /// VM outcome on success.
+    pub outcome: Option<ExecOutcome>,
+    /// Runtime error on failure.
+    pub error: Option<RuntimeError>,
+}
+
+impl ExecReport {
+    /// Did the run complete without a runtime error?
+    pub fn success(&self) -> bool {
+        self.outcome.is_some()
+    }
+}
+
+/// Runs artifacts. One executor per execution request.
+pub struct Executor {
+    /// Scheduler seed (exposed so graders can sweep seeds).
+    pub seed: u64,
+    /// Scheduling policy for the VM's green threads.
+    pub policy: SchedPolicy,
+    /// Instruction budget.
+    pub max_instructions: u64,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        let d = VmConfig::default();
+        Executor { seed: 0, policy: d.policy, max_instructions: d.max_instructions }
+    }
+}
+
+impl Executor {
+    /// An executor with a specific seed.
+    pub fn with_seed(seed: u64) -> Executor {
+        Executor { seed, ..Executor::default() }
+    }
+
+    /// Run `artifact` as `user`, with filesystem access through `fs`.
+    pub fn run(
+        &self,
+        store: &ArtifactStore,
+        artifact: &ArtifactId,
+        fs: Arc<Mutex<Vfs>>,
+        user: &str,
+    ) -> Result<ExecReport, ExecutorError> {
+        self.run_with_stdin(store, artifact, fs, user, &[])
+    }
+
+    /// Like [`Executor::run`], queuing `stdin` lines for `read_line()`.
+    pub fn run_with_stdin(
+        &self,
+        store: &ArtifactStore,
+        artifact: &ArtifactId,
+        fs: Arc<Mutex<Vfs>>,
+        user: &str,
+        stdin: &[String],
+    ) -> Result<ExecReport, ExecutorError> {
+        let art = store
+            .get(artifact)
+            .ok_or_else(|| ExecutorError::NoSuchArtifact(artifact.to_string()))?;
+        let config = VmConfig {
+            seed: self.seed,
+            policy: self.policy,
+            max_instructions: self.max_instructions,
+            ..VmConfig::default()
+        };
+        let io = VfsIo::new(fs, user);
+        let mut vm = Vm::with_io(art.program.clone(), config, Box::new(io));
+        for line in stdin {
+            vm.push_stdin(line.clone());
+        }
+        match vm.run() {
+            Ok(outcome) => Ok(ExecReport { artifact: artifact.clone(), outcome: Some(outcome), error: None }),
+            Err(e) => Ok(ExecReport { artifact: artifact.clone(), outcome: None, error: Some(e) }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::LanguageId;
+
+    fn setup(src: &str) -> (Arc<Mutex<Vfs>>, ArtifactStore, ArtifactId) {
+        let mut fs = Vfs::new();
+        fs.add_user("alice", 1 << 20).unwrap();
+        let mut store = ArtifactStore::new();
+        let program = minilang::compile(src).unwrap();
+        let id = store.put("alice", "/home/alice/p.mini", LanguageId::MiniLang, src, program);
+        (Arc::new(Mutex::new(fs)), store, id)
+    }
+
+    #[test]
+    fn run_captures_stdout() {
+        let (fs, store, id) = setup("fn main() { println(\"hi\"); }");
+        let report = Executor::default().run(&store, &id, fs, "alice").unwrap();
+        assert!(report.success());
+        assert_eq!(report.outcome.unwrap().stdout, "hi\n");
+    }
+
+    #[test]
+    fn relative_paths_resolve_to_home() {
+        let (fs, store, id) = setup(r#"fn main() { write_file("out.txt", "data"); }"#);
+        let report = Executor::default().run(&store, &id, Arc::clone(&fs), "alice").unwrap();
+        assert!(report.success(), "{:?}", report.error);
+        let content = fs.lock().read("alice", "/home/alice/out.txt").unwrap();
+        assert_eq!(content, b"data");
+    }
+
+    #[test]
+    fn permission_errors_surface_as_io() {
+        let (fs, store, id) = setup(r#"fn main() { write_file("/home/root-owned.txt", "x"); }"#);
+        let report = Executor::default().run(&store, &id, fs, "alice").unwrap();
+        assert!(!report.success());
+        assert!(matches!(report.error, Some(RuntimeError::Io(_))));
+    }
+
+    #[test]
+    fn missing_artifact_error() {
+        let (fs, store, _) = setup("fn main() { }");
+        let err = Executor::default()
+            .run(&store, &ArtifactId::from_string("feedbeef"), fs, "alice")
+            .unwrap_err();
+        assert!(matches!(err, ExecutorError::NoSuchArtifact(_)));
+    }
+
+    #[test]
+    fn deadlock_reported_not_hung() {
+        let (fs, store, id) = setup("fn main() { var m = mutex(); lock(m); lock(m); }");
+        let report = Executor::default().run(&store, &id, fs, "alice").unwrap();
+        assert!(matches!(report.error, Some(RuntimeError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn seed_controls_scheduling() {
+        let src = r#"
+            var counter = 0;
+            fn w() { for (var i = 0; i < 100; i = i + 1) { counter = counter + 1; } }
+            fn main() { var a = spawn w(); var b = spawn w(); join(a); join(b); return counter; }
+        "#;
+        let (fs, store, id) = setup(src);
+        let r1 = Executor::with_seed(3).run(&store, &id, Arc::clone(&fs), "alice").unwrap();
+        let r2 = Executor::with_seed(3).run(&store, &id, fs, "alice").unwrap();
+        assert_eq!(r1.outcome.unwrap().main_result, r2.outcome.unwrap().main_result);
+    }
+}

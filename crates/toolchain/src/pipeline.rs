@@ -1,0 +1,265 @@
+//! The compile pipeline: "it takes the needed information from a user, it
+//! then creates a compilation ... object" (§II). A [`CompileRequest`] reads
+//! the source from the user's vfs home, detects the language, compiles (if
+//! executable here) and stores the artifact.
+
+use crate::artifact::{ArtifactId, ArtifactStore};
+use crate::language::LanguageId;
+use minilang::LangError;
+use std::fmt;
+use vfs::Vfs;
+
+/// Diagnostic severity, gcc-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fatal problem; no artifact produced.
+    Error,
+    /// Advisory.
+    Warning,
+    /// Informational (e.g. porting hints).
+    Note,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// One compiler diagnostic line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// File the diagnostic refers to.
+    pub file: String,
+    /// 1-based line (0 = whole file).
+    pub line: u32,
+    /// 1-based column (0 = unknown).
+    pub col: u32,
+    /// Message text.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.col, self.severity, self.message)
+        } else {
+            write!(f, "{}: {}: {}", self.file, self.severity, self.message)
+        }
+    }
+}
+
+/// A compilation request (the paper's "compilation object").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileRequest {
+    /// Acting user (vfs permissions apply).
+    pub user: String,
+    /// Path of the source file inside the vfs.
+    pub source_path: String,
+}
+
+/// What a compilation produced.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// The request this answers.
+    pub request: CompileRequest,
+    /// Detected language.
+    pub language: LanguageId,
+    /// gcc-style diagnostics (errors, warnings, notes).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The stored artifact on success.
+    pub artifact: Option<ArtifactId>,
+}
+
+impl CompileReport {
+    /// Did the compilation produce an artifact?
+    pub fn success(&self) -> bool {
+        self.artifact.is_some()
+    }
+
+    /// Render diagnostics the way the portal's compile pane shows them.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        if self.success() {
+            out.push_str(&format!("compiled {} -> artifact {}\n", self.request.source_path, self.artifact.as_ref().expect("checked")));
+        }
+        out
+    }
+}
+
+impl CompileRequest {
+    /// A request for `user`'s file at `source_path`.
+    pub fn new(user: &str, source_path: &str) -> CompileRequest {
+        CompileRequest { user: user.to_string(), source_path: source_path.to_string() }
+    }
+
+    /// Execute the request against the filesystem and artifact store.
+    pub fn run(&self, fs: &Vfs, store: &mut ArtifactStore) -> CompileReport {
+        let mut diagnostics = Vec::new();
+        let bytes = match fs.read(&self.user, &self.source_path) {
+            Ok(b) => b,
+            Err(e) => {
+                diagnostics.push(Diagnostic {
+                    severity: Severity::Error,
+                    file: self.source_path.clone(),
+                    line: 0,
+                    col: 0,
+                    message: e.to_string(),
+                });
+                return CompileReport {
+                    request: self.clone(),
+                    language: LanguageId::Unknown,
+                    diagnostics,
+                    artifact: None,
+                };
+            }
+        };
+        let source = match String::from_utf8(bytes) {
+            Ok(s) => s,
+            Err(_) => {
+                diagnostics.push(Diagnostic {
+                    severity: Severity::Error,
+                    file: self.source_path.clone(),
+                    line: 0,
+                    col: 0,
+                    message: "source is not valid UTF-8".to_string(),
+                });
+                return CompileReport {
+                    request: self.clone(),
+                    language: LanguageId::Unknown,
+                    diagnostics,
+                    artifact: None,
+                };
+            }
+        };
+        let language = LanguageId::detect(&self.source_path, &source);
+        if !language.executable_here() {
+            diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                file: self.source_path.clone(),
+                line: 0,
+                col: 0,
+                message: format!("{language} sources are recognized but not executable on this cluster"),
+            });
+            if let Some(hint) = language.porting_hint() {
+                diagnostics.push(Diagnostic {
+                    severity: Severity::Note,
+                    file: self.source_path.clone(),
+                    line: 0,
+                    col: 0,
+                    message: hint.to_string(),
+                });
+            }
+            return CompileReport { request: self.clone(), language, diagnostics, artifact: None };
+        }
+        match minilang::compile(&source) {
+            Ok(program) => {
+                let id = store.put(&self.user, &self.source_path, language, &source, program);
+                CompileReport { request: self.clone(), language, diagnostics, artifact: Some(id) }
+            }
+            Err(err) => {
+                let (line, col, message) = match &err {
+                    LangError::Lex(e) => (e.pos.line, e.pos.col, e.message.clone()),
+                    LangError::Parse(e) => (e.pos.line, e.pos.col, e.message.clone()),
+                    LangError::Compile(e) => (e.pos.line, e.pos.col, e.message.clone()),
+                    LangError::Runtime(e) => (0, 0, e.to_string()),
+                };
+                diagnostics.push(Diagnostic {
+                    severity: Severity::Error,
+                    file: self.source_path.clone(),
+                    line,
+                    col,
+                    message,
+                });
+                CompileReport { request: self.clone(), language, diagnostics, artifact: None }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vfs, ArtifactStore) {
+        let mut fs = Vfs::new();
+        fs.add_user("alice", 1 << 20).unwrap();
+        (fs, ArtifactStore::new())
+    }
+
+    #[test]
+    fn good_source_compiles_to_artifact() {
+        let (mut fs, mut store) = setup();
+        fs.write("alice", "/home/alice/hello.mini", b"fn main() { println(42); }".to_vec()).unwrap();
+        let report = CompileRequest::new("alice", "/home/alice/hello.mini").run(&fs, &mut store);
+        assert!(report.success(), "{:?}", report.diagnostics);
+        assert_eq!(report.language, LanguageId::MiniLang);
+        assert!(report.render().contains("artifact"));
+        assert!(store.get(report.artifact.as_ref().unwrap()).is_some());
+    }
+
+    #[test]
+    fn syntax_error_positions_reported() {
+        let (mut fs, mut store) = setup();
+        fs.write("alice", "/home/alice/bad.mini", b"fn main() {\n  var = 3;\n}".to_vec()).unwrap();
+        let report = CompileRequest::new("alice", "/home/alice/bad.mini").run(&fs, &mut store);
+        assert!(!report.success());
+        let d = &report.diagnostics[0];
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.line, 2);
+        assert!(d.to_string().contains("bad.mini:2:"));
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        let (fs, mut store) = setup();
+        let report = CompileRequest::new("alice", "/home/alice/nope.mini").run(&fs, &mut store);
+        assert!(!report.success());
+        assert!(report.diagnostics[0].message.contains("no such file"));
+    }
+
+    #[test]
+    fn permission_denied_reported() {
+        let (mut fs, mut store) = setup();
+        fs.add_user("bob", 1 << 20).unwrap();
+        fs.write("alice", "/home/alice/x.mini", b"fn main() { }".to_vec()).unwrap();
+        let report = CompileRequest::new("bob", "/home/alice/x.mini").run(&fs, &mut store);
+        assert!(!report.success());
+        assert!(report.diagnostics[0].message.contains("permission denied"));
+    }
+
+    #[test]
+    fn java_source_gets_porting_note() {
+        let (mut fs, mut store) = setup();
+        fs.write(
+            "alice",
+            "/home/alice/Main.java",
+            b"public class Main { public static void main(String[] a) {} }".to_vec(),
+        )
+        .unwrap();
+        let report = CompileRequest::new("alice", "/home/alice/Main.java").run(&fs, &mut store);
+        assert!(!report.success());
+        assert_eq!(report.language, LanguageId::Java);
+        assert!(report.diagnostics.iter().any(|d| d.severity == Severity::Note));
+        assert!(report.render().contains("synchronized"));
+    }
+
+    #[test]
+    fn non_utf8_rejected() {
+        let (mut fs, mut store) = setup();
+        fs.write("alice", "/home/alice/bin.mini", vec![0xFF, 0xFE, 0x00]).unwrap();
+        let report = CompileRequest::new("alice", "/home/alice/bin.mini").run(&fs, &mut store);
+        assert!(!report.success());
+        assert!(report.diagnostics[0].message.contains("UTF-8"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Virtual-filesystem errors.
+
+use std::fmt;
+
+/// Everything that can go wrong in the [`crate::Vfs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// Malformed path input.
+    InvalidPath {
+        /// The raw input.
+        path: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// Path does not exist.
+    NotFound(String),
+    /// Target exists where it must not (create, move destination).
+    AlreadyExists(String),
+    /// Expected a file, found a directory.
+    IsADirectory(String),
+    /// Expected a directory, found a file.
+    NotADirectory(String),
+    /// Directory must be empty for this operation.
+    DirectoryNotEmpty(String),
+    /// Caller lacks permission.
+    PermissionDenied {
+        /// Acting user.
+        user: String,
+        /// Target path.
+        path: String,
+        /// Operation attempted.
+        op: &'static str,
+    },
+    /// Write would exceed the user's quota.
+    QuotaExceeded {
+        /// Acting user.
+        user: String,
+        /// Bytes in use after accounting for the freed old content.
+        used: u64,
+        /// The user's limit.
+        limit: u64,
+        /// Bytes the operation needed.
+        requested: u64,
+    },
+    /// Unknown user.
+    NoSuchUser(String),
+    /// User already registered.
+    UserExists(String),
+    /// Moving a directory into its own subtree.
+    MoveIntoSelf {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::InvalidPath { path, reason } => write!(f, "invalid path {path:?}: {reason}"),
+            VfsError::NotFound(p) => write!(f, "{p}: no such file or directory"),
+            VfsError::AlreadyExists(p) => write!(f, "{p}: already exists"),
+            VfsError::IsADirectory(p) => write!(f, "{p}: is a directory"),
+            VfsError::NotADirectory(p) => write!(f, "{p}: not a directory"),
+            VfsError::DirectoryNotEmpty(p) => write!(f, "{p}: directory not empty"),
+            VfsError::PermissionDenied { user, path, op } => {
+                write!(f, "{user}: permission denied for {op} on {path}")
+            }
+            VfsError::QuotaExceeded { user, used, limit, requested } => {
+                write!(f, "{user}: quota exceeded ({used}+{requested} > {limit} bytes)")
+            }
+            VfsError::NoSuchUser(u) => write!(f, "no such user {u}"),
+            VfsError::UserExists(u) => write!(f, "user {u} already exists"),
+            VfsError::MoveIntoSelf { from, to } => write!(f, "cannot move {from} into its own subtree {to}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}

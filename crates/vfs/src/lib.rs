@@ -1,0 +1,31 @@
+//! # vfs — the portal's virtual filesystem
+//!
+//! The portal must "provide facilities for file manipulation, like directory
+//! browsing, file uploading and downloading" (§II) and "incorporated a file
+//! browser allowing the download, and upload of multiple files, their
+//! editing and basic file manipulations like copy, move, rename" (§IV).
+//!
+//! This crate is that substrate: an in-memory hierarchical filesystem with
+//! per-user home directories, owner/world permission bits, per-user byte
+//! quotas, and the full operation set the portal exposes (mkdir, list,
+//! read, write, append, copy, move/rename, delete, stat).
+//!
+//! ```
+//! use vfs::{Vfs, Mode};
+//!
+//! let mut fs = Vfs::new();
+//! fs.add_user("alice", 1 << 20).unwrap();
+//! fs.write("alice", "/home/alice/hello.c", b"int main(){}".to_vec()).unwrap();
+//! let data = fs.read("alice", "/home/alice/hello.c").unwrap();
+//! assert_eq!(data, b"int main(){}");
+//! assert_eq!(fs.list("alice", "/home/alice").unwrap().len(), 1);
+//! # let _ = Mode::default();
+//! ```
+
+pub mod error;
+pub mod fs;
+pub mod path;
+
+pub use error::VfsError;
+pub use fs::{DirEntry, EntryKind, Mode, Stat, Vfs};
+pub use path::VPath;

@@ -1,0 +1,492 @@
+//! The HTTP application: routes → portal calls → JSON/HTML responses.
+
+use auth::{Role, Token};
+use ccp_core::{Portal, PortalError};
+use httpd::forms::{multipart_boundary, parse_cookies, parse_multipart, parse_query};
+use httpd::json::Json;
+use httpd::{Method, Request, Response, Router, Server, ServerHandle, Status};
+use parking_lot::Mutex;
+use sched::JobId;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The shared application state.
+pub struct App {
+    /// The portal backend.
+    pub portal: Mutex<Portal>,
+}
+
+impl App {
+    /// Wrap a portal.
+    pub fn new(portal: Portal) -> Arc<App> {
+        Arc::new(App { portal: Mutex::new(portal) })
+    }
+}
+
+/// Wall-clock seconds (session clock).
+fn now() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+/// Extract the bearer token from cookie or Authorization header.
+fn token_of(req: &Request) -> Option<Token> {
+    if let Some(cookie) = req.header("cookie") {
+        if let Some(sid) = parse_cookies(cookie).get("sid") {
+            return Some(Token::from_string(sid.clone()));
+        }
+    }
+    if let Some(auth) = req.header("authorization") {
+        if let Some(rest) = auth.strip_prefix("Bearer ") {
+            return Some(Token::from_string(rest.trim().to_string()));
+        }
+    }
+    None
+}
+
+/// Map a portal error onto an HTTP status + JSON body.
+fn err_response(e: &PortalError) -> Response {
+    let status = match e {
+        PortalError::Auth(_) | PortalError::Session(_) => Status::UNAUTHORIZED,
+        PortalError::Forbidden(_) | PortalError::OutsideHome { .. } => Status::FORBIDDEN,
+        PortalError::Vfs(vfs::VfsError::NotFound(_)) => Status::NOT_FOUND,
+        PortalError::Vfs(vfs::VfsError::AlreadyExists(_)) => Status::CONFLICT,
+        PortalError::Vfs(vfs::VfsError::QuotaExceeded { .. }) => Status::PAYLOAD_TOO_LARGE,
+        PortalError::Vfs(_) | PortalError::Bootstrap(_) => Status::BAD_REQUEST,
+        PortalError::Sched(sched::SchedError::NoSuchJob(_)) => Status::NOT_FOUND,
+        PortalError::Sched(_) | PortalError::Exec(_) => Status::BAD_REQUEST,
+    };
+    Response::json(status, &Json::obj(vec![("error", Json::str(e.to_string()))]))
+}
+
+macro_rules! try_portal {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(e) => return err_response(&e),
+        }
+    };
+}
+
+/// Require a token or answer 401.
+macro_rules! need_token {
+    ($req:expr) => {
+        match token_of($req) {
+            Some(t) => t,
+            None => return Response::error(Status::UNAUTHORIZED, "missing session"),
+        }
+    };
+}
+
+fn qparam(req: &Request, name: &str) -> Option<String> {
+    parse_query(&req.query).get(name).cloned()
+}
+
+fn json_body(req: &Request) -> Option<Json> {
+    Json::parse(req.body_str()).ok()
+}
+
+fn json_str(body: &Json, key: &str) -> Option<String> {
+    body.get(key)?.as_str().map(String::from)
+}
+
+/// Build the full route table over shared state.
+pub fn build_router(app: Arc<App>) -> Router {
+    let mut router = Router::new();
+
+    // ---- pages -------------------------------------------------------------
+    {
+        let app = Arc::clone(&app);
+        router.get("/", move |req| crate::pages::home(&app, req));
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/files", move |req| crate::pages::files(&app, req));
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/jobs", move |req| crate::pages::jobs(&app, req));
+    }
+
+    // ---- auth ---------------------------------------------------------------
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/login", move |req| {
+            let Some(body) = json_body(req) else {
+                return Response::error(Status::BAD_REQUEST, "expected JSON body");
+            };
+            let (Some(user), Some(password)) = (json_str(&body, "user"), json_str(&body, "password")) else {
+                return Response::error(Status::BAD_REQUEST, "need user and password");
+            };
+            let token = try_portal!(app.portal.lock().login(&user, &password, now()));
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![("token", Json::str(token.as_str())), ("user", Json::str(user))]),
+            )
+            .with_cookie("sid", token.as_str())
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/logout", move |req| {
+            let token = need_token!(req);
+            app.portal.lock().logout(&token);
+            Response::json(Status::OK, &Json::obj(vec![("ok", Json::Bool(true))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/whoami", move |req| {
+            let token = need_token!(req);
+            let (user, role) = try_portal!(app.portal.lock().whoami(&token, now()));
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![("user", Json::str(user)), ("role", Json::str(role.name()))]),
+            )
+        });
+    }
+
+    // ---- admin ----------------------------------------------------------------
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/admin/users", move |req| {
+            let token = need_token!(req);
+            let Some(body) = json_body(req) else {
+                return Response::error(Status::BAD_REQUEST, "expected JSON body");
+            };
+            let (Some(name), Some(password)) = (json_str(&body, "name"), json_str(&body, "password")) else {
+                return Response::error(Status::BAD_REQUEST, "need name and password");
+            };
+            let role = match json_str(&body, "role").as_deref() {
+                Some("faculty") => Role::Faculty,
+                Some("admin") => Role::Admin,
+                _ => Role::Student,
+            };
+            try_portal!(app.portal.lock().create_user(&token, &name, &password, role, now()));
+            Response::json(Status::CREATED, &Json::obj(vec![("created", Json::str(name))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/admin/users", move |req| {
+            let token = need_token!(req);
+            let users = try_portal!(app.portal.lock().list_users(&token, now()));
+            Response::json(Status::OK, &Json::Arr(users.into_iter().map(Json::Str).collect()))
+        });
+    }
+
+    // ---- file manager ------------------------------------------------------------
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/files", move |req| {
+            let token = need_token!(req);
+            let path = qparam(req, "path").unwrap_or_default();
+            let listing = try_portal!(app.portal.lock().list_dir(&token, &path, now()));
+            let rows = listing
+                .into_iter()
+                .map(|f| {
+                    Json::obj(vec![
+                        ("name", Json::str(f.name)),
+                        ("dir", Json::Bool(f.is_dir)),
+                        ("size", Json::num(f.size as f64)),
+                        ("owner", Json::str(f.owner)),
+                        ("mtime", Json::num(f.mtime as f64)),
+                    ])
+                })
+                .collect();
+            Response::json(Status::OK, &Json::Arr(rows))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/file", move |req| {
+            let token = need_token!(req);
+            let Some(path) = qparam(req, "path") else {
+                return Response::error(Status::BAD_REQUEST, "need path");
+            };
+            let data = try_portal!(app.portal.lock().read_file(&token, &path, now()));
+            Response::new(Status::OK)
+                .with_header("Content-Type", "application/octet-stream")
+                .with_body(data)
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/file", move |req| {
+            let token = need_token!(req);
+            let Some(path) = qparam(req, "path") else {
+                return Response::error(Status::BAD_REQUEST, "need path");
+            };
+            try_portal!(app.portal.lock().write_file(&token, &path, req.body.clone(), now()));
+            Response::json(Status::CREATED, &Json::obj(vec![("saved", Json::str(path))]))
+        });
+    }
+    {
+        // Multi-file upload: "the download, and upload of multiple files"
+        // (paper SIV). multipart/form-data; each file part saves under the
+        // target directory (?dir=..., default home).
+        let app = Arc::clone(&app);
+        router.post("/api/upload", move |req| {
+            let token = need_token!(req);
+            let Some(boundary) = req.header("content-type").and_then(multipart_boundary) else {
+                return Response::error(Status::BAD_REQUEST, "expected multipart/form-data");
+            };
+            let dir = qparam(req, "dir").unwrap_or_default();
+            let parts = parse_multipart(&req.body, &boundary);
+            let mut saved = Vec::new();
+            for part in parts {
+                let Some(filename) = part.filename else { continue };
+                if filename.is_empty() {
+                    continue;
+                }
+                let path = if dir.is_empty() { filename.clone() } else { format!("{dir}/{filename}") };
+                try_portal!(app.portal.lock().write_file(&token, &path, part.data, now()));
+                saved.push(Json::str(path));
+            }
+            Response::json(Status::CREATED, &Json::obj(vec![("saved", Json::Arr(saved))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/mkdir", move |req| {
+            let token = need_token!(req);
+            let Some(path) = qparam(req, "path") else {
+                return Response::error(Status::BAD_REQUEST, "need path");
+            };
+            try_portal!(app.portal.lock().mkdir(&token, &path, now()));
+            Response::json(Status::CREATED, &Json::obj(vec![("created", Json::str(path))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/rm", move |req| {
+            let token = need_token!(req);
+            let Some(path) = qparam(req, "path") else {
+                return Response::error(Status::BAD_REQUEST, "need path");
+            };
+            try_portal!(app.portal.lock().remove(&token, &path, now()));
+            Response::json(Status::OK, &Json::obj(vec![("removed", Json::str(path))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/mv", move |req| {
+            let token = need_token!(req);
+            let (Some(from), Some(to)) = (qparam(req, "from"), qparam(req, "to")) else {
+                return Response::error(Status::BAD_REQUEST, "need from and to");
+            };
+            try_portal!(app.portal.lock().rename(&token, &from, &to, now()));
+            Response::json(Status::OK, &Json::obj(vec![("moved", Json::str(to))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/cp", move |req| {
+            let token = need_token!(req);
+            let (Some(from), Some(to)) = (qparam(req, "from"), qparam(req, "to")) else {
+                return Response::error(Status::BAD_REQUEST, "need from and to");
+            };
+            try_portal!(app.portal.lock().copy(&token, &from, &to, now()));
+            Response::json(Status::OK, &Json::obj(vec![("copied", Json::str(to))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/quota", move |req| {
+            let token = need_token!(req);
+            let q = try_portal!(app.portal.lock().quota(&token, now()));
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![("used", Json::num(q.used as f64)), ("limit", Json::num(q.limit as f64))]),
+            )
+        });
+    }
+
+    // ---- compile & run -------------------------------------------------------------
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/compile", move |req| {
+            let token = need_token!(req);
+            let Some(path) = qparam(req, "path") else {
+                return Response::error(Status::BAD_REQUEST, "need path");
+            };
+            let report = try_portal!(app.portal.lock().compile(&token, &path, now()));
+            let status = if report.success() { Status::OK } else { Status::BAD_REQUEST };
+            Response::json(
+                status,
+                &Json::obj(vec![
+                    ("success", Json::Bool(report.success())),
+                    ("language", Json::str(report.language.to_string())),
+                    (
+                        "artifact",
+                        report.artifact.as_ref().map(|a| Json::str(a.to_string())).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "diagnostics",
+                        Json::Arr(report.diagnostics.iter().map(|d| Json::str(d.to_string())).collect()),
+                    ),
+                ]),
+            )
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/artifacts", move |req| {
+            let token = need_token!(req);
+            let arts = try_portal!(app.portal.lock().my_artifacts(&token, now()));
+            let rows = arts
+                .into_iter()
+                .map(|(id, src)| Json::obj(vec![("id", Json::str(id)), ("source", Json::str(src))]))
+                .collect();
+            Response::json(Status::OK, &Json::Arr(rows))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/run", move |req| {
+            let token = need_token!(req);
+            let Some(artifact) = qparam(req, "artifact") else {
+                return Response::error(Status::BAD_REQUEST, "need artifact");
+            };
+            let seed: u64 = qparam(req, "seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+            let stdin: Vec<String> = req.body_str().lines().map(String::from).collect();
+            let report =
+                try_portal!(app.portal.lock().run_interactive_stdin(&token, &artifact, seed, &stdin, now()));
+            match (&report.outcome, &report.error) {
+                (Some(out), _) => Response::json(
+                    Status::OK,
+                    &Json::obj(vec![
+                        ("success", Json::Bool(true)),
+                        ("stdout", Json::str(out.stdout.clone())),
+                        ("executed", Json::num(out.executed as f64)),
+                        ("threads", Json::num(out.peak_threads as f64)),
+                    ]),
+                ),
+                (None, Some(e)) => Response::json(
+                    Status::OK,
+                    &Json::obj(vec![("success", Json::Bool(false)), ("error", Json::str(e.to_string()))]),
+                ),
+                (None, None) => Response::error(Status::INTERNAL, "executor returned nothing"),
+            }
+        });
+    }
+
+    // ---- the job distributor ---------------------------------------------------------
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/jobs", move |req| {
+            let token = need_token!(req);
+            let Some(body) = json_body(req) else {
+                return Response::error(Status::BAD_REQUEST, "expected JSON body");
+            };
+            let Some(artifact) = json_str(&body, "artifact") else {
+                return Response::error(Status::BAD_REQUEST, "need artifact");
+            };
+            let cores = body.get("cores").and_then(Json::as_num).unwrap_or(1.0) as u32;
+            let est = body.get("estimated_ticks").and_then(Json::as_num).unwrap_or(10.0) as u64;
+            let id = try_portal!(app.portal.lock().submit_job(&token, &artifact, cores, est, now()));
+            Response::json(Status::CREATED, &Json::obj(vec![("job", Json::num(id.0 as f64))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/jobs", move |req| {
+            let token = need_token!(req);
+            let jobs = try_portal!(app.portal.lock().jobs(&token, now()));
+            let rows = jobs.into_iter().map(|j| job_json(&j)).collect();
+            Response::json(Status::OK, &Json::Arr(rows))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/jobs/:id", move |req| {
+            let token = need_token!(req);
+            let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
+                return Response::error(Status::BAD_REQUEST, "bad job id");
+            };
+            let job = try_portal!(app.portal.lock().job(&token, JobId(id), now()));
+            Response::json(Status::OK, &job_json(&job))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/jobs/:id/stdin", move |req| {
+            let token = need_token!(req);
+            let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
+                return Response::error(Status::BAD_REQUEST, "bad job id");
+            };
+            try_portal!(app.portal.lock().send_stdin(&token, JobId(id), req.body_str(), now()));
+            Response::json(Status::OK, &Json::obj(vec![("ok", Json::Bool(true))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/jobs/:id/cancel", move |req| {
+            let token = need_token!(req);
+            let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
+                return Response::error(Status::BAD_REQUEST, "bad job id");
+            };
+            try_portal!(app.portal.lock().cancel_job(&token, JobId(id), now()));
+            Response::json(Status::OK, &Json::obj(vec![("cancelled", Json::num(id as f64))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/tick", move |req| {
+            let token = need_token!(req);
+            // Only authenticated users may pump the clock (any role: the
+            // test driver and the background ticker both authenticate).
+            let _ = try_portal!(app.portal.lock().whoami(&token, now()));
+            let dispatched = app.portal.lock().tick();
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![(
+                    "dispatched",
+                    Json::Arr(dispatched.iter().map(|j| Json::num(j.0 as f64)).collect()),
+                )]),
+            )
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/status", move |_req| {
+            let (free, total, util) = app.portal.lock().cluster_status();
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![
+                    ("free_cores", Json::num(free as f64)),
+                    ("total_cores", Json::num(total as f64)),
+                    ("utilization", Json::num(util)),
+                ]),
+            )
+        });
+    }
+
+    router
+}
+
+fn job_json(j: &ccp_core::JobView) -> Json {
+    Json::obj(vec![
+        ("id", Json::num(j.id.0 as f64)),
+        ("user", Json::str(j.user.clone())),
+        ("executable", Json::str(j.executable.clone())),
+        ("state", Json::str(j.state_label.clone())),
+        ("cores", Json::num(j.cores as f64)),
+        ("stdout", Json::str(j.stdout.clone())),
+        ("stderr", Json::str(j.stderr.clone())),
+    ])
+}
+
+/// Serve the portal on a real socket. The caller keeps the [`ServerHandle`]
+/// alive for the server's lifetime.
+pub fn serve(app: Arc<App>, addr: &str) -> std::io::Result<ServerHandle> {
+    Server::new(build_router(app)).spawn(addr)
+}
+
+/// Convenience used by pages and tests: dispatch a synthetic request.
+pub fn dispatch(router: &Router, method: Method, path: &str, body: &[u8], token: Option<&str>) -> Response {
+    let mut req = Request::synthetic(method, path, body);
+    if let Some(t) = token {
+        req = req.with_header("cookie", &format!("sid={t}"));
+    }
+    router.dispatch(&mut req)
+}

@@ -1,0 +1,21 @@
+//! # webportal — the cluster computing portal's web face
+//!
+//! "The portal on the server allows remote access to the computing
+//! resources ... accessible from the webpage" (§II). This crate maps the
+//! [`ccp_core::Portal`] API onto HTTP:
+//!
+//! * [`app`] — the JSON API under `/api/*` (login, file manager, compile,
+//!   run, job distributor, admin) plus the HTML pages;
+//! * [`pages`] — server-rendered HTML for browsing without a client app.
+//!
+//! Authentication is a session cookie (`sid`) or `Authorization: Bearer`.
+//! Every endpoint is testable in-process via [`httpd::Router::dispatch`];
+//! [`app::serve`] binds a real TCP socket for browser access.
+
+pub mod app;
+pub mod pages;
+
+pub use app::{build_router, serve, App};
+
+#[cfg(test)]
+mod tests;

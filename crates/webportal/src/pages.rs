@@ -1,0 +1,105 @@
+//! Server-rendered HTML pages: home/dashboard, file browser, job monitor.
+//!
+//! Deliberately plain HTML (2013-appropriate, and testable by substring):
+//! the JSON API under `/api` is the primary machine interface.
+
+use crate::app::App;
+use httpd::forms::{parse_cookies, parse_query};
+use httpd::html::{escape, page, table};
+use httpd::{Request, Response};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn now() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+fn session_user(app: &App, req: &Request) -> Option<String> {
+    let cookie = req.header("cookie")?;
+    let sid = parse_cookies(cookie).get("sid")?.clone();
+    let token = auth::Token::from_string(sid);
+    app.portal.lock().whoami(&token, now()).ok().map(|(u, _)| u)
+}
+
+/// `GET /` — dashboard: cluster status + login state.
+pub fn home(app: &Arc<App>, req: &Request) -> Response {
+    let (free, total, util) = app.portal.lock().cluster_status();
+    let who = session_user(app, req);
+    let body = format!(
+        "<p>Welcome to the cluster computing portal.</p>\
+         <p>Cluster: {free} of {total} cores free ({util:.0}% utilized).</p>\
+         <p>{}</p>\
+         <ul><li><a href=\"/files\">File manager</a></li>\
+         <li><a href=\"/jobs\">Job monitor</a></li></ul>",
+        match &who {
+            Some(u) => format!("Signed in as <b>{}</b>.", escape(u)),
+            None => "Not signed in; POST /api/login.".to_string(),
+        },
+        util = util * 100.0,
+    );
+    Response::html(page("Cluster Computing Portal", &body))
+}
+
+/// `GET /files?path=` — the file browser.
+pub fn files(app: &Arc<App>, req: &Request) -> Response {
+    let Some(cookie) = req.header("cookie") else {
+        return Response::redirect("/");
+    };
+    let Some(sid) = parse_cookies(cookie).get("sid").cloned() else {
+        return Response::redirect("/");
+    };
+    let token = auth::Token::from_string(sid);
+    let path = parse_query(&req.query).get("path").cloned().unwrap_or_default();
+    match app.portal.lock().list_dir(&token, &path, now()) {
+        Ok(listing) => {
+            let rows: Vec<Vec<String>> = listing
+                .iter()
+                .map(|f| {
+                    vec![
+                        if f.is_dir { format!("{}/", f.name) } else { f.name.clone() },
+                        f.size.to_string(),
+                        f.owner.clone(),
+                        f.mtime.to_string(),
+                    ]
+                })
+                .collect();
+            let body = format!(
+                "<p>Listing of <code>{}</code></p>{}",
+                escape(if path.is_empty() { "~" } else { &path }),
+                table(&["Name", "Size", "Owner", "Modified"], &rows)
+            );
+            Response::html(page("File Manager", &body))
+        }
+        Err(e) => Response::html(page("File Manager", &format!("<p>Error: {}</p>", escape(&e.to_string())))),
+    }
+}
+
+/// `GET /jobs` — the job monitor.
+pub fn jobs(app: &Arc<App>, req: &Request) -> Response {
+    let Some(cookie) = req.header("cookie") else {
+        return Response::redirect("/");
+    };
+    let Some(sid) = parse_cookies(cookie).get("sid").cloned() else {
+        return Response::redirect("/");
+    };
+    let token = auth::Token::from_string(sid);
+    match app.portal.lock().jobs(&token, now()) {
+        Ok(jobs) => {
+            let rows: Vec<Vec<String>> = jobs
+                .iter()
+                .map(|j| {
+                    vec![
+                        j.id.to_string(),
+                        j.user.clone(),
+                        j.executable.clone(),
+                        j.state_label.clone(),
+                        j.cores.to_string(),
+                    ]
+                })
+                .collect();
+            let body = table(&["Job", "User", "Executable", "State", "Cores"], &rows);
+            Response::html(page("Job Monitor", &body))
+        }
+        Err(e) => Response::html(page("Job Monitor", &format!("<p>Error: {}</p>", escape(&e.to_string())))),
+    }
+}

@@ -1,0 +1,362 @@
+//! In-process HTTP tests: synthetic requests through the full route table.
+
+use crate::app::{build_router, dispatch, App};
+use auth::Role;
+use ccp_core::{Portal, PortalConfig};
+use cluster::ClusterSpec;
+use httpd::json::Json;
+use httpd::{Method, Response, Router, Status};
+use std::sync::Arc;
+
+fn test_app() -> (Arc<App>, Router) {
+    let config = PortalConfig { cluster: ClusterSpec::small(2, 2), ..PortalConfig::default() };
+    let mut portal = Portal::new(config);
+    portal.bootstrap_admin("admin", "super-secret9").unwrap();
+    let app = App::new(portal);
+    let router = build_router(Arc::clone(&app));
+    (app, router)
+}
+
+fn login(router: &Router, user: &str, password: &str) -> String {
+    let body = format!(r#"{{"user":"{user}","password":"{password}"}}"#);
+    let resp = dispatch(router, Method::Post, "/api/login", body.as_bytes(), None);
+    assert_eq!(resp.status, Status::OK, "{}", resp.body_str());
+    Json::parse(resp.body_str())
+        .unwrap()
+        .get("token")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+fn make_student(app: &Arc<App>, router: &Router, name: &str) -> String {
+    let admin = login(router, "admin", "super-secret9");
+    let body = format!(r#"{{"name":"{name}","password":"password99","role":"student"}}"#);
+    let resp = dispatch(router, Method::Post, "/api/admin/users", body.as_bytes(), Some(&admin));
+    assert_eq!(resp.status, Status::CREATED, "{}", resp.body_str());
+    let _ = app;
+    login(router, name, "password99")
+}
+
+fn json_of(resp: &Response) -> Json {
+    Json::parse(resp.body_str()).unwrap_or(Json::Null)
+}
+
+#[test]
+fn login_issues_cookie_and_token() {
+    let (_, router) = test_app();
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/login",
+        br#"{"user":"admin","password":"super-secret9"}"#,
+        None,
+    );
+    assert_eq!(resp.status, Status::OK);
+    assert!(resp.header("set-cookie").unwrap().starts_with("sid="));
+    assert!(json_of(&resp).get("token").is_some());
+}
+
+#[test]
+fn bad_credentials_401() {
+    let (_, router) = test_app();
+    let resp =
+        dispatch(&router, Method::Post, "/api/login", br#"{"user":"admin","password":"nope-nope"}"#, None);
+    assert_eq!(resp.status, Status::UNAUTHORIZED);
+}
+
+#[test]
+fn missing_session_401() {
+    let (_, router) = test_app();
+    for path in ["/api/whoami", "/api/files", "/api/quota", "/api/jobs"] {
+        let resp = dispatch(&router, Method::Get, path, b"", None);
+        assert_eq!(resp.status, Status::UNAUTHORIZED, "{path}");
+    }
+}
+
+#[test]
+fn whoami_reports_role() {
+    let (_, router) = test_app();
+    let tok = login(&router, "admin", "super-secret9");
+    let resp = dispatch(&router, Method::Get, "/api/whoami", b"", Some(&tok));
+    let j = json_of(&resp);
+    assert_eq!(j.get("user").unwrap().as_str(), Some("admin"));
+    assert_eq!(j.get("role").unwrap().as_str(), Some("admin"));
+}
+
+#[test]
+fn logout_invalidates_session() {
+    let (_, router) = test_app();
+    let tok = login(&router, "admin", "super-secret9");
+    dispatch(&router, Method::Post, "/api/logout", b"", Some(&tok));
+    let resp = dispatch(&router, Method::Get, "/api/whoami", b"", Some(&tok));
+    assert_eq!(resp.status, Status::UNAUTHORIZED);
+}
+
+#[test]
+fn student_cannot_create_users() {
+    let (app, router) = test_app();
+    let student = make_student(&app, &router, "alice");
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/admin/users",
+        br#"{"name":"eve","password":"password99"}"#,
+        Some(&student),
+    );
+    assert_eq!(resp.status, Status::FORBIDDEN);
+}
+
+#[test]
+fn file_upload_download_listing() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    let resp = dispatch(&router, Method::Post, "/api/file?path=hello.txt", b"contents!", Some(&tok));
+    assert_eq!(resp.status, Status::CREATED);
+    let resp = dispatch(&router, Method::Get, "/api/file?path=hello.txt", b"", Some(&tok));
+    assert_eq!(resp.body, b"contents!");
+    let resp = dispatch(&router, Method::Get, "/api/files", b"", Some(&tok));
+    let rows = json_of(&resp);
+    let arr = rows.as_arr().unwrap();
+    assert_eq!(arr.len(), 1);
+    assert_eq!(arr[0].get("name").unwrap().as_str(), Some("hello.txt"));
+    assert_eq!(arr[0].get("size").unwrap().as_num(), Some(9.0));
+}
+
+#[test]
+fn file_operations_mv_cp_rm_mkdir() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(&router, Method::Post, "/api/mkdir?path=src", b"", Some(&tok));
+    dispatch(&router, Method::Post, "/api/file?path=src/a.txt", b"A", Some(&tok));
+    let r = dispatch(&router, Method::Post, "/api/cp?from=src/a.txt&to=src/b.txt", b"", Some(&tok));
+    assert_eq!(r.status, Status::OK, "{}", r.body_str());
+    let r = dispatch(&router, Method::Post, "/api/mv?from=src/b.txt&to=c.txt", b"", Some(&tok));
+    assert_eq!(r.status, Status::OK);
+    let r = dispatch(&router, Method::Post, "/api/rm?path=src", b"", Some(&tok));
+    assert_eq!(r.status, Status::OK);
+    let resp = dispatch(&router, Method::Get, "/api/file?path=c.txt", b"", Some(&tok));
+    assert_eq!(resp.body, b"A");
+}
+
+#[test]
+fn reading_missing_file_404() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    let resp = dispatch(&router, Method::Get, "/api/file?path=ghost.txt", b"", Some(&tok));
+    assert_eq!(resp.status, Status::NOT_FOUND);
+}
+
+#[test]
+fn escape_attempt_403() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    let resp = dispatch(&router, Method::Get, "/api/file?path=%2Fhome%2Fadmin%2Fx", b"", Some(&tok));
+    assert_eq!(resp.status, Status::FORBIDDEN);
+}
+
+#[test]
+fn compile_and_run_through_api() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=p.mini",
+        b"fn main() { println(\"web run\"); }",
+        Some(&tok),
+    );
+    let resp = dispatch(&router, Method::Post, "/api/compile?path=p.mini", b"", Some(&tok));
+    assert_eq!(resp.status, Status::OK, "{}", resp.body_str());
+    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    let resp = dispatch(&router, Method::Post, &format!("/api/run?artifact={artifact}"), b"", Some(&tok));
+    let j = json_of(&resp);
+    assert_eq!(j.get("success").unwrap().as_bool(), Some(true));
+    assert_eq!(j.get("stdout").unwrap().as_str(), Some("web run\n"));
+}
+
+#[test]
+fn compile_failure_returns_diagnostics() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(&router, Method::Post, "/api/file?path=bad.mini", b"fn main() { oops", Some(&tok));
+    let resp = dispatch(&router, Method::Post, "/api/compile?path=bad.mini", b"", Some(&tok));
+    assert_eq!(resp.status, Status::BAD_REQUEST);
+    let j = json_of(&resp);
+    assert_eq!(j.get("success").unwrap().as_bool(), Some(false));
+    assert!(!j.get("diagnostics").unwrap().as_arr().unwrap().is_empty());
+}
+
+#[test]
+fn job_submission_and_monitoring() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(&router, Method::Post, "/api/file?path=j.mini", b"fn main() { println(\"batch\"); }", Some(&tok));
+    let resp = dispatch(&router, Method::Post, "/api/compile?path=j.mini", b"", Some(&tok));
+    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    let body = format!(r#"{{"artifact":"{artifact}","cores":1,"estimated_ticks":3}}"#);
+    let resp = dispatch(&router, Method::Post, "/api/jobs", body.as_bytes(), Some(&tok));
+    assert_eq!(resp.status, Status::CREATED);
+    let id = json_of(&resp).get("job").unwrap().as_num().unwrap() as u64;
+    // Pump the distributor.
+    for _ in 0..10 {
+        dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
+    }
+    let resp = dispatch(&router, Method::Get, &format!("/api/jobs/{id}"), b"", Some(&tok));
+    let j = json_of(&resp);
+    assert!(j.get("state").unwrap().as_str().unwrap().contains("completed"), "{}", resp.body_str());
+    assert_eq!(j.get("stdout").unwrap().as_str(), Some("batch\n"));
+}
+
+#[test]
+fn status_endpoint_public() {
+    let (_, router) = test_app();
+    let resp = dispatch(&router, Method::Get, "/api/status", b"", None);
+    let j = json_of(&resp);
+    assert_eq!(j.get("total_cores").unwrap().as_num(), Some(16.0));
+    assert_eq!(j.get("free_cores").unwrap().as_num(), Some(16.0));
+}
+
+#[test]
+fn html_pages_render() {
+    let (app, router) = test_app();
+    let resp = dispatch(&router, Method::Get, "/", b"", None);
+    assert!(resp.body_str().contains("Cluster Computing Portal"));
+    assert!(resp.body_str().contains("16 of 16 cores free"));
+    // File browser redirects anonymous users home.
+    let resp = dispatch(&router, Method::Get, "/files", b"", None);
+    assert_eq!(resp.status, Status::FOUND);
+    // Signed in: renders the listing.
+    let tok = make_student(&app, &router, "alice");
+    dispatch(&router, Method::Post, "/api/file?path=visible.txt", b"x", Some(&tok));
+    let resp = dispatch(&router, Method::Get, "/files", b"", Some(&tok));
+    assert!(resp.body_str().contains("visible.txt"), "{}", resp.body_str());
+    let resp = dispatch(&router, Method::Get, "/jobs", b"", Some(&tok));
+    assert!(resp.body_str().contains("Job Monitor"));
+}
+
+#[test]
+fn run_with_stdin_lines() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=s.mini",
+        b"fn main() { println(read_line(), \"-\", read_line()); }",
+        Some(&tok),
+    );
+    let resp = dispatch(&router, Method::Post, "/api/compile?path=s.mini", b"", Some(&tok));
+    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        &format!("/api/run?artifact={artifact}"),
+        b"first\nsecond",
+        Some(&tok),
+    );
+    assert_eq!(json_of(&resp).get("stdout").unwrap().as_str(), Some("first-second\n"));
+}
+
+#[test]
+fn deadlocked_run_reports_error_json() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=d.mini",
+        b"fn main() { var m = mutex(); lock(m); lock(m); }",
+        Some(&tok),
+    );
+    let resp = dispatch(&router, Method::Post, "/api/compile?path=d.mini", b"", Some(&tok));
+    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    let resp = dispatch(&router, Method::Post, &format!("/api/run?artifact={artifact}"), b"", Some(&tok));
+    let j = json_of(&resp);
+    assert_eq!(j.get("success").unwrap().as_bool(), Some(false));
+    assert!(j.get("error").unwrap().as_str().unwrap().contains("deadlock"));
+}
+
+#[test]
+fn quota_endpoint() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(&router, Method::Post, "/api/file?path=f", b"12345", Some(&tok));
+    let resp = dispatch(&router, Method::Get, "/api/quota", b"", Some(&tok));
+    assert_eq!(json_of(&resp).get("used").unwrap().as_num(), Some(5.0));
+}
+
+#[test]
+fn serves_over_real_tcp() {
+    use std::io::{Read, Write};
+    let (app, _router) = test_app();
+    let handle = crate::app::serve(app, "127.0.0.1:0").unwrap();
+    let mut s = std::net::TcpStream::connect(handle.addr()).unwrap();
+    s.write_all(b"GET /api/status HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+    assert!(out.contains("total_cores"));
+    handle.shutdown();
+}
+
+#[test]
+fn artifacts_listing() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(&router, Method::Post, "/api/file?path=one.mini", b"fn main() { }", Some(&tok));
+    dispatch(&router, Method::Post, "/api/compile?path=one.mini", b"", Some(&tok));
+    let resp = dispatch(&router, Method::Get, "/api/artifacts", b"", Some(&tok));
+    let arr = json_of(&resp);
+    assert_eq!(arr.as_arr().unwrap().len(), 1);
+    assert!(arr.as_arr().unwrap()[0].get("source").unwrap().as_str().unwrap().contains("one.mini"));
+}
+
+#[test]
+fn role_parsing_in_user_creation() {
+    let (_, router) = test_app();
+    let admin = login(&router, "admin", "super-secret9");
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/admin/users",
+        br#"{"name":"prof","password":"password99","role":"faculty"}"#,
+        Some(&admin),
+    );
+    assert_eq!(resp.status, Status::CREATED);
+    let prof = login(&router, "prof", "password99");
+    let resp = dispatch(&router, Method::Get, "/api/whoami", b"", Some(&prof));
+    assert_eq!(json_of(&resp).get("role").unwrap().as_str(), Some("faculty"));
+    let _ = Role::Faculty;
+}
+
+#[test]
+fn multipart_multi_file_upload() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    let body = format!(
+        "--BNDRY\r\nContent-Disposition: form-data; name=\"f\"; filename=\"one.mini\"\r\n\r\nfn main() {{ }}\r\n--BNDRY\r\nContent-Disposition: form-data; name=\"f\"; filename=\"two.txt\"\r\n\r\nnotes here\r\n--BNDRY--\r\n"
+    );
+    let mut req = httpd::Request::synthetic(Method::Post, "/api/upload?dir=uploads", body.as_bytes())
+        .with_header("cookie", &format!("sid={tok}"))
+        .with_header("content-type", "multipart/form-data; boundary=BNDRY");
+    // Directory must exist first.
+    dispatch(&router, Method::Post, "/api/mkdir?path=uploads", b"", Some(&tok));
+    let resp = router.dispatch(&mut req);
+    assert_eq!(resp.status, Status::CREATED, "{}", resp.body_str());
+    let saved = json_of(&resp);
+    assert_eq!(saved.get("saved").unwrap().as_arr().unwrap().len(), 2);
+    let resp = dispatch(&router, Method::Get, "/api/file?path=uploads/two.txt", b"", Some(&tok));
+    assert_eq!(resp.body, b"notes here");
+    let resp = dispatch(&router, Method::Get, "/api/file?path=uploads/one.mini", b"", Some(&tok));
+    assert_eq!(resp.body, b"fn main() { }");
+}
+
+#[test]
+fn upload_without_multipart_content_type_rejected() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    let resp = dispatch(&router, Method::Post, "/api/upload", b"data", Some(&tok));
+    assert_eq!(resp.status, Status::BAD_REQUEST);
+}

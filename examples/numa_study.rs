@@ -1,0 +1,68 @@
+//! The UMA/NUMA study (Lab 3) at full width: on-node hierarchy sweep,
+//! payload scaling for remote-node access, and a topology/collective sweep
+//! over the message-passing kernel — the "topology, latency, routing"
+//! module of the course.
+//!
+//! Run with: `cargo run --release --example numa_study`
+
+use cluster::{AccessKind, MemorySystem};
+use labs::lab3_numa;
+use mpik::{Reduce, World};
+use simnet::{LinkProfile, Pattern, Topology};
+
+fn main() {
+    println!("== on-node memory hierarchy (simulated ns/access) ==");
+    for row in lab3_numa::measure_on_node(2048) {
+        println!("  {:<24} {:>10.2}", row.domain.to_string(), row.mean_ns);
+    }
+
+    println!("\n== remote-node (MPI) access vs payload size ==");
+    println!("  {:<12} {:>14}", "bytes", "ns/access");
+    for shift in [6u32, 10, 14, 18, 20] {
+        let row = lab3_numa::measure_remote_node(64, 1 << shift);
+        println!("  {:<12} {:>14.0}", 1u64 << shift, row.mean_ns);
+    }
+
+    println!("\n== stride sweep: cache-line effects ==");
+    let mut mem = MemorySystem::new(2, 2);
+    println!("  {:<8} {:>12}", "stride", "ns/access");
+    for stride in [8u64, 16, 32, 64, 128, 256] {
+        let mean = mem.sweep(0, stride * 100_000, 4096, stride, AccessKind::Read);
+        println!("  {:<8} {:>12.2}", stride, mean);
+    }
+
+    println!("\n== allreduce latency vs topology (8 ranks, virtual ns) ==");
+    let topologies: Vec<(&str, Topology)> = vec![
+        ("ring", Topology::ring(8)),
+        ("mesh 2x4", Topology::mesh2d(2, 4)),
+        ("hypercube", Topology::hypercube(3)),
+        ("star", Topology::star(8)),
+        ("clique", Topology::fully_connected(8)),
+        ("cluster 2x4", Topology::segmented_cluster(2, 4)),
+    ];
+    println!("  {:<14} {:>14} {:>10}", "topology", "max vt (ns)", "diameter");
+    for (name, topo) in topologies {
+        let diameter = topo.diameter();
+        let world = World::new(8, topo, LinkProfile::gigabit_ethernet());
+        let (_, stats) = world
+            .run_stats(|p| p.allreduce_i64(p.rank() as i64, Reduce::Sum).expect("allreduce"))
+            .expect("world runs");
+        let max_vt = stats.iter().map(|s| s.virtual_time_ns).max().unwrap_or(0);
+        println!("  {:<14} {:>14} {:>10}", name, max_vt, diameter);
+    }
+
+    println!("\n== traffic-pattern cost on the UHD cluster fabric ==");
+    let mut net = simnet::Network::uhd_cluster();
+    let nodes = net.topology().len();
+    println!("  {:<12} {:>10} {:>16}", "pattern", "flows", "total cost (ns)");
+    for pattern in Pattern::ALL {
+        let flows = pattern.generate(nodes, 4096, 1);
+        let mut total = 0u64;
+        for f in &flows {
+            total += net.send(f.src, f.dst, f.bytes).expect("route").total.nanos();
+        }
+        println!("  {:<12} {:>10} {:>16}", pattern.name(), flows.len(), total);
+    }
+    let ((from, to), bytes) = net.hottest_link().expect("traffic flowed");
+    println!("  hottest link: {from} -> {to} carried {bytes} bytes");
+}

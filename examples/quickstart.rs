@@ -1,0 +1,75 @@
+//! Quickstart: the §II user journey end to end, in one binary.
+//!
+//! Boots the UHD cluster portal, creates an instructor and a student,
+//! uploads a parallel program through the file manager, compiles it,
+//! runs it interactively, then submits it to the job distributor and
+//! monitors it to completion.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use auth::Role;
+use ccp_core::{Portal, PortalConfig};
+
+fn main() {
+    // 1. Boot the portal over the paper's 4-segment, 69-node cluster.
+    let mut portal = Portal::new(PortalConfig::default());
+    portal.bootstrap_admin("admin", "change-me-please").expect("first admin");
+    let (free, total, _) = portal.cluster_status();
+    println!("cluster up: {free}/{total} cores free");
+
+    // 2. Accounts: one faculty, one student.
+    let admin = portal.login("admin", "change-me-please", 0).expect("admin login");
+    portal.create_user(&admin, "hlin", "faculty-pass-1", Role::Faculty, 0).expect("create faculty");
+    portal.create_user(&admin, "student1", "student-pass-1", Role::Student, 0).expect("create student");
+
+    // 3. The student logs in and uploads a program through the portal.
+    let tok = portal.login("student1", "student-pass-1", 0).expect("student login");
+    let program = r#"
+        var counter = 0;
+        var m;
+        fn worker(n) {
+            for (var i = 0; i < n; i = i + 1) {
+                lock(m);
+                counter = counter + 1;
+                unlock(m);
+            }
+        }
+        fn main() {
+            m = mutex();
+            var t1 = spawn worker(1000);
+            var t2 = spawn worker(1000);
+            join(t1); join(t2);
+            println("final counter = ", counter);
+            return counter;
+        }
+    "#;
+    portal.write_file(&tok, "counter.mini", program.as_bytes().to_vec(), 0).expect("upload");
+    println!("uploaded counter.mini to /home/student1");
+
+    // 4. Compile; diagnostics come back gcc-style.
+    let report = portal.compile(&tok, "counter.mini", 0).expect("compile request");
+    print!("{}", report.render());
+    let artifact = report.artifact.expect("compilation succeeded").to_string();
+
+    // 5. Run interactively (the "run in browser" button).
+    let run = portal.run_interactive(&tok, &artifact, 42, 0).expect("run");
+    let outcome = run.outcome.expect("program succeeded");
+    print!("interactive run output: {}", outcome.stdout);
+    println!(
+        "  ({} instructions, {} context switches, {} peak threads)",
+        outcome.executed, outcome.context_switches, outcome.peak_threads
+    );
+
+    // 6. Submit as a 4-core batch job and monitor it.
+    let job = portal.submit_job(&tok, &artifact, 4, 10, 0).expect("submit");
+    println!("submitted {job} to the distributor");
+    while !portal.job(&tok, job, 0).expect("job view").state.is_terminal() {
+        portal.tick();
+    }
+    let view = portal.job(&tok, job, 0).expect("job view");
+    println!("job finished: {}", view.state_label);
+    print!("job stdout: {}", view.stdout);
+
+    let (free, total, _) = portal.cluster_status();
+    println!("cluster after drain: {free}/{total} cores free");
+}

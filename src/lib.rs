@@ -1,0 +1,18 @@
+//! # cluster-portal — umbrella crate
+//!
+//! Re-exports the whole workspace for integration tests and the examples.
+//! See README.md for the tour and DESIGN.md for the architecture.
+
+pub use assess;
+pub use auth;
+pub use ccp_core;
+pub use cluster;
+pub use httpd;
+pub use labs;
+pub use minilang;
+pub use mpik;
+pub use sched;
+pub use simnet;
+pub use toolchain;
+pub use vfs;
+pub use webportal;

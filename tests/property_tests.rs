@@ -1,0 +1,200 @@
+//! Property-based tests over core data structures and invariants,
+//! spanning several crates (proptest).
+
+use proptest::prelude::*;
+use simnet::{route, LinkProfile, Network, Topology};
+
+// ---- simnet ----------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every route in every supported topology is a valid shortest path.
+    #[test]
+    fn routes_are_shortest_paths(
+        kind in 0usize..6,
+        size_seed in 2usize..10,
+        a_seed in 0usize..100,
+        b_seed in 0usize..100,
+    ) {
+        let topo = match kind {
+            0 => Topology::ring(size_seed.max(2)),
+            1 => Topology::star(size_seed),
+            2 => Topology::mesh2d(2, size_seed.max(2)),
+            3 => Topology::hypercube((size_seed % 4) + 1),
+            4 => Topology::tree(size_seed + 3),
+            _ => Topology::segmented_cluster(2, size_seed.max(1)),
+        };
+        let n = topo.len();
+        let a = a_seed % n;
+        let b = b_seed % n;
+        let path = route(&topo, a, b).unwrap();
+        prop_assert_eq!(path[0], a);
+        prop_assert_eq!(*path.last().unwrap(), b);
+        prop_assert!(simnet::routing::validate_path(&topo, &path));
+        let bfs = topo.bfs_distances(a);
+        prop_assert_eq!(path.len() - 1, bfs[b]);
+    }
+
+    /// Message cost is monotone in payload size and additive over hops.
+    #[test]
+    fn message_cost_monotone(bytes1 in 0u64..1_000_000, extra in 1u64..1_000_000) {
+        let net = Network::new(Topology::ring(6), LinkProfile::new(500, 1 << 28));
+        let small = net.message_cost(0, 3, bytes1).unwrap();
+        let large = net.message_cost(0, 3, bytes1 + extra).unwrap();
+        prop_assert!(large.total >= small.total);
+        prop_assert_eq!(small.hops, 3);
+    }
+}
+
+// ---- vfs --------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Path normalization is idempotent and never escapes the root.
+    #[test]
+    fn vpath_normalization_idempotent(raw in "[a-z./]{0,40}") {
+        if let Ok(p) = vfs::VPath::parse(&raw) {
+            let again = vfs::VPath::parse(&p.to_string()).unwrap();
+            prop_assert_eq!(p.to_string(), again.to_string());
+            // No component may survive as a literal `..` (names like "..a"
+            // are legal filenames).
+            prop_assert!(p.components().iter().all(|c| c != ".."));
+        }
+    }
+
+    /// Quota accounting: used bytes always equal the sum of the user's file
+    /// sizes, through arbitrary write/overwrite/remove sequences.
+    #[test]
+    fn quota_matches_file_sizes(ops in proptest::collection::vec((0u8..3, 0usize..4, 0usize..200), 1..40)) {
+        let mut fs = vfs::Vfs::new();
+        fs.add_user("u", 1 << 20).unwrap();
+        let names = ["a", "b", "c", "d"];
+        for (op, which, size) in ops {
+            let path = format!("/home/u/{}", names[which]);
+            match op {
+                0 => { let _ = fs.write("u", &path, vec![0; size]); }
+                1 => { let _ = fs.remove("u", &path); }
+                _ => { let _ = fs.append("u", &path, &vec![0; size % 50]); }
+            }
+        }
+        let (used, _) = fs.quota("u").unwrap();
+        let actual: u64 = fs
+            .walk("u", "/home/u")
+            .unwrap()
+            .into_iter()
+            .map(|(_, st)| st.size)
+            .sum();
+        prop_assert_eq!(used, actual);
+    }
+}
+
+// ---- auth ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// SHA-256 streaming in arbitrary chunkings equals one-shot.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..2000), cuts in proptest::collection::vec(0usize..2000, 0..8)) {
+        let oneshot = auth::Sha256::digest(&data);
+        let mut points: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        points.sort_unstable();
+        points.dedup();
+        let mut h = auth::Sha256::new();
+        let mut prev = 0;
+        for p in points {
+            h.update(&data[prev..p]);
+            prev = p;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Password verification accepts exactly the original password.
+    #[test]
+    fn password_roundtrip(pw in "[ -~]{8,24}", wrong in "[ -~]{8,24}") {
+        let policy = auth::PasswordPolicy { iterations: 5, min_length: 1 };
+        let h = auth::PasswordHash::create_seeded(&pw, policy, 11);
+        prop_assert!(h.verify(&pw));
+        if wrong != pw {
+            prop_assert!(!h.verify(&wrong));
+        }
+    }
+}
+
+// ---- cluster --------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MESI invariants hold under arbitrary access traces, and counters are
+    /// self-consistent.
+    #[test]
+    fn mesi_invariants_hold(trace in proptest::collection::vec((0usize..4, 0u64..512, any::<bool>()), 1..200)) {
+        let mut sys = cluster::CacheSystem::new(4, 64, cluster::CoherenceProtocol::Mesi);
+        for (core, addr, write) in &trace {
+            let kind = if *write { cluster::AccessKind::Write } else { cluster::AccessKind::Read };
+            sys.access(*core, *addr, kind);
+            prop_assert!(sys.check_invariants());
+        }
+        prop_assert_eq!(sys.stats().accesses(), trace.len() as u64);
+    }
+
+    /// Allocation and release leave the cluster exactly as found.
+    #[test]
+    fn allocate_release_conserves_cores(requests in proptest::collection::vec(1u32..12, 1..12)) {
+        let mut c = cluster::Cluster::new(cluster::ClusterSpec::small(2, 3));
+        let initial = c.free_cores();
+        let mut allocs = Vec::new();
+        for r in requests {
+            if let Ok(a) = c.allocate_cores(r) {
+                prop_assert_eq!(a.total_cores(), r);
+                allocs.push(a);
+            }
+        }
+        let held: u32 = allocs.iter().map(|a| a.total_cores()).sum();
+        prop_assert_eq!(c.free_cores(), initial - held);
+        for a in &allocs {
+            c.release(a);
+        }
+        prop_assert_eq!(c.free_cores(), initial);
+    }
+}
+
+// ---- minilang ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The locked counter is exact for arbitrary iteration counts and seeds.
+    #[test]
+    fn locked_counter_always_exact(n in 1i64..120, seed in 0u64..500) {
+        let src = format!(r#"
+            var counter = 0;
+            var m;
+            fn w() {{ for (var i = 0; i < {n}; i = i + 1) {{ lock(m); counter = counter + 1; unlock(m); }} }}
+            fn main() {{ m = mutex(); var a = spawn w(); var b = spawn w(); join(a); join(b); return counter; }}
+        "#);
+        let out = minilang::compile_and_run(&src, seed).unwrap();
+        prop_assert_eq!(out.main_result, minilang::Value::Int(2 * n));
+    }
+
+    /// Arithmetic expression evaluation matches Rust's (wrapping) semantics.
+    #[test]
+    fn arithmetic_matches_rust(a in -1000i64..1000, b in -1000i64..1000, c in 1i64..100) {
+        let src = format!("fn main() {{ return ({a} + {b}) * {c} + {a} / {c} - {b} % {c}; }}");
+        let expect = (a.wrapping_add(b)).wrapping_mul(c).wrapping_add(a.wrapping_div(c)).wrapping_sub(b.wrapping_rem(c));
+        let out = minilang::compile_and_run(&src, 0).unwrap();
+        prop_assert_eq!(out.main_result, minilang::Value::Int(expect));
+    }
+
+    /// JSON round-trips arbitrary string payloads.
+    #[test]
+    fn json_string_roundtrip(s in "[ -~]{0,60}") {
+        let v = httpd::Json::str(s.clone());
+        let parsed = httpd::Json::parse(&v.to_string()).unwrap();
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+}
