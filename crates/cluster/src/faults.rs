@@ -40,18 +40,28 @@ impl FaultPlan {
 
     /// A random crash/recover plan: each selected node goes Down at a random
     /// tick in `[0, horizon)` and comes back `outage` ticks later.
-    /// Deterministic per seed.
+    /// Deterministic per seed. The `count` victims are sampled *without*
+    /// replacement (partial Fisher-Yates), so a plan for `count` outages
+    /// always hits `count` distinct nodes — sampling with replacement could
+    /// silently script fewer, weaker failures than requested.
     pub fn random_outages(nodes: &[SlaveId], count: usize, horizon: u64, outage: u64, seed: u64) -> FaultPlan {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut plan = FaultPlan::default();
-        for i in 0..count.min(nodes.len()) {
-            let node = nodes[rng.gen_range(0..nodes.len())];
+        let mut pool: Vec<SlaveId> = nodes.to_vec();
+        for picked in 0..count.min(pool.len()) {
+            let swap_with = rng.gen_range(picked..pool.len());
+            pool.swap(picked, swap_with);
+            let node = pool[picked];
             let down_at = rng.gen_range(0..horizon.max(1));
             plan.push(down_at, node, NodeHealth::Down);
             plan.push(down_at + outage, node, NodeHealth::Up);
-            let _ = i;
         }
         plan
+    }
+
+    /// Scripted events, in insertion order (not sorted by tick).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
     }
 
     /// Number of scripted events.
@@ -172,6 +182,27 @@ mod tests {
         let ticks = |p: &FaultPlan| p.events.iter().map(|e| e.at_tick).collect::<Vec<_>>();
         assert_eq!(ticks(&a), ticks(&b));
         assert_ne!(ticks(&a), ticks(&c2));
+    }
+
+    #[test]
+    fn random_plan_hits_distinct_nodes() {
+        let c = Cluster::new(ClusterSpec::small(2, 4));
+        let ids = c.slave_ids();
+        for seed in 0..32 {
+            let p = FaultPlan::random_outages(&ids, 5, 100, 10, seed);
+            let mut downed: Vec<SlaveId> = p
+                .events()
+                .iter()
+                .filter(|e| e.health == NodeHealth::Down)
+                .map(|e| e.node)
+                .collect();
+            downed.sort();
+            downed.dedup();
+            assert_eq!(downed.len(), 5, "seed {seed} reused a node");
+        }
+        // Asking for more outages than nodes exist clamps to the node count.
+        let p = FaultPlan::random_outages(&ids, 100, 100, 10, 7);
+        assert_eq!(p.len(), ids.len() * 2);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod spec;
 pub mod prelude {
     pub use crate::accel::{Accelerator, KernelProfile};
     pub use crate::cache::{AccessKind, CacheSystem, CoherenceProtocol, CoherenceStats, LineState};
-    pub use crate::faults::{FaultPlan, FaultedCluster};
+    pub use crate::faults::{FaultEvent, FaultPlan, FaultedCluster};
     pub use crate::machine::{Allocation, Cluster, ClusterError, NodeHealth, SlaveId};
     pub use crate::memory::{MemoryDomain, MemorySystem, NumaCostModel};
     pub use crate::spec::{ClusterSpec, NodeClass, NodeSpec, SegmentSpec};

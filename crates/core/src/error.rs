@@ -1,7 +1,7 @@
 //! The portal's unified error type.
 
 use auth::{AuthError, SessionError};
-use sched::SchedError;
+use sched::{JobId, SchedError};
 use std::fmt;
 use toolchain::ExecutorError;
 use vfs::VfsError;
@@ -29,6 +29,18 @@ pub enum PortalError {
     Forbidden(&'static str),
     /// The portal has no admin yet / already has one.
     Bootstrap(&'static str),
+    /// The job lost its node and exhausted its retry budget.
+    JobLost {
+        /// The job.
+        job: JobId,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// The job exceeded its wall-clock budget.
+    JobTimedOut {
+        /// The job.
+        job: JobId,
+    },
 }
 
 impl fmt::Display for PortalError {
@@ -42,6 +54,12 @@ impl fmt::Display for PortalError {
             PortalError::OutsideHome { path } => write!(f, "{path}: outside your home directory"),
             PortalError::Forbidden(what) => write!(f, "forbidden: {what}"),
             PortalError::Bootstrap(what) => write!(f, "bootstrap: {what}"),
+            PortalError::JobLost { job, attempts } => {
+                write!(f, "{job} lost its node after {attempts} attempts")
+            }
+            PortalError::JobTimedOut { job } => {
+                write!(f, "{job} exceeded its wall-clock budget")
+            }
         }
     }
 }

@@ -1,11 +1,11 @@
 //! The [`Portal`]: every substrate behind one session-authenticated API.
 
 use crate::error::PortalError;
-use crate::view::{state_label, FileView, JobView, QuotaView};
+use crate::view::{state_label, FileView, JobView, NodeView, QuotaView};
 use auth::{Role, SessionManager, Token, UserStore};
-use cluster::{Cluster, ClusterSpec};
+use cluster::{Cluster, ClusterSpec, NodeHealth, SlaveId};
 use parking_lot::Mutex;
-use sched::{JobId, JobSpec, Scheduler, SchedPolicyKind};
+use sched::{JobId, JobSpec, JobState, Scheduler, SchedPolicyKind};
 use std::sync::Arc;
 use toolchain::{ArtifactId, ArtifactStore, CompileReport, CompileRequest, ExecReport, Executor};
 use vfs::{EntryKind, Vfs};
@@ -130,6 +130,36 @@ impl Portal {
             return Err(PortalError::Forbidden("user listing requires admin"));
         }
         Ok(self.users.usernames())
+    }
+
+    /// Admin: drain a node — no new placements, running jobs finish.
+    pub fn drain_node(
+        &mut self,
+        admin: &Token,
+        segment: usize,
+        slot: usize,
+        now: u64,
+    ) -> Result<(), PortalError> {
+        let (_, role) = self.whoami(admin, now)?;
+        if !role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("draining a node requires admin"));
+        }
+        Ok(self.scheduler.drain_node(SlaveId { segment, slot })?)
+    }
+
+    /// Admin: return a drained or recovered node to service.
+    pub fn undrain_node(
+        &mut self,
+        admin: &Token,
+        segment: usize,
+        slot: usize,
+        now: u64,
+    ) -> Result<(), PortalError> {
+        let (_, role) = self.whoami(admin, now)?;
+        if !role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("undraining a node requires admin"));
+        }
+        Ok(self.scheduler.undrain_node(SlaveId { segment, slot })?)
     }
 
     // ---- path resolution -----------------------------------------------------
@@ -382,13 +412,22 @@ impl Portal {
         Ok(())
     }
 
-    /// Cancel a job (owner or admin).
+    /// Cancel a job (owner or admin). Jobs already gone to a fault get the
+    /// typed error for it, so the UI can explain *why* there is nothing to
+    /// cancel rather than a generic bad-state message.
     pub fn cancel_job(&mut self, token: &Token, id: JobId, now: u64) -> Result<(), PortalError> {
         let (user, role) = self.whoami(token, now)?;
         {
             let j = self.scheduler.job(id)?;
             if j.spec.user != user && !role.at_least(Role::Admin) {
                 return Err(PortalError::Forbidden("job belongs to another user"));
+            }
+            match j.state {
+                JobState::NodeLost { attempts, .. } => {
+                    return Err(PortalError::JobLost { job: id, attempts })
+                }
+                JobState::TimedOut { .. } => return Err(PortalError::JobTimedOut { job: id }),
+                _ => {}
             }
         }
         Ok(self.scheduler.cancel(id)?)
@@ -400,6 +439,33 @@ impl Portal {
     pub fn cluster_status(&self) -> (u32, u32, f64) {
         let c = self.scheduler.cluster();
         (c.free_cores(), c.total_cores(), c.utilization())
+    }
+
+    /// Per-node health rows for the dashboard.
+    pub fn cluster_nodes(&self) -> Vec<NodeView> {
+        let c = self.scheduler.cluster();
+        c.slave_ids()
+            .into_iter()
+            .map(|id| NodeView {
+                segment: id.segment,
+                slot: id.slot,
+                health: match c.health(id) {
+                    Ok(NodeHealth::Up) => "up".to_string(),
+                    Ok(NodeHealth::Draining) => "draining".to_string(),
+                    Ok(NodeHealth::Down) => "down".to_string(),
+                    Err(_) => "unknown".to_string(),
+                },
+                cores: c.node_spec(id).map(|n| n.cores).unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// True while any slave node is out of service. Submissions stay open
+    /// (admission checks spec capacity, not live capacity); queued work
+    /// runs when nodes return.
+    pub fn degraded(&self) -> bool {
+        let c = self.scheduler.cluster();
+        c.slave_ids().into_iter().any(|id| c.health(id) != Ok(NodeHealth::Up))
     }
 
     /// Direct scheduler access for tests and the bench harness.
@@ -421,6 +487,8 @@ fn job_view(j: &sched::JobRecord) -> JobView {
         state: j.state.clone(),
         state_label: state_label(&j.state),
         cores: j.spec.cores_needed(),
+        attempt: j.attempt,
+        last_failure: j.last_failure.clone(),
         stdout: j.streams.stdout.clone(),
         stderr: j.streams.stderr.clone(),
     }

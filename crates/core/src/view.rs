@@ -32,10 +32,28 @@ pub struct JobView {
     pub state_label: String,
     /// Cores the job asked for.
     pub cores: u32,
+    /// Dispatches so far (0 = never ran, 2+ = retried after node loss).
+    pub attempt: u32,
+    /// Most recent failure cause, if any (survives a successful retry so
+    /// the monitor can show what happened).
+    pub last_failure: Option<String>,
     /// Captured stdout so far.
     pub stdout: String,
     /// Captured stderr so far.
     pub stderr: String,
+}
+
+/// One cluster-health row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeView {
+    /// Segment index.
+    pub segment: usize,
+    /// Slot within the segment.
+    pub slot: usize,
+    /// "up" / "draining" / "down".
+    pub health: String,
+    /// Cores on the node.
+    pub cores: u32,
 }
 
 /// Quota summary for the dashboard.
@@ -55,6 +73,13 @@ pub fn state_label(state: &JobState) -> String {
         JobState::Completed { at } => format!("completed at t={at}"),
         JobState::Cancelled { at } => format!("cancelled at t={at}"),
         JobState::Failed { at, reason } => format!("failed at t={at}: {reason}"),
+        JobState::Requeued { attempt, retry_at } => {
+            format!("requeued for attempt {attempt}, retrying at t={retry_at}")
+        }
+        JobState::TimedOut { at } => format!("timed out at t={at}"),
+        JobState::NodeLost { at, attempts } => {
+            format!("lost at t={at} after {attempts} attempts")
+        }
     }
 }
 
@@ -67,5 +92,14 @@ mod tests {
         assert_eq!(state_label(&JobState::Pending), "pending");
         assert_eq!(state_label(&JobState::Running { started_at: 3 }), "running since t=3");
         assert!(state_label(&JobState::Failed { at: 9, reason: "node down".into() }).contains("node down"));
+        assert_eq!(
+            state_label(&JobState::Requeued { attempt: 2, retry_at: 14 }),
+            "requeued for attempt 2, retrying at t=14"
+        );
+        assert_eq!(state_label(&JobState::TimedOut { at: 30 }), "timed out at t=30");
+        assert_eq!(
+            state_label(&JobState::NodeLost { at: 30, attempts: 3 }),
+            "lost at t=30 after 3 attempts"
+        );
     }
 }

@@ -3,8 +3,8 @@
 
 use auth::Role;
 use ccp_core::{Portal, PortalConfig, PortalError};
-use cluster::ClusterSpec;
-use sched::JobState;
+use cluster::{ClusterSpec, NodeHealth, SlaveId};
+use sched::{JobState, RetryPolicy};
 
 fn portal() -> Portal {
     let config = PortalConfig { cluster: ClusterSpec::small(2, 2), ..PortalConfig::default() };
@@ -220,6 +220,116 @@ fn job_visibility_rules() {
     assert_eq!(p.jobs(&admin, 0).unwrap().len(), 1);
     assert!(matches!(p.cancel_job(&bob, id, 0), Err(PortalError::Forbidden(_))));
     p.cancel_job(&alice, id, 0).unwrap();
+}
+
+#[test]
+fn drain_requires_admin_and_is_visible_in_health() {
+    let mut p = portal();
+    let s = student(&mut p, "alice");
+    assert!(matches!(p.drain_node(&s, 0, 0, 0), Err(PortalError::Forbidden(_))));
+    assert!(matches!(p.undrain_node(&s, 0, 0, 0), Err(PortalError::Forbidden(_))));
+    assert!(!p.degraded());
+    let admin = p.login("admin", "super-secret9", 0).unwrap();
+    p.drain_node(&admin, 0, 0, 0).unwrap();
+    assert!(p.degraded());
+    let nodes = p.cluster_nodes();
+    assert_eq!(nodes.len(), 4);
+    let drained = nodes.iter().find(|n| n.segment == 0 && n.slot == 0).unwrap();
+    assert_eq!(drained.health, "draining");
+    assert!(nodes.iter().filter(|n| n.health == "up").count() == 3);
+    p.undrain_node(&admin, 0, 0, 0).unwrap();
+    assert!(!p.degraded());
+}
+
+#[test]
+fn degraded_portal_keeps_accepting_jobs() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(&t, "x.mini", b"fn main() { }".to_vec(), 0).unwrap();
+    let art = p.compile(&t, "x.mini", 0).unwrap().artifact.unwrap().to_string();
+    // Take a whole segment down (half the 16-core cluster).
+    let sched = p.scheduler_mut();
+    sched.cluster_mut().set_health(SlaveId { segment: 0, slot: 0 }, NodeHealth::Down).unwrap();
+    sched.cluster_mut().set_health(SlaveId { segment: 0, slot: 1 }, NodeHealth::Down).unwrap();
+    assert!(p.degraded());
+    // 12 cores exceeds live capacity (8) but not spec capacity (16): the
+    // submission is accepted and parks until the segment returns.
+    let id = p.submit_job(&t, &art, 12, 5, 0).unwrap();
+    for _ in 0..10 {
+        p.tick();
+    }
+    assert!(matches!(p.job(&t, id, 0).unwrap().state, JobState::Pending));
+    let sched = p.scheduler_mut();
+    sched.cluster_mut().set_health(SlaveId { segment: 0, slot: 0 }, NodeHealth::Up).unwrap();
+    sched.cluster_mut().set_health(SlaveId { segment: 0, slot: 1 }, NodeHealth::Up).unwrap();
+    assert!(p.drain_jobs(100));
+    assert!(matches!(p.job(&t, id, 0).unwrap().state, JobState::Completed { .. }));
+}
+
+#[test]
+fn job_view_reports_attempts_and_failure_cause() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(&t, "long.mini", b"fn main() { sleep(1000000); }".to_vec(), 0).unwrap();
+    let art = p.compile(&t, "long.mini", 0).unwrap().artifact.unwrap().to_string();
+    let id = p.submit_job(&t, &art, 1, 100, 0).unwrap();
+    p.tick();
+    assert_eq!(p.job(&t, id, 0).unwrap().attempt, 1);
+    // Kill the node under it; default retry policy requeues the job.
+    let victim = *p
+        .scheduler_mut()
+        .job(id)
+        .unwrap()
+        .allocation
+        .as_ref()
+        .unwrap()
+        .cores
+        .keys()
+        .next()
+        .unwrap();
+    p.scheduler_mut().cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+    p.tick();
+    let view = p.job(&t, id, 0).unwrap();
+    assert!(matches!(view.state, JobState::Requeued { attempt: 2, .. }), "{:?}", view.state);
+    assert_eq!(view.last_failure.as_deref(), Some("node went down"));
+    assert!(view.state_label.contains("requeued"));
+}
+
+#[test]
+fn cancel_after_fault_returns_typed_errors() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(&t, "long.mini", b"fn main() { sleep(1000000); }".to_vec(), 0).unwrap();
+    let art = p.compile(&t, "long.mini", 0).unwrap().artifact.unwrap().to_string();
+    let id = p.submit_job(&t, &art, 1, 100, 0).unwrap();
+    // No retries for this job: first node loss is final.
+    p.scheduler_mut().job_mut(id).unwrap().spec.retry = Some(RetryPolicy::none());
+    p.tick();
+    let victim = *p
+        .scheduler_mut()
+        .job(id)
+        .unwrap()
+        .allocation
+        .as_ref()
+        .unwrap()
+        .cores
+        .keys()
+        .next()
+        .unwrap();
+    p.scheduler_mut().cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+    p.tick();
+    assert!(matches!(
+        p.cancel_job(&t, id, 0),
+        Err(PortalError::JobLost { attempts: 1, .. })
+    ));
+    // Timed-out jobs answer with the timeout error.
+    let id2 = p.submit_job(&t, &art, 1, 100, 0).unwrap();
+    p.scheduler_mut().job_mut(id2).unwrap().spec.timeout_ticks = Some(1);
+    for _ in 0..3 {
+        p.tick();
+    }
+    assert!(matches!(p.job(&t, id2, 0).unwrap().state, JobState::TimedOut { .. }));
+    assert!(matches!(p.cancel_job(&t, id2, 0), Err(PortalError::JobTimedOut { .. })));
 }
 
 #[test]

@@ -68,12 +68,18 @@ impl Status {
     pub const NOT_FOUND: Status = Status(404);
     /// 405
     pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    /// 408
+    pub const REQUEST_TIMEOUT: Status = Status(408);
     /// 409
     pub const CONFLICT: Status = Status(409);
+    /// 410
+    pub const GONE: Status = Status(410);
     /// 413
     pub const PAYLOAD_TOO_LARGE: Status = Status(413);
     /// 500
     pub const INTERNAL: Status = Status(500);
+    /// 503
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
 
     /// Canonical reason phrase.
     pub fn reason(self) -> &'static str {
@@ -87,9 +93,12 @@ impl Status {
             403 => "Forbidden",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             409 => "Conflict",
+            410 => "Gone",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -126,6 +135,8 @@ pub enum HttpError {
     },
     /// Socket error while reading.
     Io(String),
+    /// The client stalled past the read deadline (slow-loris defence).
+    Timeout,
 }
 
 impl fmt::Display for HttpError {
@@ -136,6 +147,7 @@ impl fmt::Display for HttpError {
                 write!(f, "body of {declared} bytes exceeds limit {limit}")
             }
             HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Timeout => write!(f, "client read timed out"),
         }
     }
 }
@@ -145,11 +157,31 @@ impl std::error::Error for HttpError {}
 /// Maximum accepted body (uploads included): 8 MiB.
 pub const MAX_BODY: usize = 8 << 20;
 
+/// Map an io error to the right protocol error: a socket deadline expiring
+/// (`TimedOut` on most platforms, `WouldBlock` on unix sockets with
+/// `SO_RCVTIMEO`) is a stalled client, not a malformed request.
+fn io_err(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => HttpError::Timeout,
+        _ => HttpError::Io(e.to_string()),
+    }
+}
+
 impl Request {
-    /// Parse one request from a buffered stream.
+    /// Parse one request from a buffered stream with the default
+    /// [`MAX_BODY`] limit.
     pub fn parse<R: Read>(stream: &mut BufReader<R>) -> Result<Request, HttpError> {
+        Request::parse_with_limit(stream, MAX_BODY)
+    }
+
+    /// Parse one request, rejecting bodies whose declared length exceeds
+    /// `max_body` *before* reading them (the bytes are never buffered).
+    pub fn parse_with_limit<R: Read>(
+        stream: &mut BufReader<R>,
+        max_body: usize,
+    ) -> Result<Request, HttpError> {
         let mut line = String::new();
-        stream.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
+        stream.read_line(&mut line).map_err(io_err)?;
         if line.is_empty() {
             return Err(HttpError::Malformed("empty request"));
         }
@@ -170,7 +202,7 @@ impl Request {
         let mut headers = BTreeMap::new();
         loop {
             let mut hl = String::new();
-            stream.read_line(&mut hl).map_err(|e| HttpError::Io(e.to_string()))?;
+            stream.read_line(&mut hl).map_err(io_err)?;
             let hl = hl.trim_end();
             if hl.is_empty() {
                 break;
@@ -181,11 +213,11 @@ impl Request {
         let body = match headers.get("content-length") {
             Some(cl) => {
                 let n: usize = cl.parse().map_err(|_| HttpError::Malformed("bad content-length"))?;
-                if n > MAX_BODY {
-                    return Err(HttpError::TooLarge { declared: n, limit: MAX_BODY });
+                if n > max_body {
+                    return Err(HttpError::TooLarge { declared: n, limit: max_body });
                 }
                 let mut buf = vec![0u8; n];
-                stream.read_exact(&mut buf).map_err(|e| HttpError::Io(e.to_string()))?;
+                stream.read_exact(&mut buf).map_err(io_err)?;
                 buf
             }
             None => Vec::new(),
@@ -376,6 +408,25 @@ mod tests {
     fn oversized_body_rejected() {
         let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
         assert!(matches!(parse(&raw), Err(HttpError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn custom_body_limit_enforced() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 6\r\n\r\nabcdef";
+        let mut r = BufReader::new(Cursor::new(raw.as_bytes().to_vec()));
+        assert!(matches!(
+            Request::parse_with_limit(&mut r, 5),
+            Err(HttpError::TooLarge { declared: 6, limit: 5 })
+        ));
+        let mut r = BufReader::new(Cursor::new(raw.as_bytes().to_vec()));
+        assert_eq!(Request::parse_with_limit(&mut r, 6).unwrap().body_str(), "abcdef");
+    }
+
+    #[test]
+    fn new_status_reasons() {
+        assert_eq!(Status::REQUEST_TIMEOUT.reason(), "Request Timeout");
+        assert_eq!(Status::SERVICE_UNAVAILABLE.reason(), "Service Unavailable");
+        assert_eq!(Status::GONE.reason(), "Gone");
     }
 
     #[test]

@@ -1,20 +1,59 @@
 //! The TCP accept loop: one worker thread per connection (the portal's
-//! traffic is a classroom, not a CDN), with graceful shutdown.
+//! traffic is a classroom, not a CDN), hardened against misbehaving
+//! clients: per-connection read/write deadlines (slow-loris defence), a
+//! request-size limit, a bounded in-flight connection count that sheds
+//! excess load with `503 Retry-After`, and a graceful shutdown that stops
+//! accepting but lets in-flight requests finish.
 
-use crate::http::{Request, Response, Status};
+use crate::http::{HttpError, Request, Response, Status};
 use crate::router::Router;
 use parking_lot::Mutex;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::{BufReader, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Hardening knobs for [`Server::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-connection read deadline; a client that stalls mid-request past
+    /// this gets `408 Request Timeout`.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// Largest accepted request body; larger declared bodies get `413`
+    /// without the bytes ever being buffered.
+    pub max_body: usize,
+    /// Connections handled concurrently; beyond this, new connections are
+    /// shed immediately with `503` + `Retry-After`.
+    pub max_inflight: usize,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight requests to
+    /// finish before giving up on them.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body: crate::http::MAX_BODY,
+            max_inflight: 64,
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
 
 /// A running server, returned by [`Server::spawn`].
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
+    inflight: Arc<AtomicUsize>,
+    drain_grace: Duration,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -29,30 +68,46 @@ impl ServerHandle {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting and join the accept thread.
+    /// Connections shed with 503 because the server was at capacity.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently being handled.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, join the accept thread, then wait (bounded by the
+    /// configured drain grace) for in-flight requests to complete.
     pub fn shutdown(mut self) {
+        self.stop_and_drain();
+    }
+
+    fn stop_and_drain(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Nudge the blocking accept with a no-op connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        let deadline = Instant::now() + self.drain_grace;
+        while self.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.stop_and_drain();
     }
 }
 
 /// The HTTP server: a router behind a TCP listener.
 pub struct Server {
     router: Arc<Mutex<Router>>,
+    config: ServerConfig,
 }
 
 impl Default for Server {
@@ -62,9 +117,14 @@ impl Default for Server {
 }
 
 impl Server {
-    /// Wrap a router.
+    /// Wrap a router with default hardening limits.
     pub fn new(router: Router) -> Server {
-        Server { router: Arc::new(Mutex::new(router)) }
+        Server::with_config(router, ServerConfig::default())
+    }
+
+    /// Wrap a router with explicit limits.
+    pub fn with_config(router: Router, config: ServerConfig) -> Server {
+        Server { router: Arc::new(Mutex::new(router)), config }
     }
 
     /// Bind `addr` (e.g. `127.0.0.1:0`) and serve on a background thread.
@@ -73,35 +133,90 @@ impl Server {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
+        let inflight = Arc::new(AtomicUsize::new(0));
         let router = self.router;
+        let config = self.config;
+        let drain_grace = config.drain_grace;
         let stop2 = Arc::clone(&stop);
         let served2 = Arc::clone(&served);
+        let shed2 = Arc::clone(&shed);
+        let inflight2 = Arc::clone(&inflight);
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                if inflight2.load(Ordering::SeqCst) >= config.max_inflight {
+                    shed_connection(stream, &config);
+                    shed2.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                // Count before spawning so a burst cannot overshoot the cap.
+                inflight2.fetch_add(1, Ordering::SeqCst);
                 let router = Arc::clone(&router);
                 let served = Arc::clone(&served2);
+                let inflight = Arc::clone(&inflight2);
+                let config = config.clone();
                 std::thread::spawn(move || {
-                    handle_connection(stream, &router);
+                    handle_connection(stream, &router, &config);
                     served.fetch_add(1, Ordering::Relaxed);
+                    inflight.fetch_sub(1, Ordering::SeqCst);
                 });
             }
         });
-        Ok(ServerHandle { addr: local, stop, served, accept_thread: Some(accept_thread) })
+        Ok(ServerHandle {
+            addr: local,
+            stop,
+            served,
+            shed,
+            inflight,
+            drain_grace,
+            accept_thread: Some(accept_thread),
+        })
     }
 }
 
-fn handle_connection(stream: TcpStream, router: &Mutex<Router>) {
+/// Refuse a connection at capacity: fixed response, no router dispatch, no
+/// slot in the inflight budget. The half-close + drain dance avoids an RST
+/// (closing with unread request bytes would wipe the client's receive
+/// buffer before it sees the 503).
+fn shed_connection(mut stream: TcpStream, config: &ServerConfig) {
+    let write_timeout = config.write_timeout;
+    std::thread::spawn(move || {
+        let _ = stream.set_write_timeout(Some(write_timeout));
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let _ = Response::error(Status::SERVICE_UNAVAILABLE, "server at capacity, retry shortly")
+            .with_header("Retry-After", "1")
+            .write_to(&mut stream);
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut scratch = [0u8; 512];
+        while let Ok(n) = stream.read(&mut scratch) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+}
+
+fn handle_connection(stream: TcpStream, router: &Mutex<Router>, config: &ServerConfig) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let response = match Request::parse(&mut reader) {
+    let response = match Request::parse_with_limit(&mut reader, config.max_body) {
         Ok(mut req) => router.lock().dispatch(&mut req),
+        Err(HttpError::TooLarge { declared, limit }) => Response::error(
+            Status::PAYLOAD_TOO_LARGE,
+            format!("body of {declared} bytes exceeds limit {limit}"),
+        ),
+        Err(HttpError::Timeout) => {
+            Response::error(Status::REQUEST_TIMEOUT, "request not received in time")
+        }
         Err(e) => Response::error(Status::BAD_REQUEST, e.to_string()),
     };
     let _ = response.write_to(&mut writer);
@@ -121,14 +236,22 @@ mod tests {
         out
     }
 
-    fn test_server() -> ServerHandle {
+    fn test_router() -> Router {
         let mut router = Router::new();
         router.get("/ping", |_| Response::text("pong"));
         router.post("/echo", |req| Response::text(req.body_str().to_string()));
         router.get("/jobs/:id", |req| {
             Response::text(format!("job={}", req.param("id").unwrap()))
         });
-        Server::new(router).spawn("127.0.0.1:0").unwrap()
+        router.get("/slow", |_| {
+            std::thread::sleep(Duration::from_millis(300));
+            Response::text("done")
+        });
+        router
+    }
+
+    fn test_server() -> ServerHandle {
+        Server::new(test_router()).spawn("127.0.0.1:0").unwrap()
     }
 
     #[test]
@@ -189,6 +312,73 @@ mod tests {
         }
         assert!(h.served() >= 8);
         h.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_gets_413_over_socket() {
+        let config = ServerConfig { max_body: 64, ..ServerConfig::default() };
+        let h = Server::with_config(test_router(), config).spawn("127.0.0.1:0").unwrap();
+        // Declared length over the limit: rejected from the header alone,
+        // before any body bytes arrive.
+        let resp = raw_request(h.addr(), "POST /echo HTTP/1.1\r\nContent-Length: 100\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 413 Payload Too Large"), "{resp}");
+        // At the limit still works.
+        let body = "x".repeat(64);
+        let resp = raw_request(
+            h.addr(),
+            &format!("POST /echo HTTP/1.1\r\nContent-Length: 64\r\n\r\n{body}"),
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_hits_read_timeout() {
+        let config = ServerConfig { read_timeout: Duration::from_millis(80), ..ServerConfig::default() };
+        let h = Server::with_config(test_router(), config).spawn("127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        // Dribble half a request line and stall: the server must cut us off
+        // with 408 instead of holding the worker forever.
+        s.write_all(b"GET /ping HT").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408 Request Timeout"), "{out}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn capacity_overflow_sheds_with_retry_after() {
+        let config = ServerConfig { max_inflight: 1, ..ServerConfig::default() };
+        let h = Server::with_config(test_router(), config).spawn("127.0.0.1:0").unwrap();
+        let addr = h.addr();
+        // Occupy the single slot with a slow request...
+        let hog = std::thread::spawn(move || raw_request(addr, "GET /slow HTTP/1.1\r\n\r\n"));
+        while h.inflight() == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // ...then get shed on the next connection.
+        let resp = raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 503 Service Unavailable"), "{resp}");
+        assert!(resp.contains("Retry-After: 1"), "{resp}");
+        assert!(hog.join().unwrap().ends_with("done"));
+        assert_eq!(h.shed(), 1);
+        // Slot free again: normal service resumes.
+        assert!(raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n").ends_with("pong"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_inflight_requests() {
+        let h = test_server();
+        let addr = h.addr();
+        let slow = std::thread::spawn(move || raw_request(addr, "GET /slow HTTP/1.1\r\n\r\n"));
+        while h.inflight() == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Shutdown while the request is mid-flight: it must still complete.
+        h.shutdown();
+        let resp = slow.join().unwrap();
+        assert!(resp.ends_with("done"), "{resp}");
     }
 
     #[test]

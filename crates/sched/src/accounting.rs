@@ -9,8 +9,17 @@ pub struct UserUsage {
     pub jobs_completed: u64,
     /// Core-ticks consumed (cores x runtime).
     pub core_ticks: u64,
-    /// Total queue-wait ticks across completed jobs.
+    /// Total first-attempt queue-wait ticks across completed jobs (time
+    /// from submission to the first dispatch).
     pub wait_ticks: u64,
+    /// Retry dispatches granted after node losses.
+    pub retry_attempts: u64,
+    /// Times one of this user's running jobs lost its node.
+    pub node_losses: u64,
+    /// Ticks jobs spent waiting *after* a node loss (backoff + requeue
+    /// time), kept separate from first-attempt wait so recovery latency is
+    /// visible in fair-share reports.
+    pub recovery_wait_ticks: u64,
 }
 
 /// The accounting ledger.
@@ -31,6 +40,23 @@ impl Accounting {
         u.jobs_completed += 1;
         u.core_ticks += core_ticks;
         u.wait_ticks += wait_ticks;
+    }
+
+    /// Record one retry dispatch (a job going back into the queue after a
+    /// node loss, with budget remaining).
+    pub fn record_retry(&mut self, user: &str) {
+        self.users.entry(user.to_string()).or_default().retry_attempts += 1;
+    }
+
+    /// Record one node loss under a running job.
+    pub fn record_node_loss(&mut self, user: &str) {
+        self.users.entry(user.to_string()).or_default().node_losses += 1;
+    }
+
+    /// Record recovery wait: ticks between losing a node and the retry
+    /// actually dispatching.
+    pub fn record_recovery(&mut self, user: &str, wait_ticks: u64) {
+        self.users.entry(user.to_string()).or_default().recovery_wait_ticks += wait_ticks;
     }
 
     /// Usage for one user.
@@ -76,6 +102,22 @@ mod tests {
         assert!((a.share("alice") - 0.75).abs() < 1e-12);
         assert_eq!(a.share("nobody"), 0.0);
         assert_eq!(a.all().count(), 2);
+    }
+
+    #[test]
+    fn fault_events_tracked_separately_from_completions() {
+        let mut a = Accounting::new();
+        a.record_node_loss("alice");
+        a.record_retry("alice");
+        a.record_recovery("alice", 7);
+        a.record_node_loss("alice");
+        a.record("alice", 100, 3);
+        let u = a.usage("alice").unwrap();
+        assert_eq!(u.node_losses, 2);
+        assert_eq!(u.retry_attempts, 1);
+        assert_eq!(u.recovery_wait_ticks, 7);
+        assert_eq!(u.wait_ticks, 3, "first-attempt wait untouched by recovery");
+        assert_eq!(u.jobs_completed, 1);
     }
 
     #[test]

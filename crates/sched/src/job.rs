@@ -1,5 +1,6 @@
 //! Job specifications, lifecycle and stdio streams.
 
+use crate::retry::RetryPolicy;
 use cluster::Allocation;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -46,6 +47,11 @@ pub struct JobSpec {
     /// Actual runtime in ticks (known to the simulation driver; in a real
     /// deployment this is when the process exits).
     pub actual_ticks: u64,
+    /// Wall-clock budget in ticks, measured from submission across every
+    /// attempt (queueing, backoff and reruns included). `None` = no limit.
+    pub timeout_ticks: Option<u64>,
+    /// Per-job retry policy; `None` falls back to the scheduler default.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl JobSpec {
@@ -57,6 +63,8 @@ impl JobSpec {
             kind: JobKind::Sequential,
             estimated_ticks: ticks,
             actual_ticks: ticks,
+            timeout_ticks: None,
+            retry: None,
         }
     }
 
@@ -68,6 +76,8 @@ impl JobSpec {
             kind: JobKind::Parallel { cores },
             estimated_ticks: ticks,
             actual_ticks: ticks,
+            timeout_ticks: None,
+            retry: None,
         }
     }
 
@@ -79,12 +89,27 @@ impl JobSpec {
             kind: JobKind::Interactive,
             estimated_ticks: u64::MAX,
             actual_ticks: u64::MAX,
+            timeout_ticks: None,
+            retry: None,
         }
     }
 
     /// With a (possibly wrong) runtime estimate, for backfill experiments.
     pub fn with_estimate(mut self, estimated: u64) -> JobSpec {
         self.estimated_ticks = estimated;
+        self
+    }
+
+    /// With a wall-clock budget: the job times out `ticks` after submission
+    /// unless it completes first (attempt reruns and backoff count).
+    pub fn with_timeout(mut self, ticks: u64) -> JobSpec {
+        self.timeout_ticks = Some(ticks.max(1));
+        self
+    }
+
+    /// With a retry policy overriding the scheduler default.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> JobSpec {
+        self.retry = Some(policy);
         self
     }
 
@@ -124,6 +149,26 @@ pub enum JobState {
         /// Reason string for the portal to display.
         reason: String,
     },
+    /// Lost its node and is waiting out a retry backoff; re-enters the
+    /// queue (as `Pending`) once `retry_at` is reached.
+    Requeued {
+        /// Which run this will be once redispatched (2 = first retry).
+        attempt: u32,
+        /// Tick at which the job becomes eligible to queue again.
+        retry_at: u64,
+    },
+    /// Exceeded its wall-clock budget (`JobSpec::timeout_ticks`).
+    TimedOut {
+        /// Tick the budget ran out.
+        at: u64,
+    },
+    /// Lost its node with no retry budget left.
+    NodeLost {
+        /// Tick of the final node loss.
+        at: u64,
+        /// Total attempts consumed before giving up.
+        attempts: u32,
+    },
 }
 
 impl JobState {
@@ -132,9 +177,21 @@ impl JobState {
         matches!(self, JobState::Running { .. })
     }
 
+    /// Is the job waiting out a retry backoff?
+    pub fn is_requeued(&self) -> bool {
+        matches!(self, JobState::Requeued { .. })
+    }
+
     /// Has the job reached a terminal state?
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Completed { .. } | JobState::Cancelled { .. } | JobState::Failed { .. })
+        matches!(
+            self,
+            JobState::Completed { .. }
+                | JobState::Cancelled { .. }
+                | JobState::Failed { .. }
+                | JobState::TimedOut { .. }
+                | JobState::NodeLost { .. }
+        )
     }
 }
 
@@ -180,19 +237,37 @@ pub struct JobRecord {
     pub started_at: Option<u64>,
     /// Stdio capture.
     pub streams: StdStreams,
+    /// Dispatches so far (0 while never run; 1 after the first dispatch).
+    pub attempt: u32,
+    /// Cause of the most recent failure/requeue, for the portal to show.
+    pub last_failure: Option<String>,
+    /// How many times this job lost a node mid-run.
+    pub node_losses: u32,
+    /// Tick the job last lost its node (set while `Requeued`/re-`Pending`,
+    /// cleared when the accumulated wait is folded in at re-dispatch).
+    pub requeued_at: Option<u64>,
+    /// Ticks spent waiting *after* a node loss (backoff + requeue time),
+    /// as opposed to first-attempt queue wait.
+    pub recovery_wait_ticks: u64,
 }
 
 impl JobRecord {
     /// Queue wait so far (or total, once started), given the current tick.
+    /// Counts first-attempt wait only; post-failure waiting is tracked
+    /// separately in [`JobRecord::recovery_wait_ticks`].
     pub fn wait_ticks(&self, now: u64) -> u64 {
         match (&self.state, self.started_at) {
-            (JobState::Pending, _) => now.saturating_sub(self.submitted_at),
             (_, Some(started)) => started.saturating_sub(self.submitted_at),
+            (JobState::Pending, None) | (JobState::Requeued { .. }, None) => {
+                now.saturating_sub(self.submitted_at)
+            }
             // Terminal without ever starting (cancelled in queue): full
             // queue residence counts as wait.
             (JobState::Completed { at }, None)
             | (JobState::Cancelled { at }, None)
-            | (JobState::Failed { at, .. }, None) => at.saturating_sub(self.submitted_at),
+            | (JobState::Failed { at, .. }, None)
+            | (JobState::TimedOut { at }, None)
+            | (JobState::NodeLost { at, .. }, None) => at.saturating_sub(self.submitted_at),
             (JobState::Running { started_at }, None) => started_at.saturating_sub(self.submitted_at),
         }
     }
@@ -216,6 +291,10 @@ mod tests {
         assert!(JobState::Running { started_at: 0 }.is_running());
         assert!(JobState::Completed { at: 3 }.is_terminal());
         assert!(JobState::Failed { at: 3, reason: "node down".into() }.is_terminal());
+        assert!(JobState::TimedOut { at: 9 }.is_terminal());
+        assert!(JobState::NodeLost { at: 9, attempts: 3 }.is_terminal());
+        let r = JobState::Requeued { attempt: 2, retry_at: 12 };
+        assert!(r.is_requeued() && !r.is_terminal() && !r.is_running());
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * [`policy`] — queueing policies: FIFO, round-robin across segments,
 //!   best-fit, and EASY backfill;
 //! * [`queue`] — the scheduler proper: submit → allocate → dispatch →
-//!   complete, driven by a logical clock;
+//!   complete, driven by a logical clock, with node-failure recovery,
+//!   per-job timeouts and admin drain/undrain;
+//! * [`retry`] — bounded-attempt retry with deterministic exponential
+//!   backoff for jobs that lose their node;
 //! * [`accounting`] — per-user usage records and fair-share statistics.
 //!
 //! ```
@@ -27,10 +30,12 @@ pub mod accounting;
 pub mod job;
 pub mod policy;
 pub mod queue;
+pub mod retry;
 pub mod workload;
 
 pub use accounting::{Accounting, UserUsage};
 pub use job::{JobId, JobKind, JobSpec, JobState, JobRecord, StdStreams};
 pub use policy::SchedPolicyKind;
 pub use queue::{SchedError, Scheduler};
+pub use retry::RetryPolicy;
 pub use workload::{replay, Arrival, ReplayReport, WorkloadSpec};

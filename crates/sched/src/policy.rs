@@ -178,6 +178,11 @@ mod tests {
             allocation: None,
             started_at: None,
             streams: StdStreams::default(),
+            attempt: 0,
+            last_failure: None,
+            node_losses: 0,
+            requeued_at: None,
+            recovery_wait_ticks: 0,
         }
     }
 

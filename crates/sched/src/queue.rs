@@ -1,13 +1,32 @@
 //! The scheduler: submit → queue → dispatch → complete, on a logical clock.
 //!
 //! The driver calls [`Scheduler::tick`] once per time unit; each tick
-//! completes due jobs, then asks the policy which pending jobs to start and
-//! allocates cores for them from the [`Cluster`].
+//! applies any scripted fault events, completes due jobs, enforces
+//! wall-clock budgets, recovers jobs off dead nodes (requeueing them with
+//! backoff per their [`RetryPolicy`]), then asks the policy which pending
+//! jobs to start and allocates cores for them from the [`Cluster`].
+//!
+//! # Fault tolerance
+//!
+//! A node transitioning to [`NodeHealth::Down`] kills every run touching
+//! it. The scheduler releases the allocation, records the loss, and either
+//! requeues the job (state [`JobState::Requeued`], eligible again after a
+//! deterministic exponential backoff drawn from the seeded jitter RNG) or —
+//! once the attempt budget is spent — terminates it as
+//! [`JobState::NodeLost`]. [`NodeHealth::Draining`] nodes refuse new
+//! placements but let running jobs finish; admins flip nodes with
+//! [`Scheduler::drain_node`] / [`Scheduler::undrain_node`]. A per-job
+//! wall-clock budget ([`crate::JobSpec::with_timeout`]) bounds the total
+//! time from submission across every attempt.
 
 use crate::accounting::Accounting;
 use crate::job::{JobId, JobKind, JobRecord, JobSpec, JobState, StdStreams};
 use crate::policy::SchedPolicyKind;
+use crate::retry::RetryPolicy;
+use cluster::faults::{FaultEvent, FaultPlan};
 use cluster::{Cluster, ClusterError, NodeHealth, SlaveId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -74,10 +93,19 @@ pub struct Scheduler {
     now: u64,
     dispatch_count: u64,
     accounting: Accounting,
+    /// Default retry policy for jobs that don't carry their own.
+    default_retry: RetryPolicy,
+    /// Seeded RNG for backoff jitter — the only randomness in the scheduler,
+    /// so whole recovery schedules replay identically per seed.
+    rng: StdRng,
+    /// Scripted health transitions, sorted by tick (applied at tick start).
+    faults: Vec<FaultEvent>,
+    faults_applied: usize,
 }
 
 impl Scheduler {
-    /// A scheduler over `cluster` using `policy`.
+    /// A scheduler over `cluster` using `policy`. Jobs default to the
+    /// [`RetryPolicy::default`] unless their spec carries one.
     pub fn new(cluster: Cluster, policy: SchedPolicyKind) -> Scheduler {
         Scheduler {
             cluster,
@@ -88,7 +116,33 @@ impl Scheduler {
             now: 0,
             dispatch_count: 0,
             accounting: Accounting::new(),
+            default_retry: RetryPolicy::default(),
+            rng: StdRng::seed_from_u64(0),
+            faults: Vec::new(),
+            faults_applied: 0,
         }
+    }
+
+    /// Override the default retry policy (builder style).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Scheduler {
+        self.default_retry = policy;
+        self
+    }
+
+    /// Reseed the backoff-jitter RNG (builder style).
+    pub fn with_retry_seed(mut self, seed: u64) -> Scheduler {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Attach a fault script; due events apply at the start of each tick,
+    /// before completion/recovery/dispatch. Replaces any previous script.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Scheduler {
+        let mut events: Vec<FaultEvent> = plan.events().to_vec();
+        events.sort_by_key(|e| e.at_tick);
+        self.faults = events;
+        self.faults_applied = 0;
+        self
     }
 
     /// Current logical time.
@@ -99,6 +153,11 @@ impl Scheduler {
     /// The policy in force.
     pub fn policy(&self) -> SchedPolicyKind {
         self.policy
+    }
+
+    /// The default retry policy.
+    pub fn default_retry(&self) -> RetryPolicy {
+        self.default_retry
     }
 
     /// The backing cluster (read-only).
@@ -116,7 +175,24 @@ impl Scheduler {
         &self.accounting
     }
 
-    /// Submit a job; it enters the pending queue.
+    /// Admin: stop placing new work on `node`; running jobs finish normally.
+    /// Down nodes stay down (undrain is the only way back up).
+    pub fn drain_node(&mut self, node: SlaveId) -> Result<(), SchedError> {
+        if self.cluster.health(node)? == NodeHealth::Up {
+            self.cluster.set_health(node, NodeHealth::Draining)?;
+        }
+        Ok(())
+    }
+
+    /// Admin: return a drained (or recovered) node to service.
+    pub fn undrain_node(&mut self, node: SlaveId) -> Result<(), SchedError> {
+        self.cluster.set_health(node, NodeHealth::Up)?;
+        Ok(())
+    }
+
+    /// Submit a job; it enters the pending queue. Admission checks against
+    /// the *spec* capacity, not current health: during an outage the portal
+    /// keeps accepting work and runs it when nodes return (degraded mode).
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SchedError> {
         let capacity = self.cluster.spec().total_cores();
         if spec.cores_needed() > capacity {
@@ -134,6 +210,11 @@ impl Scheduler {
                 allocation: None,
                 started_at: None,
                 streams: StdStreams::default(),
+                attempt: 0,
+                last_failure: None,
+                node_losses: 0,
+                requeued_at: None,
+                recovery_wait_ticks: 0,
             },
         );
         self.queue.push(id);
@@ -165,13 +246,14 @@ impl Scheduler {
         self.jobs.values().filter(|j| j.state.is_running()).count()
     }
 
-    /// Cancel a pending or running job.
+    /// Cancel a pending, running, or backoff-waiting job.
     pub fn cancel(&mut self, id: JobId) -> Result<(), SchedError> {
         let now = self.now;
         let job = self.jobs.get_mut(&id).ok_or(SchedError::NoSuchJob(id))?;
         match job.state {
-            JobState::Pending => {
+            JobState::Pending | JobState::Requeued { .. } => {
                 job.state = JobState::Cancelled { at: now };
+                job.requeued_at = None;
                 self.queue.retain(|&q| q != id);
                 Ok(())
             }
@@ -186,12 +268,16 @@ impl Scheduler {
         }
     }
 
-    /// Advance time by one tick: complete due jobs, fail jobs on dead nodes,
-    /// then dispatch from the queue per policy. Returns ids dispatched.
+    /// Advance time by one tick: apply due fault events, complete due jobs,
+    /// enforce timeouts, recover jobs off dead nodes, requeue jobs whose
+    /// backoff expired, then dispatch per policy. Returns ids dispatched.
     pub fn tick(&mut self) -> Vec<JobId> {
         self.now += 1;
+        self.apply_due_faults();
         self.complete_due();
-        self.fail_on_dead_nodes();
+        self.enforce_timeouts();
+        self.recover_lost_nodes();
+        self.requeue_due_retries();
         self.dispatch()
     }
 
@@ -205,7 +291,9 @@ impl Scheduler {
     }
 
     /// Drive until every submitted job is terminal (or `max_ticks` elapse).
-    /// Returns the tick at which the system drained, if it did.
+    /// Returns the tick at which the system drained, if it did. Jobs parked
+    /// in retry backoff are not terminal, so a recovery schedule that
+    /// outlives the horizon yields `None`.
     pub fn drain(&mut self, max_ticks: u64) -> Option<u64> {
         for _ in 0..max_ticks {
             self.tick();
@@ -215,6 +303,17 @@ impl Scheduler {
             }
         }
         None
+    }
+
+    fn apply_due_faults(&mut self) {
+        while self.faults_applied < self.faults.len()
+            && self.faults[self.faults_applied].at_tick <= self.now
+        {
+            let ev = self.faults[self.faults_applied];
+            // A scripted node may not exist on a smaller cluster; skip it.
+            let _ = self.cluster.set_health(ev.node, ev.health);
+            self.faults_applied += 1;
+        }
     }
 
     fn complete_due(&mut self) {
@@ -240,18 +339,39 @@ impl Scheduler {
             job.state = JobState::Completed { at: now };
             let alloc = job.allocation.take();
             let cores = alloc.as_ref().map(|a| a.total_cores()).unwrap_or(0);
-            self.accounting.record(
-                &job.spec.user,
-                cores as u64 * (now - started_at),
-                now - job.submitted_at - (now - started_at),
-            );
+            // First-attempt queue wait only; post-failure waiting was folded
+            // into recovery_wait_ticks at each redispatch.
+            let wait = job.wait_ticks(now);
+            self.accounting.record(&job.spec.user, cores as u64 * (now - started_at), wait);
             if let Some(a) = alloc {
                 self.cluster.release(&a);
             }
         }
     }
 
-    fn fail_on_dead_nodes(&mut self) {
+    fn enforce_timeouts(&mut self) {
+        let now = self.now;
+        let expired: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|j| !j.state.is_terminal())
+            .filter(|j| j.spec.timeout_ticks.map(|t| now >= j.submitted_at + t).unwrap_or(false))
+            .map(|j| j.id)
+            .collect();
+        for id in expired {
+            let job = self.jobs.get_mut(&id).expect("listed above");
+            let budget = job.spec.timeout_ticks.unwrap_or(0);
+            job.state = JobState::TimedOut { at: now };
+            job.last_failure = Some(format!("exceeded wall-clock budget of {budget} ticks"));
+            job.requeued_at = None;
+            if let Some(a) = job.allocation.take() {
+                self.cluster.release(&a);
+            }
+            self.queue.retain(|&q| q != id);
+        }
+    }
+
+    fn recover_lost_nodes(&mut self) {
         let now = self.now;
         let dead: Vec<SlaveId> = self
             .cluster
@@ -276,10 +396,43 @@ impl Scheduler {
             .collect();
         for id in doomed {
             let job = self.jobs.get_mut(&id).expect("listed above");
-            job.state = JobState::Failed { at: now, reason: "node went down".to_string() };
             if let Some(a) = job.allocation.take() {
+                // Surviving nodes get their cores back; the dead node's
+                // busy count is reconciled too, so it returns clean.
                 self.cluster.release(&a);
             }
+            job.node_losses += 1;
+            job.last_failure = Some("node went down".to_string());
+            self.accounting.record_node_loss(&job.spec.user);
+            let policy = job.spec.retry.unwrap_or(self.default_retry);
+            let attempts = job.attempt;
+            if policy.can_retry(attempts) {
+                let backoff = policy.backoff_ticks(attempts, &mut self.rng);
+                job.state = JobState::Requeued { attempt: attempts + 1, retry_at: now + backoff };
+                job.requeued_at = Some(now);
+                self.accounting.record_retry(&job.spec.user);
+            } else {
+                job.state = JobState::NodeLost { at: now, attempts };
+            }
+        }
+    }
+
+    fn requeue_due_retries(&mut self) {
+        let now = self.now;
+        let due: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter_map(|j| match j.state {
+                JobState::Requeued { retry_at, .. } if retry_at <= now => Some(j.id),
+                _ => None,
+            })
+            .collect();
+        for id in due {
+            let job = self.jobs.get_mut(&id).expect("listed above");
+            job.state = JobState::Pending;
+            // Back of the queue: a recovered job does not preempt work that
+            // queued honestly while it was running.
+            self.queue.push(id);
         }
     }
 
@@ -325,8 +478,18 @@ impl Scheduler {
                     let now = self.now;
                     let job = self.jobs.get_mut(&id).expect("queued job exists");
                     job.state = JobState::Running { started_at: now };
-                    job.started_at = Some(now);
+                    // First start only: retries keep the original for
+                    // first-attempt wait accounting.
+                    if job.started_at.is_none() {
+                        job.started_at = Some(now);
+                    }
                     job.allocation = Some(a);
+                    job.attempt += 1;
+                    if let Some(lost_at) = job.requeued_at.take() {
+                        let recovery = now.saturating_sub(lost_at);
+                        job.recovery_wait_ticks += recovery;
+                        self.accounting.record_recovery(&job.spec.user, recovery);
+                    }
                     self.queue.retain(|&q| q != id);
                     self.dispatch_count += 1;
                     started.push(id);
@@ -445,20 +608,238 @@ mod tests {
     }
 
     #[test]
-    fn node_failure_fails_running_jobs() {
+    fn node_failure_without_retry_is_node_lost() {
         let mut s = sched(SchedPolicyKind::Fifo);
-        let id = s.submit(JobSpec::parallel("u", "x", 16, 1000)).unwrap();
+        let id = s
+            .submit(JobSpec::parallel("u", "x", 16, 1000).with_retry(RetryPolicy::none()))
+            .unwrap();
         s.tick();
         assert!(s.job(id).unwrap().state.is_running());
         let victim = s.cluster().slave_ids()[0];
         s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
         s.tick();
-        let JobState::Failed { ref reason, .. } = s.job(id).unwrap().state else {
-            panic!("expected failure")
-        };
-        assert!(reason.contains("node"));
+        let job = s.job(id).unwrap();
+        assert!(matches!(job.state, JobState::NodeLost { attempts: 1, .. }), "{:?}", job.state);
+        assert_eq!(job.last_failure.as_deref(), Some("node went down"));
+        assert_eq!(job.node_losses, 1);
         // Cores on surviving nodes were released.
         assert_eq!(s.cluster().free_cores(), 12);
+        assert_eq!(s.accounting().usage("u").unwrap().node_losses, 1);
+    }
+
+    #[test]
+    fn node_failure_with_retry_requeues_and_completes() {
+        let mut s = sched(SchedPolicyKind::Fifo)
+            .with_retry(RetryPolicy::fixed(3, 2))
+            .with_retry_seed(7);
+        let id = s.submit(JobSpec::sequential("u", "x", 5)).unwrap();
+        s.tick(); // dispatched on first node (packing order)
+        let victim = s.cluster().slave_ids()[0];
+        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.tick();
+        let JobState::Requeued { attempt: 2, retry_at } = s.job(id).unwrap().state else {
+            panic!("expected requeue, got {:?}", s.job(id).unwrap().state)
+        };
+        assert_eq!(retry_at, s.now() + 2, "fixed backoff of 2 ticks");
+        // Backoff passes; job restarts on a surviving node and completes.
+        let done_at = s.drain(100).expect("should recover and drain");
+        let job = s.job(id).unwrap();
+        assert!(matches!(job.state, JobState::Completed { .. }));
+        assert_eq!(job.attempt, 2);
+        assert!(job.recovery_wait_ticks >= 2, "{}", job.recovery_wait_ticks);
+        assert!(done_at >= 8);
+        let usage = s.accounting().usage("u").unwrap();
+        assert_eq!(usage.retry_attempts, 1);
+        assert_eq!(usage.node_losses, 1);
+        assert!(usage.recovery_wait_ticks >= 2);
+        // First-attempt wait is submission→first dispatch (one tick); the
+        // outage shows up as recovery wait, not here.
+        assert_eq!(usage.wait_ticks, 1);
+    }
+
+    #[test]
+    fn retries_exhaust_into_node_lost() {
+        // One single node: every retry lands back on it, and the fault plan
+        // kills it every time.
+        let mut s = Scheduler::new(Cluster::new(ClusterSpec::small(1, 1)), SchedPolicyKind::Fifo)
+            .with_retry(RetryPolicy::fixed(3, 1));
+        let node = s.cluster().slave_ids()[0];
+        let id = s.submit(JobSpec::sequential("u", "x", 50)).unwrap();
+        for _ in 0..200 {
+            s.tick();
+            if s.job(id).unwrap().state.is_running() {
+                s.cluster_mut().set_health(node, NodeHealth::Down).unwrap();
+                s.tick(); // observe the loss
+                s.cluster_mut().set_health(node, NodeHealth::Up).unwrap();
+            }
+            if s.job(id).unwrap().state.is_terminal() {
+                break;
+            }
+        }
+        let job = s.job(id).unwrap();
+        assert!(matches!(job.state, JobState::NodeLost { attempts: 3, .. }), "{:?}", job.state);
+        assert_eq!(job.node_losses, 3);
+        assert_eq!(s.cluster().free_cores(), 4, "no leaked cores");
+    }
+
+    #[test]
+    fn cancel_requeued_job() {
+        let mut s = sched(SchedPolicyKind::Fifo).with_retry(RetryPolicy::fixed(3, 50));
+        let id = s.submit(JobSpec::sequential("u", "x", 100)).unwrap();
+        s.tick();
+        let victim = s.cluster().slave_ids()[0];
+        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.tick();
+        assert!(s.job(id).unwrap().state.is_requeued());
+        // Cancel while parked in backoff.
+        s.cancel(id).unwrap();
+        assert!(matches!(s.job(id).unwrap().state, JobState::Cancelled { .. }));
+        // The backoff expiring later must not resurrect the job.
+        s.run_ticks(60);
+        assert!(matches!(s.job(id).unwrap().state, JobState::Cancelled { .. }));
+        assert!(!s.pending().contains(&id));
+    }
+
+    #[test]
+    fn cancel_during_backoff_requeue_window() {
+        // Backoff of 0: the job re-enters Pending on the very next tick;
+        // cancelling in that window goes through the Pending arm.
+        let mut s = sched(SchedPolicyKind::Fifo).with_retry(RetryPolicy::fixed(5, 0));
+        let id = s.submit(JobSpec::parallel("u", "x", 16, 100)).unwrap();
+        s.tick();
+        let victim = s.cluster().slave_ids()[0];
+        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.tick();
+        // 16 cores can't fit on a 12-core degraded cluster: job sits Pending.
+        assert!(matches!(s.job(id).unwrap().state, JobState::Pending));
+        assert!(s.pending().contains(&id));
+        s.cancel(id).unwrap();
+        assert!(!s.pending().contains(&id));
+        s.cluster_mut().set_health(victim, NodeHealth::Up).unwrap();
+        s.run_ticks(20);
+        assert!(matches!(s.job(id).unwrap().state, JobState::Cancelled { .. }));
+    }
+
+    #[test]
+    fn drain_returns_none_when_retries_outlive_horizon() {
+        let mut s = sched(SchedPolicyKind::Fifo).with_retry(RetryPolicy::fixed(2, 1000));
+        let id = s.submit(JobSpec::sequential("u", "x", 10)).unwrap();
+        s.tick();
+        let victim = s.cluster().slave_ids()[0];
+        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.tick();
+        assert!(s.job(id).unwrap().state.is_requeued());
+        // The retry becomes eligible at ~tick 1002; a 50-tick horizon can't
+        // reach it, and a parked job is not terminal.
+        assert_eq!(s.drain(50), None);
+        assert!(s.job(id).unwrap().state.is_requeued());
+    }
+
+    #[test]
+    fn timeout_fires_while_queued_and_while_running() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        // Hog leaves 1 free core; the 4-core job behind it can never start
+        // and times out in the queue. That unblocks the FIFO head for the
+        // sequential job, which then times out mid-run (budget 20 < run 100).
+        let hog = s.submit(JobSpec::parallel("u", "hog", 15, 200)).unwrap();
+        let starved = s.submit(JobSpec::parallel("u", "s", 4, 1).with_timeout(10)).unwrap();
+        let slow = s.submit(JobSpec::sequential("u", "slow", 100).with_timeout(20)).unwrap();
+        s.run_ticks(50);
+        assert!(s.job(hog).unwrap().state.is_running());
+        assert!(matches!(s.job(starved).unwrap().state, JobState::TimedOut { at: 10 }));
+        assert!(s.job(starved).unwrap().started_at.is_none(), "never ran");
+        let job = s.job(slow).unwrap();
+        assert!(matches!(job.state, JobState::TimedOut { at: 20 }), "{:?}", job.state);
+        assert_eq!(job.started_at, Some(10), "dispatched once the 4-core job expired");
+        assert!(job.last_failure.as_deref().unwrap().contains("budget"));
+        // The timed-out running job's core came back; only the hog remains.
+        assert_eq!(s.cluster().free_cores(), 1);
+        s.cancel(hog).unwrap();
+        assert_eq!(s.cluster().free_cores(), 16);
+    }
+
+    #[test]
+    fn timeout_caps_retry_loops() {
+        // Retries allowed, but the wall-clock budget expires during backoff.
+        let mut s = sched(SchedPolicyKind::Fifo).with_retry(RetryPolicy::fixed(10, 100));
+        let id = s.submit(JobSpec::sequential("u", "x", 50).with_timeout(30)).unwrap();
+        s.tick();
+        let victim = s.cluster().slave_ids()[0];
+        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.tick();
+        assert!(s.job(id).unwrap().state.is_requeued());
+        s.run_ticks(40);
+        assert!(matches!(s.job(id).unwrap().state, JobState::TimedOut { at: 30 }));
+    }
+
+    #[test]
+    fn drain_node_stops_placement_but_finishes_running() {
+        let mut s = Scheduler::new(Cluster::new(ClusterSpec::small(1, 2)), SchedPolicyKind::Fifo);
+        let a = s.submit(JobSpec::parallel("u", "a", 4, 10)).unwrap();
+        s.tick();
+        let node_of_a = *s.job(a).unwrap().allocation.as_ref().unwrap().cores.keys().next().unwrap();
+        s.drain_node(node_of_a).unwrap();
+        // New work avoids the draining node...
+        let b = s.submit(JobSpec::parallel("u", "b", 4, 10)).unwrap();
+        s.tick();
+        let node_of_b = *s.job(b).unwrap().allocation.as_ref().unwrap().cores.keys().next().unwrap();
+        assert_ne!(node_of_a, node_of_b);
+        // ...and the draining node's job still completes normally.
+        s.run_ticks(15);
+        assert!(matches!(s.job(a).unwrap().state, JobState::Completed { .. }));
+        // A 5+ core job cannot be placed while one node drains.
+        let c = s.submit(JobSpec::parallel("u", "c", 8, 5)).unwrap();
+        s.run_ticks(20);
+        assert!(matches!(s.job(c).unwrap().state, JobState::Pending));
+        // Undrain restores capacity and the job proceeds.
+        s.undrain_node(node_of_a).unwrap();
+        s.run_ticks(10);
+        assert!(matches!(s.job(c).unwrap().state, JobState::Completed { .. }));
+    }
+
+    #[test]
+    fn drain_node_does_not_resurrect_down_nodes() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        let node = s.cluster().slave_ids()[0];
+        s.cluster_mut().set_health(node, NodeHealth::Down).unwrap();
+        s.drain_node(node).unwrap();
+        assert_eq!(s.cluster().health(node).unwrap(), NodeHealth::Down);
+        s.undrain_node(node).unwrap();
+        assert_eq!(s.cluster().health(node).unwrap(), NodeHealth::Up);
+    }
+
+    #[test]
+    fn fault_plan_drives_scheduler_ticks() {
+        let s = sched(SchedPolicyKind::Fifo);
+        let node = s.cluster().slave_ids()[0];
+        let mut plan = FaultPlan::none();
+        plan.push(3, node, NodeHealth::Down);
+        plan.push(6, node, NodeHealth::Up);
+        let mut s = s.with_fault_plan(plan);
+        s.run_ticks(2);
+        assert_eq!(s.cluster().health(node).unwrap(), NodeHealth::Up);
+        s.tick();
+        assert_eq!(s.cluster().health(node).unwrap(), NodeHealth::Down);
+        s.run_ticks(3);
+        assert_eq!(s.cluster().health(node).unwrap(), NodeHealth::Up);
+    }
+
+    #[test]
+    fn degraded_mode_accepts_submissions_during_outage() {
+        let mut s = sched(SchedPolicyKind::Fifo);
+        // Kill a whole segment (2 of 4 nodes).
+        let ids = s.cluster().slave_ids();
+        s.cluster_mut().set_health(ids[0], NodeHealth::Down).unwrap();
+        s.cluster_mut().set_health(ids[1], NodeHealth::Down).unwrap();
+        // A 16-core job exceeds *current* capacity (8) but not spec capacity:
+        // accepted, parked, and runs once the segment returns.
+        let id = s.submit(JobSpec::parallel("u", "x", 16, 5)).unwrap();
+        s.run_ticks(10);
+        assert!(matches!(s.job(id).unwrap().state, JobState::Pending));
+        s.cluster_mut().set_health(ids[0], NodeHealth::Up).unwrap();
+        s.cluster_mut().set_health(ids[1], NodeHealth::Up).unwrap();
+        s.drain(50).expect("drains after recovery");
+        assert!(matches!(s.job(id).unwrap().state, JobState::Completed { .. }));
     }
 
     #[test]

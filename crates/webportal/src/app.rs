@@ -54,6 +54,8 @@ fn err_response(e: &PortalError) -> Response {
         PortalError::Vfs(_) | PortalError::Bootstrap(_) => Status::BAD_REQUEST,
         PortalError::Sched(sched::SchedError::NoSuchJob(_)) => Status::NOT_FOUND,
         PortalError::Sched(_) | PortalError::Exec(_) => Status::BAD_REQUEST,
+        PortalError::JobLost { .. } => Status::GONE,
+        PortalError::JobTimedOut { .. } => Status::REQUEST_TIMEOUT,
     };
     Response::json(status, &Json::obj(vec![("error", Json::str(e.to_string()))]))
 }
@@ -447,6 +449,63 @@ pub fn build_router(app: Arc<App>) -> Router {
         });
     }
     {
+        // Admin: stop placing new jobs on a node, letting running work finish.
+        let app = Arc::clone(&app);
+        router.post("/api/admin/drain", move |req| {
+            let token = need_token!(req);
+            let (Some(segment), Some(slot)) = (
+                qparam(req, "segment").and_then(|s| s.parse::<usize>().ok()),
+                qparam(req, "slot").and_then(|s| s.parse::<usize>().ok()),
+            ) else {
+                return Response::error(Status::BAD_REQUEST, "need segment and slot");
+            };
+            try_portal!(app.portal.lock().drain_node(&token, segment, slot, now()));
+            Response::json(Status::OK, &Json::obj(vec![("draining", Json::Bool(true))]))
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.post("/api/admin/undrain", move |req| {
+            let token = need_token!(req);
+            let (Some(segment), Some(slot)) = (
+                qparam(req, "segment").and_then(|s| s.parse::<usize>().ok()),
+                qparam(req, "slot").and_then(|s| s.parse::<usize>().ok()),
+            ) else {
+                return Response::error(Status::BAD_REQUEST, "need segment and slot");
+            };
+            try_portal!(app.portal.lock().undrain_node(&token, segment, slot, now()));
+            Response::json(Status::OK, &Json::obj(vec![("draining", Json::Bool(false))]))
+        });
+    }
+    {
+        // Unauthenticated liveness/health probe: degraded flag + per-node
+        // health so the portal stays observable through an outage.
+        let app = Arc::clone(&app);
+        router.get("/api/health", move |_req| {
+            let portal = app.portal.lock();
+            let degraded = portal.degraded();
+            let nodes = portal
+                .cluster_nodes()
+                .into_iter()
+                .map(|n| {
+                    Json::obj(vec![
+                        ("segment", Json::num(n.segment as f64)),
+                        ("slot", Json::num(n.slot as f64)),
+                        ("health", Json::str(n.health)),
+                        ("cores", Json::num(n.cores as f64)),
+                    ])
+                })
+                .collect();
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![
+                    ("degraded", Json::Bool(degraded)),
+                    ("nodes", Json::Arr(nodes)),
+                ]),
+            )
+        });
+    }
+    {
         let app = Arc::clone(&app);
         router.get("/api/status", move |_req| {
             let (free, total, util) = app.portal.lock().cluster_status();
@@ -471,6 +530,11 @@ fn job_json(j: &ccp_core::JobView) -> Json {
         ("executable", Json::str(j.executable.clone())),
         ("state", Json::str(j.state_label.clone())),
         ("cores", Json::num(j.cores as f64)),
+        ("attempt", Json::num(j.attempt as f64)),
+        (
+            "last_failure",
+            j.last_failure.as_ref().map(|f| Json::str(f.clone())).unwrap_or(Json::Null),
+        ),
         ("stdout", Json::str(j.stdout.clone())),
         ("stderr", Json::str(j.stderr.clone())),
     ])

@@ -354,6 +354,84 @@ fn multipart_multi_file_upload() {
 }
 
 #[test]
+fn health_endpoint_and_admin_drain_cycle() {
+    let (_, router) = test_app();
+    // Health is public and starts clean.
+    let resp = dispatch(&router, Method::Get, "/api/health", b"", None);
+    let j = json_of(&resp);
+    assert_eq!(j.get("degraded").unwrap().as_bool(), Some(false));
+    assert_eq!(j.get("nodes").unwrap().as_arr().unwrap().len(), 4);
+    // Drain one node as admin: health flips to degraded.
+    let admin = login(&router, "admin", "super-secret9");
+    let resp =
+        dispatch(&router, Method::Post, "/api/admin/drain?segment=0&slot=1", b"", Some(&admin));
+    assert_eq!(resp.status, Status::OK, "{}", resp.body_str());
+    let j = json_of(&dispatch(&router, Method::Get, "/api/health", b"", None));
+    assert_eq!(j.get("degraded").unwrap().as_bool(), Some(true));
+    let draining: Vec<_> = j
+        .get("nodes")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|n| n.get("health").unwrap().as_str() == Some("draining"))
+        .collect();
+    assert_eq!(draining.len(), 1);
+    assert_eq!(draining[0].get("slot").unwrap().as_num(), Some(1.0));
+    // Undrain restores full health.
+    let resp =
+        dispatch(&router, Method::Post, "/api/admin/undrain?segment=0&slot=1", b"", Some(&admin));
+    assert_eq!(resp.status, Status::OK);
+    let j = json_of(&dispatch(&router, Method::Get, "/api/health", b"", None));
+    assert_eq!(j.get("degraded").unwrap().as_bool(), Some(false));
+}
+
+#[test]
+fn drain_requires_admin_role_and_params() {
+    let (app, router) = test_app();
+    let student = make_student(&app, &router, "alice");
+    let resp =
+        dispatch(&router, Method::Post, "/api/admin/drain?segment=0&slot=0", b"", Some(&student));
+    assert_eq!(resp.status, Status::FORBIDDEN);
+    let admin = login(&router, "admin", "super-secret9");
+    let resp = dispatch(&router, Method::Post, "/api/admin/drain?segment=0", b"", Some(&admin));
+    assert_eq!(resp.status, Status::BAD_REQUEST);
+}
+
+#[test]
+fn job_json_reports_attempts_and_failure_cause() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(&router, Method::Post, "/api/file?path=r.mini", b"fn main() { println(\"x\"); }", Some(&tok));
+    let resp = dispatch(&router, Method::Post, "/api/compile?path=r.mini", b"", Some(&tok));
+    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    let body = format!(r#"{{"artifact":"{artifact}","cores":1,"estimated_ticks":50}}"#);
+    let resp = dispatch(&router, Method::Post, "/api/jobs", body.as_bytes(), Some(&tok));
+    let id = json_of(&resp).get("job").unwrap().as_num().unwrap() as u64;
+    dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
+    let j = json_of(&dispatch(&router, Method::Get, &format!("/api/jobs/{id}"), b"", Some(&tok)));
+    assert_eq!(j.get("attempt").unwrap().as_num(), Some(1.0));
+    assert_eq!(j.get("last_failure"), Some(&Json::Null));
+    // Stretch the job's true runtime (the trivial program finished in one
+    // tick) so the node failure lands while it is still running, then kill
+    // every node: the job is requeued and the monitor shows the cause.
+    {
+        let mut portal = app.portal.lock();
+        let sched = portal.scheduler_mut();
+        sched.job_mut(sched::JobId(id)).unwrap().spec.actual_ticks = 100;
+        for node in sched.cluster().slave_ids() {
+            sched.cluster_mut().set_health(node, cluster::NodeHealth::Down).unwrap();
+        }
+    }
+    dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
+    let j = json_of(&dispatch(&router, Method::Get, &format!("/api/jobs/{id}"), b"", Some(&tok)));
+    assert!(j.get("state").unwrap().as_str().unwrap().contains("requeued"), "{j:?}");
+    assert_eq!(j.get("last_failure").unwrap().as_str(), Some("node went down"));
+    let j = json_of(&dispatch(&router, Method::Get, "/api/health", b"", None));
+    assert_eq!(j.get("degraded").unwrap().as_bool(), Some(true));
+}
+
+#[test]
 fn upload_without_multipart_content_type_rejected() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");

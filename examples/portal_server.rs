@@ -32,10 +32,12 @@ fn main() {
     println!("portal serving on http://{addr}/");
 
     // Log in over the wire.
+    let creds = r#"{"user":"admin","password":"change-me-please"}"#;
     let login = http(
         addr,
         format!(
-            "POST /api/login HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 47\r\n\r\n{{\"user\":\"admin\",\"password\":\"change-me-please\"}}"
+            "POST /api/login HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{creds}",
+            creds.len()
         ),
     );
     let token = body_of(&login)
@@ -55,10 +57,12 @@ fn main() {
             body.len()
         ),
     );
+    let creds = r#"{"user":"demo","password":"demo-pass-99"}"#;
     let login = http(
         addr,
         format!(
-            "POST /api/login HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 43\r\n\r\n{{\"user\":\"demo\",\"password\":\"demo-pass-99\"}}"
+            "POST /api/login HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{creds}",
+            creds.len()
         ),
     );
     let demo = body_of(&login)
