@@ -118,6 +118,18 @@ fn bench(c: &mut Criterion) {
     });
 
     g.finish();
+
+    // Registry-derived latency digest: every dispatch above recorded into
+    // ccp_httpd_request_duration_us{route}; read the quantiles back out of
+    // the same registry /api/metrics would serve.
+    let obs = Arc::clone(_app.portal.lock().obs());
+    ccp_bench::banner("HTTP request latency from the telemetry registry");
+    for route in ["/api/status", "/api/files", "/api/file", "/api/compile", "/api/run", "/api/login"] {
+        let h = obs.metrics.histogram("ccp_httpd_request_duration_us", &[("route", route)], obs::DURATION_US_BOUNDS);
+        if let (Some(p50), Some(p99)) = (h.quantile(0.50), h.quantile(0.99)) {
+            eprintln!("  {route:<14} n={:<6} p50 <= {p50:.0}us  p99 <= {p99:.0}us", h.count());
+        }
+    }
 }
 
 criterion_group!(benches, bench);

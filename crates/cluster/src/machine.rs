@@ -5,9 +5,11 @@
 //! mapping to network node ids goes through the spec-built topology.
 
 use crate::spec::{ClusterSpec, NodeClass, NodeSpec};
+use obs::Obs;
 use simnet::{Network, NodeId};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A slave node's identity: segment index and slot within the segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -109,12 +111,59 @@ struct NodeState {
     busy_cores: u32,
 }
 
+/// Cached metric handles, created once when an [`Obs`] is attached.
+#[derive(Debug, Clone)]
+struct ClusterMetrics {
+    allocations: obs::Counter,
+    alloc_fail_capacity: obs::Counter,
+    alloc_fail_busy: obs::Counter,
+    releases: obs::Counter,
+    alloc_cores: obs::Histogram,
+    cores_busy: obs::Gauge,
+    cores_total: obs::Gauge,
+    nodes_up: obs::Gauge,
+    nodes_draining: obs::Gauge,
+    nodes_down: obs::Gauge,
+    health_to_up: obs::Counter,
+    health_to_draining: obs::Counter,
+    health_to_down: obs::Counter,
+}
+
+impl ClusterMetrics {
+    fn new(o: &Obs) -> ClusterMetrics {
+        let m = &o.metrics;
+        m.describe("ccp_cluster_allocations_total", "successful core allocations");
+        m.describe("ccp_cluster_alloc_failures_total", "rejected core allocations by reason");
+        m.describe("ccp_cluster_alloc_cores", "cores granted per successful allocation");
+        m.describe("ccp_cluster_cores_busy", "cores currently allocated");
+        m.describe("ccp_cluster_cores_total", "schedulable cores on Up nodes");
+        m.describe("ccp_cluster_nodes", "slave nodes by health state");
+        m.describe("ccp_cluster_health_transitions_total", "node health transitions by target state");
+        ClusterMetrics {
+            allocations: m.counter("ccp_cluster_allocations_total", &[]),
+            alloc_fail_capacity: m.counter("ccp_cluster_alloc_failures_total", &[("reason", "capacity")]),
+            alloc_fail_busy: m.counter("ccp_cluster_alloc_failures_total", &[("reason", "busy")]),
+            releases: m.counter("ccp_cluster_releases_total", &[]),
+            alloc_cores: m.histogram("ccp_cluster_alloc_cores", &[], obs::SMALL_COUNT_BOUNDS),
+            cores_busy: m.gauge("ccp_cluster_cores_busy", &[]),
+            cores_total: m.gauge("ccp_cluster_cores_total", &[]),
+            nodes_up: m.gauge("ccp_cluster_nodes", &[("state", "up")]),
+            nodes_draining: m.gauge("ccp_cluster_nodes", &[("state", "draining")]),
+            nodes_down: m.gauge("ccp_cluster_nodes", &[("state", "down")]),
+            health_to_up: m.counter("ccp_cluster_health_transitions_total", &[("to", "up")]),
+            health_to_draining: m.counter("ccp_cluster_health_transitions_total", &[("to", "draining")]),
+            health_to_down: m.counter("ccp_cluster_health_transitions_total", &[("to", "down")]),
+        }
+    }
+}
+
 /// The live cluster: spec + network + per-node state.
 #[derive(Debug)]
 pub struct Cluster {
     spec: ClusterSpec,
     network: Network,
     nodes: BTreeMap<SlaveId, NodeState>,
+    metrics: Option<ClusterMetrics>,
 }
 
 impl Cluster {
@@ -130,7 +179,28 @@ impl Cluster {
                 );
             }
         }
-        Cluster { spec, network, nodes }
+        Cluster { spec, network, nodes, metrics: None }
+    }
+
+    /// Attach a telemetry domain: registers the `ccp_cluster_*` families and
+    /// seeds the node/core gauges from current state. Idempotent per `Obs`.
+    pub fn set_obs(&mut self, obs: &Arc<Obs>) {
+        self.metrics = Some(ClusterMetrics::new(obs));
+        self.publish_gauges();
+    }
+
+    /// Refresh the node-health and core gauges from the authoritative node
+    /// map, so the exposition can never disagree with `/api/health`.
+    pub fn publish_gauges(&self) {
+        let Some(m) = &self.metrics else { return };
+        let count = |h: NodeHealth| self.nodes.values().filter(|n| n.health == h).count() as i64;
+        m.nodes_up.set(count(NodeHealth::Up));
+        m.nodes_draining.set(count(NodeHealth::Draining));
+        m.nodes_down.set(count(NodeHealth::Down));
+        m.cores_total.set(self.total_cores() as i64);
+        m.cores_busy.set(
+            self.nodes.values().map(|n| n.busy_cores as i64).sum(),
+        );
     }
 
     /// The originating spec.
@@ -194,7 +264,18 @@ impl Cluster {
     /// scheduler decides whether to migrate).
     pub fn set_health(&mut self, id: SlaveId, health: NodeHealth) -> Result<(), ClusterError> {
         let n = self.nodes.get_mut(&id).ok_or(ClusterError::NoSuchNode(id))?;
+        let changed = n.health != health;
         n.health = health;
+        if changed {
+            if let Some(m) = &self.metrics {
+                match health {
+                    NodeHealth::Up => m.health_to_up.inc(),
+                    NodeHealth::Draining => m.health_to_draining.inc(),
+                    NodeHealth::Down => m.health_to_down.inc(),
+                }
+            }
+            self.publish_gauges();
+        }
         Ok(())
     }
 
@@ -240,6 +321,9 @@ impl Cluster {
             .map(|(_, n)| n.spec.cores)
             .sum();
         if cores > capacity {
+            if let Some(m) = &self.metrics {
+                m.alloc_fail_capacity.inc();
+            }
             return Err(ClusterError::RequestExceedsCapacity { requested: cores, capacity });
         }
         let free: u32 = self
@@ -249,6 +333,9 @@ impl Cluster {
             .map(|(_, n)| n.spec.cores - n.busy_cores)
             .sum();
         if cores > free {
+            if let Some(m) = &self.metrics {
+                m.alloc_fail_busy.inc();
+            }
             return Err(ClusterError::InsufficientFreeCores { requested: cores, free });
         }
         let mut remaining = cores;
@@ -270,6 +357,11 @@ impl Cluster {
             remaining -= take;
         }
         debug_assert_eq!(remaining, 0, "free-core accounting out of sync");
+        if let Some(m) = &self.metrics {
+            m.allocations.inc();
+            m.alloc_cores.record(cores as u64);
+            m.cores_busy.add(cores as i64);
+        }
         Ok(Allocation { cores: grant })
     }
 
@@ -282,6 +374,12 @@ impl Cluster {
                 n.busy_cores -= give_back;
                 released += give_back;
             }
+        }
+        if let Some(m) = &self.metrics {
+            if released > 0 {
+                m.releases.inc();
+            }
+            m.cores_busy.sub(released as i64);
         }
         released
     }
@@ -401,6 +499,42 @@ mod tests {
         let mut c = Cluster::new(ClusterSpec::small(1, 2));
         let _a = c.allocate_cores(4).unwrap();
         assert!((c.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obs_tracks_allocations_and_health() {
+        let obs = Arc::new(Obs::new());
+        let mut c = Cluster::new(ClusterSpec::small(1, 2)); // 2 nodes, 8 cores
+        c.set_obs(&obs);
+        assert_eq!(obs.metrics.gauge("ccp_cluster_nodes", &[("state", "up")]).get(), 2);
+        assert_eq!(obs.metrics.gauge("ccp_cluster_cores_total", &[]).get(), 8);
+
+        let a = c.allocate_cores(6).unwrap();
+        assert_eq!(obs.metrics.counter("ccp_cluster_allocations_total", &[]).get(), 1);
+        assert_eq!(obs.metrics.gauge("ccp_cluster_cores_busy", &[]).get(), 6);
+        assert!(c.allocate_cores(3).is_err());
+        assert_eq!(
+            obs.metrics.counter("ccp_cluster_alloc_failures_total", &[("reason", "busy")]).get(),
+            1
+        );
+        c.release(&a);
+        assert_eq!(obs.metrics.gauge("ccp_cluster_cores_busy", &[]).get(), 0);
+
+        let id = c.slave_ids()[0];
+        c.set_health(id, NodeHealth::Down).unwrap();
+        assert_eq!(obs.metrics.gauge("ccp_cluster_nodes", &[("state", "up")]).get(), 1);
+        assert_eq!(obs.metrics.gauge("ccp_cluster_nodes", &[("state", "down")]).get(), 1);
+        assert_eq!(obs.metrics.gauge("ccp_cluster_cores_total", &[]).get(), 4);
+        assert_eq!(
+            obs.metrics.counter("ccp_cluster_health_transitions_total", &[("to", "down")]).get(),
+            1
+        );
+        // Re-setting the same health is not a transition.
+        c.set_health(id, NodeHealth::Down).unwrap();
+        assert_eq!(
+            obs.metrics.counter("ccp_cluster_health_transitions_total", &[("to", "down")]).get(),
+            1
+        );
     }
 
     #[test]

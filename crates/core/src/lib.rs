@@ -35,4 +35,4 @@ pub mod view;
 
 pub use error::PortalError;
 pub use portal::{Portal, PortalConfig};
-pub use view::{FileView, JobView, NodeView, QuotaView};
+pub use view::{EventView, FileView, HealthView, JobView, NodeView, QuotaView, TimelineEventView};

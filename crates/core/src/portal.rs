@@ -1,9 +1,12 @@
 //! The [`Portal`]: every substrate behind one session-authenticated API.
 
 use crate::error::PortalError;
-use crate::view::{state_label, FileView, JobView, NodeView, QuotaView};
+use crate::view::{
+    state_label, EventView, FileView, HealthView, JobView, NodeView, QuotaView, TimelineEventView,
+};
 use auth::{Role, SessionManager, Token, UserStore};
 use cluster::{Cluster, ClusterSpec, NodeHealth, SlaveId};
+use obs::Obs;
 use parking_lot::Mutex;
 use sched::{JobId, JobSpec, JobState, Scheduler, SchedPolicyKind};
 use std::sync::Arc;
@@ -50,20 +53,24 @@ pub struct Portal {
     fs: Arc<Mutex<Vfs>>,
     artifacts: ArtifactStore,
     scheduler: Scheduler,
+    obs: Arc<Obs>,
     config: PortalConfig,
     admin_bootstrapped: bool,
 }
 
 impl Portal {
     /// Boot a portal: empty user store, fresh filesystem, cold cluster.
+    /// Every substrate records into one shared telemetry domain.
     pub fn new(config: PortalConfig) -> Portal {
         let cluster = Cluster::new(config.cluster.clone());
+        let obs = Arc::new(Obs::new());
         Portal {
             users: UserStore::new(config.seed),
             sessions: SessionManager::new(config.session_ttl, config.seed.wrapping_add(1)),
             fs: Arc::new(Mutex::new(Vfs::new())),
             artifacts: ArtifactStore::new(),
-            scheduler: Scheduler::new(cluster, config.policy),
+            scheduler: Scheduler::new(cluster, config.policy).with_obs(Arc::clone(&obs)),
+            obs,
             config,
             admin_bootstrapped: false,
         }
@@ -254,7 +261,7 @@ impl Portal {
         let (user, role) = self.whoami(token, now)?;
         let full = self.resolve(&user, role, path)?;
         let fs = self.fs.lock();
-        Ok(CompileRequest::new(&user, &full).run(&fs, &mut self.artifacts))
+        Ok(CompileRequest::new(&user, &full).run_observed(&fs, &mut self.artifacts, &self.obs))
     }
 
     /// The caller's artifacts, most recent first, as `(id, source_path)`.
@@ -304,7 +311,7 @@ impl Portal {
         let (user, role) = self.whoami(token, now)?;
         let aid = self.artifact_for(&user, role, artifact)?;
         let exec = Executor::with_seed(seed);
-        Ok(exec.run_with_stdin(&self.artifacts, &aid, Arc::clone(&self.fs), &user, stdin)?)
+        Ok(exec.run_with_stdin_observed(&self.artifacts, &aid, Arc::clone(&self.fs), &user, stdin, &self.obs)?)
     }
 
     // ---- the job distributor -----------------------------------------------------
@@ -345,7 +352,8 @@ impl Portal {
             };
             let aid = ArtifactId::from_string(artifact);
             let exec = Executor::with_seed(self.config.seed ^ id.0);
-            let report = exec.run_with_stdin(&self.artifacts, &aid, Arc::clone(&self.fs), &user, &stdin);
+            let report =
+                exec.run_with_stdin_observed(&self.artifacts, &aid, Arc::clone(&self.fs), &user, &stdin, &self.obs);
             let ipt = self.config.instructions_per_tick.max(1);
             if let Ok(job) = self.scheduler.job_mut(id) {
                 match report {
@@ -466,6 +474,94 @@ impl Portal {
     pub fn degraded(&self) -> bool {
         let c = self.scheduler.cluster();
         c.slave_ids().into_iter().any(|id| c.health(id) != Ok(NodeHealth::Up))
+    }
+
+    // ---- telemetry ----------------------------------------------------------------
+
+    /// The portal's telemetry domain. Every substrate (httpd routing is
+    /// wired by the web layer) records into this one [`Obs`].
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Prometheus text exposition of every registered metric. Gauges are
+    /// republished from live state first, so scrapes never see stale depth
+    /// or core counts.
+    pub fn metrics_text(&self) -> String {
+        self.scheduler.publish_gauges();
+        self.obs.metrics.render()
+    }
+
+    /// Health snapshot for `/api/health`: the per-node rows, the summary
+    /// counts, and the queue/running gauges — one cluster walk, so the
+    /// degraded flag and the counts cannot disagree.
+    pub fn health_view(&self) -> HealthView {
+        let nodes = self.cluster_nodes();
+        let count = |h: &str| nodes.iter().filter(|n| n.health == h).count();
+        let (nodes_up, nodes_draining, nodes_down) = (count("up"), count("draining"), count("down"));
+        HealthView {
+            degraded: nodes_up < nodes.len(),
+            nodes,
+            nodes_up,
+            nodes_draining,
+            nodes_down,
+            queue_depth: self.scheduler.pending().len(),
+            jobs_running: self.scheduler.running_count(),
+        }
+    }
+
+    /// A job's life story — submitted, queued, dispatched, retried,
+    /// terminal — in event order. Owner or admin only, like
+    /// [`Portal::job`]; the final entry matches the job's current state.
+    pub fn job_timeline(
+        &self,
+        token: &Token,
+        id: JobId,
+        now: u64,
+    ) -> Result<Vec<TimelineEventView>, PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let j = self.scheduler.job(id)?;
+        if j.spec.user != user && !role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("job belongs to another user"));
+        }
+        let key = id.0.to_string();
+        Ok(self
+            .obs
+            .tracer
+            .find_by_attr("job", &key)
+            .into_iter()
+            .map(|s| TimelineEventView {
+                at: s.start,
+                event: s.name.clone(),
+                attrs: s
+                    .attrs
+                    .iter()
+                    .filter(|(k, _)| k != "job")
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+            })
+            .collect())
+    }
+
+    /// The most recent `limit` structured events (access log, ...). Admin
+    /// only: the log carries request paths across all users.
+    pub fn recent_events(
+        &self,
+        token: &Token,
+        limit: usize,
+        now: u64,
+    ) -> Result<Vec<EventView>, PortalError> {
+        let (_, role) = self.whoami(token, now)?;
+        if !role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("event log requires admin"));
+        }
+        Ok(self
+            .obs
+            .events
+            .recent(limit)
+            .into_iter()
+            .map(|e| EventView { at: e.at, kind: e.kind, fields: e.fields })
+            .collect())
     }
 
     /// Direct scheduler access for tests and the bench harness.

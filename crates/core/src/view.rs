@@ -56,6 +56,50 @@ pub struct NodeView {
     pub cores: u32,
 }
 
+/// One per-job timeline entry (job monitor "history" pane), distilled from
+/// the tracer's point events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEventView {
+    /// Scheduler tick the event happened at.
+    pub at: u64,
+    /// Event name (`job.submitted`, `job.dispatched`, ... `job.completed`).
+    pub event: String,
+    /// Event attributes beyond the job id (user, cores, attempt, ...).
+    pub attrs: Vec<(String, String)>,
+}
+
+/// One structured-event-log row (admin operations view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventView {
+    /// Timestamp (epoch seconds for http events, ticks for scheduler ones).
+    pub at: u64,
+    /// Event kind (`http.access`, ...).
+    pub kind: String,
+    /// Key/value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Health snapshot: the degraded flag, the per-node rows it is derived
+/// from, and the headline gauges — all computed from the same cluster
+/// walk so the health view can never disagree with `/api/metrics`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthView {
+    /// True while any node is out of service.
+    pub degraded: bool,
+    /// Per-node health rows.
+    pub nodes: Vec<NodeView>,
+    /// Nodes fully in service.
+    pub nodes_up: usize,
+    /// Nodes finishing their work before maintenance.
+    pub nodes_draining: usize,
+    /// Nodes lost to faults.
+    pub nodes_down: usize,
+    /// Jobs waiting in the ready queue.
+    pub queue_depth: usize,
+    /// Jobs currently on cores.
+    pub jobs_running: usize,
+}
+
 /// Quota summary for the dashboard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuotaView {

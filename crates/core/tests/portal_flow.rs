@@ -349,6 +349,76 @@ fn interactive_run_is_seed_deterministic() {
 }
 
 #[test]
+fn job_timeline_is_gated_and_ends_terminal() {
+    let mut p = portal();
+    let alice = student(&mut p, "alice");
+    let bob = student(&mut p, "bob");
+    p.write_file(&alice, "t.mini", b"fn main() { println(1); }".to_vec(), 0).unwrap();
+    let art = p.compile(&alice, "t.mini", 0).unwrap().artifact.unwrap().to_string();
+    let id = p.submit_job(&alice, &art, 1, 5, 0).unwrap();
+    assert!(p.drain_jobs(100));
+    assert!(matches!(p.job(&alice, id, 0).unwrap().state, JobState::Completed { .. }));
+    // Owner sees the ordered life story; its terminal event matches the state.
+    let timeline = p.job_timeline(&alice, id, 0).unwrap();
+    let names: Vec<&str> = timeline.iter().map(|e| e.event.as_str()).collect();
+    assert_eq!(names, vec!["job.submitted", "job.queued", "job.dispatched", "job.completed"]);
+    assert!(timeline.windows(2).all(|w| w[0].at <= w[1].at));
+    assert!(timeline[0].attrs.iter().any(|(k, v)| k == "user" && v == "alice"));
+    // Another student cannot; an admin can.
+    assert!(matches!(p.job_timeline(&bob, id, 0), Err(PortalError::Forbidden(_))));
+    let admin = p.login("admin", "super-secret9", 0).unwrap();
+    assert_eq!(p.job_timeline(&admin, id, 0).unwrap().len(), 4);
+}
+
+#[test]
+fn metrics_text_covers_every_instrumented_layer() {
+    let mut p = portal();
+    let t = student(&mut p, "alice");
+    p.write_file(&t, "m.mini", b"fn main() { println(1); }".to_vec(), 0).unwrap();
+    let art = p.compile(&t, "m.mini", 0).unwrap().artifact.unwrap().to_string();
+    let id = p.submit_job(&t, &art, 1, 5, 0).unwrap();
+    assert!(p.drain_jobs(100));
+    assert!(matches!(p.job(&t, id, 0).unwrap().state, JobState::Completed { .. }));
+    let text = p.metrics_text();
+    for needle in [
+        "ccp_sched_jobs_submitted_total 1",
+        "ccp_sched_jobs_completed_total 1",
+        "ccp_sched_queue_depth 0",
+        "ccp_sched_job_wait_ticks_count 1",
+        "ccp_cluster_allocations_total 1",
+        "ccp_cluster_nodes{state=\"up\"} 4",
+        "ccp_toolchain_compiles_total{result=\"ok\"} 1",
+        "ccp_toolchain_execs_total{result=\"ok\"} 1",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn health_view_counts_agree_with_nodes() {
+    let mut p = portal();
+    let admin = p.login("admin", "super-secret9", 0).unwrap();
+    let h = p.health_view();
+    assert!(!h.degraded);
+    assert_eq!((h.nodes_up, h.nodes_draining, h.nodes_down), (4, 0, 0));
+    p.drain_node(&admin, 0, 0, 0).unwrap();
+    let h = p.health_view();
+    assert!(h.degraded);
+    assert_eq!((h.nodes_up, h.nodes_draining, h.nodes_down), (3, 1, 0));
+    assert_eq!(h.nodes.len(), 4);
+    assert_eq!(h.nodes.iter().filter(|n| n.health == "draining").count(), 1);
+}
+
+#[test]
+fn event_log_requires_admin() {
+    let mut p = portal();
+    let s = student(&mut p, "alice");
+    assert!(matches!(p.recent_events(&s, 10, 0), Err(PortalError::Forbidden(_))));
+    let admin = p.login("admin", "super-secret9", 0).unwrap();
+    assert!(p.recent_events(&admin, 10, 0).is_ok());
+}
+
+#[test]
 fn vm_file_io_lands_in_portal_home() {
     let mut p = portal();
     let t = student(&mut p, "alice");

@@ -23,4 +23,4 @@ pub mod server;
 pub use http::{Method, Request, Response, Status};
 pub use json::Json;
 pub use router::Router;
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,7 +1,10 @@
 //! Method + path-pattern routing with `:param` captures.
 
 use crate::http::{Method, Request, Response, Status};
+use obs::Obs;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 type Handler = Box<dyn Fn(&mut Request) -> Response + Send + Sync>;
 
@@ -9,6 +12,9 @@ struct Route {
     method: Method,
     /// Pattern segments; `:name` captures one segment.
     segments: Vec<String>,
+    /// Original pattern string, used as the low-cardinality `route` metric
+    /// label (never the raw request path, which would explode the series).
+    pattern: String,
     handler: Handler,
 }
 
@@ -37,6 +43,7 @@ impl Route {
 #[derive(Default)]
 pub struct Router {
     routes: Vec<Route>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl Router {
@@ -51,8 +58,24 @@ impl Router {
         F: Fn(&mut Request) -> Response + Send + Sync + 'static,
     {
         let segments = pattern.split('/').filter(|s| !s.is_empty()).map(String::from).collect();
-        self.routes.push(Route { method, segments, handler: Box::new(handler) });
+        self.routes.push(Route { method, segments, pattern: pattern.to_string(), handler: Box::new(handler) });
         self
+    }
+
+    /// Record per-request telemetry into `obs`: a
+    /// `ccp_httpd_requests_total{method,route,status}` counter and a
+    /// `ccp_httpd_request_duration_us{route}` histogram per dispatch.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        obs.metrics.describe("ccp_httpd_requests_total", "requests dispatched by method, route, and status");
+        obs.metrics.describe("ccp_httpd_request_duration_us", "request handling latency per route");
+        obs.metrics.describe("ccp_httpd_inflight", "connections currently being handled");
+        obs.metrics.gauge("ccp_httpd_inflight", &[]);
+        self.obs = Some(obs);
+    }
+
+    /// The attached telemetry domain, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
     }
 
     /// GET shorthand.
@@ -74,10 +97,33 @@ impl Router {
     /// Dispatch a request: 404 when no pattern matches, 405 when the path
     /// matches under a different method.
     pub fn dispatch(&self, req: &mut Request) -> Response {
+        let started = self.obs.as_ref().map(|_| Instant::now());
+        let (response, route_label) = self.dispatch_inner(req);
+        if let (Some(obs), Some(started)) = (&self.obs, started) {
+            let us = started.elapsed().as_micros() as u64;
+            obs.metrics
+                .counter(
+                    "ccp_httpd_requests_total",
+                    &[
+                        ("method", &req.method.to_string()),
+                        ("route", route_label),
+                        ("status", &response.status.0.to_string()),
+                    ],
+                )
+                .inc();
+            obs.metrics
+                .histogram("ccp_httpd_request_duration_us", &[("route", route_label)], obs::DURATION_US_BOUNDS)
+                .record(us);
+        }
+        response
+    }
+
+    /// The match loop, returning the response plus the metric route label.
+    fn dispatch_inner<'a>(&'a self, req: &mut Request) -> (Response, &'a str) {
         for route in &self.routes {
             if let Some(params) = route.matches(req.method, &req.path) {
                 req.params = params;
-                return (route.handler)(req);
+                return ((route.handler)(req), route.pattern.as_str());
             }
         }
         // Distinguish 405 (path exists under another method) from 404.
@@ -87,9 +133,9 @@ impl Router {
                 && r.segments.iter().zip(&parts).all(|(seg, part)| seg.starts_with(':') || seg == part)
         });
         if path_known {
-            Response::error(Status::METHOD_NOT_ALLOWED, "method not allowed")
+            (Response::error(Status::METHOD_NOT_ALLOWED, "method not allowed"), "unmatched")
         } else {
-            Response::error(Status::NOT_FOUND, format!("no route for {} {}", req.method, req.path))
+            (Response::error(Status::NOT_FOUND, format!("no route for {} {}", req.method, req.path)), "unmatched")
         }
     }
 
@@ -159,6 +205,33 @@ mod tests {
     fn trailing_slash_equivalence() {
         let r = router();
         assert_eq!(get(&r, "/jobs/").body_str(), "list");
+    }
+
+    #[test]
+    fn dispatch_records_route_labeled_metrics() {
+        let mut r = router();
+        let obs = Arc::new(Obs::new());
+        r.set_obs(Arc::clone(&obs));
+        get(&r, "/jobs/42");
+        get(&r, "/jobs/43");
+        get(&r, "/nope");
+        // Parametrized paths collapse onto the pattern label.
+        let hits = obs.metrics.counter(
+            "ccp_httpd_requests_total",
+            &[("method", "GET"), ("route", "/jobs/:id"), ("status", "200")],
+        );
+        assert_eq!(hits.get(), 2);
+        let misses = obs.metrics.counter(
+            "ccp_httpd_requests_total",
+            &[("method", "GET"), ("route", "unmatched"), ("status", "404")],
+        );
+        assert_eq!(misses.get(), 1);
+        let hist = obs.metrics.histogram(
+            "ccp_httpd_request_duration_us",
+            &[("route", "/jobs/:id")],
+            obs::DURATION_US_BOUNDS,
+        );
+        assert_eq!(hist.count(), 2);
     }
 
     #[test]

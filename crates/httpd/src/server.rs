@@ -7,13 +7,14 @@
 
 use crate::http::{HttpError, Request, Response, Status};
 use crate::router::Router;
+use obs::Obs;
 use parking_lot::Mutex;
 use std::io::{BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Hardening knobs for [`Server::spawn`].
 #[derive(Debug, Clone)]
@@ -32,6 +33,11 @@ pub struct ServerConfig {
     /// How long [`ServerHandle::shutdown`] waits for in-flight requests to
     /// finish before giving up on them.
     pub drain_grace: Duration,
+    /// Emit one structured `http.access` event per completed request
+    /// (method, path, status, bytes, duration) into the attached obs event
+    /// log. Covers the pre-router rejections (408/413/400) that would
+    /// otherwise vanish silently. No-op unless an obs is attached.
+    pub access_log: bool,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +48,7 @@ impl Default for ServerConfig {
             max_body: crate::http::MAX_BODY,
             max_inflight: 64,
             drain_grace: Duration::from_secs(5),
+            access_log: false,
         }
     }
 }
@@ -108,6 +115,7 @@ impl Drop for ServerHandle {
 pub struct Server {
     router: Arc<Mutex<Router>>,
     config: ServerConfig,
+    obs: Option<Arc<Obs>>,
 }
 
 impl Default for Server {
@@ -117,14 +125,31 @@ impl Default for Server {
 }
 
 impl Server {
-    /// Wrap a router with default hardening limits.
+    /// Wrap a router with default hardening limits. If the router carries an
+    /// obs domain, the server-level counters (sheds, timeouts, inflight)
+    /// land there too.
     pub fn new(router: Router) -> Server {
         Server::with_config(router, ServerConfig::default())
     }
 
     /// Wrap a router with explicit limits.
     pub fn with_config(router: Router, config: ServerConfig) -> Server {
-        Server { router: Arc::new(Mutex::new(router)), config }
+        let obs = router.obs().cloned();
+        let mut server = Server { router: Arc::new(Mutex::new(router)), config, obs: None };
+        if let Some(obs) = obs {
+            server = server.with_obs(obs);
+        }
+        server
+    }
+
+    /// Attach (or replace) the telemetry domain for connection-level
+    /// counters and the access log (builder style).
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Server {
+        obs.metrics.describe("ccp_httpd_shed_total", "connections shed at capacity with 503");
+        obs.metrics.describe("ccp_httpd_request_timeouts_total", "requests cut off by the read deadline");
+        obs.metrics.describe("ccp_httpd_rejected_total", "requests rejected before routing, by reason");
+        self.obs = Some(obs);
+        self
     }
 
     /// Bind `addr` (e.g. `127.0.0.1:0`) and serve on a background thread.
@@ -137,6 +162,7 @@ impl Server {
         let inflight = Arc::new(AtomicUsize::new(0));
         let router = self.router;
         let config = self.config;
+        let obs = self.obs;
         let drain_grace = config.drain_grace;
         let stop2 = Arc::clone(&stop);
         let served2 = Arc::clone(&served);
@@ -149,20 +175,27 @@ impl Server {
                 }
                 let Ok(stream) = conn else { continue };
                 if inflight2.load(Ordering::SeqCst) >= config.max_inflight {
-                    shed_connection(stream, &config);
+                    shed_connection(stream, &config, obs.as_deref());
                     shed2.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 // Count before spawning so a burst cannot overshoot the cap.
-                inflight2.fetch_add(1, Ordering::SeqCst);
+                let now_inflight = inflight2.fetch_add(1, Ordering::SeqCst) + 1;
+                if let Some(o) = &obs {
+                    o.metrics.gauge("ccp_httpd_inflight", &[]).set(now_inflight as i64);
+                }
                 let router = Arc::clone(&router);
                 let served = Arc::clone(&served2);
                 let inflight = Arc::clone(&inflight2);
                 let config = config.clone();
+                let obs = obs.clone();
                 std::thread::spawn(move || {
-                    handle_connection(stream, &router, &config);
+                    handle_connection(stream, &router, &config, obs.as_deref());
                     served.fetch_add(1, Ordering::Relaxed);
-                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    let left = inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+                    if let Some(o) = &obs {
+                        o.metrics.gauge("ccp_httpd_inflight", &[]).set(left as i64);
+                    }
                 });
             }
         });
@@ -182,7 +215,17 @@ impl Server {
 /// slot in the inflight budget. The half-close + drain dance avoids an RST
 /// (closing with unread request bytes would wipe the client's receive
 /// buffer before it sees the 503).
-fn shed_connection(mut stream: TcpStream, config: &ServerConfig) {
+fn shed_connection(mut stream: TcpStream, config: &ServerConfig, obs: Option<&Obs>) {
+    if let Some(o) = obs {
+        o.metrics.counter("ccp_httpd_shed_total", &[]).inc();
+        if config.access_log {
+            o.events.record(
+                epoch_secs(),
+                "http.access",
+                &[("method", "-"), ("path", "-"), ("status", "503"), ("bytes", "0"), ("duration_us", "0")],
+            );
+        }
+    }
     let write_timeout = config.write_timeout;
     std::thread::spawn(move || {
         let _ = stream.set_write_timeout(Some(write_timeout));
@@ -200,26 +243,63 @@ fn shed_connection(mut stream: TcpStream, config: &ServerConfig) {
     });
 }
 
-fn handle_connection(stream: TcpStream, router: &Mutex<Router>, config: &ServerConfig) {
+fn handle_connection(stream: TcpStream, router: &Mutex<Router>, config: &ServerConfig, obs: Option<&Obs>) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
+    let started = Instant::now();
     let mut reader = BufReader::new(stream);
+    let mut request_line = (String::from("-"), String::from("-"));
     let response = match Request::parse_with_limit(&mut reader, config.max_body) {
-        Ok(mut req) => router.lock().dispatch(&mut req),
-        Err(HttpError::TooLarge { declared, limit }) => Response::error(
-            Status::PAYLOAD_TOO_LARGE,
-            format!("body of {declared} bytes exceeds limit {limit}"),
-        ),
+        Ok(mut req) => {
+            request_line = (req.method.to_string(), req.path.clone());
+            router.lock().dispatch(&mut req)
+        }
+        Err(HttpError::TooLarge { declared, limit }) => {
+            if let Some(o) = obs {
+                o.metrics.counter("ccp_httpd_rejected_total", &[("reason", "too_large")]).inc();
+            }
+            Response::error(
+                Status::PAYLOAD_TOO_LARGE,
+                format!("body of {declared} bytes exceeds limit {limit}"),
+            )
+        }
         Err(HttpError::Timeout) => {
+            if let Some(o) = obs {
+                o.metrics.counter("ccp_httpd_request_timeouts_total", &[]).inc();
+            }
             Response::error(Status::REQUEST_TIMEOUT, "request not received in time")
         }
-        Err(e) => Response::error(Status::BAD_REQUEST, e.to_string()),
+        Err(e) => {
+            if let Some(o) = obs {
+                o.metrics.counter("ccp_httpd_rejected_total", &[("reason", "bad_request")]).inc();
+            }
+            Response::error(Status::BAD_REQUEST, e.to_string())
+        }
     };
     let _ = response.write_to(&mut writer);
+    if let Some(o) = obs {
+        if config.access_log {
+            o.events.record(
+                epoch_secs(),
+                "http.access",
+                &[
+                    ("method", &request_line.0),
+                    ("path", &request_line.1),
+                    ("status", &response.status.0.to_string()),
+                    ("bytes", &response.body.len().to_string()),
+                    ("duration_us", &(started.elapsed().as_micros() as u64).to_string()),
+                ],
+            );
+        }
+    }
+}
+
+fn epoch_secs() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -365,6 +445,83 @@ mod tests {
         // Slot free again: normal service resumes.
         assert!(raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n").ends_with("pong"));
         h.shutdown();
+    }
+
+    #[test]
+    fn access_log_and_pre_router_counters() {
+        let obs = Arc::new(Obs::new());
+        let mut router = test_router();
+        router.set_obs(Arc::clone(&obs));
+        let config = ServerConfig {
+            max_body: 64,
+            read_timeout: Duration::from_millis(100),
+            access_log: true,
+            ..ServerConfig::default()
+        };
+        let h = Server::with_config(router, config).spawn("127.0.0.1:0").unwrap();
+
+        raw_request(h.addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        // 413: declared body over the limit.
+        raw_request(h.addr(), "POST /echo HTTP/1.1\r\nContent-Length: 100\r\n\r\n");
+        // 408: stalled request.
+        {
+            let mut s = TcpStream::connect(h.addr()).unwrap();
+            s.write_all(b"GET /pi").unwrap();
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+        }
+        while h.served() < 3 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        h.shutdown();
+
+        assert_eq!(obs.metrics.counter("ccp_httpd_rejected_total", &[("reason", "too_large")]).get(), 1);
+        assert_eq!(obs.metrics.counter("ccp_httpd_request_timeouts_total", &[]).get(), 1);
+        let log = obs.events.recent(10);
+        assert_eq!(log.len(), 3, "{log:?}");
+        assert!(log.iter().all(|e| e.kind == "http.access"));
+        let ok = log.iter().find(|e| e.field("status") == Some("200")).expect("200 logged");
+        assert_eq!(ok.field("method"), Some("GET"));
+        assert_eq!(ok.field("path"), Some("/ping"));
+        assert_eq!(ok.field("bytes"), Some("4"), "pong is 4 bytes");
+        // Pre-router rejections appear with placeholder request lines.
+        assert!(log.iter().any(|e| e.field("status") == Some("413")));
+        assert!(log.iter().any(|e| e.field("status") == Some("408") && e.field("path") == Some("-")));
+    }
+
+    #[test]
+    fn access_log_off_by_default() {
+        let obs = Arc::new(Obs::new());
+        let mut router = test_router();
+        router.set_obs(Arc::clone(&obs));
+        let h = Server::new(router).spawn("127.0.0.1:0").unwrap();
+        raw_request(h.addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        while h.served() < 1 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        h.shutdown();
+        // Metrics still flow; the event log stays quiet.
+        assert!(obs.metrics.series_count() > 0);
+        assert_eq!(obs.events.len(), 0);
+    }
+
+    #[test]
+    fn shed_connections_are_counted_in_obs() {
+        let obs = Arc::new(Obs::new());
+        let mut router = test_router();
+        router.set_obs(Arc::clone(&obs));
+        let config = ServerConfig { max_inflight: 1, ..ServerConfig::default() };
+        let h = Server::with_config(router, config).spawn("127.0.0.1:0").unwrap();
+        let addr = h.addr();
+        let hog = std::thread::spawn(move || raw_request(addr, "GET /slow HTTP/1.1\r\n\r\n"));
+        while h.inflight() == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let resp = raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        hog.join().unwrap();
+        h.shutdown();
+        assert_eq!(obs.metrics.counter("ccp_httpd_shed_total", &[]).get(), 1);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Structured event log: a bounded ring of operational events (access-log
+//! lines, admin actions, degradation notices).
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-supplied timestamp (ticks or epoch seconds — domain decides).
+    pub at: u64,
+    /// Dotted kind, e.g. `http.access`, `sched.degraded`.
+    pub kind: String,
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Bounded event recorder. All methods take `&self`.
+pub struct EventLog {
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl EventLog {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        EventLog { ring: Mutex::new(VecDeque::new()), capacity, dropped: AtomicU64::new(0) }
+    }
+
+    pub fn record(&self, at: u64, kind: &str, fields: &[(&str, &str)]) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(Event {
+            at,
+            kind: kind.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        });
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        let ring = self.ring.lock();
+        ring.iter().skip(ring.len().saturating_sub(n)).cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog").field("len", &self.len()).field("capacity", &self.capacity).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_bounds() {
+        let log = EventLog::new(2);
+        log.record(1, "a", &[("k", "v")]);
+        log.record(2, "b", &[]);
+        log.record(3, "c", &[]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        let recent = log.recent(10);
+        assert_eq!(recent.iter().map(|e| e.kind.as_str()).collect::<Vec<_>>(), vec!["b", "c"]);
+        assert_eq!(log.recent(1)[0].kind, "c");
+    }
+
+    #[test]
+    fn field_lookup() {
+        let log = EventLog::new(4);
+        log.record(9, "http.access", &[("method", "GET"), ("status", "200")]);
+        let e = &log.recent(1)[0];
+        assert_eq!(e.at, 9);
+        assert_eq!(e.field("status"), Some("200"));
+        assert_eq!(e.field("missing"), None);
+    }
+}

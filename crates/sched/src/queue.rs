@@ -25,10 +25,12 @@ use crate::policy::SchedPolicyKind;
 use crate::retry::RetryPolicy;
 use cluster::faults::{FaultEvent, FaultPlan};
 use cluster::{Cluster, ClusterError, NodeHealth, SlaveId};
+use obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Scheduler errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +83,69 @@ impl From<ClusterError> for SchedError {
     }
 }
 
+/// Cached `ccp_sched_*` metric handles, rebuilt whenever an [`Obs`] is
+/// attached. The per-user [`Accounting`] ledger stays authoritative for
+/// quota views; these are the aggregate mirror the exposition reads.
+#[derive(Debug, Clone)]
+struct SchedMetrics {
+    jobs_submitted: obs::Counter,
+    submit_rejected: obs::Counter,
+    jobs_dispatched: obs::Counter,
+    jobs_completed: obs::Counter,
+    jobs_cancelled: obs::Counter,
+    jobs_timed_out: obs::Counter,
+    jobs_node_lost: obs::Counter,
+    retries: obs::Counter,
+    node_losses: obs::Counter,
+    core_ticks: obs::Counter,
+    recovery_wait_ticks: obs::Counter,
+    queue_depth: obs::Gauge,
+    jobs_running: obs::Gauge,
+    wait_ticks: obs::Histogram,
+    run_ticks: obs::Histogram,
+    backoff_ticks: obs::Histogram,
+}
+
+impl SchedMetrics {
+    fn new(o: &Obs) -> SchedMetrics {
+        let m = &o.metrics;
+        m.describe("ccp_sched_jobs_submitted_total", "jobs accepted into the queue");
+        m.describe("ccp_sched_submit_rejected_total", "submissions rejected as impossible");
+        m.describe("ccp_sched_jobs_dispatched_total", "job dispatches (attempts started)");
+        m.describe("ccp_sched_jobs_completed_total", "jobs that finished successfully");
+        m.describe("ccp_sched_jobs_cancelled_total", "jobs cancelled by users or admins");
+        m.describe("ccp_sched_jobs_timed_out_total", "jobs killed by their wall-clock budget");
+        m.describe("ccp_sched_jobs_node_lost_total", "jobs terminated after exhausting retries");
+        m.describe("ccp_sched_retries_total", "requeues after a node loss");
+        m.describe("ccp_sched_node_losses_total", "running jobs interrupted by a node going down");
+        m.describe("ccp_sched_core_ticks_total", "core-ticks consumed by completed jobs");
+        m.describe("ccp_sched_recovery_wait_ticks_total", "ticks jobs spent parked after node losses");
+        m.describe("ccp_sched_queue_depth", "jobs currently pending");
+        m.describe("ccp_sched_jobs_running", "jobs currently running");
+        m.describe("ccp_sched_job_wait_ticks", "submission-to-first-dispatch wait per completed job");
+        m.describe("ccp_sched_job_run_ticks", "final-attempt runtime per completed job");
+        m.describe("ccp_sched_retry_backoff_ticks", "backoff drawn per retry");
+        SchedMetrics {
+            jobs_submitted: m.counter("ccp_sched_jobs_submitted_total", &[]),
+            submit_rejected: m.counter("ccp_sched_submit_rejected_total", &[]),
+            jobs_dispatched: m.counter("ccp_sched_jobs_dispatched_total", &[]),
+            jobs_completed: m.counter("ccp_sched_jobs_completed_total", &[]),
+            jobs_cancelled: m.counter("ccp_sched_jobs_cancelled_total", &[]),
+            jobs_timed_out: m.counter("ccp_sched_jobs_timed_out_total", &[]),
+            jobs_node_lost: m.counter("ccp_sched_jobs_node_lost_total", &[]),
+            retries: m.counter("ccp_sched_retries_total", &[]),
+            node_losses: m.counter("ccp_sched_node_losses_total", &[]),
+            core_ticks: m.counter("ccp_sched_core_ticks_total", &[]),
+            recovery_wait_ticks: m.counter("ccp_sched_recovery_wait_ticks_total", &[]),
+            queue_depth: m.gauge("ccp_sched_queue_depth", &[]),
+            jobs_running: m.gauge("ccp_sched_jobs_running", &[]),
+            wait_ticks: m.histogram("ccp_sched_job_wait_ticks", &[], obs::TICK_BOUNDS),
+            run_ticks: m.histogram("ccp_sched_job_run_ticks", &[], obs::TICK_BOUNDS),
+            backoff_ticks: m.histogram("ccp_sched_retry_backoff_ticks", &[], obs::TICK_BOUNDS),
+        }
+    }
+}
+
 /// The job distributor.
 #[derive(Debug)]
 pub struct Scheduler {
@@ -101,12 +166,18 @@ pub struct Scheduler {
     /// Scripted health transitions, sorted by tick (applied at tick start).
     faults: Vec<FaultEvent>,
     faults_applied: usize,
+    /// Telemetry domain; every lifecycle transition lands here as a metric
+    /// movement plus a tracer point-event keyed by `job=<id>`.
+    obs: Arc<Obs>,
+    metrics: SchedMetrics,
 }
 
 impl Scheduler {
     /// A scheduler over `cluster` using `policy`. Jobs default to the
     /// [`RetryPolicy::default`] unless their spec carries one.
     pub fn new(cluster: Cluster, policy: SchedPolicyKind) -> Scheduler {
+        let obs = Arc::new(Obs::new());
+        let metrics = SchedMetrics::new(&obs);
         Scheduler {
             cluster,
             policy,
@@ -120,7 +191,24 @@ impl Scheduler {
             rng: StdRng::seed_from_u64(0),
             faults: Vec::new(),
             faults_applied: 0,
+            obs,
+            metrics,
         }
+    }
+
+    /// Attach a shared telemetry domain (builder style), replacing the
+    /// private one created by [`Scheduler::new`]. Also wires the backing
+    /// cluster onto the same registry.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Scheduler {
+        self.metrics = SchedMetrics::new(&obs);
+        self.cluster.set_obs(&obs);
+        self.obs = obs;
+        self
+    }
+
+    /// The telemetry domain this scheduler records into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Override the default retry policy (builder style).
@@ -196,9 +284,16 @@ impl Scheduler {
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SchedError> {
         let capacity = self.cluster.spec().total_cores();
         if spec.cores_needed() > capacity {
+            self.metrics.submit_rejected.inc();
             return Err(SchedError::Impossible { requested: spec.cores_needed(), capacity });
         }
         let id = JobId(self.next_id);
+        self.metrics.jobs_submitted.inc();
+        self.obs.tracer.event(
+            "job.submitted",
+            self.now,
+            &[("job", &id.0.to_string()), ("user", &spec.user), ("cores", &spec.cores_needed().to_string())],
+        );
         self.next_id += 1;
         self.jobs.insert(
             id,
@@ -218,6 +313,8 @@ impl Scheduler {
             },
         );
         self.queue.push(id);
+        self.obs.tracer.event("job.queued", self.now, &[("job", &id.0.to_string())]);
+        self.publish_gauges();
         Ok(id)
     }
 
@@ -250,7 +347,7 @@ impl Scheduler {
     pub fn cancel(&mut self, id: JobId) -> Result<(), SchedError> {
         let now = self.now;
         let job = self.jobs.get_mut(&id).ok_or(SchedError::NoSuchJob(id))?;
-        match job.state {
+        let cancelled = match job.state {
             JobState::Pending | JobState::Requeued { .. } => {
                 job.state = JobState::Cancelled { at: now };
                 job.requeued_at = None;
@@ -265,7 +362,13 @@ impl Scheduler {
                 Ok(())
             }
             _ => Err(SchedError::BadState { job: id, op: "cancel" }),
+        };
+        if cancelled.is_ok() {
+            self.metrics.jobs_cancelled.inc();
+            self.obs.tracer.event("job.cancelled", now, &[("job", &id.0.to_string())]);
+            self.publish_gauges();
         }
+        cancelled
     }
 
     /// Advance time by one tick: apply due fault events, complete due jobs,
@@ -278,7 +381,18 @@ impl Scheduler {
         self.enforce_timeouts();
         self.recover_lost_nodes();
         self.requeue_due_retries();
-        self.dispatch()
+        let started = self.dispatch();
+        self.publish_gauges();
+        started
+    }
+
+    /// Refresh the queue-depth/running gauges (and the cluster's) from
+    /// authoritative state. Called at every mutation point; cheap and
+    /// idempotent, so exposition readers may also call it defensively.
+    pub fn publish_gauges(&self) {
+        self.metrics.queue_depth.set(self.queue.len() as i64);
+        self.metrics.jobs_running.set(self.jobs.values().filter(|j| j.state.is_running()).count() as i64);
+        self.cluster.publish_gauges();
     }
 
     /// Run `n` ticks, returning total dispatches.
@@ -343,6 +457,15 @@ impl Scheduler {
             // into recovery_wait_ticks at each redispatch.
             let wait = job.wait_ticks(now);
             self.accounting.record(&job.spec.user, cores as u64 * (now - started_at), wait);
+            self.metrics.jobs_completed.inc();
+            self.metrics.core_ticks.add(cores as u64 * (now - started_at));
+            self.metrics.wait_ticks.record(wait);
+            self.metrics.run_ticks.record(now - started_at);
+            self.obs.tracer.event(
+                "job.completed",
+                now,
+                &[("job", &id.0.to_string()), ("run_ticks", &(now - started_at).to_string())],
+            );
             if let Some(a) = alloc {
                 self.cluster.release(&a);
             }
@@ -368,6 +491,12 @@ impl Scheduler {
                 self.cluster.release(&a);
             }
             self.queue.retain(|&q| q != id);
+            self.metrics.jobs_timed_out.inc();
+            self.obs.tracer.event(
+                "job.timed_out",
+                now,
+                &[("job", &id.0.to_string()), ("budget_ticks", &budget.to_string())],
+            );
         }
     }
 
@@ -404,6 +533,7 @@ impl Scheduler {
             job.node_losses += 1;
             job.last_failure = Some("node went down".to_string());
             self.accounting.record_node_loss(&job.spec.user);
+            self.metrics.node_losses.inc();
             let policy = job.spec.retry.unwrap_or(self.default_retry);
             let attempts = job.attempt;
             if policy.can_retry(attempts) {
@@ -411,8 +541,25 @@ impl Scheduler {
                 job.state = JobState::Requeued { attempt: attempts + 1, retry_at: now + backoff };
                 job.requeued_at = Some(now);
                 self.accounting.record_retry(&job.spec.user);
+                self.metrics.retries.inc();
+                self.metrics.backoff_ticks.record(backoff);
+                self.obs.tracer.event(
+                    "job.requeued",
+                    now,
+                    &[
+                        ("job", &id.0.to_string()),
+                        ("attempt", &(attempts + 1).to_string()),
+                        ("backoff_ticks", &backoff.to_string()),
+                    ],
+                );
             } else {
                 job.state = JobState::NodeLost { at: now, attempts };
+                self.metrics.jobs_node_lost.inc();
+                self.obs.tracer.event(
+                    "job.node_lost",
+                    now,
+                    &[("job", &id.0.to_string()), ("attempts", &attempts.to_string())],
+                );
             }
         }
     }
@@ -433,6 +580,7 @@ impl Scheduler {
             // Back of the queue: a recovered job does not preempt work that
             // queued honestly while it was running.
             self.queue.push(id);
+            self.obs.tracer.event("job.queued", now, &[("job", &id.0.to_string())]);
         }
     }
 
@@ -476,6 +624,8 @@ impl Scheduler {
             match alloc {
                 Ok(a) => {
                     let now = self.now;
+                    let cores_granted = a.total_cores();
+                    let nodes_touched = a.node_count();
                     let job = self.jobs.get_mut(&id).expect("queued job exists");
                     job.state = JobState::Running { started_at: now };
                     // First start only: retries keep the original for
@@ -489,9 +639,22 @@ impl Scheduler {
                         let recovery = now.saturating_sub(lost_at);
                         job.recovery_wait_ticks += recovery;
                         self.accounting.record_recovery(&job.spec.user, recovery);
+                        self.metrics.recovery_wait_ticks.add(recovery);
                     }
+                    let attempt = job.attempt;
                     self.queue.retain(|&q| q != id);
                     self.dispatch_count += 1;
+                    self.metrics.jobs_dispatched.inc();
+                    self.obs.tracer.event(
+                        "job.dispatched",
+                        now,
+                        &[
+                            ("job", &id.0.to_string()),
+                            ("attempt", &attempt.to_string()),
+                            ("cores", &cores_granted.to_string()),
+                            ("nodes", &nodes_touched.to_string()),
+                        ],
+                    );
                     started.push(id);
                 }
                 Err(_) => {
@@ -875,6 +1038,50 @@ mod tests {
             s.job(id).unwrap().allocation.as_ref().unwrap().cores.keys().next().unwrap().segment
         };
         assert_ne!(seg_of(&s, a), seg_of(&s, b), "jobs should land on different segments");
+    }
+
+    #[test]
+    fn obs_timeline_and_counters_follow_lifecycle() {
+        let obs = Arc::new(Obs::new());
+        let mut s = sched(SchedPolicyKind::Fifo)
+            .with_obs(Arc::clone(&obs))
+            .with_retry(RetryPolicy::fixed(3, 2))
+            .with_retry_seed(7);
+        let id = s.submit(JobSpec::sequential("u", "x", 5)).unwrap();
+        s.tick();
+        let victim = s.cluster().slave_ids()[0];
+        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.tick();
+        s.cluster_mut().set_health(victim, NodeHealth::Up).unwrap();
+        s.drain(100).expect("recovers and drains");
+
+        let m = &obs.metrics;
+        assert_eq!(m.counter("ccp_sched_jobs_submitted_total", &[]).get(), 1);
+        assert_eq!(m.counter("ccp_sched_jobs_completed_total", &[]).get(), 1);
+        assert_eq!(m.counter("ccp_sched_retries_total", &[]).get(), 1);
+        assert_eq!(m.counter("ccp_sched_node_losses_total", &[]).get(), 1);
+        assert_eq!(m.counter("ccp_sched_jobs_dispatched_total", &[]).get(), 2);
+        assert_eq!(m.gauge("ccp_sched_queue_depth", &[]).get(), 0);
+        assert_eq!(m.gauge("ccp_sched_jobs_running", &[]).get(), 0);
+        assert_eq!(m.histogram("ccp_sched_job_run_ticks", &[], obs::TICK_BOUNDS).count(), 1);
+
+        // The per-job timeline is ordered and ends in the terminal event.
+        let timeline = obs.tracer.find_by_attr("job", &id.0.to_string());
+        let names: Vec<&str> = timeline.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "job.submitted",
+                "job.queued",
+                "job.dispatched",
+                "job.requeued",
+                "job.queued",
+                "job.dispatched",
+                "job.completed"
+            ]
+        );
+        assert!(timeline.windows(2).all(|w| w[0].start <= w[1].start));
+        assert_eq!(timeline.last().unwrap().attr("run_ticks"), Some("5"));
     }
 
     #[test]

@@ -131,6 +131,41 @@ impl Executor {
         self.run_with_stdin(store, artifact, fs, user, &[])
     }
 
+    /// Like [`Executor::run_with_stdin`], recording execution telemetry into
+    /// `obs`: an `ccp_toolchain_execs_total{result}` counter, a wall-clock
+    /// duration histogram, and a (deterministic) instruction-count histogram.
+    pub fn run_with_stdin_observed(
+        &self,
+        store: &ArtifactStore,
+        artifact: &ArtifactId,
+        fs: Arc<Mutex<Vfs>>,
+        user: &str,
+        stdin: &[String],
+        obs: &obs::Obs,
+    ) -> Result<ExecReport, ExecutorError> {
+        let started = std::time::Instant::now();
+        let result = self.run_with_stdin(store, artifact, fs, user, stdin);
+        let m = &obs.metrics;
+        m.describe("ccp_toolchain_execs_total", "artifact executions by result");
+        m.describe("ccp_toolchain_exec_duration_us", "execution wall-clock latency");
+        m.describe("ccp_toolchain_exec_instructions", "VM instructions per execution");
+        let label = match &result {
+            Ok(report) if report.success() => "ok",
+            Ok(_) => "runtime_error",
+            Err(_) => "error",
+        };
+        m.counter("ccp_toolchain_execs_total", &[("result", label)]).inc();
+        m.histogram("ccp_toolchain_exec_duration_us", &[], obs::DURATION_US_BOUNDS)
+            .record(started.elapsed().as_micros() as u64);
+        if let Ok(report) = &result {
+            if let Some(outcome) = &report.outcome {
+                m.histogram("ccp_toolchain_exec_instructions", &[], obs::INSTRUCTION_BOUNDS)
+                    .record(outcome.executed);
+            }
+        }
+        result
+    }
+
     /// Like [`Executor::run`], queuing `stdin` lines for `read_line()`.
     pub fn run_with_stdin(
         &self,

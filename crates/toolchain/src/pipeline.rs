@@ -103,6 +103,22 @@ impl CompileRequest {
         CompileRequest { user: user.to_string(), source_path: source_path.to_string() }
     }
 
+    /// Like [`CompileRequest::run`], recording a
+    /// `ccp_toolchain_compiles_total{result}` counter and a wall-clock
+    /// `ccp_toolchain_compile_duration_us` histogram into `obs`.
+    pub fn run_observed(&self, fs: &Vfs, store: &mut ArtifactStore, obs: &obs::Obs) -> CompileReport {
+        let started = std::time::Instant::now();
+        let report = self.run(fs, store);
+        let result = if report.success() { "ok" } else { "error" };
+        obs.metrics.describe("ccp_toolchain_compiles_total", "compilations by result");
+        obs.metrics.describe("ccp_toolchain_compile_duration_us", "compilation wall-clock latency");
+        obs.metrics.counter("ccp_toolchain_compiles_total", &[("result", result)]).inc();
+        obs.metrics
+            .histogram("ccp_toolchain_compile_duration_us", &[], obs::DURATION_US_BOUNDS)
+            .record(started.elapsed().as_micros() as u64);
+        report
+    }
+
     /// Execute the request against the filesystem and artifact store.
     pub fn run(&self, fs: &Vfs, store: &mut ArtifactStore) -> CompileReport {
         let mut diagnostics = Vec::new();

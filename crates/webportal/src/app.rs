@@ -4,7 +4,7 @@ use auth::{Role, Token};
 use ccp_core::{Portal, PortalError};
 use httpd::forms::{multipart_boundary, parse_cookies, parse_multipart, parse_query};
 use httpd::json::Json;
-use httpd::{Method, Request, Response, Router, Server, ServerHandle, Status};
+use httpd::{Method, Request, Response, Router, Server, ServerConfig, ServerHandle, Status};
 use parking_lot::Mutex;
 use sched::JobId;
 use std::sync::Arc;
@@ -478,14 +478,14 @@ pub fn build_router(app: Arc<App>) -> Router {
         });
     }
     {
-        // Unauthenticated liveness/health probe: degraded flag + per-node
-        // health so the portal stays observable through an outage.
+        // Unauthenticated liveness/health probe: degraded flag, the
+        // per-node rows it is derived from, and the headline gauges —
+        // all one snapshot, so the counts cannot contradict the flag.
         let app = Arc::clone(&app);
         router.get("/api/health", move |_req| {
-            let portal = app.portal.lock();
-            let degraded = portal.degraded();
-            let nodes = portal
-                .cluster_nodes()
+            let h = app.portal.lock().health_view();
+            let nodes = h
+                .nodes
                 .into_iter()
                 .map(|n| {
                     Json::obj(vec![
@@ -499,8 +499,13 @@ pub fn build_router(app: Arc<App>) -> Router {
             Response::json(
                 Status::OK,
                 &Json::obj(vec![
-                    ("degraded", Json::Bool(degraded)),
+                    ("degraded", Json::Bool(h.degraded)),
                     ("nodes", Json::Arr(nodes)),
+                    ("nodes_up", Json::num(h.nodes_up as f64)),
+                    ("nodes_draining", Json::num(h.nodes_draining as f64)),
+                    ("nodes_down", Json::num(h.nodes_down as f64)),
+                    ("queue_depth", Json::num(h.queue_depth as f64)),
+                    ("jobs_running", Json::num(h.jobs_running as f64)),
                 ]),
             )
         });
@@ -519,6 +524,74 @@ pub fn build_router(app: Arc<App>) -> Router {
             )
         });
     }
+
+    // ---- telemetry -------------------------------------------------------------
+    {
+        // Prometheus text exposition. Public like /api/health: the body is
+        // aggregates only, no per-user data.
+        let app = Arc::clone(&app);
+        router.get("/api/metrics", move |_req| {
+            let text = app.portal.lock().metrics_text();
+            Response::new(Status::OK)
+                .with_header("Content-Type", "text/plain; version=0.0.4")
+                .with_body(text.into_bytes())
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/trace/:id", move |req| {
+            let token = need_token!(req);
+            let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
+                return Response::error(Status::BAD_REQUEST, "bad job id");
+            };
+            let timeline = try_portal!(app.portal.lock().job_timeline(&token, JobId(id), now()));
+            let rows = timeline
+                .into_iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("at", Json::num(e.at as f64)),
+                        ("event", Json::str(e.event)),
+                        (
+                            "attrs",
+                            Json::Obj(e.attrs.into_iter().map(|(k, v)| (k, Json::Str(v))).collect()),
+                        ),
+                    ])
+                })
+                .collect();
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![("job", Json::num(id as f64)), ("timeline", Json::Arr(rows))]),
+            )
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        router.get("/api/admin/events", move |req| {
+            let token = need_token!(req);
+            let limit = qparam(req, "limit").and_then(|s| s.parse::<usize>().ok()).unwrap_or(100);
+            let events = try_portal!(app.portal.lock().recent_events(&token, limit, now()));
+            let rows = events
+                .into_iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("at", Json::num(e.at as f64)),
+                        ("kind", Json::str(e.kind)),
+                        (
+                            "fields",
+                            Json::Obj(e.fields.into_iter().map(|(k, v)| (k, Json::Str(v))).collect()),
+                        ),
+                    ])
+                })
+                .collect();
+            Response::json(Status::OK, &Json::Arr(rows))
+        });
+    }
+
+    // Route the request-level telemetry (per-route counters, latency
+    // histograms, access log) into the portal's own domain, so one
+    // /api/metrics scrape covers the whole stack.
+    let obs = Arc::clone(app.portal.lock().obs());
+    router.set_obs(obs);
 
     router
 }
@@ -540,10 +613,11 @@ fn job_json(j: &ccp_core::JobView) -> Json {
     ])
 }
 
-/// Serve the portal on a real socket. The caller keeps the [`ServerHandle`]
-/// alive for the server's lifetime.
+/// Serve the portal on a real socket, access log on. The caller keeps the
+/// [`ServerHandle`] alive for the server's lifetime.
 pub fn serve(app: Arc<App>, addr: &str) -> std::io::Result<ServerHandle> {
-    Server::new(build_router(app)).spawn(addr)
+    let config = ServerConfig { access_log: true, ..ServerConfig::default() };
+    Server::with_config(build_router(app), config).spawn(addr)
 }
 
 /// Convenience used by pages and tests: dispatch a synthetic request.

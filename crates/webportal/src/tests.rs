@@ -432,6 +432,114 @@ fn job_json_reports_attempts_and_failure_cause() {
 }
 
 #[test]
+fn metrics_endpoint_covers_httpd_sched_and_cluster() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    // Drive one job through so sched/toolchain counters move.
+    dispatch(&router, Method::Post, "/api/file?path=m.mini", b"fn main() { println(\"m\"); }", Some(&tok));
+    let resp = dispatch(&router, Method::Post, "/api/compile?path=m.mini", b"", Some(&tok));
+    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    let body = format!(r#"{{"artifact":"{artifact}","cores":1,"estimated_ticks":3}}"#);
+    dispatch(&router, Method::Post, "/api/jobs", body.as_bytes(), Some(&tok));
+    for _ in 0..10 {
+        dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
+    }
+    // Public, Prometheus-typed, and covering every layer.
+    let mut req = httpd::Request::synthetic(Method::Get, "/api/metrics", b"");
+    let resp = router.dispatch(&mut req);
+    assert_eq!(resp.status, Status::OK);
+    assert!(resp.header("content-type").unwrap().starts_with("text/plain"));
+    let text = resp.body_str().to_string();
+    for needle in [
+        // httpd: counter, histogram, gauge (requests routed through dispatch).
+        "# TYPE ccp_httpd_requests_total counter",
+        "ccp_httpd_requests_total{method=\"POST\",route=\"/api/tick\",status=\"200\"} 10",
+        "ccp_httpd_request_duration_us_bucket",
+        "# TYPE ccp_httpd_inflight gauge",
+        // sched: counter, gauge, histogram.
+        "ccp_sched_jobs_submitted_total 1",
+        "ccp_sched_jobs_completed_total 1",
+        "ccp_sched_queue_depth 0",
+        "ccp_sched_job_run_ticks_count 1",
+        // cluster: counter, gauge, histogram.
+        "ccp_cluster_allocations_total 1",
+        "ccp_cluster_nodes{state=\"up\"} 4",
+        "ccp_cluster_alloc_cores_count 1",
+        // toolchain rides along.
+        "ccp_toolchain_compiles_total{result=\"ok\"} 1",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn trace_endpoint_returns_gated_timeline() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(&router, Method::Post, "/api/file?path=t.mini", b"fn main() { println(\"t\"); }", Some(&tok));
+    let resp = dispatch(&router, Method::Post, "/api/compile?path=t.mini", b"", Some(&tok));
+    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    let body = format!(r#"{{"artifact":"{artifact}","cores":1,"estimated_ticks":3}}"#);
+    let resp = dispatch(&router, Method::Post, "/api/jobs", body.as_bytes(), Some(&tok));
+    let id = json_of(&resp).get("job").unwrap().as_num().unwrap() as u64;
+    for _ in 0..10 {
+        dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
+    }
+    // Owner gets the ordered timeline ending in the terminal event.
+    let resp = dispatch(&router, Method::Get, &format!("/api/trace/{id}"), b"", Some(&tok));
+    assert_eq!(resp.status, Status::OK, "{}", resp.body_str());
+    let j = json_of(&resp);
+    let events: Vec<String> = j
+        .get("timeline")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|e| e.get("event").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(events, vec!["job.submitted", "job.queued", "job.dispatched", "job.completed"]);
+    let job_state = json_of(&dispatch(&router, Method::Get, &format!("/api/jobs/{id}"), b"", Some(&tok)));
+    assert!(job_state.get("state").unwrap().as_str().unwrap().contains("completed"));
+    // Another student is refused; anonymous is 401.
+    let eve = make_student(&app, &router, "eve");
+    let resp = dispatch(&router, Method::Get, &format!("/api/trace/{id}"), b"", Some(&eve));
+    assert_eq!(resp.status, Status::FORBIDDEN);
+    let resp = dispatch(&router, Method::Get, &format!("/api/trace/{id}"), b"", None);
+    assert_eq!(resp.status, Status::UNAUTHORIZED);
+}
+
+#[test]
+fn admin_events_endpoint_gated() {
+    let (app, router) = test_app();
+    let student = make_student(&app, &router, "alice");
+    let resp = dispatch(&router, Method::Get, "/api/admin/events", b"", Some(&student));
+    assert_eq!(resp.status, Status::FORBIDDEN);
+    let admin = login(&router, "admin", "super-secret9");
+    let resp = dispatch(&router, Method::Get, "/api/admin/events?limit=5", b"", Some(&admin));
+    assert_eq!(resp.status, Status::OK);
+    assert!(json_of(&resp).as_arr().is_some());
+}
+
+#[test]
+fn health_reports_headline_gauges() {
+    let (_, router) = test_app();
+    let j = json_of(&dispatch(&router, Method::Get, "/api/health", b"", None));
+    assert_eq!(j.get("nodes_up").unwrap().as_num(), Some(4.0));
+    assert_eq!(j.get("nodes_draining").unwrap().as_num(), Some(0.0));
+    assert_eq!(j.get("nodes_down").unwrap().as_num(), Some(0.0));
+    assert_eq!(j.get("queue_depth").unwrap().as_num(), Some(0.0));
+    assert_eq!(j.get("jobs_running").unwrap().as_num(), Some(0.0));
+    // The flag and the counts derive from one snapshot: drain a node and
+    // both move together.
+    let admin = login(&router, "admin", "super-secret9");
+    dispatch(&router, Method::Post, "/api/admin/drain?segment=1&slot=0", b"", Some(&admin));
+    let j = json_of(&dispatch(&router, Method::Get, "/api/health", b"", None));
+    assert_eq!(j.get("degraded").unwrap().as_bool(), Some(true));
+    assert_eq!(j.get("nodes_up").unwrap().as_num(), Some(3.0));
+    assert_eq!(j.get("nodes_draining").unwrap().as_num(), Some(1.0));
+}
+
+#[test]
 fn upload_without_multipart_content_type_rejected() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");

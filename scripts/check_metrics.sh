@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Validate a /api/metrics scrape: non-empty, Prometheus-text-shaped, and
+# carrying at least one counter, gauge and histogram from each instrumented
+# layer (httpd, sched, cluster).
+#
+# Usage: check_metrics.sh [file]    (reads stdin when no file is given)
+set -euo pipefail
+
+input="$(cat "${1:-/dev/stdin}")"
+
+if [ -z "$input" ]; then
+    echo "FAIL: metrics body is empty" >&2
+    exit 1
+fi
+
+# Every line must be a comment or a `name{labels} value` sample.
+bad_lines="$(printf '%s\n' "$input" \
+    | grep -vE '^#' \
+    | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$' || true)"
+if [ -n "$bad_lines" ]; then
+    echo "FAIL: malformed exposition lines:" >&2
+    printf '%s\n' "$bad_lines" >&2
+    exit 1
+fi
+
+# Comment lines must be HELP or TYPE records.
+bad_comments="$(printf '%s\n' "$input" \
+    | grep -E '^#' \
+    | grep -vE '^# (HELP|TYPE) ccp_[a-z_]+ ' || true)"
+if [ -n "$bad_comments" ]; then
+    echo "FAIL: malformed comment lines:" >&2
+    printf '%s\n' "$bad_comments" >&2
+    exit 1
+fi
+
+# Each layer must expose all three metric kinds.
+status=0
+for layer in httpd sched cluster; do
+    for kind in counter gauge histogram; do
+        if ! printf '%s\n' "$input" | grep -qE "^# TYPE ccp_${layer}_[a-z_]+ ${kind}\$"; then
+            echo "FAIL: no ${kind} from the ${layer} layer" >&2
+            status=1
+        fi
+    done
+done
+[ "$status" -eq 0 ] || exit "$status"
+
+samples="$(printf '%s\n' "$input" | grep -cvE '^#')"
+families="$(printf '%s\n' "$input" | grep -cE '^# TYPE ')"
+echo "OK: $families families, $samples samples, all layers covered"

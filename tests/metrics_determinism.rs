@@ -1,0 +1,117 @@
+//! Telemetry determinism: the metrics a chaos run leaves behind are a pure
+//! function of the seed. Two runs with the same seed must render
+//! byte-identical `/api/metrics` output — counters, gauges, histogram
+//! buckets and all. Scheduler and cluster metrics use logical ticks only,
+//! so nothing wall-clock can leak in.
+
+use cluster::{Cluster, ClusterSpec, FaultPlan};
+use obs::Obs;
+use sched::{RetryPolicy, SchedPolicyKind, Scheduler, WorkloadSpec};
+use std::sync::Arc;
+
+const MAX_TICKS: u64 = 3_000;
+
+/// Replay the seeded 60-job chaos workload (same shape as
+/// `chaos_recovery.rs`) with telemetry attached; return the rendered
+/// Prometheus exposition.
+fn run_chaos_metrics(seed: u64) -> String {
+    let cluster = Cluster::new(ClusterSpec::small(2, 4));
+    let nodes = cluster.slave_ids();
+    let plan = FaultPlan::random_outages(&nodes, 10, 250, 40, seed);
+    let obs = Arc::new(Obs::new());
+    let mut sched = Scheduler::new(cluster, SchedPolicyKind::Fifo)
+        .with_obs(Arc::clone(&obs))
+        .with_retry(RetryPolicy::default())
+        .with_retry_seed(seed)
+        .with_fault_plan(plan);
+
+    let workload = WorkloadSpec {
+        jobs: 60,
+        core_choices: vec![1, 2, 4, 8],
+        runtime_range: (5, 25),
+        mean_interarrival: 2.0,
+        users: 4,
+        ..WorkloadSpec::default()
+    };
+    let arrivals = workload.generate(seed);
+
+    let mut next = 0usize;
+    for _ in 0..MAX_TICKS {
+        let now = sched.now();
+        while next < arrivals.len() && arrivals[next].at_tick <= now + 1 {
+            let mut spec = arrivals[next].spec.clone();
+            if next % 3 == 0 {
+                spec = spec.with_timeout(400);
+            }
+            sched.submit(spec).expect("workload jobs fit the cluster");
+            next += 1;
+        }
+        sched.tick();
+        if next >= arrivals.len() && sched.jobs().all(|j| j.state.is_terminal()) {
+            break;
+        }
+    }
+    sched.publish_gauges();
+    obs.metrics.render()
+}
+
+#[test]
+fn same_seed_chaos_runs_render_identical_metrics() {
+    for seed in [11, 42, 1337] {
+        let a = run_chaos_metrics(seed);
+        let b = run_chaos_metrics(seed);
+        assert_eq!(a, b, "seed {seed}: metrics exposition diverged between identical runs");
+    }
+}
+
+/// Regenerates the headline-metrics table in EXPERIMENTS.md:
+/// `cargo test --test metrics_determinism -- --ignored --nocapture`
+#[test]
+#[ignore]
+fn print_chaos_metrics() {
+    for seed in [11, 42, 1337] {
+        println!("==== seed {seed} ====");
+        let text = run_chaos_metrics(seed);
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.contains("_bucket")) {
+            println!("{line}");
+        }
+    }
+}
+
+#[test]
+fn chaos_metrics_exposition_is_complete_and_consistent() {
+    let text = run_chaos_metrics(42);
+    // Every scheduler and cluster family the run exercises is present.
+    for family in [
+        "ccp_sched_jobs_submitted_total 60",
+        "ccp_sched_queue_depth 0",
+        "ccp_sched_job_wait_ticks_bucket",
+        "ccp_sched_job_run_ticks_sum",
+        "ccp_cluster_allocations_total",
+        "ccp_cluster_cores_busy 0",
+        "ccp_cluster_nodes{state=\"up\"}",
+        "ccp_cluster_alloc_cores_bucket",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+    // Terminal-state counters sum to the workload size: every job ended
+    // exactly one way, in metrics as in job records.
+    let value_of = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && l.split_whitespace().count() == 2)
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let terminal = value_of("ccp_sched_jobs_completed_total")
+        + value_of("ccp_sched_jobs_timed_out_total")
+        + value_of("ccp_sched_jobs_node_lost_total")
+        + value_of("ccp_sched_jobs_cancelled_total");
+    assert_eq!(terminal, 60, "terminal-state counters disagree with workload size:\n{text}");
+    // The node-state gauge partitions the cluster: states sum to 8 nodes
+    // whatever mix of up/down the fault plan left behind.
+    let nodes = value_of("ccp_cluster_nodes{state=\"up\"}")
+        + value_of("ccp_cluster_nodes{state=\"draining\"}")
+        + value_of("ccp_cluster_nodes{state=\"down\"}");
+    assert_eq!(nodes, 8, "node-state gauge does not partition the cluster:\n{text}");
+}
