@@ -25,7 +25,10 @@ pub struct ExamTargets {
 
 impl Default for ExamTargets {
     fn default() -> Self {
-        ExamTargets { midterm_all: 0.17, final_all: 0.22 }
+        ExamTargets {
+            midterm_all: 0.17,
+            final_all: 0.22,
+        }
     }
 }
 
@@ -75,7 +78,12 @@ fn rate(xs: &[bool]) -> f64 {
 }
 
 fn rate_among(xs: &[bool], among: &[bool]) -> f64 {
-    let picked: Vec<bool> = xs.iter().zip(among).filter(|(_, a)| **a).map(|(x, _)| *x).collect();
+    let picked: Vec<bool> = xs
+        .iter()
+        .zip(among)
+        .filter(|(_, a)| **a)
+        .map(|(x, _)| *x)
+        .collect();
     rate(&picked)
 }
 
@@ -101,14 +109,22 @@ pub struct ExamModel {
 
 impl Default for ExamModel {
     fn default() -> Self {
-        ExamModel { targets: ExamTargets::default(), learning_gain: 1.2, final_discrimination: 3.0 }
+        ExamModel {
+            targets: ExamTargets::default(),
+            learning_gain: 1.2,
+            final_discrimination: 3.0,
+        }
     }
 }
 
 impl ExamModel {
     /// A model with explicit targets.
     pub fn new(targets: ExamTargets, learning_gain: f64) -> ExamModel {
-        ExamModel { targets, learning_gain, final_discrimination: 3.0 }
+        ExamModel {
+            targets,
+            learning_gain,
+            final_discrimination: 3.0,
+        }
     }
 
     /// Simulate both exams and course outcomes for a cohort whose lab
@@ -120,7 +136,10 @@ impl ExamModel {
         // Engagement: fraction of labs passed, in [0, 1].
         let engagement: Vec<f64> = outcomes
             .iter()
-            .map(|o| o.lab_passed.iter().filter(|p| **p).count() as f64 / o.lab_passed.len().max(1) as f64)
+            .map(|o| {
+                o.lab_passed.iter().filter(|p| **p).count() as f64
+                    / o.lab_passed.len().max(1) as f64
+            })
             .collect();
         // Midterm: raw abilities against a difficulty hit hitting 17%.
         let d_mid = calibrate_difficulty(abilities, self.targets.midterm_all);
@@ -156,7 +175,11 @@ impl ExamModel {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let cut = sorted[(n * 7) / 10];
         let course_pass: Vec<bool> = course_score.iter().map(|s| *s >= cut).collect();
-        ExamResults { midterm, final_exam, course_pass }
+        ExamResults {
+            midterm,
+            final_exam,
+            course_pass,
+        }
     }
 }
 
@@ -175,7 +198,12 @@ mod tests {
             sums.2 += r.midterm_rate_passers();
             sums.3 += r.final_rate_passers();
         }
-        (sums.0 / reps as f64, sums.1 / reps as f64, sums.2 / reps as f64, sums.3 / reps as f64)
+        (
+            sums.0 / reps as f64,
+            sums.1 / reps as f64,
+            sums.2 / reps as f64,
+            sums.3 / reps as f64,
+        )
     }
 
     #[test]
@@ -196,7 +224,10 @@ mod tests {
             fin_pass - fin_all > mid_pass - mid_all,
             "final gap ({fin_pass}-{fin_all}) should exceed midterm gap ({mid_pass}-{mid_all})"
         );
-        assert!(fin_pass > 0.5, "final-among-passers {fin_pass} too low (paper: 0.80)");
+        assert!(
+            fin_pass > 0.5,
+            "final-among-passers {fin_pass} too low (paper: 0.80)"
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@ pub fn normal(rng: &mut StdRng) -> f64 {
 pub fn calibrate_difficulty(abilities: &[f64], target: f64) -> f64 {
     assert!(!abilities.is_empty(), "need at least one student");
     let target = target.clamp(0.01, 0.99);
-    let rate = |d: f64| abilities.iter().map(|a| sigmoid(a - d)).sum::<f64>() / abilities.len() as f64;
+    let rate =
+        |d: f64| abilities.iter().map(|a| sigmoid(a - d)).sum::<f64>() / abilities.len() as f64;
     let (mut lo, mut hi) = (-20.0, 20.0);
     for _ in 0..80 {
         let mid = (lo + hi) / 2.0;
@@ -65,7 +66,8 @@ pub fn welch_t(a: &[f64], b: &[f64]) -> (f64, f64) {
         return (0.0, (na + nb - 2.0).max(1.0));
     }
     let t = (ma - mb) / se2.sqrt();
-    let df = se2.powi(2) / ((va / na).powi(2) / (na - 1.0).max(1.0) + (vb / nb).powi(2) / (nb - 1.0).max(1.0));
+    let df = se2.powi(2)
+        / ((va / na).powi(2) / (na - 1.0).max(1.0) + (vb / nb).powi(2) / (nb - 1.0).max(1.0));
     (t, df.max(1.0))
 }
 
@@ -104,7 +106,10 @@ mod tests {
             let d = calibrate_difficulty(&abilities, target);
             let achieved: f64 =
                 abilities.iter().map(|a| sigmoid(a - d)).sum::<f64>() / abilities.len() as f64;
-            assert!((achieved - target).abs() < 1e-6, "target {target} achieved {achieved}");
+            assert!(
+                (achieved - target).abs() < 1e-6,
+                "target {target} achieved {achieved}"
+            );
         }
     }
 
@@ -135,7 +140,9 @@ mod tests {
             assert!((1..=4).contains(&v));
         }
         // Mean tracks mu when far from the boundaries.
-        let xs: Vec<f64> = (0..5000).map(|_| likert(&mut rng, 3.0, 0.8, 1, 5) as f64).collect();
+        let xs: Vec<f64> = (0..5000)
+            .map(|_| likert(&mut rng, 3.0, 0.8, 1, 5) as f64)
+            .collect();
         assert!((mean(&xs) - 3.0).abs() < 0.1, "{}", mean(&xs));
     }
 
@@ -143,6 +150,9 @@ mod tests {
     fn summary_stats_edge_cases() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(stddev(&[1.0]), 0.0);
-        assert!((stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(
+            (stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - (32.0f64 / 7.0).sqrt()).abs()
+                < 1e-12
+        );
     }
 }

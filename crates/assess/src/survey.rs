@@ -102,7 +102,10 @@ pub struct SurveyModel {
 
 impl Default for SurveyModel {
     fn default() -> Self {
-        SurveyModel { sigma: 0.7, respondents: 16 }
+        SurveyModel {
+            sigma: 0.7,
+            respondents: 16,
+        }
     }
 }
 
@@ -115,8 +118,14 @@ impl SurveyModel {
             responses: qs
                 .iter()
                 .map(|q| {
-                    let mu = if pick_exit { q.paper_exit } else { q.paper_entrance };
-                    (0..self.respondents).map(|_| likert(rng, mu, self.sigma, q.scale.0, q.scale.1)).collect()
+                    let mu = if pick_exit {
+                        q.paper_exit
+                    } else {
+                        q.paper_entrance
+                    };
+                    (0..self.respondents)
+                        .map(|_| likert(rng, mu, self.sigma, q.scale.0, q.scale.1))
+                        .collect()
                 })
                 .collect(),
         };
@@ -134,10 +143,20 @@ mod tests {
     fn question_table_matches_paper() {
         let qs = questions();
         assert_eq!(qs.len(), 6);
-        let means: Vec<(f64, f64)> = qs.iter().map(|q| (q.paper_entrance, q.paper_exit)).collect();
+        let means: Vec<(f64, f64)> = qs
+            .iter()
+            .map(|q| (q.paper_entrance, q.paper_exit))
+            .collect();
         assert_eq!(
             means,
-            vec![(3.00, 2.00), (2.56, 2.38), (1.33, 1.38), (1.44, 1.31), (2.00, 2.75), (2.22, 3.00)]
+            vec![
+                (3.00, 2.00),
+                (2.56, 2.38),
+                (1.33, 1.38),
+                (1.44, 1.31),
+                (2.00, 2.75),
+                (2.22, 3.00)
+            ]
         );
     }
 
@@ -163,11 +182,14 @@ mod tests {
     #[test]
     fn means_track_paper_within_noise() {
         // Average many administrations: simulated means approach targets.
-        let model = SurveyModel { sigma: 0.7, respondents: 16 };
+        let model = SurveyModel {
+            sigma: 0.7,
+            respondents: 16,
+        };
         let qs = questions();
         let reps = 30u64;
-        let mut ent_sums = vec![0.0; 6];
-        let mut exit_sums = vec![0.0; 6];
+        let mut ent_sums = [0.0; 6];
+        let mut exit_sums = [0.0; 6];
         for seed in 0..reps {
             let (e, x) = model.run(seed);
             for (i, m) in e.means().iter().enumerate() {
@@ -182,8 +204,18 @@ mod tests {
             let xm = exit_sums[i] / reps as f64;
             // Clipping at the scale edge biases extreme targets slightly;
             // allow 0.25.
-            assert!((em - q.paper_entrance).abs() < 0.25, "Q{} entrance {em} vs {}", q.number, q.paper_entrance);
-            assert!((xm - q.paper_exit).abs() < 0.25, "Q{} exit {xm} vs {}", q.number, q.paper_exit);
+            assert!(
+                (em - q.paper_entrance).abs() < 0.25,
+                "Q{} entrance {em} vs {}",
+                q.number,
+                q.paper_entrance
+            );
+            assert!(
+                (xm - q.paper_exit).abs() < 0.25,
+                "Q{} exit {xm} vs {}",
+                q.number,
+                q.paper_exit
+            );
         }
     }
 

@@ -21,7 +21,10 @@ pub struct PasswordPolicy {
 
 impl Default for PasswordPolicy {
     fn default() -> Self {
-        PasswordPolicy { iterations: 10_000, min_length: 8 }
+        PasswordPolicy {
+            iterations: 10_000,
+            min_length: 8,
+        }
     }
 }
 
@@ -39,7 +42,11 @@ impl PasswordHash {
         let mut salt = [0u8; 16];
         rng.fill_bytes(&mut salt);
         let hash = stretch(password.as_bytes(), &salt, policy.iterations.max(1));
-        PasswordHash { salt, iterations: policy.iterations.max(1), hash }
+        PasswordHash {
+            salt,
+            iterations: policy.iterations.max(1),
+            hash,
+        }
     }
 
     /// Deterministic creation for tests (seeded salt).
@@ -49,7 +56,11 @@ impl PasswordHash {
         let mut salt = [0u8; 16];
         rng.fill(&mut salt);
         let hash = stretch(password.as_bytes(), &salt, policy.iterations.max(1));
-        PasswordHash { salt, iterations: policy.iterations.max(1), hash }
+        PasswordHash {
+            salt,
+            iterations: policy.iterations.max(1),
+            hash,
+        }
     }
 
     /// Constant-time verification of a candidate password.
@@ -93,7 +104,10 @@ mod tests {
     use super::*;
 
     fn policy() -> PasswordPolicy {
-        PasswordPolicy { iterations: 100, min_length: 8 }
+        PasswordPolicy {
+            iterations: 100,
+            min_length: 8,
+        }
     }
 
     #[test]
@@ -120,7 +134,10 @@ mod tests {
 
     #[test]
     fn iterations_floor_at_one() {
-        let p = PasswordPolicy { iterations: 0, min_length: 1 };
+        let p = PasswordPolicy {
+            iterations: 0,
+            min_length: 1,
+        };
         let h = PasswordHash::create_seeded("x", p, 3);
         assert_eq!(h.iterations(), 1);
         assert!(h.verify("x"));

@@ -78,7 +78,12 @@ impl SessionManager {
     /// A manager whose tokens live `ttl` clock units; `seed` drives token
     /// randomness.
     pub fn new(ttl: u64, seed: u64) -> SessionManager {
-        SessionManager { sessions: HashMap::new(), ttl, rng: StdRng::seed_from_u64(seed), issued: 0 }
+        SessionManager {
+            sessions: HashMap::new(),
+            ttl,
+            rng: StdRng::seed_from_u64(seed),
+            issued: 0,
+        }
     }
 
     /// Issue a token for `username` at time `now`.
@@ -95,16 +100,25 @@ impl SessionManager {
         let tok = Token(Sha256::to_hex(&h.finalize()));
         self.sessions.insert(
             tok.0.clone(),
-            Session { username: username.to_string(), created_at: now, expires_at: now.saturating_add(self.ttl) },
+            Session {
+                username: username.to_string(),
+                created_at: now,
+                expires_at: now.saturating_add(self.ttl),
+            },
         );
         tok
     }
 
     /// Validate a token at time `now`, returning its session.
     pub fn validate(&self, token: &Token, now: u64) -> Result<&Session, SessionError> {
-        let s = self.sessions.get(&token.0).ok_or(SessionError::InvalidToken)?;
+        let s = self
+            .sessions
+            .get(&token.0)
+            .ok_or(SessionError::InvalidToken)?;
         if now >= s.expires_at {
-            return Err(SessionError::Expired { expired_at: s.expires_at });
+            return Err(SessionError::Expired {
+                expired_at: s.expires_at,
+            });
         }
         Ok(s)
     }
@@ -112,9 +126,14 @@ impl SessionManager {
     /// Extend a valid token's expiry to `now + ttl` (sliding sessions).
     pub fn touch(&mut self, token: &Token, now: u64) -> Result<(), SessionError> {
         let ttl = self.ttl;
-        let s = self.sessions.get_mut(&token.0).ok_or(SessionError::InvalidToken)?;
+        let s = self
+            .sessions
+            .get_mut(&token.0)
+            .ok_or(SessionError::InvalidToken)?;
         if now >= s.expires_at {
-            return Err(SessionError::Expired { expired_at: s.expires_at });
+            return Err(SessionError::Expired {
+                expired_at: s.expires_at,
+            });
         }
         s.expires_at = now.saturating_add(ttl);
         Ok(())
@@ -178,7 +197,10 @@ mod tests {
         let mut m = SessionManager::new(10, 1);
         let t = m.issue("alice", 0);
         assert!(m.validate(&t, 9).is_ok());
-        assert_eq!(m.validate(&t, 10), Err(SessionError::Expired { expired_at: 10 }));
+        assert_eq!(
+            m.validate(&t, 10),
+            Err(SessionError::Expired { expired_at: 10 })
+        );
     }
 
     #[test]
@@ -219,6 +241,6 @@ mod tests {
         let b = m.issue("bob", 0);
         assert_eq!(m.revoke_user("alice"), 2);
         assert!(m.validate(&b, 1).is_ok());
-        assert!(m.is_empty() == false);
+        assert!(!m.is_empty());
     }
 }

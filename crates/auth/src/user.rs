@@ -87,7 +87,12 @@ impl fmt::Display for AuthError {
                 write!(f, "password too weak (minimum {min_length} characters)")
             }
             AuthError::Forbidden { required, held } => {
-                write!(f, "requires {} role, caller is {}", required.name(), held.name())
+                write!(
+                    f,
+                    "requires {} role, caller is {}",
+                    required.name(),
+                    held.name()
+                )
             }
         }
     }
@@ -122,7 +127,11 @@ impl UserStore {
     /// An empty store; `seed` drives salt generation (use a random seed in
     /// production, a fixed one in tests).
     pub fn new(seed: u64) -> UserStore {
-        UserStore { users: HashMap::new(), policy: PasswordPolicy::default(), rng: StdRng::seed_from_u64(seed) }
+        UserStore {
+            users: HashMap::new(),
+            policy: PasswordPolicy::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Override the password policy (e.g. fewer iterations in tests).
@@ -132,17 +141,30 @@ impl UserStore {
     }
 
     /// Register a new account.
-    pub fn register(&mut self, username: &str, password: &str, role: Role) -> Result<(), AuthError> {
+    pub fn register(
+        &mut self,
+        username: &str,
+        password: &str,
+        role: Role,
+    ) -> Result<(), AuthError> {
         if self.users.contains_key(username) {
             return Err(AuthError::UserExists(username.to_string()));
         }
         if password.chars().count() < self.policy.min_length {
-            return Err(AuthError::WeakPassword { min_length: self.policy.min_length });
+            return Err(AuthError::WeakPassword {
+                min_length: self.policy.min_length,
+            });
         }
         let hash = PasswordHash::create(password, self.policy, &mut self.rng);
         self.users.insert(
             username.to_string(),
-            User { username: username.to_string(), role, hash, consecutive_failures: 0, locked: false },
+            User {
+                username: username.to_string(),
+                role,
+                hash,
+                consecutive_failures: 0,
+                locked: false,
+            },
         );
         Ok(())
     }
@@ -179,7 +201,10 @@ impl UserStore {
     /// Admin operation: clear a lockout.
     pub fn unlock(&mut self, admin_role: Role, username: &str) -> Result<(), AuthError> {
         if !admin_role.at_least(Role::Admin) {
-            return Err(AuthError::Forbidden { required: Role::Admin, held: admin_role });
+            return Err(AuthError::Forbidden {
+                required: Role::Admin,
+                held: admin_role,
+            });
         }
         let user = self
             .users
@@ -191,10 +216,17 @@ impl UserStore {
     }
 
     /// Change a password (requires the current one).
-    pub fn change_password(&mut self, username: &str, old: &str, new: &str) -> Result<(), AuthError> {
+    pub fn change_password(
+        &mut self,
+        username: &str,
+        old: &str,
+        new: &str,
+    ) -> Result<(), AuthError> {
         self.verify(username, old)?;
         if new.chars().count() < self.policy.min_length {
-            return Err(AuthError::WeakPassword { min_length: self.policy.min_length });
+            return Err(AuthError::WeakPassword {
+                min_length: self.policy.min_length,
+            });
         }
         let hash = PasswordHash::create(new, self.policy, &mut self.rng);
         self.users.get_mut(username).expect("verified above").hash = hash;
@@ -229,7 +261,10 @@ mod tests {
     use super::*;
 
     fn store() -> UserStore {
-        UserStore::new(42).with_policy(PasswordPolicy { iterations: 10, min_length: 8 })
+        UserStore::new(42).with_policy(PasswordPolicy {
+            iterations: 10,
+            min_length: 8,
+        })
     }
 
     #[test]
@@ -244,7 +279,10 @@ mod tests {
     fn duplicate_and_weak_rejected() {
         let mut s = store();
         s.register("alice", "p4ssword!", Role::Student).unwrap();
-        assert_eq!(s.register("alice", "password2", Role::Student), Err(AuthError::UserExists("alice".into())));
+        assert_eq!(
+            s.register("alice", "password2", Role::Student),
+            Err(AuthError::UserExists("alice".into()))
+        );
         assert_eq!(
             s.register("bob", "short", Role::Student),
             Err(AuthError::WeakPassword { min_length: 8 })
@@ -254,7 +292,9 @@ mod tests {
     #[test]
     fn unknown_user_distinct_error() {
         let mut s = store();
-        assert!(matches!(s.verify("ghost", "whatever1"), Err(AuthError::UnknownUser(u)) if u == "ghost"));
+        assert!(
+            matches!(s.verify("ghost", "whatever1"), Err(AuthError::UnknownUser(u)) if u == "ghost")
+        );
     }
 
     #[test]
@@ -262,11 +302,23 @@ mod tests {
         let mut s = store();
         s.register("alice", "p4ssword!", Role::Student).unwrap();
         for i in 0..LOCKOUT_THRESHOLD - 1 {
-            assert!(matches!(s.verify("alice", "nope-nope"), Err(AuthError::BadCredentials)), "attempt {i}");
+            assert!(
+                matches!(
+                    s.verify("alice", "nope-nope"),
+                    Err(AuthError::BadCredentials)
+                ),
+                "attempt {i}"
+            );
         }
-        assert!(matches!(s.verify("alice", "nope-nope"), Err(AuthError::AccountLocked { .. })));
+        assert!(matches!(
+            s.verify("alice", "nope-nope"),
+            Err(AuthError::AccountLocked { .. })
+        ));
         // Even the right password fails while locked.
-        assert!(matches!(s.verify("alice", "p4ssword!"), Err(AuthError::AccountLocked { .. })));
+        assert!(matches!(
+            s.verify("alice", "p4ssword!"),
+            Err(AuthError::AccountLocked { .. })
+        ));
     }
 
     #[test]
@@ -278,7 +330,10 @@ mod tests {
         }
         s.verify("alice", "p4ssword!").unwrap();
         // Counter reset: more failures allowed before lockout again.
-        assert!(matches!(s.verify("alice", "wrong-pass"), Err(AuthError::BadCredentials)));
+        assert!(matches!(
+            s.verify("alice", "wrong-pass"),
+            Err(AuthError::BadCredentials)
+        ));
     }
 
     #[test]
@@ -288,7 +343,10 @@ mod tests {
         for _ in 0..LOCKOUT_THRESHOLD {
             let _ = s.verify("alice", "wrong-pass");
         }
-        assert!(matches!(s.unlock(Role::Faculty, "alice"), Err(AuthError::Forbidden { .. })));
+        assert!(matches!(
+            s.unlock(Role::Faculty, "alice"),
+            Err(AuthError::Forbidden { .. })
+        ));
         s.unlock(Role::Admin, "alice").unwrap();
         assert!(s.verify("alice", "p4ssword!").is_ok());
     }
@@ -297,8 +355,12 @@ mod tests {
     fn change_password_flow() {
         let mut s = store();
         s.register("alice", "p4ssword!", Role::Student).unwrap();
-        assert!(matches!(s.change_password("alice", "wrong-old", "newpass99"), Err(AuthError::BadCredentials)));
-        s.change_password("alice", "p4ssword!", "newpass99").unwrap();
+        assert!(matches!(
+            s.change_password("alice", "wrong-old", "newpass99"),
+            Err(AuthError::BadCredentials)
+        ));
+        s.change_password("alice", "p4ssword!", "newpass99")
+            .unwrap();
         assert!(s.verify("alice", "p4ssword!").is_err());
         assert!(s.verify("alice", "newpass99").is_ok());
     }

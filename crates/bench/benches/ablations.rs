@@ -9,10 +9,19 @@ use std::hint::black_box;
 
 fn report() {
     ccp_bench::banner("Ablation: MESI vs write-through bus traffic (TAS trace, 4 threads)");
-    eprintln!("  {:<16} {:>14} {:>16}", "protocol", "invalidations", "bus txns");
-    for (name, proto) in [("MESI", CoherenceProtocol::Mesi), ("write-through", CoherenceProtocol::WriteThrough)] {
+    eprintln!(
+        "  {:<16} {:>14} {:>16}",
+        "protocol", "invalidations", "bus txns"
+    );
+    for (name, proto) in [
+        ("MESI", CoherenceProtocol::Mesi),
+        ("write-through", CoherenceProtocol::WriteThrough),
+    ] {
         let s = labs::lab2_spinlock::coherence_trace(4, 100, 10, false, proto);
-        eprintln!("  {:<16} {:>14} {:>16}", name, s.invalidations, s.bus_transactions);
+        eprintln!(
+            "  {:<16} {:>14} {:>16}",
+            name, s.invalidations, s.bus_transactions
+        );
     }
 }
 
@@ -20,17 +29,33 @@ fn bench(c: &mut Criterion) {
     report();
     let mut g = c.benchmark_group("ablations");
 
-    for (name, proto) in [("mesi", CoherenceProtocol::Mesi), ("wt", CoherenceProtocol::WriteThrough)] {
+    for (name, proto) in [
+        ("mesi", CoherenceProtocol::Mesi),
+        ("wt", CoherenceProtocol::WriteThrough),
+    ] {
         g.bench_function(format!("coherence_trace_{name}"), |b| {
-            b.iter(|| black_box(labs::lab2_spinlock::coherence_trace(4, 100, 10, false, proto)))
+            b.iter(|| {
+                black_box(labs::lab2_spinlock::coherence_trace(
+                    4, 100, 10, false, proto,
+                ))
+            })
         });
     }
 
     g.sample_size(10);
     for iters in [1_000u32, 10_000, 50_000] {
         g.bench_function(format!("password_stretch_{iters}"), |b| {
-            let policy = PasswordPolicy { iterations: iters, min_length: 8 };
-            b.iter(|| black_box(PasswordHash::create_seeded("correct horse battery", policy, 7)))
+            let policy = PasswordPolicy {
+                iterations: iters,
+                min_length: 8,
+            };
+            b.iter(|| {
+                black_box(PasswordHash::create_seeded(
+                    "correct horse battery",
+                    policy,
+                    7,
+                ))
+            })
         });
     }
 

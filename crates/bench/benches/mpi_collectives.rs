@@ -20,10 +20,15 @@ fn topologies(n: usize) -> Vec<(&'static str, Topology)> {
 
 fn report() {
     ccp_bench::banner("MPI collectives: virtual time by topology (8 ranks)");
-    eprintln!("  {:<12} {:>16} {:>16}", "topology", "allreduce (ns)", "bcast 4KiB (ns)");
+    eprintln!(
+        "  {:<12} {:>16} {:>16}",
+        "topology", "allreduce (ns)", "bcast 4KiB (ns)"
+    );
     for (name, topo) in topologies(8) {
         let w = World::new(8, topo.clone(), LinkProfile::gigabit_ethernet());
-        let (_, s1) = w.run_stats(|p| p.allreduce_i64(1, Reduce::Sum).unwrap()).unwrap();
+        let (_, s1) = w
+            .run_stats(|p| p.allreduce_i64(1, Reduce::Sum).unwrap())
+            .unwrap();
         let w = World::new(8, topo, LinkProfile::gigabit_ethernet());
         let (_, s2) = w
             .run_stats(|p| {
@@ -45,7 +50,10 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("allreduce_8r_{name}"), |b| {
             b.iter(|| {
                 let w = World::new(8, topo.clone(), LinkProfile::backplane());
-                black_box(w.run(|p| p.allreduce_i64(p.rank() as i64, Reduce::Sum).unwrap()).unwrap())
+                black_box(
+                    w.run(|p| p.allreduce_i64(p.rank() as i64, Reduce::Sum).unwrap())
+                        .unwrap(),
+                )
             })
         });
     }

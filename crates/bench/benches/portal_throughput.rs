@@ -13,13 +13,22 @@ use std::sync::Arc;
 use webportal::{app::dispatch, build_router, App};
 
 fn portal_with_student() -> (Arc<App>, httpd::Router, String) {
-    let mut portal = Portal::new(PortalConfig { cluster: ClusterSpec::small(2, 4), ..PortalConfig::default() });
+    let mut portal = Portal::new(PortalConfig {
+        cluster: ClusterSpec::small(2, 4),
+        ..PortalConfig::default()
+    });
     portal.bootstrap_admin("admin", "super-secret9").unwrap();
     let app = App::new(portal);
     let router = build_router(Arc::clone(&app));
     // Sessions must be minted through the HTTP layer so their clocks match
     // the wall-clock `now()` the dispatcher validates against.
-    let resp = dispatch(&router, Method::Post, "/api/login", br#"{"user":"admin","password":"super-secret9"}"#, None);
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/login",
+        br#"{"user":"admin","password":"super-secret9"}"#,
+        None,
+    );
     let admin = resp
         .body_str()
         .split("\"token\":\"")
@@ -35,7 +44,13 @@ fn portal_with_student() -> (Arc<App>, httpd::Router, String) {
         Some(&admin),
     );
     assert_eq!(resp.status.0, 201, "student created: {}", resp.body_str());
-    let resp = dispatch(&router, Method::Post, "/api/login", br#"{"user":"alice","password":"password99"}"#, None);
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/login",
+        br#"{"user":"alice","password":"password99"}"#,
+        None,
+    );
     let token = resp
         .body_str()
         .split("\"token\":\"")
@@ -58,20 +73,57 @@ fn bench(c: &mut Criterion) {
 
     // Read-only request through the whole router.
     let (_app, router, token) = portal_with_student();
-    dispatch(&router, Method::Post, "/api/file?path=p.mini", b"fn main() { println(1); }", Some(&token));
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=p.mini",
+        b"fn main() { println(1); }",
+        Some(&token),
+    );
     g.bench_function("http_status_request", |b| {
         b.iter(|| black_box(dispatch(&router, Method::Get, "/api/status", b"", None)))
     });
     g.bench_function("http_file_listing", |b| {
-        b.iter(|| black_box(dispatch(&router, Method::Get, "/api/files", b"", Some(&token))))
+        b.iter(|| {
+            black_box(dispatch(
+                &router,
+                Method::Get,
+                "/api/files",
+                b"",
+                Some(&token),
+            ))
+        })
     });
     g.bench_function("http_upload_compile_run", |b| {
         b.iter(|| {
-            dispatch(&router, Method::Post, "/api/file?path=p.mini", b"fn main() { println(1); }", Some(&token));
-            let resp = dispatch(&router, Method::Post, "/api/compile?path=p.mini", b"", Some(&token));
+            dispatch(
+                &router,
+                Method::Post,
+                "/api/file?path=p.mini",
+                b"fn main() { println(1); }",
+                Some(&token),
+            );
+            let resp = dispatch(
+                &router,
+                Method::Post,
+                "/api/compile?path=p.mini",
+                b"",
+                Some(&token),
+            );
             let body = resp.body_str().to_string();
-            let artifact = body.split("\"artifact\":\"").nth(1).and_then(|s| s.split('"').next()).unwrap().to_string();
-            black_box(dispatch(&router, Method::Post, &format!("/api/run?artifact={artifact}"), b"", Some(&token)))
+            let artifact = body
+                .split("\"artifact\":\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .unwrap()
+                .to_string();
+            black_box(dispatch(
+                &router,
+                Method::Post,
+                &format!("/api/run?artifact={artifact}"),
+                b"",
+                Some(&token),
+            ))
         })
     });
 
@@ -85,10 +137,19 @@ fn bench(c: &mut Criterion) {
                 });
                 portal.bootstrap_admin("admin", "super-secret9").unwrap();
                 let admin = portal.login("admin", "super-secret9", 0).unwrap();
-                portal.create_user(&admin, "alice", "password99", Role::Student, 0).unwrap();
+                portal
+                    .create_user(&admin, "alice", "password99", Role::Student, 0)
+                    .unwrap();
                 let tok = portal.login("alice", "password99", 0).unwrap();
-                portal.write_file(&tok, "j.mini", b"fn main() { }".to_vec(), 0).unwrap();
-                let art = portal.compile(&tok, "j.mini", 0).unwrap().artifact.unwrap().to_string();
+                portal
+                    .write_file(&tok, "j.mini", b"fn main() { }".to_vec(), 0)
+                    .unwrap();
+                let art = portal
+                    .compile(&tok, "j.mini", 0)
+                    .unwrap()
+                    .artifact
+                    .unwrap()
+                    .to_string();
                 (portal, tok, art)
             },
             |(mut portal, tok, art)| {
@@ -124,10 +185,24 @@ fn bench(c: &mut Criterion) {
     // the same registry /api/metrics would serve.
     let obs = Arc::clone(_app.portal.lock().obs());
     ccp_bench::banner("HTTP request latency from the telemetry registry");
-    for route in ["/api/status", "/api/files", "/api/file", "/api/compile", "/api/run", "/api/login"] {
-        let h = obs.metrics.histogram("ccp_httpd_request_duration_us", &[("route", route)], obs::DURATION_US_BOUNDS);
+    for route in [
+        "/api/status",
+        "/api/files",
+        "/api/file",
+        "/api/compile",
+        "/api/run",
+        "/api/login",
+    ] {
+        let h = obs.metrics.histogram(
+            "ccp_httpd_request_duration_us",
+            &[("route", route)],
+            obs::DURATION_US_BOUNDS,
+        );
         if let (Some(p50), Some(p99)) = (h.quantile(0.50), h.quantile(0.99)) {
-            eprintln!("  {route:<14} n={:<6} p50 <= {p50:.0}us  p99 <= {p99:.0}us", h.count());
+            eprintln!(
+                "  {route:<14} n={:<6} p50 <= {p50:.0}us  p99 <= {p99:.0}us",
+                h.count()
+            );
         }
     }
 }

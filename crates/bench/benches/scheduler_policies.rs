@@ -18,7 +18,8 @@ fn trace(seed: u64, n: usize) -> Vec<JobSpec> {
             let cores = [1u32, 1, 2, 4, 8, 16][rng.gen_range(0..6)];
             let ticks = rng.gen_range(2..40);
             let est = (ticks as f64 * rng.gen_range(0.8..1.6)) as u64;
-            JobSpec::parallel(&format!("u{}", i % 5), "a.out", cores, ticks).with_estimate(est.max(1))
+            JobSpec::parallel(&format!("u{}", i % 5), "a.out", cores, ticks)
+                .with_estimate(est.max(1))
         })
         .collect()
 }
@@ -42,7 +43,10 @@ fn report() {
     }
 
     ccp_bench::banner("Arrival-process replay (geometric arrivals, 64 jobs)");
-    eprintln!("  {:<14} {:>10} {:>12} {:>10}", "policy", "makespan", "mean wait", "peak util");
+    eprintln!(
+        "  {:<14} {:>10} {:>12} {:>10}",
+        "policy", "makespan", "mean wait", "peak util"
+    );
     let arrivals = sched::WorkloadSpec::default().generate(42);
     for p in SchedPolicyKind::ALL {
         let r = sched::replay(
@@ -67,7 +71,11 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("sched");
     for p in SchedPolicyKind::ALL {
         g.bench_function(format!("drain_64jobs_{}", p.name()), |b| {
-            b.iter_batched(|| jobs.clone(), |jobs| black_box(drain(p, &jobs)), BatchSize::PerIteration)
+            b.iter_batched(
+                || jobs.clone(),
+                |jobs| black_box(drain(p, &jobs)),
+                BatchSize::PerIteration,
+            )
         });
     }
     let arrivals = sched::WorkloadSpec::default().generate(42);

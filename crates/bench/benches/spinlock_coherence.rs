@@ -7,19 +7,37 @@ use std::hint::black_box;
 
 fn report() {
     ccp_bench::banner("Lab 2: coherence traffic, TAS vs TTAS vs ticket (MESI)");
-    eprintln!("  {:<8} {:>8} {:>16} {:>16} {:>10}", "lock", "threads", "invalidations", "bus txns", "hit rate");
+    eprintln!(
+        "  {:<8} {:>8} {:>16} {:>16} {:>10}",
+        "lock", "threads", "invalidations", "bus txns", "hit rate"
+    );
     for threads in [2usize, 4, 8, 16] {
         for (name, ttas) in [("TAS", false), ("TTAS", true)] {
-            let s = labs::lab2_spinlock::coherence_trace(threads, 100, 10, ttas, CoherenceProtocol::Mesi);
+            let s = labs::lab2_spinlock::coherence_trace(
+                threads,
+                100,
+                10,
+                ttas,
+                CoherenceProtocol::Mesi,
+            );
             eprintln!(
                 "  {:<8} {:>8} {:>16} {:>16} {:>9.1}%",
-                name, threads, s.invalidations, s.bus_transactions, s.hit_rate() * 100.0
+                name,
+                threads,
+                s.invalidations,
+                s.bus_transactions,
+                s.hit_rate() * 100.0
             );
         }
-        let s = labs::lab2_spinlock::ticket_coherence_trace(threads, 100, 10, CoherenceProtocol::Mesi);
+        let s =
+            labs::lab2_spinlock::ticket_coherence_trace(threads, 100, 10, CoherenceProtocol::Mesi);
         eprintln!(
             "  {:<8} {:>8} {:>16} {:>16} {:>9.1}%",
-            "ticket", threads, s.invalidations, s.bus_transactions, s.hit_rate() * 100.0
+            "ticket",
+            threads,
+            s.invalidations,
+            s.bus_transactions,
+            s.hit_rate() * 100.0
         );
     }
 }
@@ -29,10 +47,26 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("spinlock");
 
     g.bench_function("mesi_trace_tas_4t", |b| {
-        b.iter(|| black_box(labs::lab2_spinlock::coherence_trace(4, 100, 10, false, CoherenceProtocol::Mesi)))
+        b.iter(|| {
+            black_box(labs::lab2_spinlock::coherence_trace(
+                4,
+                100,
+                10,
+                false,
+                CoherenceProtocol::Mesi,
+            ))
+        })
     });
     g.bench_function("mesi_trace_ttas_4t", |b| {
-        b.iter(|| black_box(labs::lab2_spinlock::coherence_trace(4, 100, 10, true, CoherenceProtocol::Mesi)))
+        b.iter(|| {
+            black_box(labs::lab2_spinlock::coherence_trace(
+                4,
+                100,
+                10,
+                true,
+                CoherenceProtocol::Mesi,
+            ))
+        })
     });
 
     g.sample_size(10);
@@ -53,7 +87,10 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(labs::lab2_spinlock::run_spinlock(labs::lab2_spinlock::TAS_SOURCE, seed))
+            black_box(labs::lab2_spinlock::run_spinlock(
+                labs::lab2_spinlock::TAS_SOURCE,
+                seed,
+            ))
         })
     });
 

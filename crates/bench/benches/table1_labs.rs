@@ -40,7 +40,10 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(labs::lab1_sync::run_counter(labs::lab1_sync::BUGGY_SOURCE, seed))
+            black_box(labs::lab1_sync::run_counter(
+                labs::lab1_sync::BUGGY_SOURCE,
+                seed,
+            ))
         })
     });
 
@@ -48,7 +51,10 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(labs::lab1_sync::run_counter(labs::lab1_sync::FIXED_SOURCE, seed))
+            black_box(labs::lab1_sync::run_counter(
+                labs::lab1_sync::FIXED_SOURCE,
+                seed,
+            ))
         })
     });
 

@@ -36,7 +36,12 @@ fn bench(c: &mut Criterion) {
         let net = simnet::Network::uhd_cluster();
         let a = net.topology().segment_slave(0, 0).unwrap();
         let z = net.topology().segment_slave(3, 0).unwrap();
-        b.iter(|| black_box(mem.access_remote_node(&net, a, z, 4096, AccessKind::Read).unwrap()))
+        b.iter(|| {
+            black_box(
+                mem.access_remote_node(&net, a, z, 4096, AccessKind::Read)
+                    .unwrap(),
+            )
+        })
     });
 
     g.sample_size(10);

@@ -10,7 +10,15 @@ fn race_exposure(quantum: u32, policy: SchedPolicy, seeds: u64) -> f64 {
     let program = compile(labs::lab1_sync::BUGGY_SOURCE).expect("compiles");
     let mut wrong = 0u64;
     for seed in 0..seeds {
-        let mut vm = Vm::new(program.clone(), VmConfig { seed, quantum, policy, ..VmConfig::default() });
+        let mut vm = Vm::new(
+            program.clone(),
+            VmConfig {
+                seed,
+                quantum,
+                policy,
+                ..VmConfig::default()
+            },
+        );
         if let Ok(out) = vm.run() {
             if out.main_result != Value::Int(labs::lab1_sync::EXPECTED) {
                 wrong += 1;
@@ -22,8 +30,14 @@ fn race_exposure(quantum: u32, policy: SchedPolicy, seeds: u64) -> f64 {
 
 fn report() {
     ccp_bench::banner("VM scheduler ablation: race exposure of the buggy Lab 1 counter");
-    eprintln!("  {:<14} {:>8} {:>14}", "policy", "quantum", "races exposed");
-    for (pname, policy) in [("round-robin", SchedPolicy::RoundRobin), ("random", SchedPolicy::RandomPreempt)] {
+    eprintln!(
+        "  {:<14} {:>8} {:>14}",
+        "policy", "quantum", "races exposed"
+    );
+    for (pname, policy) in [
+        ("round-robin", SchedPolicy::RoundRobin),
+        ("random", SchedPolicy::RandomPreempt),
+    ] {
         for quantum in [1u32, 4, 8, 32, 128] {
             let rate = race_exposure(quantum, policy, 20);
             eprintln!("  {:<14} {:>8} {:>13.0}%", pname, quantum, rate * 100.0);
@@ -42,7 +56,11 @@ fn bench(c: &mut Criterion) {
                 seed += 1;
                 let mut vm = Vm::new(
                     program.clone(),
-                    VmConfig { seed, quantum, ..VmConfig::default() },
+                    VmConfig {
+                        seed,
+                        quantum,
+                        ..VmConfig::default()
+                    },
                 );
                 black_box(vm.run().unwrap().executed)
             })

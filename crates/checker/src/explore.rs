@@ -1,0 +1,615 @@
+//! The exploration engine: a controlled scheduler driving [`minilang::Vm`]
+//! one visible operation at a time, with DFS + sleep-set pruning, random
+//! walks, wait-for-graph deadlock detection and schedule minimization.
+
+use crate::clocks::RaceDetector;
+use crate::rng::SplitMix64;
+use crate::{CheckConfig, CheckReport, Strategy, Verdict};
+use minilang::{
+    OpKey, OpKind, OpObj, Program, RuntimeError, SchedPolicy, Vm, VmConfig, WaitTarget,
+};
+
+/// Why a single controlled execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Stop {
+    /// Every thread ran to completion without incident.
+    Finished,
+    /// A failure to report (race / deadlock / livelock / runtime error).
+    Failure(Verdict),
+    /// Step or instruction budget ran out mid-schedule.
+    Truncated,
+}
+
+/// One controlled execution of a program under an external scheduler.
+pub(crate) struct Exec {
+    vm: Vm,
+    detector: RaceDetector,
+    /// Thread ids chosen so far, one per visible step (the repro schedule).
+    pub(crate) schedule: Vec<usize>,
+    /// Visible steps taken.
+    pub(crate) steps: u64,
+    /// Last step index at which the program visibly changed state
+    /// (write / atomic / acquire / release / finish) — livelock heuristic.
+    last_change: u64,
+    max_steps: u64,
+    livelock_window: u64,
+}
+
+impl Exec {
+    pub(crate) fn new(program: &Program, cfg: &CheckConfig) -> Exec {
+        let mut vm = Vm::new(
+            program.clone(),
+            VmConfig {
+                seed: 0,
+                quantum: 1,
+                max_instructions: cfg.max_instructions,
+                policy: SchedPolicy::RoundRobin,
+            },
+        );
+        vm.set_recording(true);
+        let mut ex = Exec {
+            vm,
+            detector: RaceDetector::new(),
+            schedule: Vec::new(),
+            steps: 0,
+            last_change: 0,
+            max_steps: cfg.steps_per_schedule,
+            livelock_window: cfg.livelock_window,
+        };
+        ex.normalize();
+        ex
+    }
+
+    /// Run every thread's *invisible* (thread-local) prefix so each enabled
+    /// thread is parked exactly at its next visible operation. Invisible
+    /// ops emit no events and commute with everything, so eager execution
+    /// never hides an interleaving.
+    fn normalize(&mut self) -> Option<Stop> {
+        loop {
+            let mut progressed = false;
+            for tid in 0..self.vm.thread_count() {
+                while self.vm.is_enabled(tid) && self.vm.next_op(tid).is_none() {
+                    if let Err(e) = self.vm.step_thread(tid, 1) {
+                        return Some(self.runtime_stop(e));
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                // Drain events from finish bookkeeping; invisible ops emit
+                // none, but a thread finishing can unblock joiners.
+                for ev in self.vm.drain_events() {
+                    if let Some(race) = self.detector.observe(&ev) {
+                        return Some(Stop::Failure(Verdict::race(&race)));
+                    }
+                }
+                return None;
+            }
+        }
+    }
+
+    fn runtime_stop(&mut self, e: RuntimeError) -> Stop {
+        match e {
+            RuntimeError::BudgetExhausted { .. } => Stop::Truncated,
+            RuntimeError::Deadlock { blocked } => Stop::Failure(Verdict::Deadlock {
+                blocked,
+                cycle: Vec::new(),
+            }),
+            other => Stop::Failure(Verdict::RuntimeError {
+                error: other.to_string(),
+            }),
+        }
+    }
+
+    /// Threads that can take a visible step *right now* without blocking.
+    pub(crate) fn enabled(&self) -> Vec<usize> {
+        self.vm
+            .enabled_threads()
+            .into_iter()
+            .filter(|&t| !self.vm.op_would_block(t))
+            .collect()
+    }
+
+    /// Peek thread `t`'s pending visible op (normalized threads always have
+    /// one unless finished).
+    pub(crate) fn pending_op(&self, t: usize) -> Option<OpKey> {
+        self.vm.next_op(t)
+    }
+
+    /// Check for termination / global deadlock / livelock before choosing.
+    /// `None` means the execution can continue.
+    pub(crate) fn status(&mut self) -> Option<Stop> {
+        if self.vm.all_finished() {
+            return Some(Stop::Finished);
+        }
+        if self.steps >= self.max_steps {
+            return Some(Stop::Truncated);
+        }
+        if self.enabled().is_empty() {
+            if self.vm.advance_clock() {
+                if let Some(stop) = self.normalize() {
+                    return Some(stop);
+                }
+                return self.status();
+            }
+            // Nobody can move: threads in a Blocked state, plus runnable
+            // threads parked one instruction before an op that would block
+            // forever. Either way, global deadlock; name the cycle if the
+            // mutex/join wait-for graph has one.
+            let cycle = self.wait_cycle();
+            return Some(Stop::Failure(Verdict::Deadlock {
+                blocked: self.blocked_lines(),
+                cycle,
+            }));
+        }
+        if self.steps.saturating_sub(self.last_change) >= self.livelock_window {
+            let spinning = self.vm.enabled_threads();
+            return Some(Stop::Failure(Verdict::Livelock { spinning }));
+        }
+        None
+    }
+
+    /// One line per unfinished waiting thread, covering both truly blocked
+    /// threads and runnable ones parked at an op that would block.
+    fn blocked_lines(&self) -> Vec<String> {
+        (0..self.vm.thread_count())
+            .filter(|&t| !self.vm.thread_finished(t))
+            .filter_map(|t| {
+                self.vm
+                    .wait_target(t)
+                    .map(|w| format!("t{t} waiting on {w:?}"))
+            })
+            .collect()
+    }
+
+    /// Wait-for graph cycle via precise edges only: a thread waiting on a
+    /// mutex waits for its owner; a joiner waits for its target. (Semaphore
+    /// and channel waits have no single "holder", so they contribute no
+    /// edge — a cycle through them still surfaces as a global deadlock with
+    /// an empty cycle list.)
+    fn wait_cycle(&self) -> Vec<usize> {
+        let n = self.vm.thread_count();
+        let edge: Vec<Option<usize>> = (0..n)
+            .map(|t| match self.vm.wait_target(t) {
+                Some(WaitTarget::Mutex(m)) => self.vm.mutex_owner(m).filter(|&o| o != t),
+                Some(WaitTarget::Join(u)) if !self.vm.thread_finished(u) => Some(u),
+                _ => None,
+            })
+            .collect();
+        for start in 0..n {
+            let mut seen = vec![false; n];
+            let mut t = start;
+            while let Some(next) = edge[t] {
+                if next == start {
+                    let mut cycle = vec![start];
+                    let mut c = edge[start];
+                    while let Some(x) = c {
+                        if x == start {
+                            break;
+                        }
+                        cycle.push(x);
+                        c = edge[x];
+                    }
+                    return cycle;
+                }
+                if seen[next] {
+                    break;
+                }
+                seen[next] = true;
+                t = next;
+            }
+        }
+        Vec::new()
+    }
+
+    /// Take one visible step of thread `tid`, then re-normalize. The caller
+    /// must have verified `tid` is in [`Exec::enabled`].
+    pub(crate) fn step(&mut self, tid: usize) -> Option<Stop> {
+        self.schedule.push(tid);
+        self.steps += 1;
+        if let Err(e) = self.vm.step_thread(tid, 1) {
+            return Some(self.runtime_stop(e));
+        }
+        for ev in self.vm.drain_events() {
+            use minilang::VmEvent::*;
+            match ev {
+                Write { .. }
+                | AtomicRw { .. }
+                | LockAcq { .. }
+                | LockRel { .. }
+                | SemAcq { .. }
+                | SemRel { .. }
+                | ChanSend { .. }
+                | ChanRecv { .. }
+                | Spawned { .. }
+                | Joined { .. }
+                | CondRelease { .. }
+                | CondAcquire { .. }
+                | CondNotify { .. } => self.last_change = self.steps,
+                Read { .. } => {}
+            }
+            if let Some(race) = self.detector.observe(&ev) {
+                return Some(Stop::Failure(Verdict::race(&race)));
+            }
+        }
+        if self.vm.thread_finished(tid) {
+            self.last_change = self.steps;
+        }
+        self.normalize()
+    }
+}
+
+/// Do two op keys commute (are independent)? Used by sleep sets: a pruned
+/// choice stays asleep while only independent ops execute.
+pub(crate) fn independent(a: &OpKey, b: &OpKey) -> bool {
+    if a.kind == OpKind::Opaque || b.kind == OpKind::Opaque {
+        return false; // opaque conflicts with everything (shared RNG, I/O)
+    }
+    if a.kind == OpKind::Io || b.kind == OpKind::Io {
+        return false; // stdout / host-file order is observable
+    }
+    match (a.obj, b.obj) {
+        (OpObj::None, _) | (_, OpObj::None) => true, // spawn/yield touch no shared object
+        (x, y) if x != y => true,
+        // Same object: only read/read commutes.
+        _ => a.kind == OpKind::Read && b.kind == OpKind::Read,
+    }
+}
+
+/// Replay a previously reported repro `schedule` from scratch. Entries
+/// naming threads that are not currently enabled are skipped (the schedule
+/// is a guide, not a transcript); once the schedule is exhausted the
+/// remaining threads run round-robin to completion.
+pub(crate) fn run_schedule(program: &Program, cfg: &CheckConfig, schedule: &[usize]) -> Stop {
+    let mut ex = Exec::new(program, cfg);
+    let mut i = 0;
+    loop {
+        if let Some(stop) = ex.status() {
+            return stop;
+        }
+        let en = ex.enabled();
+        let tid = loop {
+            match schedule.get(i) {
+                Some(&t) => {
+                    i += 1;
+                    if en.contains(&t) {
+                        break t;
+                    }
+                }
+                None => break en[0], // schedule done: finish round-robin
+            }
+        };
+        if let Some(stop) = ex.step(tid) {
+            return stop;
+        }
+    }
+}
+
+struct Budget {
+    schedules_left: u64,
+    steps_left: u64,
+}
+
+impl Budget {
+    fn spend(&mut self, ex: &Exec) {
+        self.schedules_left = self.schedules_left.saturating_sub(1);
+        self.steps_left = self.steps_left.saturating_sub(ex.steps);
+    }
+    fn empty(&self) -> bool {
+        self.schedules_left == 0 || self.steps_left == 0
+    }
+}
+
+struct DfsOutcome {
+    failure: Option<(Verdict, Vec<usize>)>,
+    /// True if the subtree was fully explored within budget/depth.
+    complete: bool,
+}
+
+/// Bounded DFS with sleep sets. `branch_path` holds the chosen tid at every
+/// *branch point* (>1 enabled thread) on the way to the current frame; each
+/// frame re-executes the program from scratch along that path — stateless
+/// model checking, no VM snapshotting.
+struct Dfs<'a> {
+    program: &'a Program,
+    cfg: &'a CheckConfig,
+    budget: Budget,
+    schedules: u64,
+    steps: u64,
+}
+
+impl<'a> Dfs<'a> {
+    /// Explore all schedules extending `branch_path`. `sleep` maps a thread
+    /// id to the op it had when put to sleep; entries are valid at the node
+    /// this frame owns (just past its last branch choice) and are filtered
+    /// against every op this frame executes beyond that point.
+    fn explore(
+        &mut self,
+        branch_path: &mut Vec<usize>,
+        sleep: Vec<(usize, OpKey)>,
+        depth: u32,
+    ) -> DfsOutcome {
+        // Re-execute the prefix.
+        let mut sleep = sleep;
+        let mut ex = Exec::new(self.program, self.cfg);
+        let mut i = 0;
+        let mut pruned = false;
+        let stop = loop {
+            if let Some(stop) = ex.status() {
+                break Some(stop);
+            }
+            let en = ex.enabled();
+            let tid = if en.len() == 1 {
+                // Single choice: not a branch point, take it inline. If the
+                // lone enabled thread is asleep on this frame's own segment,
+                // the continuation is equivalent to an explored one: prune.
+                if i == branch_path.len() && sleep.iter().any(|&(st, _)| st == en[0]) {
+                    pruned = true;
+                    break None;
+                }
+                en[0]
+            } else {
+                match branch_path.get(i) {
+                    Some(&t) => {
+                        i += 1;
+                        t
+                    }
+                    None => break None, // reached the frontier
+                }
+            };
+            // Ops on this frame's own segment wake conflicting sleepers.
+            // (Ops deeper in the prefix were filtered by ancestor frames.)
+            if i == branch_path.len() {
+                match ex.pending_op(tid) {
+                    Some(op) => sleep.retain(|(_, sop)| independent(sop, &op)),
+                    None => sleep.clear(),
+                }
+            }
+            if let Some(stop) = ex.step(tid) {
+                break Some(stop);
+            }
+        };
+        if pruned {
+            self.schedules += 1;
+            self.steps += ex.steps;
+            self.budget.spend(&ex);
+            return DfsOutcome {
+                failure: None,
+                complete: true,
+            };
+        }
+        if let Some(stop) = stop {
+            self.schedules += 1;
+            self.steps += ex.steps;
+            self.budget.spend(&ex);
+            return match stop {
+                Stop::Failure(v) => DfsOutcome {
+                    failure: Some((v, ex.schedule.clone())),
+                    complete: true,
+                },
+                Stop::Finished => DfsOutcome {
+                    failure: None,
+                    complete: true,
+                },
+                Stop::Truncated => DfsOutcome {
+                    failure: None,
+                    complete: false,
+                },
+            };
+        }
+
+        // At the frontier with >1 enabled thread: branch.
+        let en = ex.enabled();
+        let mut complete = true;
+        if depth >= self.cfg.dfs_depth {
+            // Too deep to enumerate: finish this one path first-choice and
+            // mark the subtree incomplete.
+            let outcome = self.finish_one(ex, en[0]);
+            return DfsOutcome {
+                failure: outcome.failure,
+                complete: false,
+            };
+        }
+        for &t in &en {
+            if self.budget.empty() {
+                complete = false;
+                break;
+            }
+            let Some(op_t) = ex.pending_op(t) else {
+                continue;
+            };
+            if sleep.iter().any(|&(st, _)| st == t) {
+                continue; // asleep: an equivalent schedule was already explored
+            }
+            branch_path.push(t);
+            // The child wakes any sleeper whose op conflicts with `op_t`.
+            let child_sleep: Vec<(usize, OpKey)> = sleep
+                .iter()
+                .copied()
+                .filter(|(_, sop)| independent(sop, &op_t))
+                .collect();
+            let out = self.explore(branch_path, child_sleep, depth + 1);
+            branch_path.pop();
+            if out.failure.is_some() {
+                return out;
+            }
+            complete &= out.complete;
+            sleep.push((t, op_t));
+        }
+        DfsOutcome {
+            failure: None,
+            complete,
+        }
+    }
+
+    /// Run `ex` to a stop taking `first` now, then rotating round-robin
+    /// through the enabled threads — fair rotation keeps a busy-wait
+    /// spinner from monopolizing the tail and masking cross-thread bugs.
+    fn finish_one(&mut self, mut ex: Exec, first: usize) -> DfsOutcome {
+        let mut next = Some(first);
+        let mut cursor = 0usize;
+        let stop = loop {
+            if let Some(stop) = ex.status() {
+                break stop;
+            }
+            let tid = next.take().unwrap_or_else(|| {
+                let en = ex.enabled();
+                let t = en[cursor % en.len()];
+                cursor += 1;
+                t
+            });
+            if let Some(stop) = ex.step(tid) {
+                break stop;
+            }
+        };
+        self.schedules += 1;
+        self.steps += ex.steps;
+        self.budget.spend(&ex);
+        match stop {
+            Stop::Failure(v) => DfsOutcome {
+                failure: Some((v, ex.schedule.clone())),
+                complete: false,
+            },
+            _ => DfsOutcome {
+                failure: None,
+                complete: false,
+            },
+        }
+    }
+}
+
+/// One uniform random walk; returns (stop, schedule, steps).
+fn random_walk(
+    program: &Program,
+    cfg: &CheckConfig,
+    rng: &mut SplitMix64,
+) -> (Stop, Vec<usize>, u64) {
+    let mut ex = Exec::new(program, cfg);
+    let stop = loop {
+        if let Some(stop) = ex.status() {
+            break stop;
+        }
+        let en = ex.enabled();
+        let tid = en[rng.below(en.len())];
+        if let Some(stop) = ex.step(tid) {
+            break stop;
+        }
+    };
+    let steps = ex.steps;
+    (stop, ex.schedule, steps)
+}
+
+/// Greedy ddmin-lite: try dropping chunks of the schedule while the replay
+/// still reaches an equivalent failure. Budget-capped by replay count.
+fn minimize(
+    program: &Program,
+    cfg: &CheckConfig,
+    verdict: &Verdict,
+    schedule: Vec<usize>,
+) -> Vec<usize> {
+    let mut best = schedule;
+    let mut replays = cfg.minimize_replays;
+    let mut chunk = (best.len() / 4).max(1);
+    while chunk >= 1 && replays > 0 {
+        let mut i = 0;
+        let mut shrunk = false;
+        while i < best.len() && replays > 0 {
+            let mut candidate = best.clone();
+            candidate.drain(i..(i + chunk).min(candidate.len()));
+            if candidate.is_empty() {
+                // Keep at least one entry: an empty repro would be
+                // indistinguishable from "no repro" for API consumers.
+                i += chunk;
+                continue;
+            }
+            replays -= 1;
+            if let Stop::Failure(v) = run_schedule(program, cfg, &candidate) {
+                if v.same_failure(verdict) {
+                    best = candidate;
+                    shrunk = true;
+                    continue; // same i now names the next chunk
+                }
+            }
+            i += chunk;
+        }
+        if !shrunk {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    best
+}
+
+/// Full exploration per `cfg.strategy`; the engine behind [`crate::check`].
+pub(crate) fn explore(program: &Program, cfg: &CheckConfig) -> CheckReport {
+    let mut schedules = 0u64;
+    let mut steps = 0u64;
+    let mut complete = false;
+    let mut failure: Option<(Verdict, Vec<usize>)> = None;
+
+    let dfs_budget = match cfg.strategy {
+        Strategy::Dfs => cfg.max_schedules,
+        Strategy::RandomWalk => 0,
+        Strategy::Hybrid => cfg.max_schedules / 4,
+    };
+    if dfs_budget > 0 {
+        let mut dfs = Dfs {
+            program,
+            cfg,
+            budget: Budget {
+                schedules_left: dfs_budget,
+                steps_left: cfg.max_steps,
+            },
+            schedules: 0,
+            steps: 0,
+        };
+        let out = dfs.explore(&mut Vec::new(), Vec::new(), 0);
+        schedules += dfs.schedules;
+        steps += dfs.steps;
+        complete = out.complete;
+        failure = out.failure;
+    }
+
+    if failure.is_none() && !complete {
+        let walks = cfg.max_schedules.saturating_sub(schedules);
+        for i in 0..walks {
+            if steps >= cfg.max_steps {
+                break;
+            }
+            let mut rng = SplitMix64::new(cfg.seed ^ (i.wrapping_mul(0x9E37_79B9) + 1));
+            let (stop, sched, s) = random_walk(program, cfg, &mut rng);
+            schedules += 1;
+            steps += s;
+            if let Stop::Failure(v) = stop {
+                failure = Some((v, sched));
+                break;
+            }
+        }
+    }
+
+    match failure {
+        Some((verdict, sched)) => {
+            let repro = if cfg.minimize {
+                minimize(program, cfg, &verdict, sched)
+            } else {
+                sched
+            };
+            CheckReport {
+                verdict,
+                schedules,
+                steps,
+                complete: false,
+                repro: Some(repro),
+            }
+        }
+        None => CheckReport {
+            verdict: Verdict::Clean,
+            schedules,
+            steps,
+            complete,
+            repro: None,
+        },
+    }
+}

@@ -37,7 +37,12 @@ pub struct Accelerator {
 impl Default for Accelerator {
     fn default() -> Self {
         // A period-appropriate small GPU: 128 lanes at 1.2 GHz, PCIe-2-ish copies.
-        Accelerator { lanes: 128, clock_mhz: 1_200, launch_overhead_ns: 10_000, copy_bytes_per_sec: 3_000_000_000 }
+        Accelerator {
+            lanes: 128,
+            clock_mhz: 1_200,
+            launch_overhead_ns: 10_000,
+            copy_bytes_per_sec: 3_000_000_000,
+        }
     }
 }
 
@@ -50,7 +55,10 @@ impl Accelerator {
                 .min(u64::MAX as u128) as u64
         };
         // Waves of `lanes` items; each wave runs ops_per_item cycles.
-        let waves = k.work_items.div_ceil(self.lanes as u64).max(if k.work_items == 0 { 0 } else { 1 });
+        let waves = k
+            .work_items
+            .div_ceil(self.lanes as u64)
+            .max(if k.work_items == 0 { 0 } else { 1 });
         let cycles = waves.saturating_mul(k.ops_per_item);
         let compute_ns = (cycles as u128 * 1_000u128).div_ceil(self.clock_mhz as u128) as u64;
         SimDuration::from_nanos(
@@ -82,7 +90,12 @@ mod tests {
     use super::*;
 
     fn big_kernel() -> KernelProfile {
-        KernelProfile { work_items: 1 << 20, ops_per_item: 100, bytes_in: 4 << 20, bytes_out: 4 << 20 }
+        KernelProfile {
+            work_items: 1 << 20,
+            ops_per_item: 100,
+            bytes_in: 4 << 20,
+            bytes_out: 4 << 20,
+        }
     }
 
     #[test]
@@ -95,7 +108,12 @@ mod tests {
     #[test]
     fn tiny_kernels_lose_to_overhead() {
         let acc = Accelerator::default();
-        let k = KernelProfile { work_items: 64, ops_per_item: 4, bytes_in: 256, bytes_out: 256 };
+        let k = KernelProfile {
+            work_items: 64,
+            ops_per_item: 4,
+            bytes_in: 256,
+            bytes_out: 256,
+        };
         let s = acc.speedup_vs_cpu(&k, 2_600);
         assert!(s < 1.0, "tiny kernel should not pay off, got speedup {s}");
     }
@@ -103,15 +121,35 @@ mod tests {
     #[test]
     fn zero_item_kernel_costs_only_overhead_and_copies() {
         let acc = Accelerator::default();
-        let k = KernelProfile { work_items: 0, ops_per_item: 100, bytes_in: 0, bytes_out: 0 };
+        let k = KernelProfile {
+            work_items: 0,
+            ops_per_item: 100,
+            bytes_in: 0,
+            bytes_out: 0,
+        };
         assert_eq!(acc.kernel_time(&k).nanos(), acc.launch_overhead_ns);
     }
 
     #[test]
     fn compute_scales_with_waves() {
-        let acc = Accelerator { lanes: 4, clock_mhz: 1_000, launch_overhead_ns: 0, copy_bytes_per_sec: 1 << 40 };
-        let k1 = KernelProfile { work_items: 4, ops_per_item: 1_000, bytes_in: 0, bytes_out: 0 };
-        let k2 = KernelProfile { work_items: 8, ops_per_item: 1_000, bytes_in: 0, bytes_out: 0 };
+        let acc = Accelerator {
+            lanes: 4,
+            clock_mhz: 1_000,
+            launch_overhead_ns: 0,
+            copy_bytes_per_sec: 1 << 40,
+        };
+        let k1 = KernelProfile {
+            work_items: 4,
+            ops_per_item: 1_000,
+            bytes_in: 0,
+            bytes_out: 0,
+        };
+        let k2 = KernelProfile {
+            work_items: 8,
+            ops_per_item: 1_000,
+            bytes_in: 0,
+            bytes_out: 0,
+        };
         let t1 = acc.kernel_time(&k1).nanos();
         let t2 = acc.kernel_time(&k2).nanos();
         assert_eq!(t2, 2 * t1);
@@ -124,7 +162,12 @@ mod tests {
         let mut last = 0.0;
         let mut crossed = false;
         for shift in 4..22 {
-            let k = KernelProfile { work_items: 1 << shift, ops_per_item: 64, bytes_in: 1 << shift, bytes_out: 0 };
+            let k = KernelProfile {
+                work_items: 1 << shift,
+                ops_per_item: 64,
+                bytes_in: 1 << shift,
+                bytes_out: 0,
+            };
             let s = acc.speedup_vs_cpu(&k, 2_600);
             if last < 1.0 && s >= 1.0 {
                 crossed = true;

@@ -110,7 +110,11 @@ pub struct CacheLatency {
 impl Default for CacheLatency {
     fn default() -> Self {
         // Typical 2010s commodity numbers: L1 ~2 cycles, snoop ~40, DRAM ~200.
-        CacheLatency { hit_cycles: 2, intervention_cycles: 40, memory_cycles: 200 }
+        CacheLatency {
+            hit_cycles: 2,
+            intervention_cycles: 40,
+            memory_cycles: 200,
+        }
     }
 }
 
@@ -153,22 +157,55 @@ struct CacheMetrics {
 impl CacheMetrics {
     fn new(o: &obs::Obs, segment: &str) -> CacheMetrics {
         let m = &o.metrics;
-        m.describe("ccp_cluster_cache_hits_total", "cache hits by access kind and segment");
-        m.describe("ccp_cluster_cache_misses_total", "cache misses by access kind and segment");
-        m.describe("ccp_cluster_cache_invalidations_total", "coherence invalidations by segment");
-        m.describe("ccp_cluster_cache_writebacks_total", "dirty-line writebacks by segment");
-        m.describe("ccp_cluster_cache_interventions_total", "cache-to-cache transfers by segment");
-        m.describe("ccp_cluster_cache_bus_transactions_total", "snoop bus transactions by segment");
+        m.describe(
+            "ccp_cluster_cache_hits_total",
+            "cache hits by access kind and segment",
+        );
+        m.describe(
+            "ccp_cluster_cache_misses_total",
+            "cache misses by access kind and segment",
+        );
+        m.describe(
+            "ccp_cluster_cache_invalidations_total",
+            "coherence invalidations by segment",
+        );
+        m.describe(
+            "ccp_cluster_cache_writebacks_total",
+            "dirty-line writebacks by segment",
+        );
+        m.describe(
+            "ccp_cluster_cache_interventions_total",
+            "cache-to-cache transfers by segment",
+        );
+        m.describe(
+            "ccp_cluster_cache_bus_transactions_total",
+            "snoop bus transactions by segment",
+        );
         let s = segment;
         CacheMetrics {
-            read_hits: m.counter("ccp_cluster_cache_hits_total", &[("kind", "read"), ("segment", s)]),
-            read_misses: m.counter("ccp_cluster_cache_misses_total", &[("kind", "read"), ("segment", s)]),
-            write_hits: m.counter("ccp_cluster_cache_hits_total", &[("kind", "write"), ("segment", s)]),
-            write_misses: m.counter("ccp_cluster_cache_misses_total", &[("kind", "write"), ("segment", s)]),
+            read_hits: m.counter(
+                "ccp_cluster_cache_hits_total",
+                &[("kind", "read"), ("segment", s)],
+            ),
+            read_misses: m.counter(
+                "ccp_cluster_cache_misses_total",
+                &[("kind", "read"), ("segment", s)],
+            ),
+            write_hits: m.counter(
+                "ccp_cluster_cache_hits_total",
+                &[("kind", "write"), ("segment", s)],
+            ),
+            write_misses: m.counter(
+                "ccp_cluster_cache_misses_total",
+                &[("kind", "write"), ("segment", s)],
+            ),
             invalidations: m.counter("ccp_cluster_cache_invalidations_total", &[("segment", s)]),
             writebacks: m.counter("ccp_cluster_cache_writebacks_total", &[("segment", s)]),
             interventions: m.counter("ccp_cluster_cache_interventions_total", &[("segment", s)]),
-            bus_transactions: m.counter("ccp_cluster_cache_bus_transactions_total", &[("segment", s)]),
+            bus_transactions: m.counter(
+                "ccp_cluster_cache_bus_transactions_total",
+                &[("segment", s)],
+            ),
         }
     }
 
@@ -177,11 +214,15 @@ impl CacheMetrics {
         self.read_hits.add(after.read_hits - before.read_hits);
         self.read_misses.add(after.read_misses - before.read_misses);
         self.write_hits.add(after.write_hits - before.write_hits);
-        self.write_misses.add(after.write_misses - before.write_misses);
-        self.invalidations.add(after.invalidations - before.invalidations);
+        self.write_misses
+            .add(after.write_misses - before.write_misses);
+        self.invalidations
+            .add(after.invalidations - before.invalidations);
         self.writebacks.add(after.writebacks - before.writebacks);
-        self.interventions.add(after.interventions - before.interventions);
-        self.bus_transactions.add(after.bus_transactions - before.bus_transactions);
+        self.interventions
+            .add(after.interventions - before.interventions);
+        self.bus_transactions
+            .add(after.bus_transactions - before.bus_transactions);
     }
 }
 
@@ -189,7 +230,10 @@ impl CacheSystem {
     /// A system of `cores` caches with `line_size`-byte lines (power of two).
     pub fn new(cores: usize, line_size: u64, protocol: CoherenceProtocol) -> CacheSystem {
         assert!(cores >= 1, "need at least one core");
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         CacheSystem {
             cores,
             line_size,
@@ -243,7 +287,10 @@ impl CacheSystem {
     pub fn access(&mut self, core: usize, addr: u64, kind: AccessKind) -> u64 {
         assert!(core < self.cores, "core {core} out of range");
         let line = addr & !(self.line_size - 1);
-        let states = self.lines.entry(line).or_insert_with(|| vec![LineState::Invalid; self.cores]);
+        let states = self
+            .lines
+            .entry(line)
+            .or_insert_with(|| vec![LineState::Invalid; self.cores]);
         let before = self.metrics.as_ref().map(|_| self.stats.clone());
         let latency = match self.protocol {
             CoherenceProtocol::Mesi => {
@@ -299,8 +346,15 @@ impl CacheSystem {
                         LineState::Invalid => {}
                     }
                 }
-                let anyone_else = states.iter().enumerate().any(|(i, s)| i != core && *s != LineState::Invalid);
-                states[core] = if anyone_else { LineState::Shared } else { LineState::Exclusive };
+                let anyone_else = states
+                    .iter()
+                    .enumerate()
+                    .any(|(i, s)| i != core && *s != LineState::Invalid);
+                states[core] = if anyone_else {
+                    LineState::Shared
+                } else {
+                    LineState::Exclusive
+                };
                 if supplied_by_cache {
                     lat.intervention_cycles
                 } else {
@@ -412,15 +466,20 @@ impl CacheSystem {
     where
         I: IntoIterator<Item = (usize, u64, AccessKind)>,
     {
-        trace.into_iter().map(|(c, a, k)| self.access(c, a, k)).sum()
+        trace
+            .into_iter()
+            .map(|(c, a, k)| self.access(c, a, k))
+            .sum()
     }
 
     /// MESI invariant: a Modified or Exclusive line has no other valid copy.
     /// Exposed for property tests.
     pub fn check_invariants(&self) -> bool {
         self.lines.values().all(|states| {
-            let exclusive_like =
-                states.iter().filter(|s| matches!(s, LineState::Modified | LineState::Exclusive)).count();
+            let exclusive_like = states
+                .iter()
+                .filter(|s| matches!(s, LineState::Modified | LineState::Exclusive))
+                .count();
             let valid = states.iter().filter(|s| **s != LineState::Invalid).count();
             exclusive_like == 0 || (exclusive_like == 1 && valid == 1)
         })
@@ -522,8 +581,19 @@ mod tests {
 
     #[test]
     fn write_through_generates_more_bus_traffic() {
-        let trace: Vec<(usize, u64, AccessKind)> =
-            (0..1000).map(|i| (i % 4, (i as u64 % 8) * 64, if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read })).collect();
+        let trace: Vec<(usize, u64, AccessKind)> = (0..1000)
+            .map(|i| {
+                (
+                    i % 4,
+                    (i as u64 % 8) * 64,
+                    if i % 3 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                )
+            })
+            .collect();
         let mut mesi = CacheSystem::new(4, 64, CoherenceProtocol::Mesi);
         let mut wt = CacheSystem::new(4, 64, CoherenceProtocol::WriteThrough);
         mesi.run_trace(trace.clone());
@@ -562,19 +632,27 @@ mod tests {
         sys.access(2, 0, AccessKind::Write);
         let seg = ("segment", "2");
         assert_eq!(
-            obs.metrics.counter("ccp_cluster_cache_invalidations_total", &[seg]).get(),
+            obs.metrics
+                .counter("ccp_cluster_cache_invalidations_total", &[seg])
+                .get(),
             sys.stats().invalidations
         );
         assert_eq!(
-            obs.metrics.counter("ccp_cluster_cache_hits_total", &[("kind", "read"), seg]).get(),
+            obs.metrics
+                .counter("ccp_cluster_cache_hits_total", &[("kind", "read"), seg])
+                .get(),
             sys.stats().read_hits
         );
         assert_eq!(
-            obs.metrics.counter("ccp_cluster_cache_misses_total", &[("kind", "read"), seg]).get(),
+            obs.metrics
+                .counter("ccp_cluster_cache_misses_total", &[("kind", "read"), seg])
+                .get(),
             sys.stats().read_misses
         );
         assert_eq!(
-            obs.metrics.counter("ccp_cluster_cache_bus_transactions_total", &[seg]).get(),
+            obs.metrics
+                .counter("ccp_cluster_cache_bus_transactions_total", &[seg])
+                .get(),
             sys.stats().bus_transactions
         );
     }

@@ -34,7 +34,11 @@ impl FaultPlan {
 
     /// Add one transition; events may be added in any order.
     pub fn push(&mut self, at_tick: u64, node: SlaveId, health: NodeHealth) -> &mut Self {
-        self.events.push(FaultEvent { at_tick, node, health });
+        self.events.push(FaultEvent {
+            at_tick,
+            node,
+            health,
+        });
         self
     }
 
@@ -44,7 +48,13 @@ impl FaultPlan {
     /// replacement (partial Fisher-Yates), so a plan for `count` outages
     /// always hits `count` distinct nodes — sampling with replacement could
     /// silently script fewer, weaker failures than requested.
-    pub fn random_outages(nodes: &[SlaveId], count: usize, horizon: u64, outage: u64, seed: u64) -> FaultPlan {
+    pub fn random_outages(
+        nodes: &[SlaveId],
+        count: usize,
+        horizon: u64,
+        outage: u64,
+        seed: u64,
+    ) -> FaultPlan {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut plan = FaultPlan::default();
         let mut pool: Vec<SlaveId> = nodes.to_vec();
@@ -90,7 +100,12 @@ impl FaultedCluster {
     pub fn new(cluster: Cluster, plan: FaultPlan) -> FaultedCluster {
         let mut events = plan.events;
         events.sort_by_key(|e| e.at_tick);
-        FaultedCluster { cluster, plan: events, tick: 0, applied: 0 }
+        FaultedCluster {
+            cluster,
+            plan: events,
+            tick: 0,
+            applied: 0,
+        }
     }
 
     /// The wrapped cluster.

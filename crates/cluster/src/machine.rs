@@ -63,8 +63,14 @@ pub enum ClusterError {
 impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ClusterError::RequestExceedsCapacity { requested, capacity } => {
-                write!(f, "requested {requested} cores exceeds cluster capacity {capacity}")
+            ClusterError::RequestExceedsCapacity {
+                requested,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} cores exceeds cluster capacity {capacity}"
+                )
             }
             ClusterError::InsufficientFreeCores { requested, free } => {
                 write!(f, "requested {requested} cores but only {free} free")
@@ -132,16 +138,31 @@ struct ClusterMetrics {
 impl ClusterMetrics {
     fn new(o: &Obs) -> ClusterMetrics {
         let m = &o.metrics;
-        m.describe("ccp_cluster_allocations_total", "successful core allocations");
-        m.describe("ccp_cluster_alloc_failures_total", "rejected core allocations by reason");
-        m.describe("ccp_cluster_alloc_cores", "cores granted per successful allocation");
+        m.describe(
+            "ccp_cluster_allocations_total",
+            "successful core allocations",
+        );
+        m.describe(
+            "ccp_cluster_alloc_failures_total",
+            "rejected core allocations by reason",
+        );
+        m.describe(
+            "ccp_cluster_alloc_cores",
+            "cores granted per successful allocation",
+        );
         m.describe("ccp_cluster_cores_busy", "cores currently allocated");
         m.describe("ccp_cluster_cores_total", "schedulable cores on Up nodes");
         m.describe("ccp_cluster_nodes", "slave nodes by health state");
-        m.describe("ccp_cluster_health_transitions_total", "node health transitions by target state");
+        m.describe(
+            "ccp_cluster_health_transitions_total",
+            "node health transitions by target state",
+        );
         ClusterMetrics {
             allocations: m.counter("ccp_cluster_allocations_total", &[]),
-            alloc_fail_capacity: m.counter("ccp_cluster_alloc_failures_total", &[("reason", "capacity")]),
+            alloc_fail_capacity: m.counter(
+                "ccp_cluster_alloc_failures_total",
+                &[("reason", "capacity")],
+            ),
             alloc_fail_busy: m.counter("ccp_cluster_alloc_failures_total", &[("reason", "busy")]),
             releases: m.counter("ccp_cluster_releases_total", &[]),
             alloc_cores: m.histogram("ccp_cluster_alloc_cores", &[], obs::SMALL_COUNT_BOUNDS),
@@ -151,7 +172,10 @@ impl ClusterMetrics {
             nodes_draining: m.gauge("ccp_cluster_nodes", &[("state", "draining")]),
             nodes_down: m.gauge("ccp_cluster_nodes", &[("state", "down")]),
             health_to_up: m.counter("ccp_cluster_health_transitions_total", &[("to", "up")]),
-            health_to_draining: m.counter("ccp_cluster_health_transitions_total", &[("to", "draining")]),
+            health_to_draining: m.counter(
+                "ccp_cluster_health_transitions_total",
+                &[("to", "draining")],
+            ),
             health_to_down: m.counter("ccp_cluster_health_transitions_total", &[("to", "down")]),
         }
     }
@@ -174,12 +198,24 @@ impl Cluster {
         for (si, seg) in spec.segments.iter().enumerate() {
             for (ni, ns) in seg.slaves.iter().enumerate() {
                 nodes.insert(
-                    SlaveId { segment: si, slot: ni },
-                    NodeState { spec: ns.clone(), health: NodeHealth::Up, busy_cores: 0 },
+                    SlaveId {
+                        segment: si,
+                        slot: ni,
+                    },
+                    NodeState {
+                        spec: ns.clone(),
+                        health: NodeHealth::Up,
+                        busy_cores: 0,
+                    },
                 );
             }
         }
-        Cluster { spec, network, nodes, metrics: None }
+        Cluster {
+            spec,
+            network,
+            nodes,
+            metrics: None,
+        }
     }
 
     /// Attach a telemetry domain: registers the `ccp_cluster_*` families and
@@ -198,9 +234,8 @@ impl Cluster {
         m.nodes_draining.set(count(NodeHealth::Draining));
         m.nodes_down.set(count(NodeHealth::Down));
         m.cores_total.set(self.total_cores() as i64);
-        m.cores_busy.set(
-            self.nodes.values().map(|n| n.busy_cores as i64).sum(),
-        );
+        m.cores_busy
+            .set(self.nodes.values().map(|n| n.busy_cores as i64).sum());
     }
 
     /// The originating spec.
@@ -257,13 +292,19 @@ impl Cluster {
 
     /// Health of a node.
     pub fn health(&self, id: SlaveId) -> Result<NodeHealth, ClusterError> {
-        self.nodes.get(&id).map(|n| n.health).ok_or(ClusterError::NoSuchNode(id))
+        self.nodes
+            .get(&id)
+            .map(|n| n.health)
+            .ok_or(ClusterError::NoSuchNode(id))
     }
 
     /// Set a node's health. Allocations on the node are unaffected (the
     /// scheduler decides whether to migrate).
     pub fn set_health(&mut self, id: SlaveId, health: NodeHealth) -> Result<(), ClusterError> {
-        let n = self.nodes.get_mut(&id).ok_or(ClusterError::NoSuchNode(id))?;
+        let n = self
+            .nodes
+            .get_mut(&id)
+            .ok_or(ClusterError::NoSuchNode(id))?;
         let changed = n.health != health;
         n.health = health;
         if changed {
@@ -281,13 +322,20 @@ impl Cluster {
 
     /// The node's spec.
     pub fn node_spec(&self, id: SlaveId) -> Result<&NodeSpec, ClusterError> {
-        self.nodes.get(&id).map(|n| &n.spec).ok_or(ClusterError::NoSuchNode(id))
+        self.nodes
+            .get(&id)
+            .map(|n| &n.spec)
+            .ok_or(ClusterError::NoSuchNode(id))
     }
 
     /// Free cores on one node (0 if not Up).
     pub fn node_free_cores(&self, id: SlaveId) -> Result<u32, ClusterError> {
         let n = self.nodes.get(&id).ok_or(ClusterError::NoSuchNode(id))?;
-        Ok(if n.health == NodeHealth::Up { n.spec.cores - n.busy_cores } else { 0 })
+        Ok(if n.health == NodeHealth::Up {
+            n.spec.cores - n.busy_cores
+        } else {
+            0
+        })
     }
 
     /// Map a slave id to its network node id.
@@ -307,12 +355,18 @@ impl Cluster {
 
     /// Like [`Cluster::allocate_cores`] but restricted to nodes for which
     /// `pred(id, spec)` holds (e.g. only accelerator nodes, only quad-cores).
-    pub fn allocate_cores_filtered<F>(&mut self, cores: u32, pred: F) -> Result<Allocation, ClusterError>
+    pub fn allocate_cores_filtered<F>(
+        &mut self,
+        cores: u32,
+        pred: F,
+    ) -> Result<Allocation, ClusterError>
     where
         F: Fn(SlaveId, &NodeSpec) -> bool,
     {
         if cores == 0 {
-            return Ok(Allocation { cores: BTreeMap::new() });
+            return Ok(Allocation {
+                cores: BTreeMap::new(),
+            });
         }
         let capacity: u32 = self
             .nodes
@@ -324,7 +378,10 @@ impl Cluster {
             if let Some(m) = &self.metrics {
                 m.alloc_fail_capacity.inc();
             }
-            return Err(ClusterError::RequestExceedsCapacity { requested: cores, capacity });
+            return Err(ClusterError::RequestExceedsCapacity {
+                requested: cores,
+                capacity,
+            });
         }
         let free: u32 = self
             .nodes
@@ -336,7 +393,10 @@ impl Cluster {
             if let Some(m) = &self.metrics {
                 m.alloc_fail_busy.inc();
             }
-            return Err(ClusterError::InsufficientFreeCores { requested: cores, free });
+            return Err(ClusterError::InsufficientFreeCores {
+                requested: cores,
+                free,
+            });
         }
         let mut remaining = cores;
         let mut grant = BTreeMap::new();
@@ -489,7 +549,10 @@ mod tests {
     #[test]
     fn network_id_roundtrip() {
         let c = Cluster::new(ClusterSpec::uhd());
-        let id = SlaveId { segment: 2, slot: 5 };
+        let id = SlaveId {
+            segment: 2,
+            slot: 5,
+        };
         let nid = c.network_id(id).unwrap();
         assert_eq!(c.network().topology().segment_of(nid), Some(2));
     }
@@ -506,15 +569,27 @@ mod tests {
         let obs = Arc::new(Obs::new());
         let mut c = Cluster::new(ClusterSpec::small(1, 2)); // 2 nodes, 8 cores
         c.set_obs(&obs);
-        assert_eq!(obs.metrics.gauge("ccp_cluster_nodes", &[("state", "up")]).get(), 2);
+        assert_eq!(
+            obs.metrics
+                .gauge("ccp_cluster_nodes", &[("state", "up")])
+                .get(),
+            2
+        );
         assert_eq!(obs.metrics.gauge("ccp_cluster_cores_total", &[]).get(), 8);
 
         let a = c.allocate_cores(6).unwrap();
-        assert_eq!(obs.metrics.counter("ccp_cluster_allocations_total", &[]).get(), 1);
+        assert_eq!(
+            obs.metrics
+                .counter("ccp_cluster_allocations_total", &[])
+                .get(),
+            1
+        );
         assert_eq!(obs.metrics.gauge("ccp_cluster_cores_busy", &[]).get(), 6);
         assert!(c.allocate_cores(3).is_err());
         assert_eq!(
-            obs.metrics.counter("ccp_cluster_alloc_failures_total", &[("reason", "busy")]).get(),
+            obs.metrics
+                .counter("ccp_cluster_alloc_failures_total", &[("reason", "busy")])
+                .get(),
             1
         );
         c.release(&a);
@@ -522,17 +597,31 @@ mod tests {
 
         let id = c.slave_ids()[0];
         c.set_health(id, NodeHealth::Down).unwrap();
-        assert_eq!(obs.metrics.gauge("ccp_cluster_nodes", &[("state", "up")]).get(), 1);
-        assert_eq!(obs.metrics.gauge("ccp_cluster_nodes", &[("state", "down")]).get(), 1);
+        assert_eq!(
+            obs.metrics
+                .gauge("ccp_cluster_nodes", &[("state", "up")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            obs.metrics
+                .gauge("ccp_cluster_nodes", &[("state", "down")])
+                .get(),
+            1
+        );
         assert_eq!(obs.metrics.gauge("ccp_cluster_cores_total", &[]).get(), 4);
         assert_eq!(
-            obs.metrics.counter("ccp_cluster_health_transitions_total", &[("to", "down")]).get(),
+            obs.metrics
+                .counter("ccp_cluster_health_transitions_total", &[("to", "down")])
+                .get(),
             1
         );
         // Re-setting the same health is not a transition.
         c.set_health(id, NodeHealth::Down).unwrap();
         assert_eq!(
-            obs.metrics.counter("ccp_cluster_health_transitions_total", &[("to", "down")]).get(),
+            obs.metrics
+                .counter("ccp_cluster_health_transitions_total", &[("to", "down")])
+                .get(),
             1
         );
     }

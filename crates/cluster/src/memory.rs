@@ -57,7 +57,12 @@ pub struct NumaCostModel {
 impl Default for NumaCostModel {
     fn default() -> Self {
         // Commodity 2010s numbers: ~1ns L1, ~80ns DRAM, ~130ns remote socket.
-        NumaCostModel { cache_ns: 1, dram_ns: 80, remote_socket_ns: 130, remote_sw_overhead_ns: 2_000 }
+        NumaCostModel {
+            cache_ns: 1,
+            dram_ns: 80,
+            remote_socket_ns: 130,
+            remote_sw_overhead_ns: 2_000,
+        }
     }
 }
 
@@ -88,7 +93,10 @@ impl MemorySystem {
     /// A memory system with `sockets` x `cores_per_socket` cores and
     /// 4 KiB socket interleaving.
     pub fn new(sockets: usize, cores_per_socket: usize) -> MemorySystem {
-        assert!(sockets >= 1 && cores_per_socket >= 1, "need at least one core");
+        assert!(
+            sockets >= 1 && cores_per_socket >= 1,
+            "need at least one core"
+        );
         MemorySystem {
             sockets,
             cores_per_socket,
@@ -146,7 +154,10 @@ impl MemorySystem {
         }
         let home = self.home_socket(addr);
         if home == self.socket_of_core(core) {
-            AccessReport { domain: MemoryDomain::LocalDram, time: SimDuration::from_nanos(self.cost.dram_ns) }
+            AccessReport {
+                domain: MemoryDomain::LocalDram,
+                time: SimDuration::from_nanos(self.cost.dram_ns),
+            }
         } else {
             AccessReport {
                 domain: MemoryDomain::RemoteSocket,
@@ -174,14 +185,25 @@ impl MemorySystem {
         };
         let req = net.message_cost(from, owner, req_bytes)?;
         let resp = net.message_cost(owner, from, resp_bytes)?;
-        let time = req.total + resp.total + SimDuration::from_nanos(self.cost.remote_sw_overhead_ns);
-        Ok(AccessReport { domain: MemoryDomain::RemoteNode, time })
+        let time =
+            req.total + resp.total + SimDuration::from_nanos(self.cost.remote_sw_overhead_ns);
+        Ok(AccessReport {
+            domain: MemoryDomain::RemoteNode,
+            time,
+        })
     }
 
     /// Convenience: sweep `n` sequential word accesses from `core` starting
     /// at `base`, returning mean nanoseconds per access. Used by Lab 3 and
     /// the `uma_numa` bench.
-    pub fn sweep(&mut self, core: usize, base: u64, n: usize, stride: u64, kind: AccessKind) -> f64 {
+    pub fn sweep(
+        &mut self,
+        core: usize,
+        base: u64,
+        n: usize,
+        stride: u64,
+        kind: AccessKind,
+    ) -> f64 {
         let mut total = 0u64;
         for i in 0..n {
             let r = self.access(core, base + i as u64 * stride, kind);
@@ -237,10 +259,15 @@ mod tests {
     #[test]
     fn remote_node_dwarfs_local() {
         let m = MemorySystem::new(1, 2);
-        let net = Network::new(Topology::segmented_cluster(2, 2), LinkProfile::gigabit_ethernet());
+        let net = Network::new(
+            Topology::segmented_cluster(2, 2),
+            LinkProfile::gigabit_ethernet(),
+        );
         let a = net.topology().segment_slave(0, 0).unwrap();
         let b = net.topology().segment_slave(1, 0).unwrap();
-        let r = m.access_remote_node(&net, a, b, 4096, AccessKind::Read).unwrap();
+        let r = m
+            .access_remote_node(&net, a, b, 4096, AccessKind::Read)
+            .unwrap();
         assert_eq!(r.domain, MemoryDomain::RemoteNode);
         // Four hops of 50µs latency each way: far above the 80ns DRAM cost.
         assert!(r.time.nanos() > 100_000);
@@ -250,8 +277,12 @@ mod tests {
     fn remote_write_costs_similar_shape() {
         let m = MemorySystem::new(1, 1);
         let net = Network::new(Topology::ring(4), LinkProfile::new(1_000, 1 << 30));
-        let rd = m.access_remote_node(&net, 0, 2, 1 << 20, AccessKind::Read).unwrap();
-        let wr = m.access_remote_node(&net, 0, 2, 1 << 20, AccessKind::Write).unwrap();
+        let rd = m
+            .access_remote_node(&net, 0, 2, 1 << 20, AccessKind::Read)
+            .unwrap();
+        let wr = m
+            .access_remote_node(&net, 0, 2, 1 << 20, AccessKind::Write)
+            .unwrap();
         // Read pulls the megabyte back, write pushes it out: equal payloads.
         assert_eq!(rd.time, wr.time);
     }

@@ -73,7 +73,11 @@ impl NodeSpec {
             NodeClass::Accelerator => 4_096,
             NodeClass::Master => 16_384,
         };
-        NodeSpec { class, cores: class.default_cores(), memory_mib }
+        NodeSpec {
+            class,
+            cores: class.default_cores(),
+            memory_mib,
+        }
     }
 }
 
@@ -89,7 +93,10 @@ pub struct SegmentSpec {
 impl SegmentSpec {
     /// A homogeneous segment of `n` slaves of `class`.
     pub fn homogeneous(name: impl Into<String>, class: NodeClass, n: usize) -> SegmentSpec {
-        SegmentSpec { name: name.into(), slaves: vec![NodeSpec::of_class(class); n] }
+        SegmentSpec {
+            name: name.into(),
+            slaves: vec![NodeSpec::of_class(class); n],
+        }
     }
 }
 
@@ -132,7 +139,9 @@ impl ClusterSpec {
         ClusterSpec {
             name: "test-cluster".to_string(),
             segments: (0..segments)
-                .map(|i| SegmentSpec::homogeneous(format!("segment-{i}"), NodeClass::QuadCore, slaves))
+                .map(|i| {
+                    SegmentSpec::homogeneous(format!("segment-{i}"), NodeClass::QuadCore, slaves)
+                })
                 .collect(),
             intra_segment_link: LinkProfile::backplane(),
             uplink: LinkProfile::campus_uplink(),
@@ -147,7 +156,11 @@ impl ClusterSpec {
     /// Maximum slave count across segments (the topology is built with this
     /// uniform width; missing slots are marked permanently down).
     pub fn max_slaves(&self) -> usize {
-        self.segments.iter().map(|s| s.slaves.len()).max().unwrap_or(0)
+        self.segments
+            .iter()
+            .map(|s| s.slaves.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total slave nodes.
@@ -157,13 +170,18 @@ impl ClusterSpec {
 
     /// Total schedulable cores across all slaves.
     pub fn total_cores(&self) -> u32 {
-        self.segments.iter().flat_map(|s| &s.slaves).map(|n| n.cores).sum()
+        self.segments
+            .iter()
+            .flat_map(|s| &s.slaves)
+            .map(|n| n.cores)
+            .sum()
     }
 
     /// Build the simnet [`Network`] matching this spec, with tiered link
     /// profiles (intra-segment vs uplink).
     pub fn build_network(&self) -> Network {
-        let topo = Topology::segmented_cluster(self.segment_count().max(1), self.max_slaves().max(1));
+        let topo =
+            Topology::segmented_cluster(self.segment_count().max(1), self.max_slaves().max(1));
         let mut net = Network::new(topo, self.intra_segment_link);
         let masters: Vec<usize> = net.topology().neighbors(0);
         for m in masters {

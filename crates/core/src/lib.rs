@@ -35,4 +35,6 @@ pub mod view;
 
 pub use error::PortalError;
 pub use portal::{Portal, PortalConfig};
-pub use view::{EventView, FileView, HealthView, JobView, NodeView, QuotaView, TimelineEventView};
+pub use view::{
+    AnalysisView, EventView, FileView, HealthView, JobView, NodeView, QuotaView, TimelineEventView,
+};

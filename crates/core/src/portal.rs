@@ -2,13 +2,14 @@
 
 use crate::error::PortalError;
 use crate::view::{
-    state_label, EventView, FileView, HealthView, JobView, NodeView, QuotaView, TimelineEventView,
+    state_label, AnalysisView, EventView, FileView, HealthView, JobView, NodeView, QuotaView,
+    TimelineEventView,
 };
 use auth::{Role, SessionManager, Token, UserStore};
 use cluster::{Cluster, ClusterSpec, NodeHealth, SlaveId};
 use obs::Obs;
 use parking_lot::Mutex;
-use sched::{JobId, JobSpec, JobState, Scheduler, SchedPolicyKind};
+use sched::{JobId, JobSpec, JobState, SchedPolicyKind, Scheduler};
 use std::sync::Arc;
 use toolchain::{ArtifactId, ArtifactStore, CompileReport, CompileRequest, ExecReport, Executor};
 use vfs::{EntryKind, Vfs};
@@ -175,7 +176,11 @@ impl Portal {
     /// anchor at the home directory; students may not escape their home.
     fn resolve(&self, user: &str, role: Role, path: &str) -> Result<String, PortalError> {
         let home = format!("/home/{user}");
-        let full = if path.starts_with('/') { path.to_string() } else { format!("{home}/{path}") };
+        let full = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("{home}/{path}")
+        };
         // Normalize through VPath to fold any `..`.
         let normalized = vfs::VPath::parse(&full)?.to_string();
         if role == Role::Student && !normalized.starts_with(&home) {
@@ -187,7 +192,12 @@ impl Portal {
     // ---- file manager ---------------------------------------------------------
 
     /// List a directory.
-    pub fn list_dir(&self, token: &Token, path: &str, now: u64) -> Result<Vec<FileView>, PortalError> {
+    pub fn list_dir(
+        &self,
+        token: &Token,
+        path: &str,
+        now: u64,
+    ) -> Result<Vec<FileView>, PortalError> {
         let (user, role) = self.whoami(token, now)?;
         let full = self.resolve(&user, role, path)?;
         let entries = self.fs.lock().list(&user, &full)?;
@@ -211,7 +221,13 @@ impl Portal {
     }
 
     /// Write (upload / save) a file.
-    pub fn write_file(&self, token: &Token, path: &str, data: Vec<u8>, now: u64) -> Result<(), PortalError> {
+    pub fn write_file(
+        &self,
+        token: &Token,
+        path: &str,
+        data: Vec<u8>,
+        now: u64,
+    ) -> Result<(), PortalError> {
         let (user, role) = self.whoami(token, now)?;
         let full = self.resolve(&user, role, path)?;
         Ok(self.fs.lock().write(&user, &full, data)?)
@@ -257,7 +273,12 @@ impl Portal {
     // ---- compilation & execution ------------------------------------------------
 
     /// Compile a source file; the report carries gcc-style diagnostics.
-    pub fn compile(&mut self, token: &Token, path: &str, now: u64) -> Result<CompileReport, PortalError> {
+    pub fn compile(
+        &mut self,
+        token: &Token,
+        path: &str,
+        now: u64,
+    ) -> Result<CompileReport, PortalError> {
         let (user, role) = self.whoami(token, now)?;
         let full = self.resolve(&user, role, path)?;
         let fs = self.fs.lock();
@@ -265,7 +286,11 @@ impl Portal {
     }
 
     /// The caller's artifacts, most recent first, as `(id, source_path)`.
-    pub fn my_artifacts(&self, token: &Token, now: u64) -> Result<Vec<(String, String)>, PortalError> {
+    pub fn my_artifacts(
+        &self,
+        token: &Token,
+        now: u64,
+    ) -> Result<Vec<(String, String)>, PortalError> {
         let (user, _) = self.whoami(token, now)?;
         Ok(self
             .artifacts
@@ -277,10 +302,9 @@ impl Portal {
 
     fn artifact_for(&self, user: &str, role: Role, id: &str) -> Result<ArtifactId, PortalError> {
         let aid = ArtifactId::from_string(id);
-        let art = self
-            .artifacts
-            .get(&aid)
-            .ok_or_else(|| PortalError::Exec(toolchain::ExecutorError::NoSuchArtifact(id.to_string())))?;
+        let art = self.artifacts.get(&aid).ok_or_else(|| {
+            PortalError::Exec(toolchain::ExecutorError::NoSuchArtifact(id.to_string()))
+        })?;
         if art.owner != user && !role.at_least(Role::Faculty) {
             return Err(PortalError::Forbidden("artifact belongs to another user"));
         }
@@ -311,7 +335,78 @@ impl Portal {
         let (user, role) = self.whoami(token, now)?;
         let aid = self.artifact_for(&user, role, artifact)?;
         let exec = Executor::with_seed(seed);
-        Ok(exec.run_with_stdin_observed(&self.artifacts, &aid, Arc::clone(&self.fs), &user, stdin, &self.obs)?)
+        Ok(exec.run_with_stdin_observed(
+            &self.artifacts,
+            &aid,
+            Arc::clone(&self.fs),
+            &user,
+            stdin,
+            &self.obs,
+        )?)
+    }
+
+    /// Systematically explore an artifact's thread interleavings (the
+    /// "analyze" button): race / deadlock / livelock detection with a
+    /// minimized repro schedule on failure. Owner-gated like
+    /// [`Portal::run_interactive`]; faculty and admins may analyze any
+    /// artifact. `budget` caps the schedule count (`None` = grader default).
+    pub fn analyze_job(
+        &mut self,
+        token: &Token,
+        artifact: &str,
+        budget: Option<u64>,
+        now: u64,
+    ) -> Result<AnalysisView, PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let aid = self.artifact_for(&user, role, artifact)?;
+        let program = self
+            .artifacts
+            .get(&aid)
+            .ok_or_else(|| {
+                PortalError::Exec(toolchain::ExecutorError::NoSuchArtifact(
+                    artifact.to_string(),
+                ))
+            })?
+            .program
+            .clone();
+        let mut cfg = checker::CheckConfig::default();
+        if let Some(b) = budget {
+            cfg.max_schedules = b.clamp(1, 512);
+        }
+        let report = checker::check(&program, &cfg);
+
+        let m = &self.obs.metrics;
+        m.describe(
+            "ccp_checker_analyses_total",
+            "interleaving analyses by verdict class",
+        );
+        m.describe(
+            "ccp_checker_schedules_explored_total",
+            "schedules explored across analyses",
+        );
+        m.describe(
+            "ccp_checker_steps_explored_total",
+            "visible steps explored across analyses",
+        );
+        m.counter(
+            "ccp_checker_analyses_total",
+            &[("verdict", report.verdict.class())],
+        )
+        .inc();
+        m.counter("ccp_checker_schedules_explored_total", &[])
+            .add(report.schedules);
+        m.counter("ccp_checker_steps_explored_total", &[])
+            .add(report.steps);
+
+        Ok(AnalysisView {
+            artifact: artifact.to_string(),
+            verdict: report.verdict.class().to_string(),
+            detail: report.verdict.to_string(),
+            schedules: report.schedules,
+            steps: report.steps,
+            complete: report.complete,
+            repro: report.repro.unwrap_or_default(),
+        })
     }
 
     // ---- the job distributor -----------------------------------------------------
@@ -333,7 +428,9 @@ impl Portal {
         } else {
             JobSpec::parallel(&user, aid.as_str(), cores, estimated_ticks.max(1))
         };
-        Ok(self.scheduler.submit(spec.with_estimate(estimated_ticks.max(1)))?)
+        Ok(self
+            .scheduler
+            .submit(spec.with_estimate(estimated_ticks.max(1)))?)
     }
 
     /// Advance the distributor one tick. Newly dispatched jobs execute on
@@ -352,8 +449,14 @@ impl Portal {
             };
             let aid = ArtifactId::from_string(artifact);
             let exec = Executor::with_seed(self.config.seed ^ id.0);
-            let report =
-                exec.run_with_stdin_observed(&self.artifacts, &aid, Arc::clone(&self.fs), &user, &stdin, &self.obs);
+            let report = exec.run_with_stdin_observed(
+                &self.artifacts,
+                &aid,
+                Arc::clone(&self.fs),
+                &user,
+                &stdin,
+                &self.obs,
+            );
             let ipt = self.config.instructions_per_tick.max(1);
             if let Ok(job) = self.scheduler.job_mut(id) {
                 match report {
@@ -410,7 +513,13 @@ impl Portal {
     }
 
     /// Queue a stdin line for a pending job (consumed when it dispatches).
-    pub fn send_stdin(&mut self, token: &Token, id: JobId, line: &str, now: u64) -> Result<(), PortalError> {
+    pub fn send_stdin(
+        &mut self,
+        token: &Token,
+        id: JobId,
+        line: &str,
+        now: u64,
+    ) -> Result<(), PortalError> {
         let (user, role) = self.whoami(token, now)?;
         let j = self.scheduler.job_mut(id)?;
         if j.spec.user != user && !role.at_least(Role::Admin) {
@@ -473,7 +582,9 @@ impl Portal {
     /// runs when nodes return.
     pub fn degraded(&self) -> bool {
         let c = self.scheduler.cluster();
-        c.slave_ids().into_iter().any(|id| c.health(id) != Ok(NodeHealth::Up))
+        c.slave_ids()
+            .into_iter()
+            .any(|id| c.health(id) != Ok(NodeHealth::Up))
     }
 
     // ---- telemetry ----------------------------------------------------------------
@@ -498,7 +609,8 @@ impl Portal {
     pub fn health_view(&self) -> HealthView {
         let nodes = self.cluster_nodes();
         let count = |h: &str| nodes.iter().filter(|n| n.health == h).count();
-        let (nodes_up, nodes_draining, nodes_down) = (count("up"), count("draining"), count("down"));
+        let (nodes_up, nodes_draining, nodes_down) =
+            (count("up"), count("draining"), count("down"));
         HealthView {
             degraded: nodes_up < nodes.len(),
             nodes,
@@ -560,7 +672,11 @@ impl Portal {
             .events
             .recent(limit)
             .into_iter()
-            .map(|e| EventView { at: e.at, kind: e.kind, fields: e.fields })
+            .map(|e| EventView {
+                at: e.at,
+                kind: e.kind,
+                fields: e.fields,
+            })
             .collect())
     }
 

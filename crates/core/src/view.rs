@@ -109,6 +109,30 @@ pub struct QuotaView {
     pub limit: u64,
 }
 
+/// What the systematic checker concluded about an artifact
+/// (`POST /api/analyze`): verdict, budget spent, and — on failure — the
+/// minimized repro schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisView {
+    /// The analyzed artifact id.
+    pub artifact: String,
+    /// Verdict class: `clean`, `race`, `deadlock`, `livelock`,
+    /// `runtime_error`.
+    pub verdict: String,
+    /// Human-readable verdict detail (race location, deadlock cycle, ...).
+    pub detail: String,
+    /// Schedules (complete executions) explored.
+    pub schedules: u64,
+    /// Visible steps taken across all schedules.
+    pub steps: u64,
+    /// True iff the schedule space was exhausted, making `clean` a proof
+    /// within the step bound rather than a sampling result.
+    pub complete: bool,
+    /// On failure: thread id per visible step; replaying it reproduces the
+    /// failure deterministically.
+    pub repro: Vec<usize>,
+}
+
 /// Render a [`JobState`] the way the job monitor shows it.
 pub fn state_label(state: &JobState) -> String {
     match state {
@@ -134,15 +158,31 @@ mod tests {
     #[test]
     fn labels_render() {
         assert_eq!(state_label(&JobState::Pending), "pending");
-        assert_eq!(state_label(&JobState::Running { started_at: 3 }), "running since t=3");
-        assert!(state_label(&JobState::Failed { at: 9, reason: "node down".into() }).contains("node down"));
         assert_eq!(
-            state_label(&JobState::Requeued { attempt: 2, retry_at: 14 }),
+            state_label(&JobState::Running { started_at: 3 }),
+            "running since t=3"
+        );
+        assert!(state_label(&JobState::Failed {
+            at: 9,
+            reason: "node down".into()
+        })
+        .contains("node down"));
+        assert_eq!(
+            state_label(&JobState::Requeued {
+                attempt: 2,
+                retry_at: 14
+            }),
             "requeued for attempt 2, retrying at t=14"
         );
-        assert_eq!(state_label(&JobState::TimedOut { at: 30 }), "timed out at t=30");
         assert_eq!(
-            state_label(&JobState::NodeLost { at: 30, attempts: 3 }),
+            state_label(&JobState::TimedOut { at: 30 }),
+            "timed out at t=30"
+        );
+        assert_eq!(
+            state_label(&JobState::NodeLost {
+                at: 30,
+                attempts: 3
+            }),
             "lost at t=30 after 3 attempts"
         );
     }

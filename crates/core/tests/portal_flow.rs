@@ -7,7 +7,10 @@ use cluster::{ClusterSpec, NodeHealth, SlaveId};
 use sched::{JobState, RetryPolicy};
 
 fn portal() -> Portal {
-    let config = PortalConfig { cluster: ClusterSpec::small(2, 2), ..PortalConfig::default() };
+    let config = PortalConfig {
+        cluster: ClusterSpec::small(2, 2),
+        ..PortalConfig::default()
+    };
     let mut p = Portal::new(config);
     p.bootstrap_admin("admin", "super-secret9").unwrap();
     p
@@ -15,21 +18,31 @@ fn portal() -> Portal {
 
 fn student(p: &mut Portal, name: &str) -> auth::Token {
     let admin = p.login("admin", "super-secret9", 0).unwrap();
-    p.create_user(&admin, name, "password99", Role::Student, 0).unwrap();
+    p.create_user(&admin, name, "password99", Role::Student, 0)
+        .unwrap();
     p.login(name, "password99", 0).unwrap()
 }
 
 #[test]
 fn bootstrap_only_once() {
     let mut p = portal();
-    assert!(matches!(p.bootstrap_admin("other", "password99"), Err(PortalError::Bootstrap(_))));
+    assert!(matches!(
+        p.bootstrap_admin("other", "password99"),
+        Err(PortalError::Bootstrap(_))
+    ));
 }
 
 #[test]
 fn login_bad_password_rejected() {
     let mut p = portal();
-    assert!(matches!(p.login("admin", "wrong-password", 0), Err(PortalError::Auth(_))));
-    assert!(matches!(p.login("ghost", "whatever99", 0), Err(PortalError::Auth(_))));
+    assert!(matches!(
+        p.login("admin", "wrong-password", 0),
+        Err(PortalError::Auth(_))
+    ));
+    assert!(matches!(
+        p.login("ghost", "whatever99", 0),
+        Err(PortalError::Auth(_))
+    ));
 }
 
 #[test]
@@ -66,7 +79,8 @@ fn file_manager_crud() {
     let mut p = portal();
     let t = student(&mut p, "alice");
     p.mkdir(&t, "src", 0).unwrap();
-    p.write_file(&t, "src/main.mini", b"fn main() { }".to_vec(), 0).unwrap();
+    p.write_file(&t, "src/main.mini", b"fn main() { }".to_vec(), 0)
+        .unwrap();
     p.write_file(&t, "notes.txt", b"hello".to_vec(), 0).unwrap();
     let listing = p.list_dir(&t, "", 0).unwrap();
     let names: Vec<&str> = listing.iter().map(|f| f.name.as_str()).collect();
@@ -95,14 +109,23 @@ fn students_cannot_escape_home() {
         p.read_file(&t, "../eve/secret", 0),
         Err(PortalError::OutsideHome { .. })
     ));
-    assert!(matches!(p.write_file(&t, "/etc/passwd", vec![], 0), Err(PortalError::OutsideHome { .. })));
+    assert!(matches!(
+        p.write_file(&t, "/etc/passwd", vec![], 0),
+        Err(PortalError::OutsideHome { .. })
+    ));
 }
 
 #[test]
 fn compile_run_roundtrip() {
     let mut p = portal();
     let t = student(&mut p, "alice");
-    p.write_file(&t, "hello.mini", b"fn main() { println(\"from cluster\"); }".to_vec(), 0).unwrap();
+    p.write_file(
+        &t,
+        "hello.mini",
+        b"fn main() { println(\"from cluster\"); }".to_vec(),
+        0,
+    )
+    .unwrap();
     let report = p.compile(&t, "hello.mini", 0).unwrap();
     assert!(report.success(), "{}", report.render());
     let artifacts = p.my_artifacts(&t, 0).unwrap();
@@ -115,7 +138,8 @@ fn compile_run_roundtrip() {
 fn compile_errors_reported() {
     let mut p = portal();
     let t = student(&mut p, "alice");
-    p.write_file(&t, "bad.mini", b"fn main() { var = ; }".to_vec(), 0).unwrap();
+    p.write_file(&t, "bad.mini", b"fn main() { var = ; }".to_vec(), 0)
+        .unwrap();
     let report = p.compile(&t, "bad.mini", 0).unwrap();
     assert!(!report.success());
     assert!(report.render().contains("error"));
@@ -126,7 +150,8 @@ fn cannot_run_another_users_artifact() {
     let mut p = portal();
     let alice = student(&mut p, "alice");
     let bob = student(&mut p, "bob");
-    p.write_file(&alice, "a.mini", b"fn main() { }".to_vec(), 0).unwrap();
+    p.write_file(&alice, "a.mini", b"fn main() { }".to_vec(), 0)
+        .unwrap();
     let report = p.compile(&alice, "a.mini", 0).unwrap();
     let id = report.artifact.unwrap().to_string();
     assert!(matches!(
@@ -154,9 +179,16 @@ fn batch_job_lifecycle_with_streams() {
     assert!(matches!(p.job(&t, id, 0).unwrap().state, JobState::Pending));
     p.tick(); // dispatch + execute
     let view = p.job(&t, id, 0).unwrap();
-    assert!(view.stdout.contains("line 0") && view.stdout.contains("line 2"), "{}", view.stdout);
+    assert!(
+        view.stdout.contains("line 0") && view.stdout.contains("line 2"),
+        "{}",
+        view.stdout
+    );
     assert!(p.drain_jobs(100));
-    assert!(matches!(p.job(&t, id, 0).unwrap().state, JobState::Completed { .. }));
+    assert!(matches!(
+        p.job(&t, id, 0).unwrap().state,
+        JobState::Completed { .. }
+    ));
     // Resources returned.
     let (free, total, util) = p.cluster_status();
     assert_eq!(free, total);
@@ -174,7 +206,12 @@ fn stdin_reaches_batch_job() {
         0,
     )
     .unwrap();
-    let art = p.compile(&t, "echo.mini", 0).unwrap().artifact.unwrap().to_string();
+    let art = p
+        .compile(&t, "echo.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
     let id = p.submit_job(&t, &art, 1, 5, 0).unwrap();
     p.send_stdin(&t, id, "forty-two", 0).unwrap();
     p.drain_jobs(100);
@@ -186,8 +223,14 @@ fn stdin_reaches_batch_job() {
 fn parallel_job_occupies_cores() {
     let mut p = portal();
     let t = student(&mut p, "alice");
-    p.write_file(&t, "par.mini", b"fn main() { sleep(100000); }".to_vec(), 0).unwrap();
-    let art = p.compile(&t, "par.mini", 0).unwrap().artifact.unwrap().to_string();
+    p.write_file(&t, "par.mini", b"fn main() { sleep(100000); }".to_vec(), 0)
+        .unwrap();
+    let art = p
+        .compile(&t, "par.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
     let _id = p.submit_job(&t, &art, 8, 50, 0).unwrap();
     p.tick();
     let (free, total, _) = p.cluster_status();
@@ -198,8 +241,19 @@ fn parallel_job_occupies_cores() {
 fn failing_job_reports_stderr() {
     let mut p = portal();
     let t = student(&mut p, "alice");
-    p.write_file(&t, "dead.mini", b"fn main() { var m = mutex(); lock(m); lock(m); }".to_vec(), 0).unwrap();
-    let art = p.compile(&t, "dead.mini", 0).unwrap().artifact.unwrap().to_string();
+    p.write_file(
+        &t,
+        "dead.mini",
+        b"fn main() { var m = mutex(); lock(m); lock(m); }".to_vec(),
+        0,
+    )
+    .unwrap();
+    let art = p
+        .compile(&t, "dead.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
     let id = p.submit_job(&t, &art, 1, 5, 0).unwrap();
     p.drain_jobs(100);
     let view = p.job(&t, id, 0).unwrap();
@@ -211,14 +265,23 @@ fn job_visibility_rules() {
     let mut p = portal();
     let alice = student(&mut p, "alice");
     let bob = student(&mut p, "bob");
-    p.write_file(&alice, "x.mini", b"fn main() { }".to_vec(), 0).unwrap();
-    let art = p.compile(&alice, "x.mini", 0).unwrap().artifact.unwrap().to_string();
+    p.write_file(&alice, "x.mini", b"fn main() { }".to_vec(), 0)
+        .unwrap();
+    let art = p
+        .compile(&alice, "x.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
     let id = p.submit_job(&alice, &art, 1, 1, 0).unwrap();
     assert!(matches!(p.job(&bob, id, 0), Err(PortalError::Forbidden(_))));
     assert!(p.jobs(&bob, 0).unwrap().is_empty());
     let admin = p.login("admin", "super-secret9", 0).unwrap();
     assert_eq!(p.jobs(&admin, 0).unwrap().len(), 1);
-    assert!(matches!(p.cancel_job(&bob, id, 0), Err(PortalError::Forbidden(_))));
+    assert!(matches!(
+        p.cancel_job(&bob, id, 0),
+        Err(PortalError::Forbidden(_))
+    ));
     p.cancel_job(&alice, id, 0).unwrap();
 }
 
@@ -226,15 +289,24 @@ fn job_visibility_rules() {
 fn drain_requires_admin_and_is_visible_in_health() {
     let mut p = portal();
     let s = student(&mut p, "alice");
-    assert!(matches!(p.drain_node(&s, 0, 0, 0), Err(PortalError::Forbidden(_))));
-    assert!(matches!(p.undrain_node(&s, 0, 0, 0), Err(PortalError::Forbidden(_))));
+    assert!(matches!(
+        p.drain_node(&s, 0, 0, 0),
+        Err(PortalError::Forbidden(_))
+    ));
+    assert!(matches!(
+        p.undrain_node(&s, 0, 0, 0),
+        Err(PortalError::Forbidden(_))
+    ));
     assert!(!p.degraded());
     let admin = p.login("admin", "super-secret9", 0).unwrap();
     p.drain_node(&admin, 0, 0, 0).unwrap();
     assert!(p.degraded());
     let nodes = p.cluster_nodes();
     assert_eq!(nodes.len(), 4);
-    let drained = nodes.iter().find(|n| n.segment == 0 && n.slot == 0).unwrap();
+    let drained = nodes
+        .iter()
+        .find(|n| n.segment == 0 && n.slot == 0)
+        .unwrap();
     assert_eq!(drained.health, "draining");
     assert!(nodes.iter().filter(|n| n.health == "up").count() == 3);
     p.undrain_node(&admin, 0, 0, 0).unwrap();
@@ -245,12 +317,36 @@ fn drain_requires_admin_and_is_visible_in_health() {
 fn degraded_portal_keeps_accepting_jobs() {
     let mut p = portal();
     let t = student(&mut p, "alice");
-    p.write_file(&t, "x.mini", b"fn main() { }".to_vec(), 0).unwrap();
-    let art = p.compile(&t, "x.mini", 0).unwrap().artifact.unwrap().to_string();
+    p.write_file(&t, "x.mini", b"fn main() { }".to_vec(), 0)
+        .unwrap();
+    let art = p
+        .compile(&t, "x.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
     // Take a whole segment down (half the 16-core cluster).
     let sched = p.scheduler_mut();
-    sched.cluster_mut().set_health(SlaveId { segment: 0, slot: 0 }, NodeHealth::Down).unwrap();
-    sched.cluster_mut().set_health(SlaveId { segment: 0, slot: 1 }, NodeHealth::Down).unwrap();
+    sched
+        .cluster_mut()
+        .set_health(
+            SlaveId {
+                segment: 0,
+                slot: 0,
+            },
+            NodeHealth::Down,
+        )
+        .unwrap();
+    sched
+        .cluster_mut()
+        .set_health(
+            SlaveId {
+                segment: 0,
+                slot: 1,
+            },
+            NodeHealth::Down,
+        )
+        .unwrap();
     assert!(p.degraded());
     // 12 cores exceeds live capacity (8) but not spec capacity (16): the
     // submission is accepted and parks until the segment returns.
@@ -260,18 +356,50 @@ fn degraded_portal_keeps_accepting_jobs() {
     }
     assert!(matches!(p.job(&t, id, 0).unwrap().state, JobState::Pending));
     let sched = p.scheduler_mut();
-    sched.cluster_mut().set_health(SlaveId { segment: 0, slot: 0 }, NodeHealth::Up).unwrap();
-    sched.cluster_mut().set_health(SlaveId { segment: 0, slot: 1 }, NodeHealth::Up).unwrap();
+    sched
+        .cluster_mut()
+        .set_health(
+            SlaveId {
+                segment: 0,
+                slot: 0,
+            },
+            NodeHealth::Up,
+        )
+        .unwrap();
+    sched
+        .cluster_mut()
+        .set_health(
+            SlaveId {
+                segment: 0,
+                slot: 1,
+            },
+            NodeHealth::Up,
+        )
+        .unwrap();
     assert!(p.drain_jobs(100));
-    assert!(matches!(p.job(&t, id, 0).unwrap().state, JobState::Completed { .. }));
+    assert!(matches!(
+        p.job(&t, id, 0).unwrap().state,
+        JobState::Completed { .. }
+    ));
 }
 
 #[test]
 fn job_view_reports_attempts_and_failure_cause() {
     let mut p = portal();
     let t = student(&mut p, "alice");
-    p.write_file(&t, "long.mini", b"fn main() { sleep(1000000); }".to_vec(), 0).unwrap();
-    let art = p.compile(&t, "long.mini", 0).unwrap().artifact.unwrap().to_string();
+    p.write_file(
+        &t,
+        "long.mini",
+        b"fn main() { sleep(1000000); }".to_vec(),
+        0,
+    )
+    .unwrap();
+    let art = p
+        .compile(&t, "long.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
     let id = p.submit_job(&t, &art, 1, 100, 0).unwrap();
     p.tick();
     assert_eq!(p.job(&t, id, 0).unwrap().attempt, 1);
@@ -287,10 +415,17 @@ fn job_view_reports_attempts_and_failure_cause() {
         .keys()
         .next()
         .unwrap();
-    p.scheduler_mut().cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+    p.scheduler_mut()
+        .cluster_mut()
+        .set_health(victim, NodeHealth::Down)
+        .unwrap();
     p.tick();
     let view = p.job(&t, id, 0).unwrap();
-    assert!(matches!(view.state, JobState::Requeued { attempt: 2, .. }), "{:?}", view.state);
+    assert!(
+        matches!(view.state, JobState::Requeued { attempt: 2, .. }),
+        "{:?}",
+        view.state
+    );
     assert_eq!(view.last_failure.as_deref(), Some("node went down"));
     assert!(view.state_label.contains("requeued"));
 }
@@ -299,8 +434,19 @@ fn job_view_reports_attempts_and_failure_cause() {
 fn cancel_after_fault_returns_typed_errors() {
     let mut p = portal();
     let t = student(&mut p, "alice");
-    p.write_file(&t, "long.mini", b"fn main() { sleep(1000000); }".to_vec(), 0).unwrap();
-    let art = p.compile(&t, "long.mini", 0).unwrap().artifact.unwrap().to_string();
+    p.write_file(
+        &t,
+        "long.mini",
+        b"fn main() { sleep(1000000); }".to_vec(),
+        0,
+    )
+    .unwrap();
+    let art = p
+        .compile(&t, "long.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
     let id = p.submit_job(&t, &art, 1, 100, 0).unwrap();
     // No retries for this job: first node loss is final.
     p.scheduler_mut().job_mut(id).unwrap().spec.retry = Some(RetryPolicy::none());
@@ -316,7 +462,10 @@ fn cancel_after_fault_returns_typed_errors() {
         .keys()
         .next()
         .unwrap();
-    p.scheduler_mut().cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+    p.scheduler_mut()
+        .cluster_mut()
+        .set_health(victim, NodeHealth::Down)
+        .unwrap();
     p.tick();
     assert!(matches!(
         p.cancel_job(&t, id, 0),
@@ -328,8 +477,14 @@ fn cancel_after_fault_returns_typed_errors() {
     for _ in 0..3 {
         p.tick();
     }
-    assert!(matches!(p.job(&t, id2, 0).unwrap().state, JobState::TimedOut { .. }));
-    assert!(matches!(p.cancel_job(&t, id2, 0), Err(PortalError::JobTimedOut { .. })));
+    assert!(matches!(
+        p.job(&t, id2, 0).unwrap().state,
+        JobState::TimedOut { .. }
+    ));
+    assert!(matches!(
+        p.cancel_job(&t, id2, 0),
+        Err(PortalError::JobTimedOut { .. })
+    ));
 }
 
 #[test]
@@ -342,9 +497,24 @@ fn interactive_run_is_seed_deterministic() {
         fn main() { var a = spawn w(); var b = spawn w(); join(a); join(b); println(counter); }
     "#;
     p.write_file(&t, "race.mini", src.to_vec(), 0).unwrap();
-    let art = p.compile(&t, "race.mini", 0).unwrap().artifact.unwrap().to_string();
-    let r1 = p.run_interactive(&t, &art, 99, 0).unwrap().outcome.unwrap().stdout;
-    let r2 = p.run_interactive(&t, &art, 99, 0).unwrap().outcome.unwrap().stdout;
+    let art = p
+        .compile(&t, "race.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
+    let r1 = p
+        .run_interactive(&t, &art, 99, 0)
+        .unwrap()
+        .outcome
+        .unwrap()
+        .stdout;
+    let r2 = p
+        .run_interactive(&t, &art, 99, 0)
+        .unwrap()
+        .outcome
+        .unwrap()
+        .stdout;
     assert_eq!(r1, r2);
 }
 
@@ -353,19 +523,42 @@ fn job_timeline_is_gated_and_ends_terminal() {
     let mut p = portal();
     let alice = student(&mut p, "alice");
     let bob = student(&mut p, "bob");
-    p.write_file(&alice, "t.mini", b"fn main() { println(1); }".to_vec(), 0).unwrap();
-    let art = p.compile(&alice, "t.mini", 0).unwrap().artifact.unwrap().to_string();
+    p.write_file(&alice, "t.mini", b"fn main() { println(1); }".to_vec(), 0)
+        .unwrap();
+    let art = p
+        .compile(&alice, "t.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
     let id = p.submit_job(&alice, &art, 1, 5, 0).unwrap();
     assert!(p.drain_jobs(100));
-    assert!(matches!(p.job(&alice, id, 0).unwrap().state, JobState::Completed { .. }));
+    assert!(matches!(
+        p.job(&alice, id, 0).unwrap().state,
+        JobState::Completed { .. }
+    ));
     // Owner sees the ordered life story; its terminal event matches the state.
     let timeline = p.job_timeline(&alice, id, 0).unwrap();
     let names: Vec<&str> = timeline.iter().map(|e| e.event.as_str()).collect();
-    assert_eq!(names, vec!["job.submitted", "job.queued", "job.dispatched", "job.completed"]);
+    assert_eq!(
+        names,
+        vec![
+            "job.submitted",
+            "job.queued",
+            "job.dispatched",
+            "job.completed"
+        ]
+    );
     assert!(timeline.windows(2).all(|w| w[0].at <= w[1].at));
-    assert!(timeline[0].attrs.iter().any(|(k, v)| k == "user" && v == "alice"));
+    assert!(timeline[0]
+        .attrs
+        .iter()
+        .any(|(k, v)| k == "user" && v == "alice"));
     // Another student cannot; an admin can.
-    assert!(matches!(p.job_timeline(&bob, id, 0), Err(PortalError::Forbidden(_))));
+    assert!(matches!(
+        p.job_timeline(&bob, id, 0),
+        Err(PortalError::Forbidden(_))
+    ));
     let admin = p.login("admin", "super-secret9", 0).unwrap();
     assert_eq!(p.job_timeline(&admin, id, 0).unwrap().len(), 4);
 }
@@ -374,11 +567,20 @@ fn job_timeline_is_gated_and_ends_terminal() {
 fn metrics_text_covers_every_instrumented_layer() {
     let mut p = portal();
     let t = student(&mut p, "alice");
-    p.write_file(&t, "m.mini", b"fn main() { println(1); }".to_vec(), 0).unwrap();
-    let art = p.compile(&t, "m.mini", 0).unwrap().artifact.unwrap().to_string();
+    p.write_file(&t, "m.mini", b"fn main() { println(1); }".to_vec(), 0)
+        .unwrap();
+    let art = p
+        .compile(&t, "m.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
     let id = p.submit_job(&t, &art, 1, 5, 0).unwrap();
     assert!(p.drain_jobs(100));
-    assert!(matches!(p.job(&t, id, 0).unwrap().state, JobState::Completed { .. }));
+    assert!(matches!(
+        p.job(&t, id, 0).unwrap().state,
+        JobState::Completed { .. }
+    ));
     let text = p.metrics_text();
     for needle in [
         "ccp_sched_jobs_submitted_total 1",
@@ -413,7 +615,10 @@ fn health_view_counts_agree_with_nodes() {
 fn event_log_requires_admin() {
     let mut p = portal();
     let s = student(&mut p, "alice");
-    assert!(matches!(p.recent_events(&s, 10, 0), Err(PortalError::Forbidden(_))));
+    assert!(matches!(
+        p.recent_events(&s, 10, 0),
+        Err(PortalError::Forbidden(_))
+    ));
     let admin = p.login("admin", "super-secret9", 0).unwrap();
     assert!(p.recent_events(&admin, 10, 0).is_ok());
 }
@@ -422,9 +627,19 @@ fn event_log_requires_admin() {
 fn vm_file_io_lands_in_portal_home() {
     let mut p = portal();
     let t = student(&mut p, "alice");
-    p.write_file(&t, "writer.mini", br#"fn main() { write_file("result.txt", "computed"); }"#.to_vec(), 0)
-        .unwrap();
-    let art = p.compile(&t, "writer.mini", 0).unwrap().artifact.unwrap().to_string();
+    p.write_file(
+        &t,
+        "writer.mini",
+        br#"fn main() { write_file("result.txt", "computed"); }"#.to_vec(),
+        0,
+    )
+    .unwrap();
+    let art = p
+        .compile(&t, "writer.mini", 0)
+        .unwrap()
+        .artifact
+        .unwrap()
+        .to_string();
     p.run_interactive(&t, &art, 0, 0).unwrap();
     assert_eq!(p.read_file(&t, "result.txt", 0).unwrap(), b"computed");
 }

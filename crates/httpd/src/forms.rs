@@ -15,7 +15,10 @@ pub fn url_decode(s: &str) -> String {
             }
             b'%' if i + 2 < bytes.len() + 1 && i + 2 <= bytes.len() - 1 + 1 => {
                 let hex = bytes.get(i + 1..i + 3);
-                match hex.and_then(|h| std::str::from_utf8(h).ok()).and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                match hex
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
                     Some(b) => {
                         out.push(b);
                         i += 3;
@@ -40,7 +43,9 @@ pub fn url_encode(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
         match b {
-            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => out.push(b as char),
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
             b' ' => out.push('+'),
             other => out.push_str(&format!("%{other:02X}")),
         }
@@ -90,7 +95,12 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for s in ["hello world", "/home/alice/lab 1.mini", "a=b&c=d", "naïve ☃"] {
+        for s in [
+            "hello world",
+            "/home/alice/lab 1.mini",
+            "a=b&c=d",
+            "naïve ☃",
+        ] {
             assert_eq!(url_decode(&url_encode(s)), s, "{s}");
         }
     }
@@ -168,7 +178,9 @@ pub fn parse_multipart(body: &[u8], boundary: &str) -> Vec<MultipartPart> {
         }
         // Strip one leading newline, split headers from data at the blank line.
         let chunk = strip_leading_newline(chunk);
-        let Some((head, data)) = split_blank_line(chunk) else { continue };
+        let Some((head, data)) = split_blank_line(chunk) else {
+            continue;
+        };
         let headers = String::from_utf8_lossy(head);
         let mut name = String::new();
         let mut filename = None;
@@ -187,7 +199,11 @@ pub fn parse_multipart(body: &[u8], boundary: &str) -> Vec<MultipartPart> {
         }
         // Data ends before the newline that precedes the next delimiter.
         let data = strip_trailing_newline(data);
-        parts.push(MultipartPart { name, filename, data: data.to_vec() });
+        parts.push(MultipartPart {
+            name,
+            filename,
+            data: data.to_vec(),
+        });
     }
     parts
 }

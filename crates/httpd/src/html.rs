@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn escaping_neutralizes_html() {
-        assert_eq!(escape("<script>alert('x')</script>"), "&lt;script&gt;alert(&#39;x&#39;)&lt;/script&gt;");
+        assert_eq!(
+            escape("<script>alert('x')</script>"),
+            "&lt;script&gt;alert(&#39;x&#39;)&lt;/script&gt;"
+        );
         assert_eq!(escape("a & b \"q\""), "a &amp; b &quot;q&quot;");
         assert_eq!(escape("plain"), "plain");
     }
@@ -67,7 +70,10 @@ mod tests {
 
     #[test]
     fn table_renders_and_escapes() {
-        let t = table(&["Name", "Size"], &[vec!["a<b".to_string(), "10".to_string()]]);
+        let t = table(
+            &["Name", "Size"],
+            &[vec!["a<b".to_string(), "10".to_string()]],
+        );
         assert!(t.contains("<th>Name</th>"));
         assert!(t.contains("<td>a&lt;b</td>"));
         assert!(t.contains("<td>10</td>"));

@@ -191,7 +191,9 @@ impl Request {
             .and_then(Method::parse)
             .ok_or(HttpError::Malformed("bad method"))?;
         let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
-        let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+        let version = parts
+            .next()
+            .ok_or(HttpError::Malformed("missing version"))?;
         if !version.starts_with("HTTP/1.") {
             return Err(HttpError::Malformed("unsupported version"));
         }
@@ -207,14 +209,21 @@ impl Request {
             if hl.is_empty() {
                 break;
             }
-            let (k, v) = hl.split_once(':').ok_or(HttpError::Malformed("bad header"))?;
+            let (k, v) = hl
+                .split_once(':')
+                .ok_or(HttpError::Malformed("bad header"))?;
             headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
         }
         let body = match headers.get("content-length") {
             Some(cl) => {
-                let n: usize = cl.parse().map_err(|_| HttpError::Malformed("bad content-length"))?;
+                let n: usize = cl
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
                 if n > max_body {
-                    return Err(HttpError::TooLarge { declared: n, limit: max_body });
+                    return Err(HttpError::TooLarge {
+                        declared: n,
+                        limit: max_body,
+                    });
                 }
                 let mut buf = vec![0u8; n];
                 stream.read_exact(&mut buf).map_err(io_err)?;
@@ -222,7 +231,14 @@ impl Request {
             }
             None => Vec::new(),
         };
-        Ok(Request { method, path, query, headers, body, params: BTreeMap::new() })
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            params: BTreeMap::new(),
+        })
     }
 
     /// Body as UTF-8 (empty string when not valid).
@@ -232,7 +248,9 @@ impl Request {
 
     /// A header, by lowercase name.
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// A router-captured path parameter.
@@ -258,7 +276,8 @@ impl Request {
 
     /// Add a header to a synthetic request (builder style).
     pub fn with_header(mut self, name: &str, value: &str) -> Request {
-        self.headers.insert(name.to_ascii_lowercase(), value.to_string());
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_string());
         self
     }
 }
@@ -277,7 +296,11 @@ pub struct Response {
 impl Response {
     /// An empty response with `status`.
     pub fn new(status: Status) -> Response {
-        Response { status, headers: Vec::new(), body: Vec::new() }
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// 200 text/plain.
@@ -406,7 +429,10 @@ mod tests {
 
     #[test]
     fn oversized_body_rejected() {
-        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         assert!(matches!(parse(&raw), Err(HttpError::TooLarge { .. })));
     }
 
@@ -416,10 +442,16 @@ mod tests {
         let mut r = BufReader::new(Cursor::new(raw.as_bytes().to_vec()));
         assert!(matches!(
             Request::parse_with_limit(&mut r, 5),
-            Err(HttpError::TooLarge { declared: 6, limit: 5 })
+            Err(HttpError::TooLarge {
+                declared: 6,
+                limit: 5
+            })
         ));
         let mut r = BufReader::new(Cursor::new(raw.as_bytes().to_vec()));
-        assert_eq!(Request::parse_with_limit(&mut r, 6).unwrap().body_str(), "abcdef");
+        assert_eq!(
+            Request::parse_with_limit(&mut r, 6).unwrap().body_str(),
+            "abcdef"
+        );
     }
 
     #[test]
@@ -454,7 +486,8 @@ mod tests {
 
     #[test]
     fn synthetic_requests() {
-        let r = Request::synthetic(Method::Post, "/api/run?seed=4", b"{}").with_header("Cookie", "sid=1");
+        let r = Request::synthetic(Method::Post, "/api/run?seed=4", b"{}")
+            .with_header("Cookie", "sid=1");
         assert_eq!(r.query, "seed=4");
         assert_eq!(r.header("cookie"), Some("sid=1"));
     }

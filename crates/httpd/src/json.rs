@@ -82,12 +82,18 @@ impl Json {
 
     /// Parse JSON text.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = JsonParser { b: text.as_bytes(), i: 0 };
+        let mut p = JsonParser {
+            b: text.as_bytes(),
+            i: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
         if p.i != p.b.len() {
-            return Err(JsonError { at: p.i, message: "trailing characters".into() });
+            return Err(JsonError {
+                at: p.i,
+                message: "trailing characters".into(),
+            });
         }
         Ok(v)
     }
@@ -117,7 +123,10 @@ struct JsonParser<'a> {
 
 impl<'a> JsonParser<'a> {
     fn err(&self, message: impl Into<String>) -> JsonError {
-        JsonError { at: self.i, message: message.into() }
+        JsonError {
+            at: self.i,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -189,8 +198,12 @@ impl<'a> JsonParser<'a> {
                             }
                             let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5])
                                 .map_err(|_| self.err("bad \\u escape"))?;
-                            let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
-                            s.push(char::from_u32(cp).ok_or_else(|| self.err("surrogate escapes unsupported"))?);
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("surrogate escapes unsupported"))?,
+                            );
                             self.i += 4;
                         }
                         other => return Err(self.err(format!("bad escape {other:?}"))),
@@ -199,7 +212,8 @@ impl<'a> JsonParser<'a> {
                 }
                 Some(_) => {
                     // Copy one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.b[self.i..]).map_err(|_| self.err("invalid UTF-8"))?;
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
                     let ch = rest.chars().next().expect("nonempty");
                     s.push(ch);
                     self.i += ch.len_utf8();
@@ -232,9 +246,10 @@ impl<'a> JsonParser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError { at: start, message: format!("bad number `{text}`") })
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            at: start,
+            message: format!("bad number `{text}`"),
+        })
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
@@ -406,7 +421,16 @@ mod tests {
 
     #[test]
     fn malformed_inputs_rejected() {
-        for text in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2", "{'a':1}"] {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{'a':1}",
+        ] {
             assert!(Json::parse(text).is_err(), "{text} should fail");
         }
     }

@@ -57,8 +57,17 @@ impl Router {
     where
         F: Fn(&mut Request) -> Response + Send + Sync + 'static,
     {
-        let segments = pattern.split('/').filter(|s| !s.is_empty()).map(String::from).collect();
-        self.routes.push(Route { method, segments, pattern: pattern.to_string(), handler: Box::new(handler) });
+        let segments = pattern
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        self.routes.push(Route {
+            method,
+            segments,
+            pattern: pattern.to_string(),
+            handler: Box::new(handler),
+        });
         self
     }
 
@@ -66,9 +75,16 @@ impl Router {
     /// `ccp_httpd_requests_total{method,route,status}` counter and a
     /// `ccp_httpd_request_duration_us{route}` histogram per dispatch.
     pub fn set_obs(&mut self, obs: Arc<Obs>) {
-        obs.metrics.describe("ccp_httpd_requests_total", "requests dispatched by method, route, and status");
-        obs.metrics.describe("ccp_httpd_request_duration_us", "request handling latency per route");
-        obs.metrics.describe("ccp_httpd_inflight", "connections currently being handled");
+        obs.metrics.describe(
+            "ccp_httpd_requests_total",
+            "requests dispatched by method, route, and status",
+        );
+        obs.metrics.describe(
+            "ccp_httpd_request_duration_us",
+            "request handling latency per route",
+        );
+        obs.metrics
+            .describe("ccp_httpd_inflight", "connections currently being handled");
         obs.metrics.gauge("ccp_httpd_inflight", &[]);
         self.obs = Some(obs);
     }
@@ -112,7 +128,11 @@ impl Router {
                 )
                 .inc();
             obs.metrics
-                .histogram("ccp_httpd_request_duration_us", &[("route", route_label)], obs::DURATION_US_BOUNDS)
+                .histogram(
+                    "ccp_httpd_request_duration_us",
+                    &[("route", route_label)],
+                    obs::DURATION_US_BOUNDS,
+                )
                 .record(us);
         }
         response
@@ -130,12 +150,24 @@ impl Router {
         let parts: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         let path_known = self.routes.iter().any(|r| {
             parts.len() == r.segments.len()
-                && r.segments.iter().zip(&parts).all(|(seg, part)| seg.starts_with(':') || seg == part)
+                && r.segments
+                    .iter()
+                    .zip(&parts)
+                    .all(|(seg, part)| seg.starts_with(':') || seg == part)
         });
         if path_known {
-            (Response::error(Status::METHOD_NOT_ALLOWED, "method not allowed"), "unmatched")
+            (
+                Response::error(Status::METHOD_NOT_ALLOWED, "method not allowed"),
+                "unmatched",
+            )
         } else {
-            (Response::error(Status::NOT_FOUND, format!("no route for {} {}", req.method, req.path)), "unmatched")
+            (
+                Response::error(
+                    Status::NOT_FOUND,
+                    format!("no route for {} {}", req.method, req.path),
+                ),
+                "unmatched",
+            )
         }
     }
 
@@ -159,9 +191,15 @@ mod tests {
         r.get("/", |_| Response::text("home"));
         r.get("/jobs", |_| Response::text("list"));
         r.post("/jobs", |_| Response::text("create"));
-        r.get("/jobs/:id", |req| Response::text(format!("job {}", req.param("id").unwrap())));
+        r.get("/jobs/:id", |req| {
+            Response::text(format!("job {}", req.param("id").unwrap()))
+        });
         r.post("/jobs/:id/stdin", |req| {
-            Response::text(format!("stdin {} <- {}", req.param("id").unwrap(), req.body_str()))
+            Response::text(format!(
+                "stdin {} <- {}",
+                req.param("id").unwrap(),
+                req.body_str()
+            ))
         });
         r
     }

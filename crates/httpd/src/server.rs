@@ -135,7 +135,11 @@ impl Server {
     /// Wrap a router with explicit limits.
     pub fn with_config(router: Router, config: ServerConfig) -> Server {
         let obs = router.obs().cloned();
-        let mut server = Server { router: Arc::new(Mutex::new(router)), config, obs: None };
+        let mut server = Server {
+            router: Arc::new(Mutex::new(router)),
+            config,
+            obs: None,
+        };
         if let Some(obs) = obs {
             server = server.with_obs(obs);
         }
@@ -145,9 +149,18 @@ impl Server {
     /// Attach (or replace) the telemetry domain for connection-level
     /// counters and the access log (builder style).
     pub fn with_obs(mut self, obs: Arc<Obs>) -> Server {
-        obs.metrics.describe("ccp_httpd_shed_total", "connections shed at capacity with 503");
-        obs.metrics.describe("ccp_httpd_request_timeouts_total", "requests cut off by the read deadline");
-        obs.metrics.describe("ccp_httpd_rejected_total", "requests rejected before routing, by reason");
+        obs.metrics.describe(
+            "ccp_httpd_shed_total",
+            "connections shed at capacity with 503",
+        );
+        obs.metrics.describe(
+            "ccp_httpd_request_timeouts_total",
+            "requests cut off by the read deadline",
+        );
+        obs.metrics.describe(
+            "ccp_httpd_rejected_total",
+            "requests rejected before routing, by reason",
+        );
         self.obs = Some(obs);
         self
     }
@@ -182,7 +195,9 @@ impl Server {
                 // Count before spawning so a burst cannot overshoot the cap.
                 let now_inflight = inflight2.fetch_add(1, Ordering::SeqCst) + 1;
                 if let Some(o) = &obs {
-                    o.metrics.gauge("ccp_httpd_inflight", &[]).set(now_inflight as i64);
+                    o.metrics
+                        .gauge("ccp_httpd_inflight", &[])
+                        .set(now_inflight as i64);
                 }
                 let router = Arc::clone(&router);
                 let served = Arc::clone(&served2);
@@ -222,7 +237,13 @@ fn shed_connection(mut stream: TcpStream, config: &ServerConfig, obs: Option<&Ob
             o.events.record(
                 epoch_secs(),
                 "http.access",
-                &[("method", "-"), ("path", "-"), ("status", "503"), ("bytes", "0"), ("duration_us", "0")],
+                &[
+                    ("method", "-"),
+                    ("path", "-"),
+                    ("status", "503"),
+                    ("bytes", "0"),
+                    ("duration_us", "0"),
+                ],
             );
         }
     }
@@ -230,9 +251,12 @@ fn shed_connection(mut stream: TcpStream, config: &ServerConfig, obs: Option<&Ob
     std::thread::spawn(move || {
         let _ = stream.set_write_timeout(Some(write_timeout));
         let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-        let _ = Response::error(Status::SERVICE_UNAVAILABLE, "server at capacity, retry shortly")
-            .with_header("Retry-After", "1")
-            .write_to(&mut stream);
+        let _ = Response::error(
+            Status::SERVICE_UNAVAILABLE,
+            "server at capacity, retry shortly",
+        )
+        .with_header("Retry-After", "1")
+        .write_to(&mut stream);
         let _ = stream.shutdown(Shutdown::Write);
         let mut scratch = [0u8; 512];
         while let Ok(n) = stream.read(&mut scratch) {
@@ -243,7 +267,12 @@ fn shed_connection(mut stream: TcpStream, config: &ServerConfig, obs: Option<&Ob
     });
 }
 
-fn handle_connection(stream: TcpStream, router: &Mutex<Router>, config: &ServerConfig, obs: Option<&Obs>) {
+fn handle_connection(
+    stream: TcpStream,
+    router: &Mutex<Router>,
+    config: &ServerConfig,
+    obs: Option<&Obs>,
+) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let mut writer = match stream.try_clone() {
@@ -260,7 +289,9 @@ fn handle_connection(stream: TcpStream, router: &Mutex<Router>, config: &ServerC
         }
         Err(HttpError::TooLarge { declared, limit }) => {
             if let Some(o) = obs {
-                o.metrics.counter("ccp_httpd_rejected_total", &[("reason", "too_large")]).inc();
+                o.metrics
+                    .counter("ccp_httpd_rejected_total", &[("reason", "too_large")])
+                    .inc();
             }
             Response::error(
                 Status::PAYLOAD_TOO_LARGE,
@@ -269,13 +300,17 @@ fn handle_connection(stream: TcpStream, router: &Mutex<Router>, config: &ServerC
         }
         Err(HttpError::Timeout) => {
             if let Some(o) = obs {
-                o.metrics.counter("ccp_httpd_request_timeouts_total", &[]).inc();
+                o.metrics
+                    .counter("ccp_httpd_request_timeouts_total", &[])
+                    .inc();
             }
             Response::error(Status::REQUEST_TIMEOUT, "request not received in time")
         }
         Err(e) => {
             if let Some(o) = obs {
-                o.metrics.counter("ccp_httpd_rejected_total", &[("reason", "bad_request")]).inc();
+                o.metrics
+                    .counter("ccp_httpd_rejected_total", &[("reason", "bad_request")])
+                    .inc();
             }
             Response::error(Status::BAD_REQUEST, e.to_string())
         }
@@ -291,7 +326,10 @@ fn handle_connection(stream: TcpStream, router: &Mutex<Router>, config: &ServerC
                     ("path", &request_line.1),
                     ("status", &response.status.0.to_string()),
                     ("bytes", &response.body.len().to_string()),
-                    ("duration_us", &(started.elapsed().as_micros() as u64).to_string()),
+                    (
+                        "duration_us",
+                        &(started.elapsed().as_micros() as u64).to_string(),
+                    ),
                 ],
             );
         }
@@ -299,7 +337,10 @@ fn handle_connection(stream: TcpStream, router: &Mutex<Router>, config: &ServerC
 }
 
 fn epoch_secs() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -383,9 +424,7 @@ mod tests {
         let h = test_server();
         let addr = h.addr();
         let handles: Vec<_> = (0..8)
-            .map(|_| {
-                std::thread::spawn(move || raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n"))
-            })
+            .map(|_| std::thread::spawn(move || raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n")))
             .collect();
         for t in handles {
             assert!(t.join().unwrap().ends_with("pong"));
@@ -396,11 +435,19 @@ mod tests {
 
     #[test]
     fn oversized_body_gets_413_over_socket() {
-        let config = ServerConfig { max_body: 64, ..ServerConfig::default() };
-        let h = Server::with_config(test_router(), config).spawn("127.0.0.1:0").unwrap();
+        let config = ServerConfig {
+            max_body: 64,
+            ..ServerConfig::default()
+        };
+        let h = Server::with_config(test_router(), config)
+            .spawn("127.0.0.1:0")
+            .unwrap();
         // Declared length over the limit: rejected from the header alone,
         // before any body bytes arrive.
-        let resp = raw_request(h.addr(), "POST /echo HTTP/1.1\r\nContent-Length: 100\r\n\r\n");
+        let resp = raw_request(
+            h.addr(),
+            "POST /echo HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
+        );
         assert!(resp.starts_with("HTTP/1.1 413 Payload Too Large"), "{resp}");
         // At the limit still works.
         let body = "x".repeat(64);
@@ -414,8 +461,13 @@ mod tests {
 
     #[test]
     fn slow_loris_hits_read_timeout() {
-        let config = ServerConfig { read_timeout: Duration::from_millis(80), ..ServerConfig::default() };
-        let h = Server::with_config(test_router(), config).spawn("127.0.0.1:0").unwrap();
+        let config = ServerConfig {
+            read_timeout: Duration::from_millis(80),
+            ..ServerConfig::default()
+        };
+        let h = Server::with_config(test_router(), config)
+            .spawn("127.0.0.1:0")
+            .unwrap();
         let mut s = TcpStream::connect(h.addr()).unwrap();
         // Dribble half a request line and stall: the server must cut us off
         // with 408 instead of holding the worker forever.
@@ -428,8 +480,13 @@ mod tests {
 
     #[test]
     fn capacity_overflow_sheds_with_retry_after() {
-        let config = ServerConfig { max_inflight: 1, ..ServerConfig::default() };
-        let h = Server::with_config(test_router(), config).spawn("127.0.0.1:0").unwrap();
+        let config = ServerConfig {
+            max_inflight: 1,
+            ..ServerConfig::default()
+        };
+        let h = Server::with_config(test_router(), config)
+            .spawn("127.0.0.1:0")
+            .unwrap();
         let addr = h.addr();
         // Occupy the single slot with a slow request...
         let hog = std::thread::spawn(move || raw_request(addr, "GET /slow HTTP/1.1\r\n\r\n"));
@@ -438,7 +495,10 @@ mod tests {
         }
         // ...then get shed on the next connection.
         let resp = raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n");
-        assert!(resp.starts_with("HTTP/1.1 503 Service Unavailable"), "{resp}");
+        assert!(
+            resp.starts_with("HTTP/1.1 503 Service Unavailable"),
+            "{resp}"
+        );
         assert!(resp.contains("Retry-After: 1"), "{resp}");
         assert!(hog.join().unwrap().ends_with("done"));
         assert_eq!(h.shed(), 1);
@@ -458,11 +518,16 @@ mod tests {
             access_log: true,
             ..ServerConfig::default()
         };
-        let h = Server::with_config(router, config).spawn("127.0.0.1:0").unwrap();
+        let h = Server::with_config(router, config)
+            .spawn("127.0.0.1:0")
+            .unwrap();
 
         raw_request(h.addr(), "GET /ping HTTP/1.1\r\n\r\n");
         // 413: declared body over the limit.
-        raw_request(h.addr(), "POST /echo HTTP/1.1\r\nContent-Length: 100\r\n\r\n");
+        raw_request(
+            h.addr(),
+            "POST /echo HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
+        );
         // 408: stalled request.
         {
             let mut s = TcpStream::connect(h.addr()).unwrap();
@@ -475,18 +540,33 @@ mod tests {
         }
         h.shutdown();
 
-        assert_eq!(obs.metrics.counter("ccp_httpd_rejected_total", &[("reason", "too_large")]).get(), 1);
-        assert_eq!(obs.metrics.counter("ccp_httpd_request_timeouts_total", &[]).get(), 1);
+        assert_eq!(
+            obs.metrics
+                .counter("ccp_httpd_rejected_total", &[("reason", "too_large")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            obs.metrics
+                .counter("ccp_httpd_request_timeouts_total", &[])
+                .get(),
+            1
+        );
         let log = obs.events.recent(10);
         assert_eq!(log.len(), 3, "{log:?}");
         assert!(log.iter().all(|e| e.kind == "http.access"));
-        let ok = log.iter().find(|e| e.field("status") == Some("200")).expect("200 logged");
+        let ok = log
+            .iter()
+            .find(|e| e.field("status") == Some("200"))
+            .expect("200 logged");
         assert_eq!(ok.field("method"), Some("GET"));
         assert_eq!(ok.field("path"), Some("/ping"));
         assert_eq!(ok.field("bytes"), Some("4"), "pong is 4 bytes");
         // Pre-router rejections appear with placeholder request lines.
         assert!(log.iter().any(|e| e.field("status") == Some("413")));
-        assert!(log.iter().any(|e| e.field("status") == Some("408") && e.field("path") == Some("-")));
+        assert!(log
+            .iter()
+            .any(|e| e.field("status") == Some("408") && e.field("path") == Some("-")));
     }
 
     #[test]
@@ -510,8 +590,13 @@ mod tests {
         let obs = Arc::new(Obs::new());
         let mut router = test_router();
         router.set_obs(Arc::clone(&obs));
-        let config = ServerConfig { max_inflight: 1, ..ServerConfig::default() };
-        let h = Server::with_config(router, config).spawn("127.0.0.1:0").unwrap();
+        let config = ServerConfig {
+            max_inflight: 1,
+            ..ServerConfig::default()
+        };
+        let h = Server::with_config(router, config)
+            .spawn("127.0.0.1:0")
+            .unwrap();
         let addr = h.addr();
         let hog = std::thread::spawn(move || raw_request(addr, "GET /slow HTTP/1.1\r\n\r\n"));
         while h.inflight() == 0 {

@@ -12,8 +12,34 @@ pub const GRADING_BUDGET: u64 = 400_000;
 /// Compile and run under the grading budget.
 fn run_budgeted(src: &str, seed: u64) -> Result<minilang::ExecOutcome, LangError> {
     let prog = minilang::compile(src)?;
-    let mut vm = Vm::new(prog, VmConfig { seed, max_instructions: GRADING_BUDGET, ..VmConfig::default() });
+    let mut vm = Vm::new(
+        prog,
+        VmConfig {
+            seed,
+            max_instructions: GRADING_BUDGET,
+            ..VmConfig::default()
+        },
+    );
     Ok(vm.run()?)
+}
+
+/// Exploration budget used when grading: smaller than the checker default
+/// (a grader runs per submission, not per investigation) but — asserted by
+/// the golden tests — still enough to find the lab 5 seeded race and the
+/// lab 6 deadlock.
+pub fn grading_check_config() -> checker::CheckConfig {
+    checker::CheckConfig {
+        max_schedules: 24,
+        max_steps: GRADING_BUDGET,
+        minimize: false,
+        ..checker::CheckConfig::default()
+    }
+}
+
+/// Run the systematic checker on a submission; `Ok(report)` iff it
+/// compiles. Non-compiling submissions already fail the compile check.
+pub fn explore_submission(submission: &str) -> Option<checker::CheckReport> {
+    checker::check_program(submission, &grading_check_config()).ok()
 }
 
 /// The seven graded assignments of Table 1.
@@ -101,7 +127,12 @@ fn report(lab: LabId, checks: Vec<(String, bool)>) -> GradeReport {
     let total = checks.len().max(1) as u32;
     let good = checks.iter().filter(|(_, ok)| *ok).count() as u32;
     let score = good * 100 / total;
-    GradeReport { lab, score, passed: score >= PASS_SCORE, checks }
+    GradeReport {
+        lab,
+        score,
+        passed: score >= PASS_SCORE,
+        checks,
+    }
 }
 
 /// Grade a minilang submission for `lab`. The checks encode each lab's
@@ -148,8 +179,23 @@ fn grade_counter(lab: LabId, submission: &str, expected: i64) -> GradeReport {
     checks.push(("compiles".to_string(), compiles));
     checks.push(("uses multiple threads".to_string(), concurrent));
     checks.push((format!("returns {expected} on every seed"), all_exact));
-    // Weight correctness double by adding it twice.
-    checks.push(("correct under adversarial scheduling".to_string(), all_exact));
+    match lab {
+        // The synchronization labs are verdict-checked by systematic
+        // exploration: a racy submission fails here even when every sampled
+        // seed happened to produce the right number.
+        LabId::Bank | LabId::BoundedBuffer => {
+            let clean = explore_submission(submission)
+                .map(|r| !r.verdict.is_failure())
+                .unwrap_or(false);
+            checks.push(("race-free under schedule exploration".to_string(), clean));
+        }
+        // Spin-lock style labs busy-wait by design; sampled correctness
+        // stays double-weighted there.
+        _ => checks.push((
+            "correct under adversarial scheduling".to_string(),
+            all_exact,
+        )),
+    }
     report(lab, checks)
 }
 
@@ -162,8 +208,14 @@ fn grade_numa(submission: &str) -> GradeReport {
             checks.push(("compiles".to_string(), true));
             checks.push(("runs to completion".to_string(), true));
             let text = out.stdout.to_lowercase();
-            checks.push(("reports a UMA measurement".to_string(), text.contains("uma")));
-            checks.push(("reports a NUMA measurement".to_string(), text.contains("numa")));
+            checks.push((
+                "reports a UMA measurement".to_string(),
+                text.contains("uma"),
+            ));
+            checks.push((
+                "reports a NUMA measurement".to_string(),
+                text.contains("numa"),
+            ));
         }
         Err(_) => {
             checks.push(("compiles".to_string(), false));
@@ -209,7 +261,11 @@ fn grade_proc_thread(submission: &str) -> GradeReport {
             shared.lock().files.insert("input.txt".into(), input);
             let mut vm = Vm::with_io(
                 program.clone(),
-                VmConfig { seed, max_instructions: GRADING_BUDGET, ..VmConfig::default() },
+                VmConfig {
+                    seed,
+                    max_instructions: GRADING_BUDGET,
+                    ..VmConfig::default()
+                },
                 Box::new(SharedIo(Arc::clone(&shared))),
             );
             match vm.run() {
@@ -217,8 +273,16 @@ fn grade_proc_thread(submission: &str) -> GradeReport {
                     if out.peak_threads > 1 {
                         threaded = true;
                     }
-                    let text = shared.lock().files.get("output.txt").cloned().unwrap_or_default();
-                    let got: Vec<i64> = text.split_whitespace().filter_map(|t| t.parse().ok()).collect();
+                    let text = shared
+                        .lock()
+                        .files
+                        .get("output.txt")
+                        .cloned()
+                        .unwrap_or_default();
+                    let got: Vec<i64> = text
+                        .split_whitespace()
+                        .filter_map(|t| t.parse().ok())
+                        .collect();
                     if got != numbers {
                         ordered_ok = false;
                     }
@@ -253,7 +317,15 @@ fn grade_philosophers(submission: &str) -> GradeReport {
     }
     checks.push(("philosophers eat".to_string(), eats));
     checks.push(("no deadlock across seeds".to_string(), never_deadlocks));
-    checks.push(("deadlock avoidance holds".to_string(), never_deadlocks));
+    // Systematic exploration: the naive left-then-right submission has a
+    // reachable all-grab-left deadlock even on seeds where dinner finished.
+    let deadlock_free = explore_submission(submission)
+        .map(|r| !r.verdict.is_failure())
+        .unwrap_or(false);
+    checks.push((
+        "deadlock-free under schedule exploration".to_string(),
+        deadlock_free,
+    ));
     report(LabId::Philosophers, checks)
 }
 
@@ -266,7 +338,13 @@ mod tests {
     fn reference_solutions_pass() {
         assert!(grade(LabId::Sync, lab1_sync::FIXED_SOURCE).passed);
         assert!(grade(LabId::SpinLock, lab2_spinlock::TTAS_SOURCE).passed);
-        assert!(grade(LabId::Bank, &lab5_bank::source(lab5_bank::BankStep::ConcurrentLocked)).passed);
+        assert!(
+            grade(
+                LabId::Bank,
+                &lab5_bank::source(lab5_bank::BankStep::ConcurrentLocked)
+            )
+            .passed
+        );
         assert!(grade(LabId::ProcThread, crate::lab4_procthread::SOURCE).passed);
         assert!(grade(LabId::Philosophers, &phil::ordered_source(5)).passed);
         assert!(grade(LabId::BoundedBuffer, &bb::semaphore_source()).passed);
@@ -276,7 +354,13 @@ mod tests {
     #[test]
     fn buggy_solutions_fail() {
         assert!(!grade(LabId::Sync, lab1_sync::BUGGY_SOURCE).passed);
-        assert!(!grade(LabId::Bank, &lab5_bank::source(lab5_bank::BankStep::ConcurrentRacy)).passed);
+        assert!(
+            !grade(
+                LabId::Bank,
+                &lab5_bank::source(lab5_bank::BankStep::ConcurrentRacy)
+            )
+            .passed
+        );
         assert!(!grade(LabId::Philosophers, &phil::naive_source(10)).passed);
         assert!(!grade(LabId::BoundedBuffer, &bb::buggy_source()).passed);
     }
@@ -294,7 +378,10 @@ mod tests {
         let cheat = "fn main() { return 1000; }";
         let r = grade(LabId::Sync, cheat);
         assert!(!r.passed || r.score < 100, "cheat scored {}", r.score);
-        assert!(r.checks.iter().any(|(name, ok)| name.contains("threads") && !ok));
+        assert!(r
+            .checks
+            .iter()
+            .any(|(name, ok)| name.contains("threads") && !ok));
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub fn run_counter(source: &str, seed: u64) -> Option<i64> {
 /// The buggy handout should lose updates on most seeds; a correct fix on
 /// none.
 pub fn wrong_seed_count(source: &str, seeds: std::ops::Range<u64>) -> usize {
-    seeds.filter(|&s| run_counter(source, s) != Some(EXPECTED)).count()
+    seeds
+        .filter(|&s| run_counter(source, s) != Some(EXPECTED))
+        .count()
 }
 
 /// Native mirror: two OS threads doing unsynchronized-style increments via

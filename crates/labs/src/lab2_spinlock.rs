@@ -133,7 +133,9 @@ pub struct TasLock {
 impl TasLock {
     /// A new unlocked lock.
     pub fn new() -> TasLock {
-        TasLock { flag: AtomicBool::new(false) }
+        TasLock {
+            flag: AtomicBool::new(false),
+        }
     }
 
     /// Spin with test-and-set until acquired.
@@ -158,7 +160,9 @@ pub struct TtasLock {
 impl TtasLock {
     /// A new unlocked lock.
     pub fn new() -> TtasLock {
-        TtasLock { flag: AtomicBool::new(false) }
+        TtasLock {
+            flag: AtomicBool::new(false),
+        }
     }
 
     /// Spin reading until the lock looks free, then try the swap.
@@ -221,7 +225,11 @@ mod tests {
     fn both_vm_locks_are_correct() {
         for seed in [0u64, 7, 99] {
             assert_eq!(run_spinlock(TAS_SOURCE, seed), Some(450), "TAS seed {seed}");
-            assert_eq!(run_spinlock(TTAS_SOURCE, seed), Some(450), "TTAS seed {seed}");
+            assert_eq!(
+                run_spinlock(TTAS_SOURCE, seed),
+                Some(450),
+                "TTAS seed {seed}"
+            );
         }
     }
 
@@ -400,6 +408,9 @@ mod ticket_tests {
             ticket.invalidations,
             tas.invalidations
         );
-        assert!(ticket.hit_rate() > 0.8, "ticket waiters should spin in cache");
+        assert!(
+            ticket.hit_rate() > 0.8,
+            "ticket waiters should spin in cache"
+        );
     }
 }

@@ -56,9 +56,21 @@ pub fn measure_on_node(n: usize) -> Vec<AccessRow> {
         }
     }
     vec![
-        AccessRow { domain: MemoryDomain::LocalCache, mean_ns: cache_total as f64 / n as f64, n },
-        AccessRow { domain: MemoryDomain::LocalDram, mean_ns: dram_total as f64 / n as f64, n },
-        AccessRow { domain: MemoryDomain::RemoteSocket, mean_ns: remote_total as f64 / n as f64, n },
+        AccessRow {
+            domain: MemoryDomain::LocalCache,
+            mean_ns: cache_total as f64 / n as f64,
+            n,
+        },
+        AccessRow {
+            domain: MemoryDomain::LocalDram,
+            mean_ns: dram_total as f64 / n as f64,
+            n,
+        },
+        AccessRow {
+            domain: MemoryDomain::RemoteSocket,
+            mean_ns: remote_total as f64 / n as f64,
+            n,
+        },
     ]
 }
 
@@ -73,10 +85,16 @@ pub fn measure_remote_node(n: usize, bytes: u64) -> AccessRow {
     let b = topo.segment_slave(3, 0).expect("slave exists");
     let mut total = 0u64;
     for _ in 0..n {
-        let r = mem.access_remote_node(&net, a, b, bytes, AccessKind::Read).expect("route exists");
+        let r = mem
+            .access_remote_node(&net, a, b, bytes, AccessKind::Read)
+            .expect("route exists");
         total += r.time.nanos();
     }
-    AccessRow { domain: MemoryDomain::RemoteNode, mean_ns: total as f64 / n.max(1) as f64, n }
+    AccessRow {
+        domain: MemoryDomain::RemoteNode,
+        mean_ns: total as f64 / n.max(1) as f64,
+        n,
+    }
 }
 
 /// The full lab: all four rows, cache -> remote node.
@@ -90,7 +108,11 @@ pub fn full_table(n: usize, remote_bytes: u64) -> Vec<AccessRow> {
 /// slice and measures its *virtual* transfer time. Returns rank-ordered
 /// mean ns (rank 0 reports 0). This runs real threads under `mpik`.
 pub fn mpi_pull_experiment(ranks: usize, slice_words: usize) -> Vec<f64> {
-    let world = World::new(ranks, Topology::segmented_cluster(4, 16), LinkProfile::gigabit_ethernet());
+    let world = World::new(
+        ranks,
+        Topology::segmented_cluster(4, 16),
+        LinkProfile::gigabit_ethernet(),
+    );
     let results = world
         .run_stats(|p| {
             if p.rank() == 0 {
@@ -121,9 +143,17 @@ mod tests {
         // The lab's core lesson: cache < local DRAM < remote socket << remote node.
         let rows = full_table(256, 4096);
         assert_eq!(rows.len(), 4);
-        assert!(rows[0].mean_ns < rows[1].mean_ns, "cache {} !< dram {}", rows[0].mean_ns, rows[1].mean_ns);
+        assert!(
+            rows[0].mean_ns < rows[1].mean_ns,
+            "cache {} !< dram {}",
+            rows[0].mean_ns,
+            rows[1].mean_ns
+        );
         assert!(rows[1].mean_ns < rows[2].mean_ns);
-        assert!(rows[2].mean_ns * 10.0 < rows[3].mean_ns, "remote node must dwarf on-node NUMA");
+        assert!(
+            rows[2].mean_ns * 10.0 < rows[3].mean_ns,
+            "remote node must dwarf on-node NUMA"
+        );
     }
 
     #[test]

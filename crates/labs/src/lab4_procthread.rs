@@ -107,12 +107,23 @@ pub fn run_copy_checked(numbers: &[i64], seed: u64) -> Result<bool, minilang::La
     let program = compile(SOURCE)?;
     let mut vm = Vm::with_io(
         program,
-        VmConfig { seed, ..VmConfig::default() },
+        VmConfig {
+            seed,
+            ..VmConfig::default()
+        },
         Box::new(SharedIo(Arc::clone(&shared))),
     );
     vm.run()?;
-    let out = shared.lock().files.get("output.txt").cloned().unwrap_or_default();
-    let got: Vec<i64> = out.split_whitespace().filter_map(|t| t.parse().ok()).collect();
+    let out = shared
+        .lock()
+        .files
+        .get("output.txt")
+        .cloned()
+        .unwrap_or_default();
+    let got: Vec<i64> = out
+        .split_whitespace()
+        .filter_map(|t| t.parse().ok())
+        .collect();
     Ok(got == numbers)
 }
 

@@ -50,7 +50,11 @@ pub fn source(step: BankStep) -> String {
     } else {
         ("", "", "")
     };
-    let init_lock = if step == BankStep::ConcurrentLocked { "    m = mutex();" } else { "" };
+    let init_lock = if step == BankStep::ConcurrentLocked {
+        "    m = mutex();"
+    } else {
+        ""
+    };
     format!(
         r#"
 var balance = {START};
@@ -111,26 +115,42 @@ mod tests {
     fn sequential_and_serialized_are_exact() {
         for seed in [0u64, 5] {
             assert_eq!(ending_balance(BankStep::Sequential, seed), Some(EXPECTED));
-            assert_eq!(ending_balance(BankStep::SerializedThreads, seed), Some(EXPECTED));
+            assert_eq!(
+                ending_balance(BankStep::SerializedThreads, seed),
+                Some(EXPECTED)
+            );
         }
     }
 
     #[test]
     fn racy_step_varies_across_runs() {
         let balances = racy_balances(0..16);
-        assert!(balances.len() > 1, "expected divergent balances, got {balances:?}");
+        assert!(
+            balances.len() > 1,
+            "expected divergent balances, got {balances:?}"
+        );
         // Lost updates can push the balance either way, but never outside
         // the physically possible envelope.
         for b in &balances {
-            assert!(*b >= START - WITHDRAW - DEPOSIT && *b <= START + DEPOSIT, "balance {b}");
+            assert!(
+                *b >= START - WITHDRAW - DEPOSIT && *b <= START + DEPOSIT,
+                "balance {b}"
+            );
         }
-        assert!(balances.iter().any(|b| *b != EXPECTED), "some run must be wrong");
+        assert!(
+            balances.iter().any(|b| *b != EXPECTED),
+            "some run must be wrong"
+        );
     }
 
     #[test]
     fn locked_step_restores_correctness() {
         for seed in 0..10 {
-            assert_eq!(ending_balance(BankStep::ConcurrentLocked, seed), Some(EXPECTED), "seed {seed}");
+            assert_eq!(
+                ending_balance(BankStep::ConcurrentLocked, seed),
+                Some(EXPECTED),
+                "seed {seed}"
+            );
         }
     }
 

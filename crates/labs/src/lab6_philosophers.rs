@@ -100,7 +100,9 @@ pub fn dine(source: &str, seed: u64) -> DinnerOutcome {
             minilang::Value::Int(v) => DinnerOutcome::Completed(v),
             other => DinnerOutcome::Other(format!("unexpected result {other}")),
         },
-        Err(LangError::Runtime(RuntimeError::Deadlock { blocked })) => DinnerOutcome::Deadlocked(blocked),
+        Err(LangError::Runtime(RuntimeError::Deadlock { blocked })) => {
+            DinnerOutcome::Deadlocked(blocked)
+        }
         Err(e) => DinnerOutcome::Other(e.to_string()),
     }
 }
@@ -108,7 +110,9 @@ pub fn dine(source: &str, seed: u64) -> DinnerOutcome {
 /// "Repeatedly run the program": fraction of `seeds` that deadlock.
 pub fn deadlock_rate(source: &str, seeds: std::ops::Range<u64>) -> f64 {
     let total = seeds.end - seeds.start;
-    let deadlocks = seeds.filter(|&s| matches!(dine(source, s), DinnerOutcome::Deadlocked(_))).count();
+    let deadlocks = seeds
+        .filter(|&s| matches!(dine(source, s), DinnerOutcome::Deadlocked(_)))
+        .count();
     deadlocks as f64 / total.max(1) as f64
 }
 
@@ -138,7 +142,10 @@ mod tests {
         let src = naive_source(10);
         for seed in 0..20 {
             if let DinnerOutcome::Deadlocked(blocked) = dine(&src, seed) {
-                assert!(blocked.iter().any(|b| b.contains("semaphore")), "{blocked:?}");
+                assert!(
+                    blocked.iter().any(|b| b.contains("semaphore")),
+                    "{blocked:?}"
+                );
                 return;
             }
         }
@@ -151,7 +158,11 @@ mod tests {
         let src = ordered_source(1);
         let out = minilang::compile_and_run(&src, 3).unwrap();
         for verb in ["requests", "acquired", "releases"] {
-            assert!(out.stdout.contains(verb), "missing `{verb}` events:\n{}", out.stdout);
+            assert!(
+                out.stdout.contains(verb),
+                "missing `{verb}` events:\n{}",
+                out.stdout
+            );
         }
     }
 }

@@ -170,7 +170,9 @@ pub fn run(source: &str, seed: u64) -> BufferOutcome {
 /// Fraction of seeds for which `source` produces the correct checksum.
 pub fn correctness_rate(source: &str, seeds: std::ops::Range<u64>) -> f64 {
     let total = (seeds.end - seeds.start).max(1);
-    let good = seeds.filter(|&s| run(source, s) == BufferOutcome::Sum(EXPECTED_SUM)).count();
+    let good = seeds
+        .filter(|&s| run(source, s) == BufferOutcome::Sum(EXPECTED_SUM))
+        .count();
     good as f64 / total as f64
 }
 
@@ -262,7 +264,10 @@ pub mod native {
         for h in handles {
             h.join().expect("producer ok");
         }
-        consumer_handles.into_iter().map(|h| h.join().expect("consumer ok")).sum()
+        consumer_handles
+            .into_iter()
+            .map(|h| h.join().expect("consumer ok"))
+            .sum()
     }
 }
 

@@ -143,8 +143,18 @@ impl Builtin {
             | Builtin::ParseInt
             | Builtin::Assert
             | Builtin::ReadFile => (1, 1),
-            Builtin::Push | Builtin::Send | Builtin::AtomicAdd | Builtin::RandInt | Builtin::WriteFile | Builtin::AppendFile => (2, 2),
-            Builtin::MutexNew | Builtin::YieldNow | Builtin::ThreadId | Builtin::Now | Builtin::ReadLine | Builtin::CondNew => (0, 0),
+            Builtin::Push
+            | Builtin::Send
+            | Builtin::AtomicAdd
+            | Builtin::RandInt
+            | Builtin::WriteFile
+            | Builtin::AppendFile => (2, 2),
+            Builtin::MutexNew
+            | Builtin::YieldNow
+            | Builtin::ThreadId
+            | Builtin::Now
+            | Builtin::ReadLine
+            | Builtin::CondNew => (0, 0),
             Builtin::CondWait => (2, 2),
             Builtin::CondNotify | Builtin::CondBroadcast => (1, 1),
             Builtin::SemNew | Builtin::ChanNew => (1, 1),
@@ -289,7 +299,11 @@ impl fmt::Display for Program {
     /// output" feature.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (fi, func) in self.functions.iter().enumerate() {
-            writeln!(f, "fn #{fi} {}({} args, {} locals):", func.name, func.arity, func.locals)?;
+            writeln!(
+                f,
+                "fn #{fi} {}({} args, {} locals):",
+                func.name, func.arity, func.locals
+            )?;
             for (pc, ins) in func.code.iter().enumerate() {
                 writeln!(f, "  {pc:4}: {ins:?}")?;
             }
@@ -321,7 +335,12 @@ mod tests {
         let p = Program {
             consts: vec![],
             global_names: vec!["a".into(), "b".into()],
-            functions: vec![Function { name: "main".into(), arity: 0, locals: 0, code: vec![] }],
+            functions: vec![Function {
+                name: "main".into(),
+                arity: 0,
+                locals: 0,
+                code: vec![],
+            }],
             entry: 0,
             init: 0,
         };

@@ -31,7 +31,13 @@ struct FnCtx {
 
 impl FnCtx {
     fn new() -> FnCtx {
-        FnCtx { code: Vec::new(), scopes: vec![HashMap::new()], next_slot: 0, max_slots: 0, loops: Vec::new() }
+        FnCtx {
+            code: Vec::new(),
+            scopes: vec![HashMap::new()],
+            next_slot: 0,
+            max_slots: 0,
+            loops: Vec::new(),
+        }
     }
 
     fn emit(&mut self, i: Instr) -> usize {
@@ -64,7 +70,10 @@ impl FnCtx {
         let slot = self.next_slot;
         self.next_slot += 1;
         self.max_slots = self.max_slots.max(self.next_slot);
-        self.scopes.last_mut().expect("at least one scope").insert(name.to_string(), slot);
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), slot);
         slot
     }
 
@@ -84,7 +93,10 @@ impl Compiler {
         let mut global_names = Vec::new();
         for g in &ast.globals {
             if global_slots.contains_key(&g.name) {
-                return Err(CompileError { pos: g.pos, message: format!("duplicate global `{}`", g.name) });
+                return Err(CompileError {
+                    pos: g.pos,
+                    message: format!("duplicate global `{}`", g.name),
+                });
             }
             global_slots.insert(g.name.clone(), global_names.len());
             global_names.push(g.name.clone());
@@ -93,7 +105,10 @@ impl Compiler {
         let mut fn_arities = Vec::new();
         for (i, f) in ast.functions.iter().enumerate() {
             if fn_ids.contains_key(&f.name) {
-                return Err(CompileError { pos: f.pos, message: format!("duplicate function `{}`", f.name) });
+                return Err(CompileError {
+                    pos: f.pos,
+                    message: format!("duplicate function `{}`", f.name),
+                });
             }
             if Builtin::from_name(&f.name).is_some() {
                 return Err(CompileError {
@@ -104,7 +119,13 @@ impl Compiler {
             fn_ids.insert(f.name.clone(), i);
             fn_arities.push(f.params.len());
         }
-        Ok(Compiler { consts: Vec::new(), global_slots, global_names, fn_ids, fn_arities })
+        Ok(Compiler {
+            consts: Vec::new(),
+            global_slots,
+            global_names,
+            fn_ids,
+            fn_arities,
+        })
     }
 
     fn run(mut self, ast: &ProgramAst) -> Result<Program, CompileError> {
@@ -129,16 +150,30 @@ impl Compiler {
         ctx.emit(Instr::Const(unit));
         ctx.emit(Instr::Return);
         let init = functions.len();
-        functions.push(Function { name: "__init".into(), arity: 0, locals: ctx.max_slots, code: ctx.code });
+        functions.push(Function {
+            name: "__init".into(),
+            arity: 0,
+            locals: ctx.max_slots,
+            code: ctx.code,
+        });
 
         let entry = *self.fn_ids.get("main").ok_or(CompileError {
             pos: Pos::default(),
             message: "program has no `main` function".into(),
         })?;
         if self.fn_arities[entry] != 0 {
-            return Err(CompileError { pos: Pos::default(), message: "`main` must take no parameters".into() });
+            return Err(CompileError {
+                pos: Pos::default(),
+                message: "`main` must take no parameters".into(),
+            });
         }
-        Ok(Program { consts: self.consts, global_names: self.global_names, functions, entry, init })
+        Ok(Program {
+            consts: self.consts,
+            global_names: self.global_names,
+            functions,
+            entry,
+            init,
+        })
     }
 
     fn const_slot(&mut self, v: Value) -> usize {
@@ -163,7 +198,10 @@ impl Compiler {
         let mut ctx = FnCtx::new();
         for p in &f.params {
             if ctx.lookup_local(p).is_some() {
-                return Err(CompileError { pos: f.pos, message: format!("duplicate parameter `{p}`") });
+                return Err(CompileError {
+                    pos: f.pos,
+                    message: format!("duplicate parameter `{p}`"),
+                });
             }
             ctx.declare_local(p);
         }
@@ -172,7 +210,12 @@ impl Compiler {
         let unit = self.const_slot(Value::Unit);
         ctx.emit(Instr::Const(unit));
         ctx.emit(Instr::Return);
-        Ok(Function { name: f.name.clone(), arity: f.params.len(), locals: ctx.max_slots, code: ctx.code })
+        Ok(Function {
+            name: f.name.clone(),
+            arity: f.params.len(),
+            locals: ctx.max_slots,
+            code: ctx.code,
+        })
     }
 
     fn block(&mut self, ctx: &mut FnCtx, stmts: &[Stmt]) -> Result<(), CompileError> {
@@ -232,7 +275,12 @@ impl Compiler {
                 ctx.emit(Instr::Pop);
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 self.expr(ctx, cond)?;
                 let jf = ctx.emit(Instr::JumpIfFalse(0));
                 self.block(ctx, then_body)?;
@@ -267,7 +315,13 @@ impl Compiler {
                 }
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 ctx.push_scope();
                 if let Some(i) = init {
                     self.stmt(ctx, i)?;
@@ -319,7 +373,10 @@ impl Compiler {
                         breaks.push(site);
                         Ok(())
                     }
-                    None => Err(CompileError { pos: *pos, message: "`break` outside loop".into() }),
+                    None => Err(CompileError {
+                        pos: *pos,
+                        message: "`break` outside loop".into(),
+                    }),
                 }
             }
             Stmt::Continue(pos) => {
@@ -329,7 +386,10 @@ impl Compiler {
                         continues.push(site);
                         Ok(())
                     }
-                    None => Err(CompileError { pos: *pos, message: "`continue` outside loop".into() }),
+                    None => Err(CompileError {
+                        pos: *pos,
+                        message: "`continue` outside loop".into(),
+                    }),
                 }
             }
             Stmt::Block(stmts) => self.block(ctx, stmts),
@@ -359,7 +419,10 @@ impl Compiler {
                 } else if let Some(&slot) = self.global_slots.get(name) {
                     ctx.emit(Instr::LoadGlobal(slot));
                 } else {
-                    return Err(CompileError { pos: *pos, message: format!("undeclared variable `{name}`") });
+                    return Err(CompileError {
+                        pos: *pos,
+                        message: format!("undeclared variable `{name}`"),
+                    });
                 }
                 Ok(())
             }
@@ -455,7 +518,10 @@ impl Compiler {
                 for a in args {
                     self.expr(ctx, a)?;
                 }
-                ctx.emit(Instr::Spawn { func, argc: args.len() });
+                ctx.emit(Instr::Spawn {
+                    func,
+                    argc: args.len(),
+                });
                 Ok(())
             }
             Expr::Call { name, args, pos } => {
@@ -473,17 +539,26 @@ impl Compiler {
                     for a in args {
                         self.expr(ctx, a)?;
                     }
-                    ctx.emit(Instr::Call { func, argc: args.len() });
+                    ctx.emit(Instr::Call {
+                        func,
+                        argc: args.len(),
+                    });
                     return Ok(());
                 }
                 let Some(builtin) = Builtin::from_name(name) else {
-                    return Err(CompileError { pos: *pos, message: format!("unknown function `{name}`") });
+                    return Err(CompileError {
+                        pos: *pos,
+                        message: format!("unknown function `{name}`"),
+                    });
                 };
                 let (lo, hi) = builtin.arity();
                 if args.len() < lo || args.len() > hi {
                     return Err(CompileError {
                         pos: *pos,
-                        message: format!("`{name}` expects {lo}..={hi} arguments, got {}", args.len()),
+                        message: format!(
+                            "`{name}` expects {lo}..={hi} arguments, got {}",
+                            args.len()
+                        ),
                     });
                 }
                 // Atomics lower to dedicated instructions on a global slot.
@@ -513,7 +588,10 @@ impl Compiler {
                         for a in args {
                             self.expr(ctx, a)?;
                         }
-                        ctx.emit(Instr::CallBuiltin { builtin, argc: args.len() });
+                        ctx.emit(Instr::CallBuiltin {
+                            builtin,
+                            argc: args.len(),
+                        });
                         Ok(())
                     }
                 }
@@ -573,17 +651,31 @@ mod tests {
 
     #[test]
     fn undeclared_names_rejected() {
-        assert!(compile_err("fn main() { x = 1; }").message.contains("undeclared"));
-        assert!(compile_err("fn main() { var y = x + 1; }").message.contains("undeclared"));
-        assert!(compile_err("fn main() { frobnicate(); }").message.contains("unknown function"));
+        assert!(compile_err("fn main() { x = 1; }")
+            .message
+            .contains("undeclared"));
+        assert!(compile_err("fn main() { var y = x + 1; }")
+            .message
+            .contains("undeclared"));
+        assert!(compile_err("fn main() { frobnicate(); }")
+            .message
+            .contains("unknown function"));
     }
 
     #[test]
     fn duplicate_declarations_rejected() {
-        assert!(compile_err("var a; var a; fn main() { }").message.contains("duplicate global"));
-        assert!(compile_err("fn f() { } fn f() { } fn main() { }").message.contains("duplicate function"));
-        assert!(compile_err("fn main() { var a = 1; var a = 2; }").message.contains("already declared"));
-        assert!(compile_err("fn f(a, a) { } fn main() { }").message.contains("duplicate parameter"));
+        assert!(compile_err("var a; var a; fn main() { }")
+            .message
+            .contains("duplicate global"));
+        assert!(compile_err("fn f() { } fn f() { } fn main() { }")
+            .message
+            .contains("duplicate function"));
+        assert!(compile_err("fn main() { var a = 1; var a = 2; }")
+            .message
+            .contains("already declared"));
+        assert!(compile_err("fn f(a, a) { } fn main() { }")
+            .message
+            .contains("duplicate parameter"));
     }
 
     #[test]
@@ -595,25 +687,41 @@ mod tests {
 
     #[test]
     fn break_continue_require_loop() {
-        assert!(compile_err("fn main() { break; }").message.contains("outside loop"));
-        assert!(compile_err("fn main() { continue; }").message.contains("outside loop"));
+        assert!(compile_err("fn main() { break; }")
+            .message
+            .contains("outside loop"));
+        assert!(compile_err("fn main() { continue; }")
+            .message
+            .contains("outside loop"));
         compile_src("fn main() { while (true) { break; } }");
     }
 
     #[test]
     fn builtin_arity_checked() {
-        assert!(compile_err("fn main() { lock(); }").message.contains("arguments"));
-        assert!(compile_err("fn main() { send(1); }").message.contains("arguments"));
-        assert!(compile_err("fn w() {} fn main() { spawn w(1); }").message.contains("arguments"));
-        assert!(compile_err("fn w(a) {} fn main() { w(); }").message.contains("arguments"));
+        assert!(compile_err("fn main() { lock(); }")
+            .message
+            .contains("arguments"));
+        assert!(compile_err("fn main() { send(1); }")
+            .message
+            .contains("arguments"));
+        assert!(compile_err("fn w() {} fn main() { spawn w(1); }")
+            .message
+            .contains("arguments"));
+        assert!(compile_err("fn w(a) {} fn main() { w(); }")
+            .message
+            .contains("arguments"));
     }
 
     #[test]
     fn tas_requires_global() {
         let p = compile_src("var flag; fn main() { var old = tas(flag); }");
         assert!(p.functions[p.entry].code.contains(&Instr::Tas(0)));
-        assert!(compile_err("fn main() { var x = 0; tas(x); }").message.contains("not a global"));
-        assert!(compile_err("fn main() { tas(1 + 2); }").message.contains("global variable name"));
+        assert!(compile_err("fn main() { var x = 0; tas(x); }")
+            .message
+            .contains("not a global"));
+        assert!(compile_err("fn main() { tas(1 + 2); }")
+            .message
+            .contains("global variable name"));
     }
 
     #[test]
@@ -624,18 +732,26 @@ mod tests {
 
     #[test]
     fn builtin_shadowing_rejected() {
-        assert!(compile_err("fn lock(m) { } fn main() { }").message.contains("shadows a builtin"));
+        assert!(compile_err("fn lock(m) { } fn main() { }")
+            .message
+            .contains("shadows a builtin"));
     }
 
     #[test]
     fn const_pool_dedup() {
         let p = compile_src("fn main() { var a = 7; var b = 7; var c = 7; }");
-        let sevens = p.consts.iter().filter(|v| matches!(v, Value::Int(7))).count();
+        let sevens = p
+            .consts
+            .iter()
+            .filter(|v| matches!(v, Value::Int(7)))
+            .count();
         assert_eq!(sevens, 1);
     }
 
     #[test]
     fn spawn_unknown_function_rejected() {
-        assert!(compile_err("fn main() { spawn nope(); }").message.contains("unknown function"));
+        assert!(compile_err("fn main() { spawn nope(); }")
+            .message
+            .contains("unknown function"));
     }
 }

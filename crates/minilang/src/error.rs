@@ -127,7 +127,10 @@ impl fmt::Display for RuntimeError {
                 write!(f, "deadlock: all threads blocked [{}]", blocked.join("; "))
             }
             RuntimeError::BudgetExhausted { executed } => {
-                write!(f, "instruction budget exhausted after {executed} instructions")
+                write!(
+                    f,
+                    "instruction budget exhausted after {executed} instructions"
+                )
             }
             RuntimeError::NotLockOwner { mutex } => write!(f, "unlock of mutex {mutex} not held"),
             RuntimeError::NoSuchThread(t) => write!(f, "join on unknown thread {t}"),

@@ -162,7 +162,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn pos(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -186,7 +189,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LexError {
-        LexError { pos: self.pos(), message: message.into() }
+        LexError {
+            pos: self.pos(),
+            message: message.into(),
+        }
     }
 }
 
@@ -194,7 +200,12 @@ impl<'a> Lexer<'a> {
 ///
 /// Comments: `//` to end of line and `/* ... */` (non-nesting).
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
-    let mut lx = Lexer { src: src.as_bytes(), i: 0, line: 1, col: 1 };
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
     let mut out = Vec::new();
     loop {
         // Skip whitespace and comments.
@@ -224,7 +235,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                     if !closed {
-                        return Err(LexError { pos: start, message: "unterminated block comment".into() });
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated block comment".into(),
+                        });
                     }
                 }
                 _ => break,
@@ -258,7 +272,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 let mut s = String::new();
                 loop {
                     match lx.bump() {
-                        None => return Err(LexError { pos, message: "unterminated string".into() }),
+                        None => {
+                            return Err(LexError {
+                                pos,
+                                message: "unterminated string".into(),
+                            })
+                        }
                         Some(b'"') => break,
                         Some(b'\\') => match lx.bump() {
                             Some(b'n') => s.push('\n'),
@@ -357,7 +376,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                             lx.bump();
                             Tok::AndAnd
                         } else {
-                            return Err(LexError { pos, message: "expected && (bitwise & unsupported)".into() });
+                            return Err(LexError {
+                                pos,
+                                message: "expected && (bitwise & unsupported)".into(),
+                            });
                         }
                     }
                     b'|' => {
@@ -365,7 +387,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                             lx.bump();
                             Tok::OrOr
                         } else {
-                            return Err(LexError { pos, message: "expected || (bitwise | unsupported)".into() });
+                            return Err(LexError {
+                                pos,
+                                message: "expected || (bitwise | unsupported)".into(),
+                            });
                         }
                     }
                     other => {
@@ -434,7 +459,10 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(kinds(r#""a\nb\t\"q\"""#), vec![Tok::Str("a\nb\t\"q\"".into()), Tok::Eof]);
+        assert_eq!(
+            kinds(r#""a\nb\t\"q\"""#),
+            vec![Tok::Str("a\nb\t\"q\"".into()), Tok::Eof]
+        );
     }
 
     #[test]
@@ -463,14 +491,23 @@ mod tests {
     #[test]
     fn overflow_literal_rejected() {
         assert!(lex("99999999999999999999").is_err());
-        assert_eq!(kinds(&i64::MAX.to_string()), vec![Tok::Int(i64::MAX), Tok::Eof]);
+        assert_eq!(
+            kinds(&i64::MAX.to_string()),
+            vec![Tok::Int(i64::MAX), Tok::Eof]
+        );
     }
 
     #[test]
     fn keywords_vs_identifiers() {
         assert_eq!(
             kinds("spawn spawner if iffy"),
-            vec![Tok::Spawn, Tok::Ident("spawner".into()), Tok::If, Tok::Ident("iffy".into()), Tok::Eof]
+            vec![
+                Tok::Spawn,
+                Tok::Ident("spawner".into()),
+                Tok::If,
+                Tok::Ident("iffy".into()),
+                Tok::Eof
+            ]
         );
     }
 

@@ -40,7 +40,10 @@ pub mod vm;
 pub use bytecode::Program;
 pub use error::{CompileError, LangError, LexError, ParseError, RuntimeError};
 pub use value::Value;
-pub use vm::{ExecOutcome, HostIo, MemoryIo, SchedPolicy, Vm, VmConfig};
+pub use vm::{
+    ExecOutcome, HostIo, MemLoc, MemoryIo, OpKey, OpKind, OpObj, SchedPolicy, Vm, VmConfig,
+    VmEvent, WaitTarget,
+};
 
 /// Compile `src` and run its `main` with the default configuration and the
 /// given scheduler seed. Convenience for tests, labs and the toolchain.
@@ -54,6 +57,12 @@ pub fn compile(src: &str) -> Result<Program, LangError> {
 /// Compile and execute in one step; `seed` drives preemption points.
 pub fn compile_and_run(src: &str, seed: u64) -> Result<ExecOutcome, LangError> {
     let prog = compile(src)?;
-    let mut vm = Vm::new(prog, VmConfig { seed, ..VmConfig::default() });
+    let mut vm = Vm::new(
+        prog,
+        VmConfig {
+            seed,
+            ..VmConfig::default()
+        },
+    );
     Ok(vm.run()?)
 }

@@ -36,7 +36,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { pos: self.pos(), message: message.into() }
+        ParseError {
+            pos: self.pos(),
+            message: message.into(),
+        }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
@@ -73,7 +76,9 @@ impl Parser {
                     functions.push(self.fn_decl()?);
                 }
                 other => {
-                    return Err(self.err(format!("expected `fn` or `var` at top level, found `{other}`")))
+                    return Err(self.err(format!(
+                        "expected `fn` or `var` at top level, found `{other}`"
+                    )))
                 }
             }
         }
@@ -98,7 +103,12 @@ impl Parser {
         }
         self.eat(&Tok::RParen)?;
         let body = self.block()?;
-        Ok(FnDecl { name, params, body, pos })
+        Ok(FnDecl {
+            name,
+            params,
+            body,
+            pos,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -146,7 +156,12 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_body, else_body, pos })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    pos,
+                })
             }
             Tok::While => {
                 self.bump();
@@ -166,7 +181,11 @@ impl Parser {
                     // init is a var decl or simple statement; its own `;`.
                     Some(Box::new(self.simple_stmt_semi()?))
                 };
-                let cond = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                let cond = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.eat(&Tok::Semi)?;
                 let step = if self.peek() == &Tok::RParen {
                     None
@@ -175,11 +194,21 @@ impl Parser {
                 };
                 self.eat(&Tok::RParen)?;
                 let body = self.block()?;
-                Ok(Stmt::For { init, cond, step, body, pos })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    pos,
+                })
             }
             Tok::Return => {
                 self.bump();
-                let value = if self.peek() == &Tok::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == &Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.eat(&Tok::Semi)?;
                 Ok(Stmt::Return { value, pos })
             }
@@ -281,7 +310,12 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.comparison()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -299,7 +333,12 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.additive()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -315,7 +354,12 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.multiplicative()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -332,7 +376,12 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.unary()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -343,12 +392,20 @@ impl Parser {
             Tok::Minus => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr::Un { op: UnOp::Neg, expr: Box::new(e), pos })
+                Ok(Expr::Un {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                    pos,
+                })
             }
             Tok::Bang => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr::Un { op: UnOp::Not, expr: Box::new(e), pos })
+                Ok(Expr::Un {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                    pos,
+                })
             }
             _ => self.postfix(),
         }
@@ -356,17 +413,16 @@ impl Parser {
 
     fn postfix(&mut self) -> Result<Expr, ParseError> {
         let mut e = self.primary()?;
-        loop {
-            match self.peek() {
-                Tok::LBracket => {
-                    let pos = self.pos();
-                    self.bump();
-                    let index = self.expr()?;
-                    self.eat(&Tok::RBracket)?;
-                    e = Expr::Index { array: Box::new(e), index: Box::new(index), pos };
-                }
-                _ => break,
-            }
+        while let Tok::LBracket = self.peek() {
+            let pos = self.pos();
+            self.bump();
+            let index = self.expr()?;
+            self.eat(&Tok::RBracket)?;
+            e = Expr::Index {
+                array: Box::new(e),
+                index: Box::new(index),
+                pos,
+            };
         }
         Ok(e)
     }
@@ -493,24 +549,49 @@ mod tests {
     fn precedence() {
         let p = parse_src("fn f() { var x = 1 + 2 * 3 < 7 == true; }");
         // ((1 + (2*3)) < 7) == true
-        let Stmt::Var { init: Some(e), .. } = &p.functions[0].body[0] else { panic!() };
-        let Expr::Bin { op: BinOp::Eq, lhs, .. } = e else { panic!("{e:?}") };
-        let Expr::Bin { op: BinOp::Lt, lhs: add, .. } = lhs.as_ref() else { panic!() };
-        let Expr::Bin { op: BinOp::Add, rhs: mul, .. } = add.as_ref() else { panic!() };
+        let Stmt::Var { init: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        let Expr::Bin {
+            op: BinOp::Eq, lhs, ..
+        } = e
+        else {
+            panic!("{e:?}")
+        };
+        let Expr::Bin {
+            op: BinOp::Lt,
+            lhs: add,
+            ..
+        } = lhs.as_ref()
+        else {
+            panic!()
+        };
+        let Expr::Bin {
+            op: BinOp::Add,
+            rhs: mul,
+            ..
+        } = add.as_ref()
+        else {
+            panic!()
+        };
         assert!(matches!(mul.as_ref(), Expr::Bin { op: BinOp::Mul, .. }));
     }
 
     #[test]
     fn short_circuit_ops_parse() {
         let p = parse_src("fn f() { var x = a && b || !c; }");
-        let Stmt::Var { init: Some(e), .. } = &p.functions[0].body[0] else { panic!() };
+        let Stmt::Var { init: Some(e), .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(e, Expr::Or(..)));
     }
 
     #[test]
     fn if_else_chain() {
         let p = parse_src("fn f(x) { if (x < 0) { return 1; } else if (x == 0) { return 2; } else { return 3; } }");
-        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else { panic!() };
+        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(&else_body[0], Stmt::If { .. }));
     }
 
@@ -524,7 +605,11 @@ mod tests {
     #[test]
     fn spawn_and_calls() {
         let p = parse_src("fn w(n) { } fn main() { var t = spawn w(5); join(t); }");
-        let Stmt::Var { init: Some(Expr::Spawn { name, args, .. }), .. } = &p.functions[1].body[0] else {
+        let Stmt::Var {
+            init: Some(Expr::Spawn { name, args, .. }),
+            ..
+        } = &p.functions[1].body[0]
+        else {
             panic!()
         };
         assert_eq!(name, "w");
@@ -534,7 +619,13 @@ mod tests {
     #[test]
     fn index_assignment() {
         let p = parse_src("fn f() { var a = [1, 2, 3]; a[0] = a[1] + a[2]; }");
-        let Stmt::Assign { target: LValue::Index { .. }, .. } = &p.functions[0].body[1] else { panic!() };
+        let Stmt::Assign {
+            target: LValue::Index { .. },
+            ..
+        } = &p.functions[0].body[1]
+        else {
+            panic!()
+        };
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl Value {
             Value::Unit => false,
             Value::Str(s) => !s.is_empty(),
             Value::Array(a) => !a.lock().is_empty(),
-            Value::Thread(_) | Value::Mutex(_) | Value::Semaphore(_) | Value::Channel(_) | Value::Cond(_) => true,
+            Value::Thread(_)
+            | Value::Mutex(_)
+            | Value::Semaphore(_)
+            | Value::Channel(_)
+            | Value::Cond(_) => true,
         }
     }
 
@@ -153,7 +157,10 @@ mod tests {
     fn display_forms() {
         assert_eq!(Value::Int(7).to_string(), "7");
         assert_eq!(Value::str("hi").to_string(), "hi");
-        assert_eq!(Value::array(vec![Value::Int(1), Value::str("a")]).to_string(), "[1, a]");
+        assert_eq!(
+            Value::array(vec![Value::Int(1), Value::str("a")]).to_string(),
+            "[1, a]"
+        );
         assert_eq!(Value::Unit.to_string(), "()");
     }
 

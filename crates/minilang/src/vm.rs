@@ -14,6 +14,215 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
 
+/// A shared-memory location, as seen by the access log.
+///
+/// Arrays are identified by a dense id assigned on first recorded access
+/// (stable within one VM run), so two runs of the same schedule name the
+/// same locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemLoc {
+    /// A program global, by slot.
+    Global(usize),
+    /// One array element: (array id, index).
+    Elem(usize, i64),
+    /// An array's structure (length): `push` writes it, `len` reads it.
+    ArrayStruct(usize),
+}
+
+/// What an operation targets — the "object" half of an [`OpKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpObj {
+    /// A memory location.
+    Mem(MemLoc),
+    /// A mutex.
+    Mutex(usize),
+    /// A semaphore.
+    Sem(usize),
+    /// A channel.
+    Chan(usize),
+    /// A condition variable.
+    Cond(usize),
+    /// A thread (join target).
+    Thread(usize),
+    /// No specific object (spawn, yield, opaque ops).
+    None,
+}
+
+/// The kind half of an [`OpKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Plain shared read.
+    Read,
+    /// Plain shared write.
+    Write,
+    /// Atomic read-modify-write (`tas` / `atomic_add`).
+    AtomicRw,
+    /// `lock(m)`.
+    Lock,
+    /// `unlock(m)`.
+    Unlock,
+    /// `sem_wait(s)`.
+    SemWait,
+    /// `sem_post(s)`.
+    SemPost,
+    /// `send(c, v)`.
+    Send,
+    /// `recv(c)`.
+    Recv,
+    /// `join(t)`.
+    Join,
+    /// `cond_wait(cv, m)`.
+    CondWait,
+    /// `cond_notify` / `cond_broadcast`.
+    CondNotify,
+    /// `spawn f(...)`.
+    Spawn,
+    /// `yield_now()` / `sleep(n)`.
+    Yield,
+    /// Host I/O or stdin (ordering matters, object unknown).
+    Io,
+    /// Visible for scheduling purposes but not classifiable (e.g. a type
+    /// error about to happen, or `rand_int`, whose shared-RNG draw order
+    /// must be fixed by the schedule). Conflicts with everything.
+    Opaque,
+}
+
+/// The next *visible* operation of a thread: the unit a systematic
+/// scheduler branches on. Invisible (thread-local) instructions return no
+/// key and can be run eagerly without affecting other threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpKey {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Operation target.
+    pub obj: OpObj,
+}
+
+/// What a thread is (or would be) waiting on, for wait-for-graph analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitTarget {
+    /// Waiting for a mutex (owner is [`Vm::mutex_owner`]).
+    Mutex(usize),
+    /// Waiting for a semaphore permit.
+    Sem(usize),
+    /// Waiting for channel capacity.
+    SendCap(usize),
+    /// Waiting for a channel message.
+    RecvData(usize),
+    /// Waiting for a thread to finish.
+    Join(usize),
+    /// Parked on a condition variable (not yet notified).
+    Cond(usize),
+}
+
+/// One recorded synchronization / shared-memory event. Only *visible*
+/// operations emit events, and only while [`Vm::set_recording`] is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmEvent {
+    /// Plain read of a shared location.
+    Read {
+        /// Acting thread.
+        tid: usize,
+        /// Location read.
+        loc: MemLoc,
+    },
+    /// Plain write of a shared location.
+    Write {
+        /// Acting thread.
+        tid: usize,
+        /// Location written.
+        loc: MemLoc,
+    },
+    /// Atomic read-modify-write of a shared location.
+    AtomicRw {
+        /// Acting thread.
+        tid: usize,
+        /// Location updated.
+        loc: MemLoc,
+    },
+    /// Mutex acquired.
+    LockAcq {
+        /// Acting thread.
+        tid: usize,
+        /// Mutex id.
+        mutex: usize,
+    },
+    /// Mutex released.
+    LockRel {
+        /// Acting thread.
+        tid: usize,
+        /// Mutex id.
+        mutex: usize,
+    },
+    /// Semaphore permit taken.
+    SemAcq {
+        /// Acting thread.
+        tid: usize,
+        /// Semaphore id.
+        sem: usize,
+    },
+    /// Semaphore permit released.
+    SemRel {
+        /// Acting thread.
+        tid: usize,
+        /// Semaphore id.
+        sem: usize,
+    },
+    /// Message enqueued.
+    ChanSend {
+        /// Acting thread.
+        tid: usize,
+        /// Channel id.
+        chan: usize,
+    },
+    /// Message dequeued.
+    ChanRecv {
+        /// Acting thread.
+        tid: usize,
+        /// Channel id.
+        chan: usize,
+    },
+    /// New thread created.
+    Spawned {
+        /// Spawning thread.
+        parent: usize,
+        /// New thread id.
+        child: usize,
+    },
+    /// Join completed (target had finished).
+    Joined {
+        /// Joining thread.
+        tid: usize,
+        /// Joined thread.
+        target: usize,
+    },
+    /// `cond_wait` phase one: mutex released, thread parked.
+    CondRelease {
+        /// Acting thread.
+        tid: usize,
+        /// Condition variable.
+        cv: usize,
+        /// Released mutex.
+        mutex: usize,
+    },
+    /// `cond_wait` phase two: notified thread re-acquired the mutex.
+    CondAcquire {
+        /// Acting thread.
+        tid: usize,
+        /// Condition variable.
+        cv: usize,
+        /// Re-acquired mutex.
+        mutex: usize,
+    },
+    /// `cond_notify` / `cond_broadcast` executed.
+    CondNotify {
+        /// Acting thread.
+        tid: usize,
+        /// Condition variable.
+        cv: usize,
+    },
+}
+
 /// Host I/O hooks: `read_file` / `write_file` / `append_file` builtins land
 /// here, so the toolchain can wire the VM to the portal's [`vfs`]
 /// (or to nothing, in pure tests).
@@ -35,7 +244,10 @@ pub struct MemoryIo {
 
 impl HostIo for MemoryIo {
     fn read_file(&mut self, path: &str) -> Result<String, String> {
-        self.files.get(path).cloned().ok_or_else(|| format!("{path}: no such file"))
+        self.files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| format!("{path}: no such file"))
     }
 
     fn write_file(&mut self, path: &str, content: &str) -> Result<(), String> {
@@ -44,7 +256,10 @@ impl HostIo for MemoryIo {
     }
 
     fn append_file(&mut self, path: &str, content: &str) -> Result<(), String> {
-        self.files.entry(path.to_string()).or_default().push_str(content);
+        self.files
+            .entry(path.to_string())
+            .or_default()
+            .push_str(content);
         Ok(())
     }
 }
@@ -75,7 +290,12 @@ pub struct VmConfig {
 
 impl Default for VmConfig {
     fn default() -> Self {
-        VmConfig { seed: 0, quantum: 8, max_instructions: 10_000_000, policy: SchedPolicy::RandomPreempt }
+        VmConfig {
+            seed: 0,
+            quantum: 8,
+            max_instructions: 10_000_000,
+            policy: SchedPolicy::RandomPreempt,
+        }
     }
 }
 
@@ -109,7 +329,9 @@ enum ThreadState {
         mutex: usize,
         woken: bool,
     },
-    Sleeping { until: u64 },
+    Sleeping {
+        until: u64,
+    },
     Finished,
 }
 
@@ -182,6 +404,13 @@ pub struct Vm {
     io: Box<dyn HostIo>,
     boot: FnId,
     stdin: VecDeque<String>,
+    /// When true, visible ops append to `events` and scheduling decisions
+    /// append to `sched_trace`.
+    record: bool,
+    events: Vec<VmEvent>,
+    sched_trace: Vec<(usize, u32)>,
+    /// Arc pointer -> dense array id, assigned on first recorded access.
+    array_ids: HashMap<usize, usize>,
 }
 
 impl Vm {
@@ -199,15 +428,25 @@ impl Vm {
             arity: 0,
             locals: 0,
             code: vec![
-                Instr::Call { func: program.init, argc: 0 },
+                Instr::Call {
+                    func: program.init,
+                    argc: 0,
+                },
                 Instr::Pop,
-                Instr::Call { func: program.entry, argc: 0 },
+                Instr::Call {
+                    func: program.entry,
+                    argc: 0,
+                },
                 Instr::Return,
             ],
         });
         let globals = vec![Value::Int(0); program.global_names.len()];
         let main_thread = GreenThread {
-            frames: vec![Frame { func: boot, pc: 0, locals: Vec::new() }],
+            frames: vec![Frame {
+                func: boot,
+                pc: 0,
+                locals: Vec::new(),
+            }],
             stack: Vec::new(),
             state: ThreadState::Runnable,
             result: Value::Unit,
@@ -231,6 +470,10 @@ impl Vm {
             io,
             boot,
             stdin: VecDeque::new(),
+            record: false,
+            events: Vec::new(),
+            sched_trace: Vec::new(),
+            array_ids: HashMap::new(),
         }
     }
 
@@ -242,22 +485,13 @@ impl Vm {
     /// Execute to completion.
     pub fn run(&mut self) -> Result<ExecOutcome, RuntimeError> {
         loop {
-            if self.threads.iter().all(|t| t.state == ThreadState::Finished) {
+            if self.all_finished() {
                 break;
             }
-            let ready: Vec<usize> = (0..self.threads.len()).filter(|&t| self.is_ready(t)).collect();
+            let ready = self.enabled_threads();
             if ready.is_empty() {
                 // Maybe everyone is asleep: jump the clock.
-                let min_wake = self
-                    .threads
-                    .iter()
-                    .filter_map(|t| match t.state {
-                        ThreadState::Sleeping { until } => Some(until),
-                        _ => None,
-                    })
-                    .min();
-                if let Some(until) = min_wake {
-                    self.executed = self.executed.max(until);
+                if self.advance_clock() {
                     continue;
                 }
                 // Not asleep, not ready, not finished: deadlock.
@@ -283,16 +517,320 @@ impl Vm {
                     (tid, q)
                 }
             };
+            if self.record {
+                self.sched_trace.push((tid, quantum));
+            }
             self.context_switches += 1;
             self.run_slice(tid, quantum)?;
         }
-        Ok(ExecOutcome {
+        Ok(self.outcome())
+    }
+
+    /// Extract the run's results (what [`Vm::run`] returns on completion).
+    /// External drivers call this after stepping the VM to completion.
+    pub fn outcome(&mut self) -> ExecOutcome {
+        ExecOutcome {
             stdout: std::mem::take(&mut self.stdout),
             main_result: self.threads[0].result.clone(),
             executed: self.executed,
             context_switches: self.context_switches,
             peak_threads: self.peak_threads,
-        })
+        }
+    }
+
+    // ---- external scheduling API (the `checker` crate drives these) -------
+
+    /// Turn event/schedule recording on or off.
+    pub fn set_recording(&mut self, on: bool) {
+        self.record = on;
+    }
+
+    /// Take the events recorded since the last drain.
+    pub fn drain_events(&mut self) -> Vec<VmEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Take the `(tid, quantum)` schedule recorded by [`Vm::run`] /
+    /// [`Vm::step_thread`] since the last drain.
+    pub fn drain_schedule(&mut self) -> Vec<(usize, u32)> {
+        std::mem::take(&mut self.sched_trace)
+    }
+
+    /// Number of threads ever created (including finished ones).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// True when every thread has finished.
+    pub fn all_finished(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| t.state == ThreadState::Finished)
+    }
+
+    /// True when `tid` has finished.
+    pub fn thread_finished(&self, tid: usize) -> bool {
+        self.threads
+            .get(tid)
+            .map(|t| t.state == ThreadState::Finished)
+            .unwrap_or(true)
+    }
+
+    /// Could `tid` be scheduled right now? (Runnable, or blocked on a
+    /// resource that has since become available.)
+    pub fn is_enabled(&self, tid: usize) -> bool {
+        tid < self.threads.len() && self.is_ready(tid)
+    }
+
+    /// All threads that [`Vm::is_enabled`] right now, ascending.
+    pub fn enabled_threads(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.is_ready(t))
+            .collect()
+    }
+
+    /// When no thread is enabled but some are sleeping, jump the clock to
+    /// the earliest wake-up. Returns true if the clock moved.
+    pub fn advance_clock(&mut self) -> bool {
+        let min_wake = self
+            .threads
+            .iter()
+            .filter_map(|t| match t.state {
+                ThreadState::Sleeping { until } => Some(until),
+                _ => None,
+            })
+            .min();
+        match min_wake {
+            Some(until) if until > self.executed => {
+                self.executed = until;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Run one externally chosen slice: up to `quantum` instructions of
+    /// thread `tid`. The caller is the scheduler; no RNG is consumed.
+    pub fn step_thread(&mut self, tid: usize, quantum: u32) -> Result<(), RuntimeError> {
+        if self.record {
+            self.sched_trace.push((tid, quantum));
+        }
+        self.context_switches += 1;
+        self.run_slice(tid, quantum.max(1))
+    }
+
+    /// Human-readable lines for every blocked thread.
+    pub fn blocked_report(&self) -> Vec<String> {
+        self.describe_blocked()
+    }
+
+    /// Current owner of mutex `m`, if locked.
+    pub fn mutex_owner(&self, m: usize) -> Option<usize> {
+        self.mutexes.get(m).and_then(|s| s.locked_by)
+    }
+
+    /// Peek the next *visible* operation of `tid` without executing it.
+    /// `None` means the next instruction is thread-local (or the thread is
+    /// finished) and can run without creating a scheduling point.
+    pub fn next_op(&self, tid: usize) -> Option<OpKey> {
+        let t = self.threads.get(tid)?;
+        if t.state == ThreadState::Finished {
+            return None;
+        }
+        let f = t.frames.last()?;
+        let instr = self.program.functions[f.func].code.get(f.pc)?;
+        let key = |kind, obj| Some(OpKey { kind, obj });
+        let opaque = || {
+            Some(OpKey {
+                kind: OpKind::Opaque,
+                obj: OpObj::None,
+            })
+        };
+        let stack = &t.stack;
+        let peek = |back: usize| stack.get(stack.len().checked_sub(back)?);
+        match instr {
+            Instr::LoadGlobal(i) => key(OpKind::Read, OpObj::Mem(MemLoc::Global(*i))),
+            Instr::StoreGlobal(i) => key(OpKind::Write, OpObj::Mem(MemLoc::Global(*i))),
+            Instr::Tas(s) | Instr::AtomicAdd(s) => {
+                key(OpKind::AtomicRw, OpObj::Mem(MemLoc::Global(*s)))
+            }
+            Instr::Spawn { .. } => key(OpKind::Spawn, OpObj::None),
+            Instr::IndexGet => match (peek(2), peek(1)) {
+                (Some(Value::Array(a)), Some(Value::Int(i))) => key(
+                    OpKind::Read,
+                    OpObj::Mem(MemLoc::Elem(self.peek_array_id(a), *i)),
+                ),
+                (Some(Value::Str(_)), _) => None, // strings are immutable
+                _ => opaque(),
+            },
+            Instr::IndexSet => match (peek(3), peek(2)) {
+                (Some(Value::Array(a)), Some(Value::Int(i))) => key(
+                    OpKind::Write,
+                    OpObj::Mem(MemLoc::Elem(self.peek_array_id(a), *i)),
+                ),
+                _ => opaque(),
+            },
+            Instr::CallBuiltin { builtin, .. } => match builtin {
+                Builtin::Lock => match peek(1) {
+                    Some(Value::Mutex(m)) => key(OpKind::Lock, OpObj::Mutex(*m)),
+                    _ => opaque(),
+                },
+                Builtin::Unlock => match peek(1) {
+                    Some(Value::Mutex(m)) => key(OpKind::Unlock, OpObj::Mutex(*m)),
+                    _ => opaque(),
+                },
+                Builtin::SemWait => match peek(1) {
+                    Some(Value::Semaphore(s)) => key(OpKind::SemWait, OpObj::Sem(*s)),
+                    _ => opaque(),
+                },
+                Builtin::SemPost => match peek(1) {
+                    Some(Value::Semaphore(s)) => key(OpKind::SemPost, OpObj::Sem(*s)),
+                    _ => opaque(),
+                },
+                Builtin::Send => match peek(2) {
+                    Some(Value::Channel(c)) => key(OpKind::Send, OpObj::Chan(*c)),
+                    _ => opaque(),
+                },
+                Builtin::Recv => match peek(1) {
+                    Some(Value::Channel(c)) => key(OpKind::Recv, OpObj::Chan(*c)),
+                    _ => opaque(),
+                },
+                Builtin::Join => match peek(1) {
+                    Some(Value::Thread(u)) => key(OpKind::Join, OpObj::Thread(*u)),
+                    _ => opaque(),
+                },
+                Builtin::CondWait => match peek(2) {
+                    Some(Value::Cond(cv)) => key(OpKind::CondWait, OpObj::Cond(*cv)),
+                    _ => opaque(),
+                },
+                Builtin::CondNotify | Builtin::CondBroadcast => match peek(1) {
+                    Some(Value::Cond(cv)) => key(OpKind::CondNotify, OpObj::Cond(*cv)),
+                    _ => opaque(),
+                },
+                Builtin::YieldNow | Builtin::Sleep => key(OpKind::Yield, OpObj::None),
+                Builtin::Push => match peek(2) {
+                    Some(Value::Array(a)) => key(
+                        OpKind::Write,
+                        OpObj::Mem(MemLoc::ArrayStruct(self.peek_array_id(a))),
+                    ),
+                    _ => opaque(),
+                },
+                Builtin::Len => match peek(1) {
+                    Some(Value::Array(a)) => key(
+                        OpKind::Read,
+                        OpObj::Mem(MemLoc::ArrayStruct(self.peek_array_id(a))),
+                    ),
+                    _ => None, // len(string) is thread-local
+                },
+                Builtin::ReadFile
+                | Builtin::WriteFile
+                | Builtin::AppendFile
+                | Builtin::ReadLine => key(OpKind::Io, OpObj::None),
+                // `rand_int` draws from the shared RNG: its order must be
+                // fixed by the schedule for replays to be deterministic.
+                Builtin::RandInt => opaque(),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Would executing `tid`'s next visible op right now block (make no
+    /// progress)? Conservative: false for anything non-blocking.
+    pub fn op_would_block(&self, tid: usize) -> bool {
+        let Some(op) = self.next_op(tid) else {
+            return false;
+        };
+        match (op.kind, op.obj) {
+            (OpKind::Lock, OpObj::Mutex(m)) => {
+                self.mutexes.get(m).is_some_and(|s| s.locked_by.is_some())
+            }
+            (OpKind::SemWait, OpObj::Sem(s)) => self.sems.get(s).is_some_and(|st| st.count <= 0),
+            (OpKind::Send, OpObj::Chan(c)) => {
+                self.chans.get(c).is_some_and(|ch| ch.queue.len() >= ch.cap)
+            }
+            (OpKind::Recv, OpObj::Chan(c)) => {
+                self.chans.get(c).is_some_and(|ch| ch.queue.is_empty())
+            }
+            (OpKind::Join, OpObj::Thread(u)) => !self.thread_finished(u),
+            _ => false,
+        }
+    }
+
+    /// What `tid` is waiting on: from its blocked state, or — for a runnable
+    /// thread parked just before a blocking op — from the peeked op.
+    pub fn wait_target(&self, tid: usize) -> Option<WaitTarget> {
+        match self.threads.get(tid)?.state {
+            ThreadState::BlockedMutex(m) => Some(WaitTarget::Mutex(m)),
+            ThreadState::BlockedSem(s) => Some(WaitTarget::Sem(s)),
+            ThreadState::BlockedSend(c) => Some(WaitTarget::SendCap(c)),
+            ThreadState::BlockedRecv(c) => Some(WaitTarget::RecvData(c)),
+            ThreadState::BlockedJoin(u) => Some(WaitTarget::Join(u)),
+            ThreadState::BlockedCond {
+                cv, woken: false, ..
+            } => Some(WaitTarget::Cond(cv)),
+            ThreadState::BlockedCond {
+                mutex, woken: true, ..
+            } => Some(WaitTarget::Mutex(mutex)),
+            ThreadState::Runnable => {
+                let op = self.next_op(tid)?;
+                if !self.op_would_block(tid) {
+                    return None;
+                }
+                match (op.kind, op.obj) {
+                    (OpKind::Lock, OpObj::Mutex(m)) => Some(WaitTarget::Mutex(m)),
+                    (OpKind::SemWait, OpObj::Sem(s)) => Some(WaitTarget::Sem(s)),
+                    (OpKind::Send, OpObj::Chan(c)) => Some(WaitTarget::SendCap(c)),
+                    (OpKind::Recv, OpObj::Chan(c)) => Some(WaitTarget::RecvData(c)),
+                    (OpKind::Join, OpObj::Thread(u)) => Some(WaitTarget::Join(u)),
+                    _ => None,
+                }
+            }
+            ThreadState::Sleeping { .. } | ThreadState::Finished => None,
+        }
+    }
+
+    /// Replay a `(tid, quantum)` schedule previously drained via
+    /// [`Vm::drain_schedule`] on a *fresh* VM of the same program + config.
+    /// Faithful for programs that don't call `rand_int` (whose draws share
+    /// the scheduling RNG that a recorded run also consumed).
+    pub fn replay(&mut self, schedule: &[(usize, u32)]) -> Result<(), RuntimeError> {
+        for &(tid, quantum) in schedule {
+            if self.all_finished() {
+                break;
+            }
+            while !self.is_enabled(tid) && self.advance_clock() {}
+            if !self.is_enabled(tid) {
+                continue; // schedule diverged; skip the entry
+            }
+            self.context_switches += 1;
+            self.run_slice(tid, quantum.max(1))?;
+        }
+        Ok(())
+    }
+
+    /// Dense array id for peeking: the recorded id if the array has been
+    /// accessed before, otherwise the Arc pointer with the top bit set (so
+    /// two peeks at the same state agree, and neither collides with a dense
+    /// id).
+    fn peek_array_id(&self, a: &std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) -> usize {
+        let ptr = std::sync::Arc::as_ptr(a) as usize;
+        self.array_ids
+            .get(&ptr)
+            .copied()
+            .unwrap_or(ptr | (1usize << (usize::BITS - 1)))
+    }
+
+    /// Dense array id for recording, assigned first-seen.
+    fn array_id(&mut self, a: &std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) -> usize {
+        let ptr = std::sync::Arc::as_ptr(a) as usize;
+        let next = self.array_ids.len();
+        *self.array_ids.entry(ptr).or_insert(next)
     }
 
     fn is_ready(&self, tid: usize) -> bool {
@@ -304,9 +842,11 @@ impl Vm {
             ThreadState::BlockedSem(s) => self.sems[s].count > 0,
             ThreadState::BlockedSend(c) => self.chans[c].queue.len() < self.chans[c].cap,
             ThreadState::BlockedRecv(c) => !self.chans[c].queue.is_empty(),
-            ThreadState::BlockedJoin(u) => {
-                self.threads.get(u).map(|t| t.state == ThreadState::Finished).unwrap_or(true)
-            }
+            ThreadState::BlockedJoin(u) => self
+                .threads
+                .get(u)
+                .map(|t| t.state == ThreadState::Finished)
+                .unwrap_or(true),
             ThreadState::BlockedCond { mutex, woken, .. } => {
                 woken && self.mutexes[mutex].locked_by.is_none()
             }
@@ -324,8 +864,12 @@ impl Vm {
                     ThreadState::BlockedSend(c) => format!("send on channel {c}"),
                     ThreadState::BlockedRecv(c) => format!("recv on channel {c}"),
                     ThreadState::BlockedJoin(u) => format!("join on thread {u}"),
-                    ThreadState::BlockedCond { cv, woken: false, .. } => format!("condvar {cv}"),
-                    ThreadState::BlockedCond { mutex, woken: true, .. } => {
+                    ThreadState::BlockedCond {
+                        cv, woken: false, ..
+                    } => format!("condvar {cv}"),
+                    ThreadState::BlockedCond {
+                        mutex, woken: true, ..
+                    } => {
                         format!("mutex {mutex} (condvar re-acquire)")
                     }
                     _ => return None,
@@ -338,14 +882,21 @@ impl Vm {
     fn run_slice(&mut self, tid: usize, quantum: u32) -> Result<(), RuntimeError> {
         // A woken cond-waiter completes the re-acquire phase rather than
         // re-running the wait from scratch.
-        if let ThreadState::BlockedCond { cv, mutex, woken: true } = self.threads[tid].state {
+        if let ThreadState::BlockedCond {
+            cv,
+            mutex,
+            woken: true,
+        } = self.threads[tid].state
+        {
             self.threads[tid].cond_resume = Some((cv, mutex));
         }
         // A blocked thread that got scheduled retries its instruction.
         self.threads[tid].state = ThreadState::Runnable;
         for _ in 0..quantum {
             if self.executed >= self.config.max_instructions {
-                return Err(RuntimeError::BudgetExhausted { executed: self.executed });
+                return Err(RuntimeError::BudgetExhausted {
+                    executed: self.executed,
+                });
             }
             match self.step(tid)? {
                 Step::Continue => {}
@@ -358,9 +909,10 @@ impl Vm {
     /// Execute one instruction of thread `tid`.
     fn step(&mut self, tid: usize) -> Result<Step, RuntimeError> {
         let (func, pc) = {
-            let f = self.threads[tid].frames.last().ok_or_else(|| {
-                RuntimeError::Internal("thread has no frames".into())
-            })?;
+            let f = self.threads[tid]
+                .frames
+                .last()
+                .ok_or_else(|| RuntimeError::Internal("thread has no frames".into()))?;
             (f.func, f.pc)
         };
         let instr = self.program.functions[func]
@@ -407,10 +959,22 @@ impl Vm {
                 f.locals[i] = v;
             }
             Instr::LoadGlobal(i) => {
+                if self.record {
+                    self.events.push(VmEvent::Read {
+                        tid,
+                        loc: MemLoc::Global(i),
+                    });
+                }
                 let v = self.globals[i].clone();
                 push!(v);
             }
             Instr::StoreGlobal(i) => {
+                if self.record {
+                    self.events.push(VmEvent::Write {
+                        tid,
+                        loc: MemLoc::Global(i),
+                    });
+                }
                 let v = pop!();
                 self.globals[i] = v;
             }
@@ -455,7 +1019,10 @@ impl Vm {
                 match a {
                     Value::Int(v) => push!(Value::Int(v.wrapping_neg())),
                     other => {
-                        return Err(RuntimeError::TypeError { op: "-".into(), found: other.type_name().into() })
+                        return Err(RuntimeError::TypeError {
+                            op: "-".into(),
+                            found: other.type_name().into(),
+                        })
                     }
                 }
             }
@@ -517,7 +1084,9 @@ impl Vm {
             Instr::MakeArray(n) => {
                 let len = self.threads[tid].stack.len();
                 if len < n {
-                    return Err(RuntimeError::Internal("stack underflow in MakeArray".into()));
+                    return Err(RuntimeError::Internal(
+                        "stack underflow in MakeArray".into(),
+                    ));
                 }
                 let items = self.threads[tid].stack.split_off(len - n);
                 push!(Value::array(items));
@@ -525,12 +1094,24 @@ impl Vm {
             Instr::IndexGet => {
                 let idx = pop!();
                 let arr = pop!();
+                if self.record {
+                    if let (Value::Array(a), Value::Int(i)) = (&arr, &idx) {
+                        let loc = MemLoc::Elem(self.array_id(a), *i);
+                        self.events.push(VmEvent::Read { tid, loc });
+                    }
+                }
                 push!(index_get(&arr, &idx)?);
             }
             Instr::IndexSet => {
                 let v = pop!();
                 let idx = pop!();
                 let arr = pop!();
+                if self.record {
+                    if let (Value::Array(a), Value::Int(i)) = (&arr, &idx) {
+                        let loc = MemLoc::Elem(self.array_id(a), *i);
+                        self.events.push(VmEvent::Write { tid, loc });
+                    }
+                }
                 index_set(&arr, &idx, v)?;
             }
             Instr::Call { func: callee, argc } => {
@@ -542,7 +1123,11 @@ impl Vm {
                     locals[i] = pop!();
                 }
                 frame!().pc = pc + 1;
-                self.threads[tid].frames.push(Frame { func: callee, pc: 0, locals });
+                self.threads[tid].frames.push(Frame {
+                    func: callee,
+                    pc: 0,
+                    locals,
+                });
                 return Ok(Step::Continue);
             }
             Instr::Spawn { func: callee, argc } => {
@@ -554,13 +1139,23 @@ impl Vm {
                 }
                 let new_tid = self.threads.len();
                 self.threads.push(GreenThread {
-                    frames: vec![Frame { func: callee, pc: 0, locals }],
+                    frames: vec![Frame {
+                        func: callee,
+                        pc: 0,
+                        locals,
+                    }],
                     stack: Vec::new(),
                     state: ThreadState::Runnable,
                     result: Value::Unit,
                     cond_resume: None,
                 });
                 self.peak_threads = self.peak_threads.max(self.live_count());
+                if self.record {
+                    self.events.push(VmEvent::Spawned {
+                        parent: tid,
+                        child: new_tid,
+                    });
+                }
                 push!(Value::Thread(new_tid));
             }
             Instr::Return => {
@@ -575,16 +1170,31 @@ impl Vm {
                 return Ok(Step::Continue);
             }
             Instr::Tas(slot) => {
+                if self.record {
+                    self.events.push(VmEvent::AtomicRw {
+                        tid,
+                        loc: MemLoc::Global(slot),
+                    });
+                }
                 let old = match &self.globals[slot] {
                     Value::Int(v) => *v,
                     other => {
-                        return Err(RuntimeError::TypeError { op: "tas".into(), found: other.type_name().into() })
+                        return Err(RuntimeError::TypeError {
+                            op: "tas".into(),
+                            found: other.type_name().into(),
+                        })
                     }
                 };
                 self.globals[slot] = Value::Int(1);
                 push!(Value::Int(old));
             }
             Instr::AtomicAdd(slot) => {
+                if self.record {
+                    self.events.push(VmEvent::AtomicRw {
+                        tid,
+                        loc: MemLoc::Global(slot),
+                    });
+                }
                 let delta = match pop!() {
                     Value::Int(v) => v,
                     other => {
@@ -615,7 +1225,10 @@ impl Vm {
     }
 
     fn live_count(&self) -> usize {
-        self.threads.iter().filter(|t| t.state != ThreadState::Finished).count()
+        self.threads
+            .iter()
+            .filter(|t| t.state != ThreadState::Finished)
+            .count()
     }
 
     fn arith_add(&mut self, a: Value, b: Value) -> Result<Value, RuntimeError> {
@@ -633,7 +1246,13 @@ impl Vm {
 
     /// Execute one builtin. Blocking builtins may return [`Step::Blocked`]
     /// *without* advancing the pc (retry semantics).
-    fn builtin(&mut self, tid: usize, b: Builtin, argc: usize, pc: usize) -> Result<Step, RuntimeError> {
+    fn builtin(
+        &mut self,
+        tid: usize,
+        b: Builtin,
+        argc: usize,
+        pc: usize,
+    ) -> Result<Step, RuntimeError> {
         macro_rules! push {
             ($v:expr) => {
                 self.threads[tid].stack.push($v)
@@ -669,11 +1288,20 @@ impl Vm {
             }
             Builtin::Len => {
                 let v = pop!();
+                if self.record {
+                    if let Value::Array(a) = &v {
+                        let loc = MemLoc::ArrayStruct(self.array_id(a));
+                        self.events.push(VmEvent::Read { tid, loc });
+                    }
+                }
                 let n = match &v {
                     Value::Array(a) => a.lock().len() as i64,
                     Value::Str(s) => s.len() as i64,
                     other => {
-                        return Err(RuntimeError::TypeError { op: "len".into(), found: other.type_name().into() })
+                        return Err(RuntimeError::TypeError {
+                            op: "len".into(),
+                            found: other.type_name().into(),
+                        })
                     }
                 };
                 push!(Value::Int(n));
@@ -683,10 +1311,19 @@ impl Vm {
             Builtin::Push => {
                 let v = pop!();
                 let arr = pop!();
+                if self.record {
+                    if let Value::Array(a) = &arr {
+                        let loc = MemLoc::ArrayStruct(self.array_id(a));
+                        self.events.push(VmEvent::Write { tid, loc });
+                    }
+                }
                 match &arr {
                     Value::Array(a) => a.lock().push(v),
                     other => {
-                        return Err(RuntimeError::TypeError { op: "push".into(), found: other.type_name().into() })
+                        return Err(RuntimeError::TypeError {
+                            op: "push".into(),
+                            found: other.type_name().into(),
+                        })
                     }
                 }
                 push!(Value::Unit);
@@ -711,6 +1348,9 @@ impl Vm {
                 match self.mutexes[m].locked_by {
                     None => {
                         self.mutexes[m].locked_by = Some(tid);
+                        if self.record {
+                            self.events.push(VmEvent::LockAcq { tid, mutex: m });
+                        }
                         let _ = pop!();
                         push!(Value::Unit);
                         advance!();
@@ -732,6 +1372,9 @@ impl Vm {
                     return Err(RuntimeError::NotLockOwner { mutex: m });
                 }
                 self.mutexes[m].locked_by = None;
+                if self.record {
+                    self.events.push(VmEvent::LockRel { tid, mutex: m });
+                }
                 let _ = pop!();
                 push!(Value::Unit);
                 advance!();
@@ -757,6 +1400,9 @@ impl Vm {
                 let s = as_sem(self.threads[tid].stack.last(), "sem_wait")?;
                 if self.sems[s].count > 0 {
                     self.sems[s].count -= 1;
+                    if self.record {
+                        self.events.push(VmEvent::SemAcq { tid, sem: s });
+                    }
                     let _ = pop!();
                     push!(Value::Unit);
                     advance!();
@@ -770,6 +1416,9 @@ impl Vm {
             Builtin::SemPost => {
                 let s = as_sem(self.threads[tid].stack.last(), "sem_post")?;
                 self.sems[s].count += 1;
+                if self.record {
+                    self.events.push(VmEvent::SemRel { tid, sem: s });
+                }
                 let _ = pop!();
                 push!(Value::Unit);
                 advance!();
@@ -786,7 +1435,10 @@ impl Vm {
                     }
                 };
                 let id = self.chans.len();
-                self.chans.push(ChanState { cap, queue: VecDeque::new() });
+                self.chans.push(ChanState {
+                    cap,
+                    queue: VecDeque::new(),
+                });
                 push!(Value::Channel(id));
                 advance!();
                 Ok(Step::Continue)
@@ -802,6 +1454,9 @@ impl Vm {
                 if self.chans[c].queue.len() < self.chans[c].cap {
                     let v = pop!();
                     let _ = pop!();
+                    if self.record {
+                        self.events.push(VmEvent::ChanSend { tid, chan: c });
+                    }
                     self.chans[c].queue.push_back(v);
                     push!(Value::Unit);
                     advance!();
@@ -815,6 +1470,9 @@ impl Vm {
             Builtin::Recv => {
                 let c = as_chan(self.threads[tid].stack.last(), "recv")?;
                 if let Some(v) = self.chans[c].queue.pop_front() {
+                    if self.record {
+                        self.events.push(VmEvent::ChanRecv { tid, chan: c });
+                    }
                     let _ = pop!();
                     push!(v);
                     advance!();
@@ -829,7 +1487,10 @@ impl Vm {
                 let u = match self.threads[tid].stack.last() {
                     Some(Value::Thread(u)) => *u,
                     Some(other) => {
-                        return Err(RuntimeError::TypeError { op: "join".into(), found: other.type_name().into() })
+                        return Err(RuntimeError::TypeError {
+                            op: "join".into(),
+                            found: other.type_name().into(),
+                        })
                     }
                     None => return Err(RuntimeError::Internal("join with empty stack".into())),
                 };
@@ -837,6 +1498,9 @@ impl Vm {
                     return Err(RuntimeError::NoSuchThread(u));
                 }
                 if self.threads[u].state == ThreadState::Finished {
+                    if self.record {
+                        self.events.push(VmEvent::Joined { tid, target: u });
+                    }
                     let _ = pop!();
                     let r = self.threads[u].result.clone();
                     push!(r);
@@ -857,12 +1521,17 @@ impl Vm {
                 let n = match pop!() {
                     Value::Int(v) => v.max(0) as u64,
                     other => {
-                        return Err(RuntimeError::TypeError { op: "sleep".into(), found: other.type_name().into() })
+                        return Err(RuntimeError::TypeError {
+                            op: "sleep".into(),
+                            found: other.type_name().into(),
+                        })
                     }
                 };
                 push!(Value::Unit);
                 advance!();
-                self.threads[tid].state = ThreadState::Sleeping { until: self.executed + n };
+                self.threads[tid].state = ThreadState::Sleeping {
+                    until: self.executed + n,
+                };
                 Ok(Step::EndSlice)
             }
             Builtin::ThreadId => {
@@ -889,7 +1558,11 @@ impl Vm {
                         })
                     }
                 };
-                let v = if lo >= hi { lo } else { self.rng.gen_range(lo..=hi) };
+                let v = if lo >= hi {
+                    lo
+                } else {
+                    self.rng.gen_range(lo..=hi)
+                };
                 push!(Value::Int(v));
                 advance!();
                 Ok(Step::Continue)
@@ -904,7 +1577,9 @@ impl Vm {
             Builtin::WriteFile => {
                 let content = as_str(pop!(), "write_file")?;
                 let path = as_str(pop!(), "write_file")?;
-                self.io.write_file(&path, &content).map_err(RuntimeError::Io)?;
+                self.io
+                    .write_file(&path, &content)
+                    .map_err(RuntimeError::Io)?;
                 push!(Value::Unit);
                 advance!();
                 Ok(Step::Continue)
@@ -912,7 +1587,9 @@ impl Vm {
             Builtin::AppendFile => {
                 let content = as_str(pop!(), "append_file")?;
                 let path = as_str(pop!(), "append_file")?;
-                self.io.append_file(&path, &content).map_err(RuntimeError::Io)?;
+                self.io
+                    .append_file(&path, &content)
+                    .map_err(RuntimeError::Io)?;
                 push!(Value::Unit);
                 advance!();
                 Ok(Step::Continue)
@@ -930,10 +1607,10 @@ impl Vm {
             }
             Builtin::ParseInt => {
                 let s = as_str(pop!(), "parse_int")?;
-                let v: i64 = s
-                    .trim()
-                    .parse()
-                    .map_err(|_| RuntimeError::TypeError { op: "parse_int".into(), found: format!("{s:?}") })?;
+                let v: i64 = s.trim().parse().map_err(|_| RuntimeError::TypeError {
+                    op: "parse_int".into(),
+                    found: format!("{s:?}"),
+                })?;
                 push!(Value::Int(v));
                 advance!();
                 Ok(Step::Continue)
@@ -942,13 +1619,19 @@ impl Vm {
                 let len = match pop!() {
                     Value::Int(v) => v,
                     other => {
-                        return Err(RuntimeError::TypeError { op: "substr".into(), found: other.type_name().into() })
+                        return Err(RuntimeError::TypeError {
+                            op: "substr".into(),
+                            found: other.type_name().into(),
+                        })
                     }
                 };
                 let start = match pop!() {
                     Value::Int(v) => v,
                     other => {
-                        return Err(RuntimeError::TypeError { op: "substr".into(), found: other.type_name().into() })
+                        return Err(RuntimeError::TypeError {
+                            op: "substr".into(),
+                            found: other.type_name().into(),
+                        })
                     }
                 };
                 let s = as_str(pop!(), "substr")?;
@@ -978,7 +1661,9 @@ impl Vm {
                 // Stack: [cv, m]. Two phases; `cond_resume` marks phase two.
                 let len = self.threads[tid].stack.len();
                 if len < 2 {
-                    return Err(RuntimeError::Internal("cond_wait needs cv and mutex".into()));
+                    return Err(RuntimeError::Internal(
+                        "cond_wait needs cv and mutex".into(),
+                    ));
                 }
                 let m = as_mutex(self.threads[tid].stack.last(), "cond_wait")?;
                 let cv = match self.threads[tid].stack.get(len - 2) {
@@ -999,14 +1684,20 @@ impl Vm {
                     if self.mutexes[m].locked_by.is_none() {
                         self.mutexes[m].locked_by = Some(tid);
                         self.threads[tid].cond_resume = None;
+                        if self.record {
+                            self.events.push(VmEvent::CondAcquire { tid, cv, mutex: m });
+                        }
                         let _ = pop!();
                         let _ = pop!();
                         push!(Value::Unit);
                         advance!();
                         Ok(Step::Continue)
                     } else {
-                        self.threads[tid].state =
-                            ThreadState::BlockedCond { cv, mutex: m, woken: true };
+                        self.threads[tid].state = ThreadState::BlockedCond {
+                            cv,
+                            mutex: m,
+                            woken: true,
+                        };
                         self.executed -= 1;
                         Ok(Step::Blocked)
                     }
@@ -1016,7 +1707,14 @@ impl Vm {
                         return Err(RuntimeError::NotLockOwner { mutex: m });
                     }
                     self.mutexes[m].locked_by = None;
-                    self.threads[tid].state = ThreadState::BlockedCond { cv, mutex: m, woken: false };
+                    if self.record {
+                        self.events.push(VmEvent::CondRelease { tid, cv, mutex: m });
+                    }
+                    self.threads[tid].state = ThreadState::BlockedCond {
+                        cv,
+                        mutex: m,
+                        woken: false,
+                    };
                     self.executed -= 1;
                     Ok(Step::Blocked)
                 }
@@ -1033,11 +1731,22 @@ impl Vm {
                     None => return Err(RuntimeError::Internal("cond_notify stack".into())),
                 };
                 let broadcast = b == Builtin::CondBroadcast;
+                if self.record {
+                    self.events.push(VmEvent::CondNotify { tid, cv });
+                }
                 for t in 0..self.threads.len() {
-                    if let ThreadState::BlockedCond { cv: tcv, woken: false, mutex } = self.threads[t].state {
+                    if let ThreadState::BlockedCond {
+                        cv: tcv,
+                        woken: false,
+                        mutex,
+                    } = self.threads[t].state
+                    {
                         if tcv == cv {
-                            self.threads[t].state =
-                                ThreadState::BlockedCond { cv: tcv, mutex, woken: true };
+                            self.threads[t].state = ThreadState::BlockedCond {
+                                cv: tcv,
+                                mutex,
+                                woken: true,
+                            };
                             if !broadcast {
                                 break;
                             }
@@ -1049,9 +1758,9 @@ impl Vm {
                 advance!();
                 Ok(Step::Continue)
             }
-            Builtin::Tas | Builtin::AtomicAdd => {
-                Err(RuntimeError::Internal("atomics must lower to dedicated instructions".into()))
-            }
+            Builtin::Tas | Builtin::AtomicAdd => Err(RuntimeError::Internal(
+                "atomics must lower to dedicated instructions".into(),
+            )),
         }
     }
 
@@ -1094,30 +1803,49 @@ fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering, RuntimeError> {
 fn index_get(arr: &Value, idx: &Value) -> Result<Value, RuntimeError> {
     let i = match idx {
         Value::Int(v) => *v,
-        other => return Err(RuntimeError::TypeError { op: "index".into(), found: other.type_name().into() }),
+        other => {
+            return Err(RuntimeError::TypeError {
+                op: "index".into(),
+                found: other.type_name().into(),
+            })
+        }
     };
     match arr {
         Value::Array(a) => {
             let a = a.lock();
             if i < 0 || i as usize >= a.len() {
-                return Err(RuntimeError::IndexOutOfBounds { index: i, len: a.len() });
+                return Err(RuntimeError::IndexOutOfBounds {
+                    index: i,
+                    len: a.len(),
+                });
             }
             Ok(a[i as usize].clone())
         }
         Value::Str(s) => {
             if i < 0 || i as usize >= s.len() {
-                return Err(RuntimeError::IndexOutOfBounds { index: i, len: s.len() });
+                return Err(RuntimeError::IndexOutOfBounds {
+                    index: i,
+                    len: s.len(),
+                });
             }
             Ok(Value::str(s[i as usize..i as usize + 1].to_string()))
         }
-        other => Err(RuntimeError::TypeError { op: "index".into(), found: other.type_name().into() }),
+        other => Err(RuntimeError::TypeError {
+            op: "index".into(),
+            found: other.type_name().into(),
+        }),
     }
 }
 
 fn index_set(arr: &Value, idx: &Value, v: Value) -> Result<(), RuntimeError> {
     let i = match idx {
         Value::Int(x) => *x,
-        other => return Err(RuntimeError::TypeError { op: "index".into(), found: other.type_name().into() }),
+        other => {
+            return Err(RuntimeError::TypeError {
+                op: "index".into(),
+                found: other.type_name().into(),
+            })
+        }
     };
     match arr {
         Value::Array(a) => {
@@ -1129,14 +1857,20 @@ fn index_set(arr: &Value, idx: &Value, v: Value) -> Result<(), RuntimeError> {
             a[i as usize] = v;
             Ok(())
         }
-        other => Err(RuntimeError::TypeError { op: "index assignment".into(), found: other.type_name().into() }),
+        other => Err(RuntimeError::TypeError {
+            op: "index assignment".into(),
+            found: other.type_name().into(),
+        }),
     }
 }
 
 fn as_mutex(v: Option<&Value>, op: &str) -> Result<usize, RuntimeError> {
     match v {
         Some(Value::Mutex(m)) => Ok(*m),
-        Some(other) => Err(RuntimeError::TypeError { op: op.into(), found: other.type_name().into() }),
+        Some(other) => Err(RuntimeError::TypeError {
+            op: op.into(),
+            found: other.type_name().into(),
+        }),
         None => Err(RuntimeError::Internal(format!("{op} with empty stack"))),
     }
 }
@@ -1144,7 +1878,10 @@ fn as_mutex(v: Option<&Value>, op: &str) -> Result<usize, RuntimeError> {
 fn as_sem(v: Option<&Value>, op: &str) -> Result<usize, RuntimeError> {
     match v {
         Some(Value::Semaphore(s)) => Ok(*s),
-        Some(other) => Err(RuntimeError::TypeError { op: op.into(), found: other.type_name().into() }),
+        Some(other) => Err(RuntimeError::TypeError {
+            op: op.into(),
+            found: other.type_name().into(),
+        }),
         None => Err(RuntimeError::Internal(format!("{op} with empty stack"))),
     }
 }
@@ -1152,7 +1889,10 @@ fn as_sem(v: Option<&Value>, op: &str) -> Result<usize, RuntimeError> {
 fn as_chan(v: Option<&Value>, op: &str) -> Result<usize, RuntimeError> {
     match v {
         Some(Value::Channel(c)) => Ok(*c),
-        Some(other) => Err(RuntimeError::TypeError { op: op.into(), found: other.type_name().into() }),
+        Some(other) => Err(RuntimeError::TypeError {
+            op: op.into(),
+            found: other.type_name().into(),
+        }),
         None => Err(RuntimeError::Internal(format!("{op} with empty stack"))),
     }
 }
@@ -1160,6 +1900,9 @@ fn as_chan(v: Option<&Value>, op: &str) -> Result<usize, RuntimeError> {
 fn as_str(v: Value, op: &str) -> Result<String, RuntimeError> {
     match v {
         Value::Str(s) => Ok(s.as_ref().clone()),
-        other => Err(RuntimeError::TypeError { op: op.into(), found: other.type_name().into() }),
+        other => Err(RuntimeError::TypeError {
+            op: op.into(),
+            found: other.type_name().into(),
+        }),
     }
 }

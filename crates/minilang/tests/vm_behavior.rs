@@ -2,7 +2,9 @@
 //! observable behavior out — including the concurrency pathologies the
 //! course labs depend on (lost updates, deadlock, synchronization fixes).
 
-use minilang::{compile, compile_and_run, LangError, MemoryIo, RuntimeError, SchedPolicy, Value, Vm, VmConfig};
+use minilang::{
+    compile, compile_and_run, LangError, MemoryIo, RuntimeError, SchedPolicy, Value, Vm, VmConfig,
+};
 
 fn run_seeded(src: &str, seed: u64) -> minilang::ExecOutcome {
     compile_and_run(src, seed).unwrap()
@@ -19,7 +21,10 @@ fn run_err(src: &str, seed: u64) -> RuntimeError {
 
 #[test]
 fn arithmetic_and_printing() {
-    let out = run_seeded("fn main() { println(2 + 3 * 4, \" \", 10 / 3, \" \", 10 % 3); }", 0);
+    let out = run_seeded(
+        "fn main() { println(2 + 3 * 4, \" \", 10 / 3, \" \", 10 % 3); }",
+        0,
+    );
     assert_eq!(out.stdout, "14 3 1\n");
 }
 
@@ -146,8 +151,14 @@ fn negative_and_not() {
 
 #[test]
 fn division_by_zero_reported() {
-    assert_eq!(run_err("fn main() { var x = 1 / 0; }", 0), RuntimeError::DivisionByZero);
-    assert_eq!(run_err("fn main() { var x = 1 % 0; }", 0), RuntimeError::DivisionByZero);
+    assert_eq!(
+        run_err("fn main() { var x = 1 / 0; }", 0),
+        RuntimeError::DivisionByZero
+    );
+    assert_eq!(
+        run_err("fn main() { var x = 1 % 0; }", 0),
+        RuntimeError::DivisionByZero
+    );
 }
 
 #[test]
@@ -155,14 +166,26 @@ fn index_out_of_bounds_reported() {
     let e = run_err("fn main() { var a = [1]; return a[5]; }", 0);
     assert_eq!(e, RuntimeError::IndexOutOfBounds { index: 5, len: 1 });
     let e = run_err("fn main() { var a = [1]; return a[-1]; }", 0);
-    assert!(matches!(e, RuntimeError::IndexOutOfBounds { index: -1, .. }));
+    assert!(matches!(
+        e,
+        RuntimeError::IndexOutOfBounds { index: -1, .. }
+    ));
 }
 
 #[test]
 fn type_errors_reported() {
-    assert!(matches!(run_err("fn main() { var x = true * 2; }", 0), RuntimeError::TypeError { .. }));
-    assert!(matches!(run_err("fn main() { lock(5); }", 0), RuntimeError::TypeError { .. }));
-    assert!(matches!(run_err(r#"fn main() { var x = "a" - "b"; }"#, 0), RuntimeError::TypeError { .. }));
+    assert!(matches!(
+        run_err("fn main() { var x = true * 2; }", 0),
+        RuntimeError::TypeError { .. }
+    ));
+    assert!(matches!(
+        run_err("fn main() { lock(5); }", 0),
+        RuntimeError::TypeError { .. }
+    ));
+    assert!(matches!(
+        run_err(r#"fn main() { var x = "a" - "b"; }"#, 0),
+        RuntimeError::TypeError { .. }
+    ));
 }
 
 #[test]
@@ -175,8 +198,17 @@ fn unlock_without_lock_is_an_error() {
 fn runaway_loop_hits_budget() {
     let src = "fn main() { while (true) { } }";
     let prog = compile(src).unwrap();
-    let mut vm = Vm::new(prog, VmConfig { max_instructions: 10_000, ..VmConfig::default() });
-    assert!(matches!(vm.run(), Err(RuntimeError::BudgetExhausted { .. })));
+    let mut vm = Vm::new(
+        prog,
+        VmConfig {
+            max_instructions: 10_000,
+            ..VmConfig::default()
+        },
+    );
+    assert!(matches!(
+        vm.run(),
+        Err(RuntimeError::BudgetExhausted { .. })
+    ));
 }
 
 // ---- threads and scheduling ---------------------------------------------------
@@ -226,13 +258,18 @@ fn unsynchronized_counter_loses_updates() {
     let mut lost = 0;
     for seed in 0..20 {
         let out = compile_and_run(src, seed).unwrap();
-        let Value::Int(v) = out.main_result else { panic!() };
+        let Value::Int(v) = out.main_result else {
+            panic!()
+        };
         assert!(v <= 400, "counter can never exceed the true count");
         if v < 400 {
             lost += 1;
         }
     }
-    assert!(lost > 10, "expected most seeds to lose updates, got {lost}/20");
+    assert!(
+        lost > 10,
+        "expected most seeds to lose updates, got {lost}/20"
+    );
 }
 
 #[test]
@@ -256,7 +293,11 @@ fn mutex_fixes_the_counter() {
         }
     "#;
     for seed in 0..10 {
-        assert_eq!(compile_and_run(src, seed).unwrap().main_result, Value::Int(400), "seed {seed}");
+        assert_eq!(
+            compile_and_run(src, seed).unwrap().main_result,
+            Value::Int(400),
+            "seed {seed}"
+        );
     }
 }
 
@@ -275,7 +316,11 @@ fn atomic_add_fixes_the_counter() {
         }
     "#;
     for seed in 0..10 {
-        assert_eq!(compile_and_run(src, seed).unwrap().main_result, Value::Int(400), "seed {seed}");
+        assert_eq!(
+            compile_and_run(src, seed).unwrap().main_result,
+            Value::Int(400),
+            "seed {seed}"
+        );
     }
 }
 
@@ -303,7 +348,11 @@ fn tas_spinlock_provides_mutual_exclusion() {
         }
     "#;
     for seed in [0, 1, 2, 40, 41] {
-        assert_eq!(compile_and_run(src, seed).unwrap().main_result, Value::Int(300), "seed {seed}");
+        assert_eq!(
+            compile_and_run(src, seed).unwrap().main_result,
+            Value::Int(300),
+            "seed {seed}"
+        );
     }
 }
 
@@ -323,7 +372,9 @@ fn deadlock_detected_on_lock_cycle() {
         }
     "#;
     let e = run_err(src, 0);
-    let RuntimeError::Deadlock { blocked } = e else { panic!("expected deadlock, got {e}") };
+    let RuntimeError::Deadlock { blocked } = e else {
+        panic!("expected deadlock, got {e}")
+    };
     // Main waits on join; the two workers wait on each other's mutex.
     assert!(blocked.iter().any(|s| s.contains("mutex")), "{blocked:?}");
     assert!(blocked.len() >= 3, "{blocked:?}");
@@ -384,7 +435,11 @@ fn producer_consumer_over_channel() {
         }
     "#;
     for seed in 0..5 {
-        assert_eq!(compile_and_run(src, seed).unwrap().main_result, Value::Int(1275), "seed {seed}");
+        assert_eq!(
+            compile_and_run(src, seed).unwrap().main_result,
+            Value::Int(1275),
+            "seed {seed}"
+        );
     }
 }
 
@@ -472,9 +527,21 @@ fn round_robin_is_fair_and_deterministic() {
         }
     "#;
     let prog = compile(src).unwrap();
-    let mut vm = Vm::new(prog.clone(), VmConfig { policy: SchedPolicy::RoundRobin, ..VmConfig::default() });
+    let mut vm = Vm::new(
+        prog.clone(),
+        VmConfig {
+            policy: SchedPolicy::RoundRobin,
+            ..VmConfig::default()
+        },
+    );
     let out1 = vm.run().unwrap();
-    let mut vm2 = Vm::new(prog, VmConfig { policy: SchedPolicy::RoundRobin, ..VmConfig::default() });
+    let mut vm2 = Vm::new(
+        prog,
+        VmConfig {
+            policy: SchedPolicy::RoundRobin,
+            ..VmConfig::default()
+        },
+    );
     let out2 = vm2.run().unwrap();
     assert_eq!(out1.stdout, out2.stdout);
     assert_eq!(out1.stdout.matches('a').count(), 3);
@@ -570,7 +637,10 @@ fn parse_int_rejects_garbage() {
 #[test]
 fn assert_passes_and_fails() {
     assert!(compile_and_run("fn main() { assert(1 < 2); }", 0).is_ok());
-    assert_eq!(run_err("fn main() { assert(2 < 1); }", 0), RuntimeError::AssertionFailed);
+    assert_eq!(
+        run_err("fn main() { assert(2 < 1); }", 0),
+        RuntimeError::AssertionFailed
+    );
 }
 
 #[test]
@@ -662,7 +732,9 @@ fn cond_wait_without_notify_deadlocks() {
         }
     "#;
     let e = run_err(src, 0);
-    let RuntimeError::Deadlock { blocked } = e else { panic!("{e}") };
+    let RuntimeError::Deadlock { blocked } = e else {
+        panic!("{e}")
+    };
     assert!(blocked.iter().any(|b| b.contains("condvar")), "{blocked:?}");
 }
 

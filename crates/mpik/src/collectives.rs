@@ -60,7 +60,11 @@ impl Proc {
             self.recv(parent, T_BCAST)?.data
         };
         // Forward to children: set each bit above the lowest set bit.
-        let lowest = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+        let lowest = if vrank == 0 {
+            usize::BITS
+        } else {
+            vrank.trailing_zeros()
+        };
         let mut bit = 1usize;
         while bit < size {
             if (bit.trailing_zeros()) < lowest {
@@ -99,7 +103,11 @@ impl Proc {
         let vrank = (self.rank() + size - root) % size;
         let mut acc = v;
         // Receive from children (those that differ by one higher bit).
-        let lowest = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+        let lowest = if vrank == 0 {
+            usize::BITS
+        } else {
+            vrank.trailing_zeros()
+        };
         let mut bit = 1usize;
         let mut child_bits = Vec::new();
         while bit < size {
@@ -132,7 +140,11 @@ impl Proc {
     }
 
     /// Scatter: root holds `size` chunks, each rank receives chunk `rank`.
-    pub fn scatter_i64(&mut self, root: usize, chunks: Option<&[Vec<i64>]>) -> Result<Vec<i64>, MpiError> {
+    pub fn scatter_i64(
+        &mut self,
+        root: usize,
+        chunks: Option<&[Vec<i64>]>,
+    ) -> Result<Vec<i64>, MpiError> {
         let size = self.size();
         if root >= size {
             return Err(MpiError::RankOutOfRange { rank: root, size });
@@ -161,9 +173,9 @@ impl Proc {
         if self.rank() == root {
             let mut all = vec![Vec::new(); size];
             all[root] = mine.to_vec();
-            for r in 0..size {
+            for (r, slot) in all.iter_mut().enumerate() {
                 if r != root {
-                    all[r] = self.recv_vec_i64(r, T_GATHER)?;
+                    *slot = self.recv_vec_i64(r, T_GATHER)?;
                 }
             }
             Ok(all)
@@ -230,7 +242,11 @@ mod tests {
     use simnet::{LinkProfile, Topology};
 
     fn world(n: usize) -> World {
-        World::new(n, Topology::fully_connected(n.max(2)), LinkProfile::new(100, 1 << 30))
+        World::new(
+            n,
+            Topology::fully_connected(n.max(2)),
+            LinkProfile::new(100, 1 << 30),
+        )
     }
 
     #[test]
@@ -256,7 +272,10 @@ mod tests {
                         p.bcast_i64(root, v).unwrap()
                     })
                     .unwrap();
-                assert!(out.iter().all(|&v| v == 4242 + root as i64), "n={n} root={root} {out:?}");
+                assert!(
+                    out.iter().all(|&v| v == 4242 + root as i64),
+                    "n={n} root={root} {out:?}"
+                );
             }
         }
     }
@@ -271,7 +290,9 @@ mod tests {
             let expect: i64 = (1..=n as i64).sum();
             assert_eq!(out[0], expect, "n={n}");
             let w = world(n);
-            let out = w.run(|p| p.reduce_i64(0, p.rank() as i64, Reduce::Max).unwrap()).unwrap();
+            let out = w
+                .run(|p| p.reduce_i64(0, p.rank() as i64, Reduce::Max).unwrap())
+                .unwrap();
             assert_eq!(out[0], n as i64 - 1);
         }
     }
@@ -280,7 +301,9 @@ mod tests {
     fn allreduce_everyone_agrees() {
         for n in [2usize, 4, 5] {
             let w = world(n);
-            let out = w.run(|p| p.allreduce_i64(2, Reduce::Prod).unwrap()).unwrap();
+            let out = w
+                .run(|p| p.allreduce_i64(2, Reduce::Prod).unwrap())
+                .unwrap();
             assert!(out.iter().all(|&v| v == 1 << n), "n={n} {out:?}");
         }
     }
@@ -309,7 +332,9 @@ mod tests {
     fn allgather_ring() {
         for n in [1usize, 2, 3, 5] {
             let w = world(n);
-            let out = w.run(|p| p.allgather_i64(&[p.rank() as i64 * 100]).unwrap()).unwrap();
+            let out = w
+                .run(|p| p.allgather_i64(&[p.rank() as i64 * 100]).unwrap())
+                .unwrap();
             for (r, all) in out.iter().enumerate() {
                 assert_eq!(all.len(), n, "rank {r}");
                 for (i, block) in all.iter().enumerate() {
@@ -325,8 +350,9 @@ mod tests {
         let w = world(n);
         let out = w
             .run(|p| {
-                let blocks: Vec<Vec<i64>> =
-                    (0..n).map(|dst| vec![(p.rank() * 10 + dst) as i64]).collect();
+                let blocks: Vec<Vec<i64>> = (0..n)
+                    .map(|dst| vec![(p.rank() * 10 + dst) as i64])
+                    .collect();
                 p.alltoall_i64(&blocks).unwrap()
             })
             .unwrap();

@@ -97,9 +97,13 @@ pub enum MpiError {
 impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MpiError::RankOutOfRange { rank, size } => write!(f, "rank {rank} out of range (size {size})"),
+            MpiError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range (size {size})")
+            }
             MpiError::Disconnected { peer } => write!(f, "peer {peer} disconnected"),
-            MpiError::Decode { expected, len } => write!(f, "cannot decode {len}-byte payload as {expected}"),
+            MpiError::Decode { expected, len } => {
+                write!(f, "cannot decode {len}-byte payload as {expected}")
+            }
             MpiError::Network(m) => write!(f, "network error: {m}"),
             MpiError::SelfSend => f.write_str("send to self is not supported"),
         }
@@ -136,7 +140,17 @@ impl Proc {
         rx: Receiver<Msg>,
         net: Arc<Network>,
     ) -> Proc {
-        Proc { rank, size, txs, rx, pending: VecDeque::new(), net, vt: 0, sent: 0, bytes: 0 }
+        Proc {
+            rank,
+            size,
+            txs,
+            rx,
+            pending: VecDeque::new(),
+            net,
+            vt: 0,
+            sent: 0,
+            bytes: 0,
+        }
     }
 
     /// This process's rank (0-based).
@@ -175,7 +189,10 @@ impl Proc {
             return Err(MpiError::SelfSend);
         }
         if dst >= self.size {
-            return Err(MpiError::RankOutOfRange { rank: dst, size: self.size });
+            return Err(MpiError::RankOutOfRange {
+                rank: dst,
+                size: self.size,
+            });
         }
         let cost = self
             .net
@@ -184,10 +201,17 @@ impl Proc {
         // Sender is busy for the serialization part; full cost lands at the
         // receiver as arrival time (alpha-beta model, store-and-forward).
         let arrival_vt = self.vt + cost.total.nanos();
-        self.vt = self.vt.saturating_add(cost.total.nanos() / (cost.hops.max(1) as u64));
+        self.vt = self
+            .vt
+            .saturating_add(cost.total.nanos() / (cost.hops.max(1) as u64));
         self.sent += 1;
         self.bytes += data.len() as u64;
-        let msg = Msg { src: self.rank, tag, data, arrival_vt };
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            data,
+            arrival_vt,
+        };
         self.txs[dst]
             .as_ref()
             .ok_or(MpiError::Disconnected { peer: dst })?
@@ -199,16 +223,26 @@ impl Proc {
     /// tags are buffered, preserving arrival order per match key.
     pub fn recv(&mut self, src: usize, tag: Tag) -> Result<Msg, MpiError> {
         if src >= self.size {
-            return Err(MpiError::RankOutOfRange { rank: src, size: self.size });
+            return Err(MpiError::RankOutOfRange {
+                rank: src,
+                size: self.size,
+            });
         }
         // Check the unexpected-message queue first.
-        if let Some(i) = self.pending.iter().position(|m| m.src == src && m.tag == tag) {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
             let msg = self.pending.remove(i).expect("position valid");
             self.vt = self.vt.max(msg.arrival_vt);
             return Ok(msg);
         }
         loop {
-            let msg = self.rx.recv().map_err(|_| MpiError::Disconnected { peer: src })?;
+            let msg = self
+                .rx
+                .recv()
+                .map_err(|_| MpiError::Disconnected { peer: src })?;
             if msg.src == src && msg.tag == tag {
                 self.vt = self.vt.max(msg.arrival_vt);
                 return Ok(msg);
@@ -225,7 +259,10 @@ impl Proc {
             return Ok(msg);
         }
         loop {
-            let msg = self.rx.recv().map_err(|_| MpiError::Disconnected { peer: self.size })?;
+            let msg = self
+                .rx
+                .recv()
+                .map_err(|_| MpiError::Disconnected { peer: self.size })?;
             if msg.tag == tag {
                 self.vt = self.vt.max(msg.arrival_vt);
                 return Ok(msg);
@@ -265,16 +302,20 @@ impl Proc {
 
 /// Decode a single little-endian i64.
 pub fn decode_i64(data: &[u8]) -> Result<i64, MpiError> {
-    let arr: [u8; 8] = data
-        .try_into()
-        .map_err(|_| MpiError::Decode { expected: "i64", len: data.len() })?;
+    let arr: [u8; 8] = data.try_into().map_err(|_| MpiError::Decode {
+        expected: "i64",
+        len: data.len(),
+    })?;
     Ok(i64::from_le_bytes(arr))
 }
 
 /// Decode a packed little-endian i64 vector.
 pub fn decode_vec_i64(data: &[u8]) -> Result<Vec<i64>, MpiError> {
-    if data.len() % 8 != 0 {
-        return Err(MpiError::Decode { expected: "Vec<i64>", len: data.len() });
+    if !data.len().is_multiple_of(8) {
+        return Err(MpiError::Decode {
+            expected: "Vec<i64>",
+            len: data.len(),
+        });
     }
     Ok(data
         .chunks_exact(8)
@@ -329,7 +370,10 @@ impl Proc {
     /// Post a nonblocking receive for `(src, tag)`.
     pub fn irecv(&mut self, src: usize, tag: Tag) -> Result<RecvRequest, MpiError> {
         if src >= self.size() {
-            return Err(MpiError::RankOutOfRange { rank: src, size: self.size() });
+            return Err(MpiError::RankOutOfRange {
+                rank: src,
+                size: self.size(),
+            });
         }
         Ok(RecvRequest { src, tag })
     }
@@ -341,7 +385,11 @@ impl Proc {
         while let Ok(msg) = self.rx.try_recv() {
             self.pending.push_back(msg);
         }
-        if let Some(i) = self.pending.iter().position(|m| m.src == req.src && m.tag == req.tag) {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|m| m.src == req.src && m.tag == req.tag)
+        {
             let msg = self.pending.remove(i).expect("position valid");
             self.vt = self.vt.max(msg.arrival_vt);
             return Ok(Some(msg));

@@ -41,9 +41,14 @@ pub enum WorldError {
 impl fmt::Display for WorldError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WorldError::RankPanicked { rank, message } => write!(f, "rank {rank} panicked: {message}"),
+            WorldError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
             WorldError::BadSize { ranks, nodes } => {
-                write!(f, "world of {ranks} ranks does not fit topology of {nodes} nodes")
+                write!(
+                    f,
+                    "world of {ranks} ranks does not fit topology of {nodes} nodes"
+                )
             }
         }
     }
@@ -64,16 +69,29 @@ impl World {
     /// Panics if `size` is zero or exceeds the topology (programming error).
     pub fn new(size: usize, topo: Topology, profile: LinkProfile) -> World {
         assert!(size >= 1, "world needs at least one rank");
-        assert!(size <= topo.len(), "world of {size} ranks exceeds {} nodes", topo.len());
-        World { size, net: Arc::new(Network::new(topo, profile)) }
+        assert!(
+            size <= topo.len(),
+            "world of {size} ranks exceeds {} nodes",
+            topo.len()
+        );
+        World {
+            size,
+            net: Arc::new(Network::new(topo, profile)),
+        }
     }
 
     /// A world over an existing network (e.g. [`Network::uhd_cluster`]).
     pub fn with_network(size: usize, net: Network) -> Result<World, WorldError> {
         if size == 0 || size > net.topology().len() {
-            return Err(WorldError::BadSize { ranks: size, nodes: net.topology().len() });
+            return Err(WorldError::BadSize {
+                ranks: size,
+                nodes: net.topology().len(),
+            });
         }
-        Ok(World { size, net: Arc::new(net) })
+        Ok(World {
+            size,
+            net: Arc::new(net),
+        })
     }
 
     /// Number of ranks.
@@ -134,10 +152,7 @@ impl World {
             // Senders held by the spawning thread must drop so rank threads
             // can observe disconnection of *finished* peers only.
             drop(txs_all);
-            handles
-                .into_iter()
-                .map(|h| h.join().ok())
-                .collect()
+            handles.into_iter().map(|h| h.join().ok()).collect()
         });
         let mut out = Vec::with_capacity(size);
         let mut stats = Vec::with_capacity(size);
@@ -162,7 +177,7 @@ impl World {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proc::{Tag, MpiError};
+    use crate::proc::{MpiError, Tag};
 
     fn ring4() -> World {
         World::new(4, Topology::ring(4), LinkProfile::new(1_000, 1 << 30))
@@ -227,7 +242,11 @@ mod tests {
                 }
             })
             .unwrap();
-        assert!(stats[2].virtual_time_ns >= 2_000, "vt {}", stats[2].virtual_time_ns);
+        assert!(
+            stats[2].virtual_time_ns >= 2_000,
+            "vt {}",
+            stats[2].virtual_time_ns
+        );
         assert_eq!(stats[0].messages_sent, 1);
         assert_eq!(stats[0].bytes_sent, 8);
         assert_eq!(stats[3].messages_sent, 0);
@@ -236,21 +255,31 @@ mod tests {
     #[test]
     fn self_send_rejected() {
         let w = ring4();
-        let errs = w.run(|p| p.send_i64(p.rank(), Tag::DEFAULT, 0).unwrap_err()).unwrap();
+        let errs = w
+            .run(|p| p.send_i64(p.rank(), Tag::DEFAULT, 0).unwrap_err())
+            .unwrap();
         assert!(errs.iter().all(|e| *e == MpiError::SelfSend));
     }
 
     #[test]
     fn bad_rank_rejected() {
         let w = ring4();
-        let errs = w.run(|p| p.send_i64(99, Tag::DEFAULT, 0).unwrap_err()).unwrap();
-        assert!(matches!(errs[0], MpiError::RankOutOfRange { rank: 99, size: 4 }));
+        let errs = w
+            .run(|p| p.send_i64(99, Tag::DEFAULT, 0).unwrap_err())
+            .unwrap();
+        assert!(matches!(
+            errs[0],
+            MpiError::RankOutOfRange { rank: 99, size: 4 }
+        ));
     }
 
     #[test]
     fn world_size_validation() {
         let net = Network::new(Topology::ring(2), LinkProfile::new(1, 1));
-        assert!(matches!(World::with_network(5, net), Err(WorldError::BadSize { .. })));
+        assert!(matches!(
+            World::with_network(5, net),
+            Err(WorldError::BadSize { .. })
+        ));
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct Event {
 
 impl Event {
     pub fn field(&self, key: &str) -> Option<&str> {
-        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -31,7 +34,11 @@ pub struct EventLog {
 impl EventLog {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        EventLog { ring: Mutex::new(VecDeque::new()), capacity, dropped: AtomicU64::new(0) }
+        EventLog {
+            ring: Mutex::new(VecDeque::new()),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
     }
 
     pub fn record(&self, at: u64, kind: &str, fields: &[(&str, &str)]) {
@@ -43,14 +50,20 @@ impl EventLog {
         ring.push_back(Event {
             at,
             kind: kind.to_string(),
-            fields: fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
         });
     }
 
     /// The most recent `n` events, oldest first.
     pub fn recent(&self, n: usize) -> Vec<Event> {
         let ring = self.ring.lock();
-        ring.iter().skip(ring.len().saturating_sub(n)).cloned().collect()
+        ring.iter()
+            .skip(ring.len().saturating_sub(n))
+            .cloned()
+            .collect()
     }
 
     pub fn len(&self) -> usize {
@@ -68,7 +81,10 @@ impl EventLog {
 
 impl std::fmt::Debug for EventLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventLog").field("len", &self.len()).field("capacity", &self.capacity).finish()
+        f.debug_struct("EventLog")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
     }
 }
 
@@ -85,7 +101,10 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log.dropped(), 1);
         let recent = log.recent(10);
-        assert_eq!(recent.iter().map(|e| e.kind.as_str()).collect::<Vec<_>>(), vec!["b", "c"]);
+        assert_eq!(
+            recent.iter().map(|e| e.kind.as_str()).collect::<Vec<_>>(),
+            vec!["b", "c"]
+        );
         assert_eq!(log.recent(1)[0].kind, "c");
     }
 

@@ -27,8 +27,9 @@ pub use trace::{Span, SpanId, Tracer};
 
 /// Bucket bounds (inclusive upper edges) for wall-clock durations in
 /// microseconds: 50µs .. 1s.
-pub const DURATION_US_BOUNDS: &[u64] =
-    &[50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000];
+pub const DURATION_US_BOUNDS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
 
 /// Bucket bounds for simulated-clock durations in ticks.
 pub const TICK_BOUNDS: &[u64] = &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500];
@@ -51,7 +52,11 @@ pub struct Obs {
 impl Obs {
     /// Default capacities: 4096 spans, 1024 events.
     pub fn new() -> Self {
-        Obs { metrics: MetricsRegistry::new(), tracer: Tracer::new(4096), events: EventLog::new(1024) }
+        Obs {
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::new(4096),
+            events: EventLog::new(1024),
+        }
     }
 }
 

@@ -63,7 +63,10 @@ pub struct Histogram(Arc<HistogramCore>);
 
 impl Histogram {
     fn new(bounds: &[u64]) -> Self {
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram bounds must be strictly ascending");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
         let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
         Histogram(Arc::new(HistogramCore {
             bounds: bounds.to_vec(),
@@ -92,7 +95,11 @@ impl Histogram {
     /// Per-bucket (non-cumulative) counts; the final slot is the `+Inf`
     /// overflow bucket.
     pub fn bucket_counts(&self) -> Vec<u64> {
-        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Quantile estimate: the upper edge of the bucket holding the sample of
@@ -109,7 +116,11 @@ impl Histogram {
         for (i, c) in counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Some(if i < self.0.bounds.len() { self.0.bounds[i] as f64 } else { f64::INFINITY });
+                return Some(if i < self.0.bounds.len() {
+                    self.0.bounds[i] as f64
+                } else {
+                    f64::INFINITY
+                });
             }
         }
         unreachable!("rank is clamped to total")
@@ -122,7 +133,10 @@ impl Histogram {
 
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Histogram").field("count", &self.count()).field("sum", &self.sum()).finish()
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
     }
 }
 
@@ -162,14 +176,19 @@ pub struct MetricsRegistry {
 
 impl MetricsRegistry {
     pub fn new() -> Self {
-        MetricsRegistry { families: RwLock::new(BTreeMap::new()) }
+        MetricsRegistry {
+            families: RwLock::new(BTreeMap::new()),
+        }
     }
 
     /// Attach a `# HELP` line to a family (registered or not yet).
     pub fn describe(&self, name: &str, help: &str) {
         let mut fams = self.families.write();
         fams.entry(name.to_string())
-            .or_insert_with(|| Family { help: None, series: BTreeMap::new() })
+            .or_insert_with(|| Family {
+                help: None,
+                series: BTreeMap::new(),
+            })
             .help = Some(help.to_string());
     }
 
@@ -196,8 +215,16 @@ impl MetricsRegistry {
         }
     }
 
-    fn get_or_insert(&self, name: &str, labels: &[(&str, &str)], make: impl FnOnce() -> Metric) -> Metric {
-        let mut key: Labels = labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut key: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         key.sort();
         {
             let fams = self.families.read();
@@ -206,7 +233,10 @@ impl MetricsRegistry {
             }
         }
         let mut fams = self.families.write();
-        let fam = fams.entry(name.to_string()).or_insert_with(|| Family { help: None, series: BTreeMap::new() });
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: None,
+            series: BTreeMap::new(),
+        });
         fam.series.entry(key).or_insert_with(make).clone()
     }
 
@@ -222,7 +252,9 @@ impl MetricsRegistry {
         let mut out = String::new();
         for (name, fam) in fams.iter() {
             // A described-but-never-registered family has no series to emit.
-            let Some(first) = fam.series.values().next() else { continue };
+            let Some(first) = fam.series.values().next() else {
+                continue;
+            };
             if let Some(help) = &fam.help {
                 out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
             }
@@ -250,8 +282,16 @@ impl MetricsRegistry {
                                 fmt_labels(labels, Some(&le))
                             ));
                         }
-                        out.push_str(&format!("{name}_sum{} {}\n", fmt_labels(labels, None), h.sum()));
-                        out.push_str(&format!("{name}_count{} {}\n", fmt_labels(labels, None), h.count()));
+                        out.push_str(&format!(
+                            "{name}_sum{} {}\n",
+                            fmt_labels(labels, None),
+                            h.sum()
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{} {}\n",
+                            fmt_labels(labels, None),
+                            h.count()
+                        ));
                     }
                 }
             }
@@ -268,7 +308,9 @@ impl Default for MetricsRegistry {
 
 impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MetricsRegistry").field("series", &self.series_count()).finish()
+        f.debug_struct("MetricsRegistry")
+            .field("series", &self.series_count())
+            .finish()
     }
 }
 
@@ -276,8 +318,10 @@ fn fmt_labels(labels: &Labels, le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
     }
-    let mut parts: Vec<String> =
-        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
     if let Some(le) = le {
         parts.push(format!("le=\"{le}\""));
     }
@@ -285,7 +329,9 @@ fn fmt_labels(labels: &Labels, le: Option<&str>) -> String {
 }
 
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn escape_help(v: &str) -> String {

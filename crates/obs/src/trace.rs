@@ -24,7 +24,10 @@ pub struct Span {
 
 impl Span {
     pub fn attr(&self, key: &str) -> Option<&str> {
-        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -44,7 +47,11 @@ impl Tracer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         Tracer {
-            inner: Mutex::new(TracerInner { next_id: 1, ring: VecDeque::new(), dropped: 0 }),
+            inner: Mutex::new(TracerInner {
+                next_id: 1,
+                ring: VecDeque::new(),
+                dropped: 0,
+            }),
             capacity,
         }
     }
@@ -63,7 +70,14 @@ impl Tracer {
 
     /// Open a root span.
     pub fn begin(&self, name: &str, at: u64) -> SpanId {
-        self.push(|id| Span { id, parent: None, name: name.to_string(), start: at, end: None, attrs: Vec::new() })
+        self.push(|id| Span {
+            id,
+            parent: None,
+            name: name.to_string(),
+            start: at,
+            end: None,
+            attrs: Vec::new(),
+        })
     }
 
     /// Open a child span.
@@ -102,7 +116,10 @@ impl Tracer {
             name: name.to_string(),
             start: at,
             end: Some(at),
-            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
         })
     }
 
@@ -113,8 +130,14 @@ impl Tracer {
 
     /// All spans carrying `key == value`, ordered by (start, id).
     pub fn find_by_attr(&self, key: &str, value: &str) -> Vec<Span> {
-        let mut out: Vec<Span> =
-            self.inner.lock().ring.iter().filter(|s| s.attr(key) == Some(value)).cloned().collect();
+        let mut out: Vec<Span> = self
+            .inner
+            .lock()
+            .ring
+            .iter()
+            .filter(|s| s.attr(key) == Some(value))
+            .cloned()
+            .collect();
         out.sort_by_key(|s| (s.start, s.id));
         out
     }
@@ -135,7 +158,10 @@ impl Tracer {
 
 impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tracer").field("len", &self.len()).field("capacity", &self.capacity).finish()
+        f.debug_struct("Tracer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
     }
 }
 
@@ -181,6 +207,9 @@ mod tests {
         t.event("other", 3, &[("job", "2")]);
         t.event("c", 5, &[("job", "1")]);
         let found = t.find_by_attr("job", "1");
-        assert_eq!(found.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(
+            found.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
     }
 }

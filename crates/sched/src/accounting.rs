@@ -45,7 +45,10 @@ impl Accounting {
     /// Record one retry dispatch (a job going back into the queue after a
     /// node loss, with budget remaining).
     pub fn record_retry(&mut self, user: &str) {
-        self.users.entry(user.to_string()).or_default().retry_attempts += 1;
+        self.users
+            .entry(user.to_string())
+            .or_default()
+            .retry_attempts += 1;
     }
 
     /// Record one node loss under a running job.
@@ -56,7 +59,10 @@ impl Accounting {
     /// Record recovery wait: ticks between losing a node and the retry
     /// actually dispatching.
     pub fn record_recovery(&mut self, user: &str, wait_ticks: u64) {
-        self.users.entry(user.to_string()).or_default().recovery_wait_ticks += wait_ticks;
+        self.users
+            .entry(user.to_string())
+            .or_default()
+            .recovery_wait_ticks += wait_ticks;
     }
 
     /// Usage for one user.
@@ -80,7 +86,9 @@ impl Accounting {
         if total == 0 {
             return 0.0;
         }
-        self.usage(user).map(|u| u.core_ticks as f64 / total as f64).unwrap_or(0.0)
+        self.usage(user)
+            .map(|u| u.core_ticks as f64 / total as f64)
+            .unwrap_or(0.0)
     }
 }
 

@@ -268,7 +268,9 @@ impl JobRecord {
             | (JobState::Failed { at, .. }, None)
             | (JobState::TimedOut { at }, None)
             | (JobState::NodeLost { at, .. }, None) => at.saturating_sub(self.submitted_at),
-            (JobState::Running { started_at }, None) => started_at.saturating_sub(self.submitted_at),
+            (JobState::Running { started_at }, None) => {
+                started_at.saturating_sub(self.submitted_at)
+            }
         }
     }
 }
@@ -290,10 +292,17 @@ mod tests {
         assert!(!JobState::Pending.is_terminal());
         assert!(JobState::Running { started_at: 0 }.is_running());
         assert!(JobState::Completed { at: 3 }.is_terminal());
-        assert!(JobState::Failed { at: 3, reason: "node down".into() }.is_terminal());
+        assert!(JobState::Failed {
+            at: 3,
+            reason: "node down".into()
+        }
+        .is_terminal());
         assert!(JobState::TimedOut { at: 9 }.is_terminal());
         assert!(JobState::NodeLost { at: 9, attempts: 3 }.is_terminal());
-        let r = JobState::Requeued { attempt: 2, retry_at: 12 };
+        let r = JobState::Requeued {
+            attempt: 2,
+            retry_at: 12,
+        };
         assert!(r.is_requeued() && !r.is_terminal() && !r.is_running());
     }
 

@@ -34,7 +34,7 @@ pub mod retry;
 pub mod workload;
 
 pub use accounting::{Accounting, UserUsage};
-pub use job::{JobId, JobKind, JobSpec, JobState, JobRecord, StdStreams};
+pub use job::{JobId, JobKind, JobRecord, JobSpec, JobState, StdStreams};
 pub use policy::SchedPolicyKind;
 pub use queue::{SchedError, Scheduler};
 pub use retry::RetryPolicy;

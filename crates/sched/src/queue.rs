@@ -60,7 +60,10 @@ impl fmt::Display for SchedError {
         match self {
             SchedError::NoSuchJob(id) => write!(f, "no such job {id}"),
             SchedError::BadState { job, op } => write!(f, "{job}: cannot {op} in current state"),
-            SchedError::Impossible { requested, capacity } => {
+            SchedError::Impossible {
+                requested,
+                capacity,
+            } => {
                 write!(f, "job needs {requested} cores, cluster has {capacity}")
             }
             SchedError::Cluster(e) => write!(f, "cluster error: {e}"),
@@ -109,21 +112,57 @@ struct SchedMetrics {
 impl SchedMetrics {
     fn new(o: &Obs) -> SchedMetrics {
         let m = &o.metrics;
-        m.describe("ccp_sched_jobs_submitted_total", "jobs accepted into the queue");
-        m.describe("ccp_sched_submit_rejected_total", "submissions rejected as impossible");
-        m.describe("ccp_sched_jobs_dispatched_total", "job dispatches (attempts started)");
-        m.describe("ccp_sched_jobs_completed_total", "jobs that finished successfully");
-        m.describe("ccp_sched_jobs_cancelled_total", "jobs cancelled by users or admins");
-        m.describe("ccp_sched_jobs_timed_out_total", "jobs killed by their wall-clock budget");
-        m.describe("ccp_sched_jobs_node_lost_total", "jobs terminated after exhausting retries");
+        m.describe(
+            "ccp_sched_jobs_submitted_total",
+            "jobs accepted into the queue",
+        );
+        m.describe(
+            "ccp_sched_submit_rejected_total",
+            "submissions rejected as impossible",
+        );
+        m.describe(
+            "ccp_sched_jobs_dispatched_total",
+            "job dispatches (attempts started)",
+        );
+        m.describe(
+            "ccp_sched_jobs_completed_total",
+            "jobs that finished successfully",
+        );
+        m.describe(
+            "ccp_sched_jobs_cancelled_total",
+            "jobs cancelled by users or admins",
+        );
+        m.describe(
+            "ccp_sched_jobs_timed_out_total",
+            "jobs killed by their wall-clock budget",
+        );
+        m.describe(
+            "ccp_sched_jobs_node_lost_total",
+            "jobs terminated after exhausting retries",
+        );
         m.describe("ccp_sched_retries_total", "requeues after a node loss");
-        m.describe("ccp_sched_node_losses_total", "running jobs interrupted by a node going down");
-        m.describe("ccp_sched_core_ticks_total", "core-ticks consumed by completed jobs");
-        m.describe("ccp_sched_recovery_wait_ticks_total", "ticks jobs spent parked after node losses");
+        m.describe(
+            "ccp_sched_node_losses_total",
+            "running jobs interrupted by a node going down",
+        );
+        m.describe(
+            "ccp_sched_core_ticks_total",
+            "core-ticks consumed by completed jobs",
+        );
+        m.describe(
+            "ccp_sched_recovery_wait_ticks_total",
+            "ticks jobs spent parked after node losses",
+        );
         m.describe("ccp_sched_queue_depth", "jobs currently pending");
         m.describe("ccp_sched_jobs_running", "jobs currently running");
-        m.describe("ccp_sched_job_wait_ticks", "submission-to-first-dispatch wait per completed job");
-        m.describe("ccp_sched_job_run_ticks", "final-attempt runtime per completed job");
+        m.describe(
+            "ccp_sched_job_wait_ticks",
+            "submission-to-first-dispatch wait per completed job",
+        );
+        m.describe(
+            "ccp_sched_job_run_ticks",
+            "final-attempt runtime per completed job",
+        );
         m.describe("ccp_sched_retry_backoff_ticks", "backoff drawn per retry");
         SchedMetrics {
             jobs_submitted: m.counter("ccp_sched_jobs_submitted_total", &[]),
@@ -285,14 +324,21 @@ impl Scheduler {
         let capacity = self.cluster.spec().total_cores();
         if spec.cores_needed() > capacity {
             self.metrics.submit_rejected.inc();
-            return Err(SchedError::Impossible { requested: spec.cores_needed(), capacity });
+            return Err(SchedError::Impossible {
+                requested: spec.cores_needed(),
+                capacity,
+            });
         }
         let id = JobId(self.next_id);
         self.metrics.jobs_submitted.inc();
         self.obs.tracer.event(
             "job.submitted",
             self.now,
-            &[("job", &id.0.to_string()), ("user", &spec.user), ("cores", &spec.cores_needed().to_string())],
+            &[
+                ("job", &id.0.to_string()),
+                ("user", &spec.user),
+                ("cores", &spec.cores_needed().to_string()),
+            ],
         );
         self.next_id += 1;
         self.jobs.insert(
@@ -313,7 +359,9 @@ impl Scheduler {
             },
         );
         self.queue.push(id);
-        self.obs.tracer.event("job.queued", self.now, &[("job", &id.0.to_string())]);
+        self.obs
+            .tracer
+            .event("job.queued", self.now, &[("job", &id.0.to_string())]);
         self.publish_gauges();
         Ok(id)
     }
@@ -361,11 +409,16 @@ impl Scheduler {
                 }
                 Ok(())
             }
-            _ => Err(SchedError::BadState { job: id, op: "cancel" }),
+            _ => Err(SchedError::BadState {
+                job: id,
+                op: "cancel",
+            }),
         };
         if cancelled.is_ok() {
             self.metrics.jobs_cancelled.inc();
-            self.obs.tracer.event("job.cancelled", now, &[("job", &id.0.to_string())]);
+            self.obs
+                .tracer
+                .event("job.cancelled", now, &[("job", &id.0.to_string())]);
             self.publish_gauges();
         }
         cancelled
@@ -391,7 +444,9 @@ impl Scheduler {
     /// idempotent, so exposition readers may also call it defensively.
     pub fn publish_gauges(&self) {
         self.metrics.queue_depth.set(self.queue.len() as i64);
-        self.metrics.jobs_running.set(self.jobs.values().filter(|j| j.state.is_running()).count() as i64);
+        self.metrics
+            .jobs_running
+            .set(self.jobs.values().filter(|j| j.state.is_running()).count() as i64);
         self.cluster.publish_gauges();
     }
 
@@ -437,7 +492,8 @@ impl Scheduler {
             .values()
             .filter_map(|j| match j.state {
                 JobState::Running { started_at }
-                    if j.spec.actual_ticks != u64::MAX && now >= started_at + j.spec.actual_ticks =>
+                    if j.spec.actual_ticks != u64::MAX
+                        && now >= started_at + j.spec.actual_ticks =>
                 {
                     Some(j.id)
                 }
@@ -456,15 +512,21 @@ impl Scheduler {
             // First-attempt queue wait only; post-failure waiting was folded
             // into recovery_wait_ticks at each redispatch.
             let wait = job.wait_ticks(now);
-            self.accounting.record(&job.spec.user, cores as u64 * (now - started_at), wait);
+            self.accounting
+                .record(&job.spec.user, cores as u64 * (now - started_at), wait);
             self.metrics.jobs_completed.inc();
-            self.metrics.core_ticks.add(cores as u64 * (now - started_at));
+            self.metrics
+                .core_ticks
+                .add(cores as u64 * (now - started_at));
             self.metrics.wait_ticks.record(wait);
             self.metrics.run_ticks.record(now - started_at);
             self.obs.tracer.event(
                 "job.completed",
                 now,
-                &[("job", &id.0.to_string()), ("run_ticks", &(now - started_at).to_string())],
+                &[
+                    ("job", &id.0.to_string()),
+                    ("run_ticks", &(now - started_at).to_string()),
+                ],
             );
             if let Some(a) = alloc {
                 self.cluster.release(&a);
@@ -478,7 +540,12 @@ impl Scheduler {
             .jobs
             .values()
             .filter(|j| !j.state.is_terminal())
-            .filter(|j| j.spec.timeout_ticks.map(|t| now >= j.submitted_at + t).unwrap_or(false))
+            .filter(|j| {
+                j.spec
+                    .timeout_ticks
+                    .map(|t| now >= j.submitted_at + t)
+                    .unwrap_or(false)
+            })
             .map(|j| j.id)
             .collect();
         for id in expired {
@@ -495,7 +562,10 @@ impl Scheduler {
             self.obs.tracer.event(
                 "job.timed_out",
                 now,
-                &[("job", &id.0.to_string()), ("budget_ticks", &budget.to_string())],
+                &[
+                    ("job", &id.0.to_string()),
+                    ("budget_ticks", &budget.to_string()),
+                ],
             );
         }
     }
@@ -538,7 +608,10 @@ impl Scheduler {
             let attempts = job.attempt;
             if policy.can_retry(attempts) {
                 let backoff = policy.backoff_ticks(attempts, &mut self.rng);
-                job.state = JobState::Requeued { attempt: attempts + 1, retry_at: now + backoff };
+                job.state = JobState::Requeued {
+                    attempt: attempts + 1,
+                    retry_at: now + backoff,
+                };
                 job.requeued_at = Some(now);
                 self.accounting.record_retry(&job.spec.user);
                 self.metrics.retries.inc();
@@ -558,7 +631,10 @@ impl Scheduler {
                 self.obs.tracer.event(
                     "job.node_lost",
                     now,
-                    &[("job", &id.0.to_string()), ("attempts", &attempts.to_string())],
+                    &[
+                        ("job", &id.0.to_string()),
+                        ("attempts", &attempts.to_string()),
+                    ],
                 );
             }
         }
@@ -580,13 +656,14 @@ impl Scheduler {
             // Back of the queue: a recovered job does not preempt work that
             // queued honestly while it was running.
             self.queue.push(id);
-            self.obs.tracer.event("job.queued", now, &[("job", &id.0.to_string())]);
+            self.obs
+                .tracer
+                .event("job.queued", now, &[("job", &id.0.to_string())]);
         }
     }
 
     fn dispatch(&mut self) -> Vec<JobId> {
-        let pending_refs: Vec<&JobRecord> =
-            self.queue.iter().map(|id| &self.jobs[id]).collect();
+        let pending_refs: Vec<&JobRecord> = self.queue.iter().map(|id| &self.jobs[id]).collect();
         if pending_refs.is_empty() {
             return Vec::new();
         }
@@ -596,7 +673,10 @@ impl Scheduler {
             .values()
             .filter_map(|j| match (&j.state, &j.allocation) {
                 (JobState::Running { started_at }, Some(a)) if j.spec.actual_ticks != u64::MAX => {
-                    Some((started_at + j.spec.estimated_ticks.min(j.spec.actual_ticks), a.total_cores()))
+                    Some((
+                        started_at + j.spec.estimated_ticks.min(j.spec.actual_ticks),
+                        a.total_cores(),
+                    ))
                 }
                 _ => None,
             })
@@ -609,11 +689,16 @@ impl Scheduler {
         for id in pick_ids {
             let (cores_needed, is_interactive) = {
                 let j = &self.jobs[&id];
-                (j.spec.cores_needed(), matches!(j.spec.kind, JobKind::Interactive))
+                (
+                    j.spec.cores_needed(),
+                    matches!(j.spec.kind, JobKind::Interactive),
+                )
             };
             let _ = is_interactive;
             // Placement: round-robin prefers a segment, falling back to any.
-            let preferred = self.policy.preferred_segment(self.dispatch_count, &self.cluster);
+            let preferred = self
+                .policy
+                .preferred_segment(self.dispatch_count, &self.cluster);
             let alloc = match preferred {
                 Some(seg) => self
                     .cluster
@@ -702,15 +787,26 @@ mod tests {
         assert!(s.job(id).unwrap().state.is_running());
         assert_eq!(s.cluster().free_cores(), 15);
         s.run_ticks(3);
-        assert!(matches!(s.job(id).unwrap().state, JobState::Completed { .. }));
+        assert!(matches!(
+            s.job(id).unwrap().state,
+            JobState::Completed { .. }
+        ));
         assert_eq!(s.cluster().free_cores(), 16);
     }
 
     #[test]
     fn impossible_job_rejected_at_submit() {
         let mut s = sched(SchedPolicyKind::Fifo);
-        let err = s.submit(JobSpec::parallel("bob", "x", 1000, 1)).unwrap_err();
-        assert!(matches!(err, SchedError::Impossible { requested: 1000, capacity: 16 }));
+        let err = s
+            .submit(JobSpec::parallel("bob", "x", 1000, 1))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::Impossible {
+                requested: 1000,
+                capacity: 16
+            }
+        ));
     }
 
     #[test]
@@ -736,7 +832,10 @@ mod tests {
         assert!(s.job(a).unwrap().state.is_running());
         assert!(matches!(s.job(b).unwrap().state, JobState::Pending));
         // c (1 core, 10 ticks) finishes before a releases at ~101.
-        assert!(s.job(c).unwrap().state.is_running(), "backfill should start c");
+        assert!(
+            s.job(c).unwrap().state.is_running(),
+            "backfill should start c"
+        );
     }
 
     #[test]
@@ -767,7 +866,10 @@ mod tests {
         let id = s.submit(JobSpec::interactive("u", "shell")).unwrap();
         s.tick();
         s.job_mut(id).unwrap().streams.push_stdin("42");
-        assert_eq!(s.job_mut(id).unwrap().streams.pop_stdin().as_deref(), Some("42"));
+        assert_eq!(
+            s.job_mut(id).unwrap().streams.pop_stdin().as_deref(),
+            Some("42")
+        );
     }
 
     #[test]
@@ -779,10 +881,16 @@ mod tests {
         s.tick();
         assert!(s.job(id).unwrap().state.is_running());
         let victim = s.cluster().slave_ids()[0];
-        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.cluster_mut()
+            .set_health(victim, NodeHealth::Down)
+            .unwrap();
         s.tick();
         let job = s.job(id).unwrap();
-        assert!(matches!(job.state, JobState::NodeLost { attempts: 1, .. }), "{:?}", job.state);
+        assert!(
+            matches!(job.state, JobState::NodeLost { attempts: 1, .. }),
+            "{:?}",
+            job.state
+        );
         assert_eq!(job.last_failure.as_deref(), Some("node went down"));
         assert_eq!(job.node_losses, 1);
         // Cores on surviving nodes were released.
@@ -798,9 +906,15 @@ mod tests {
         let id = s.submit(JobSpec::sequential("u", "x", 5)).unwrap();
         s.tick(); // dispatched on first node (packing order)
         let victim = s.cluster().slave_ids()[0];
-        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.cluster_mut()
+            .set_health(victim, NodeHealth::Down)
+            .unwrap();
         s.tick();
-        let JobState::Requeued { attempt: 2, retry_at } = s.job(id).unwrap().state else {
+        let JobState::Requeued {
+            attempt: 2,
+            retry_at,
+        } = s.job(id).unwrap().state
+        else {
             panic!("expected requeue, got {:?}", s.job(id).unwrap().state)
         };
         assert_eq!(retry_at, s.now() + 2, "fixed backoff of 2 ticks");
@@ -824,8 +938,11 @@ mod tests {
     fn retries_exhaust_into_node_lost() {
         // One single node: every retry lands back on it, and the fault plan
         // kills it every time.
-        let mut s = Scheduler::new(Cluster::new(ClusterSpec::small(1, 1)), SchedPolicyKind::Fifo)
-            .with_retry(RetryPolicy::fixed(3, 1));
+        let mut s = Scheduler::new(
+            Cluster::new(ClusterSpec::small(1, 1)),
+            SchedPolicyKind::Fifo,
+        )
+        .with_retry(RetryPolicy::fixed(3, 1));
         let node = s.cluster().slave_ids()[0];
         let id = s.submit(JobSpec::sequential("u", "x", 50)).unwrap();
         for _ in 0..200 {
@@ -840,7 +957,11 @@ mod tests {
             }
         }
         let job = s.job(id).unwrap();
-        assert!(matches!(job.state, JobState::NodeLost { attempts: 3, .. }), "{:?}", job.state);
+        assert!(
+            matches!(job.state, JobState::NodeLost { attempts: 3, .. }),
+            "{:?}",
+            job.state
+        );
         assert_eq!(job.node_losses, 3);
         assert_eq!(s.cluster().free_cores(), 4, "no leaked cores");
     }
@@ -851,15 +972,23 @@ mod tests {
         let id = s.submit(JobSpec::sequential("u", "x", 100)).unwrap();
         s.tick();
         let victim = s.cluster().slave_ids()[0];
-        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.cluster_mut()
+            .set_health(victim, NodeHealth::Down)
+            .unwrap();
         s.tick();
         assert!(s.job(id).unwrap().state.is_requeued());
         // Cancel while parked in backoff.
         s.cancel(id).unwrap();
-        assert!(matches!(s.job(id).unwrap().state, JobState::Cancelled { .. }));
+        assert!(matches!(
+            s.job(id).unwrap().state,
+            JobState::Cancelled { .. }
+        ));
         // The backoff expiring later must not resurrect the job.
         s.run_ticks(60);
-        assert!(matches!(s.job(id).unwrap().state, JobState::Cancelled { .. }));
+        assert!(matches!(
+            s.job(id).unwrap().state,
+            JobState::Cancelled { .. }
+        ));
         assert!(!s.pending().contains(&id));
     }
 
@@ -871,7 +1000,9 @@ mod tests {
         let id = s.submit(JobSpec::parallel("u", "x", 16, 100)).unwrap();
         s.tick();
         let victim = s.cluster().slave_ids()[0];
-        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.cluster_mut()
+            .set_health(victim, NodeHealth::Down)
+            .unwrap();
         s.tick();
         // 16 cores can't fit on a 12-core degraded cluster: job sits Pending.
         assert!(matches!(s.job(id).unwrap().state, JobState::Pending));
@@ -880,7 +1011,10 @@ mod tests {
         assert!(!s.pending().contains(&id));
         s.cluster_mut().set_health(victim, NodeHealth::Up).unwrap();
         s.run_ticks(20);
-        assert!(matches!(s.job(id).unwrap().state, JobState::Cancelled { .. }));
+        assert!(matches!(
+            s.job(id).unwrap().state,
+            JobState::Cancelled { .. }
+        ));
     }
 
     #[test]
@@ -889,7 +1023,9 @@ mod tests {
         let id = s.submit(JobSpec::sequential("u", "x", 10)).unwrap();
         s.tick();
         let victim = s.cluster().slave_ids()[0];
-        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.cluster_mut()
+            .set_health(victim, NodeHealth::Down)
+            .unwrap();
         s.tick();
         assert!(s.job(id).unwrap().state.is_requeued());
         // The retry becomes eligible at ~tick 1002; a 50-tick horizon can't
@@ -905,15 +1041,30 @@ mod tests {
         // and times out in the queue. That unblocks the FIFO head for the
         // sequential job, which then times out mid-run (budget 20 < run 100).
         let hog = s.submit(JobSpec::parallel("u", "hog", 15, 200)).unwrap();
-        let starved = s.submit(JobSpec::parallel("u", "s", 4, 1).with_timeout(10)).unwrap();
-        let slow = s.submit(JobSpec::sequential("u", "slow", 100).with_timeout(20)).unwrap();
+        let starved = s
+            .submit(JobSpec::parallel("u", "s", 4, 1).with_timeout(10))
+            .unwrap();
+        let slow = s
+            .submit(JobSpec::sequential("u", "slow", 100).with_timeout(20))
+            .unwrap();
         s.run_ticks(50);
         assert!(s.job(hog).unwrap().state.is_running());
-        assert!(matches!(s.job(starved).unwrap().state, JobState::TimedOut { at: 10 }));
+        assert!(matches!(
+            s.job(starved).unwrap().state,
+            JobState::TimedOut { at: 10 }
+        ));
         assert!(s.job(starved).unwrap().started_at.is_none(), "never ran");
         let job = s.job(slow).unwrap();
-        assert!(matches!(job.state, JobState::TimedOut { at: 20 }), "{:?}", job.state);
-        assert_eq!(job.started_at, Some(10), "dispatched once the 4-core job expired");
+        assert!(
+            matches!(job.state, JobState::TimedOut { at: 20 }),
+            "{:?}",
+            job.state
+        );
+        assert_eq!(
+            job.started_at,
+            Some(10),
+            "dispatched once the 4-core job expired"
+        );
         assert!(job.last_failure.as_deref().unwrap().contains("budget"));
         // The timed-out running job's core came back; only the hog remains.
         assert_eq!(s.cluster().free_cores(), 1);
@@ -925,31 +1076,62 @@ mod tests {
     fn timeout_caps_retry_loops() {
         // Retries allowed, but the wall-clock budget expires during backoff.
         let mut s = sched(SchedPolicyKind::Fifo).with_retry(RetryPolicy::fixed(10, 100));
-        let id = s.submit(JobSpec::sequential("u", "x", 50).with_timeout(30)).unwrap();
+        let id = s
+            .submit(JobSpec::sequential("u", "x", 50).with_timeout(30))
+            .unwrap();
         s.tick();
         let victim = s.cluster().slave_ids()[0];
-        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.cluster_mut()
+            .set_health(victim, NodeHealth::Down)
+            .unwrap();
         s.tick();
         assert!(s.job(id).unwrap().state.is_requeued());
         s.run_ticks(40);
-        assert!(matches!(s.job(id).unwrap().state, JobState::TimedOut { at: 30 }));
+        assert!(matches!(
+            s.job(id).unwrap().state,
+            JobState::TimedOut { at: 30 }
+        ));
     }
 
     #[test]
     fn drain_node_stops_placement_but_finishes_running() {
-        let mut s = Scheduler::new(Cluster::new(ClusterSpec::small(1, 2)), SchedPolicyKind::Fifo);
+        let mut s = Scheduler::new(
+            Cluster::new(ClusterSpec::small(1, 2)),
+            SchedPolicyKind::Fifo,
+        );
         let a = s.submit(JobSpec::parallel("u", "a", 4, 10)).unwrap();
         s.tick();
-        let node_of_a = *s.job(a).unwrap().allocation.as_ref().unwrap().cores.keys().next().unwrap();
+        let node_of_a = *s
+            .job(a)
+            .unwrap()
+            .allocation
+            .as_ref()
+            .unwrap()
+            .cores
+            .keys()
+            .next()
+            .unwrap();
         s.drain_node(node_of_a).unwrap();
         // New work avoids the draining node...
         let b = s.submit(JobSpec::parallel("u", "b", 4, 10)).unwrap();
         s.tick();
-        let node_of_b = *s.job(b).unwrap().allocation.as_ref().unwrap().cores.keys().next().unwrap();
+        let node_of_b = *s
+            .job(b)
+            .unwrap()
+            .allocation
+            .as_ref()
+            .unwrap()
+            .cores
+            .keys()
+            .next()
+            .unwrap();
         assert_ne!(node_of_a, node_of_b);
         // ...and the draining node's job still completes normally.
         s.run_ticks(15);
-        assert!(matches!(s.job(a).unwrap().state, JobState::Completed { .. }));
+        assert!(matches!(
+            s.job(a).unwrap().state,
+            JobState::Completed { .. }
+        ));
         // A 5+ core job cannot be placed while one node drains.
         let c = s.submit(JobSpec::parallel("u", "c", 8, 5)).unwrap();
         s.run_ticks(20);
@@ -957,7 +1139,10 @@ mod tests {
         // Undrain restores capacity and the job proceeds.
         s.undrain_node(node_of_a).unwrap();
         s.run_ticks(10);
-        assert!(matches!(s.job(c).unwrap().state, JobState::Completed { .. }));
+        assert!(matches!(
+            s.job(c).unwrap().state,
+            JobState::Completed { .. }
+        ));
     }
 
     #[test]
@@ -992,8 +1177,12 @@ mod tests {
         let mut s = sched(SchedPolicyKind::Fifo);
         // Kill a whole segment (2 of 4 nodes).
         let ids = s.cluster().slave_ids();
-        s.cluster_mut().set_health(ids[0], NodeHealth::Down).unwrap();
-        s.cluster_mut().set_health(ids[1], NodeHealth::Down).unwrap();
+        s.cluster_mut()
+            .set_health(ids[0], NodeHealth::Down)
+            .unwrap();
+        s.cluster_mut()
+            .set_health(ids[1], NodeHealth::Down)
+            .unwrap();
         // A 16-core job exceeds *current* capacity (8) but not spec capacity:
         // accepted, parked, and runs once the segment returns.
         let id = s.submit(JobSpec::parallel("u", "x", 16, 5)).unwrap();
@@ -1002,7 +1191,10 @@ mod tests {
         s.cluster_mut().set_health(ids[0], NodeHealth::Up).unwrap();
         s.cluster_mut().set_health(ids[1], NodeHealth::Up).unwrap();
         s.drain(50).expect("drains after recovery");
-        assert!(matches!(s.job(id).unwrap().state, JobState::Completed { .. }));
+        assert!(matches!(
+            s.job(id).unwrap().state,
+            JobState::Completed { .. }
+        ));
     }
 
     #[test]
@@ -1035,9 +1227,22 @@ mod tests {
         let b = s.submit(JobSpec::parallel("u", "b", 4, 100)).unwrap();
         s.tick();
         let seg_of = |s: &Scheduler, id| {
-            s.job(id).unwrap().allocation.as_ref().unwrap().cores.keys().next().unwrap().segment
+            s.job(id)
+                .unwrap()
+                .allocation
+                .as_ref()
+                .unwrap()
+                .cores
+                .keys()
+                .next()
+                .unwrap()
+                .segment
         };
-        assert_ne!(seg_of(&s, a), seg_of(&s, b), "jobs should land on different segments");
+        assert_ne!(
+            seg_of(&s, a),
+            seg_of(&s, b),
+            "jobs should land on different segments"
+        );
     }
 
     #[test]
@@ -1050,7 +1255,9 @@ mod tests {
         let id = s.submit(JobSpec::sequential("u", "x", 5)).unwrap();
         s.tick();
         let victim = s.cluster().slave_ids()[0];
-        s.cluster_mut().set_health(victim, NodeHealth::Down).unwrap();
+        s.cluster_mut()
+            .set_health(victim, NodeHealth::Down)
+            .unwrap();
         s.tick();
         s.cluster_mut().set_health(victim, NodeHealth::Up).unwrap();
         s.drain(100).expect("recovers and drains");
@@ -1063,7 +1270,11 @@ mod tests {
         assert_eq!(m.counter("ccp_sched_jobs_dispatched_total", &[]).get(), 2);
         assert_eq!(m.gauge("ccp_sched_queue_depth", &[]).get(), 0);
         assert_eq!(m.gauge("ccp_sched_jobs_running", &[]).get(), 0);
-        assert_eq!(m.histogram("ccp_sched_job_run_ticks", &[], obs::TICK_BOUNDS).count(), 1);
+        assert_eq!(
+            m.histogram("ccp_sched_job_run_ticks", &[], obs::TICK_BOUNDS)
+                .count(),
+            1
+        );
 
         // The per-job timeline is ordered and ends in the terminal event.
         let timeline = obs.tracer.find_by_attr("job", &id.0.to_string());

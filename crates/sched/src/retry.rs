@@ -28,14 +28,24 @@ pub struct RetryPolicy {
 impl Default for RetryPolicy {
     /// Three attempts, backoff 2 → 4 → 8 ticks (capped at 64), ±2 jitter.
     fn default() -> RetryPolicy {
-        RetryPolicy { max_attempts: 3, base_backoff: 2, max_backoff: 64, jitter: 2 }
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 2,
+            max_backoff: 64,
+            jitter: 2,
+        }
     }
 }
 
 impl RetryPolicy {
     /// No retries: the first node loss is fatal (the seed's old behaviour).
     pub fn none() -> RetryPolicy {
-        RetryPolicy { max_attempts: 1, base_backoff: 0, max_backoff: 0, jitter: 0 }
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: 0,
+            max_backoff: 0,
+            jitter: 0,
+        }
     }
 
     /// A fixed-backoff policy (no growth, no jitter).
@@ -76,7 +86,12 @@ mod tests {
 
     #[test]
     fn backoff_grows_exponentially_and_caps() {
-        let p = RetryPolicy { max_attempts: 10, base_backoff: 2, max_backoff: 16, jitter: 0 };
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: 2,
+            max_backoff: 16,
+            jitter: 0,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(p.backoff_ticks(1, &mut rng), 2);
         assert_eq!(p.backoff_ticks(2, &mut rng), 4);
@@ -87,12 +102,19 @@ mod tests {
 
     #[test]
     fn jitter_is_bounded_and_deterministic() {
-        let p = RetryPolicy { max_attempts: 3, base_backoff: 4, max_backoff: 64, jitter: 3 };
-        let draws: Vec<u64> =
-            (0..32).map(|i| p.backoff_ticks(1, &mut StdRng::seed_from_u64(i))).collect();
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 4,
+            max_backoff: 64,
+            jitter: 3,
+        };
+        let draws: Vec<u64> = (0..32)
+            .map(|i| p.backoff_ticks(1, &mut StdRng::seed_from_u64(i)))
+            .collect();
         assert!(draws.iter().all(|&b| (4..=7).contains(&b)), "{draws:?}");
-        let again: Vec<u64> =
-            (0..32).map(|i| p.backoff_ticks(1, &mut StdRng::seed_from_u64(i))).collect();
+        let again: Vec<u64> = (0..32)
+            .map(|i| p.backoff_ticks(1, &mut StdRng::seed_from_u64(i)))
+            .collect();
         assert_eq!(draws, again);
     }
 
@@ -108,7 +130,12 @@ mod tests {
 
     #[test]
     fn degenerate_policy_never_panics() {
-        let p = RetryPolicy { max_attempts: 0, base_backoff: 0, max_backoff: 0, jitter: 0 };
+        let p = RetryPolicy {
+            max_attempts: 0,
+            base_backoff: 0,
+            max_backoff: 0,
+            jitter: 0,
+        };
         assert!(p.can_retry(0), "max_attempts is clamped to 1");
         assert!(!p.can_retry(1));
         let mut rng = StdRng::seed_from_u64(9);

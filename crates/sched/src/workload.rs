@@ -70,11 +70,15 @@ impl WorkloadSpec {
             }
             t += gap;
             let cores = self.core_choices[rng.gen_range(0..self.core_choices.len().max(1))];
-            let ticks = rng.gen_range(self.runtime_range.0..=self.runtime_range.1.max(self.runtime_range.0));
-            let factor = rng.gen_range(self.estimate_factor.0..self.estimate_factor.1.max(self.estimate_factor.0 + 1e-9));
+            let ticks = rng
+                .gen_range(self.runtime_range.0..=self.runtime_range.1.max(self.runtime_range.0));
+            let factor = rng.gen_range(
+                self.estimate_factor.0..self.estimate_factor.1.max(self.estimate_factor.0 + 1e-9),
+            );
             let est = ((ticks as f64) * factor).round().max(1.0) as u64;
             let user = format!("u{}", i % self.users.max(1));
-            let spec = JobSpec::parallel(&user, &format!("job-{i}"), cores, ticks).with_estimate(est);
+            let spec =
+                JobSpec::parallel(&user, &format!("job-{i}"), cores, ticks).with_estimate(est);
             engine
                 .schedule_at(SimTime(t), spec)
                 .expect("arrival times are monotone");
@@ -82,7 +86,10 @@ impl WorkloadSpec {
         }
         let mut arrivals = Vec::with_capacity(self.jobs);
         while let Some((at, spec)) = engine.next_event() {
-            arrivals.push(Arrival { at_tick: at.nanos(), spec });
+            arrivals.push(Arrival {
+                at_tick: at.nanos(),
+                spec,
+            });
         }
         arrivals
     }
@@ -103,7 +110,12 @@ pub struct ReplayReport {
 
 /// Replay `arrivals` against a fresh scheduler with `policy` over `cluster`,
 /// submitting each job at its arrival tick and ticking until drained.
-pub fn replay(cluster: Cluster, policy: SchedPolicyKind, arrivals: &[Arrival], max_ticks: u64) -> ReplayReport {
+pub fn replay(
+    cluster: Cluster,
+    policy: SchedPolicyKind,
+    arrivals: &[Arrival],
+    max_ticks: u64,
+) -> ReplayReport {
     let mut sched = Scheduler::new(cluster, policy);
     let mut next = 0usize;
     let mut peak_util: f64 = 0.0;
@@ -111,7 +123,9 @@ pub fn replay(cluster: Cluster, policy: SchedPolicyKind, arrivals: &[Arrival], m
     for _ in 0..max_ticks {
         let now = sched.now();
         while next < arrivals.len() && arrivals[next].at_tick <= now + 1 {
-            sched.submit(arrivals[next].spec.clone()).expect("fits cluster");
+            sched
+                .submit(arrivals[next].spec.clone())
+                .expect("fits cluster");
             next += 1;
         }
         sched.tick();
@@ -124,7 +138,12 @@ pub fn replay(cluster: Cluster, policy: SchedPolicyKind, arrivals: &[Arrival], m
         }
     }
     let completed = sched.jobs().filter(|j| j.state.is_terminal()).count();
-    ReplayReport { makespan, mean_wait: sched.mean_wait(), peak_utilization: peak_util, completed }
+    ReplayReport {
+        makespan,
+        mean_wait: sched.mean_wait(),
+        peak_utilization: peak_util,
+        completed,
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +165,11 @@ mod tests {
 
     #[test]
     fn interarrival_mean_tracks_spec() {
-        let spec = WorkloadSpec { mean_interarrival: 5.0, jobs: 2000, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            mean_interarrival: 5.0,
+            jobs: 2000,
+            ..WorkloadSpec::default()
+        };
         let arrivals = spec.generate(7);
         let span = arrivals.last().unwrap().at_tick - arrivals[0].at_tick;
         let mean = span as f64 / (arrivals.len() - 1) as f64;
@@ -155,9 +178,17 @@ mod tests {
 
     #[test]
     fn replay_drains_and_reports() {
-        let spec = WorkloadSpec { jobs: 30, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            jobs: 30,
+            ..WorkloadSpec::default()
+        };
         let arrivals = spec.generate(3);
-        let report = replay(Cluster::new(ClusterSpec::small(2, 4)), SchedPolicyKind::Backfill, &arrivals, 100_000);
+        let report = replay(
+            Cluster::new(ClusterSpec::small(2, 4)),
+            SchedPolicyKind::Backfill,
+            &arrivals,
+            100_000,
+        );
         assert_eq!(report.completed, 30);
         assert!(report.makespan > 0);
         assert!(report.peak_utilization > 0.0 && report.peak_utilization <= 1.0);
@@ -165,20 +196,52 @@ mod tests {
 
     #[test]
     fn backfill_no_worse_than_fifo_on_bursty_load() {
-        let spec = WorkloadSpec { mean_interarrival: 1.0, jobs: 60, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            mean_interarrival: 1.0,
+            jobs: 60,
+            ..WorkloadSpec::default()
+        };
         let arrivals = spec.generate(11);
-        let fifo = replay(Cluster::new(ClusterSpec::small(2, 4)), SchedPolicyKind::Fifo, &arrivals, 100_000);
-        let bf = replay(Cluster::new(ClusterSpec::small(2, 4)), SchedPolicyKind::Backfill, &arrivals, 100_000);
-        assert!(bf.mean_wait <= fifo.mean_wait + 1e-9, "backfill {} vs fifo {}", bf.mean_wait, fifo.mean_wait);
-        assert!(bf.makespan <= fifo.makespan, "backfill {} vs fifo {}", bf.makespan, fifo.makespan);
+        let fifo = replay(
+            Cluster::new(ClusterSpec::small(2, 4)),
+            SchedPolicyKind::Fifo,
+            &arrivals,
+            100_000,
+        );
+        let bf = replay(
+            Cluster::new(ClusterSpec::small(2, 4)),
+            SchedPolicyKind::Backfill,
+            &arrivals,
+            100_000,
+        );
+        assert!(
+            bf.mean_wait <= fifo.mean_wait + 1e-9,
+            "backfill {} vs fifo {}",
+            bf.mean_wait,
+            fifo.mean_wait
+        );
+        assert!(
+            bf.makespan <= fifo.makespan,
+            "backfill {} vs fifo {}",
+            bf.makespan,
+            fifo.makespan
+        );
     }
 
     #[test]
     fn empty_workload_is_fine() {
-        let spec = WorkloadSpec { jobs: 0, ..WorkloadSpec::default() };
+        let spec = WorkloadSpec {
+            jobs: 0,
+            ..WorkloadSpec::default()
+        };
         let arrivals = spec.generate(1);
         assert!(arrivals.is_empty());
-        let report = replay(Cluster::new(ClusterSpec::small(1, 1)), SchedPolicyKind::Fifo, &arrivals, 10);
+        let report = replay(
+            Cluster::new(ClusterSpec::small(1, 1)),
+            SchedPolicyKind::Fifo,
+            &arrivals,
+            10,
+        );
         assert_eq!(report.completed, 0);
     }
 }

@@ -32,7 +32,10 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::ScheduleInPast { now, requested } => {
-                write!(f, "cannot schedule event at {requested} before current time {now}")
+                write!(
+                    f,
+                    "cannot schedule event at {requested} before current time {now}"
+                )
             }
             EngineError::BudgetExhausted { processed } => {
                 write!(f, "event budget exhausted after {processed} events")
@@ -114,7 +117,10 @@ impl<E> Engine<E> {
     /// is allowed and fires after already-queued same-instant events).
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> Result<EventId, EngineError> {
         if at < self.now {
-            return Err(EngineError::ScheduleInPast { now: self.now, requested: at });
+            return Err(EngineError::ScheduleInPast {
+                now: self.now,
+                requested: at,
+            });
         }
         let id = EventId(self.next_seq);
         self.next_seq += 1;
@@ -127,7 +133,8 @@ impl<E> Engine<E> {
     pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
         let at = self.now + delay;
         // Cannot fail: now + delay >= now by construction.
-        self.schedule_at(at, payload).expect("future time is never in the past")
+        self.schedule_at(at, payload)
+            .expect("future time is never in the past")
     }
 
     /// Cancel a pending event. Returns `true` if the event was still pending.
@@ -196,7 +203,10 @@ impl<E> Engine<E> {
     pub fn advance_to(&mut self, t: SimTime) -> Result<(), EngineError> {
         if let Some(next) = self.peek_time() {
             if next < t {
-                return Err(EngineError::ScheduleInPast { now: next, requested: t });
+                return Err(EngineError::ScheduleInPast {
+                    now: next,
+                    requested: t,
+                });
             }
         }
         if t > self.now {

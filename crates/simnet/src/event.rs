@@ -50,10 +50,7 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first, and for
         // equal times the *lowest* sequence number first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.id.cmp(&self.id))
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
     }
 }
 
@@ -63,7 +60,11 @@ mod tests {
     use std::collections::BinaryHeap;
 
     fn sched(at: u64, id: u64) -> Scheduled<&'static str> {
-        Scheduled { at: SimTime(at), id: EventId(id), payload: "x" }
+        Scheduled {
+            at: SimTime(at),
+            id: EventId(id),
+            payload: "x",
+        }
     }
 
     #[test]

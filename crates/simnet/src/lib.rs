@@ -48,8 +48,8 @@ pub mod prelude {
     pub use crate::routing::{route, RouteError};
     pub use crate::stats::{Counter, Histogram, RunningStats};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::traffic::{Flow, Pattern};
     pub use crate::topology::{NodeId, Topology, TopologyKind};
+    pub use crate::traffic::{Flow, Pattern};
 }
 
 pub use prelude::*;

@@ -22,7 +22,10 @@ impl LinkProfile {
     /// `bytes_per_sec` must be nonzero.
     pub fn new(latency_ns: u64, bytes_per_sec: u64) -> LinkProfile {
         assert!(bytes_per_sec > 0, "bandwidth must be positive");
-        LinkProfile { latency_ns, bytes_per_sec }
+        LinkProfile {
+            latency_ns,
+            bytes_per_sec,
+        }
     }
 
     /// Gigabit-Ethernet-like: 50µs latency, 125 MB/s.
@@ -64,13 +67,21 @@ pub struct Link {
 impl Link {
     /// A new idle link with the given profile.
     pub fn new(profile: LinkProfile) -> Link {
-        Link { profile, bytes_carried: 0, messages_carried: 0 }
+        Link {
+            profile,
+            bytes_carried: 0,
+            messages_carried: 0,
+        }
     }
 
     /// A link with pre-existing traffic history, used when swapping a link's
     /// profile without losing its statistics.
     pub fn with_history(profile: LinkProfile, bytes_carried: u64, messages_carried: u64) -> Link {
-        Link { profile, bytes_carried, messages_carried }
+        Link {
+            profile,
+            bytes_carried,
+            messages_carried,
+        }
     }
 
     /// The link's cost parameters.

@@ -111,12 +111,20 @@ impl Network {
     }
 
     fn profile_for(&self, from: NodeId, to: NodeId) -> LinkProfile {
-        self.overrides.get(&(from, to)).copied().unwrap_or(self.default_profile)
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_profile)
     }
 
     /// Route and cost a message of `bytes` from `from` to `to`, updating
     /// per-link and aggregate statistics.
-    pub fn send(&mut self, from: NodeId, to: NodeId, bytes: u64) -> Result<MessageCost, NetworkError> {
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> Result<MessageCost, NetworkError> {
         let path = route(&self.topo, from, to)?;
         let mut total = SimDuration::ZERO;
         for w in path.windows(2) {
@@ -127,17 +135,30 @@ impl Network {
         }
         self.messages.add(1);
         self.bytes.add(bytes);
-        Ok(MessageCost { total, hops: path.len() - 1, path })
+        Ok(MessageCost {
+            total,
+            hops: path.len() - 1,
+            path,
+        })
     }
 
     /// Cost a message without mutating statistics (pure query).
-    pub fn message_cost(&self, from: NodeId, to: NodeId, bytes: u64) -> Result<MessageCost, NetworkError> {
+    pub fn message_cost(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> Result<MessageCost, NetworkError> {
         let path = route(&self.topo, from, to)?;
         let mut total = SimDuration::ZERO;
         for w in path.windows(2) {
             total += self.profile_for(w[0], w[1]).transfer_time(bytes);
         }
-        Ok(MessageCost { total, hops: path.len() - 1, path })
+        Ok(MessageCost {
+            total,
+            hops: path.len() - 1,
+            path,
+        })
     }
 
     /// Total messages sent through [`Network::send`].

@@ -65,7 +65,10 @@ pub fn route(topo: &Topology, from: NodeId, to: NodeId) -> Result<Vec<NodeId>, R
         TopologyKind::FullyConnected => vec![from, to],
         TopologyKind::SegmentedCluster => route_cluster(topo, from, to),
     };
-    debug_assert!(validate_path(topo, &path), "generated route is not a valid walk");
+    debug_assert!(
+        validate_path(topo, &path),
+        "generated route is not a valid walk"
+    );
     Ok(path)
 }
 
@@ -180,7 +183,8 @@ fn route_tree(_n: usize, from: NodeId, to: NodeId) -> Vec<NodeId> {
 /// shortcutting when endpoints share a segment or are infrastructure nodes.
 fn route_cluster(topo: &Topology, from: NodeId, to: NodeId) -> Vec<NodeId> {
     let master_of = |node: NodeId| -> Option<NodeId> {
-        topo.segment_of(node).map(|s| topo.segment_master(s).expect("segment exists"))
+        topo.segment_of(node)
+            .map(|s| topo.segment_master(s).expect("segment exists"))
     };
     let mut path = vec![from];
     let mut cur = from;
@@ -248,7 +252,10 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let t = Topology::ring(3);
-        assert!(matches!(route(&t, 0, 9), Err(RouteError::NodeOutOfRange { node: 9, .. })));
+        assert!(matches!(
+            route(&t, 0, 9),
+            Err(RouteError::NodeOutOfRange { node: 9, .. })
+        ));
     }
 
     #[test]

@@ -58,7 +58,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// An empty accumulator.
     pub fn new() -> RunningStats {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Fold one observation in.
@@ -149,7 +155,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
         assert!(hi > lo, "histogram range must be non-empty");
         assert!(buckets > 0, "histogram needs at least one bucket");
-        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0, stats: RunningStats::new() }
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            stats: RunningStats::new(),
+        }
     }
 
     /// Record one observation.

@@ -72,43 +72,95 @@ impl Topology {
     /// A star of `n` nodes; node 0 is the hub. `n >= 1`.
     pub fn star(n: usize) -> Topology {
         assert!(n >= 1, "star needs at least one node");
-        Topology { kind: TopologyKind::Star, nodes: n, dim_a: 0, dim_b: 0, segments: 0, slaves_per_segment: 0 }
+        Topology {
+            kind: TopologyKind::Star,
+            nodes: n,
+            dim_a: 0,
+            dim_b: 0,
+            segments: 0,
+            slaves_per_segment: 0,
+        }
     }
 
     /// A ring of `n` nodes. `n >= 2` to have distinct neighbours.
     pub fn ring(n: usize) -> Topology {
         assert!(n >= 2, "ring needs at least two nodes");
-        Topology { kind: TopologyKind::Ring, nodes: n, dim_a: 0, dim_b: 0, segments: 0, slaves_per_segment: 0 }
+        Topology {
+            kind: TopologyKind::Ring,
+            nodes: n,
+            dim_a: 0,
+            dim_b: 0,
+            segments: 0,
+            slaves_per_segment: 0,
+        }
     }
 
     /// A `rows x cols` mesh without wraparound.
     pub fn mesh2d(rows: usize, cols: usize) -> Topology {
         assert!(rows >= 1 && cols >= 1, "mesh dimensions must be positive");
-        Topology { kind: TopologyKind::Mesh2D, nodes: rows * cols, dim_a: rows, dim_b: cols, segments: 0, slaves_per_segment: 0 }
+        Topology {
+            kind: TopologyKind::Mesh2D,
+            nodes: rows * cols,
+            dim_a: rows,
+            dim_b: cols,
+            segments: 0,
+            slaves_per_segment: 0,
+        }
     }
 
     /// A `rows x cols` torus (mesh with wraparound links).
     pub fn torus2d(rows: usize, cols: usize) -> Topology {
-        assert!(rows >= 2 && cols >= 2, "torus dimensions must be at least 2");
-        Topology { kind: TopologyKind::Torus2D, nodes: rows * cols, dim_a: rows, dim_b: cols, segments: 0, slaves_per_segment: 0 }
+        assert!(
+            rows >= 2 && cols >= 2,
+            "torus dimensions must be at least 2"
+        );
+        Topology {
+            kind: TopologyKind::Torus2D,
+            nodes: rows * cols,
+            dim_a: rows,
+            dim_b: cols,
+            segments: 0,
+            slaves_per_segment: 0,
+        }
     }
 
     /// A binary hypercube of dimension `d` (so `2^d` nodes). `d <= 20`.
     pub fn hypercube(d: usize) -> Topology {
         assert!(d <= 20, "hypercube dimension unreasonably large");
-        Topology { kind: TopologyKind::Hypercube, nodes: 1 << d, dim_a: d, dim_b: 0, segments: 0, slaves_per_segment: 0 }
+        Topology {
+            kind: TopologyKind::Hypercube,
+            nodes: 1 << d,
+            dim_a: d,
+            dim_b: 0,
+            segments: 0,
+            slaves_per_segment: 0,
+        }
     }
 
     /// A complete binary tree of `n` nodes rooted at node 0.
     pub fn tree(n: usize) -> Topology {
         assert!(n >= 1, "tree needs at least one node");
-        Topology { kind: TopologyKind::Tree, nodes: n, dim_a: 0, dim_b: 0, segments: 0, slaves_per_segment: 0 }
+        Topology {
+            kind: TopologyKind::Tree,
+            nodes: n,
+            dim_a: 0,
+            dim_b: 0,
+            segments: 0,
+            slaves_per_segment: 0,
+        }
     }
 
     /// A clique of `n` nodes.
     pub fn fully_connected(n: usize) -> Topology {
         assert!(n >= 1, "clique needs at least one node");
-        Topology { kind: TopologyKind::FullyConnected, nodes: n, dim_a: 0, dim_b: 0, segments: 0, slaves_per_segment: 0 }
+        Topology {
+            kind: TopologyKind::FullyConnected,
+            nodes: n,
+            dim_a: 0,
+            dim_b: 0,
+            segments: 0,
+            slaves_per_segment: 0,
+        }
     }
 
     /// The paper's cluster fabric: a grid head node (id 0), `segments`
@@ -119,7 +171,10 @@ impl Topology {
     /// "each having sixteen slave nodes and a master node", joined by "a
     /// master server node" (§II).
     pub fn segmented_cluster(segments: usize, slaves: usize) -> Topology {
-        assert!(segments >= 1 && slaves >= 1, "cluster needs segments and slaves");
+        assert!(
+            segments >= 1 && slaves >= 1,
+            "cluster needs segments and slaves"
+        );
         Topology {
             kind: TopologyKind::SegmentedCluster,
             nodes: 1 + segments * (1 + slaves),
@@ -168,7 +223,10 @@ impl Topology {
 
     /// For a segmented cluster: the id of slave `i` of segment `s`.
     pub fn segment_slave(&self, s: usize, i: usize) -> Option<NodeId> {
-        if self.kind == TopologyKind::SegmentedCluster && s < self.segments && i < self.slaves_per_segment {
+        if self.kind == TopologyKind::SegmentedCluster
+            && s < self.segments
+            && i < self.slaves_per_segment
+        {
             Some(1 + s * (1 + self.slaves_per_segment) + 1 + i)
         } else {
             None
@@ -186,7 +244,11 @@ impl Topology {
 
     /// The neighbour set of `node`. Panics if `node` is out of range.
     pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
-        assert!(node < self.nodes, "node {node} out of range ({} nodes)", self.nodes);
+        assert!(
+            node < self.nodes,
+            "node {node} out of range ({} nodes)",
+            self.nodes
+        );
         match self.kind {
             TopologyKind::Star => {
                 if node == 0 {

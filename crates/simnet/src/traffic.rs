@@ -136,7 +136,14 @@ mod tests {
     #[test]
     fn transpose_mirrors() {
         let f = Pattern::Transpose.generate(4, 1, 0);
-        assert_eq!(f[0], Flow { src: 0, dst: 3, bytes: 1 });
+        assert_eq!(
+            f[0],
+            Flow {
+                src: 0,
+                dst: 3,
+                bytes: 1
+            }
+        );
         assert_eq!(f.len(), 4);
         // Odd n skips the self-paired middle node.
         let g = Pattern::Transpose.generate(5, 1, 0);

@@ -14,7 +14,12 @@ impl ArtifactId {
     /// Derive the id for `owner`'s compilation of `source`.
     pub fn derive(owner: &str, source: &str) -> ArtifactId {
         let mut h: u64 = 0xcbf29ce484222325;
-        for b in owner.as_bytes().iter().chain([0u8].iter()).chain(source.as_bytes()) {
+        for b in owner
+            .as_bytes()
+            .iter()
+            .chain([0u8].iter())
+            .chain(source.as_bytes())
+        {
             h ^= *b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
@@ -144,7 +149,13 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let mut store = ArtifactStore::new();
-        let id = store.put("alice", "/home/alice/a.mini", LanguageId::MiniLang, "src", prog());
+        let id = store.put(
+            "alice",
+            "/home/alice/a.mini",
+            LanguageId::MiniLang,
+            "src",
+            prog(),
+        );
         let art = store.get(&id).unwrap();
         assert_eq!(art.owner, "alice");
         assert_eq!(art.language, LanguageId::MiniLang);

@@ -23,7 +23,10 @@ pub struct VfsIo {
 impl VfsIo {
     /// Wrap the shared filesystem for `user`.
     pub fn new(fs: Arc<Mutex<Vfs>>, user: &str) -> VfsIo {
-        VfsIo { fs, user: user.to_string() }
+        VfsIo {
+            fs,
+            user: user.to_string(),
+        }
     }
 
     fn resolve(&self, path: &str) -> String {
@@ -38,7 +41,11 @@ impl VfsIo {
 impl HostIo for VfsIo {
     fn read_file(&mut self, path: &str) -> Result<String, String> {
         let full = self.resolve(path);
-        let bytes = self.fs.lock().read(&self.user, &full).map_err(|e| e.to_string())?;
+        let bytes = self
+            .fs
+            .lock()
+            .read(&self.user, &full)
+            .map_err(|e| e.to_string())?;
         String::from_utf8(bytes).map_err(|_| format!("{full}: not UTF-8"))
     }
 
@@ -110,14 +117,21 @@ pub struct Executor {
 impl Default for Executor {
     fn default() -> Self {
         let d = VmConfig::default();
-        Executor { seed: 0, policy: d.policy, max_instructions: d.max_instructions }
+        Executor {
+            seed: 0,
+            policy: d.policy,
+            max_instructions: d.max_instructions,
+        }
     }
 }
 
 impl Executor {
     /// An executor with a specific seed.
     pub fn with_seed(seed: u64) -> Executor {
-        Executor { seed, ..Executor::default() }
+        Executor {
+            seed,
+            ..Executor::default()
+        }
     }
 
     /// Run `artifact` as `user`, with filesystem access through `fs`.
@@ -147,20 +161,35 @@ impl Executor {
         let result = self.run_with_stdin(store, artifact, fs, user, stdin);
         let m = &obs.metrics;
         m.describe("ccp_toolchain_execs_total", "artifact executions by result");
-        m.describe("ccp_toolchain_exec_duration_us", "execution wall-clock latency");
-        m.describe("ccp_toolchain_exec_instructions", "VM instructions per execution");
+        m.describe(
+            "ccp_toolchain_exec_duration_us",
+            "execution wall-clock latency",
+        );
+        m.describe(
+            "ccp_toolchain_exec_instructions",
+            "VM instructions per execution",
+        );
         let label = match &result {
             Ok(report) if report.success() => "ok",
             Ok(_) => "runtime_error",
             Err(_) => "error",
         };
-        m.counter("ccp_toolchain_execs_total", &[("result", label)]).inc();
-        m.histogram("ccp_toolchain_exec_duration_us", &[], obs::DURATION_US_BOUNDS)
-            .record(started.elapsed().as_micros() as u64);
+        m.counter("ccp_toolchain_execs_total", &[("result", label)])
+            .inc();
+        m.histogram(
+            "ccp_toolchain_exec_duration_us",
+            &[],
+            obs::DURATION_US_BOUNDS,
+        )
+        .record(started.elapsed().as_micros() as u64);
         if let Ok(report) = &result {
             if let Some(outcome) = &report.outcome {
-                m.histogram("ccp_toolchain_exec_instructions", &[], obs::INSTRUCTION_BOUNDS)
-                    .record(outcome.executed);
+                m.histogram(
+                    "ccp_toolchain_exec_instructions",
+                    &[],
+                    obs::INSTRUCTION_BOUNDS,
+                )
+                .record(outcome.executed);
             }
         }
         result
@@ -190,8 +219,16 @@ impl Executor {
             vm.push_stdin(line.clone());
         }
         match vm.run() {
-            Ok(outcome) => Ok(ExecReport { artifact: artifact.clone(), outcome: Some(outcome), error: None }),
-            Err(e) => Ok(ExecReport { artifact: artifact.clone(), outcome: None, error: Some(e) }),
+            Ok(outcome) => Ok(ExecReport {
+                artifact: artifact.clone(),
+                outcome: Some(outcome),
+                error: None,
+            }),
+            Err(e) => Ok(ExecReport {
+                artifact: artifact.clone(),
+                outcome: None,
+                error: Some(e),
+            }),
         }
     }
 }
@@ -206,7 +243,13 @@ mod tests {
         fs.add_user("alice", 1 << 20).unwrap();
         let mut store = ArtifactStore::new();
         let program = minilang::compile(src).unwrap();
-        let id = store.put("alice", "/home/alice/p.mini", LanguageId::MiniLang, src, program);
+        let id = store.put(
+            "alice",
+            "/home/alice/p.mini",
+            LanguageId::MiniLang,
+            src,
+            program,
+        );
         (Arc::new(Mutex::new(fs)), store, id)
     }
 
@@ -221,7 +264,9 @@ mod tests {
     #[test]
     fn relative_paths_resolve_to_home() {
         let (fs, store, id) = setup(r#"fn main() { write_file("out.txt", "data"); }"#);
-        let report = Executor::default().run(&store, &id, Arc::clone(&fs), "alice").unwrap();
+        let report = Executor::default()
+            .run(&store, &id, Arc::clone(&fs), "alice")
+            .unwrap();
         assert!(report.success(), "{:?}", report.error);
         let content = fs.lock().read("alice", "/home/alice/out.txt").unwrap();
         assert_eq!(content, b"data");
@@ -259,8 +304,15 @@ mod tests {
             fn main() { var a = spawn w(); var b = spawn w(); join(a); join(b); return counter; }
         "#;
         let (fs, store, id) = setup(src);
-        let r1 = Executor::with_seed(3).run(&store, &id, Arc::clone(&fs), "alice").unwrap();
-        let r2 = Executor::with_seed(3).run(&store, &id, fs, "alice").unwrap();
-        assert_eq!(r1.outcome.unwrap().main_result, r2.outcome.unwrap().main_result);
+        let r1 = Executor::with_seed(3)
+            .run(&store, &id, Arc::clone(&fs), "alice")
+            .unwrap();
+        let r2 = Executor::with_seed(3)
+            .run(&store, &id, fs, "alice")
+            .unwrap();
+        assert_eq!(
+            r1.outcome.unwrap().main_result,
+            r2.outcome.unwrap().main_result
+        );
     }
 }

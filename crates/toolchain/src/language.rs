@@ -53,17 +53,23 @@ impl LanguageId {
     pub fn sniff(source: &str) -> LanguageId {
         let head: String = source.lines().take(50).collect::<Vec<_>>().join("\n");
         if head.contains("#include") {
-            return if head.contains("std::") || head.contains("iostream") || head.contains("template<") {
+            return if head.contains("std::")
+                || head.contains("iostream")
+                || head.contains("template<")
+            {
                 LanguageId::Cpp
             } else {
                 LanguageId::C
             };
         }
-        if head.contains("public class") || head.contains("public static void main") || head.contains("System.out")
+        if head.contains("public class")
+            || head.contains("public static void main")
+            || head.contains("System.out")
         {
             return LanguageId::Java;
         }
-        if head.contains("fn ") && (head.contains("var ") || head.contains("println(") || head.contains("spawn "))
+        if head.contains("fn ")
+            && (head.contains("var ") || head.contains("println(") || head.contains("spawn "))
         {
             return LanguageId::MiniLang;
         }
@@ -109,23 +115,44 @@ mod tests {
         assert_eq!(LanguageId::from_extension("prog.c"), LanguageId::C);
         assert_eq!(LanguageId::from_extension("prog.cpp"), LanguageId::Cpp);
         assert_eq!(LanguageId::from_extension("Main.java"), LanguageId::Java);
-        assert_eq!(LanguageId::from_extension("lab1.mini"), LanguageId::MiniLang);
+        assert_eq!(
+            LanguageId::from_extension("lab1.mini"),
+            LanguageId::MiniLang
+        );
         assert_eq!(LanguageId::from_extension("README"), LanguageId::Unknown);
     }
 
     #[test]
     fn content_sniffing() {
-        assert_eq!(LanguageId::sniff("#include <stdio.h>\nint main(){}"), LanguageId::C);
-        assert_eq!(LanguageId::sniff("#include <iostream>\nint main(){std::cout;}"), LanguageId::Cpp);
-        assert_eq!(LanguageId::sniff("public class Main { public static void main(String[] a){} }"), LanguageId::Java);
-        assert_eq!(LanguageId::sniff("fn main() { println(1); }"), LanguageId::MiniLang);
+        assert_eq!(
+            LanguageId::sniff("#include <stdio.h>\nint main(){}"),
+            LanguageId::C
+        );
+        assert_eq!(
+            LanguageId::sniff("#include <iostream>\nint main(){std::cout;}"),
+            LanguageId::Cpp
+        );
+        assert_eq!(
+            LanguageId::sniff("public class Main { public static void main(String[] a){} }"),
+            LanguageId::Java
+        );
+        assert_eq!(
+            LanguageId::sniff("fn main() { println(1); }"),
+            LanguageId::MiniLang
+        );
         assert_eq!(LanguageId::sniff("hello world"), LanguageId::Unknown);
     }
 
     #[test]
     fn detect_prefers_extension() {
-        assert_eq!(LanguageId::detect("x.java", "#include <stdio.h>"), LanguageId::Java);
-        assert_eq!(LanguageId::detect("noext", "fn main() { var x = 1; }"), LanguageId::MiniLang);
+        assert_eq!(
+            LanguageId::detect("x.java", "#include <stdio.h>"),
+            LanguageId::Java
+        );
+        assert_eq!(
+            LanguageId::detect("noext", "fn main() { var x = 1; }"),
+            LanguageId::MiniLang
+        );
     }
 
     #[test]
@@ -133,7 +160,10 @@ mod tests {
         assert!(LanguageId::MiniLang.executable_here());
         assert!(!LanguageId::Java.executable_here());
         assert!(LanguageId::C.porting_hint().unwrap().contains("pthread"));
-        assert!(LanguageId::Java.porting_hint().unwrap().contains("synchronized"));
+        assert!(LanguageId::Java
+            .porting_hint()
+            .unwrap()
+            .contains("synchronized"));
         assert!(LanguageId::MiniLang.porting_hint().is_none());
     }
 }

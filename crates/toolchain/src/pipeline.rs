@@ -48,7 +48,11 @@ pub struct Diagnostic {
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "{}:{}:{}: {}: {}", self.file, self.line, self.col, self.severity, self.message)
+            write!(
+                f,
+                "{}:{}:{}: {}: {}",
+                self.file, self.line, self.col, self.severity, self.message
+            )
         } else {
             write!(f, "{}: {}: {}", self.file, self.severity, self.message)
         }
@@ -91,7 +95,11 @@ impl CompileReport {
             out.push('\n');
         }
         if self.success() {
-            out.push_str(&format!("compiled {} -> artifact {}\n", self.request.source_path, self.artifact.as_ref().expect("checked")));
+            out.push_str(&format!(
+                "compiled {} -> artifact {}\n",
+                self.request.source_path,
+                self.artifact.as_ref().expect("checked")
+            ));
         }
         out
     }
@@ -100,21 +108,39 @@ impl CompileReport {
 impl CompileRequest {
     /// A request for `user`'s file at `source_path`.
     pub fn new(user: &str, source_path: &str) -> CompileRequest {
-        CompileRequest { user: user.to_string(), source_path: source_path.to_string() }
+        CompileRequest {
+            user: user.to_string(),
+            source_path: source_path.to_string(),
+        }
     }
 
     /// Like [`CompileRequest::run`], recording a
     /// `ccp_toolchain_compiles_total{result}` counter and a wall-clock
     /// `ccp_toolchain_compile_duration_us` histogram into `obs`.
-    pub fn run_observed(&self, fs: &Vfs, store: &mut ArtifactStore, obs: &obs::Obs) -> CompileReport {
+    pub fn run_observed(
+        &self,
+        fs: &Vfs,
+        store: &mut ArtifactStore,
+        obs: &obs::Obs,
+    ) -> CompileReport {
         let started = std::time::Instant::now();
         let report = self.run(fs, store);
         let result = if report.success() { "ok" } else { "error" };
-        obs.metrics.describe("ccp_toolchain_compiles_total", "compilations by result");
-        obs.metrics.describe("ccp_toolchain_compile_duration_us", "compilation wall-clock latency");
-        obs.metrics.counter("ccp_toolchain_compiles_total", &[("result", result)]).inc();
         obs.metrics
-            .histogram("ccp_toolchain_compile_duration_us", &[], obs::DURATION_US_BOUNDS)
+            .describe("ccp_toolchain_compiles_total", "compilations by result");
+        obs.metrics.describe(
+            "ccp_toolchain_compile_duration_us",
+            "compilation wall-clock latency",
+        );
+        obs.metrics
+            .counter("ccp_toolchain_compiles_total", &[("result", result)])
+            .inc();
+        obs.metrics
+            .histogram(
+                "ccp_toolchain_compile_duration_us",
+                &[],
+                obs::DURATION_US_BOUNDS,
+            )
             .record(started.elapsed().as_micros() as u64);
         report
     }
@@ -165,7 +191,9 @@ impl CompileRequest {
                 file: self.source_path.clone(),
                 line: 0,
                 col: 0,
-                message: format!("{language} sources are recognized but not executable on this cluster"),
+                message: format!(
+                    "{language} sources are recognized but not executable on this cluster"
+                ),
             });
             if let Some(hint) = language.porting_hint() {
                 diagnostics.push(Diagnostic {
@@ -176,12 +204,22 @@ impl CompileRequest {
                     message: hint.to_string(),
                 });
             }
-            return CompileReport { request: self.clone(), language, diagnostics, artifact: None };
+            return CompileReport {
+                request: self.clone(),
+                language,
+                diagnostics,
+                artifact: None,
+            };
         }
         match minilang::compile(&source) {
             Ok(program) => {
                 let id = store.put(&self.user, &self.source_path, language, &source, program);
-                CompileReport { request: self.clone(), language, diagnostics, artifact: Some(id) }
+                CompileReport {
+                    request: self.clone(),
+                    language,
+                    diagnostics,
+                    artifact: Some(id),
+                }
             }
             Err(err) => {
                 let (line, col, message) = match &err {
@@ -197,7 +235,12 @@ impl CompileRequest {
                     col,
                     message,
                 });
-                CompileReport { request: self.clone(), language, diagnostics, artifact: None }
+                CompileReport {
+                    request: self.clone(),
+                    language,
+                    diagnostics,
+                    artifact: None,
+                }
             }
         }
     }
@@ -216,7 +259,12 @@ mod tests {
     #[test]
     fn good_source_compiles_to_artifact() {
         let (mut fs, mut store) = setup();
-        fs.write("alice", "/home/alice/hello.mini", b"fn main() { println(42); }".to_vec()).unwrap();
+        fs.write(
+            "alice",
+            "/home/alice/hello.mini",
+            b"fn main() { println(42); }".to_vec(),
+        )
+        .unwrap();
         let report = CompileRequest::new("alice", "/home/alice/hello.mini").run(&fs, &mut store);
         assert!(report.success(), "{:?}", report.diagnostics);
         assert_eq!(report.language, LanguageId::MiniLang);
@@ -227,7 +275,12 @@ mod tests {
     #[test]
     fn syntax_error_positions_reported() {
         let (mut fs, mut store) = setup();
-        fs.write("alice", "/home/alice/bad.mini", b"fn main() {\n  var = 3;\n}".to_vec()).unwrap();
+        fs.write(
+            "alice",
+            "/home/alice/bad.mini",
+            b"fn main() {\n  var = 3;\n}".to_vec(),
+        )
+        .unwrap();
         let report = CompileRequest::new("alice", "/home/alice/bad.mini").run(&fs, &mut store);
         assert!(!report.success());
         let d = &report.diagnostics[0];
@@ -248,7 +301,8 @@ mod tests {
     fn permission_denied_reported() {
         let (mut fs, mut store) = setup();
         fs.add_user("bob", 1 << 20).unwrap();
-        fs.write("alice", "/home/alice/x.mini", b"fn main() { }".to_vec()).unwrap();
+        fs.write("alice", "/home/alice/x.mini", b"fn main() { }".to_vec())
+            .unwrap();
         let report = CompileRequest::new("bob", "/home/alice/x.mini").run(&fs, &mut store);
         assert!(!report.success());
         assert!(report.diagnostics[0].message.contains("permission denied"));
@@ -266,14 +320,18 @@ mod tests {
         let report = CompileRequest::new("alice", "/home/alice/Main.java").run(&fs, &mut store);
         assert!(!report.success());
         assert_eq!(report.language, LanguageId::Java);
-        assert!(report.diagnostics.iter().any(|d| d.severity == Severity::Note));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Note));
         assert!(report.render().contains("synchronized"));
     }
 
     #[test]
     fn non_utf8_rejected() {
         let (mut fs, mut store) = setup();
-        fs.write("alice", "/home/alice/bin.mini", vec![0xFF, 0xFE, 0x00]).unwrap();
+        fs.write("alice", "/home/alice/bin.mini", vec![0xFF, 0xFE, 0x00])
+            .unwrap();
         let report = CompileRequest::new("alice", "/home/alice/bin.mini").run(&fs, &mut store);
         assert!(!report.success());
         assert!(report.diagnostics[0].message.contains("UTF-8"));

@@ -67,12 +67,22 @@ impl fmt::Display for VfsError {
             VfsError::PermissionDenied { user, path, op } => {
                 write!(f, "{user}: permission denied for {op} on {path}")
             }
-            VfsError::QuotaExceeded { user, used, limit, requested } => {
-                write!(f, "{user}: quota exceeded ({used}+{requested} > {limit} bytes)")
+            VfsError::QuotaExceeded {
+                user,
+                used,
+                limit,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "{user}: quota exceeded ({used}+{requested} > {limit} bytes)"
+                )
             }
             VfsError::NoSuchUser(u) => write!(f, "no such user {u}"),
             VfsError::UserExists(u) => write!(f, "user {u} already exists"),
-            VfsError::MoveIntoSelf { from, to } => write!(f, "cannot move {from} into its own subtree {to}"),
+            VfsError::MoveIntoSelf { from, to } => {
+                write!(f, "cannot move {from} into its own subtree {to}")
+            }
         }
     }
 }

@@ -24,19 +24,34 @@ pub struct Mode {
 impl Default for Mode {
     /// `rw-r--`: owner read/write, world read.
     fn default() -> Self {
-        Mode { owner_read: true, owner_write: true, world_read: true, world_write: false }
+        Mode {
+            owner_read: true,
+            owner_write: true,
+            world_read: true,
+            world_write: false,
+        }
     }
 }
 
 impl Mode {
     /// `rw----`: private to the owner (home directories).
     pub fn private() -> Mode {
-        Mode { owner_read: true, owner_write: true, world_read: false, world_write: false }
+        Mode {
+            owner_read: true,
+            owner_write: true,
+            world_read: false,
+            world_write: false,
+        }
     }
 
     /// `rw-rw-`: shared scratch space.
     pub fn shared() -> Mode {
-        Mode { owner_read: true, owner_write: true, world_read: true, world_write: true }
+        Mode {
+            owner_read: true,
+            owner_write: true,
+            world_read: true,
+            world_write: true,
+        }
     }
 }
 
@@ -82,8 +97,14 @@ struct Meta {
 
 #[derive(Debug, Clone)]
 enum Node {
-    File { meta: Meta, data: Vec<u8> },
-    Dir { meta: Meta, children: BTreeMap<String, Node> },
+    File {
+        meta: Meta,
+        data: Vec<u8>,
+    },
+    Dir {
+        meta: Meta,
+        children: BTreeMap<String, Node>,
+    },
 }
 
 impl Node {
@@ -115,7 +136,13 @@ impl Node {
 
     fn stat(&self) -> Stat {
         let m = self.meta();
-        Stat { kind: self.kind(), size: self.size(), owner: m.owner.clone(), mode: m.mode, mtime: m.mtime }
+        Stat {
+            kind: self.kind(),
+            size: self.size(),
+            owner: m.owner.clone(),
+            mode: m.mode,
+            mtime: m.mtime,
+        }
     }
 
     /// Total bytes of all files in this subtree, grouped by owner.
@@ -160,15 +187,35 @@ impl Default for Vfs {
 impl Vfs {
     /// An empty filesystem containing `/` and `/home`, owned by root.
     pub fn new() -> Vfs {
-        let meta = Meta { owner: ROOT_USER.to_string(), mode: Mode::default(), mtime: 0 };
+        let meta = Meta {
+            owner: ROOT_USER.to_string(),
+            mode: Mode::default(),
+            mtime: 0,
+        };
         let mut root_children = BTreeMap::new();
         root_children.insert(
             "home".to_string(),
-            Node::Dir { meta: meta.clone(), children: BTreeMap::new() },
+            Node::Dir {
+                meta: meta.clone(),
+                children: BTreeMap::new(),
+            },
         );
         let mut users = HashMap::new();
-        users.insert(ROOT_USER.to_string(), UserAccount { quota_limit: u64::MAX, quota_used: 0 });
-        Vfs { root: Node::Dir { meta, children: root_children }, users, clock: 1 }
+        users.insert(
+            ROOT_USER.to_string(),
+            UserAccount {
+                quota_limit: u64::MAX,
+                quota_used: 0,
+            },
+        );
+        Vfs {
+            root: Node::Dir {
+                meta,
+                children: root_children,
+            },
+            users,
+            clock: 1,
+        }
     }
 
     fn tick(&mut self) -> u64 {
@@ -182,9 +229,18 @@ impl Vfs {
             return Err(VfsError::UserExists(user.to_string()));
         }
         if user.is_empty() || user.contains('/') || user.contains('\0') {
-            return Err(VfsError::InvalidPath { path: user.to_string(), reason: "bad user name" });
+            return Err(VfsError::InvalidPath {
+                path: user.to_string(),
+                reason: "bad user name",
+            });
         }
-        self.users.insert(user.to_string(), UserAccount { quota_limit: quota_bytes, quota_used: 0 });
+        self.users.insert(
+            user.to_string(),
+            UserAccount {
+                quota_limit: quota_bytes,
+                quota_used: 0,
+            },
+        );
         let home = VPath::parse("/home")?.join(user)?;
         self.mkdir_as(ROOT_USER, &home)?;
         // Hand the home dir to the user, private.
@@ -220,7 +276,9 @@ impl Vfs {
         for comp in path.components() {
             match cur {
                 Node::Dir { children, .. } => {
-                    cur = children.get(comp).ok_or_else(|| VfsError::NotFound(path.to_string()))?;
+                    cur = children
+                        .get(comp)
+                        .ok_or_else(|| VfsError::NotFound(path.to_string()))?;
                 }
                 Node::File { .. } => return Err(VfsError::NotADirectory(path.to_string())),
             }
@@ -233,7 +291,9 @@ impl Vfs {
         for comp in path.components() {
             match cur {
                 Node::Dir { children, .. } => {
-                    cur = children.get_mut(comp).ok_or_else(|| VfsError::NotFound(path.to_string()))?;
+                    cur = children
+                        .get_mut(comp)
+                        .ok_or_else(|| VfsError::NotFound(path.to_string()))?;
                 }
                 Node::File { .. } => return Err(VfsError::NotADirectory(path.to_string())),
             }
@@ -317,7 +377,11 @@ impl Vfs {
             return Err(VfsError::NotADirectory(dir.to_string()));
         }
         if !self.can_write(user, node) {
-            return Err(VfsError::PermissionDenied { user: user.to_string(), path: dir.to_string(), op: "write" });
+            return Err(VfsError::PermissionDenied {
+                user: user.to_string(),
+                path: dir.to_string(),
+                op: "write",
+            });
         }
         Ok(())
     }
@@ -325,7 +389,10 @@ impl Vfs {
     // ---- quota -----------------------------------------------------------
 
     fn charge(&mut self, user: &str, delta_new: u64, delta_freed: u64) -> Result<(), VfsError> {
-        let acct = self.users.get_mut(user).ok_or_else(|| VfsError::NoSuchUser(user.to_string()))?;
+        let acct = self
+            .users
+            .get_mut(user)
+            .ok_or_else(|| VfsError::NoSuchUser(user.to_string()))?;
         let after_free = acct.quota_used.saturating_sub(delta_freed);
         if delta_new > 0 && after_free.saturating_add(delta_new) > acct.quota_limit {
             return Err(VfsError::QuotaExceeded {
@@ -367,10 +434,20 @@ impl Vfs {
         }
         let t = self.tick();
         let name = p.file_name().expect("non-root path has a name").to_string();
-        let meta = Meta { owner: user.to_string(), mode: Mode::default(), mtime: t };
+        let meta = Meta {
+            owner: user.to_string(),
+            mode: Mode::default(),
+            mtime: t,
+        };
         match self.node_mut(&parent)? {
             Node::Dir { children, .. } => {
-                children.insert(name, Node::Dir { meta, children: BTreeMap::new() });
+                children.insert(
+                    name,
+                    Node::Dir {
+                        meta,
+                        children: BTreeMap::new(),
+                    },
+                );
                 Ok(())
             }
             Node::File { .. } => Err(VfsError::NotADirectory(parent.to_string())),
@@ -399,7 +476,7 @@ impl Vfs {
         self.check_traverse(user, &p)?;
         let parent = p.parent().ok_or(VfsError::IsADirectory("/".to_string()))?;
         match self.node(&p) {
-            Ok(Node::Dir { .. }) => return Err(VfsError::IsADirectory(p.to_string())),
+            Ok(Node::Dir { .. }) => Err(VfsError::IsADirectory(p.to_string())),
             Ok(node @ Node::File { .. }) => {
                 if !self.can_write(user, node) {
                     return Err(VfsError::PermissionDenied {
@@ -422,7 +499,11 @@ impl Vfs {
                 self.charge(user, data.len() as u64, 0)?;
                 let t = self.tick();
                 let name = p.file_name().expect("non-root").to_string();
-                let meta = Meta { owner: user.to_string(), mode: Mode::default(), mtime: t };
+                let meta = Meta {
+                    owner: user.to_string(),
+                    mode: Mode::default(),
+                    mtime: t,
+                };
                 match self.node_mut(&parent)? {
                     Node::Dir { children, .. } => {
                         children.insert(name, Node::File { meta, data });
@@ -457,7 +538,11 @@ impl Vfs {
         self.check_traverse(user, &p)?;
         let node = self.node(&p)?;
         if !self.can_read(user, node) {
-            return Err(VfsError::PermissionDenied { user: user.to_string(), path: p.to_string(), op: "read" });
+            return Err(VfsError::PermissionDenied {
+                user: user.to_string(),
+                path: p.to_string(),
+                op: "read",
+            });
         }
         match node {
             Node::File { data, .. } => Ok(data.clone()),
@@ -472,12 +557,19 @@ impl Vfs {
         self.check_traverse(user, &p)?;
         let node = self.node(&p)?;
         if !self.can_read(user, node) {
-            return Err(VfsError::PermissionDenied { user: user.to_string(), path: p.to_string(), op: "read" });
+            return Err(VfsError::PermissionDenied {
+                user: user.to_string(),
+                path: p.to_string(),
+                op: "read",
+            });
         }
         match node {
             Node::Dir { children, .. } => Ok(children
                 .iter()
-                .map(|(name, n)| DirEntry { name: name.clone(), stat: n.stat() })
+                .map(|(name, n)| DirEntry {
+                    name: name.clone(),
+                    stat: n.stat(),
+                })
                 .collect()),
             Node::File { .. } => Err(VfsError::NotADirectory(p.to_string())),
         }
@@ -505,7 +597,9 @@ impl Vfs {
     /// True when the path exists (no permission check; used internally by
     /// the portal for existence probes within the caller's own home).
     pub fn exists(&self, path: &str) -> bool {
-        VPath::parse(path).map(|p| self.exists_node(&p)).unwrap_or(false)
+        VPath::parse(path)
+            .map(|p| self.exists_node(&p))
+            .unwrap_or(false)
     }
 
     /// Change an entry's permission bits (owner or root only).
@@ -515,7 +609,11 @@ impl Vfs {
         self.check_traverse(user, &p)?;
         let node = self.node(&p)?;
         if user != ROOT_USER && node.meta().owner != user {
-            return Err(VfsError::PermissionDenied { user: user.to_string(), path: p.to_string(), op: "chmod" });
+            return Err(VfsError::PermissionDenied {
+                user: user.to_string(),
+                path: p.to_string(),
+                op: "chmod",
+            });
         }
         let t = self.tick();
         let m = self.node_mut(&p)?.meta_mut();
@@ -571,15 +669,24 @@ impl Vfs {
         self.check_traverse(user, &pt)?;
         let src = self.node(&pf)?;
         if !self.can_read(user, src) {
-            return Err(VfsError::PermissionDenied { user: user.to_string(), path: pf.to_string(), op: "read" });
+            return Err(VfsError::PermissionDenied {
+                user: user.to_string(),
+                path: pf.to_string(),
+                op: "read",
+            });
         }
         if pt.starts_with(&pf) && src.kind() == EntryKind::Dir {
-            return Err(VfsError::MoveIntoSelf { from: pf.to_string(), to: pt.to_string() });
+            return Err(VfsError::MoveIntoSelf {
+                from: pf.to_string(),
+                to: pt.to_string(),
+            });
         }
         if self.exists_node(&pt) {
             return Err(VfsError::AlreadyExists(pt.to_string()));
         }
-        let dest_parent = pt.parent().ok_or(VfsError::AlreadyExists("/".to_string()))?;
+        let dest_parent = pt
+            .parent()
+            .ok_or(VfsError::AlreadyExists("/".to_string()))?;
         self.check_dir_writable(user, &dest_parent)?;
         // Charge the full subtree size to the copier before mutating.
         let mut usage = HashMap::new();
@@ -608,7 +715,10 @@ impl Vfs {
         self.check_traverse(user, &pf)?;
         self.check_traverse(user, &pt)?;
         if pt.starts_with(&pf) && pf != pt {
-            return Err(VfsError::MoveIntoSelf { from: pf.to_string(), to: pt.to_string() });
+            return Err(VfsError::MoveIntoSelf {
+                from: pf.to_string(),
+                to: pt.to_string(),
+            });
         }
         if self.exists_node(&pt) {
             return Err(VfsError::AlreadyExists(pt.to_string()));
@@ -618,7 +728,9 @@ impl Vfs {
             path: "/".to_string(),
             op: "move",
         })?;
-        let dst_parent = pt.parent().ok_or(VfsError::AlreadyExists("/".to_string()))?;
+        let dst_parent = pt
+            .parent()
+            .ok_or(VfsError::AlreadyExists("/".to_string()))?;
         self.node(&pf)?; // existence check before any mutation
         self.check_dir_writable(user, &src_parent)?;
         self.check_dir_writable(user, &dst_parent)?;
@@ -647,7 +759,11 @@ impl Vfs {
         self.check_traverse(user, &p)?;
         let node = self.node(&p)?;
         if !self.can_read(user, node) {
-            return Err(VfsError::PermissionDenied { user: user.to_string(), path: p.to_string(), op: "read" });
+            return Err(VfsError::PermissionDenied {
+                user: user.to_string(),
+                path: p.to_string(),
+                op: "read",
+            });
         }
         let mut out = Vec::new();
         walk_inner(node, &p.to_string(), &mut out);
@@ -659,7 +775,11 @@ fn walk_inner(node: &Node, path: &str, out: &mut Vec<(String, Stat)>) {
     out.push((path.to_string(), node.stat()));
     if let Node::Dir { children, .. } = node {
         for (name, child) in children {
-            let child_path = if path == "/" { format!("/{name}") } else { format!("{path}/{name}") };
+            let child_path = if path == "/" {
+                format!("/{name}")
+            } else {
+                format!("{path}/{name}")
+            };
             walk_inner(child, &child_path, out);
         }
     }
@@ -705,14 +825,18 @@ mod tests {
     #[test]
     fn duplicate_user_rejected() {
         let mut fs = fs_with_alice();
-        assert_eq!(fs.add_user("alice", 1), Err(VfsError::UserExists("alice".into())));
+        assert_eq!(
+            fs.add_user("alice", 1),
+            Err(VfsError::UserExists("alice".into()))
+        );
         assert!(fs.add_user("bad/name", 1).is_err());
     }
 
     #[test]
     fn write_read_roundtrip() {
         let mut fs = fs_with_alice();
-        fs.write("alice", "/home/alice/a.txt", b"hello".to_vec()).unwrap();
+        fs.write("alice", "/home/alice/a.txt", b"hello".to_vec())
+            .unwrap();
         assert_eq!(fs.read("alice", "/home/alice/a.txt").unwrap(), b"hello");
         let (used, _) = fs.quota("alice").unwrap();
         assert_eq!(used, 5);
@@ -749,7 +873,8 @@ mod tests {
     fn other_users_cannot_enter_private_home() {
         let mut fs = fs_with_alice();
         fs.add_user("bob", 1_000).unwrap();
-        fs.write("alice", "/home/alice/secret", b"x".to_vec()).unwrap();
+        fs.write("alice", "/home/alice/secret", b"x".to_vec())
+            .unwrap();
         assert!(matches!(
             fs.read("bob", "/home/alice/secret"),
             Err(VfsError::PermissionDenied { .. })
@@ -758,7 +883,10 @@ mod tests {
             fs.write("bob", "/home/alice/drop.txt", vec![]),
             Err(VfsError::PermissionDenied { .. })
         ));
-        assert!(matches!(fs.list("bob", "/home/alice"), Err(VfsError::PermissionDenied { .. })));
+        assert!(matches!(
+            fs.list("bob", "/home/alice"),
+            Err(VfsError::PermissionDenied { .. })
+        ));
         // Root can.
         assert_eq!(fs.read("root", "/home/alice/secret").unwrap(), b"x");
     }
@@ -767,19 +895,30 @@ mod tests {
     fn chmod_shares_a_file() {
         let mut fs = fs_with_alice();
         fs.add_user("bob", 1_000).unwrap();
-        fs.write("alice", "/home/alice/paper.txt", b"draft".to_vec()).unwrap();
+        fs.write("alice", "/home/alice/paper.txt", b"draft".to_vec())
+            .unwrap();
         fs.chmod("alice", "/home/alice", Mode::default()).unwrap(); // world can traverse listing
         assert_eq!(fs.read("bob", "/home/alice/paper.txt").unwrap(), b"draft");
-        assert!(matches!(fs.chmod("bob", "/home/alice/paper.txt", Mode::shared()), Err(VfsError::PermissionDenied { .. })));
+        assert!(matches!(
+            fs.chmod("bob", "/home/alice/paper.txt", Mode::shared()),
+            Err(VfsError::PermissionDenied { .. })
+        ));
     }
 
     #[test]
     fn mkdir_and_listing() {
         let mut fs = fs_with_alice();
         fs.mkdir("alice", "/home/alice/src").unwrap();
-        fs.write("alice", "/home/alice/src/main.c", b"x".to_vec()).unwrap();
-        fs.write("alice", "/home/alice/readme", b"y".to_vec()).unwrap();
-        let names: Vec<_> = fs.list("alice", "/home/alice").unwrap().into_iter().map(|e| e.name).collect();
+        fs.write("alice", "/home/alice/src/main.c", b"x".to_vec())
+            .unwrap();
+        fs.write("alice", "/home/alice/readme", b"y".to_vec())
+            .unwrap();
+        let names: Vec<_> = fs
+            .list("alice", "/home/alice")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["readme", "src"]);
     }
 
@@ -797,7 +936,10 @@ mod tests {
         let mut fs = fs_with_alice();
         fs.mkdir("alice", "/home/alice/d").unwrap();
         fs.write("alice", "/home/alice/d/f", vec![0; 7]).unwrap();
-        assert!(matches!(fs.remove("alice", "/home/alice/d"), Err(VfsError::DirectoryNotEmpty(_))));
+        assert!(matches!(
+            fs.remove("alice", "/home/alice/d"),
+            Err(VfsError::DirectoryNotEmpty(_))
+        ));
         fs.remove_recursive("alice", "/home/alice/d").unwrap();
         assert!(!fs.exists("/home/alice/d"));
         assert_eq!(fs.quota("alice").unwrap().0, 0);
@@ -807,8 +949,10 @@ mod tests {
     fn rename_moves_subtree() {
         let mut fs = fs_with_alice();
         fs.mkdir("alice", "/home/alice/old").unwrap();
-        fs.write("alice", "/home/alice/old/f", b"data".to_vec()).unwrap();
-        fs.rename("alice", "/home/alice/old", "/home/alice/new").unwrap();
+        fs.write("alice", "/home/alice/old/f", b"data".to_vec())
+            .unwrap();
+        fs.rename("alice", "/home/alice/old", "/home/alice/new")
+            .unwrap();
         assert!(!fs.exists("/home/alice/old"));
         assert_eq!(fs.read("alice", "/home/alice/new/f").unwrap(), b"data");
         assert_eq!(fs.quota("alice").unwrap().0, 4);
@@ -829,16 +973,21 @@ mod tests {
         let mut fs = fs_with_alice();
         fs.write("alice", "/home/alice/a", vec![]).unwrap();
         fs.write("alice", "/home/alice/b", vec![]).unwrap();
-        assert!(matches!(fs.rename("alice", "/home/alice/a", "/home/alice/b"), Err(VfsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.rename("alice", "/home/alice/a", "/home/alice/b"),
+            Err(VfsError::AlreadyExists(_))
+        ));
     }
 
     #[test]
     fn copy_file_charges_copier() {
         let mut fs = fs_with_alice();
         fs.add_user("bob", 1_000).unwrap();
-        fs.write("alice", "/home/alice/pub.txt", vec![0; 50]).unwrap();
+        fs.write("alice", "/home/alice/pub.txt", vec![0; 50])
+            .unwrap();
         fs.chmod("alice", "/home/alice", Mode::default()).unwrap();
-        fs.copy("bob", "/home/alice/pub.txt", "/home/bob/mine.txt").unwrap();
+        fs.copy("bob", "/home/alice/pub.txt", "/home/bob/mine.txt")
+            .unwrap();
         assert_eq!(fs.quota("bob").unwrap().0, 50);
         assert_eq!(fs.quota("alice").unwrap().0, 50);
         assert_eq!(fs.stat("bob", "/home/bob/mine.txt").unwrap().owner, "bob");
@@ -850,9 +999,14 @@ mod tests {
         fs.mkdir("alice", "/home/alice/proj").unwrap();
         fs.write("alice", "/home/alice/proj/a", vec![1; 3]).unwrap();
         fs.mkdir("alice", "/home/alice/proj/sub").unwrap();
-        fs.write("alice", "/home/alice/proj/sub/b", vec![2; 4]).unwrap();
-        fs.copy("alice", "/home/alice/proj", "/home/alice/proj2").unwrap();
-        assert_eq!(fs.read("alice", "/home/alice/proj2/sub/b").unwrap(), vec![2; 4]);
+        fs.write("alice", "/home/alice/proj/sub/b", vec![2; 4])
+            .unwrap();
+        fs.copy("alice", "/home/alice/proj", "/home/alice/proj2")
+            .unwrap();
+        assert_eq!(
+            fs.read("alice", "/home/alice/proj2/sub/b").unwrap(),
+            vec![2; 4]
+        );
         assert_eq!(fs.quota("alice").unwrap().0, 14);
     }
 
@@ -880,15 +1034,26 @@ mod tests {
         let mut fs = fs_with_alice();
         fs.mkdir("alice", "/home/alice/x").unwrap();
         fs.write("alice", "/home/alice/x/f", vec![]).unwrap();
-        let paths: Vec<_> = fs.walk("alice", "/home/alice").unwrap().into_iter().map(|(p, _)| p).collect();
-        assert_eq!(paths, vec!["/home/alice", "/home/alice/x", "/home/alice/x/f"]);
+        let paths: Vec<_> = fs
+            .walk("alice", "/home/alice")
+            .unwrap()
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(
+            paths,
+            vec!["/home/alice", "/home/alice/x", "/home/alice/x/f"]
+        );
     }
 
     #[test]
     fn read_dir_as_file_errors() {
         let fs = fs_with_alice();
-        assert!(matches!(fs.read("alice", "/home/alice"), Err(VfsError::IsADirectory(_))));
-        assert!(matches!(fs.list("root", "/home/alice/../.."), Ok(_)));
+        assert!(matches!(
+            fs.read("alice", "/home/alice"),
+            Err(VfsError::IsADirectory(_))
+        ));
+        assert!(fs.list("root", "/home/alice/../..").is_ok());
     }
 
     #[test]
@@ -904,8 +1069,14 @@ mod tests {
     #[test]
     fn unknown_user_rejected_everywhere() {
         let mut fs = Vfs::new();
-        assert!(matches!(fs.write("ghost", "/x", vec![]), Err(VfsError::NoSuchUser(_))));
-        assert!(matches!(fs.read("ghost", "/home"), Err(VfsError::NoSuchUser(_))));
+        assert!(matches!(
+            fs.write("ghost", "/x", vec![]),
+            Err(VfsError::NoSuchUser(_))
+        ));
+        assert!(matches!(
+            fs.read("ghost", "/home"),
+            Err(VfsError::NoSuchUser(_))
+        ));
         assert!(matches!(fs.home_of("ghost"), Err(VfsError::NoSuchUser(_))));
     }
 

@@ -17,7 +17,9 @@ pub struct VPath {
 impl VPath {
     /// The root directory `/`.
     pub fn root() -> VPath {
-        VPath { components: Vec::new() }
+        VPath {
+            components: Vec::new(),
+        }
     }
 
     /// Parse and normalize. Accepts relative input by anchoring at `/`.
@@ -34,10 +36,16 @@ impl VPath {
                 }
                 c => {
                     if c.contains('\0') {
-                        return Err(VfsError::InvalidPath { path: raw.to_string(), reason: "NUL in component" });
+                        return Err(VfsError::InvalidPath {
+                            path: raw.to_string(),
+                            reason: "NUL in component",
+                        });
                     }
                     if c.len() > 255 {
-                        return Err(VfsError::InvalidPath { path: raw.to_string(), reason: "component too long" });
+                        return Err(VfsError::InvalidPath {
+                            path: raw.to_string(),
+                            reason: "component too long",
+                        });
                     }
                     components.push(c.to_string());
                 }
@@ -66,7 +74,9 @@ impl VPath {
         if self.components.is_empty() {
             None
         } else {
-            Some(VPath { components: self.components[..self.components.len() - 1].to_vec() })
+            Some(VPath {
+                components: self.components[..self.components.len() - 1].to_vec(),
+            })
         }
     }
 
@@ -115,7 +125,10 @@ mod tests {
     #[test]
     fn dotdot_clamps_at_root() {
         assert_eq!(VPath::parse("/a/../b").unwrap().to_string(), "/b");
-        assert_eq!(VPath::parse("/../../etc/passwd").unwrap().to_string(), "/etc/passwd");
+        assert_eq!(
+            VPath::parse("/../../etc/passwd").unwrap().to_string(),
+            "/etc/passwd"
+        );
         assert_eq!(VPath::parse("/a/b/../..").unwrap().to_string(), "/");
     }
 

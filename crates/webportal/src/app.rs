@@ -19,13 +19,18 @@ pub struct App {
 impl App {
     /// Wrap a portal.
     pub fn new(portal: Portal) -> Arc<App> {
-        Arc::new(App { portal: Mutex::new(portal) })
+        Arc::new(App {
+            portal: Mutex::new(portal),
+        })
     }
 }
 
 /// Wall-clock seconds (session clock).
 fn now() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 /// Extract the bearer token from cookie or Authorization header.
@@ -57,7 +62,10 @@ fn err_response(e: &PortalError) -> Response {
         PortalError::JobLost { .. } => Status::GONE,
         PortalError::JobTimedOut { .. } => Status::REQUEST_TIMEOUT,
     };
-    Response::json(status, &Json::obj(vec![("error", Json::str(e.to_string()))]))
+    Response::json(
+        status,
+        &Json::obj(vec![("error", Json::str(e.to_string()))]),
+    )
 }
 
 macro_rules! try_portal {
@@ -116,13 +124,18 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(body) = json_body(req) else {
                 return Response::error(Status::BAD_REQUEST, "expected JSON body");
             };
-            let (Some(user), Some(password)) = (json_str(&body, "user"), json_str(&body, "password")) else {
+            let (Some(user), Some(password)) =
+                (json_str(&body, "user"), json_str(&body, "password"))
+            else {
                 return Response::error(Status::BAD_REQUEST, "need user and password");
             };
             let token = try_portal!(app.portal.lock().login(&user, &password, now()));
             Response::json(
                 Status::OK,
-                &Json::obj(vec![("token", Json::str(token.as_str())), ("user", Json::str(user))]),
+                &Json::obj(vec![
+                    ("token", Json::str(token.as_str())),
+                    ("user", Json::str(user)),
+                ]),
             )
             .with_cookie("sid", token.as_str())
         });
@@ -142,7 +155,10 @@ pub fn build_router(app: Arc<App>) -> Router {
             let (user, role) = try_portal!(app.portal.lock().whoami(&token, now()));
             Response::json(
                 Status::OK,
-                &Json::obj(vec![("user", Json::str(user)), ("role", Json::str(role.name()))]),
+                &Json::obj(vec![
+                    ("user", Json::str(user)),
+                    ("role", Json::str(role.name())),
+                ]),
             )
         });
     }
@@ -155,7 +171,9 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(body) = json_body(req) else {
                 return Response::error(Status::BAD_REQUEST, "expected JSON body");
             };
-            let (Some(name), Some(password)) = (json_str(&body, "name"), json_str(&body, "password")) else {
+            let (Some(name), Some(password)) =
+                (json_str(&body, "name"), json_str(&body, "password"))
+            else {
                 return Response::error(Status::BAD_REQUEST, "need name and password");
             };
             let role = match json_str(&body, "role").as_deref() {
@@ -163,8 +181,14 @@ pub fn build_router(app: Arc<App>) -> Router {
                 Some("admin") => Role::Admin,
                 _ => Role::Student,
             };
-            try_portal!(app.portal.lock().create_user(&token, &name, &password, role, now()));
-            Response::json(Status::CREATED, &Json::obj(vec![("created", Json::str(name))]))
+            try_portal!(app
+                .portal
+                .lock()
+                .create_user(&token, &name, &password, role, now()));
+            Response::json(
+                Status::CREATED,
+                &Json::obj(vec![("created", Json::str(name))]),
+            )
         });
     }
     {
@@ -172,7 +196,10 @@ pub fn build_router(app: Arc<App>) -> Router {
         router.get("/api/admin/users", move |req| {
             let token = need_token!(req);
             let users = try_portal!(app.portal.lock().list_users(&token, now()));
-            Response::json(Status::OK, &Json::Arr(users.into_iter().map(Json::Str).collect()))
+            Response::json(
+                Status::OK,
+                &Json::Arr(users.into_iter().map(Json::Str).collect()),
+            )
         });
     }
 
@@ -218,8 +245,14 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(path) = qparam(req, "path") else {
                 return Response::error(Status::BAD_REQUEST, "need path");
             };
-            try_portal!(app.portal.lock().write_file(&token, &path, req.body.clone(), now()));
-            Response::json(Status::CREATED, &Json::obj(vec![("saved", Json::str(path))]))
+            try_portal!(app
+                .portal
+                .lock()
+                .write_file(&token, &path, req.body.clone(), now()));
+            Response::json(
+                Status::CREATED,
+                &Json::obj(vec![("saved", Json::str(path))]),
+            )
         });
     }
     {
@@ -236,15 +269,27 @@ pub fn build_router(app: Arc<App>) -> Router {
             let parts = parse_multipart(&req.body, &boundary);
             let mut saved = Vec::new();
             for part in parts {
-                let Some(filename) = part.filename else { continue };
+                let Some(filename) = part.filename else {
+                    continue;
+                };
                 if filename.is_empty() {
                     continue;
                 }
-                let path = if dir.is_empty() { filename.clone() } else { format!("{dir}/{filename}") };
-                try_portal!(app.portal.lock().write_file(&token, &path, part.data, now()));
+                let path = if dir.is_empty() {
+                    filename.clone()
+                } else {
+                    format!("{dir}/{filename}")
+                };
+                try_portal!(app
+                    .portal
+                    .lock()
+                    .write_file(&token, &path, part.data, now()));
                 saved.push(Json::str(path));
             }
-            Response::json(Status::CREATED, &Json::obj(vec![("saved", Json::Arr(saved))]))
+            Response::json(
+                Status::CREATED,
+                &Json::obj(vec![("saved", Json::Arr(saved))]),
+            )
         });
     }
     {
@@ -255,7 +300,10 @@ pub fn build_router(app: Arc<App>) -> Router {
                 return Response::error(Status::BAD_REQUEST, "need path");
             };
             try_portal!(app.portal.lock().mkdir(&token, &path, now()));
-            Response::json(Status::CREATED, &Json::obj(vec![("created", Json::str(path))]))
+            Response::json(
+                Status::CREATED,
+                &Json::obj(vec![("created", Json::str(path))]),
+            )
         });
     }
     {
@@ -298,7 +346,10 @@ pub fn build_router(app: Arc<App>) -> Router {
             let q = try_portal!(app.portal.lock().quota(&token, now()));
             Response::json(
                 Status::OK,
-                &Json::obj(vec![("used", Json::num(q.used as f64)), ("limit", Json::num(q.limit as f64))]),
+                &Json::obj(vec![
+                    ("used", Json::num(q.used as f64)),
+                    ("limit", Json::num(q.limit as f64)),
+                ]),
             )
         });
     }
@@ -312,7 +363,11 @@ pub fn build_router(app: Arc<App>) -> Router {
                 return Response::error(Status::BAD_REQUEST, "need path");
             };
             let report = try_portal!(app.portal.lock().compile(&token, &path, now()));
-            let status = if report.success() { Status::OK } else { Status::BAD_REQUEST };
+            let status = if report.success() {
+                Status::OK
+            } else {
+                Status::BAD_REQUEST
+            };
             Response::json(
                 status,
                 &Json::obj(vec![
@@ -320,11 +375,21 @@ pub fn build_router(app: Arc<App>) -> Router {
                     ("language", Json::str(report.language.to_string())),
                     (
                         "artifact",
-                        report.artifact.as_ref().map(|a| Json::str(a.to_string())).unwrap_or(Json::Null),
+                        report
+                            .artifact
+                            .as_ref()
+                            .map(|a| Json::str(a.to_string()))
+                            .unwrap_or(Json::Null),
                     ),
                     (
                         "diagnostics",
-                        Json::Arr(report.diagnostics.iter().map(|d| Json::str(d.to_string())).collect()),
+                        Json::Arr(
+                            report
+                                .diagnostics
+                                .iter()
+                                .map(|d| Json::str(d.to_string()))
+                                .collect(),
+                        ),
                     ),
                 ]),
             )
@@ -349,10 +414,17 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(artifact) = qparam(req, "artifact") else {
                 return Response::error(Status::BAD_REQUEST, "need artifact");
             };
-            let seed: u64 = qparam(req, "seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+            let seed: u64 = qparam(req, "seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
             let stdin: Vec<String> = req.body_str().lines().map(String::from).collect();
-            let report =
-                try_portal!(app.portal.lock().run_interactive_stdin(&token, &artifact, seed, &stdin, now()));
+            let report = try_portal!(app.portal.lock().run_interactive_stdin(
+                &token,
+                &artifact,
+                seed,
+                &stdin,
+                now()
+            ));
             match (&report.outcome, &report.error) {
                 (Some(out), _) => Response::json(
                     Status::OK,
@@ -365,10 +437,42 @@ pub fn build_router(app: Arc<App>) -> Router {
                 ),
                 (None, Some(e)) => Response::json(
                     Status::OK,
-                    &Json::obj(vec![("success", Json::Bool(false)), ("error", Json::str(e.to_string()))]),
+                    &Json::obj(vec![
+                        ("success", Json::Bool(false)),
+                        ("error", Json::str(e.to_string())),
+                    ]),
                 ),
                 (None, None) => Response::error(Status::INTERNAL, "executor returned nothing"),
             }
+        });
+    }
+    {
+        let app = Arc::clone(&app);
+        // Systematic interleaving analysis (the "analyze" button): verdict,
+        // exploration counters, and — on failure — the repro schedule.
+        router.post("/api/analyze", move |req| {
+            let token = need_token!(req);
+            let Some(artifact) = qparam(req, "artifact") else {
+                return Response::error(Status::BAD_REQUEST, "need artifact");
+            };
+            let budget: Option<u64> = qparam(req, "budget").and_then(|s| s.parse().ok());
+            let view = try_portal!(app
+                .portal
+                .lock()
+                .analyze_job(&token, &artifact, budget, now()));
+            let repro = view.repro.iter().map(|&t| Json::num(t as f64)).collect();
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![
+                    ("artifact", Json::str(view.artifact)),
+                    ("verdict", Json::str(view.verdict)),
+                    ("detail", Json::str(view.detail)),
+                    ("schedules", Json::num(view.schedules as f64)),
+                    ("steps", Json::num(view.steps as f64)),
+                    ("complete", Json::Bool(view.complete)),
+                    ("repro", Json::Arr(repro)),
+                ]),
+            )
         });
     }
 
@@ -384,9 +488,19 @@ pub fn build_router(app: Arc<App>) -> Router {
                 return Response::error(Status::BAD_REQUEST, "need artifact");
             };
             let cores = body.get("cores").and_then(Json::as_num).unwrap_or(1.0) as u32;
-            let est = body.get("estimated_ticks").and_then(Json::as_num).unwrap_or(10.0) as u64;
-            let id = try_portal!(app.portal.lock().submit_job(&token, &artifact, cores, est, now()));
-            Response::json(Status::CREATED, &Json::obj(vec![("job", Json::num(id.0 as f64))]))
+            let est = body
+                .get("estimated_ticks")
+                .and_then(Json::as_num)
+                .unwrap_or(10.0) as u64;
+            let id =
+                try_portal!(app
+                    .portal
+                    .lock()
+                    .submit_job(&token, &artifact, cores, est, now()));
+            Response::json(
+                Status::CREATED,
+                &Json::obj(vec![("job", Json::num(id.0 as f64))]),
+            )
         });
     }
     {
@@ -416,7 +530,10 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
                 return Response::error(Status::BAD_REQUEST, "bad job id");
             };
-            try_portal!(app.portal.lock().send_stdin(&token, JobId(id), req.body_str(), now()));
+            try_portal!(app
+                .portal
+                .lock()
+                .send_stdin(&token, JobId(id), req.body_str(), now()));
             Response::json(Status::OK, &Json::obj(vec![("ok", Json::Bool(true))]))
         });
     }
@@ -428,7 +545,10 @@ pub fn build_router(app: Arc<App>) -> Router {
                 return Response::error(Status::BAD_REQUEST, "bad job id");
             };
             try_portal!(app.portal.lock().cancel_job(&token, JobId(id), now()));
-            Response::json(Status::OK, &Json::obj(vec![("cancelled", Json::num(id as f64))]))
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![("cancelled", Json::num(id as f64))]),
+            )
         });
     }
     {
@@ -474,7 +594,10 @@ pub fn build_router(app: Arc<App>) -> Router {
                 return Response::error(Status::BAD_REQUEST, "need segment and slot");
             };
             try_portal!(app.portal.lock().undrain_node(&token, segment, slot, now()));
-            Response::json(Status::OK, &Json::obj(vec![("draining", Json::Bool(false))]))
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![("draining", Json::Bool(false))]),
+            )
         });
     }
     {
@@ -553,14 +676,22 @@ pub fn build_router(app: Arc<App>) -> Router {
                         ("event", Json::str(e.event)),
                         (
                             "attrs",
-                            Json::Obj(e.attrs.into_iter().map(|(k, v)| (k, Json::Str(v))).collect()),
+                            Json::Obj(
+                                e.attrs
+                                    .into_iter()
+                                    .map(|(k, v)| (k, Json::Str(v)))
+                                    .collect(),
+                            ),
                         ),
                     ])
                 })
                 .collect();
             Response::json(
                 Status::OK,
-                &Json::obj(vec![("job", Json::num(id as f64)), ("timeline", Json::Arr(rows))]),
+                &Json::obj(vec![
+                    ("job", Json::num(id as f64)),
+                    ("timeline", Json::Arr(rows)),
+                ]),
             )
         });
     }
@@ -568,7 +699,9 @@ pub fn build_router(app: Arc<App>) -> Router {
         let app = Arc::clone(&app);
         router.get("/api/admin/events", move |req| {
             let token = need_token!(req);
-            let limit = qparam(req, "limit").and_then(|s| s.parse::<usize>().ok()).unwrap_or(100);
+            let limit = qparam(req, "limit")
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(100);
             let events = try_portal!(app.portal.lock().recent_events(&token, limit, now()));
             let rows = events
                 .into_iter()
@@ -578,7 +711,12 @@ pub fn build_router(app: Arc<App>) -> Router {
                         ("kind", Json::str(e.kind)),
                         (
                             "fields",
-                            Json::Obj(e.fields.into_iter().map(|(k, v)| (k, Json::Str(v))).collect()),
+                            Json::Obj(
+                                e.fields
+                                    .into_iter()
+                                    .map(|(k, v)| (k, Json::Str(v)))
+                                    .collect(),
+                            ),
                         ),
                     ])
                 })
@@ -606,7 +744,10 @@ fn job_json(j: &ccp_core::JobView) -> Json {
         ("attempt", Json::num(j.attempt as f64)),
         (
             "last_failure",
-            j.last_failure.as_ref().map(|f| Json::str(f.clone())).unwrap_or(Json::Null),
+            j.last_failure
+                .as_ref()
+                .map(|f| Json::str(f.clone()))
+                .unwrap_or(Json::Null),
         ),
         ("stdout", Json::str(j.stdout.clone())),
         ("stderr", Json::str(j.stderr.clone())),
@@ -616,12 +757,21 @@ fn job_json(j: &ccp_core::JobView) -> Json {
 /// Serve the portal on a real socket, access log on. The caller keeps the
 /// [`ServerHandle`] alive for the server's lifetime.
 pub fn serve(app: Arc<App>, addr: &str) -> std::io::Result<ServerHandle> {
-    let config = ServerConfig { access_log: true, ..ServerConfig::default() };
+    let config = ServerConfig {
+        access_log: true,
+        ..ServerConfig::default()
+    };
     Server::with_config(build_router(app), config).spawn(addr)
 }
 
 /// Convenience used by pages and tests: dispatch a synthetic request.
-pub fn dispatch(router: &Router, method: Method, path: &str, body: &[u8], token: Option<&str>) -> Response {
+pub fn dispatch(
+    router: &Router,
+    method: Method,
+    path: &str,
+    body: &[u8],
+    token: Option<&str>,
+) -> Response {
     let mut req = Request::synthetic(method, path, body);
     if let Some(t) = token {
         req = req.with_header("cookie", &format!("sid={t}"));

@@ -11,7 +11,10 @@ use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 fn now() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
 }
 
 fn session_user(app: &App, req: &Request) -> Option<String> {
@@ -49,14 +52,21 @@ pub fn files(app: &Arc<App>, req: &Request) -> Response {
         return Response::redirect("/");
     };
     let token = auth::Token::from_string(sid);
-    let path = parse_query(&req.query).get("path").cloned().unwrap_or_default();
+    let path = parse_query(&req.query)
+        .get("path")
+        .cloned()
+        .unwrap_or_default();
     match app.portal.lock().list_dir(&token, &path, now()) {
         Ok(listing) => {
             let rows: Vec<Vec<String>> = listing
                 .iter()
                 .map(|f| {
                     vec![
-                        if f.is_dir { format!("{}/", f.name) } else { f.name.clone() },
+                        if f.is_dir {
+                            format!("{}/", f.name)
+                        } else {
+                            f.name.clone()
+                        },
                         f.size.to_string(),
                         f.owner.clone(),
                         f.mtime.to_string(),
@@ -70,7 +80,10 @@ pub fn files(app: &Arc<App>, req: &Request) -> Response {
             );
             Response::html(page("File Manager", &body))
         }
-        Err(e) => Response::html(page("File Manager", &format!("<p>Error: {}</p>", escape(&e.to_string())))),
+        Err(e) => Response::html(page(
+            "File Manager",
+            &format!("<p>Error: {}</p>", escape(&e.to_string())),
+        )),
     }
 }
 
@@ -100,6 +113,9 @@ pub fn jobs(app: &Arc<App>, req: &Request) -> Response {
             let body = table(&["Job", "User", "Executable", "State", "Cores"], &rows);
             Response::html(page("Job Monitor", &body))
         }
-        Err(e) => Response::html(page("Job Monitor", &format!("<p>Error: {}</p>", escape(&e.to_string())))),
+        Err(e) => Response::html(page(
+            "Job Monitor",
+            &format!("<p>Error: {}</p>", escape(&e.to_string())),
+        )),
     }
 }

@@ -9,7 +9,10 @@ use httpd::{Method, Response, Router, Status};
 use std::sync::Arc;
 
 fn test_app() -> (Arc<App>, Router) {
-    let config = PortalConfig { cluster: ClusterSpec::small(2, 2), ..PortalConfig::default() };
+    let config = PortalConfig {
+        cluster: ClusterSpec::small(2, 2),
+        ..PortalConfig::default()
+    };
     let mut portal = Portal::new(config);
     portal.bootstrap_admin("admin", "super-secret9").unwrap();
     let app = App::new(portal);
@@ -33,7 +36,13 @@ fn login(router: &Router, user: &str, password: &str) -> String {
 fn make_student(app: &Arc<App>, router: &Router, name: &str) -> String {
     let admin = login(router, "admin", "super-secret9");
     let body = format!(r#"{{"name":"{name}","password":"password99","role":"student"}}"#);
-    let resp = dispatch(router, Method::Post, "/api/admin/users", body.as_bytes(), Some(&admin));
+    let resp = dispatch(
+        router,
+        Method::Post,
+        "/api/admin/users",
+        body.as_bytes(),
+        Some(&admin),
+    );
     assert_eq!(resp.status, Status::CREATED, "{}", resp.body_str());
     let _ = app;
     login(router, name, "password99")
@@ -61,8 +70,13 @@ fn login_issues_cookie_and_token() {
 #[test]
 fn bad_credentials_401() {
     let (_, router) = test_app();
-    let resp =
-        dispatch(&router, Method::Post, "/api/login", br#"{"user":"admin","password":"nope-nope"}"#, None);
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/login",
+        br#"{"user":"admin","password":"nope-nope"}"#,
+        None,
+    );
     assert_eq!(resp.status, Status::UNAUTHORIZED);
 }
 
@@ -112,9 +126,21 @@ fn student_cannot_create_users() {
 fn file_upload_download_listing() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    let resp = dispatch(&router, Method::Post, "/api/file?path=hello.txt", b"contents!", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=hello.txt",
+        b"contents!",
+        Some(&tok),
+    );
     assert_eq!(resp.status, Status::CREATED);
-    let resp = dispatch(&router, Method::Get, "/api/file?path=hello.txt", b"", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        "/api/file?path=hello.txt",
+        b"",
+        Some(&tok),
+    );
     assert_eq!(resp.body, b"contents!");
     let resp = dispatch(&router, Method::Get, "/api/files", b"", Some(&tok));
     let rows = json_of(&resp);
@@ -128,15 +154,45 @@ fn file_upload_download_listing() {
 fn file_operations_mv_cp_rm_mkdir() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    dispatch(&router, Method::Post, "/api/mkdir?path=src", b"", Some(&tok));
-    dispatch(&router, Method::Post, "/api/file?path=src/a.txt", b"A", Some(&tok));
-    let r = dispatch(&router, Method::Post, "/api/cp?from=src/a.txt&to=src/b.txt", b"", Some(&tok));
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/mkdir?path=src",
+        b"",
+        Some(&tok),
+    );
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=src/a.txt",
+        b"A",
+        Some(&tok),
+    );
+    let r = dispatch(
+        &router,
+        Method::Post,
+        "/api/cp?from=src/a.txt&to=src/b.txt",
+        b"",
+        Some(&tok),
+    );
     assert_eq!(r.status, Status::OK, "{}", r.body_str());
-    let r = dispatch(&router, Method::Post, "/api/mv?from=src/b.txt&to=c.txt", b"", Some(&tok));
+    let r = dispatch(
+        &router,
+        Method::Post,
+        "/api/mv?from=src/b.txt&to=c.txt",
+        b"",
+        Some(&tok),
+    );
     assert_eq!(r.status, Status::OK);
     let r = dispatch(&router, Method::Post, "/api/rm?path=src", b"", Some(&tok));
     assert_eq!(r.status, Status::OK);
-    let resp = dispatch(&router, Method::Get, "/api/file?path=c.txt", b"", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        "/api/file?path=c.txt",
+        b"",
+        Some(&tok),
+    );
     assert_eq!(resp.body, b"A");
 }
 
@@ -144,7 +200,13 @@ fn file_operations_mv_cp_rm_mkdir() {
 fn reading_missing_file_404() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    let resp = dispatch(&router, Method::Get, "/api/file?path=ghost.txt", b"", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        "/api/file?path=ghost.txt",
+        b"",
+        Some(&tok),
+    );
     assert_eq!(resp.status, Status::NOT_FOUND);
 }
 
@@ -152,7 +214,13 @@ fn reading_missing_file_404() {
 fn escape_attempt_403() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    let resp = dispatch(&router, Method::Get, "/api/file?path=%2Fhome%2Fadmin%2Fx", b"", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        "/api/file?path=%2Fhome%2Fadmin%2Fx",
+        b"",
+        Some(&tok),
+    );
     assert_eq!(resp.status, Status::FORBIDDEN);
 }
 
@@ -167,10 +235,27 @@ fn compile_and_run_through_api() {
         b"fn main() { println(\"web run\"); }",
         Some(&tok),
     );
-    let resp = dispatch(&router, Method::Post, "/api/compile?path=p.mini", b"", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=p.mini",
+        b"",
+        Some(&tok),
+    );
     assert_eq!(resp.status, Status::OK, "{}", resp.body_str());
-    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
-    let resp = dispatch(&router, Method::Post, &format!("/api/run?artifact={artifact}"), b"", Some(&tok));
+    let artifact = json_of(&resp)
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        &format!("/api/run?artifact={artifact}"),
+        b"",
+        Some(&tok),
+    );
     let j = json_of(&resp);
     assert_eq!(j.get("success").unwrap().as_bool(), Some(true));
     assert_eq!(j.get("stdout").unwrap().as_str(), Some("web run\n"));
@@ -180,8 +265,20 @@ fn compile_and_run_through_api() {
 fn compile_failure_returns_diagnostics() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    dispatch(&router, Method::Post, "/api/file?path=bad.mini", b"fn main() { oops", Some(&tok));
-    let resp = dispatch(&router, Method::Post, "/api/compile?path=bad.mini", b"", Some(&tok));
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=bad.mini",
+        b"fn main() { oops",
+        Some(&tok),
+    );
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=bad.mini",
+        b"",
+        Some(&tok),
+    );
     assert_eq!(resp.status, Status::BAD_REQUEST);
     let j = json_of(&resp);
     assert_eq!(j.get("success").unwrap().as_bool(), Some(false));
@@ -192,20 +289,57 @@ fn compile_failure_returns_diagnostics() {
 fn job_submission_and_monitoring() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    dispatch(&router, Method::Post, "/api/file?path=j.mini", b"fn main() { println(\"batch\"); }", Some(&tok));
-    let resp = dispatch(&router, Method::Post, "/api/compile?path=j.mini", b"", Some(&tok));
-    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=j.mini",
+        b"fn main() { println(\"batch\"); }",
+        Some(&tok),
+    );
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=j.mini",
+        b"",
+        Some(&tok),
+    );
+    let artifact = json_of(&resp)
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
     let body = format!(r#"{{"artifact":"{artifact}","cores":1,"estimated_ticks":3}}"#);
-    let resp = dispatch(&router, Method::Post, "/api/jobs", body.as_bytes(), Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/jobs",
+        body.as_bytes(),
+        Some(&tok),
+    );
     assert_eq!(resp.status, Status::CREATED);
     let id = json_of(&resp).get("job").unwrap().as_num().unwrap() as u64;
     // Pump the distributor.
     for _ in 0..10 {
         dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
     }
-    let resp = dispatch(&router, Method::Get, &format!("/api/jobs/{id}"), b"", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        &format!("/api/jobs/{id}"),
+        b"",
+        Some(&tok),
+    );
     let j = json_of(&resp);
-    assert!(j.get("state").unwrap().as_str().unwrap().contains("completed"), "{}", resp.body_str());
+    assert!(
+        j.get("state")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("completed"),
+        "{}",
+        resp.body_str()
+    );
     assert_eq!(j.get("stdout").unwrap().as_str(), Some("batch\n"));
 }
 
@@ -229,9 +363,19 @@ fn html_pages_render() {
     assert_eq!(resp.status, Status::FOUND);
     // Signed in: renders the listing.
     let tok = make_student(&app, &router, "alice");
-    dispatch(&router, Method::Post, "/api/file?path=visible.txt", b"x", Some(&tok));
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=visible.txt",
+        b"x",
+        Some(&tok),
+    );
     let resp = dispatch(&router, Method::Get, "/files", b"", Some(&tok));
-    assert!(resp.body_str().contains("visible.txt"), "{}", resp.body_str());
+    assert!(
+        resp.body_str().contains("visible.txt"),
+        "{}",
+        resp.body_str()
+    );
     let resp = dispatch(&router, Method::Get, "/jobs", b"", Some(&tok));
     assert!(resp.body_str().contains("Job Monitor"));
 }
@@ -247,8 +391,19 @@ fn run_with_stdin_lines() {
         b"fn main() { println(read_line(), \"-\", read_line()); }",
         Some(&tok),
     );
-    let resp = dispatch(&router, Method::Post, "/api/compile?path=s.mini", b"", Some(&tok));
-    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=s.mini",
+        b"",
+        Some(&tok),
+    );
+    let artifact = json_of(&resp)
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
     let resp = dispatch(
         &router,
         Method::Post,
@@ -256,7 +411,10 @@ fn run_with_stdin_lines() {
         b"first\nsecond",
         Some(&tok),
     );
-    assert_eq!(json_of(&resp).get("stdout").unwrap().as_str(), Some("first-second\n"));
+    assert_eq!(
+        json_of(&resp).get("stdout").unwrap().as_str(),
+        Some("first-second\n")
+    );
 }
 
 #[test]
@@ -270,19 +428,47 @@ fn deadlocked_run_reports_error_json() {
         b"fn main() { var m = mutex(); lock(m); lock(m); }",
         Some(&tok),
     );
-    let resp = dispatch(&router, Method::Post, "/api/compile?path=d.mini", b"", Some(&tok));
-    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
-    let resp = dispatch(&router, Method::Post, &format!("/api/run?artifact={artifact}"), b"", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=d.mini",
+        b"",
+        Some(&tok),
+    );
+    let artifact = json_of(&resp)
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        &format!("/api/run?artifact={artifact}"),
+        b"",
+        Some(&tok),
+    );
     let j = json_of(&resp);
     assert_eq!(j.get("success").unwrap().as_bool(), Some(false));
-    assert!(j.get("error").unwrap().as_str().unwrap().contains("deadlock"));
+    assert!(j
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("deadlock"));
 }
 
 #[test]
 fn quota_endpoint() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    dispatch(&router, Method::Post, "/api/file?path=f", b"12345", Some(&tok));
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=f",
+        b"12345",
+        Some(&tok),
+    );
     let resp = dispatch(&router, Method::Get, "/api/quota", b"", Some(&tok));
     assert_eq!(json_of(&resp).get("used").unwrap().as_num(), Some(5.0));
 }
@@ -293,7 +479,8 @@ fn serves_over_real_tcp() {
     let (app, _router) = test_app();
     let handle = crate::app::serve(app, "127.0.0.1:0").unwrap();
     let mut s = std::net::TcpStream::connect(handle.addr()).unwrap();
-    s.write_all(b"GET /api/status HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    s.write_all(b"GET /api/status HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
     let mut out = String::new();
     s.read_to_string(&mut out).unwrap();
     assert!(out.starts_with("HTTP/1.1 200"), "{out}");
@@ -305,12 +492,29 @@ fn serves_over_real_tcp() {
 fn artifacts_listing() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    dispatch(&router, Method::Post, "/api/file?path=one.mini", b"fn main() { }", Some(&tok));
-    dispatch(&router, Method::Post, "/api/compile?path=one.mini", b"", Some(&tok));
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=one.mini",
+        b"fn main() { }",
+        Some(&tok),
+    );
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=one.mini",
+        b"",
+        Some(&tok),
+    );
     let resp = dispatch(&router, Method::Get, "/api/artifacts", b"", Some(&tok));
     let arr = json_of(&resp);
     assert_eq!(arr.as_arr().unwrap().len(), 1);
-    assert!(arr.as_arr().unwrap()[0].get("source").unwrap().as_str().unwrap().contains("one.mini"));
+    assert!(arr.as_arr().unwrap()[0]
+        .get("source")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("one.mini"));
 }
 
 #[test]
@@ -327,7 +531,10 @@ fn role_parsing_in_user_creation() {
     assert_eq!(resp.status, Status::CREATED);
     let prof = login(&router, "prof", "password99");
     let resp = dispatch(&router, Method::Get, "/api/whoami", b"", Some(&prof));
-    assert_eq!(json_of(&resp).get("role").unwrap().as_str(), Some("faculty"));
+    assert_eq!(
+        json_of(&resp).get("role").unwrap().as_str(),
+        Some("faculty")
+    );
     let _ = Role::Faculty;
 }
 
@@ -335,21 +542,38 @@ fn role_parsing_in_user_creation() {
 fn multipart_multi_file_upload() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    let body = format!(
-        "--BNDRY\r\nContent-Disposition: form-data; name=\"f\"; filename=\"one.mini\"\r\n\r\nfn main() {{ }}\r\n--BNDRY\r\nContent-Disposition: form-data; name=\"f\"; filename=\"two.txt\"\r\n\r\nnotes here\r\n--BNDRY--\r\n"
-    );
-    let mut req = httpd::Request::synthetic(Method::Post, "/api/upload?dir=uploads", body.as_bytes())
-        .with_header("cookie", &format!("sid={tok}"))
-        .with_header("content-type", "multipart/form-data; boundary=BNDRY");
+    let body = "--BNDRY\r\nContent-Disposition: form-data; name=\"f\"; filename=\"one.mini\"\r\n\r\nfn main() { }\r\n--BNDRY\r\nContent-Disposition: form-data; name=\"f\"; filename=\"two.txt\"\r\n\r\nnotes here\r\n--BNDRY--\r\n".to_string();
+    let mut req =
+        httpd::Request::synthetic(Method::Post, "/api/upload?dir=uploads", body.as_bytes())
+            .with_header("cookie", &format!("sid={tok}"))
+            .with_header("content-type", "multipart/form-data; boundary=BNDRY");
     // Directory must exist first.
-    dispatch(&router, Method::Post, "/api/mkdir?path=uploads", b"", Some(&tok));
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/mkdir?path=uploads",
+        b"",
+        Some(&tok),
+    );
     let resp = router.dispatch(&mut req);
     assert_eq!(resp.status, Status::CREATED, "{}", resp.body_str());
     let saved = json_of(&resp);
     assert_eq!(saved.get("saved").unwrap().as_arr().unwrap().len(), 2);
-    let resp = dispatch(&router, Method::Get, "/api/file?path=uploads/two.txt", b"", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        "/api/file?path=uploads/two.txt",
+        b"",
+        Some(&tok),
+    );
     assert_eq!(resp.body, b"notes here");
-    let resp = dispatch(&router, Method::Get, "/api/file?path=uploads/one.mini", b"", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        "/api/file?path=uploads/one.mini",
+        b"",
+        Some(&tok),
+    );
     assert_eq!(resp.body, b"fn main() { }");
 }
 
@@ -363,8 +587,13 @@ fn health_endpoint_and_admin_drain_cycle() {
     assert_eq!(j.get("nodes").unwrap().as_arr().unwrap().len(), 4);
     // Drain one node as admin: health flips to degraded.
     let admin = login(&router, "admin", "super-secret9");
-    let resp =
-        dispatch(&router, Method::Post, "/api/admin/drain?segment=0&slot=1", b"", Some(&admin));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/admin/drain?segment=0&slot=1",
+        b"",
+        Some(&admin),
+    );
     assert_eq!(resp.status, Status::OK, "{}", resp.body_str());
     let j = json_of(&dispatch(&router, Method::Get, "/api/health", b"", None));
     assert_eq!(j.get("degraded").unwrap().as_bool(), Some(true));
@@ -379,8 +608,13 @@ fn health_endpoint_and_admin_drain_cycle() {
     assert_eq!(draining.len(), 1);
     assert_eq!(draining[0].get("slot").unwrap().as_num(), Some(1.0));
     // Undrain restores full health.
-    let resp =
-        dispatch(&router, Method::Post, "/api/admin/undrain?segment=0&slot=1", b"", Some(&admin));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/admin/undrain?segment=0&slot=1",
+        b"",
+        Some(&admin),
+    );
     assert_eq!(resp.status, Status::OK);
     let j = json_of(&dispatch(&router, Method::Get, "/api/health", b"", None));
     assert_eq!(j.get("degraded").unwrap().as_bool(), Some(false));
@@ -390,11 +624,22 @@ fn health_endpoint_and_admin_drain_cycle() {
 fn drain_requires_admin_role_and_params() {
     let (app, router) = test_app();
     let student = make_student(&app, &router, "alice");
-    let resp =
-        dispatch(&router, Method::Post, "/api/admin/drain?segment=0&slot=0", b"", Some(&student));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/admin/drain?segment=0&slot=0",
+        b"",
+        Some(&student),
+    );
     assert_eq!(resp.status, Status::FORBIDDEN);
     let admin = login(&router, "admin", "super-secret9");
-    let resp = dispatch(&router, Method::Post, "/api/admin/drain?segment=0", b"", Some(&admin));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/admin/drain?segment=0",
+        b"",
+        Some(&admin),
+    );
     assert_eq!(resp.status, Status::BAD_REQUEST);
 }
 
@@ -402,14 +647,43 @@ fn drain_requires_admin_role_and_params() {
 fn job_json_reports_attempts_and_failure_cause() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    dispatch(&router, Method::Post, "/api/file?path=r.mini", b"fn main() { println(\"x\"); }", Some(&tok));
-    let resp = dispatch(&router, Method::Post, "/api/compile?path=r.mini", b"", Some(&tok));
-    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=r.mini",
+        b"fn main() { println(\"x\"); }",
+        Some(&tok),
+    );
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=r.mini",
+        b"",
+        Some(&tok),
+    );
+    let artifact = json_of(&resp)
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
     let body = format!(r#"{{"artifact":"{artifact}","cores":1,"estimated_ticks":50}}"#);
-    let resp = dispatch(&router, Method::Post, "/api/jobs", body.as_bytes(), Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/jobs",
+        body.as_bytes(),
+        Some(&tok),
+    );
     let id = json_of(&resp).get("job").unwrap().as_num().unwrap() as u64;
     dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
-    let j = json_of(&dispatch(&router, Method::Get, &format!("/api/jobs/{id}"), b"", Some(&tok)));
+    let j = json_of(&dispatch(
+        &router,
+        Method::Get,
+        &format!("/api/jobs/{id}"),
+        b"",
+        Some(&tok),
+    ));
     assert_eq!(j.get("attempt").unwrap().as_num(), Some(1.0));
     assert_eq!(j.get("last_failure"), Some(&Json::Null));
     // Stretch the job's true runtime (the trivial program finished in one
@@ -420,13 +694,32 @@ fn job_json_reports_attempts_and_failure_cause() {
         let sched = portal.scheduler_mut();
         sched.job_mut(sched::JobId(id)).unwrap().spec.actual_ticks = 100;
         for node in sched.cluster().slave_ids() {
-            sched.cluster_mut().set_health(node, cluster::NodeHealth::Down).unwrap();
+            sched
+                .cluster_mut()
+                .set_health(node, cluster::NodeHealth::Down)
+                .unwrap();
         }
     }
     dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
-    let j = json_of(&dispatch(&router, Method::Get, &format!("/api/jobs/{id}"), b"", Some(&tok)));
-    assert!(j.get("state").unwrap().as_str().unwrap().contains("requeued"), "{j:?}");
-    assert_eq!(j.get("last_failure").unwrap().as_str(), Some("node went down"));
+    let j = json_of(&dispatch(
+        &router,
+        Method::Get,
+        &format!("/api/jobs/{id}"),
+        b"",
+        Some(&tok),
+    ));
+    assert!(
+        j.get("state")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("requeued"),
+        "{j:?}"
+    );
+    assert_eq!(
+        j.get("last_failure").unwrap().as_str(),
+        Some("node went down")
+    );
     let j = json_of(&dispatch(&router, Method::Get, "/api/health", b"", None));
     assert_eq!(j.get("degraded").unwrap().as_bool(), Some(true));
 }
@@ -436,11 +729,34 @@ fn metrics_endpoint_covers_httpd_sched_and_cluster() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
     // Drive one job through so sched/toolchain counters move.
-    dispatch(&router, Method::Post, "/api/file?path=m.mini", b"fn main() { println(\"m\"); }", Some(&tok));
-    let resp = dispatch(&router, Method::Post, "/api/compile?path=m.mini", b"", Some(&tok));
-    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=m.mini",
+        b"fn main() { println(\"m\"); }",
+        Some(&tok),
+    );
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=m.mini",
+        b"",
+        Some(&tok),
+    );
+    let artifact = json_of(&resp)
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
     let body = format!(r#"{{"artifact":"{artifact}","cores":1,"estimated_ticks":3}}"#);
-    dispatch(&router, Method::Post, "/api/jobs", body.as_bytes(), Some(&tok));
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/jobs",
+        body.as_bytes(),
+        Some(&tok),
+    );
     for _ in 0..10 {
         dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
     }
@@ -448,7 +764,10 @@ fn metrics_endpoint_covers_httpd_sched_and_cluster() {
     let mut req = httpd::Request::synthetic(Method::Get, "/api/metrics", b"");
     let resp = router.dispatch(&mut req);
     assert_eq!(resp.status, Status::OK);
-    assert!(resp.header("content-type").unwrap().starts_with("text/plain"));
+    assert!(resp
+        .header("content-type")
+        .unwrap()
+        .starts_with("text/plain"));
     let text = resp.body_str().to_string();
     for needle in [
         // httpd: counter, histogram, gauge (requests routed through dispatch).
@@ -476,17 +795,46 @@ fn metrics_endpoint_covers_httpd_sched_and_cluster() {
 fn trace_endpoint_returns_gated_timeline() {
     let (app, router) = test_app();
     let tok = make_student(&app, &router, "alice");
-    dispatch(&router, Method::Post, "/api/file?path=t.mini", b"fn main() { println(\"t\"); }", Some(&tok));
-    let resp = dispatch(&router, Method::Post, "/api/compile?path=t.mini", b"", Some(&tok));
-    let artifact = json_of(&resp).get("artifact").unwrap().as_str().unwrap().to_string();
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=t.mini",
+        b"fn main() { println(\"t\"); }",
+        Some(&tok),
+    );
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=t.mini",
+        b"",
+        Some(&tok),
+    );
+    let artifact = json_of(&resp)
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
     let body = format!(r#"{{"artifact":"{artifact}","cores":1,"estimated_ticks":3}}"#);
-    let resp = dispatch(&router, Method::Post, "/api/jobs", body.as_bytes(), Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/jobs",
+        body.as_bytes(),
+        Some(&tok),
+    );
     let id = json_of(&resp).get("job").unwrap().as_num().unwrap() as u64;
     for _ in 0..10 {
         dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
     }
     // Owner gets the ordered timeline ending in the terminal event.
-    let resp = dispatch(&router, Method::Get, &format!("/api/trace/{id}"), b"", Some(&tok));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        &format!("/api/trace/{id}"),
+        b"",
+        Some(&tok),
+    );
     assert_eq!(resp.status, Status::OK, "{}", resp.body_str());
     let j = json_of(&resp);
     let events: Vec<String> = j
@@ -497,12 +845,37 @@ fn trace_endpoint_returns_gated_timeline() {
         .iter()
         .map(|e| e.get("event").unwrap().as_str().unwrap().to_string())
         .collect();
-    assert_eq!(events, vec!["job.submitted", "job.queued", "job.dispatched", "job.completed"]);
-    let job_state = json_of(&dispatch(&router, Method::Get, &format!("/api/jobs/{id}"), b"", Some(&tok)));
-    assert!(job_state.get("state").unwrap().as_str().unwrap().contains("completed"));
+    assert_eq!(
+        events,
+        vec![
+            "job.submitted",
+            "job.queued",
+            "job.dispatched",
+            "job.completed"
+        ]
+    );
+    let job_state = json_of(&dispatch(
+        &router,
+        Method::Get,
+        &format!("/api/jobs/{id}"),
+        b"",
+        Some(&tok),
+    ));
+    assert!(job_state
+        .get("state")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("completed"));
     // Another student is refused; anonymous is 401.
     let eve = make_student(&app, &router, "eve");
-    let resp = dispatch(&router, Method::Get, &format!("/api/trace/{id}"), b"", Some(&eve));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        &format!("/api/trace/{id}"),
+        b"",
+        Some(&eve),
+    );
     assert_eq!(resp.status, Status::FORBIDDEN);
     let resp = dispatch(&router, Method::Get, &format!("/api/trace/{id}"), b"", None);
     assert_eq!(resp.status, Status::UNAUTHORIZED);
@@ -512,10 +885,22 @@ fn trace_endpoint_returns_gated_timeline() {
 fn admin_events_endpoint_gated() {
     let (app, router) = test_app();
     let student = make_student(&app, &router, "alice");
-    let resp = dispatch(&router, Method::Get, "/api/admin/events", b"", Some(&student));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        "/api/admin/events",
+        b"",
+        Some(&student),
+    );
     assert_eq!(resp.status, Status::FORBIDDEN);
     let admin = login(&router, "admin", "super-secret9");
-    let resp = dispatch(&router, Method::Get, "/api/admin/events?limit=5", b"", Some(&admin));
+    let resp = dispatch(
+        &router,
+        Method::Get,
+        "/api/admin/events?limit=5",
+        b"",
+        Some(&admin),
+    );
     assert_eq!(resp.status, Status::OK);
     assert!(json_of(&resp).as_arr().is_some());
 }
@@ -532,7 +917,13 @@ fn health_reports_headline_gauges() {
     // The flag and the counts derive from one snapshot: drain a node and
     // both move together.
     let admin = login(&router, "admin", "super-secret9");
-    dispatch(&router, Method::Post, "/api/admin/drain?segment=1&slot=0", b"", Some(&admin));
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/admin/drain?segment=1&slot=0",
+        b"",
+        Some(&admin),
+    );
     let j = json_of(&dispatch(&router, Method::Get, "/api/health", b"", None));
     assert_eq!(j.get("degraded").unwrap().as_bool(), Some(true));
     assert_eq!(j.get("nodes_up").unwrap().as_num(), Some(3.0));
@@ -545,4 +936,116 @@ fn upload_without_multipart_content_type_rejected() {
     let tok = make_student(&app, &router, "alice");
     let resp = dispatch(&router, Method::Post, "/api/upload", b"data", Some(&tok));
     assert_eq!(resp.status, Status::BAD_REQUEST);
+}
+
+#[test]
+fn analyze_endpoint_reports_race_with_repro() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    // Two threads bump an unlocked global: the checker must call the race.
+    let racy = b"var n = 0;\nfn w() { n = n + 1; }\nfn main() { var a = spawn w(); var b = spawn w(); join(a); join(b); }";
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=racy.mini",
+        racy,
+        Some(&tok),
+    );
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=racy.mini",
+        b"",
+        Some(&tok),
+    );
+    let artifact = json_of(&resp)
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        &format!("/api/analyze?artifact={artifact}"),
+        b"",
+        Some(&tok),
+    );
+    assert_eq!(resp.status, Status::OK, "{}", resp.body_str());
+    let j = json_of(&resp);
+    assert_eq!(j.get("verdict").unwrap().as_str(), Some("race"));
+    assert!(j
+        .get("detail")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("data race"));
+    assert!(
+        !j.get("repro").unwrap().as_arr().unwrap().is_empty(),
+        "race carries a repro"
+    );
+    assert!(j.get("schedules").unwrap().as_num().unwrap() >= 1.0);
+    // The analysis shows up in the metrics exposition.
+    let resp = dispatch(&router, Method::Get, "/api/metrics", b"", None);
+    assert!(
+        resp.body_str()
+            .contains("ccp_checker_analyses_total{verdict=\"race\"} 1"),
+        "checker counters missing from /api/metrics"
+    );
+}
+
+#[test]
+fn analyze_endpoint_clean_program_and_ownership() {
+    let (app, router) = test_app();
+    let tok = make_student(&app, &router, "alice");
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=ok.mini",
+        b"fn main() { println(1); }",
+        Some(&tok),
+    );
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=ok.mini",
+        b"",
+        Some(&tok),
+    );
+    let artifact = json_of(&resp)
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        &format!("/api/analyze?artifact={artifact}&budget=8"),
+        b"",
+        Some(&tok),
+    );
+    let j = json_of(&resp);
+    assert_eq!(j.get("verdict").unwrap().as_str(), Some("clean"));
+    assert_eq!(j.get("complete").unwrap().as_bool(), Some(true));
+    assert!(j.get("repro").unwrap().as_arr().unwrap().is_empty());
+    // Another student may not analyze alice's artifact.
+    let other = make_student(&app, &router, "bob");
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        &format!("/api/analyze?artifact={artifact}"),
+        b"",
+        Some(&other),
+    );
+    assert_eq!(resp.status, Status::FORBIDDEN);
+    // No session at all: 401.
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        &format!("/api/analyze?artifact={artifact}"),
+        b"",
+        None,
+    );
+    assert_eq!(resp.status, Status::UNAUTHORIZED);
 }

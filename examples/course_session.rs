@@ -24,26 +24,53 @@ fn main() {
     let tas = lab2_spinlock::coherence_trace(4, 100, 10, false, cluster::CoherenceProtocol::Mesi);
     let ttas = lab2_spinlock::coherence_trace(4, 100, 10, true, cluster::CoherenceProtocol::Mesi);
     println!("Lab 2 (spin lock & cache coherence), 4 cores, 100 acquisitions:");
-    println!("  TAS : {:>6} invalidations, {:>6} bus transactions", tas.invalidations, tas.bus_transactions);
-    println!("  TTAS: {:>6} invalidations, {:>6} bus transactions", ttas.invalidations, ttas.bus_transactions);
-    println!("  (TTAS spins in cache: hit rate {:.1}% vs {:.1}%)\n", ttas.hit_rate() * 100.0, tas.hit_rate() * 100.0);
+    println!(
+        "  TAS : {:>6} invalidations, {:>6} bus transactions",
+        tas.invalidations, tas.bus_transactions
+    );
+    println!(
+        "  TTAS: {:>6} invalidations, {:>6} bus transactions",
+        ttas.invalidations, ttas.bus_transactions
+    );
+    println!(
+        "  (TTAS spins in cache: hit rate {:.1}% vs {:.1}%)\n",
+        ttas.hit_rate() * 100.0,
+        tas.hit_rate() * 100.0
+    );
 
     // Lab 3 — the UMA/NUMA access-time table.
     println!("Lab 3 (UMA and NUMA access times):");
     for row in lab3_numa::full_table(512, 4096) {
-        println!("  {:<24} {:>12.1} ns/access", row.domain.to_string(), row.mean_ns);
+        println!(
+            "  {:<24} {:>12.1} ns/access",
+            row.domain.to_string(),
+            row.mean_ns
+        );
     }
     let mpi_times = lab3_numa::mpi_pull_experiment(4, 2048);
-    println!("  MPI pull (2048 words) virtual times by rank: {:?}\n", mpi_times.iter().map(|t| format!("{:.0}ns", t)).collect::<Vec<_>>());
+    println!(
+        "  MPI pull (2048 words) virtual times by rank: {:?}\n",
+        mpi_times
+            .iter()
+            .map(|t| format!("{:.0}ns", t))
+            .collect::<Vec<_>>()
+    );
 
     // Lab 4 — producer/consumer file copy.
     let ok = lab4_procthread::run_copy_checked(&(1..=50).collect::<Vec<i64>>(), 7).expect("runs");
-    println!("Lab 4 (process & thread management): 50-number file copy in order: {}\n", if ok { "PASS" } else { "FAIL" });
+    println!(
+        "Lab 4 (process & thread management): 50-number file copy in order: {}\n",
+        if ok { "PASS" } else { "FAIL" }
+    );
 
     // Lab 5 — the bank account, steps (iv)-(vi).
     println!("Lab 5 (bank account):");
-    let serial = lab5_bank::ending_balance(lab5_bank::BankStep::SerializedThreads, 0).expect("runs");
-    println!("  step iv  (serialized threads): balance {serial} (expected {})", lab5_bank::EXPECTED);
+    let serial =
+        lab5_bank::ending_balance(lab5_bank::BankStep::SerializedThreads, 0).expect("runs");
+    println!(
+        "  step iv  (serialized threads): balance {serial} (expected {})",
+        lab5_bank::EXPECTED
+    );
     let racy = lab5_bank::racy_balances(0..10);
     println!("  step v   (concurrent, racy)  : balances observed across 10 runs: {racy:?}");
     let locked = lab5_bank::ending_balance(lab5_bank::BankStep::ConcurrentLocked, 0).expect("runs");
@@ -51,14 +78,29 @@ fn main() {
 
     // Lab 6 — dining philosophers.
     let naive_rate = lab6_philosophers::deadlock_rate(&lab6_philosophers::naive_source(15), 0..10);
-    let fixed_rate = lab6_philosophers::deadlock_rate(&lab6_philosophers::ordered_source(15), 0..10);
-    println!("Lab 6 (deadlock): naive deadlock rate {:.0}%, resource-ordered {:.0}%\n", naive_rate * 100.0, fixed_rate * 100.0);
+    let fixed_rate =
+        lab6_philosophers::deadlock_rate(&lab6_philosophers::ordered_source(15), 0..10);
+    println!(
+        "Lab 6 (deadlock): naive deadlock rate {:.0}%, resource-ordered {:.0}%\n",
+        naive_rate * 100.0,
+        fixed_rate * 100.0
+    );
 
     // Lab 7 — the bounded buffer.
     println!("Lab 7 (bounded buffer):");
-    println!("  buggy handout correct on {:.0}% of seeds", lab7_boundedbuffer::correctness_rate(&lab7_boundedbuffer::buggy_source(), 0..10) * 100.0);
-    println!("  mutex fix     correct on {:.0}% of seeds", lab7_boundedbuffer::correctness_rate(&lab7_boundedbuffer::mutex_source(), 0..10) * 100.0);
-    println!("  semaphore fix correct on {:.0}% of seeds\n", lab7_boundedbuffer::correctness_rate(&lab7_boundedbuffer::semaphore_source(), 0..10) * 100.0);
+    println!(
+        "  buggy handout correct on {:.0}% of seeds",
+        lab7_boundedbuffer::correctness_rate(&lab7_boundedbuffer::buggy_source(), 0..10) * 100.0
+    );
+    println!(
+        "  mutex fix     correct on {:.0}% of seeds",
+        lab7_boundedbuffer::correctness_rate(&lab7_boundedbuffer::mutex_source(), 0..10) * 100.0
+    );
+    println!(
+        "  semaphore fix correct on {:.0}% of seeds\n",
+        lab7_boundedbuffer::correctness_rate(&lab7_boundedbuffer::semaphore_source(), 0..10)
+            * 100.0
+    );
 
     println!("==================== evaluation (paper vs reproduced) ====================\n");
     let seed = 2012; // Spring 2012, the semester the paper evaluated

@@ -40,12 +40,18 @@ fn main() {
         ("clique", Topology::fully_connected(8)),
         ("cluster 2x4", Topology::segmented_cluster(2, 4)),
     ];
-    println!("  {:<14} {:>14} {:>10}", "topology", "max vt (ns)", "diameter");
+    println!(
+        "  {:<14} {:>14} {:>10}",
+        "topology", "max vt (ns)", "diameter"
+    );
     for (name, topo) in topologies {
         let diameter = topo.diameter();
         let world = World::new(8, topo, LinkProfile::gigabit_ethernet());
         let (_, stats) = world
-            .run_stats(|p| p.allreduce_i64(p.rank() as i64, Reduce::Sum).expect("allreduce"))
+            .run_stats(|p| {
+                p.allreduce_i64(p.rank() as i64, Reduce::Sum)
+                    .expect("allreduce")
+            })
             .expect("world runs");
         let max_vt = stats.iter().map(|s| s.virtual_time_ns).max().unwrap_or(0);
         println!("  {:<14} {:>14} {:>10}", name, max_vt, diameter);
@@ -54,12 +60,19 @@ fn main() {
     println!("\n== traffic-pattern cost on the UHD cluster fabric ==");
     let mut net = simnet::Network::uhd_cluster();
     let nodes = net.topology().len();
-    println!("  {:<12} {:>10} {:>16}", "pattern", "flows", "total cost (ns)");
+    println!(
+        "  {:<12} {:>10} {:>16}",
+        "pattern", "flows", "total cost (ns)"
+    );
     for pattern in Pattern::ALL {
         let flows = pattern.generate(nodes, 4096, 1);
         let mut total = 0u64;
         for f in &flows {
-            total += net.send(f.src, f.dst, f.bytes).expect("route").total.nanos();
+            total += net
+                .send(f.src, f.dst, f.bytes)
+                .expect("route")
+                .total
+                .nanos();
         }
         println!("  {:<12} {:>10} {:>16}", pattern.name(), flows.len(), total);
     }

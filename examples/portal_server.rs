@@ -25,7 +25,9 @@ fn body_of(response: &str) -> &str {
 
 fn main() {
     let mut portal = Portal::new(PortalConfig::default());
-    portal.bootstrap_admin("admin", "change-me-please").expect("bootstrap");
+    portal
+        .bootstrap_admin("admin", "change-me-please")
+        .expect("bootstrap");
     let app = App::new(portal);
     let handle = webportal::serve(Arc::clone(&app), "127.0.0.1:0").expect("bind");
     let addr = handle.addr();
@@ -107,7 +109,8 @@ fn main() {
     // Optionally keep serving for manual exploration.
     if let Some(port) = std::env::args().nth(1) {
         println!("(re-binding on 127.0.0.1:{port} for manual browsing; Ctrl-C to stop)");
-        let handle2 = webportal::serve(app, &format!("127.0.0.1:{port}")).expect("bind manual port");
+        let handle2 =
+            webportal::serve(app, &format!("127.0.0.1:{port}")).expect("bind manual port");
         println!("open http://{}/", handle2.addr());
         loop {
             std::thread::sleep(std::time::Duration::from_secs(3600));

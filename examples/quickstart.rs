@@ -13,17 +13,27 @@ use ccp_core::{Portal, PortalConfig};
 fn main() {
     // 1. Boot the portal over the paper's 4-segment, 69-node cluster.
     let mut portal = Portal::new(PortalConfig::default());
-    portal.bootstrap_admin("admin", "change-me-please").expect("first admin");
+    portal
+        .bootstrap_admin("admin", "change-me-please")
+        .expect("first admin");
     let (free, total, _) = portal.cluster_status();
     println!("cluster up: {free}/{total} cores free");
 
     // 2. Accounts: one faculty, one student.
-    let admin = portal.login("admin", "change-me-please", 0).expect("admin login");
-    portal.create_user(&admin, "hlin", "faculty-pass-1", Role::Faculty, 0).expect("create faculty");
-    portal.create_user(&admin, "student1", "student-pass-1", Role::Student, 0).expect("create student");
+    let admin = portal
+        .login("admin", "change-me-please", 0)
+        .expect("admin login");
+    portal
+        .create_user(&admin, "hlin", "faculty-pass-1", Role::Faculty, 0)
+        .expect("create faculty");
+    portal
+        .create_user(&admin, "student1", "student-pass-1", Role::Student, 0)
+        .expect("create student");
 
     // 3. The student logs in and uploads a program through the portal.
-    let tok = portal.login("student1", "student-pass-1", 0).expect("student login");
+    let tok = portal
+        .login("student1", "student-pass-1", 0)
+        .expect("student login");
     let program = r#"
         var counter = 0;
         var m;
@@ -43,11 +53,15 @@ fn main() {
             return counter;
         }
     "#;
-    portal.write_file(&tok, "counter.mini", program.as_bytes().to_vec(), 0).expect("upload");
+    portal
+        .write_file(&tok, "counter.mini", program.as_bytes().to_vec(), 0)
+        .expect("upload");
     println!("uploaded counter.mini to /home/student1");
 
     // 4. Compile; diagnostics come back gcc-style.
-    let report = portal.compile(&tok, "counter.mini", 0).expect("compile request");
+    let report = portal
+        .compile(&tok, "counter.mini", 0)
+        .expect("compile request");
     print!("{}", report.render());
     let artifact = report.artifact.expect("compilation succeeded").to_string();
 
@@ -61,9 +75,16 @@ fn main() {
     );
 
     // 6. Submit as a 4-core batch job and monitor it.
-    let job = portal.submit_job(&tok, &artifact, 4, 10, 0).expect("submit");
+    let job = portal
+        .submit_job(&tok, &artifact, 4, 10, 0)
+        .expect("submit");
     println!("submitted {job} to the distributor");
-    while !portal.job(&tok, job, 0).expect("job view").state.is_terminal() {
+    while !portal
+        .job(&tok, job, 0)
+        .expect("job view")
+        .state
+        .is_terminal()
+    {
         portal.tick();
     }
     let view = portal.job(&tok, job, 0).expect("job view");

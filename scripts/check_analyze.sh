@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Validate a /api/analyze response: a known verdict class, sane exploration
+# counters, and a non-empty repro schedule whenever the verdict is a
+# failure. An expected verdict class can be asserted as the first argument.
+#
+# Usage: check_analyze.sh [expected-verdict] [file]
+#        (reads stdin when no file is given)
+set -euo pipefail
+
+expected="${1:-}"
+input="$(cat "${2:-/dev/stdin}")"
+
+if [ -z "$input" ]; then
+    echo "FAIL: analyze body is empty" >&2
+    exit 1
+fi
+
+verdict="$(printf '%s' "$input" | sed -nE 's/.*"verdict":"([a-z_]+)".*/\1/p')"
+schedules="$(printf '%s' "$input" | sed -nE 's/.*"schedules":([0-9]+).*/\1/p')"
+steps="$(printf '%s' "$input" | sed -nE 's/.*"steps":([0-9]+).*/\1/p')"
+repro="$(printf '%s' "$input" | sed -nE 's/.*"repro":\[([0-9, ]*)\].*/\1/p')"
+
+case "$verdict" in
+    clean|race|deadlock|livelock|runtime_error) ;;
+    "")
+        echo "FAIL: no verdict field in response: $input" >&2
+        exit 1
+        ;;
+    *)
+        echo "FAIL: unknown verdict class '$verdict'" >&2
+        exit 1
+        ;;
+esac
+
+if [ -n "$expected" ] && [ "$verdict" != "$expected" ]; then
+    echo "FAIL: verdict '$verdict', expected '$expected'" >&2
+    exit 1
+fi
+
+if [ -z "$schedules" ] || [ "$schedules" -lt 1 ]; then
+    echo "FAIL: schedules explored must be >= 1 (got '${schedules:-none}')" >&2
+    exit 1
+fi
+if [ -z "$steps" ] || [ "$steps" -lt 1 ]; then
+    echo "FAIL: steps explored must be >= 1 (got '${steps:-none}')" >&2
+    exit 1
+fi
+
+if [ "$verdict" != "clean" ] && [ -z "$repro" ]; then
+    echo "FAIL: failure verdict '$verdict' carries no repro schedule" >&2
+    exit 1
+fi
+if [ "$verdict" = "clean" ] && [ -n "$repro" ]; then
+    echo "FAIL: clean verdict should not carry a repro schedule" >&2
+    exit 1
+fi
+
+echo "OK: verdict=$verdict schedules=$schedules steps=$steps repro=[${repro}]"

@@ -56,7 +56,7 @@ fn run_chaos(seed: u64) -> RunSummary {
             // Give every third job a generous wall-clock budget so the
             // timeout path is exercised under faults too.
             let mut spec = arrivals[next].spec.clone();
-            if next % 3 == 0 {
+            if next.is_multiple_of(3) {
                 spec = spec.with_timeout(400);
             }
             sched.submit(spec).expect("workload jobs fit the cluster");
@@ -78,10 +78,17 @@ fn run_chaos(seed: u64) -> RunSummary {
             recovery_wait: j.recovery_wait_ticks,
         })
         .collect();
-    let (retries, node_losses, recovery_wait) = sched.accounting().all().fold(
-        (0u64, 0u64, 0u64),
-        |(r, n, w), (_, u)| (r + u.retry_attempts, n + u.node_losses, w + u.recovery_wait_ticks),
-    );
+    let (retries, node_losses, recovery_wait) =
+        sched
+            .accounting()
+            .all()
+            .fold((0u64, 0u64, 0u64), |(r, n, w), (_, u)| {
+                (
+                    r + u.retry_attempts,
+                    n + u.node_losses,
+                    w + u.recovery_wait_ticks,
+                )
+            });
     RunSummary {
         outcomes,
         free_cores: sched.cluster().free_cores(),
@@ -108,7 +115,10 @@ fn assert_invariants(seed: u64, s: &RunSummary) {
         // A job that gave up on retries must carry its failure cause and
         // must have burned the full retry budget.
         if o.state.starts_with("NodeLost") {
-            assert!(o.last_failure.is_some(), "seed {seed}: job {i} lost without a cause");
+            assert!(
+                o.last_failure.is_some(),
+                "seed {seed}: job {i} lost without a cause"
+            );
             assert_eq!(
                 o.attempt,
                 RetryPolicy::default().max_attempts,
@@ -117,7 +127,10 @@ fn assert_invariants(seed: u64, s: &RunSummary) {
         }
         // A retried job's recovery wait is bookkept separately.
         if o.attempt > 1 {
-            assert!(o.node_losses > 0, "seed {seed}: job {i} retried without a node loss");
+            assert!(
+                o.node_losses > 0,
+                "seed {seed}: job {i} retried without a node loss"
+            );
         }
     }
     // Faults released every core they interrupted: nothing leaks.
@@ -128,9 +141,15 @@ fn assert_invariants(seed: u64, s: &RunSummary) {
     );
     // Accounting saw the same fault traffic the job records did.
     let job_losses: u64 = s.outcomes.iter().map(|o| o.node_losses as u64).sum();
-    assert_eq!(s.node_losses, job_losses, "seed {seed}: accounting/job node-loss mismatch");
+    assert_eq!(
+        s.node_losses, job_losses,
+        "seed {seed}: accounting/job node-loss mismatch"
+    );
     let job_recovery: u64 = s.outcomes.iter().map(|o| o.recovery_wait).sum();
-    assert_eq!(s.recovery_wait, job_recovery, "seed {seed}: recovery-wait mismatch");
+    assert_eq!(
+        s.recovery_wait, job_recovery,
+        "seed {seed}: recovery-wait mismatch"
+    );
 }
 
 #[test]
@@ -140,11 +159,17 @@ fn chaos_recovery_across_seeds() {
         let s = run_chaos(seed);
         assert_invariants(seed, &s);
         total_losses += s.node_losses;
-        assert!(s.retries <= s.node_losses, "seed {seed}: more retries than losses");
+        assert!(
+            s.retries <= s.node_losses,
+            "seed {seed}: more retries than losses"
+        );
     }
     // The outage plan must actually have bitten at least once across seeds,
     // or this test is vacuous.
-    assert!(total_losses > 0, "no run ever lost a node; chaos plan too weak");
+    assert!(
+        total_losses > 0,
+        "no run ever lost a node; chaos plan too weak"
+    );
 }
 
 #[test]
@@ -152,7 +177,10 @@ fn chaos_runs_are_deterministic_per_seed() {
     for seed in [11, 42, 1337] {
         let a = run_chaos(seed);
         let b = run_chaos(seed);
-        assert_eq!(a.outcomes, b.outcomes, "seed {seed}: outcomes diverged between runs");
+        assert_eq!(
+            a.outcomes, b.outcomes,
+            "seed {seed}: outcomes diverged between runs"
+        );
         assert_eq!(a.makespan, b.makespan, "seed {seed}: makespan diverged");
         assert_eq!(
             (a.retries, a.node_losses, a.recovery_wait),
@@ -168,10 +196,26 @@ fn print_chaos_stats() {
     for seed in [11, 42, 1337] {
         let s = run_chaos(seed);
         let retried = s.outcomes.iter().filter(|o| o.attempt > 1).count();
-        let lost = s.outcomes.iter().filter(|o| o.state.starts_with("NodeLost")).count();
-        let timed = s.outcomes.iter().filter(|o| o.state.starts_with("TimedOut")).count();
-        let completed = s.outcomes.iter().filter(|o| o.state.starts_with("Completed")).count();
-        let mean_rec = if s.retries > 0 { s.recovery_wait as f64 / s.retries as f64 } else { 0.0 };
+        let lost = s
+            .outcomes
+            .iter()
+            .filter(|o| o.state.starts_with("NodeLost"))
+            .count();
+        let timed = s
+            .outcomes
+            .iter()
+            .filter(|o| o.state.starts_with("TimedOut"))
+            .count();
+        let completed = s
+            .outcomes
+            .iter()
+            .filter(|o| o.state.starts_with("Completed"))
+            .count();
+        let mean_rec = if s.retries > 0 {
+            s.recovery_wait as f64 / s.retries as f64
+        } else {
+            0.0
+        };
         println!("seed {seed}: makespan {} completed {completed} retried-jobs {retried} node-lost {lost} timed-out {timed} losses {} retries {} recovery-wait {} mean-recovery {mean_rec:.1}", s.makespan, s.node_losses, s.retries, s.recovery_wait);
     }
 }

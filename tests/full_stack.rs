@@ -14,15 +14,25 @@ use webportal::{app::dispatch, build_router, App};
 /// fail on the cluster, fixes it, and passes — entirely through the portal.
 #[test]
 fn student_fixes_lab1_through_the_portal() {
-    let mut portal = Portal::new(PortalConfig { cluster: ClusterSpec::small(2, 2), ..PortalConfig::default() });
+    let mut portal = Portal::new(PortalConfig {
+        cluster: ClusterSpec::small(2, 2),
+        ..PortalConfig::default()
+    });
     portal.bootstrap_admin("admin", "super-secret9").unwrap();
     let admin = portal.login("admin", "super-secret9", 0).unwrap();
-    portal.create_user(&admin, "student", "password99", Role::Student, 0).unwrap();
+    portal
+        .create_user(&admin, "student", "password99", Role::Student, 0)
+        .unwrap();
     let tok = portal.login("student", "password99", 0).unwrap();
 
     // Upload the buggy handout and run it on several seeds: wrong somewhere.
     portal
-        .write_file(&tok, "lab1.mini", labs::lab1_sync::BUGGY_SOURCE.as_bytes().to_vec(), 0)
+        .write_file(
+            &tok,
+            "lab1.mini",
+            labs::lab1_sync::BUGGY_SOURCE.as_bytes().to_vec(),
+            0,
+        )
         .unwrap();
     let report = portal.compile(&tok, "lab1.mini", 0).unwrap();
     assert!(report.success());
@@ -39,7 +49,12 @@ fn student_fixes_lab1_through_the_portal() {
 
     // Fix it, autograde it, pass.
     portal
-        .write_file(&tok, "lab1.mini", labs::lab1_sync::FIXED_SOURCE.as_bytes().to_vec(), 0)
+        .write_file(
+            &tok,
+            "lab1.mini",
+            labs::lab1_sync::FIXED_SOURCE.as_bytes().to_vec(),
+            0,
+        )
         .unwrap();
     let report = portal.compile(&tok, "lab1.mini", 0).unwrap();
     let fixed = report.artifact.unwrap().to_string();
@@ -54,13 +69,30 @@ fn student_fixes_lab1_through_the_portal() {
 /// The same flow over actual HTTP requests.
 #[test]
 fn lab_submission_over_http() {
-    let mut portal = Portal::new(PortalConfig { cluster: ClusterSpec::small(1, 2), ..PortalConfig::default() });
+    let mut portal = Portal::new(PortalConfig {
+        cluster: ClusterSpec::small(1, 2),
+        ..PortalConfig::default()
+    });
     portal.bootstrap_admin("admin", "super-secret9").unwrap();
     let app = App::new(portal);
     let router = build_router(Arc::clone(&app));
 
-    let login = dispatch(&router, Method::Post, "/api/login", br#"{"user":"admin","password":"super-secret9"}"#, None);
-    let token = login.body_str().split("\"token\":\"").nth(1).unwrap().split('"').next().unwrap().to_string();
+    let login = dispatch(
+        &router,
+        Method::Post,
+        "/api/login",
+        br#"{"user":"admin","password":"super-secret9"}"#,
+        None,
+    );
+    let token = login
+        .body_str()
+        .split("\"token\":\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_string();
     dispatch(
         &router,
         Method::Post,
@@ -68,8 +100,22 @@ fn lab_submission_over_http() {
         br#"{"name":"s1","password":"password99"}"#,
         Some(&token),
     );
-    let login = dispatch(&router, Method::Post, "/api/login", br#"{"user":"s1","password":"password99"}"#, None);
-    let s1 = login.body_str().split("\"token\":\"").nth(1).unwrap().split('"').next().unwrap().to_string();
+    let login = dispatch(
+        &router,
+        Method::Post,
+        "/api/login",
+        br#"{"user":"s1","password":"password99"}"#,
+        None,
+    );
+    let s1 = login
+        .body_str()
+        .split("\"token\":\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_string();
 
     dispatch(
         &router,
@@ -78,10 +124,34 @@ fn lab_submission_over_http() {
         labs::lab6_philosophers::ordered_source(3).as_bytes(),
         Some(&s1),
     );
-    let resp = dispatch(&router, Method::Post, "/api/compile?path=phil.mini", b"", Some(&s1));
-    let artifact = resp.body_str().split("\"artifact\":\"").nth(1).unwrap().split('"').next().unwrap().to_string();
-    let resp = dispatch(&router, Method::Post, &format!("/api/run?artifact={artifact}&seed=3"), b"", Some(&s1));
-    assert!(resp.body_str().contains("\"success\":true"), "{}", resp.body_str());
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=phil.mini",
+        b"",
+        Some(&s1),
+    );
+    let artifact = resp
+        .body_str()
+        .split("\"artifact\":\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_string();
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        &format!("/api/run?artifact={artifact}&seed=3"),
+        b"",
+        Some(&s1),
+    );
+    assert!(
+        resp.body_str().contains("\"success\":true"),
+        "{}",
+        resp.body_str()
+    );
     assert!(resp.body_str().contains("all philosophers done"));
 }
 
@@ -101,14 +171,24 @@ fn node_failures_propagate_to_jobs() {
     // Kill two nodes.
     let victims: Vec<_> = sched.cluster().slave_ids().into_iter().take(2).collect();
     for v in &victims {
-        sched.cluster_mut().set_health(*v, NodeHealth::Down).unwrap();
+        sched
+            .cluster_mut()
+            .set_health(*v, NodeHealth::Down)
+            .unwrap();
     }
     sched.tick();
     let disrupted: Vec<_> = sched.jobs().filter(|j| j.state.is_requeued()).collect();
-    assert!(!disrupted.is_empty(), "jobs on dead nodes must be requeued for retry");
+    assert!(
+        !disrupted.is_empty(),
+        "jobs on dead nodes must be requeued for retry"
+    );
     for j in &disrupted {
         assert_eq!(j.last_failure.as_deref(), Some("node went down"));
-        assert!(matches!(j.state, JobState::Requeued { attempt: 2, .. }), "{:?}", j.state);
+        assert!(
+            matches!(j.state, JobState::Requeued { attempt: 2, .. }),
+            "{:?}",
+            j.state
+        );
     }
     // Recover; a new job can use the capacity again, and once the backoff
     // expires at least one disrupted job re-dispatches (attempt 2).
@@ -117,12 +197,18 @@ fn node_failures_propagate_to_jobs() {
     }
     let fresh = sched.submit(JobSpec::sequential("u", "y", 3)).unwrap();
     sched.run_ticks(6);
-    assert!(sched.job(fresh).unwrap().state.is_terminal() || sched.job(fresh).unwrap().state.is_running());
+    assert!(
+        sched.job(fresh).unwrap().state.is_terminal()
+            || sched.job(fresh).unwrap().state.is_running()
+    );
     let retried = sched
         .jobs()
         .filter(|j| j.attempt == 2 && (j.state.is_running() || j.state.is_terminal()))
         .count();
-    assert!(retried >= 1, "a requeued job must re-dispatch after recovery");
+    assert!(
+        retried >= 1,
+        "a requeued job must re-dispatch after recovery"
+    );
 }
 
 /// The assessment pipeline consumes the labs crate end to end and its
@@ -149,9 +235,14 @@ fn table1_reproduction_is_sane() {
 fn numa_hierarchy_is_consistent_across_crates() {
     let rows = labs::lab3_numa::full_table(128, 4096);
     // cache < dram < socket < node, each by the model's own parameters.
-    assert!(rows.windows(2).all(|w| w[0].mean_ns < w[1].mean_ns), "{rows:?}");
+    assert!(
+        rows.windows(2).all(|w| w[0].mean_ns < w[1].mean_ns),
+        "{rows:?}"
+    );
     // And the remote-node figure must exceed one uplink round trip.
-    let uplink = simnet::LinkProfile::campus_uplink().transfer_time(4096).nanos();
+    let uplink = simnet::LinkProfile::campus_uplink()
+        .transfer_time(4096)
+        .nanos();
     assert!(rows[3].mean_ns > uplink as f64);
 }
 
@@ -159,13 +250,26 @@ fn numa_hierarchy_is_consistent_across_crates() {
 #[test]
 fn whole_stack_determinism() {
     let run = || {
-        let mut portal = Portal::new(PortalConfig { cluster: ClusterSpec::small(1, 1), ..PortalConfig::default() });
+        let mut portal = Portal::new(PortalConfig {
+            cluster: ClusterSpec::small(1, 1),
+            ..PortalConfig::default()
+        });
         portal.bootstrap_admin("admin", "super-secret9").unwrap();
         let tok = portal.login("admin", "super-secret9", 0).unwrap();
         portal
-            .write_file(&tok, "/home/admin/r.mini", labs::lab1_sync::BUGGY_SOURCE.as_bytes().to_vec(), 0)
+            .write_file(
+                &tok,
+                "/home/admin/r.mini",
+                labs::lab1_sync::BUGGY_SOURCE.as_bytes().to_vec(),
+                0,
+            )
             .unwrap();
-        let art = portal.compile(&tok, "/home/admin/r.mini", 0).unwrap().artifact.unwrap().to_string();
+        let art = portal
+            .compile(&tok, "/home/admin/r.mini", 0)
+            .unwrap()
+            .artifact
+            .unwrap()
+            .to_string();
         let out = portal.run_interactive(&tok, &art, 77, 0).unwrap();
         out.outcome.unwrap()
     };
@@ -181,11 +285,26 @@ fn whole_stack_determinism() {
 #[test]
 fn accelerator_present_and_crossover_exists() {
     let cluster = cluster::Cluster::new(ClusterSpec::uhd());
-    let gpu = cluster.accelerator_node().expect("uhd spec has a GPU machine");
-    assert_eq!(cluster.node_spec(gpu).unwrap().class, cluster::NodeClass::Accelerator);
+    let gpu = cluster
+        .accelerator_node()
+        .expect("uhd spec has a GPU machine");
+    assert_eq!(
+        cluster.node_spec(gpu).unwrap().class,
+        cluster::NodeClass::Accelerator
+    );
     let acc = cluster::Accelerator::default();
-    let small = cluster::KernelProfile { work_items: 64, ops_per_item: 8, bytes_in: 64, bytes_out: 64 };
-    let large = cluster::KernelProfile { work_items: 1 << 20, ops_per_item: 128, bytes_in: 1 << 20, bytes_out: 0 };
+    let small = cluster::KernelProfile {
+        work_items: 64,
+        ops_per_item: 8,
+        bytes_in: 64,
+        bytes_out: 64,
+    };
+    let large = cluster::KernelProfile {
+        work_items: 1 << 20,
+        ops_per_item: 128,
+        bytes_in: 1 << 20,
+        bytes_out: 0,
+    };
     assert!(acc.speedup_vs_cpu(&small, 2600) < 1.0);
     assert!(acc.speedup_vs_cpu(&large, 2600) > 1.0);
 }

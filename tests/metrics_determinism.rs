@@ -40,7 +40,7 @@ fn run_chaos_metrics(seed: u64) -> String {
         let now = sched.now();
         while next < arrivals.len() && arrivals[next].at_tick <= now + 1 {
             let mut spec = arrivals[next].spec.clone();
-            if next % 3 == 0 {
+            if next.is_multiple_of(3) {
                 spec = spec.with_timeout(400);
             }
             sched.submit(spec).expect("workload jobs fit the cluster");
@@ -60,7 +60,10 @@ fn same_seed_chaos_runs_render_identical_metrics() {
     for seed in [11, 42, 1337] {
         let a = run_chaos_metrics(seed);
         let b = run_chaos_metrics(seed);
-        assert_eq!(a, b, "seed {seed}: metrics exposition diverged between identical runs");
+        assert_eq!(
+            a, b,
+            "seed {seed}: metrics exposition diverged between identical runs"
+        );
     }
 }
 
@@ -72,7 +75,10 @@ fn print_chaos_metrics() {
     for seed in [11, 42, 1337] {
         println!("==== seed {seed} ====");
         let text = run_chaos_metrics(seed);
-        for line in text.lines().filter(|l| !l.starts_with('#') && !l.contains("_bucket")) {
+        for line in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.contains("_bucket"))
+        {
             println!("{line}");
         }
     }
@@ -107,11 +113,17 @@ fn chaos_metrics_exposition_is_complete_and_consistent() {
         + value_of("ccp_sched_jobs_timed_out_total")
         + value_of("ccp_sched_jobs_node_lost_total")
         + value_of("ccp_sched_jobs_cancelled_total");
-    assert_eq!(terminal, 60, "terminal-state counters disagree with workload size:\n{text}");
+    assert_eq!(
+        terminal, 60,
+        "terminal-state counters disagree with workload size:\n{text}"
+    );
     // The node-state gauge partitions the cluster: states sum to 8 nodes
     // whatever mix of up/down the fault plan left behind.
     let nodes = value_of("ccp_cluster_nodes{state=\"up\"}")
         + value_of("ccp_cluster_nodes{state=\"draining\"}")
         + value_of("ccp_cluster_nodes{state=\"down\"}");
-    assert_eq!(nodes, 8, "node-state gauge does not partition the cluster:\n{text}");
+    assert_eq!(
+        nodes, 8,
+        "node-state gauge does not partition the cluster:\n{text}"
+    );
 }
