@@ -1,0 +1,172 @@
+//! Parallel exploration engine: serial vs pooled schedules/sec on a real
+//! grading workload, plus the compile cache's hit-path latency and the
+//! 30-student resubmission hit-rate scenario.
+//!
+//! Besides the Criterion timings, this bench prints a registry-derived
+//! digest (steal counts, busy/idle time from `ccp_pool_*`) and one
+//! machine-readable `BENCH_JSON {...}` line that `scripts/bench_smoke.sh`
+//! extracts into `BENCH_checker.json`.
+
+use checker::{CheckConfig, Pool};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use toolchain::{ArtifactStore, CompileCache, CompileRequest, LanguageId};
+
+/// The exploration workload: a clean (deadlock-free) philosophers program,
+/// so no schedule short-circuits on a failure and every worker consumes its
+/// full share of the budget — the honest case for a speedup table.
+fn workload() -> (minilang::Program, CheckConfig) {
+    let src = labs::lab6_philosophers::ordered_source(4);
+    let program = minilang::compile(&src).expect("lab source compiles");
+    let cfg = CheckConfig {
+        max_schedules: 64,
+        max_steps: 100_000_000,
+        minimize: false,
+        seed: 42,
+        ..CheckConfig::default()
+    };
+    (program, cfg)
+}
+
+/// Schedules/sec over `reps` repetitions on a pool of `workers`.
+fn schedules_per_sec(
+    program: &minilang::Program,
+    cfg: &CheckConfig,
+    pool: &Pool,
+    reps: u32,
+) -> f64 {
+    let warm = pool.check(program, cfg);
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(pool.check(program, cfg));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (warm.schedules * u64::from(reps)) as f64 / secs
+}
+
+fn speedup_table() -> (Vec<(usize, f64)>, f64) {
+    let (program, cfg) = workload();
+    ccp_bench::banner("Checker throughput: serial vs work-stealing pool");
+    let obs = Arc::new(obs::Obs::new());
+    let reps = 6;
+    let serial = schedules_per_sec(&program, &cfg, &Pool::new(1), reps);
+    let mut rows = vec![(1usize, serial)];
+    for workers in [2usize, 4, 8] {
+        let pool = Pool::new(workers).with_obs(Arc::clone(&obs));
+        rows.push((workers, schedules_per_sec(&program, &cfg, &pool, reps)));
+    }
+    for (workers, sps) in &rows {
+        eprintln!(
+            "  {workers} worker(s): {sps:>9.0} schedules/sec  (speedup {:.2}x)",
+            sps / serial
+        );
+    }
+    let steals = obs.metrics.counter("ccp_pool_steals_total", &[]).get();
+    let tasks = obs.metrics.counter("ccp_pool_tasks_total", &[]).get();
+    eprintln!("  pool registry: {tasks} tasks, {steals} steals");
+    (rows, serial)
+}
+
+/// Hit-path latency and the class-resubmission hit rate, from the cache's
+/// own counters.
+fn cache_scenario() -> (f64, f64) {
+    ccp_bench::banner("Compile cache: 30 students x 5 resubmissions");
+    let mut fs = vfs::Vfs::new();
+    let mut store = ArtifactStore::new();
+    let mut cache = CompileCache::new(64);
+    let starter = labs::lab5_bank::source(labs::lab5_bank::BankStep::ConcurrentLocked);
+    for s in 0..30 {
+        let user = format!("student{s}");
+        fs.add_user(&user, 1 << 20).unwrap();
+        fs.write(
+            &user,
+            &format!("/home/{user}/bank.mini"),
+            starter.clone().into_bytes(),
+        )
+        .unwrap();
+    }
+    for _round in 0..5 {
+        for s in 0..30 {
+            let user = format!("student{s}");
+            let report = CompileRequest::new(&user, &format!("/home/{user}/bank.mini"))
+                .run_cached(&fs, &mut store, &mut cache);
+            assert!(report.success());
+        }
+    }
+    let stats = cache.stats();
+    eprintln!(
+        "  {} hits / {} misses  (hit rate {:.1}%)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+
+    // Hit-path latency: lookup of an already-cached source, measured alone.
+    let n = 10_000u32;
+    let start = Instant::now();
+    for _ in 0..n {
+        black_box(cache.lookup(LanguageId::MiniLang, "", &starter));
+    }
+    let hit_us = start.elapsed().as_secs_f64() * 1e6 / f64::from(n);
+    eprintln!("  hit-path lookup: {hit_us:.2} us/op");
+    (stats.hit_rate(), hit_us)
+}
+
+fn bench(c: &mut Criterion) {
+    let (rows, serial) = speedup_table();
+    let (hit_rate, hit_us) = cache_scenario();
+
+    // One line the smoke script lifts verbatim into BENCH_checker.json.
+    let workers_json = rows
+        .iter()
+        .map(|(w, sps)| format!("\"{w}\":{sps:.1}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let speedup_4w = rows
+        .iter()
+        .find(|(w, _)| *w == 4)
+        .map(|(_, sps)| sps / serial)
+        .unwrap_or(0.0);
+    eprintln!(
+        "BENCH_JSON {{\"bench\":\"checker_parallel\",\"schedules_per_sec\":{{{workers_json}}},\
+         \"speedup_4w\":{speedup_4w:.2},\"cache_hit_rate\":{hit_rate:.3},\
+         \"cache_hit_us\":{hit_us:.2}}}"
+    );
+
+    let (program, cfg) = workload();
+    let mut g = c.benchmark_group("checker");
+    g.sample_size(10);
+    g.bench_function("check_serial", |b| {
+        let pool = Pool::new(1);
+        b.iter(|| black_box(pool.check(&program, &cfg)))
+    });
+    g.bench_function("check_4_workers", |b| {
+        let pool = Pool::new(4);
+        b.iter(|| black_box(pool.check(&program, &cfg)))
+    });
+    g.bench_function("compile_cache_hit", |b| {
+        let mut cache = CompileCache::new(4);
+        let src = "fn main() { println(7); }".to_string();
+        let prog = minilang::compile(&src).unwrap();
+        cache.insert(LanguageId::MiniLang, "", &src, prog);
+        b.iter(|| black_box(cache.lookup(LanguageId::MiniLang, "", &src)))
+    });
+    g.bench_function("compile_cache_miss_and_compile", |b| {
+        let mut cache = CompileCache::new(4);
+        let src = "fn main() { println(7); }".to_string();
+        b.iter(|| {
+            let prog = match cache.lookup(LanguageId::MiniLang, "", &src) {
+                Some(p) => p,
+                None => minilang::compile(&src).unwrap(),
+            };
+            cache = CompileCache::new(4); // stay on the miss path
+            black_box(prog)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

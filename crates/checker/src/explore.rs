@@ -306,6 +306,17 @@ struct DfsOutcome {
     complete: bool,
 }
 
+/// One schedule spent by DFS, in traversal order. Parallel workers record
+/// these so the coordinator can replay the serial budget arithmetic over
+/// them and land on a bit-for-bit identical report (see `crate::pool`).
+#[derive(Debug, Clone)]
+pub(crate) struct SchedEntry {
+    /// Visible steps this schedule took.
+    pub(crate) steps: u64,
+    /// The failure it stopped on, with its repro schedule.
+    pub(crate) failure: Option<(Verdict, Vec<usize>)>,
+}
+
 /// Bounded DFS with sleep sets. `branch_path` holds the chosen tid at every
 /// *branch point* (>1 enabled thread) on the way to the current frame; each
 /// frame re-executes the program from scratch along that path — stateless
@@ -316,9 +327,48 @@ struct Dfs<'a> {
     budget: Budget,
     schedules: u64,
     steps: u64,
+    /// When recording (parallel workers), every spend appends here.
+    trace: Vec<SchedEntry>,
+    record: bool,
+    /// Whether a budget check site ran since the last spend. The merge
+    /// needs this to reproduce serial's `complete = false` when the budget
+    /// dies exactly on a shard's final schedule: serial would still reach
+    /// one more check and notice, even though no further schedule runs.
+    checked_since_spend: bool,
 }
 
 impl<'a> Dfs<'a> {
+    fn new(program: &'a Program, cfg: &'a CheckConfig, schedules_left: u64, record: bool) -> Self {
+        Dfs {
+            program,
+            cfg,
+            budget: Budget {
+                schedules_left,
+                steps_left: cfg.max_steps,
+            },
+            schedules: 0,
+            steps: 0,
+            trace: Vec::new(),
+            record,
+            checked_since_spend: false,
+        }
+    }
+
+    /// Account one finished/pruned/failed schedule — the single place all
+    /// budget spending goes through, so worker traces cannot drift from
+    /// the serial accounting.
+    fn spend(&mut self, ex: &Exec, failure: &Option<(Verdict, Vec<usize>)>) {
+        self.schedules += 1;
+        self.steps += ex.steps;
+        self.budget.spend(ex);
+        if self.record {
+            self.trace.push(SchedEntry {
+                steps: ex.steps,
+                failure: failure.clone(),
+            });
+        }
+        self.checked_since_spend = false;
+    }
     /// Explore all schedules extending `branch_path`. `sleep` maps a thread
     /// id to the op it had when put to sleep; entries are valid at the node
     /// this frame owns (just past its last branch choice) and are filtered
@@ -370,32 +420,20 @@ impl<'a> Dfs<'a> {
             }
         };
         if pruned {
-            self.schedules += 1;
-            self.steps += ex.steps;
-            self.budget.spend(&ex);
+            self.spend(&ex, &None);
             return DfsOutcome {
                 failure: None,
                 complete: true,
             };
         }
         if let Some(stop) = stop {
-            self.schedules += 1;
-            self.steps += ex.steps;
-            self.budget.spend(&ex);
-            return match stop {
-                Stop::Failure(v) => DfsOutcome {
-                    failure: Some((v, ex.schedule.clone())),
-                    complete: true,
-                },
-                Stop::Finished => DfsOutcome {
-                    failure: None,
-                    complete: true,
-                },
-                Stop::Truncated => DfsOutcome {
-                    failure: None,
-                    complete: false,
-                },
+            let complete = !matches!(stop, Stop::Truncated);
+            let failure = match stop {
+                Stop::Failure(v) => Some((v, ex.schedule.clone())),
+                _ => None,
             };
+            self.spend(&ex, &failure);
+            return DfsOutcome { failure, complete };
         }
 
         // At the frontier with >1 enabled thread: branch.
@@ -411,6 +449,7 @@ impl<'a> Dfs<'a> {
             };
         }
         for &t in &en {
+            self.checked_since_spend = true;
             if self.budget.empty() {
                 complete = false;
                 break;
@@ -462,18 +501,14 @@ impl<'a> Dfs<'a> {
                 break stop;
             }
         };
-        self.schedules += 1;
-        self.steps += ex.steps;
-        self.budget.spend(&ex);
-        match stop {
-            Stop::Failure(v) => DfsOutcome {
-                failure: Some((v, ex.schedule.clone())),
-                complete: false,
-            },
-            _ => DfsOutcome {
-                failure: None,
-                complete: false,
-            },
+        let failure = match stop {
+            Stop::Failure(v) => Some((v, ex.schedule.clone())),
+            _ => None,
+        };
+        self.spend(&ex, &failure);
+        DfsOutcome {
+            failure,
+            complete: false,
         }
     }
 }
@@ -542,53 +577,26 @@ fn minimize(
     best
 }
 
-/// Full exploration per `cfg.strategy`; the engine behind [`crate::check`].
-pub(crate) fn explore(program: &Program, cfg: &CheckConfig) -> CheckReport {
-    let mut schedules = 0u64;
-    let mut steps = 0u64;
-    let mut complete = false;
-    let mut failure: Option<(Verdict, Vec<usize>)> = None;
-
-    let dfs_budget = match cfg.strategy {
+/// The schedule budget handed to the DFS phase under `cfg.strategy`.
+pub(crate) fn dfs_phase_budget(cfg: &CheckConfig) -> u64 {
+    match cfg.strategy {
         Strategy::Dfs => cfg.max_schedules,
         Strategy::RandomWalk => 0,
         Strategy::Hybrid => cfg.max_schedules / 4,
-    };
-    if dfs_budget > 0 {
-        let mut dfs = Dfs {
-            program,
-            cfg,
-            budget: Budget {
-                schedules_left: dfs_budget,
-                steps_left: cfg.max_steps,
-            },
-            schedules: 0,
-            steps: 0,
-        };
-        let out = dfs.explore(&mut Vec::new(), Vec::new(), 0);
-        schedules += dfs.schedules;
-        steps += dfs.steps;
-        complete = out.complete;
-        failure = out.failure;
     }
+}
 
-    if failure.is_none() && !complete {
-        let walks = cfg.max_schedules.saturating_sub(schedules);
-        for i in 0..walks {
-            if steps >= cfg.max_steps {
-                break;
-            }
-            let mut rng = SplitMix64::new(cfg.seed ^ (i.wrapping_mul(0x9E37_79B9) + 1));
-            let (stop, sched, s) = random_walk(program, cfg, &mut rng);
-            schedules += 1;
-            steps += s;
-            if let Stop::Failure(v) = stop {
-                failure = Some((v, sched));
-                break;
-            }
-        }
-    }
-
+/// Minimize (if configured) and package totals into the final report —
+/// shared by the serial and parallel paths so the tail behaviour cannot
+/// diverge between them.
+pub(crate) fn finish_report(
+    program: &Program,
+    cfg: &CheckConfig,
+    schedules: u64,
+    steps: u64,
+    complete: bool,
+    failure: Option<(Verdict, Vec<usize>)>,
+) -> CheckReport {
     match failure {
         Some((verdict, sched)) => {
             let repro = if cfg.minimize {
@@ -610,6 +618,158 @@ pub(crate) fn explore(program: &Program, cfg: &CheckConfig) -> CheckReport {
             steps,
             complete,
             repro: None,
+        },
+    }
+}
+
+/// Full exploration per `cfg.strategy`; the engine behind [`crate::check`].
+pub(crate) fn explore(program: &Program, cfg: &CheckConfig) -> CheckReport {
+    let mut schedules = 0u64;
+    let mut steps = 0u64;
+    let mut complete = false;
+    let mut failure: Option<(Verdict, Vec<usize>)> = None;
+
+    let dfs_budget = dfs_phase_budget(cfg);
+    if dfs_budget > 0 {
+        let mut dfs = Dfs::new(program, cfg, dfs_budget, false);
+        let out = dfs.explore(&mut Vec::new(), Vec::new(), 0);
+        schedules += dfs.schedules;
+        steps += dfs.steps;
+        complete = out.complete;
+        failure = out.failure;
+    }
+
+    if failure.is_none() && !complete {
+        let walks = cfg.max_schedules.saturating_sub(schedules);
+        for i in 0..walks {
+            if steps >= cfg.max_steps {
+                break;
+            }
+            let w = run_walk(program, cfg, i);
+            schedules += 1;
+            steps += w.steps;
+            if let Some(f) = w.failure {
+                failure = Some(f);
+                break;
+            }
+        }
+    }
+
+    finish_report(program, cfg, schedules, steps, complete, failure)
+}
+
+// ---- parallel frontier support (consumed by `crate::pool`) -----------------
+
+/// A shard of the DFS frontier: one root-branch child together with the
+/// sleep set and depth serial DFS would hand it. Workers explore shards
+/// independently; the coordinator replays the serial budget over the
+/// recorded traces in canonical (enabled-order) sequence.
+#[derive(Debug, Clone)]
+pub(crate) struct DfsUnit {
+    pub(crate) path: Vec<usize>,
+    pub(crate) sleep: Vec<(usize, OpKey)>,
+    pub(crate) depth: u32,
+}
+
+impl DfsUnit {
+    /// The whole tree as one shard — used when the root never branches (or
+    /// `dfs_depth` is 0): the worker then runs exactly the serial DFS.
+    pub(crate) fn root() -> DfsUnit {
+        DfsUnit {
+            path: Vec::new(),
+            sleep: Vec::new(),
+            depth: 0,
+        }
+    }
+}
+
+/// Everything a worker learned from one shard.
+#[derive(Debug, Clone)]
+pub(crate) struct UnitTrace {
+    /// Schedules spent, in the order serial DFS would spend them.
+    pub(crate) entries: Vec<SchedEntry>,
+    /// The shard's subtree-complete flag (budget-independent here: workers
+    /// run with the full phase budget, a superset of whatever serial had
+    /// left — the merge re-applies the real budget).
+    pub(crate) complete: bool,
+    /// A budget check site ran after the shard's last spend.
+    pub(crate) trailing_check: bool,
+}
+
+/// Execute the root prefix and split the tree at its first branch point,
+/// replicating the sleep-set evolution of the serial sibling loop (the
+/// inherited sleep set is empty at the root, so no child can start asleep).
+/// `None` when the run stops before any branch — a single-path tree with
+/// nothing to split.
+pub(crate) fn split_root(program: &Program, cfg: &CheckConfig) -> Option<Vec<DfsUnit>> {
+    let mut ex = Exec::new(program, cfg);
+    loop {
+        if ex.status().is_some() {
+            return None;
+        }
+        let en = ex.enabled();
+        if en.len() > 1 {
+            let mut sleep: Vec<(usize, OpKey)> = Vec::new();
+            let mut units = Vec::new();
+            for &t in &en {
+                let Some(op_t) = ex.pending_op(t) else {
+                    continue;
+                };
+                let child_sleep: Vec<(usize, OpKey)> = sleep
+                    .iter()
+                    .copied()
+                    .filter(|(_, sop)| independent(sop, &op_t))
+                    .collect();
+                units.push(DfsUnit {
+                    path: vec![t],
+                    sleep: child_sleep,
+                    depth: 1,
+                });
+                sleep.push((t, op_t));
+            }
+            return Some(units);
+        }
+        // Single choice: the root's sleep set is empty, so no pruning here.
+        if ex.step(en[0]).is_some() {
+            return None;
+        }
+    }
+}
+
+/// Explore one shard with the full phase budget, recording the trace.
+pub(crate) fn run_dfs_unit(
+    program: &Program,
+    cfg: &CheckConfig,
+    unit: &DfsUnit,
+    phase_budget: u64,
+) -> UnitTrace {
+    let mut dfs = Dfs::new(program, cfg, phase_budget, true);
+    let mut path = unit.path.clone();
+    let out = dfs.explore(&mut path, unit.sleep.clone(), unit.depth);
+    UnitTrace {
+        entries: dfs.trace,
+        complete: out.complete,
+        trailing_check: dfs.checked_since_spend,
+    }
+}
+
+/// What one random walk found.
+#[derive(Debug, Clone)]
+pub(crate) struct WalkTrace {
+    pub(crate) steps: u64,
+    pub(crate) failure: Option<(Verdict, Vec<usize>)>,
+}
+
+/// Walk `index` of the walk phase: a pure function of `(cfg.seed, index)`,
+/// so walks can run on any worker in any order.
+pub(crate) fn run_walk(program: &Program, cfg: &CheckConfig, index: u64) -> WalkTrace {
+    let mut rng = SplitMix64::new(cfg.seed ^ (index.wrapping_mul(0x9E37_79B9) + 1));
+    let (stop, sched, steps) = random_walk(program, cfg, &mut rng);
+    WalkTrace {
+        steps,
+        failure: match stop {
+            Stop::Failure(v) => Some((v, sched)),
+            _ => None,
         },
     }
 }

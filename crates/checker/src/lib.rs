@@ -33,9 +33,11 @@
 
 mod clocks;
 mod explore;
+mod pool;
 mod rng;
 
 pub use clocks::{AccessKind, Race, RaceDetector, VectorClock};
+pub use pool::Pool;
 
 use explore::Stop;
 use minilang::{LangError, Program};
@@ -75,6 +77,10 @@ pub struct CheckConfig {
     pub max_instructions: u64,
     /// Visible steps without a state change before declaring livelock.
     pub livelock_window: u64,
+    /// Worker override for [`Pool::check`]: `None` uses the pool's width,
+    /// `Some(0)`/`Some(1)` force the serial path. The report is identical
+    /// either way — workers only change wall-clock time.
+    pub workers: Option<usize>,
 }
 
 impl Default for CheckConfig {
@@ -90,6 +96,7 @@ impl Default for CheckConfig {
             minimize_replays: 48,
             max_instructions: 2_000_000,
             livelock_window: 4_000,
+            workers: None,
         }
     }
 }

@@ -31,6 +31,12 @@ pub struct PortalConfig {
     /// How many VM instructions equal one scheduler tick when deriving a
     /// dispatched job's runtime.
     pub instructions_per_tick: u64,
+    /// Checker pool width. `None` consults the `CCP_CHECKER_THREADS`
+    /// environment variable, falling back to
+    /// `max(1, available_parallelism - 1)`; 0 or 1 runs analyses serially.
+    pub checker_threads: Option<usize>,
+    /// Compile-cache capacity in programs (0 disables caching).
+    pub compile_cache_capacity: usize,
 }
 
 impl Default for PortalConfig {
@@ -42,6 +48,8 @@ impl Default for PortalConfig {
             default_quota: 16 << 20,
             seed: 0x5eed,
             instructions_per_tick: 10_000,
+            checker_threads: None,
+            compile_cache_capacity: 256,
         }
     }
 }
@@ -54,6 +62,8 @@ pub struct Portal {
     fs: Arc<Mutex<Vfs>>,
     artifacts: ArtifactStore,
     scheduler: Scheduler,
+    pool: Arc<checker::Pool>,
+    compile_cache: toolchain::CompileCache,
     obs: Arc<Obs>,
     config: PortalConfig,
     admin_bootstrapped: bool,
@@ -65,12 +75,24 @@ impl Portal {
     pub fn new(config: PortalConfig) -> Portal {
         let cluster = Cluster::new(config.cluster.clone());
         let obs = Arc::new(Obs::new());
+        let workers = config
+            .checker_threads
+            .or_else(|| {
+                std::env::var("CCP_CHECKER_THREADS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or_else(checker::Pool::default_workers);
+        let pool = Arc::new(checker::Pool::new(workers).with_obs(Arc::clone(&obs)));
+        toolchain::cache::register_cache_metrics(&obs);
         Portal {
             users: UserStore::new(config.seed),
             sessions: SessionManager::new(config.session_ttl, config.seed.wrapping_add(1)),
             fs: Arc::new(Mutex::new(Vfs::new())),
             artifacts: ArtifactStore::new(),
             scheduler: Scheduler::new(cluster, config.policy).with_obs(Arc::clone(&obs)),
+            pool,
+            compile_cache: toolchain::CompileCache::new(config.compile_cache_capacity),
             obs,
             config,
             admin_bootstrapped: false,
@@ -282,7 +304,17 @@ impl Portal {
         let (user, role) = self.whoami(token, now)?;
         let full = self.resolve(&user, role, path)?;
         let fs = self.fs.lock();
-        Ok(CompileRequest::new(&user, &full).run_observed(&fs, &mut self.artifacts, &self.obs))
+        Ok(CompileRequest::new(&user, &full).run_cached_observed(
+            &fs,
+            &mut self.artifacts,
+            &mut self.compile_cache,
+            &self.obs,
+        ))
+    }
+
+    /// Compile-cache totals (dashboard / tests).
+    pub fn compile_cache_stats(&self) -> toolchain::CacheStats {
+        self.compile_cache.stats()
     }
 
     /// The caller's artifacts, most recent first, as `(id, source_path)`.
@@ -373,7 +405,9 @@ impl Portal {
         if let Some(b) = budget {
             cfg.max_schedules = b.clamp(1, 512);
         }
-        let report = checker::check(&program, &cfg);
+        // Through the shared pool: bit-for-bit the same report as the
+        // serial `checker::check`, in a fraction of the wall-clock.
+        let report = self.pool.check(&program, &cfg);
 
         let m = &self.obs.metrics;
         m.describe(
@@ -407,6 +441,27 @@ impl Portal {
             complete: report.complete,
             repro: report.repro.unwrap_or_default(),
         })
+    }
+
+    /// Grade a batch of lab submissions across the checker pool (faculty
+    /// or admin — grading exposes verdicts on other students' code). The
+    /// reports are identical to grading each submission serially.
+    pub fn grade_batch(
+        &self,
+        token: &Token,
+        items: &[(labs::LabId, String)],
+        now: u64,
+    ) -> Result<Vec<labs::GradeReport>, PortalError> {
+        let (_, role) = self.whoami(token, now)?;
+        if !role.at_least(Role::Faculty) {
+            return Err(PortalError::Forbidden("batch grading requires faculty"));
+        }
+        Ok(labs::grade_batch(&self.pool, items))
+    }
+
+    /// The shared checker pool (analyses and batch grading run on it).
+    pub fn pool(&self) -> &Arc<checker::Pool> {
+        &self.pool
     }
 
     // ---- the job distributor -----------------------------------------------------

@@ -135,6 +135,16 @@ fn report(lab: LabId, checks: Vec<(String, bool)>) -> GradeReport {
     }
 }
 
+/// Grade a batch of submissions across the checker's worker pool — one
+/// task per submission, each graded exactly as [`grade`] would serially,
+/// so the reports are byte-identical to the one-at-a-time loop and only
+/// wall-clock time changes. Inner exploration stays serial per submission:
+/// fanning out across submissions already saturates the pool without
+/// oversubscribing cores with nested parallelism.
+pub fn grade_batch(pool: &checker::Pool, items: &[(LabId, String)]) -> Vec<GradeReport> {
+    pool.map(items.to_vec(), |_, (lab, src)| grade(lab, &src))
+}
+
 /// Grade a minilang submission for `lab`. The checks encode each lab's
 /// stated requirements; reference solutions in this crate score 100.
 pub fn grade(lab: LabId, submission: &str) -> GradeReport {
@@ -363,6 +373,22 @@ mod tests {
         );
         assert!(!grade(LabId::Philosophers, &phil::naive_source(10)).passed);
         assert!(!grade(LabId::BoundedBuffer, &bb::buggy_source()).passed);
+    }
+
+    #[test]
+    fn batch_grading_matches_serial() {
+        let batch: Vec<(LabId, String)> = vec![
+            (LabId::Sync, lab1_sync::FIXED_SOURCE.to_string()),
+            (LabId::Sync, lab1_sync::BUGGY_SOURCE.to_string()),
+            (LabId::Philosophers, phil::ordered_source(5)),
+            (LabId::Philosophers, phil::naive_source(10)),
+            (LabId::BoundedBuffer, bb::semaphore_source()),
+        ];
+        let serial: Vec<GradeReport> = batch.iter().map(|(l, s)| grade(*l, s)).collect();
+        for workers in [1, 3] {
+            let pool = checker::Pool::new(workers);
+            assert_eq!(grade_batch(&pool, &batch), serial, "{workers} workers");
+        }
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub mod lab5_bank;
 pub mod lab6_philosophers;
 pub mod lab7_boundedbuffer;
 
-pub use grading::{grade, GradeReport, LabId};
+pub use grading::{grade, grade_batch, GradeReport, LabId};

@@ -226,7 +226,9 @@ pub enum VmEvent {
 /// Host I/O hooks: `read_file` / `write_file` / `append_file` builtins land
 /// here, so the toolchain can wire the VM to the portal's [`vfs`]
 /// (or to nothing, in pure tests).
-pub trait HostIo {
+/// `Send` is part of the contract: a [`Vm`] must be movable to (and owned
+/// by) a checker pool worker thread, and the I/O backend travels with it.
+pub trait HostIo: Send {
     /// Read a whole file as a string.
     fn read_file(&mut self, path: &str) -> Result<String, String>;
     /// Create/overwrite a file.
@@ -412,6 +414,17 @@ pub struct Vm {
     /// Arc pointer -> dense array id, assigned on first recorded access.
     array_ids: HashMap<usize, usize>,
 }
+
+// The checker's worker pool gives each worker its own `Vm` and shares one
+// `&Program` across threads; these hold by construction (no `Rc`/`RefCell`
+// anywhere in the VM state, `HostIo: Send`) and must keep holding.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<Vm>();
+    assert_send::<Program>();
+    assert_sync::<Program>();
+};
 
 impl Vm {
     /// Build a VM for `program` with an in-memory filesystem.

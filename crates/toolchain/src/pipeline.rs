@@ -4,6 +4,7 @@
 //! executable here) and stores the artifact.
 
 use crate::artifact::{ArtifactId, ArtifactStore};
+use crate::cache::CompileCache;
 use crate::language::LanguageId;
 use minilang::LangError;
 use std::fmt;
@@ -66,6 +67,9 @@ pub struct CompileRequest {
     pub user: String,
     /// Path of the source file inside the vfs.
     pub source_path: String,
+    /// Compiler flags; part of the compile-cache key, so requests with
+    /// different flags never share a cached program.
+    pub flags: String,
 }
 
 /// What a compilation produced.
@@ -106,12 +110,19 @@ impl CompileReport {
 }
 
 impl CompileRequest {
-    /// A request for `user`'s file at `source_path`.
+    /// A request for `user`'s file at `source_path` with no flags.
     pub fn new(user: &str, source_path: &str) -> CompileRequest {
         CompileRequest {
             user: user.to_string(),
             source_path: source_path.to_string(),
+            flags: String::new(),
         }
+    }
+
+    /// The same request with compiler flags set.
+    pub fn with_flags(mut self, flags: &str) -> CompileRequest {
+        self.flags = flags.to_string();
+        self
     }
 
     /// Like [`CompileRequest::run`], recording a
@@ -145,8 +156,71 @@ impl CompileRequest {
         report
     }
 
+    /// [`CompileRequest::run_cached`] with telemetry: the
+    /// `ccp_toolchain_*` compile metrics plus the
+    /// `ccp_compile_cache_{hits,misses,evictions}_total` counters and the
+    /// `ccp_compile_cache_entries` gauge.
+    pub fn run_cached_observed(
+        &self,
+        fs: &Vfs,
+        store: &mut ArtifactStore,
+        cache: &mut CompileCache,
+        obs: &obs::Obs,
+    ) -> CompileReport {
+        let before = cache.stats();
+        let started = std::time::Instant::now();
+        let report = self.run_inner(fs, store, Some(cache));
+        let after = cache.stats();
+        let result = if report.success() { "ok" } else { "error" };
+        let m = &obs.metrics;
+        m.describe("ccp_toolchain_compiles_total", "compilations by result");
+        m.describe(
+            "ccp_toolchain_compile_duration_us",
+            "compilation wall-clock latency",
+        );
+        m.counter("ccp_toolchain_compiles_total", &[("result", result)])
+            .inc();
+        m.histogram(
+            "ccp_toolchain_compile_duration_us",
+            &[],
+            obs::DURATION_US_BOUNDS,
+        )
+        .record(started.elapsed().as_micros() as u64);
+        crate::cache::register_cache_metrics(obs);
+        m.counter("ccp_compile_cache_hits_total", &[])
+            .add(after.hits - before.hits);
+        m.counter("ccp_compile_cache_misses_total", &[])
+            .add(after.misses - before.misses);
+        m.counter("ccp_compile_cache_evictions_total", &[])
+            .add(after.evictions - before.evictions);
+        m.gauge("ccp_compile_cache_entries", &[])
+            .set(after.entries as i64);
+        report
+    }
+
+    /// Like [`CompileRequest::run`], but consult (and fill) the compile
+    /// cache: a byte-identical `(language, flags, source)` skips the
+    /// compiler and stores the cached program as this user's artifact.
+    pub fn run_cached(
+        &self,
+        fs: &Vfs,
+        store: &mut ArtifactStore,
+        cache: &mut CompileCache,
+    ) -> CompileReport {
+        self.run_inner(fs, store, Some(cache))
+    }
+
     /// Execute the request against the filesystem and artifact store.
     pub fn run(&self, fs: &Vfs, store: &mut ArtifactStore) -> CompileReport {
+        self.run_inner(fs, store, None)
+    }
+
+    fn run_inner(
+        &self,
+        fs: &Vfs,
+        store: &mut ArtifactStore,
+        mut cache: Option<&mut CompileCache>,
+    ) -> CompileReport {
         let mut diagnostics = Vec::new();
         let bytes = match fs.read(&self.user, &self.source_path) {
             Ok(b) => b,
@@ -211,8 +285,22 @@ impl CompileRequest {
                 artifact: None,
             };
         }
+        if let Some(c) = cache.as_deref_mut() {
+            if let Some(program) = c.lookup(language, &self.flags, &source) {
+                let id = store.put(&self.user, &self.source_path, language, &source, program);
+                return CompileReport {
+                    request: self.clone(),
+                    language,
+                    diagnostics,
+                    artifact: Some(id),
+                };
+            }
+        }
         match minilang::compile(&source) {
             Ok(program) => {
+                if let Some(c) = cache {
+                    c.insert(language, &self.flags, &source, program.clone());
+                }
                 let id = store.put(&self.user, &self.source_path, language, &source, program);
                 CompileReport {
                     request: self.clone(),

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Smoke-run the checker_parallel bench and capture its machine-readable
+# summary as BENCH_checker.json, so CI archives a speedup + cache-hit-rate
+# datapoint per commit.
+#
+# Usage: bench_smoke.sh [output.json]          (default: BENCH_checker.json)
+#
+# The bench prints exactly one line of the form
+#   BENCH_JSON {"bench":"checker_parallel",...}
+# on stderr; everything after the prefix is already valid JSON.
+set -euo pipefail
+
+out="${1:-BENCH_checker.json}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+# --test with a fast profile: we want the printed summary, not tight CIs.
+cargo bench -p ccp-bench --bench checker_parallel -- --test 2>&1 | tee "$log"
+
+line="$(grep -E '^BENCH_JSON \{' "$log" | tail -n 1 || true)"
+if [ -z "$line" ]; then
+    echo "FAIL: bench did not print a BENCH_JSON line" >&2
+    exit 1
+fi
+printf '%s\n' "${line#BENCH_JSON }" > "$out"
+
+# Sanity: the acceptance floors (4-worker speedup >= 2x, cache hit rate
+# >= 0.9) travel with the artifact; fail loudly if the datapoint regressed.
+speedup="$(sed -nE 's/.*"speedup_4w":([0-9.]+).*/\1/p' "$out")"
+hit_rate="$(sed -nE 's/.*"cache_hit_rate":([0-9.]+).*/\1/p' "$out")"
+if [ -z "$speedup" ] || [ -z "$hit_rate" ]; then
+    echo "FAIL: $out is missing speedup_4w or cache_hit_rate" >&2
+    exit 1
+fi
+awk -v h="$hit_rate" 'BEGIN {
+    if (h + 0 < 0.9) { print "FAIL: cache hit rate " h " below 0.9" > "/dev/stderr"; exit 1 }
+}'
+# The speedup floor only holds where 4 workers can actually run in
+# parallel; on fewer cores the pool degrades gracefully and we just report.
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$cores" -ge 4 ]; then
+    awk -v s="$speedup" 'BEGIN {
+        if (s + 0 < 2.0) { print "FAIL: 4-worker speedup " s " below 2.0x" > "/dev/stderr"; exit 1 }
+    }'
+else
+    echo "note: only $cores core(s); skipping the 2x speedup assertion"
+fi
+echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate} (cores=$cores)"
+echo "wrote $out"

@@ -45,6 +45,25 @@ for layer in httpd sched cluster; do
 done
 [ "$status" -eq 0 ] || exit "$status"
 
+# The parallel execution engine and compile cache register their families
+# eagerly, so a fresh scrape must already carry every one of them.
+for family in \
+    "ccp_pool_workers gauge" \
+    "ccp_pool_tasks_total counter" \
+    "ccp_pool_steals_total counter" \
+    "ccp_pool_busy_us histogram" \
+    "ccp_pool_idle_us histogram" \
+    "ccp_compile_cache_hits_total counter" \
+    "ccp_compile_cache_misses_total counter" \
+    "ccp_compile_cache_evictions_total counter" \
+    "ccp_compile_cache_entries gauge"; do
+    if ! printf '%s\n' "$input" | grep -qF "# TYPE ${family}"; then
+        echo "FAIL: missing family: ${family}" >&2
+        status=1
+    fi
+done
+[ "$status" -eq 0 ] || exit "$status"
+
 samples="$(printf '%s\n' "$input" | grep -cvE '^#')"
 families="$(printf '%s\n' "$input" | grep -cE '^# TYPE ')"
 echo "OK: $families families, $samples samples, all layers covered"

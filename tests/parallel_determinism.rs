@@ -1,0 +1,268 @@
+//! The parallel exploration engine's acceptance bar: for every lab
+//! archetype, the pooled checker must produce a `CheckReport` equal — field
+//! for field, byte for byte — to the serial one, across worker counts and
+//! seeds. Parallelism buys wall-clock time only; it must never buy a
+//! different answer.
+
+use checker::{CheckConfig, CheckReport, Pool};
+use labs::{lab1_sync, lab5_bank, lab6_philosophers, lab7_boundedbuffer};
+
+/// Every lab archetype the grader meets: clean and buggy variants of the
+/// exploration-graded labs, covering clean, race, and deadlock verdicts.
+fn archetypes() -> Vec<(&'static str, String)> {
+    vec![
+        ("lab1 fixed", lab1_sync::FIXED_SOURCE.to_string()),
+        ("lab1 buggy", lab1_sync::BUGGY_SOURCE.to_string()),
+        (
+            "lab5 locked",
+            lab5_bank::source(lab5_bank::BankStep::ConcurrentLocked),
+        ),
+        (
+            "lab5 racy",
+            lab5_bank::source(lab5_bank::BankStep::ConcurrentRacy),
+        ),
+        ("lab6 ordered", lab6_philosophers::ordered_source(4)),
+        ("lab6 naive", lab6_philosophers::naive_source(5)),
+        ("lab7 semaphore", lab7_boundedbuffer::semaphore_source()),
+        ("lab7 buggy", lab7_boundedbuffer::buggy_source()),
+    ]
+}
+
+/// The grader's exploration budget (see `labs::grading`), seed injected.
+fn grading_cfg(seed: u64) -> CheckConfig {
+    CheckConfig {
+        max_schedules: 24,
+        max_steps: 400_000,
+        minimize: false,
+        seed,
+        ..CheckConfig::default()
+    }
+}
+
+fn assert_identical(name: &str, src: &str, cfg: &CheckConfig) {
+    let program = minilang::compile(src).expect("archetype compiles");
+    let serial: CheckReport = checker::check(&program, cfg);
+    for workers in [1usize, 2, 4] {
+        let pool = Pool::new(workers);
+        let parallel = pool.check(&program, cfg);
+        assert_eq!(
+            parallel, serial,
+            "{name}: {workers}-worker report diverged from serial (seed {})",
+            cfg.seed
+        );
+    }
+}
+
+#[test]
+fn every_archetype_is_bit_identical_across_workers_and_seeds() {
+    for (name, src) in archetypes() {
+        for seed in [0u64, 1, 2] {
+            assert_identical(name, &src, &grading_cfg(seed));
+        }
+    }
+}
+
+#[test]
+fn default_config_with_minimization_is_bit_identical() {
+    // The API default: minimize on, 48 schedules — what `/api/analyze` runs.
+    let cfg = CheckConfig::default();
+    assert_identical(
+        "lab5 racy (default cfg)",
+        &lab5_bank::source(lab5_bank::BankStep::ConcurrentRacy),
+        &cfg,
+    );
+    assert_identical(
+        "lab6 naive (default cfg)",
+        &lab6_philosophers::naive_source(5),
+        &cfg,
+    );
+}
+
+#[test]
+fn config_workers_override_beats_pool_width() {
+    let src = lab5_bank::source(lab5_bank::BankStep::ConcurrentRacy);
+    let program = minilang::compile(&src).unwrap();
+    let mut cfg = grading_cfg(7);
+    let serial = checker::check(&program, &cfg);
+    // A wide pool forced serial by the config override.
+    cfg.workers = Some(1);
+    assert_eq!(Pool::new(8).check(&program, &cfg), serial);
+    // A serial pool forced wide by the config override.
+    cfg.workers = Some(4);
+    assert_eq!(Pool::new(1).check(&program, &cfg), serial);
+}
+
+#[test]
+fn strategy_extremes_are_bit_identical() {
+    // Pure DFS and pure random-walk exercise the two merge phases alone.
+    let src = lab6_philosophers::naive_source(4);
+    let program = minilang::compile(&src).unwrap();
+    for strategy in [checker::Strategy::Dfs, checker::Strategy::RandomWalk] {
+        let cfg = CheckConfig {
+            strategy,
+            ..grading_cfg(3)
+        };
+        let serial = checker::check(&program, &cfg);
+        for workers in [2usize, 4] {
+            assert_eq!(
+                Pool::new(workers).check(&program, &cfg),
+                serial,
+                "{strategy:?} with {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_grading_through_portal_pool_matches_serial() {
+    let batch: Vec<(labs::LabId, String)> = vec![
+        (
+            labs::LabId::Bank,
+            lab5_bank::source(lab5_bank::BankStep::ConcurrentLocked),
+        ),
+        (
+            labs::LabId::Bank,
+            lab5_bank::source(lab5_bank::BankStep::ConcurrentRacy),
+        ),
+        (
+            labs::LabId::Philosophers,
+            lab6_philosophers::ordered_source(4),
+        ),
+    ];
+    let serial: Vec<labs::GradeReport> = batch.iter().map(|(l, s)| labs::grade(*l, s)).collect();
+    assert_eq!(labs::grade_batch(&Pool::new(3), &batch), serial);
+}
+
+// ---- compile cache ---------------------------------------------------------
+
+#[test]
+fn cache_hit_returns_identical_artifact_and_one_byte_change_misses() {
+    use toolchain::{ArtifactStore, CompileCache, CompileRequest};
+    use vfs::Vfs;
+
+    let mut fs = Vfs::new();
+    fs.add_user("alice", 1 << 20).unwrap();
+    fs.add_user("bob", 1 << 20).unwrap();
+    let mut store = ArtifactStore::new();
+    let mut cache = CompileCache::new(32);
+
+    let src = b"fn main() { println(41 + 1); }".to_vec();
+    fs.write("alice", "/home/alice/a.mini", src.clone())
+        .unwrap();
+    fs.write("bob", "/home/bob/b.mini", src.clone()).unwrap();
+
+    let first =
+        CompileRequest::new("alice", "/home/alice/a.mini").run_cached(&fs, &mut store, &mut cache);
+    assert!(first.success());
+    assert_eq!(cache.stats().misses, 1);
+
+    // Same bytes from another user: a hit, and the stored program behaves
+    // identically to a fresh compile.
+    let second =
+        CompileRequest::new("bob", "/home/bob/b.mini").run_cached(&fs, &mut store, &mut cache);
+    assert!(second.success());
+    assert_eq!(cache.stats().hits, 1);
+    let a = store.get(first.artifact.as_ref().unwrap()).unwrap();
+    let b = store.get(second.artifact.as_ref().unwrap()).unwrap();
+    assert_eq!(format!("{:?}", a.program), format!("{:?}", b.program));
+
+    // One byte changed: a miss.
+    let mut changed = src.clone();
+    let i = changed.iter().position(|&c| c == b'1').unwrap();
+    changed[i] = b'2';
+    fs.write("alice", "/home/alice/a.mini", changed).unwrap();
+    let third =
+        CompileRequest::new("alice", "/home/alice/a.mini").run_cached(&fs, &mut store, &mut cache);
+    assert!(third.success());
+    assert_eq!(cache.stats().misses, 2);
+    assert_eq!(cache.stats().hits, 1);
+}
+
+#[test]
+fn direct_cache_api_is_content_exact() {
+    // Plain-test mirror of the `compile_cache_is_content_exact` property in
+    // tests/property_tests.rs, so the cache API usage stays typechecked even
+    // where proptest is unavailable.
+    let src = "fn main() { var x = 3; println(x + 4); }".to_string();
+    let mut cache = toolchain::CompileCache::new(16);
+    let lang = toolchain::LanguageId::MiniLang;
+    let prog = minilang::compile(&src).unwrap();
+    cache.insert(lang, "", &src, prog.clone());
+    let hit = cache.lookup(lang, "", &src).expect("identical source hits");
+    assert_eq!(format!("{hit:?}"), format!("{prog:?}"));
+    let mut mutated = src.clone().into_bytes();
+    mutated[20] ^= 1;
+    let mutated = String::from_utf8(mutated).unwrap();
+    assert!(cache.lookup(lang, "", &mutated).is_none());
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+}
+
+#[test]
+fn resubmitting_class_hits_at_least_ninety_percent() {
+    use toolchain::{ArtifactStore, CompileCache, CompileRequest};
+    use vfs::Vfs;
+
+    // A simulated class of 30 students resubmitting the same lab starter
+    // five times each: after the first compile, everything is a hit.
+    let mut fs = Vfs::new();
+    let mut store = ArtifactStore::new();
+    let mut cache = CompileCache::new(64);
+    let starter = lab5_bank::source(lab5_bank::BankStep::ConcurrentLocked);
+    for s in 0..30 {
+        let user = format!("student{s}");
+        fs.add_user(&user, 1 << 20).unwrap();
+        fs.write(
+            &user,
+            &format!("/home/{user}/bank.mini"),
+            starter.clone().into_bytes(),
+        )
+        .unwrap();
+    }
+    for _round in 0..5 {
+        for s in 0..30 {
+            let user = format!("student{s}");
+            let report = CompileRequest::new(&user, &format!("/home/{user}/bank.mini"))
+                .run_cached(&fs, &mut store, &mut cache);
+            assert!(report.success());
+        }
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.hit_rate() >= 0.9,
+        "class resubmission hit rate {:.3} below 0.9 ({stats:?})",
+        stats.hit_rate()
+    );
+}
+
+#[test]
+fn portal_compile_path_uses_cache_and_surfaces_metrics() {
+    use ccp_core::{Portal, PortalConfig};
+
+    let mut portal = Portal::new(PortalConfig::default());
+    portal.bootstrap_admin("admin", "change-me-please").unwrap();
+    let tok = portal.login("admin", "change-me-please", 0).unwrap();
+    portal
+        .write_file(&tok, "hot.mini", b"fn main() { println(9); }".to_vec(), 0)
+        .unwrap();
+    portal.compile(&tok, "hot.mini", 0).unwrap();
+    portal.compile(&tok, "hot.mini", 0).unwrap();
+    let stats = portal.compile_cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+
+    let text = portal.metrics_text();
+    for family in [
+        "# TYPE ccp_compile_cache_hits_total counter",
+        "# TYPE ccp_compile_cache_misses_total counter",
+        "# TYPE ccp_compile_cache_evictions_total counter",
+        "# TYPE ccp_compile_cache_entries gauge",
+        "# TYPE ccp_pool_workers gauge",
+        "# TYPE ccp_pool_tasks_total counter",
+        "# TYPE ccp_pool_steals_total counter",
+        "# TYPE ccp_pool_busy_us histogram",
+        "# TYPE ccp_pool_idle_us histogram",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in exposition");
+    }
+    assert!(text.contains("ccp_compile_cache_hits_total 1"));
+}

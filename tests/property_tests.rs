@@ -266,3 +266,96 @@ proptest! {
         }
     }
 }
+
+// ---- compile cache ---------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Content addressing is exact: recompiling byte-identical source hits
+    /// the cache and yields an identical program, while flipping any single
+    /// byte of the source misses.
+    #[test]
+    fn compile_cache_is_content_exact(
+        a in 0i64..1000,
+        b in 0i64..1000,
+        flip in 0usize..usize::MAX,
+    ) {
+        let src = format!("fn main() {{ var x = {a}; println(x + {b}); }}");
+        let mut cache = toolchain::CompileCache::new(16);
+
+        let lang = toolchain::LanguageId::MiniLang;
+        let prog = minilang::compile(&src).unwrap();
+        cache.insert(lang, "", &src, prog.clone());
+        let hit = cache.lookup(lang, "", &src);
+        prop_assert!(hit.is_some(), "identical source must hit");
+        prop_assert_eq!(
+            format!("{:?}", hit.unwrap()),
+            format!("{prog:?}"),
+            "cached program must be the inserted one"
+        );
+
+        // The source is pure ASCII, so flipping the low bit of any byte
+        // keeps it valid UTF-8 while changing exactly one byte.
+        let mut mutated = src.clone().into_bytes();
+        let i = flip % mutated.len();
+        mutated[i] ^= 1;
+        let mutated = String::from_utf8(mutated).unwrap();
+        prop_assert!(
+            cache.lookup(lang, "", &mutated).is_none(),
+            "one-byte change at offset {} must miss", i
+        );
+        let stats = cache.stats();
+        prop_assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+}
+
+// ---- parallel exploration --------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The pooled checker is observationally serial: for arbitrary small
+    /// racy/clean programs, worker counts, and budgets, its report equals
+    /// the serial one exactly.
+    #[test]
+    fn pooled_check_equals_serial(
+        threads in 2usize..=3,
+        locked in proptest::bool::ANY,
+        workers in 2usize..=4,
+        max_schedules in 2u64..=16,
+        seed in 0u64..64,
+    ) {
+        let stmt = if locked {
+            "lock(m); counter = counter + 1; unlock(m);"
+        } else {
+            "counter = counter + 1;"
+        };
+        let mut src = String::from("var counter = 0;\nvar m;\n");
+        src.push_str(&format!("fn w() {{ {stmt} }}\n"));
+        src.push_str("fn main() { m = mutex();");
+        for t in 0..threads {
+            src.push_str(&format!(" var t{t} = spawn w();"));
+        }
+        for t in 0..threads {
+            src.push_str(&format!(" join(t{t});"));
+        }
+        src.push_str(" return counter; }\n");
+
+        let cfg = checker::CheckConfig {
+            max_schedules,
+            max_steps: 60_000,
+            steps_per_schedule: 8_000,
+            seed,
+            ..checker::CheckConfig::default()
+        };
+        let prog = minilang::compile(&src).unwrap();
+        let serial = checker::check(&prog, &cfg);
+        let parallel = checker::Pool::new(workers).check(&prog, &cfg);
+        prop_assert_eq!(
+            parallel, serial,
+            "{} workers diverged (schedules {}, seed {})",
+            workers, max_schedules, seed
+        );
+    }
+}
