@@ -3,9 +3,11 @@
 //! 30-student resubmission hit-rate scenario.
 //!
 //! Besides the Criterion timings, this bench prints a registry-derived
-//! digest (steal counts, busy/idle time from `ccp_pool_*`) and one
-//! machine-readable `BENCH_JSON {...}` line that `scripts/bench_smoke.sh`
-//! extracts into `BENCH_checker.json`.
+//! digest (steal counts, busy/idle time from `ccp_pool_*`) and two
+//! machine-readable lines that `scripts/bench_smoke.sh` extracts:
+//! `BENCH_JSON {...}` into `BENCH_checker.json` and `BENCH_VM_JSON {...}`
+//! (the snapshot-vs-stateless VM fast-path comparison) into
+//! `BENCH_vm.json`.
 
 use checker::{CheckConfig, Pool};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -118,6 +120,13 @@ fn bench(c: &mut Criterion) {
     let (rows, serial) = speedup_table();
     let (hit_rate, hit_us) = cache_scenario();
 
+    // VM fast path: snapshot engine vs the stateless reference, on the
+    // deep-DFS archetypes. Also available without Criterion as
+    // `cargo run --release -p ccp-bench --example vm_fastpath`.
+    ccp_bench::banner("VM fast path: snapshot/prefix reuse vs stateless replay");
+    let vm_rows = ccp_bench::vm_fastpath::rows(3);
+    eprintln!("{}", ccp_bench::vm_fastpath::report(&vm_rows));
+
     // One line the smoke script lifts verbatim into BENCH_checker.json.
     let workers_json = rows
         .iter()
@@ -141,6 +150,14 @@ fn bench(c: &mut Criterion) {
     g.bench_function("check_serial", |b| {
         let pool = Pool::new(1);
         b.iter(|| black_box(pool.check(&program, &cfg)))
+    });
+    g.bench_function("check_dfs_snapshot", |b| {
+        let cfg = ccp_bench::vm_fastpath::deep_dfs_cfg(true);
+        b.iter(|| black_box(checker::check(&program, &cfg)))
+    });
+    g.bench_function("check_dfs_stateless", |b| {
+        let cfg = ccp_bench::vm_fastpath::deep_dfs_cfg(false);
+        b.iter(|| black_box(checker::check(&program, &cfg)))
     });
     g.bench_function("check_4_workers", |b| {
         let pool = Pool::new(4);

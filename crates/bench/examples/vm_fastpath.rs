@@ -1,0 +1,16 @@
+//! Criterion-free entry point for the VM fast-path comparison:
+//!
+//! ```text
+//! cargo run --release -p ccp-bench --example vm_fastpath
+//! ```
+//!
+//! Prints the snapshot-vs-stateless table to stderr and one
+//! `BENCH_VM_JSON {...}` line that `scripts/bench_smoke.sh` captures into
+//! `BENCH_vm.json`.
+
+fn main() {
+    ccp_bench::banner("VM fast path: snapshot/prefix reuse vs stateless replay");
+    let rows = ccp_bench::vm_fastpath::rows(3);
+    let line = ccp_bench::vm_fastpath::report(&rows);
+    eprintln!("{line}");
+}

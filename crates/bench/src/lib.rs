@@ -23,3 +23,5 @@
 pub fn banner(title: &str) {
     eprintln!("\n=============== {title} ===============");
 }
+
+pub mod vm_fastpath;

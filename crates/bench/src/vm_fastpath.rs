@@ -1,0 +1,164 @@
+//! VM fast-path measurement: the snapshot/prefix-reuse DFS engine against
+//! the stateless reference explorer, on deep-DFS lab archetypes.
+//!
+//! Both engines produce bit-identical `CheckReport`s (the determinism
+//! suite asserts it); this module measures what the snapshot engine buys —
+//! schedules/sec, VM steps/sec, and the fraction of stateless replay work
+//! the restores eliminated. Used by the `checker_parallel` bench and the
+//! `vm_fastpath` example (which `scripts/bench_smoke.sh` runs to emit
+//! `BENCH_vm.json`).
+
+use checker::{CheckConfig, CheckStats, Strategy};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One archetype's snapshot-vs-stateless comparison.
+#[derive(Debug, Clone)]
+pub struct VmFastpathRow {
+    pub name: &'static str,
+    /// Schedules/sec with snapshot/prefix reuse (the default engine).
+    pub sps_snapshot: f64,
+    /// Schedules/sec with the stateless reference explorer (the pre-PR
+    /// baseline, kept in-tree behind `snapshot_prefix: false`).
+    pub sps_stateless: f64,
+    /// Executed VM steps/sec on the snapshot engine.
+    pub steps_per_sec: f64,
+    /// `sps_snapshot / sps_stateless`.
+    pub speedup: f64,
+    /// Fraction of the work a stateless run performs that the snapshot
+    /// engine skipped: `saved / (saved + executed)`. This is the snapshot
+    /// hit ratio — how much of the tree was prefix the restores replaced.
+    pub saved_ratio: f64,
+    /// VM steps the snapshot engine executed per check.
+    pub executed_steps: u64,
+    /// Prefix replay steps the restores eliminated per check. The
+    /// invariant `executed + saved == stateless executed` holds exactly —
+    /// snapshotting removes work, never reorders it.
+    pub saved_steps: u64,
+}
+
+/// Deep-DFS grading archetypes: clean (no failure short-circuits the
+/// search) so both engines consume the full schedule budget, and branchy
+/// enough that prefix replay dominates the stateless engine's time.
+fn workloads() -> Vec<(&'static str, minilang::Program)> {
+    [
+        (
+            "philosophers_ordered",
+            labs::lab6_philosophers::ordered_source(4),
+        ),
+        (
+            "bank_locked",
+            labs::lab5_bank::source(labs::lab5_bank::BankStep::ConcurrentLocked),
+        ),
+        (
+            "boundedbuffer_semaphore",
+            labs::lab7_boundedbuffer::semaphore_source(),
+        ),
+    ]
+    .into_iter()
+    .map(|(name, src)| (name, minilang::compile(&src).expect("lab source compiles")))
+    .collect()
+}
+
+/// Pure-DFS configuration so every schedule exercises the branching
+/// explorer (Hybrid would hand DFS only a quarter of the budget and fill
+/// the rest with walks, which snapshotting does not accelerate).
+pub fn deep_dfs_cfg(snapshot: bool) -> CheckConfig {
+    CheckConfig {
+        max_schedules: 192,
+        max_steps: 100_000_000,
+        minimize: false,
+        seed: 42,
+        strategy: Strategy::Dfs,
+        // Deep enumeration: branch all the way down instead of handing the
+        // tail to the round-robin finisher at depth 50. The deeper the
+        // branch path, the more prefix a stateless engine re-executes per
+        // schedule — exactly the regime snapshotting targets.
+        dfs_depth: 2_000,
+        snapshot_prefix: snapshot,
+        ..CheckConfig::default()
+    }
+}
+
+fn measure(program: &minilang::Program, snapshot: bool, reps: u32) -> (f64, f64, CheckStats) {
+    let cfg = deep_dfs_cfg(snapshot);
+    let (warm, stats) = checker::check_with_stats(program, &cfg);
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(checker::check_with_stats(program, &cfg));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let reps = f64::from(reps);
+    (
+        (warm.schedules as f64) * reps / secs,
+        (stats.vm_steps as f64) * reps / secs,
+        stats,
+    )
+}
+
+/// Run the comparison on every workload. `reps` timed repetitions per
+/// engine per archetype (plus one warm-up run that also provides stats).
+pub fn rows(reps: u32) -> Vec<VmFastpathRow> {
+    workloads()
+        .iter()
+        .map(|(name, program)| {
+            let (sps_snapshot, steps_per_sec, stats) = measure(program, true, reps);
+            let (sps_stateless, _, _) = measure(program, false, reps);
+            let saved = stats.replay_steps_saved as f64;
+            VmFastpathRow {
+                name,
+                sps_snapshot,
+                sps_stateless,
+                steps_per_sec,
+                speedup: sps_snapshot / sps_stateless,
+                saved_ratio: saved / (saved + stats.vm_steps as f64),
+                executed_steps: stats.vm_steps,
+                saved_steps: stats.replay_steps_saved,
+            }
+        })
+        .collect()
+}
+
+/// Print the human table to stderr and return the machine-readable
+/// `BENCH_VM_JSON ...` line (the caller prints it so each entry point
+/// controls its own stream).
+pub fn report(rows: &[VmFastpathRow]) -> String {
+    let mut min_speedup = f64::INFINITY;
+    for r in rows {
+        min_speedup = min_speedup.min(r.speedup);
+        eprintln!(
+            "  {:<24} {:>8.0} sched/s snapshot  {:>8.0} stateless  \
+             (speedup {:.2}x, {:>10.0} steps/s, {:.1}% replay saved)",
+            r.name,
+            r.sps_snapshot,
+            r.sps_stateless,
+            r.speedup,
+            r.steps_per_sec,
+            r.saved_ratio * 100.0
+        );
+    }
+    let per_arch = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "\"{}\":{{\"schedules_per_sec_snapshot\":{:.1},\
+                 \"schedules_per_sec_stateless\":{:.1},\"steps_per_sec\":{:.0},\
+                 \"speedup\":{:.2},\"snapshot_hit_ratio\":{:.3},\
+                 \"executed_steps\":{},\"replay_steps_saved\":{}}}",
+                r.name,
+                r.sps_snapshot,
+                r.sps_stateless,
+                r.steps_per_sec,
+                r.speedup,
+                r.saved_ratio,
+                r.executed_steps,
+                r.saved_steps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "BENCH_VM_JSON {{\"bench\":\"vm_fastpath\",\"per_arch\":{{{per_arch}}},\
+         \"min_speedup\":{min_speedup:.2}}}"
+    )
+}

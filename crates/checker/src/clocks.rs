@@ -82,7 +82,7 @@ pub struct Race {
 }
 
 /// The happens-before engine.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RaceDetector {
     clocks: Vec<VectorClock>,
     inited: Vec<bool>,
@@ -99,6 +99,114 @@ impl RaceDetector {
     /// Fresh detector.
     pub fn new() -> RaceDetector {
         RaceDetector::default()
+    }
+
+    /// FNV-1a digest of the happens-before state, folded into the
+    /// checker's canonical state hash. Map entries are hashed individually
+    /// and combined commutatively (wrapping add), so `HashMap` iteration
+    /// order cannot leak into the result; vector clocks are trimmed of
+    /// trailing zeros first (a clock and its zero-padded twin are the same
+    /// clock).
+    pub(crate) fn digest(&self) -> u64 {
+        fn clock(h: &mut Fnv, vc: &VectorClock) {
+            let trimmed = vc.0.iter().rposition(|&v| v != 0).map_or(0, |i| i + 1);
+            h.u64(trimmed as u64);
+            for &v in &vc.0[..trimmed] {
+                h.u64(v);
+            }
+        }
+        fn loc(h: &mut Fnv, l: &MemLoc) {
+            match l {
+                MemLoc::Global(i) => {
+                    h.u64(1);
+                    h.u64(*i as u64);
+                }
+                MemLoc::Elem(a, i) => {
+                    h.u64(2);
+                    h.u64(*a as u64);
+                    h.u64(*i as u64);
+                }
+                MemLoc::ArrayStruct(a) => {
+                    h.u64(3);
+                    h.u64(*a as u64);
+                }
+            }
+        }
+        let mut h = Fnv::new();
+        h.u64(self.clocks.len() as u64);
+        for (i, c) in self.clocks.iter().enumerate() {
+            h.u64(self.inited[i] as u64);
+            clock(&mut h, c);
+        }
+        let mut acc = 0u64;
+        for (k, v) in &self.mutex_vc {
+            let mut e = Fnv::new();
+            e.u64(1);
+            e.u64(*k as u64);
+            clock(&mut e, v);
+            acc = acc.wrapping_add(e.0);
+        }
+        for (k, v) in &self.sem_vc {
+            let mut e = Fnv::new();
+            e.u64(2);
+            e.u64(*k as u64);
+            clock(&mut e, v);
+            acc = acc.wrapping_add(e.0);
+        }
+        for (k, v) in &self.cond_vc {
+            let mut e = Fnv::new();
+            e.u64(3);
+            e.u64(*k as u64);
+            clock(&mut e, v);
+            acc = acc.wrapping_add(e.0);
+        }
+        for (k, q) in &self.chan_vc {
+            let mut e = Fnv::new();
+            e.u64(4);
+            e.u64(*k as u64);
+            e.u64(q.len() as u64);
+            for v in q {
+                clock(&mut e, v);
+            }
+            acc = acc.wrapping_add(e.0);
+        }
+        for (k, v) in &self.atomic_vc {
+            let mut e = Fnv::new();
+            e.u64(5);
+            loc(&mut e, k);
+            clock(&mut e, v);
+            acc = acc.wrapping_add(e.0);
+        }
+        for (k, &(t, c, kind)) in &self.last_write {
+            let mut e = Fnv::new();
+            e.u64(6);
+            loc(&mut e, k);
+            e.u64(t as u64);
+            e.u64(c);
+            e.u64(match kind {
+                AccessKind::Read => 0,
+                AccessKind::Write => 1,
+                AccessKind::Atomic => 2,
+            });
+            acc = acc.wrapping_add(e.0);
+        }
+        for (k, readers) in &self.reads {
+            let mut inner = 0u64;
+            for (&t, &epoch) in readers {
+                let mut e = Fnv::new();
+                e.u64(t as u64);
+                e.u64(epoch);
+                inner = inner.wrapping_add(e.0);
+            }
+            let mut e = Fnv::new();
+            e.u64(7);
+            loc(&mut e, k);
+            e.u64(readers.len() as u64);
+            e.u64(inner);
+            acc = acc.wrapping_add(e.0);
+        }
+        h.u64(acc);
+        h.0
     }
 
     /// Make sure thread `t` has a clock with its own component at >= 1
@@ -258,6 +366,21 @@ impl RaceDetector {
             }
         }
         None
+    }
+}
+
+/// FNV-1a accumulator for [`RaceDetector::digest`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
     }
 }
 

@@ -4,9 +4,10 @@
 
 use crate::clocks::RaceDetector;
 use crate::rng::SplitMix64;
-use crate::{CheckConfig, CheckReport, Strategy, Verdict};
+use crate::{CheckConfig, CheckReport, CheckStats, Strategy, Verdict};
 use minilang::{
-    OpKey, OpKind, OpObj, Program, RuntimeError, SchedPolicy, Vm, VmConfig, WaitTarget,
+    OpKey, OpKind, OpObj, Program, RuntimeError, SchedPolicy, Vm, VmConfig, VmEvent, VmSnapshot,
+    WaitTarget,
 };
 
 /// Why a single controlled execution stopped.
@@ -28,11 +29,28 @@ pub(crate) struct Exec {
     pub(crate) schedule: Vec<usize>,
     /// Visible steps taken.
     pub(crate) steps: u64,
+    /// Visible steps *executed* over this Exec's lifetime. Monotone:
+    /// unlike `steps`, a restore does not rewind it — the difference
+    /// between accounted and executed steps is the snapshot path's win.
+    pub(crate) work_steps: u64,
     /// Last step index at which the program visibly changed state
     /// (write / atomic / acquire / release / finish) — livelock heuristic.
     last_change: u64,
     max_steps: u64,
     livelock_window: u64,
+    /// Reusable drain buffer: event draining swaps buffers instead of
+    /// allocating a fresh `Vec` per visible step.
+    ev_buf: Vec<VmEvent>,
+}
+
+/// Everything [`Exec::restore`] needs to rewind to a branch point: the VM
+/// snapshot plus the checker-side mirrors that advance with it.
+pub(crate) struct ExecSnapshot {
+    vm: VmSnapshot,
+    detector: RaceDetector,
+    schedule_len: usize,
+    steps: u64,
+    last_change: u64,
 }
 
 impl Exec {
@@ -52,12 +70,43 @@ impl Exec {
             detector: RaceDetector::new(),
             schedule: Vec::new(),
             steps: 0,
+            work_steps: 0,
             last_change: 0,
             max_steps: cfg.steps_per_schedule,
             livelock_window: cfg.livelock_window,
+            ev_buf: Vec::new(),
         };
         ex.normalize();
         ex
+    }
+
+    /// Capture the branch-point state. The detector travels with the VM:
+    /// its clocks are as much "where we are" as the thread stacks.
+    pub(crate) fn snapshot(&self) -> ExecSnapshot {
+        ExecSnapshot {
+            vm: self.vm.snapshot(),
+            detector: self.detector.clone(),
+            schedule_len: self.schedule.len(),
+            steps: self.steps,
+            last_change: self.last_change,
+        }
+    }
+
+    /// Rewind to `snap` (restorable any number of times). `work_steps`
+    /// deliberately keeps counting.
+    pub(crate) fn restore(&mut self, snap: &ExecSnapshot) {
+        self.vm.restore(&snap.vm);
+        self.detector.clone_from(&snap.detector);
+        self.schedule.truncate(snap.schedule_len);
+        self.steps = snap.steps;
+        self.last_change = snap.last_change;
+    }
+
+    /// Canonical digest of the abstract checker state (VM state + detector
+    /// happens-before state), the visited-state cache key. Path artifacts
+    /// — the schedule, step counters — are excluded by construction.
+    pub(crate) fn state_hash(&self) -> u64 {
+        self.vm.state_hash() ^ self.detector.digest().rotate_left(31)
     }
 
     /// Run every thread's *invisible* (thread-local) prefix so each enabled
@@ -78,12 +127,17 @@ impl Exec {
             if !progressed {
                 // Drain events from finish bookkeeping; invisible ops emit
                 // none, but a thread finishing can unblock joiners.
-                for ev in self.vm.drain_events() {
-                    if let Some(race) = self.detector.observe(&ev) {
-                        return Some(Stop::Failure(Verdict::race(&race)));
+                let mut buf = std::mem::take(&mut self.ev_buf);
+                self.vm.drain_events_into(&mut buf);
+                let mut found = None;
+                for ev in &buf {
+                    if let Some(race) = self.detector.observe(ev) {
+                        found = Some(Stop::Failure(Verdict::race(&race)));
+                        break;
                     }
                 }
-                return None;
+                self.ev_buf = buf;
+                return found;
             }
         }
     }
@@ -103,10 +157,8 @@ impl Exec {
 
     /// Threads that can take a visible step *right now* without blocking.
     pub(crate) fn enabled(&self) -> Vec<usize> {
-        self.vm
-            .enabled_threads()
-            .into_iter()
-            .filter(|&t| !self.vm.op_would_block(t))
+        (0..self.vm.thread_count())
+            .filter(|&t| self.vm.is_enabled(t) && !self.vm.op_would_block(t))
             .collect()
     }
 
@@ -207,10 +259,14 @@ impl Exec {
     pub(crate) fn step(&mut self, tid: usize) -> Option<Stop> {
         self.schedule.push(tid);
         self.steps += 1;
+        self.work_steps += 1;
         if let Err(e) = self.vm.step_thread(tid, 1) {
             return Some(self.runtime_stop(e));
         }
-        for ev in self.vm.drain_events() {
+        let mut buf = std::mem::take(&mut self.ev_buf);
+        self.vm.drain_events_into(&mut buf);
+        let mut found = None;
+        for ev in &buf {
             use minilang::VmEvent::*;
             match ev {
                 Write { .. }
@@ -228,9 +284,14 @@ impl Exec {
                 | CondNotify { .. } => self.last_change = self.steps,
                 Read { .. } => {}
             }
-            if let Some(race) = self.detector.observe(&ev) {
-                return Some(Stop::Failure(Verdict::race(&race)));
+            if let Some(race) = self.detector.observe(ev) {
+                found = Some(Stop::Failure(Verdict::race(&race)));
+                break;
             }
+        }
+        self.ev_buf = buf;
+        if found.is_some() {
+            return found;
         }
         if self.vm.thread_finished(tid) {
             self.last_change = self.steps;
@@ -317,10 +378,52 @@ pub(crate) struct SchedEntry {
     pub(crate) failure: Option<(Verdict, Vec<usize>)>,
 }
 
-/// Bounded DFS with sleep sets. `branch_path` holds the chosen tid at every
-/// *branch point* (>1 enabled thread) on the way to the current frame; each
-/// frame re-executes the program from scratch along that path — stateless
-/// model checking, no VM snapshotting.
+/// Bounded, deterministic FIFO set of canonical state hashes — the
+/// visited-state cache. Eviction order is insertion order, never hash
+/// order, so a given (program, config) explores the same tree every run.
+struct StateCache {
+    set: std::collections::HashSet<u64>,
+    order: std::collections::VecDeque<u64>,
+    cap: usize,
+}
+
+impl StateCache {
+    fn new(cap: usize) -> StateCache {
+        StateCache {
+            set: std::collections::HashSet::with_capacity(cap.min(1 << 16)),
+            order: std::collections::VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Insert `h`; false means it was already present (a hit).
+    fn insert(&mut self, h: u64) -> bool {
+        if !self.set.insert(h) {
+            return false;
+        }
+        self.order.push_back(h);
+        if self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+}
+
+/// Bounded DFS with sleep sets, in one of two modes sharing all policy
+/// code (sleep filtering, pruning, budget spends, trace recording):
+///
+/// * **snapshot** (`cfg.snapshot_prefix`, the default): one [`Exec`] per
+///   entry path; each branch point takes an [`ExecSnapshot`] and siblings
+///   restore it, so the shared prefix executes once. Optionally backed by
+///   the visited-state cache.
+/// * **stateless** (the original engine, kept as the reference): each
+///   frame re-executes the program from scratch along `branch_path`.
+///
+/// Both modes spend schedules at the same points with the same step
+/// counts, so reports — and recorded [`SchedEntry`] traces — are
+/// bit-identical between them.
 struct Dfs<'a> {
     program: &'a Program,
     cfg: &'a CheckConfig,
@@ -335,6 +438,10 @@ struct Dfs<'a> {
     /// dies exactly on a shard's final schedule: serial would still reach
     /// one more check and notice, even though no further schedule runs.
     checked_since_spend: bool,
+    /// Visited-state cache (snapshot mode only; `None` when disabled).
+    cache: Option<StateCache>,
+    /// Execution-cost counters surfaced through `check_with_stats`.
+    stats: CheckStats,
 }
 
 impl<'a> Dfs<'a> {
@@ -351,6 +458,193 @@ impl<'a> Dfs<'a> {
             trace: Vec::new(),
             record,
             checked_since_spend: false,
+            cache: (cfg.snapshot_prefix && cfg.state_cache_capacity > 0)
+                .then(|| StateCache::new(cfg.state_cache_capacity)),
+            stats: CheckStats::default(),
+        }
+    }
+
+    /// Explore all schedules extending `path`, dispatching on engine mode.
+    fn run(&mut self, path: &[usize], sleep: Vec<(usize, OpKey)>, depth: u32) -> DfsOutcome {
+        if self.cfg.snapshot_prefix {
+            self.explore_path(path, sleep, depth)
+        } else {
+            self.explore_stateless(&mut path.to_vec(), sleep, depth)
+        }
+    }
+
+    /// Account a Stop: turn it into the outcome the owning frame returns,
+    /// spending the schedule. (Shared by both engine modes — keeping every
+    /// spend in one shape is what keeps their traces identical.)
+    fn stop_outcome(&mut self, ex: &Exec, stop: Stop) -> DfsOutcome {
+        let complete = !matches!(stop, Stop::Truncated);
+        let failure = match stop {
+            Stop::Failure(v) => Some((v, ex.schedule.clone())),
+            _ => None,
+        };
+        self.spend(ex, &failure);
+        DfsOutcome { failure, complete }
+    }
+
+    /// Snapshot-mode entry: replay `path` once on a fresh Exec (exactly the
+    /// stateless prefix-consumption semantics, including the sleep filter
+    /// on the final branch choice), then continue in place.
+    fn explore_path(
+        &mut self,
+        path: &[usize],
+        sleep: Vec<(usize, OpKey)>,
+        depth: u32,
+    ) -> DfsOutcome {
+        let mut ex = Exec::new(self.program, self.cfg);
+        let out = self.explore_path_in(&mut ex, path, sleep, depth);
+        self.stats.vm_steps += ex.work_steps;
+        out
+    }
+
+    fn explore_path_in(
+        &mut self,
+        ex: &mut Exec,
+        path: &[usize],
+        mut sleep: Vec<(usize, OpKey)>,
+        depth: u32,
+    ) -> DfsOutcome {
+        let mut i = 0;
+        while i < path.len() {
+            if let Some(stop) = ex.status() {
+                return self.stop_outcome(ex, stop);
+            }
+            let en = ex.enabled();
+            let tid = if en.len() == 1 {
+                en[0]
+            } else {
+                let t = path[i];
+                i += 1;
+                t
+            };
+            // The final branch choice starts this frame's own segment: it
+            // wakes conflicting sleepers (ops deeper in the prefix were
+            // filtered by the frames that handed us `sleep`).
+            if i == path.len() {
+                match ex.pending_op(tid) {
+                    Some(op) => sleep.retain(|(_, sop)| independent(sop, &op)),
+                    None => sleep.clear(),
+                }
+            }
+            if let Some(stop) = ex.step(tid) {
+                return self.stop_outcome(ex, stop);
+            }
+        }
+        self.explore_from(ex, sleep, depth)
+    }
+
+    /// The snapshot-mode engine: `ex` sits just past this frame's last
+    /// branch choice. Advance through single-choice points (with the same
+    /// sleep pruning/filtering the stateless frame applies on its own
+    /// segment); at a branch, snapshot once and restore per sibling.
+    fn explore_from(
+        &mut self,
+        ex: &mut Exec,
+        mut sleep: Vec<(usize, OpKey)>,
+        depth: u32,
+    ) -> DfsOutcome {
+        let en = loop {
+            if let Some(stop) = ex.status() {
+                return self.stop_outcome(ex, stop);
+            }
+            let en = ex.enabled();
+            if en.len() > 1 {
+                break en;
+            }
+            let t = en[0];
+            // If the lone enabled thread is asleep on this frame's own
+            // segment, the continuation is equivalent to an explored one.
+            if sleep.iter().any(|&(st, _)| st == t) {
+                self.spend(ex, &None);
+                return DfsOutcome {
+                    failure: None,
+                    complete: true,
+                };
+            }
+            match ex.pending_op(t) {
+                Some(op) => sleep.retain(|(_, sop)| independent(sop, &op)),
+                None => sleep.clear(),
+            }
+            if let Some(stop) = ex.step(t) {
+                return self.stop_outcome(ex, stop);
+            }
+        };
+
+        if depth >= self.cfg.dfs_depth {
+            // Too deep to enumerate: finish this one path first-choice and
+            // mark the subtree incomplete.
+            let outcome = self.finish_one(ex, en[0]);
+            return DfsOutcome {
+                failure: outcome.failure,
+                complete: false,
+            };
+        }
+
+        // Visited-state pruning: a branch state explored before (possibly
+        // along a different path) contributes nothing new. Never active on
+        // the parallel path — `Pool::check` forces serial when the cache
+        // is on, so merge arithmetic never sees a pruned trace.
+        if let Some(cache) = self.cache.as_mut() {
+            if !cache.insert(ex.state_hash()) {
+                self.stats.state_cache_hits += 1;
+                self.stats.state_cache_prunes += 1;
+                self.spend(ex, &None);
+                return DfsOutcome {
+                    failure: None,
+                    complete: true,
+                };
+            }
+        }
+
+        let snap = ex.snapshot();
+        self.stats.snapshots += 1;
+        let prefix_steps = ex.steps;
+        let mut dirty = false;
+        let mut complete = true;
+        for &t in &en {
+            self.checked_since_spend = true;
+            if self.budget.empty() {
+                complete = false;
+                break;
+            }
+            if dirty {
+                ex.restore(&snap);
+                dirty = false;
+            }
+            let Some(op_t) = ex.pending_op(t) else {
+                continue;
+            };
+            if sleep.iter().any(|&(st, _)| st == t) {
+                continue; // asleep: an equivalent schedule was already explored
+            }
+            // The child wakes any sleeper whose op conflicts with `op_t`.
+            let child_sleep: Vec<(usize, OpKey)> = sleep
+                .iter()
+                .copied()
+                .filter(|(_, sop)| independent(sop, &op_t))
+                .collect();
+            // A stateless child frame would now re-execute the prefix from
+            // the root; the restore above replaced exactly that work.
+            self.stats.replay_steps_saved += prefix_steps;
+            dirty = true;
+            let out = if let Some(stop) = ex.step(t) {
+                self.stop_outcome(ex, stop)
+            } else {
+                self.explore_from(ex, child_sleep, depth + 1)
+            };
+            if out.failure.is_some() {
+                return out;
+            }
+            complete &= out.complete;
+            sleep.push((t, op_t));
+        }
+        DfsOutcome {
+            failure: None,
+            complete,
         }
     }
 
@@ -373,7 +667,11 @@ impl<'a> Dfs<'a> {
     /// id to the op it had when put to sleep; entries are valid at the node
     /// this frame owns (just past its last branch choice) and are filtered
     /// against every op this frame executes beyond that point.
-    fn explore(
+    ///
+    /// This is the stateless reference engine: every frame replays the
+    /// prefix from the root. The snapshot engine above must spend at the
+    /// same points with the same step counts.
+    fn explore_stateless(
         &mut self,
         branch_path: &mut Vec<usize>,
         sleep: Vec<(usize, OpKey)>,
@@ -421,6 +719,7 @@ impl<'a> Dfs<'a> {
         };
         if pruned {
             self.spend(&ex, &None);
+            self.stats.vm_steps += ex.work_steps;
             return DfsOutcome {
                 failure: None,
                 complete: true,
@@ -433,6 +732,7 @@ impl<'a> Dfs<'a> {
                 _ => None,
             };
             self.spend(&ex, &failure);
+            self.stats.vm_steps += ex.work_steps;
             return DfsOutcome { failure, complete };
         }
 
@@ -442,7 +742,8 @@ impl<'a> Dfs<'a> {
         if depth >= self.cfg.dfs_depth {
             // Too deep to enumerate: finish this one path first-choice and
             // mark the subtree incomplete.
-            let outcome = self.finish_one(ex, en[0]);
+            let outcome = self.finish_one(&mut ex, en[0]);
+            self.stats.vm_steps += ex.work_steps;
             return DfsOutcome {
                 failure: outcome.failure,
                 complete: false,
@@ -467,14 +768,16 @@ impl<'a> Dfs<'a> {
                 .copied()
                 .filter(|(_, sop)| independent(sop, &op_t))
                 .collect();
-            let out = self.explore(branch_path, child_sleep, depth + 1);
+            let out = self.explore_stateless(branch_path, child_sleep, depth + 1);
             branch_path.pop();
             if out.failure.is_some() {
+                self.stats.vm_steps += ex.work_steps;
                 return out;
             }
             complete &= out.complete;
             sleep.push((t, op_t));
         }
+        self.stats.vm_steps += ex.work_steps;
         DfsOutcome {
             failure: None,
             complete,
@@ -484,7 +787,7 @@ impl<'a> Dfs<'a> {
     /// Run `ex` to a stop taking `first` now, then rotating round-robin
     /// through the enabled threads — fair rotation keeps a busy-wait
     /// spinner from monopolizing the tail and masking cross-thread bugs.
-    fn finish_one(&mut self, mut ex: Exec, first: usize) -> DfsOutcome {
+    fn finish_one(&mut self, ex: &mut Exec, first: usize) -> DfsOutcome {
         let mut next = Some(first);
         let mut cursor = 0usize;
         let stop = loop {
@@ -505,7 +808,7 @@ impl<'a> Dfs<'a> {
             Stop::Failure(v) => Some((v, ex.schedule.clone())),
             _ => None,
         };
-        self.spend(&ex, &failure);
+        self.spend(ex, &failure);
         DfsOutcome {
             failure,
             complete: false,
@@ -624,19 +927,31 @@ pub(crate) fn finish_report(
 
 /// Full exploration per `cfg.strategy`; the engine behind [`crate::check`].
 pub(crate) fn explore(program: &Program, cfg: &CheckConfig) -> CheckReport {
+    explore_with_stats(program, cfg).0
+}
+
+/// [`explore`] plus execution-cost counters. The stats cover the DFS and
+/// walk phases (not minimization replays); they are a measurement
+/// side-channel and never influence the report.
+pub(crate) fn explore_with_stats(
+    program: &Program,
+    cfg: &CheckConfig,
+) -> (CheckReport, CheckStats) {
     let mut schedules = 0u64;
     let mut steps = 0u64;
     let mut complete = false;
     let mut failure: Option<(Verdict, Vec<usize>)> = None;
+    let mut stats = CheckStats::default();
 
     let dfs_budget = dfs_phase_budget(cfg);
     if dfs_budget > 0 {
         let mut dfs = Dfs::new(program, cfg, dfs_budget, false);
-        let out = dfs.explore(&mut Vec::new(), Vec::new(), 0);
+        let out = dfs.run(&[], Vec::new(), 0);
         schedules += dfs.schedules;
         steps += dfs.steps;
         complete = out.complete;
         failure = out.failure;
+        stats = dfs.stats;
     }
 
     if failure.is_none() && !complete {
@@ -648,6 +963,7 @@ pub(crate) fn explore(program: &Program, cfg: &CheckConfig) -> CheckReport {
             let w = run_walk(program, cfg, i);
             schedules += 1;
             steps += w.steps;
+            stats.vm_steps += w.steps;
             if let Some(f) = w.failure {
                 failure = Some(f);
                 break;
@@ -655,7 +971,10 @@ pub(crate) fn explore(program: &Program, cfg: &CheckConfig) -> CheckReport {
         }
     }
 
-    finish_report(program, cfg, schedules, steps, complete, failure)
+    (
+        finish_report(program, cfg, schedules, steps, complete, failure),
+        stats,
+    )
 }
 
 // ---- parallel frontier support (consumed by `crate::pool`) -----------------
@@ -694,6 +1013,9 @@ pub(crate) struct UnitTrace {
     pub(crate) complete: bool,
     /// A budget check site ran after the shard's last spend.
     pub(crate) trailing_check: bool,
+    /// Execution-cost counters for this shard (measurement only — the
+    /// merge never reads them).
+    pub(crate) stats: CheckStats,
 }
 
 /// Execute the root prefix and split the tree at its first branch point,
@@ -744,12 +1066,12 @@ pub(crate) fn run_dfs_unit(
     phase_budget: u64,
 ) -> UnitTrace {
     let mut dfs = Dfs::new(program, cfg, phase_budget, true);
-    let mut path = unit.path.clone();
-    let out = dfs.explore(&mut path, unit.sleep.clone(), unit.depth);
+    let out = dfs.run(&unit.path, unit.sleep.clone(), unit.depth);
     UnitTrace {
         entries: dfs.trace,
         complete: out.complete,
         trailing_check: dfs.checked_since_spend,
+        stats: dfs.stats,
     }
 }
 

@@ -81,6 +81,20 @@ pub struct CheckConfig {
     /// `Some(0)`/`Some(1)` force the serial path. The report is identical
     /// either way — workers only change wall-clock time.
     pub workers: Option<usize>,
+    /// Back DFS branch points with VM snapshots, so siblings restore the
+    /// common prefix instead of re-executing it from the root. Same
+    /// schedules, same reports, strictly less work; off reproduces the
+    /// original stateless explorer (kept as the reference path).
+    pub snapshot_prefix: bool,
+    /// Capacity of the visited-state cache (0 disables it, the default).
+    /// When on, DFS prunes branch points whose canonical state hash was
+    /// already explored. Heuristic: states that differ only in excluded
+    /// dimensions (the instruction clock a program reads via `now()`, host
+    /// files) can merge, and a prune inherits the earlier visit's coverage
+    /// even if that visit was itself truncated. Effective only with
+    /// `snapshot_prefix`; [`Pool::check`] runs cache-enabled configs on
+    /// the serial path so parallel merge arithmetic stays untouched.
+    pub state_cache_capacity: usize,
 }
 
 impl Default for CheckConfig {
@@ -97,6 +111,8 @@ impl Default for CheckConfig {
             max_instructions: 2_000_000,
             livelock_window: 4_000,
             workers: None,
+            snapshot_prefix: true,
+            state_cache_capacity: 0,
         }
     }
 }
@@ -229,9 +245,36 @@ pub struct CheckReport {
     pub repro: Option<Vec<usize>>,
 }
 
+/// Execution-cost counters from one `check` call, reported next to the
+/// [`CheckReport`] but deliberately not inside it: reports are compared
+/// byte-for-byte across engines (serial/parallel, snapshot/stateless)
+/// whose costs legitimately differ.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Visible steps actually executed by the VM (DFS + walk phases).
+    pub vm_steps: u64,
+    /// Prefix steps the snapshot path did *not* re-execute: each sibling
+    /// entered at a branch charges the branch's depth, exactly what a
+    /// stateless child frame would have replayed from the root.
+    pub replay_steps_saved: u64,
+    /// Branch-point snapshots taken.
+    pub snapshots: u64,
+    /// Visited-state cache hits (each hit prunes one subtree).
+    pub state_cache_hits: u64,
+    /// Subtrees pruned by the cache (equals hits today; kept separate so
+    /// a future partial-prune policy doesn't change metric meaning).
+    pub state_cache_prunes: u64,
+}
+
 /// Explore a compiled program's interleavings.
 pub fn check(program: &Program, cfg: &CheckConfig) -> CheckReport {
     explore::explore(program, cfg)
+}
+
+/// [`check`], also returning execution-cost counters (for dashboards and
+/// benches; the report itself is identical to [`check`]'s).
+pub fn check_with_stats(program: &Program, cfg: &CheckConfig) -> (CheckReport, CheckStats) {
+    explore::explore_with_stats(program, cfg)
 }
 
 /// Compile `src` and explore it. Compile errors come back as `Err`;

@@ -31,7 +31,7 @@
 //! [`SchedEntry`]: explore::SchedEntry
 
 use crate::explore;
-use crate::{CheckConfig, CheckReport, Verdict};
+use crate::{CheckConfig, CheckReport, CheckStats, Verdict};
 use minilang::Program;
 use obs::Obs;
 use std::collections::VecDeque;
@@ -86,11 +86,33 @@ impl Pool {
             "ccp_pool_idle_us",
             "per-worker idle time per pool invocation",
         );
+        m.describe("ccp_vm_steps_total", "VM steps executed during checking");
+        m.describe(
+            "ccp_vm_replay_steps_saved_total",
+            "prefix replay steps avoided by snapshot restore",
+        );
+        m.describe(
+            "ccp_checker_snapshots_total",
+            "VM snapshots taken at DFS branch points",
+        );
+        m.describe(
+            "ccp_checker_state_cache_hits_total",
+            "visited-state cache hits",
+        );
+        m.describe(
+            "ccp_checker_state_cache_prunes_total",
+            "subtrees pruned by the visited-state cache",
+        );
         m.gauge("ccp_pool_workers", &[]).set(self.workers as i64);
         m.counter("ccp_pool_tasks_total", &[]);
         m.counter("ccp_pool_steals_total", &[]);
         m.histogram("ccp_pool_busy_us", &[], obs::DURATION_US_BOUNDS);
         m.histogram("ccp_pool_idle_us", &[], obs::DURATION_US_BOUNDS);
+        m.counter("ccp_vm_steps_total", &[]);
+        m.counter("ccp_vm_replay_steps_saved_total", &[]);
+        m.counter("ccp_checker_snapshots_total", &[]);
+        m.counter("ccp_checker_state_cache_hits_total", &[]);
+        m.counter("ccp_checker_state_cache_prunes_total", &[]);
         self.obs = Some(obs);
         self
     }
@@ -145,25 +167,24 @@ impl Pool {
                         let mut busy = 0u64;
                         let mut out: Vec<(usize, R)> = Vec::new();
                         loop {
-                            let task =
-                                queues[wi]
-                                    .lock()
-                                    .expect("queue lock")
-                                    .pop_front()
-                                    .or_else(|| {
-                                        // Steal from the back: the victim's
-                                        // front stays cache-warm for its owner.
-                                        for off in 1..queues.len() {
-                                            let v = (wi + off) % queues.len();
-                                            let stolen =
-                                                queues[v].lock().expect("queue lock").pop_back();
-                                            if stolen.is_some() {
-                                                steals.fetch_add(1, Ordering::Relaxed);
-                                                return stolen;
-                                            }
-                                        }
-                                        None
-                                    });
+                            // Own-queue pop as its own statement: the guard
+                            // must drop before any steal attempt, or two
+                            // drained workers stealing from each other hold
+                            // their own lock while waiting for the other's.
+                            let mut task = queues[wi].lock().expect("queue lock").pop_front();
+                            if task.is_none() {
+                                // Steal from the back: the victim's front
+                                // stays cache-warm for its owner.
+                                for off in 1..queues.len() {
+                                    let v = (wi + off) % queues.len();
+                                    let stolen = queues[v].lock().expect("queue lock").pop_back();
+                                    if stolen.is_some() {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        task = stolen;
+                                        break;
+                                    }
+                                }
+                            }
                             match task {
                                 Some((i, item)) => {
                                     let t0 = Instant::now();
@@ -211,11 +232,28 @@ impl Pool {
     /// `cfg.workers` overrides the pool width, and an effective width of
     /// 0 or 1 takes the serial path itself.
     pub fn check(&self, program: &Program, cfg: &CheckConfig) -> CheckReport {
-        let workers = cfg.workers.unwrap_or(self.workers);
-        if workers <= 1 {
-            return explore::explore(program, cfg);
+        self.check_with_stats(program, cfg).0
+    }
+
+    /// [`Pool::check`] plus execution-cost counters, recorded into the
+    /// attached telemetry domain (if any). The report is deterministic;
+    /// the stats on the parallel path count work actually executed, which
+    /// includes speculative shards the merge later discards.
+    pub fn check_with_stats(
+        &self,
+        program: &Program,
+        cfg: &CheckConfig,
+    ) -> (CheckReport, CheckStats) {
+        let mut workers = cfg.workers.unwrap_or(self.workers);
+        if cfg.snapshot_prefix && cfg.state_cache_capacity > 0 {
+            // The visited-state cache prunes based on everything seen so
+            // far, which shard-local caches cannot reproduce — the merge
+            // arithmetic would drift. Cache-enabled configs run serial.
+            workers = 1;
         }
-        if workers == self.workers {
+        let out = if workers <= 1 {
+            explore::explore_with_stats(program, cfg)
+        } else if workers == self.workers {
             self.check_parallel(program, cfg)
         } else {
             // Honor the per-config override with a transient pool of that
@@ -225,7 +263,21 @@ impl Pool {
                 obs: self.obs.clone(),
             }
             .check_parallel(program, cfg)
+        };
+        if let Some(obs) = &self.obs {
+            let m = &obs.metrics;
+            let s = &out.1;
+            m.counter("ccp_vm_steps_total", &[]).add(s.vm_steps);
+            m.counter("ccp_vm_replay_steps_saved_total", &[])
+                .add(s.replay_steps_saved);
+            m.counter("ccp_checker_snapshots_total", &[])
+                .add(s.snapshots);
+            m.counter("ccp_checker_state_cache_hits_total", &[])
+                .add(s.state_cache_hits);
+            m.counter("ccp_checker_state_cache_prunes_total", &[])
+                .add(s.state_cache_prunes);
         }
+        out
     }
 }
 
@@ -239,11 +291,12 @@ impl std::fmt::Debug for Pool {
 
 impl Pool {
     /// DFS shards + merge, then walk fan-out + merge (see module docs).
-    fn check_parallel(&self, program: &Program, cfg: &CheckConfig) -> CheckReport {
+    fn check_parallel(&self, program: &Program, cfg: &CheckConfig) -> (CheckReport, CheckStats) {
         let mut schedules = 0u64;
         let mut steps = 0u64;
         let mut complete = false;
         let mut failure: Option<(Verdict, Vec<usize>)> = None;
+        let mut stats = CheckStats::default();
 
         let dfs_budget = explore::dfs_phase_budget(cfg);
         if dfs_budget > 0 {
@@ -267,6 +320,15 @@ impl Pool {
                 }
                 Some(trace)
             });
+
+            for trace in traces.iter().flatten() {
+                let s = &trace.stats;
+                stats.vm_steps += s.vm_steps;
+                stats.replay_steps_saved += s.replay_steps_saved;
+                stats.snapshots += s.snapshots;
+                // Cache counters stay zero: cache-enabled configs never
+                // reach this path (forced serial above).
+            }
 
             // Replay the serial budget arithmetic over the traces.
             let mut schedules_left = dfs_budget;
@@ -314,6 +376,9 @@ impl Pool {
                 }
                 Some(walk)
             });
+            for walk in results.iter().flatten() {
+                stats.vm_steps += walk.steps;
+            }
             for walk in &results {
                 if steps >= cfg.max_steps {
                     break;
@@ -328,7 +393,10 @@ impl Pool {
             }
         }
 
-        explore::finish_report(program, cfg, schedules, steps, complete, failure)
+        (
+            explore::finish_report(program, cfg, schedules, steps, complete, failure),
+            stats,
+        )
     }
 }
 

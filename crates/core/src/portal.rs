@@ -37,6 +37,15 @@ pub struct PortalConfig {
     pub checker_threads: Option<usize>,
     /// Compile-cache capacity in programs (0 disables caching).
     pub compile_cache_capacity: usize,
+    /// Snapshot/prefix reuse in the checker's DFS (see
+    /// `CheckConfig::snapshot_prefix`). Same reports, strictly less work;
+    /// off falls back to the stateless reference explorer.
+    pub checker_snapshot_prefix: bool,
+    /// Visited-state cache capacity for analyses (see
+    /// `CheckConfig::state_cache_capacity`). 0 — the default — keeps
+    /// exploration exhaustive-modulo-budget; nonzero trades soundness of
+    /// the `complete` flag for speed and forces analyses serial.
+    pub checker_state_cache: usize,
 }
 
 impl Default for PortalConfig {
@@ -50,6 +59,8 @@ impl Default for PortalConfig {
             instructions_per_tick: 10_000,
             checker_threads: None,
             compile_cache_capacity: 256,
+            checker_snapshot_prefix: true,
+            checker_state_cache: 0,
         }
     }
 }
@@ -401,7 +412,11 @@ impl Portal {
             })?
             .program
             .clone();
-        let mut cfg = checker::CheckConfig::default();
+        let mut cfg = checker::CheckConfig {
+            snapshot_prefix: self.config.checker_snapshot_prefix,
+            state_cache_capacity: self.config.checker_state_cache,
+            ..checker::CheckConfig::default()
+        };
         if let Some(b) = budget {
             cfg.max_schedules = b.clamp(1, 512);
         }

@@ -163,8 +163,10 @@ impl Builtin {
     }
 }
 
-/// One VM instruction.
-#[derive(Debug, Clone, PartialEq)]
+/// One VM instruction. `Copy` matters: the interpreter fetches one of
+/// these per step, and a dense copyable opcode keeps that fetch a plain
+/// 16-byte move instead of a clone call.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Instr {
     /// Push constant-pool entry.
     Const(usize),

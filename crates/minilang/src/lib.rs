@@ -42,7 +42,7 @@ pub use error::{CompileError, LangError, LexError, ParseError, RuntimeError};
 pub use value::Value;
 pub use vm::{
     ExecOutcome, HostIo, MemLoc, MemoryIo, OpKey, OpKind, OpObj, SchedPolicy, Vm, VmConfig,
-    VmEvent, WaitTarget,
+    VmEvent, VmSnapshot, WaitTarget,
 };
 
 /// Compile `src` and run its `main` with the default configuration and the

@@ -235,6 +235,13 @@ pub trait HostIo: Send {
     fn write_file(&mut self, path: &str, content: &str) -> Result<(), String>;
     /// Append to a file (creating it if missing).
     fn append_file(&mut self, path: &str, content: &str) -> Result<(), String>;
+    /// Duplicate this backend for [`Vm::snapshot`]. Backends that cannot be
+    /// duplicated return `None`; snapshots then leave I/O state live (a
+    /// restore will not roll back file writes). The checker only snapshots
+    /// VMs built on [`MemoryIo`], which can.
+    fn try_clone_box(&self) -> Option<Box<dyn HostIo>> {
+        None
+    }
 }
 
 /// An in-memory [`HostIo`]: a map of path -> contents.
@@ -263,6 +270,10 @@ impl HostIo for MemoryIo {
             .or_default()
             .push_str(content);
         Ok(())
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn HostIo>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -337,14 +348,14 @@ enum ThreadState {
     Finished,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Frame {
     func: FnId,
     pc: usize,
     locals: Vec<Value>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GreenThread {
     frames: Vec<Frame>,
     stack: Vec<Value>,
@@ -355,17 +366,17 @@ struct GreenThread {
     cond_resume: Option<(usize, usize)>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct MutexState {
     locked_by: Option<usize>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SemState {
     count: i64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ChanState {
     cap: usize,
     queue: VecDeque<Value>,
@@ -385,6 +396,74 @@ enum Step {
     Finished,
     /// Thread voluntarily ended its slice (yield/sleep).
     EndSlice,
+}
+
+/// Saved contents of one live shared array. The `Arc` is the same
+/// allocation the VM still references: restore writes `items` back through
+/// it, so array identity (the pointer-derived peek ids and the entries in
+/// `array_ids`) survives the round trip — and holding the handle keeps the
+/// allocator from reusing the address for a different array.
+struct ArraySnap {
+    handle: std::sync::Arc<parking_lot::Mutex<Vec<Value>>>,
+    items: Vec<Value>,
+}
+
+/// A resumable capture of VM execution state, built by [`Vm::snapshot`] and
+/// consumed (any number of times) by [`Vm::restore`].
+///
+/// Values are captured shallowly — handles are ids or `Arc`s — and mutable
+/// array contents are saved per reachable array, so a restore rewinds
+/// globals, thread stacks, sync objects, clocks and the RNG position
+/// without reallocating anything the program can still reach. Append-only
+/// fields (stdout, recorded events, the schedule trace) are stored as
+/// lengths and rewound by truncation: a restore assumes they have not been
+/// drained since the snapshot was taken.
+pub struct VmSnapshot {
+    globals: Vec<Value>,
+    threads: Vec<GreenThread>,
+    mutexes: Vec<MutexState>,
+    sems: Vec<SemState>,
+    chans: Vec<ChanState>,
+    conds: usize,
+    stdout_len: usize,
+    executed: u64,
+    context_switches: u64,
+    peak_threads: usize,
+    rng: StdRng,
+    rng_draws: u64,
+    rr_cursor: usize,
+    stdin: VecDeque<String>,
+    record: bool,
+    events_len: usize,
+    sched_len: usize,
+    array_ids: HashMap<usize, usize>,
+    arrays: Vec<ArraySnap>,
+    io: Option<Box<dyn HostIo>>,
+}
+
+/// Walk a value graph collecting every reachable array exactly once.
+/// Contents are cloned *outside* the lock before recursing: `parking_lot`
+/// mutexes are not reentrant, and a self-referential array must not
+/// deadlock the walk (the `seen` set already breaks the cycle).
+fn collect_arrays(
+    v: &Value,
+    seen: &mut std::collections::HashSet<usize>,
+    out: &mut Vec<ArraySnap>,
+) {
+    if let Value::Array(a) = v {
+        let ptr = std::sync::Arc::as_ptr(a) as usize;
+        if !seen.insert(ptr) {
+            return;
+        }
+        let items = a.lock().clone();
+        for item in &items {
+            collect_arrays(item, seen, out);
+        }
+        out.push(ArraySnap {
+            handle: a.clone(),
+            items,
+        });
+    }
 }
 
 /// The virtual machine.
@@ -413,6 +492,15 @@ pub struct Vm {
     sched_trace: Vec<(usize, u32)>,
     /// Arc pointer -> dense array id, assigned on first recorded access.
     array_ids: HashMap<usize, usize>,
+    /// Draws taken from `rng` by `rand_int`. With a fixed seed the RNG state
+    /// is a pure function of this count (external-scheduler mode never
+    /// consumes the RNG otherwise), so [`Vm::state_hash`] hashes the count
+    /// in place of the opaque generator state.
+    rng_draws: u64,
+    /// Retired locals vectors, recycled by `Call`/`Spawn` so the step loop
+    /// stops allocating one `Vec<Value>` per call. Scratch only: never part
+    /// of snapshots or state hashes.
+    locals_pool: Vec<Vec<Value>>,
 }
 
 // The checker's worker pool gives each worker its own `Vm` and shares one
@@ -487,6 +575,8 @@ impl Vm {
             events: Vec::new(),
             sched_trace: Vec::new(),
             array_ids: HashMap::new(),
+            rng_draws: 0,
+            locals_pool: Vec::new(),
         }
     }
 
@@ -563,6 +653,13 @@ impl Vm {
         std::mem::take(&mut self.events)
     }
 
+    /// [`Vm::drain_events`] into a caller-owned buffer (cleared first).
+    /// The buffers swap, so steady-state draining allocates nothing.
+    pub fn drain_events_into(&mut self, buf: &mut Vec<VmEvent>) {
+        buf.clear();
+        std::mem::swap(buf, &mut self.events);
+    }
+
     /// Take the `(tid, quantum)` schedule recorded by [`Vm::run`] /
     /// [`Vm::step_thread`] since the last drain.
     pub fn drain_schedule(&mut self) -> Vec<(usize, u32)> {
@@ -605,6 +702,13 @@ impl Vm {
         (0..self.threads.len())
             .filter(|&t| self.is_ready(t))
             .collect()
+    }
+
+    /// [`Vm::enabled_threads`] into a caller-owned buffer (cleared first),
+    /// for schedulers that poll the enabled set every visible step.
+    pub fn enabled_threads_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend((0..self.threads.len()).filter(|&t| self.is_ready(t)));
     }
 
     /// When no thread is enabled but some are sleeping, jump the clock to
@@ -827,6 +931,199 @@ impl Vm {
         Ok(())
     }
 
+    // ---- snapshot / restore (the checker's prefix-reuse fast path) --------
+
+    /// Capture the full execution state. O(live state): thread stacks and
+    /// sync objects are cloned shallowly (`Value` clones share `Arc`s), and
+    /// each reachable array's contents are saved once. See [`VmSnapshot`]
+    /// for the restore contract.
+    pub fn snapshot(&self) -> VmSnapshot {
+        let mut seen = std::collections::HashSet::new();
+        let mut arrays = Vec::new();
+        for g in &self.globals {
+            collect_arrays(g, &mut seen, &mut arrays);
+        }
+        for t in &self.threads {
+            for v in &t.stack {
+                collect_arrays(v, &mut seen, &mut arrays);
+            }
+            for f in &t.frames {
+                for v in &f.locals {
+                    collect_arrays(v, &mut seen, &mut arrays);
+                }
+            }
+            collect_arrays(&t.result, &mut seen, &mut arrays);
+        }
+        for c in &self.chans {
+            for v in &c.queue {
+                collect_arrays(v, &mut seen, &mut arrays);
+            }
+        }
+        VmSnapshot {
+            globals: self.globals.clone(),
+            threads: self.threads.clone(),
+            mutexes: self.mutexes.clone(),
+            sems: self.sems.clone(),
+            chans: self.chans.clone(),
+            conds: self.conds.len(),
+            stdout_len: self.stdout.len(),
+            executed: self.executed,
+            context_switches: self.context_switches,
+            peak_threads: self.peak_threads,
+            rng: self.rng.clone(),
+            rng_draws: self.rng_draws,
+            rr_cursor: self.rr_cursor,
+            stdin: self.stdin.clone(),
+            record: self.record,
+            events_len: self.events.len(),
+            sched_len: self.sched_trace.len(),
+            array_ids: self.array_ids.clone(),
+            arrays,
+            io: self.io.try_clone_box(),
+        }
+    }
+
+    /// Rewind to a state captured by [`Vm::snapshot`] on this same VM. The
+    /// snapshot can be restored any number of times; array identity is
+    /// preserved (contents are written back through the original `Arc`s),
+    /// so dense ids and pointer-based peek ids keep meaning the same
+    /// arrays afterwards.
+    pub fn restore(&mut self, snap: &VmSnapshot) {
+        self.globals.clone_from(&snap.globals);
+        self.threads.clone_from(&snap.threads);
+        self.mutexes.clone_from(&snap.mutexes);
+        self.sems.clone_from(&snap.sems);
+        self.chans.clone_from(&snap.chans);
+        self.conds.truncate(snap.conds);
+        while self.conds.len() < snap.conds {
+            self.conds.push(CondState);
+        }
+        self.stdout.truncate(snap.stdout_len);
+        self.executed = snap.executed;
+        self.context_switches = snap.context_switches;
+        self.peak_threads = snap.peak_threads;
+        self.rng = snap.rng.clone();
+        self.rng_draws = snap.rng_draws;
+        self.rr_cursor = snap.rr_cursor;
+        self.stdin.clone_from(&snap.stdin);
+        self.record = snap.record;
+        self.events.truncate(snap.events_len);
+        self.sched_trace.truncate(snap.sched_len);
+        self.array_ids.clone_from(&snap.array_ids);
+        for a in &snap.arrays {
+            a.handle.lock().clone_from(&a.items);
+        }
+        if let Some(io) = snap.io.as_deref().and_then(HostIo::try_clone_box) {
+            self.io = io;
+        }
+    }
+
+    /// FNV-1a digest of the canonical execution state: thread stacks and
+    /// states, globals, sync objects, queued stdin and the RNG draw count.
+    /// Array aliasing is canonicalized by first-visit order (never by
+    /// pointer), so two executions that reach structurally identical states
+    /// along different paths hash equal. Execution counters, stdout and
+    /// host files are excluded — see the checker's state cache for the
+    /// resulting caveats (`now()`-observing programs dedup approximately).
+    pub fn state_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        let mut seen = HashMap::new();
+        h.usize(self.globals.len());
+        for g in &self.globals {
+            hash_value(g, &mut h, &mut seen);
+        }
+        h.usize(self.threads.len());
+        for t in &self.threads {
+            match t.state {
+                ThreadState::Runnable => h.byte(0x20),
+                ThreadState::BlockedMutex(m) => {
+                    h.byte(0x21);
+                    h.usize(m);
+                }
+                ThreadState::BlockedSem(s) => {
+                    h.byte(0x22);
+                    h.usize(s);
+                }
+                ThreadState::BlockedSend(c) => {
+                    h.byte(0x23);
+                    h.usize(c);
+                }
+                ThreadState::BlockedRecv(c) => {
+                    h.byte(0x24);
+                    h.usize(c);
+                }
+                ThreadState::BlockedJoin(u) => {
+                    h.byte(0x25);
+                    h.usize(u);
+                }
+                ThreadState::BlockedCond { cv, mutex, woken } => {
+                    h.byte(0x26);
+                    h.usize(cv);
+                    h.usize(mutex);
+                    h.byte(woken as u8);
+                }
+                // Sleep deadlines hash as *remaining* time: the absolute
+                // instruction clock is path-dependent noise.
+                ThreadState::Sleeping { until } => {
+                    h.byte(0x27);
+                    h.u64(until.saturating_sub(self.executed));
+                }
+                ThreadState::Finished => h.byte(0x28),
+            }
+            match t.cond_resume {
+                Some((cv, m)) => {
+                    h.byte(1);
+                    h.usize(cv);
+                    h.usize(m);
+                }
+                None => h.byte(0),
+            }
+            hash_value(&t.result, &mut h, &mut seen);
+            h.usize(t.frames.len());
+            for f in &t.frames {
+                h.usize(f.func);
+                h.usize(f.pc);
+                h.usize(f.locals.len());
+                for v in &f.locals {
+                    hash_value(v, &mut h, &mut seen);
+                }
+            }
+            h.usize(t.stack.len());
+            for v in &t.stack {
+                hash_value(v, &mut h, &mut seen);
+            }
+        }
+        h.usize(self.mutexes.len());
+        for m in &self.mutexes {
+            match m.locked_by {
+                Some(t) => {
+                    h.byte(1);
+                    h.usize(t);
+                }
+                None => h.byte(0),
+            }
+        }
+        h.usize(self.sems.len());
+        for s in &self.sems {
+            h.i64(s.count);
+        }
+        h.usize(self.chans.len());
+        for c in &self.chans {
+            h.usize(c.cap);
+            h.usize(c.queue.len());
+            for v in &c.queue {
+                hash_value(v, &mut h, &mut seen);
+            }
+        }
+        h.usize(self.conds.len());
+        h.usize(self.stdin.len());
+        for line in &self.stdin {
+            h.str(line);
+        }
+        h.u64(self.rng_draws);
+        h.0
+    }
+
     /// Dense array id for peeking: the recorded id if the array has been
     /// accessed before, otherwise the Arc pointer with the top bit set (so
     /// two peeks at the same state agree, and neither collides with a dense
@@ -931,7 +1228,7 @@ impl Vm {
         let instr = self.program.functions[func]
             .code
             .get(pc)
-            .cloned()
+            .copied()
             .ok_or_else(|| RuntimeError::Internal(format!("pc {pc} out of range in {func}")))?;
         self.executed += 1;
 
@@ -1131,7 +1428,7 @@ impl Vm {
                 let f = &self.program.functions[callee];
                 debug_assert_eq!(f.arity, argc, "compiler enforces arity");
                 let locals_len = f.locals.max(argc);
-                let mut locals = vec![Value::Int(0); locals_len];
+                let mut locals = self.alloc_locals(locals_len);
                 for i in (0..argc).rev() {
                     locals[i] = pop!();
                 }
@@ -1146,7 +1443,7 @@ impl Vm {
             Instr::Spawn { func: callee, argc } => {
                 let f = &self.program.functions[callee];
                 let locals_len = f.locals.max(argc);
-                let mut locals = vec![Value::Int(0); locals_len];
+                let mut locals = self.alloc_locals(locals_len);
                 for i in (0..argc).rev() {
                     locals[i] = pop!();
                 }
@@ -1173,7 +1470,9 @@ impl Vm {
             }
             Instr::Return => {
                 let ret = pop!();
-                self.threads[tid].frames.pop();
+                if let Some(done) = self.threads[tid].frames.pop() {
+                    self.recycle_locals(done.locals);
+                }
                 if self.threads[tid].frames.is_empty() {
                     self.threads[tid].result = ret;
                     self.threads[tid].state = ThreadState::Finished;
@@ -1235,6 +1534,22 @@ impl Vm {
         }
         frame!().pc = pc + 1;
         Ok(Step::Continue)
+    }
+
+    /// Take a recycled locals vector (or a fresh one), sized and zeroed.
+    fn alloc_locals(&mut self, len: usize) -> Vec<Value> {
+        let mut v = self.locals_pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, Value::Int(0));
+        v
+    }
+
+    /// Return a retired locals vector to the pool (bounded; values dropped).
+    fn recycle_locals(&mut self, mut v: Vec<Value>) {
+        if self.locals_pool.len() < 64 && v.capacity() > 0 {
+            v.clear();
+            self.locals_pool.push(v);
+        }
     }
 
     fn live_count(&self) -> usize {
@@ -1574,6 +1889,7 @@ impl Vm {
                 let v = if lo >= hi {
                     lo
                 } else {
+                    self.rng_draws += 1;
                     self.rng.gen_range(lo..=hi)
                 };
                 push!(Value::Int(v));
@@ -1790,6 +2106,101 @@ impl Vm {
 }
 
 // ---- helpers ---------------------------------------------------------------
+
+/// FNV-1a, the checker's canonical-state digest. Not a general hasher: the
+/// traversal order in [`Vm::state_hash`] is part of the format.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+}
+
+/// Hash one value. Arrays are identified by first-visit order within this
+/// walk — never by pointer — so aliasing structure hashes canonically and
+/// two executions reaching the same abstract state agree. Contents are
+/// cloned out of the lock before recursing (same reentrancy rule as
+/// [`collect_arrays`]).
+fn hash_value(v: &Value, h: &mut Fnv, seen: &mut HashMap<usize, usize>) {
+    match v {
+        Value::Int(x) => {
+            h.byte(1);
+            h.i64(*x);
+        }
+        Value::Bool(b) => {
+            h.byte(2);
+            h.byte(*b as u8);
+        }
+        Value::Str(s) => {
+            h.byte(3);
+            h.str(s);
+        }
+        Value::Array(a) => {
+            let ptr = std::sync::Arc::as_ptr(a) as usize;
+            let next = seen.len();
+            if let Some(&idx) = seen.get(&ptr) {
+                h.byte(4);
+                h.usize(idx);
+            } else {
+                seen.insert(ptr, next);
+                h.byte(5);
+                h.usize(next);
+                let items = a.lock().clone();
+                h.usize(items.len());
+                for item in &items {
+                    hash_value(item, h, seen);
+                }
+            }
+        }
+        Value::Thread(t) => {
+            h.byte(6);
+            h.usize(*t);
+        }
+        Value::Mutex(m) => {
+            h.byte(7);
+            h.usize(*m);
+        }
+        Value::Semaphore(s) => {
+            h.byte(8);
+            h.usize(*s);
+        }
+        Value::Channel(c) => {
+            h.byte(9);
+            h.usize(*c);
+        }
+        Value::Cond(c) => {
+            h.byte(10);
+            h.usize(*c);
+        }
+        Value::Unit => h.byte(11),
+    }
+}
 
 fn int_pair(a: Value, b: Value, op: &str) -> Result<(i64, i64), RuntimeError> {
     match (a, b) {

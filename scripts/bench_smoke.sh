@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # Smoke-run the checker_parallel bench and capture its machine-readable
-# summary as BENCH_checker.json, so CI archives a speedup + cache-hit-rate
-# datapoint per commit.
+# summaries: BENCH_checker.json (pool speedup + cache hit rate) and
+# BENCH_vm.json (VM fast path: snapshot vs stateless schedules/sec,
+# steps/sec, snapshot hit ratio), so CI archives both datapoints per
+# commit.
 #
-# Usage: bench_smoke.sh [output.json]          (default: BENCH_checker.json)
+# Usage: bench_smoke.sh [output.json] [vm_output.json]
+#        (defaults: BENCH_checker.json, BENCH_vm.json)
 #
-# The bench prints exactly one line of the form
+# The bench prints exactly one line of each form
 #   BENCH_JSON {"bench":"checker_parallel",...}
+#   BENCH_VM_JSON {"bench":"vm_fastpath",...}
 # on stderr; everything after the prefix is already valid JSON.
 set -euo pipefail
 
 out="${1:-BENCH_checker.json}"
+vm_out="${2:-BENCH_vm.json}"
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
@@ -23,6 +28,24 @@ if [ -z "$line" ]; then
     exit 1
 fi
 printf '%s\n' "${line#BENCH_JSON }" > "$out"
+
+vm_line="$(grep -E '^BENCH_VM_JSON \{' "$log" | tail -n 1 || true)"
+if [ -z "$vm_line" ]; then
+    echo "FAIL: bench did not print a BENCH_VM_JSON line" >&2
+    exit 1
+fi
+printf '%s\n' "${vm_line#BENCH_VM_JSON }" > "$vm_out"
+
+# The snapshot engine's win is algorithmic (it removes prefix re-execution,
+# not wall-clock parallelism), so the floor holds on any core count.
+vm_speedup="$(sed -nE 's/.*"min_speedup":([0-9.]+).*/\1/p' "$vm_out")"
+if [ -z "$vm_speedup" ]; then
+    echo "FAIL: $vm_out is missing min_speedup" >&2
+    exit 1
+fi
+awk -v s="$vm_speedup" 'BEGIN {
+    if (s + 0 < 2.0) { print "FAIL: snapshot min speedup " s " below 2.0x" > "/dev/stderr"; exit 1 }
+}'
 
 # Sanity: the acceptance floors (4-worker speedup >= 2x, cache hit rate
 # >= 0.9) travel with the artifact; fail loudly if the datapoint regressed.
@@ -45,5 +68,5 @@ if [ "$cores" -ge 4 ]; then
 else
     echo "note: only $cores core(s); skipping the 2x speedup assertion"
 fi
-echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate} (cores=$cores)"
-echo "wrote $out"
+echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate}, vm_snapshot_min_speedup=${vm_speedup}x (cores=$cores)"
+echo "wrote $out and $vm_out"

@@ -53,6 +53,11 @@ for family in \
     "ccp_pool_steals_total counter" \
     "ccp_pool_busy_us histogram" \
     "ccp_pool_idle_us histogram" \
+    "ccp_vm_steps_total counter" \
+    "ccp_vm_replay_steps_saved_total counter" \
+    "ccp_checker_snapshots_total counter" \
+    "ccp_checker_state_cache_hits_total counter" \
+    "ccp_checker_state_cache_prunes_total counter" \
     "ccp_compile_cache_hits_total counter" \
     "ccp_compile_cache_misses_total counter" \
     "ccp_compile_cache_evictions_total counter" \

@@ -63,6 +63,93 @@ fn every_archetype_is_bit_identical_across_workers_and_seeds() {
 }
 
 #[test]
+fn snapshot_engine_matches_stateless_reference_bit_for_bit() {
+    // The snapshot/prefix-reuse engine (the default) against the stateless
+    // explorer it replaced (`snapshot_prefix: false`, kept as the
+    // reference): every archetype, seed, and worker count must yield the
+    // exact same report. Fast path means faster, never different.
+    for (name, src) in archetypes() {
+        let program = minilang::compile(&src).expect("archetype compiles");
+        for seed in [0u64, 1, 2] {
+            let cfg = grading_cfg(seed);
+            let reference = checker::check(
+                &program,
+                &CheckConfig {
+                    snapshot_prefix: false,
+                    ..cfg
+                },
+            );
+            for workers in [1usize, 2, 4] {
+                assert_eq!(
+                    Pool::new(workers).check(&program, &cfg),
+                    reference,
+                    "{name}: snapshot engine ({workers} workers) diverged \
+                     from the stateless reference (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_stats_report_saved_replay_work() {
+    // On a branchy clean program the snapshot engine must actually take
+    // snapshots and skip prefix replay; the stateless engine must not.
+    let src = lab6_philosophers::ordered_source(4);
+    let program = minilang::compile(&src).unwrap();
+    let cfg = grading_cfg(0);
+    let (_, snap_stats) = checker::check_with_stats(&program, &cfg);
+    assert!(
+        snap_stats.snapshots > 0,
+        "no snapshots taken: {snap_stats:?}"
+    );
+    assert!(
+        snap_stats.replay_steps_saved > 0,
+        "no replay work saved: {snap_stats:?}"
+    );
+    let (_, flat_stats) = checker::check_with_stats(
+        &program,
+        &CheckConfig {
+            snapshot_prefix: false,
+            ..cfg
+        },
+    );
+    assert_eq!(flat_stats.snapshots, 0);
+    assert_eq!(flat_stats.replay_steps_saved, 0);
+    // Saved plus executed on the snapshot engine accounts for at least the
+    // stateless engine's executed steps (it can only remove work).
+    assert!(
+        snap_stats.vm_steps + snap_stats.replay_steps_saved >= flat_stats.vm_steps,
+        "snapshot accounting lost work: {snap_stats:?} vs {flat_stats:?}"
+    );
+    assert!(snap_stats.vm_steps < flat_stats.vm_steps);
+}
+
+#[test]
+fn state_cache_configs_run_serial_and_stay_deterministic() {
+    // The visited-state cache is a heuristic: it may change schedule
+    // counts, so it is excluded from the parallel merge (the pool forces
+    // such configs serial). Any pool width must therefore agree exactly
+    // with the serial run, and the verdict must match the cache-off run.
+    let src = lab6_philosophers::naive_source(4);
+    let program = minilang::compile(&src).unwrap();
+    let cfg = CheckConfig {
+        state_cache_capacity: 1 << 14,
+        ..grading_cfg(1)
+    };
+    let serial = checker::check(&program, &cfg);
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            Pool::new(workers).check(&program, &cfg),
+            serial,
+            "cache-enabled config must run serial on a {workers}-wide pool"
+        );
+    }
+    let off = checker::check(&program, &grading_cfg(1));
+    assert_eq!(serial.verdict, off.verdict, "cache changed the verdict");
+}
+
+#[test]
 fn default_config_with_minimization_is_bit_identical() {
     // The API default: minimize on, 48 schedules — what `/api/analyze` runs.
     let cfg = CheckConfig::default();
@@ -261,6 +348,11 @@ fn portal_compile_path_uses_cache_and_surfaces_metrics() {
         "# TYPE ccp_pool_steals_total counter",
         "# TYPE ccp_pool_busy_us histogram",
         "# TYPE ccp_pool_idle_us histogram",
+        "# TYPE ccp_vm_steps_total counter",
+        "# TYPE ccp_vm_replay_steps_saved_total counter",
+        "# TYPE ccp_checker_snapshots_total counter",
+        "# TYPE ccp_checker_state_cache_hits_total counter",
+        "# TYPE ccp_checker_state_cache_prunes_total counter",
     ] {
         assert!(text.contains(family), "missing {family:?} in exposition");
     }

@@ -310,6 +310,108 @@ proptest! {
     }
 }
 
+// ---- VM snapshot/restore ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snapshot → steps → restore → re-steps is indistinguishable from the
+    /// first execution of that suffix: same event trace, same canonical
+    /// state, same instruction count. Random split points and schedules;
+    /// `tests/vm_snapshot.rs` sweeps a fixed grid of the same invariant.
+    #[test]
+    fn vm_snapshot_roundtrip_is_exact(
+        seed in 0u64..32,
+        prefix in 0usize..50,
+        suffix in 1usize..40,
+        pick in 0usize..1000,
+        threads in 2usize..=3,
+    ) {
+        let mut src = String::from("var total = 0;\nvar m;\nvar c;\n");
+        src.push_str(
+            "fn w(k) { var a = [k, k + 1]; lock(m); total = total + a[0] + rand_int(0, 2); \
+             unlock(m); send(c, a); }\n",
+        );
+        src.push_str("fn main() { m = mutex(); c = channel(1);");
+        for t in 0..threads {
+            src.push_str(&format!(" var t{t} = spawn w({t});"));
+        }
+        for t in 0..threads {
+            src.push_str(&format!(" var r{t} = recv(c); total = total + r{t}[1]; join(t{t});"));
+        }
+        src.push_str(" println(total); return total; }\n");
+        let prog = minilang::compile(&src).unwrap();
+
+        let fresh = || {
+            let mut vm = minilang::Vm::new(prog.clone(), minilang::VmConfig {
+                seed,
+                quantum: 1,
+                max_instructions: 200_000,
+                policy: minilang::SchedPolicy::RoundRobin,
+            });
+            vm.set_recording(true);
+            vm
+        };
+        // Step up to `n` visible slices, picking enabled threads from `salt`;
+        // record chosen tids and debug-formatted events.
+        let drive = |vm: &mut minilang::Vm, n: usize, salt: usize,
+                     tids: &mut Vec<usize>, events: &mut Vec<String>| {
+            for s in 0..n {
+                if vm.all_finished() { break; }
+                let en = vm.enabled_threads();
+                if en.is_empty() {
+                    if !vm.advance_clock() { break; }
+                    continue;
+                }
+                let tid = en[salt.wrapping_add(s).wrapping_mul(2654435761) % en.len()];
+                if vm.step_thread(tid, 1).is_err() { break; }
+                tids.push(tid);
+                events.extend(vm.drain_events().iter().map(|e| format!("{e:?}")));
+            }
+        };
+        let replay = |vm: &mut minilang::Vm, tids: &[usize], events: &mut Vec<String>| {
+            for &tid in tids {
+                while !vm.is_enabled(tid) {
+                    assert!(vm.advance_clock(), "replayed thread {tid} not enabled");
+                }
+                vm.step_thread(tid, 1).expect("replayed step succeeds");
+                events.extend(vm.drain_events().iter().map(|e| format!("{e:?}")));
+            }
+        };
+
+        let mut vm = fresh();
+        let mut ptids = Vec::new();
+        let mut pevents = Vec::new();
+        drive(&mut vm, prefix, pick, &mut ptids, &mut pevents);
+        let snap = vm.snapshot();
+        let hash_at_snap = vm.state_hash();
+
+        let mut tids = Vec::new();
+        let mut first = Vec::new();
+        drive(&mut vm, suffix, pick.wrapping_mul(31), &mut tids, &mut first);
+        let first_hash = vm.state_hash();
+        let first_executed = vm.executed();
+
+        vm.restore(&snap);
+        prop_assert_eq!(vm.state_hash(), hash_at_snap, "restore lands on snapshot state");
+        let mut second = Vec::new();
+        replay(&mut vm, &tids, &mut second);
+        prop_assert_eq!(&second, &first, "restored run re-emits the event trace");
+        prop_assert_eq!(vm.state_hash(), first_hash, "restored run reaches the same state");
+        prop_assert_eq!(vm.executed(), first_executed, "restored run counts the same work");
+
+        // A fresh VM replaying prefix + suffix agrees with both.
+        let mut fv = fresh();
+        let mut scratch = Vec::new();
+        replay(&mut fv, &ptids, &mut scratch);
+        prop_assert_eq!(fv.state_hash(), hash_at_snap, "fresh prefix replay agrees");
+        scratch.clear();
+        replay(&mut fv, &tids, &mut scratch);
+        prop_assert_eq!(&scratch, &first, "fresh suffix replay re-emits the trace");
+        prop_assert_eq!(fv.state_hash(), first_hash, "fresh replay reaches the same state");
+    }
+}
+
 // ---- parallel exploration --------------------------------------------------
 
 proptest! {

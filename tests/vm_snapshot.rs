@@ -1,0 +1,205 @@
+//! VM snapshot/restore contract: restoring a snapshot and re-executing the
+//! same thread choices must be indistinguishable — in events, canonical
+//! state, and instruction counts — from the first execution of that suffix,
+//! and from a fresh VM replaying the whole prefix. This is what lets the
+//! checker's DFS backtrack by restore instead of re-running from the root.
+//!
+//! (The proptest twin in `tests/property_tests.rs` samples the same
+//! invariant over random split points and schedules; this plain version
+//! sweeps a fixed grid so the contract stays exercised even where proptest
+//! is unavailable.)
+
+use minilang::{SchedPolicy, Vm, VmConfig};
+
+/// A program touching every snapshot-relevant substrate: array identity
+/// (aliased through a global and a channel), mutex/semaphore/channel state,
+/// RNG draws, sleeps, and stdout.
+fn rich_source() -> &'static str {
+    r#"
+        var shared = [0, 0, 0];
+        var m;
+        var sem;
+        var c;
+        fn worker(k) {
+            var local = [k, k * 2];
+            sem_wait(sem);
+            lock(m);
+            shared[k] = shared[k] + local[0] + rand_int(0, 3);
+            unlock(m);
+            sem_post(sem);
+            sleep(k + 1);
+            send(c, local);
+        }
+        fn main() {
+            m = mutex();
+            sem = semaphore(1);
+            c = channel(2);
+            var t0 = spawn worker(0);
+            var t1 = spawn worker(1);
+            var a = recv(c);
+            var b = recv(c);
+            shared[2] = a[1] + b[1];
+            join(t0);
+            join(t1);
+            println(shared[0], shared[1], shared[2]);
+            return shared[2];
+        }
+    "#
+}
+
+fn fresh_vm(seed: u64) -> Vm {
+    let prog = minilang::compile(rich_source()).expect("rich source compiles");
+    let mut vm = Vm::new(
+        prog,
+        VmConfig {
+            seed,
+            quantum: 1,
+            max_instructions: 200_000,
+            policy: SchedPolicy::RoundRobin,
+        },
+    );
+    vm.set_recording(true);
+    vm
+}
+
+/// Step up to `steps` visible slices, choosing among enabled threads with
+/// `pick`. Records each chosen tid and every event (debug-formatted, so
+/// this needs nothing beyond `Debug` from `VmEvent`).
+fn drive(
+    vm: &mut Vm,
+    steps: usize,
+    mut pick: impl FnMut(usize, usize) -> usize,
+    tids: &mut Vec<usize>,
+    events: &mut Vec<String>,
+) {
+    for s in 0..steps {
+        if vm.all_finished() {
+            break;
+        }
+        let en = vm.enabled_threads();
+        if en.is_empty() {
+            if !vm.advance_clock() {
+                break;
+            }
+            continue;
+        }
+        let tid = en[pick(s, en.len()) % en.len()];
+        if vm.step_thread(tid, 1).is_err() {
+            break;
+        }
+        tids.push(tid);
+        events.extend(vm.drain_events().iter().map(|e| format!("{e:?}")));
+    }
+}
+
+/// Replay an exact tid sequence (each must still be enabled — divergence
+/// here is itself a restore bug and fails loudly).
+fn replay(vm: &mut Vm, tids: &[usize], events: &mut Vec<String>) {
+    for &tid in tids {
+        while !vm.is_enabled(tid) {
+            assert!(
+                vm.advance_clock(),
+                "replayed thread {tid} not enabled and clock stuck"
+            );
+        }
+        vm.step_thread(tid, 1).expect("replayed step succeeds");
+        events.extend(vm.drain_events().iter().map(|e| format!("{e:?}")));
+    }
+}
+
+/// The roundtrip at one (seed, prefix, suffix, pick) point.
+fn assert_roundtrip(seed: u64, prefix: usize, suffix: usize, pick: usize) {
+    let ctx = format!("seed {seed}, prefix {prefix}, suffix {suffix}, pick {pick}");
+
+    // Prefix on a fresh VM, then snapshot.
+    let mut vm = fresh_vm(seed);
+    let mut prefix_tids = Vec::new();
+    let mut prefix_events = Vec::new();
+    drive(
+        &mut vm,
+        prefix,
+        |s, _| pick.wrapping_add(s),
+        &mut prefix_tids,
+        &mut prefix_events,
+    );
+    let snap = vm.snapshot();
+    let hash_at_snap = vm.state_hash();
+    let executed_at_snap = vm.executed();
+
+    // First continuation.
+    let mut first_tids = Vec::new();
+    let mut first_events = Vec::new();
+    drive(
+        &mut vm,
+        suffix,
+        |s, _| pick.wrapping_add(s).wrapping_mul(7),
+        &mut first_tids,
+        &mut first_events,
+    );
+    let first_hash = vm.state_hash();
+    let first_executed = vm.executed();
+
+    // Restore must rewind exactly to the snapshot point...
+    vm.restore(&snap);
+    assert_eq!(vm.state_hash(), hash_at_snap, "restore state ({ctx})");
+    assert_eq!(vm.executed(), executed_at_snap, "restore executed ({ctx})");
+
+    // ...and re-stepping the same choices must reproduce the suffix.
+    let mut second_events = Vec::new();
+    replay(&mut vm, &first_tids, &mut second_events);
+    assert_eq!(second_events, first_events, "restored event trace ({ctx})");
+    assert_eq!(vm.state_hash(), first_hash, "restored final state ({ctx})");
+    assert_eq!(vm.executed(), first_executed, "restored executed ({ctx})");
+
+    // A fresh VM replaying prefix + suffix from scratch agrees too.
+    let mut fresh = fresh_vm(seed);
+    let mut fresh_events = Vec::new();
+    replay(&mut fresh, &prefix_tids, &mut fresh_events);
+    assert_eq!(
+        fresh.state_hash(),
+        hash_at_snap,
+        "fresh prefix state ({ctx})"
+    );
+    fresh_events.clear();
+    replay(&mut fresh, &first_tids, &mut fresh_events);
+    assert_eq!(fresh_events, first_events, "fresh suffix events ({ctx})");
+    assert_eq!(fresh.state_hash(), first_hash, "fresh final state ({ctx})");
+}
+
+#[test]
+fn snapshot_restore_roundtrip_grid() {
+    for seed in [0u64, 3, 11] {
+        for prefix in [1usize, 5, 17, 40] {
+            for suffix in [1usize, 9, 30] {
+                for pick in [0usize, 2, 5] {
+                    assert_roundtrip(seed, prefix, suffix, pick);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_is_restorable_many_times() {
+    // The DFS restores one snapshot once per sibling; each restore must
+    // land on the same state no matter what ran in between.
+    let mut vm = fresh_vm(1);
+    let mut tids = Vec::new();
+    let mut events = Vec::new();
+    drive(&mut vm, 10, |s, _| s, &mut tids, &mut events);
+    let snap = vm.snapshot();
+    let base = vm.state_hash();
+    for variant in 0..6usize {
+        let mut t = Vec::new();
+        let mut e = Vec::new();
+        drive(
+            &mut vm,
+            25,
+            |s, _| s.wrapping_mul(variant + 2),
+            &mut t,
+            &mut e,
+        );
+        vm.restore(&snap);
+        assert_eq!(vm.state_hash(), base, "restore #{variant}");
+    }
+}
