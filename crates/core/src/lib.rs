@@ -36,5 +36,6 @@ pub mod view;
 pub use error::PortalError;
 pub use portal::{Portal, PortalConfig};
 pub use view::{
-    AnalysisView, EventView, FileView, HealthView, JobView, NodeView, QuotaView, TimelineEventView,
+    AnalysisView, EventView, FileView, HealthView, JobView, NodeView, QuotaView, RecoveryView,
+    TimelineEventView,
 };

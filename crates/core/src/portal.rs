@@ -3,16 +3,18 @@
 use crate::error::PortalError;
 use crate::view::{
     state_label, AnalysisView, EventView, FileView, HealthView, JobView, NodeView, QuotaView,
-    TimelineEventView,
+    RecoveryView, TimelineEventView,
 };
 use auth::{Role, SessionManager, Token, UserStore};
 use cluster::{Cluster, ClusterSpec, NodeHealth, SlaveId};
 use obs::Obs;
 use parking_lot::Mutex;
 use sched::{JobId, JobSpec, JobState, SchedPolicyKind, Scheduler};
+use std::path::PathBuf;
 use std::sync::Arc;
 use toolchain::{ArtifactId, ArtifactStore, CompileReport, CompileRequest, ExecReport, Executor};
-use vfs::{EntryKind, Vfs};
+use vfs::{EntryKind, Vfs, VfsError};
+use wal::{FileStorage, FsyncPolicy, Journal, JournalHooks, RecoveryReport};
 
 /// Portal construction parameters.
 #[derive(Debug, Clone)]
@@ -46,6 +48,17 @@ pub struct PortalConfig {
     /// exploration exhaustive-modulo-budget; nonzero trades soundness of
     /// the `complete` flag for speed and forces analyses serial.
     pub checker_state_cache: usize,
+    /// Durability root. `Some(dir)` persists filesystem and scheduler
+    /// state to write-ahead logs under `dir` and recovers them at boot;
+    /// `None` (the default) keeps the portal fully in-memory, bit-for-bit
+    /// identical to the pre-durability behaviour.
+    pub data_dir: Option<PathBuf>,
+    /// When to fsync the logs: group commit (one fsync per N appends) by
+    /// default; `Always` for strongest durability, `Never` for benches.
+    pub wal_fsync: FsyncPolicy,
+    /// Install a snapshot and compact each log every N records
+    /// (0 = never snapshot; the log grows without bound).
+    pub snapshot_interval: u64,
 }
 
 impl Default for PortalConfig {
@@ -61,7 +74,146 @@ impl Default for PortalConfig {
             compile_cache_capacity: 256,
             checker_snapshot_prefix: true,
             checker_state_cache: 0,
+            data_dir: None,
+            wal_fsync: FsyncPolicy::EveryN(8),
+            snapshot_interval: 1024,
         }
+    }
+}
+
+/// Routes [`Journal`] telemetry into the shared metrics registry, one hook
+/// set per stream (`stream="vfs"` / `stream="sched"`).
+struct WalMetricHooks {
+    appends: obs::Counter,
+    bytes: obs::Counter,
+    fsyncs: obs::Counter,
+    snapshots: obs::Counter,
+}
+
+impl JournalHooks for WalMetricHooks {
+    fn on_append(&self, bytes: u64) {
+        self.appends.inc();
+        self.bytes.add(bytes);
+    }
+    fn on_fsync(&self) {
+        self.fsyncs.inc();
+    }
+    fn on_snapshot(&self) {
+        self.snapshots.inc();
+    }
+}
+
+/// Describe and eagerly register every `ccp_wal_*` family for both
+/// streams, so `/api/metrics` exposes them from the first scrape even on
+/// an in-memory portal (the scrape contract is checked by
+/// `scripts/check_metrics.sh`).
+fn register_wal_metrics(obs: &Obs) {
+    let m = &obs.metrics;
+    m.describe("ccp_wal_appends_total", "records appended to the WAL");
+    m.describe("ccp_wal_bytes_total", "framed bytes appended to the WAL");
+    m.describe("ccp_wal_fsyncs_total", "fsyncs issued by the WAL");
+    m.describe(
+        "ccp_wal_snapshots_total",
+        "snapshots installed (log compactions)",
+    );
+    m.describe(
+        "ccp_wal_recoveries_total",
+        "crash recoveries performed at boot",
+    );
+    m.describe(
+        "ccp_wal_recovery_replay_us",
+        "wall time spent recovering a WAL stream at boot (us)",
+    );
+    for stream in ["vfs", "sched"] {
+        let labels = &[("stream", stream)];
+        m.counter("ccp_wal_appends_total", labels);
+        m.counter("ccp_wal_bytes_total", labels);
+        m.counter("ccp_wal_fsyncs_total", labels);
+        m.counter("ccp_wal_snapshots_total", labels);
+        m.counter("ccp_wal_recoveries_total", labels);
+        m.histogram(
+            "ccp_wal_recovery_replay_us",
+            labels,
+            obs::DURATION_US_BOUNDS,
+        );
+    }
+}
+
+fn wal_hooks(obs: &Obs, stream: &str) -> Box<dyn JournalHooks> {
+    let m = &obs.metrics;
+    let labels = &[("stream", stream)];
+    Box::new(WalMetricHooks {
+        appends: m.counter("ccp_wal_appends_total", labels),
+        bytes: m.counter("ccp_wal_bytes_total", labels),
+        fsyncs: m.counter("ccp_wal_fsyncs_total", labels),
+        snapshots: m.counter("ccp_wal_snapshots_total", labels),
+    })
+}
+
+/// Open both WAL streams under `dir`, recover the filesystem and the
+/// scheduler from them, and leave the journals attached so subsequent
+/// mutations are logged. Returns the per-stream recovery views.
+fn open_durable(
+    dir: &std::path::Path,
+    config: &PortalConfig,
+    obs: &Obs,
+    fs: &mut Vfs,
+    scheduler: &mut Scheduler,
+) -> Result<Vec<RecoveryView>, String> {
+    let open_stream = |name: &str| -> Result<(Journal, wal::Recovered), String> {
+        let storage = FileStorage::open(dir, name).map_err(|e| format!("open {name} log: {e}"))?;
+        Journal::open(
+            Box::new(storage),
+            config.wal_fsync,
+            config.snapshot_interval,
+        )
+        .map_err(|e| format!("recover {name} log: {e}"))
+    };
+
+    let (vfs_journal, vfs_recovered) = open_stream("vfs")?;
+    let (recovered_fs, vfs_replay_errors) =
+        Vfs::recover(&vfs_recovered).map_err(|e| format!("replay vfs log: {e}"))?;
+    *fs = recovered_fs;
+    fs.attach_journal(vfs_journal.with_hooks(wal_hooks(obs, "vfs")));
+
+    let (sched_journal, sched_recovered) = open_stream("sched")?;
+    let sched_replay_errors = scheduler
+        .recover(&sched_recovered)
+        .map_err(|e| format!("replay sched log: {e}"))?;
+    scheduler.attach_journal(sched_journal.with_hooks(wal_hooks(obs, "sched")));
+
+    let mut views = Vec::new();
+    for (stream, report, replay_errors) in [
+        ("vfs", &vfs_recovered.report, vfs_replay_errors),
+        ("sched", &sched_recovered.report, sched_replay_errors),
+    ] {
+        let labels = &[("stream", stream)];
+        obs.metrics
+            .counter("ccp_wal_recoveries_total", labels)
+            .inc();
+        obs.metrics
+            .histogram(
+                "ccp_wal_recovery_replay_us",
+                labels,
+                obs::DURATION_US_BOUNDS,
+            )
+            .record(report.wall_us);
+        views.push(recovery_view(stream, report, replay_errors));
+    }
+    Ok(views)
+}
+
+fn recovery_view(stream: &str, report: &RecoveryReport, replay_errors: u64) -> RecoveryView {
+    RecoveryView {
+        stream: stream.to_string(),
+        snapshot_lsn: report.snapshot_lsn,
+        snapshot_corrupt: report.snapshot_corrupt,
+        records_replayed: report.records_replayed,
+        torn_bytes: report.torn_bytes,
+        corrupt_records: report.corrupt_records,
+        replay_errors,
+        last_lsn: report.last_lsn,
+        wall_us: report.wall_us,
     }
 }
 
@@ -78,11 +230,18 @@ pub struct Portal {
     obs: Arc<Obs>,
     config: PortalConfig,
     admin_bootstrapped: bool,
+    recovery: Vec<RecoveryView>,
+    wal_enabled: bool,
+    wal_open_error: Option<String>,
 }
 
 impl Portal {
-    /// Boot a portal: empty user store, fresh filesystem, cold cluster.
-    /// Every substrate records into one shared telemetry domain.
+    /// Boot a portal: empty user store, cold cluster. With
+    /// [`PortalConfig::data_dir`] set, the filesystem and scheduler are
+    /// recovered from their write-ahead logs (fresh when the logs are
+    /// empty) and every subsequent mutation is journaled; otherwise both
+    /// start fresh and stay in-memory. Every substrate records into one
+    /// shared telemetry domain.
     pub fn new(config: PortalConfig) -> Portal {
         let cluster = Cluster::new(config.cluster.clone());
         let obs = Arc::new(Obs::new());
@@ -96,27 +255,56 @@ impl Portal {
             .unwrap_or_else(checker::Pool::default_workers);
         let pool = Arc::new(checker::Pool::new(workers).with_obs(Arc::clone(&obs)));
         toolchain::cache::register_cache_metrics(&obs);
+        register_wal_metrics(&obs);
+
+        let mut fs = Vfs::new();
+        let mut scheduler = Scheduler::new(cluster, config.policy).with_obs(Arc::clone(&obs));
+        let mut recovery = Vec::new();
+        let mut wal_enabled = false;
+        let mut wal_open_error = None;
+        if let Some(dir) = config.data_dir.clone() {
+            match open_durable(&dir, &config, &obs, &mut fs, &mut scheduler) {
+                Ok(views) => {
+                    recovery = views;
+                    wal_enabled = true;
+                }
+                // A portal that cannot journal still serves — from memory,
+                // with the failure surfaced in /api/health — rather than
+                // refusing to boot over a full disk or bad permissions.
+                Err(e) => wal_open_error = Some(e),
+            }
+        }
+
         Portal {
             users: UserStore::new(config.seed),
             sessions: SessionManager::new(config.session_ttl, config.seed.wrapping_add(1)),
-            fs: Arc::new(Mutex::new(Vfs::new())),
+            fs: Arc::new(Mutex::new(fs)),
             artifacts: ArtifactStore::new(),
-            scheduler: Scheduler::new(cluster, config.policy).with_obs(Arc::clone(&obs)),
+            scheduler,
             pool,
             compile_cache: toolchain::CompileCache::new(config.compile_cache_capacity),
             obs,
             config,
             admin_bootstrapped: false,
+            recovery,
+            wal_enabled,
+            wal_open_error,
         }
     }
 
-    /// Create the first (admin) account. Callable exactly once.
+    /// Create the first (admin) account. Callable exactly once per boot.
+    /// After a crash recovery the account's files already exist in the
+    /// vfs; only the credential store (which is not journaled) is
+    /// repopulated.
     pub fn bootstrap_admin(&mut self, name: &str, password: &str) -> Result<(), PortalError> {
         if self.admin_bootstrapped {
             return Err(PortalError::Bootstrap("admin already exists"));
         }
         self.users.register(name, password, Role::Admin)?;
-        self.fs.lock().add_user(name, u64::MAX)?;
+        match self.fs.lock().add_user(name, u64::MAX) {
+            Ok(()) | Err(VfsError::UserExists(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
         self.admin_bootstrapped = true;
         Ok(())
     }
@@ -160,8 +348,12 @@ impl Portal {
             return Err(PortalError::Forbidden("user creation requires admin"));
         }
         self.users.register(name, password, role)?;
-        self.fs.lock().add_user(name, self.config.default_quota)?;
-        Ok(())
+        // After a crash recovery the home directory may already exist
+        // (the vfs is journaled; the credential store is not).
+        match self.fs.lock().add_user(name, self.config.default_quota) {
+            Ok(()) | Err(VfsError::UserExists(_)) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// All usernames (admin only).
@@ -528,23 +720,24 @@ impl Portal {
                 &self.obs,
             );
             let ipt = self.config.instructions_per_tick.max(1);
-            if let Ok(job) = self.scheduler.job_mut(id) {
-                match report {
-                    Ok(r) => {
-                        if let Some(out) = &r.outcome {
-                            job.streams.stdout = out.stdout.clone();
-                            job.spec.actual_ticks = out.executed / ipt + 1;
-                        }
-                        if let Some(e) = &r.error {
-                            job.streams.stderr = e.to_string();
-                            job.spec.actual_ticks = 1;
-                        }
-                    }
-                    Err(e) => {
-                        job.streams.stderr = e.to_string();
-                        job.spec.actual_ticks = 1;
-                    }
-                }
+            // Route the outcome through the scheduler so it lands in the
+            // journal: VM output is not re-derivable at recovery time.
+            let (stdout, stderr, ticks) = match &report {
+                Ok(r) => (
+                    r.outcome.as_ref().map(|o| o.stdout.clone()),
+                    r.error.as_ref().map(|e| e.to_string()),
+                    match (&r.error, &r.outcome) {
+                        (Some(_), _) => Some(1),
+                        (None, Some(o)) => Some(o.executed / ipt + 1),
+                        (None, None) => None,
+                    },
+                ),
+                Err(e) => (None, Some(e.to_string()), Some(1)),
+            };
+            if stdout.is_some() || stderr.is_some() || ticks.is_some() {
+                let _ = self
+                    .scheduler
+                    .set_outcome(id, stdout.as_deref(), stderr.as_deref(), ticks);
             }
         }
         dispatched
@@ -591,12 +784,12 @@ impl Portal {
         now: u64,
     ) -> Result<(), PortalError> {
         let (user, role) = self.whoami(token, now)?;
-        let j = self.scheduler.job_mut(id)?;
+        let j = self.scheduler.job(id)?;
         if j.spec.user != user && !role.at_least(Role::Admin) {
             return Err(PortalError::Forbidden("job belongs to another user"));
         }
-        j.streams.push_stdin(line);
-        Ok(())
+        // Through the scheduler (not job_mut) so the line is journaled.
+        Ok(self.scheduler.push_stdin(id, line)?)
     }
 
     /// Cancel a job (owner or admin). Jobs already gone to a fault get the
@@ -689,7 +882,38 @@ impl Portal {
             nodes_down,
             queue_depth: self.scheduler.pending().len(),
             jobs_running: self.scheduler.running_count(),
+            durable: self.wal_enabled,
+            recovery: self.recovery.clone(),
+            wal_error: self.wal_error(),
         }
+    }
+
+    /// True when mutations are being journaled to disk.
+    pub fn durable(&self) -> bool {
+        self.wal_enabled
+    }
+
+    /// What each WAL stream went through at boot (empty for in-memory
+    /// portals).
+    pub fn recovery_reports(&self) -> &[RecoveryView] {
+        &self.recovery
+    }
+
+    /// The first durability failure, if any: the WAL could not be opened
+    /// at boot, or an append/fsync failed mid-run (the filesystem surfaces
+    /// those as errors; the scheduler records them here and keeps going).
+    pub fn wal_error(&self) -> Option<String> {
+        self.wal_open_error
+            .clone()
+            .or_else(|| self.scheduler.wal_error().map(|e| e.to_string()))
+    }
+
+    /// Force both journals to disk (shutdown hook; group commit otherwise
+    /// decides when fsyncs happen).
+    pub fn flush_wal(&mut self) -> Result<(), PortalError> {
+        self.fs.lock().flush_wal()?;
+        self.scheduler.flush_wal()?;
+        Ok(())
     }
 
     /// A job's life story — submitted, queued, dispatched, retried,

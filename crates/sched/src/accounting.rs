@@ -70,6 +70,12 @@ impl Accounting {
         self.users.get(user)
     }
 
+    /// Overwrite one user's usage wholesale (snapshot restore during crash
+    /// recovery; normal accounting goes through the `record_*` methods).
+    pub fn set_usage(&mut self, user: &str, usage: UserUsage) {
+        self.users.insert(user.to_string(), usage);
+    }
+
     /// All users' usage, name-ordered.
     pub fn all(&self) -> impl Iterator<Item = (&str, &UserUsage)> {
         self.users.iter().map(|(k, v)| (k.as_str(), v))

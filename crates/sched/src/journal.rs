@@ -1,0 +1,461 @@
+//! Durability records and codecs for the scheduler.
+//!
+//! The scheduler is *command*-logged: every externally driven mutation —
+//! submit, cancel, tick, drain/undrain, stdin pushes, outcome writes —
+//! appends one [`SchedRecord`]. Replay re-executes the same commands, in
+//! order, against a scheduler built with identical configuration. The only
+//! randomness is the snapshot-able [`crate::rng::JitterRng`], so a replayed
+//! schedule is identical to the original: same dispatches, same backoffs,
+//! same accounting.
+//!
+//! Snapshots capture the full scheduler state (jobs, queue, clock, RNG,
+//! accounting ledger, node health); the codec helpers live here, next to
+//! the record codec, while [`crate::Scheduler`] drives them from `queue.rs`
+//! where its private fields are visible.
+
+use crate::job::{JobId, JobKind, JobSpec, JobState, StdStreams};
+use crate::retry::RetryPolicy;
+use cluster::{Allocation, NodeHealth, SlaveId};
+use std::collections::BTreeMap;
+use wal::{CodecError, Dec, Enc};
+
+/// One logged scheduler command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedRecord {
+    /// `submit(spec)` — job ids are assigned deterministically, so the
+    /// record does not need to carry the resulting id.
+    Submit {
+        /// The submission.
+        spec: JobSpec,
+    },
+    /// `cancel(id)`.
+    Cancel {
+        /// The job.
+        id: JobId,
+    },
+    /// One `tick()` — completions, faults, recovery and dispatch all
+    /// re-derive deterministically from state + config.
+    Tick,
+    /// `drain_node(node)`.
+    DrainNode {
+        /// The node.
+        node: SlaveId,
+    },
+    /// `undrain_node(node)`.
+    UndrainNode {
+        /// The node.
+        node: SlaveId,
+    },
+    /// `push_stdin(id, line)`.
+    PushStdin {
+        /// The job.
+        id: JobId,
+        /// The input line.
+        line: String,
+    },
+    /// `set_outcome(id, ..)` — stream output and runtime discovered by the
+    /// execution engine, which the scheduler cannot re-derive on its own.
+    SetOutcome {
+        /// The job.
+        id: JobId,
+        /// Text appended to stdout, if any.
+        stdout: Option<String>,
+        /// Text appended to stderr, if any.
+        stderr: Option<String>,
+        /// Revised actual runtime in ticks, if known.
+        actual_ticks: Option<u64>,
+    },
+}
+
+const TAG_SUBMIT: u8 = 0;
+const TAG_CANCEL: u8 = 1;
+const TAG_TICK: u8 = 2;
+const TAG_DRAIN: u8 = 3;
+const TAG_UNDRAIN: u8 = 4;
+const TAG_PUSH_STDIN: u8 = 5;
+const TAG_SET_OUTCOME: u8 = 6;
+
+impl SchedRecord {
+    /// Serialize to a WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            SchedRecord::Submit { spec } => {
+                e.u8(TAG_SUBMIT);
+                enc_spec(&mut e, spec);
+            }
+            SchedRecord::Cancel { id } => {
+                e.u8(TAG_CANCEL).u64(id.0);
+            }
+            SchedRecord::Tick => {
+                e.u8(TAG_TICK);
+            }
+            SchedRecord::DrainNode { node } => {
+                e.u8(TAG_DRAIN);
+                enc_node(&mut e, *node);
+            }
+            SchedRecord::UndrainNode { node } => {
+                e.u8(TAG_UNDRAIN);
+                enc_node(&mut e, *node);
+            }
+            SchedRecord::PushStdin { id, line } => {
+                e.u8(TAG_PUSH_STDIN).u64(id.0).str(line);
+            }
+            SchedRecord::SetOutcome {
+                id,
+                stdout,
+                stderr,
+                actual_ticks,
+            } => {
+                e.u8(TAG_SET_OUTCOME)
+                    .u64(id.0)
+                    .opt_str(stdout.as_deref())
+                    .opt_str(stderr.as_deref())
+                    .opt_u64(*actual_ticks);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Parse a WAL payload back into a record.
+    pub fn decode(payload: &[u8]) -> Result<SchedRecord, CodecError> {
+        let mut d = Dec::new(payload);
+        let rec = match d.u8()? {
+            TAG_SUBMIT => SchedRecord::Submit {
+                spec: dec_spec(&mut d)?,
+            },
+            TAG_CANCEL => SchedRecord::Cancel {
+                id: JobId(d.u64()?),
+            },
+            TAG_TICK => SchedRecord::Tick,
+            TAG_DRAIN => SchedRecord::DrainNode {
+                node: dec_node(&mut d)?,
+            },
+            TAG_UNDRAIN => SchedRecord::UndrainNode {
+                node: dec_node(&mut d)?,
+            },
+            TAG_PUSH_STDIN => SchedRecord::PushStdin {
+                id: JobId(d.u64()?),
+                line: d.str()?,
+            },
+            TAG_SET_OUTCOME => SchedRecord::SetOutcome {
+                id: JobId(d.u64()?),
+                stdout: d.opt_str()?,
+                stderr: d.opt_str()?,
+                actual_ticks: d.opt_u64()?,
+            },
+            _ => return Err(CodecError("unknown sched record tag")),
+        };
+        d.finish()?;
+        Ok(rec)
+    }
+}
+
+// ---- snapshot codec helpers (shared with queue.rs) -----------------------
+
+pub(crate) fn enc_node(e: &mut Enc, n: SlaveId) {
+    e.u64(n.segment as u64).u64(n.slot as u64);
+}
+
+pub(crate) fn dec_node(d: &mut Dec) -> Result<SlaveId, CodecError> {
+    Ok(SlaveId {
+        segment: d.u64()? as usize,
+        slot: d.u64()? as usize,
+    })
+}
+
+pub(crate) fn enc_health(e: &mut Enc, h: NodeHealth) {
+    e.u8(match h {
+        NodeHealth::Up => 0,
+        NodeHealth::Draining => 1,
+        NodeHealth::Down => 2,
+    });
+}
+
+pub(crate) fn dec_health(d: &mut Dec) -> Result<NodeHealth, CodecError> {
+    match d.u8()? {
+        0 => Ok(NodeHealth::Up),
+        1 => Ok(NodeHealth::Draining),
+        2 => Ok(NodeHealth::Down),
+        _ => Err(CodecError("bad node health tag")),
+    }
+}
+
+pub(crate) fn enc_retry(e: &mut Enc, p: &RetryPolicy) {
+    e.u32(p.max_attempts)
+        .u64(p.base_backoff)
+        .u64(p.max_backoff)
+        .u64(p.jitter);
+}
+
+pub(crate) fn dec_retry(d: &mut Dec) -> Result<RetryPolicy, CodecError> {
+    Ok(RetryPolicy {
+        max_attempts: d.u32()?,
+        base_backoff: d.u64()?,
+        max_backoff: d.u64()?,
+        jitter: d.u64()?,
+    })
+}
+
+pub(crate) fn enc_spec(e: &mut Enc, s: &JobSpec) {
+    e.str(&s.user).str(&s.executable);
+    match s.kind {
+        JobKind::Sequential => {
+            e.u8(0);
+        }
+        JobKind::Parallel { cores } => {
+            e.u8(1).u32(cores);
+        }
+        JobKind::Interactive => {
+            e.u8(2);
+        }
+    }
+    e.u64(s.estimated_ticks)
+        .u64(s.actual_ticks)
+        .opt_u64(s.timeout_ticks);
+    match &s.retry {
+        Some(p) => {
+            e.bool(true);
+            enc_retry(e, p);
+        }
+        None => {
+            e.bool(false);
+        }
+    }
+}
+
+pub(crate) fn dec_spec(d: &mut Dec) -> Result<JobSpec, CodecError> {
+    let user = d.str()?;
+    let executable = d.str()?;
+    let kind = match d.u8()? {
+        0 => JobKind::Sequential,
+        1 => JobKind::Parallel { cores: d.u32()? },
+        2 => JobKind::Interactive,
+        _ => return Err(CodecError("bad job kind tag")),
+    };
+    Ok(JobSpec {
+        user,
+        executable,
+        kind,
+        estimated_ticks: d.u64()?,
+        actual_ticks: d.u64()?,
+        timeout_ticks: d.opt_u64()?,
+        retry: if d.bool()? { Some(dec_retry(d)?) } else { None },
+    })
+}
+
+pub(crate) fn enc_state(e: &mut Enc, s: &JobState) {
+    match s {
+        JobState::Pending => {
+            e.u8(0);
+        }
+        JobState::Running { started_at } => {
+            e.u8(1).u64(*started_at);
+        }
+        JobState::Completed { at } => {
+            e.u8(2).u64(*at);
+        }
+        JobState::Cancelled { at } => {
+            e.u8(3).u64(*at);
+        }
+        JobState::Failed { at, reason } => {
+            e.u8(4).u64(*at).str(reason);
+        }
+        JobState::Requeued { attempt, retry_at } => {
+            e.u8(5).u32(*attempt).u64(*retry_at);
+        }
+        JobState::TimedOut { at } => {
+            e.u8(6).u64(*at);
+        }
+        JobState::NodeLost { at, attempts } => {
+            e.u8(7).u64(*at).u32(*attempts);
+        }
+    }
+}
+
+pub(crate) fn dec_state(d: &mut Dec) -> Result<JobState, CodecError> {
+    Ok(match d.u8()? {
+        0 => JobState::Pending,
+        1 => JobState::Running {
+            started_at: d.u64()?,
+        },
+        2 => JobState::Completed { at: d.u64()? },
+        3 => JobState::Cancelled { at: d.u64()? },
+        4 => JobState::Failed {
+            at: d.u64()?,
+            reason: d.str()?,
+        },
+        5 => JobState::Requeued {
+            attempt: d.u32()?,
+            retry_at: d.u64()?,
+        },
+        6 => JobState::TimedOut { at: d.u64()? },
+        7 => JobState::NodeLost {
+            at: d.u64()?,
+            attempts: d.u32()?,
+        },
+        _ => return Err(CodecError("bad job state tag")),
+    })
+}
+
+pub(crate) fn enc_streams(e: &mut Enc, s: &StdStreams) {
+    e.str(&s.stdout).str(&s.stderr).u32(s.stdin.len() as u32);
+    for line in &s.stdin {
+        e.str(line);
+    }
+}
+
+pub(crate) fn dec_streams(d: &mut Dec) -> Result<StdStreams, CodecError> {
+    let stdout = d.str()?;
+    let stderr = d.str()?;
+    let n = d.u32()?;
+    let mut stdin = std::collections::VecDeque::new();
+    for _ in 0..n {
+        stdin.push_back(d.str()?);
+    }
+    Ok(StdStreams {
+        stdout,
+        stderr,
+        stdin,
+    })
+}
+
+pub(crate) fn enc_alloc(e: &mut Enc, a: &Allocation) {
+    e.u32(a.cores.len() as u32);
+    for (&node, &take) in &a.cores {
+        enc_node(e, node);
+        e.u32(take);
+    }
+}
+
+pub(crate) fn dec_alloc(d: &mut Dec) -> Result<Allocation, CodecError> {
+    let n = d.u32()?;
+    let mut cores = BTreeMap::new();
+    for _ in 0..n {
+        let node = dec_node(d)?;
+        cores.insert(node, d.u32()?);
+    }
+    Ok(Allocation { cores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let records = vec![
+            SchedRecord::Submit {
+                spec: JobSpec::parallel("alice", "solver", 8, 40)
+                    .with_timeout(500)
+                    .with_retry(RetryPolicy::fixed(3, 5)),
+            },
+            SchedRecord::Submit {
+                spec: JobSpec::interactive("bob", "shell"),
+            },
+            SchedRecord::Cancel { id: JobId(7) },
+            SchedRecord::Tick,
+            SchedRecord::DrainNode {
+                node: SlaveId {
+                    segment: 1,
+                    slot: 3,
+                },
+            },
+            SchedRecord::UndrainNode {
+                node: SlaveId {
+                    segment: 0,
+                    slot: 0,
+                },
+            },
+            SchedRecord::PushStdin {
+                id: JobId(3),
+                line: "42".into(),
+            },
+            SchedRecord::SetOutcome {
+                id: JobId(3),
+                stdout: Some("hello\n".into()),
+                stderr: None,
+                actual_ticks: Some(12),
+            },
+        ];
+        for r in records {
+            assert_eq!(SchedRecord::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn garbage_payload_rejected() {
+        assert!(SchedRecord::decode(&[0xee]).is_err());
+        assert!(SchedRecord::decode(&[]).is_err());
+        // Trailing bytes after a valid record are an error too.
+        let mut bytes = SchedRecord::Tick.encode();
+        bytes.push(0);
+        assert!(SchedRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn state_and_stream_helpers_roundtrip() {
+        let states = vec![
+            JobState::Pending,
+            JobState::Running { started_at: 4 },
+            JobState::Completed { at: 9 },
+            JobState::Cancelled { at: 2 },
+            JobState::Failed {
+                at: 3,
+                reason: "node down".into(),
+            },
+            JobState::Requeued {
+                attempt: 2,
+                retry_at: 17,
+            },
+            JobState::TimedOut { at: 30 },
+            JobState::NodeLost {
+                at: 31,
+                attempts: 3,
+            },
+        ];
+        for s in states {
+            let mut e = Enc::new();
+            enc_state(&mut e, &s);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            assert_eq!(dec_state(&mut d).unwrap(), s);
+            d.finish().unwrap();
+        }
+
+        let mut streams = StdStreams {
+            stdout: "out".into(),
+            stderr: "err".into(),
+            stdin: Default::default(),
+        };
+        streams.push_stdin("a");
+        streams.push_stdin("b");
+        let mut e = Enc::new();
+        enc_streams(&mut e, &streams);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(dec_streams(&mut d).unwrap(), streams);
+
+        let mut cores = BTreeMap::new();
+        cores.insert(
+            SlaveId {
+                segment: 0,
+                slot: 1,
+            },
+            4,
+        );
+        cores.insert(
+            SlaveId {
+                segment: 2,
+                slot: 0,
+            },
+            2,
+        );
+        let alloc = Allocation { cores };
+        let mut e = Enc::new();
+        enc_alloc(&mut e, &alloc);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(dec_alloc(&mut d).unwrap().cores, alloc.cores);
+    }
+}

@@ -13,7 +13,10 @@
 //!   per-job timeouts and admin drain/undrain;
 //! * [`retry`] — bounded-attempt retry with deterministic exponential
 //!   backoff for jobs that lose their node;
-//! * [`accounting`] — per-user usage records and fair-share statistics.
+//! * [`accounting`] — per-user usage records and fair-share statistics;
+//! * [`journal`] — command log records and snapshot codecs so the whole
+//!   scheduler survives a crash via the portal's write-ahead log;
+//! * [`rng`] — the serializable jitter RNG whose state snapshots cleanly.
 //!
 //! ```
 //! use sched::{JobSpec, Scheduler, SchedPolicyKind};
@@ -28,14 +31,18 @@
 
 pub mod accounting;
 pub mod job;
+pub mod journal;
 pub mod policy;
 pub mod queue;
 pub mod retry;
+pub mod rng;
 pub mod workload;
 
 pub use accounting::{Accounting, UserUsage};
 pub use job::{JobId, JobKind, JobRecord, JobSpec, JobState, StdStreams};
+pub use journal::SchedRecord;
 pub use policy::SchedPolicyKind;
 pub use queue::{SchedError, Scheduler};
 pub use retry::RetryPolicy;
+pub use rng::JitterRng;
 pub use workload::{replay, Arrival, ReplayReport, WorkloadSpec};

@@ -4,11 +4,11 @@
 //! [`RetryPolicy`] to decide whether the job goes back into the queue
 //! (after a backoff computed here) or terminates as lost. Backoff is
 //! exponential in the attempt number with an optional jitter term drawn
-//! from the scheduler's seeded RNG, so whole recovery schedules replay
-//! identically for a given seed.
+//! from the scheduler's seeded [`JitterRng`], so whole recovery schedules
+//! replay identically for a given seed — and, because the RNG state is
+//! snapshot-able, identically across a crash/recovery boundary too.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::JitterRng;
 use serde::{Deserialize, Serialize};
 
 /// How (and how often) a job is retried after losing its node.
@@ -67,14 +67,14 @@ impl RetryPolicy {
     /// Deterministic given the RNG state: exponential growth from
     /// [`RetryPolicy::base_backoff`], capped at [`RetryPolicy::max_backoff`],
     /// plus up to [`RetryPolicy::jitter`] extra ticks.
-    pub fn backoff_ticks(&self, attempt: u32, rng: &mut StdRng) -> u64 {
+    pub fn backoff_ticks(&self, attempt: u32, rng: &mut JitterRng) -> u64 {
         let shift = attempt.saturating_sub(1).min(32);
         let exp = self.base_backoff.saturating_mul(1u64 << shift);
         let capped = exp.min(self.max_backoff.max(self.base_backoff));
         if self.jitter == 0 {
             capped
         } else {
-            capped + rng.gen_range(0..=self.jitter)
+            capped + rng.gen_inclusive(self.jitter)
         }
     }
 }
@@ -82,7 +82,6 @@ impl RetryPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn backoff_grows_exponentially_and_caps() {
@@ -92,7 +91,7 @@ mod tests {
             max_backoff: 16,
             jitter: 0,
         };
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = JitterRng::seed(0);
         assert_eq!(p.backoff_ticks(1, &mut rng), 2);
         assert_eq!(p.backoff_ticks(2, &mut rng), 4);
         assert_eq!(p.backoff_ticks(3, &mut rng), 8);
@@ -109,11 +108,11 @@ mod tests {
             jitter: 3,
         };
         let draws: Vec<u64> = (0..32)
-            .map(|i| p.backoff_ticks(1, &mut StdRng::seed_from_u64(i)))
+            .map(|i| p.backoff_ticks(1, &mut JitterRng::seed(i)))
             .collect();
         assert!(draws.iter().all(|&b| (4..=7).contains(&b)), "{draws:?}");
         let again: Vec<u64> = (0..32)
-            .map(|i| p.backoff_ticks(1, &mut StdRng::seed_from_u64(i)))
+            .map(|i| p.backoff_ticks(1, &mut JitterRng::seed(i)))
             .collect();
         assert_eq!(draws, again);
     }
@@ -138,7 +137,7 @@ mod tests {
         };
         assert!(p.can_retry(0), "max_attempts is clamped to 1");
         assert!(!p.can_retry(1));
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = JitterRng::seed(9);
         assert_eq!(p.backoff_ticks(40, &mut rng), 0);
     }
 }

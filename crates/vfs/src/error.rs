@@ -53,6 +53,9 @@ pub enum VfsError {
         /// Destination path.
         to: String,
     },
+    /// The durability log failed (the in-memory mutation already committed;
+    /// callers decide whether to surface or degrade to non-durable mode).
+    Wal(String),
 }
 
 impl fmt::Display for VfsError {
@@ -83,6 +86,7 @@ impl fmt::Display for VfsError {
             VfsError::MoveIntoSelf { from, to } => {
                 write!(f, "cannot move {from} into its own subtree {to}")
             }
+            VfsError::Wal(msg) => write!(f, "durability log: {msg}"),
         }
     }
 }

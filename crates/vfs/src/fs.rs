@@ -5,8 +5,10 @@
 //! home directory `/home/<user>` that only they (and `root`) can touch.
 
 use crate::error::VfsError;
+use crate::journal::{decode_mode, encode_mode, VfsRecord};
 use crate::path::VPath;
 use std::collections::{BTreeMap, HashMap};
+use wal::{Dec, Enc, Journal, Recovered};
 
 /// Simplified POSIX-style permission bits: owner and world, read and write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +178,8 @@ pub struct Vfs {
     root: Node,
     users: HashMap<String, UserAccount>,
     clock: u64,
+    /// Durability log; `None` runs fully in memory (the default).
+    journal: Option<Journal>,
 }
 
 impl Default for Vfs {
@@ -215,6 +219,7 @@ impl Vfs {
             },
             users,
             clock: 1,
+            journal: None,
         }
     }
 
@@ -225,6 +230,14 @@ impl Vfs {
 
     /// Register a user with a byte quota and create `/home/<user>` (private).
     pub fn add_user(&mut self, user: &str, quota_bytes: u64) -> Result<(), VfsError> {
+        self.add_user_inner(user, quota_bytes)?;
+        self.log(|| VfsRecord::AddUser {
+            user: user.to_string(),
+            quota: quota_bytes,
+        })
+    }
+
+    fn add_user_inner(&mut self, user: &str, quota_bytes: u64) -> Result<(), VfsError> {
         if self.users.contains_key(user) {
             return Err(VfsError::UserExists(user.to_string()));
         }
@@ -421,7 +434,11 @@ impl Vfs {
     /// Create a directory (parent must exist and be writable by `user`).
     pub fn mkdir(&mut self, user: &str, path: &str) -> Result<(), VfsError> {
         let p = VPath::parse(path)?;
-        self.mkdir_as(user, &p)
+        self.mkdir_as(user, &p)?;
+        self.log(|| VfsRecord::Mkdir {
+            user: user.to_string(),
+            path: path.to_string(),
+        })
     }
 
     fn mkdir_as(&mut self, user: &str, p: &VPath) -> Result<(), VfsError> {
@@ -432,8 +449,8 @@ impl Vfs {
         if self.exists_node(p) {
             return Err(VfsError::AlreadyExists(p.to_string()));
         }
+        let name = leaf_name(p)?;
         let t = self.tick();
-        let name = p.file_name().expect("non-root path has a name").to_string();
         let meta = Meta {
             owner: user.to_string(),
             mode: Mode::default(),
@@ -456,6 +473,14 @@ impl Vfs {
 
     /// Create all missing directories along `path`.
     pub fn mkdir_p(&mut self, user: &str, path: &str) -> Result<(), VfsError> {
+        self.mkdir_p_inner(user, path)?;
+        self.log(|| VfsRecord::MkdirP {
+            user: user.to_string(),
+            path: path.to_string(),
+        })
+    }
+
+    fn mkdir_p_inner(&mut self, user: &str, path: &str) -> Result<(), VfsError> {
         let p = VPath::parse(path)?;
         let mut cur = VPath::root();
         for comp in p.components() {
@@ -471,6 +496,22 @@ impl Vfs {
     /// the *file owner* (the acting user for new files; unchanged for
     /// overwrites of files they can write).
     pub fn write(&mut self, user: &str, path: &str, data: Vec<u8>) -> Result<(), VfsError> {
+        let payload = self.journal.is_some().then(|| {
+            VfsRecord::Write {
+                user: user.to_string(),
+                path: path.to_string(),
+                data: data.clone(),
+            }
+            .encode()
+        });
+        self.write_inner(user, path, data)?;
+        match payload {
+            Some(p) => self.log_payload(&p),
+            None => Ok(()),
+        }
+    }
+
+    fn write_inner(&mut self, user: &str, path: &str, data: Vec<u8>) -> Result<(), VfsError> {
         let p = VPath::parse(path)?;
         self.require_user(user)?;
         self.check_traverse(user, &p)?;
@@ -496,9 +537,9 @@ impl Vfs {
             }
             Err(VfsError::NotFound(_)) => {
                 self.check_dir_writable(user, &parent)?;
+                let name = leaf_name(&p)?;
                 self.charge(user, data.len() as u64, 0)?;
                 let t = self.tick();
-                let name = p.file_name().expect("non-root").to_string();
                 let meta = Meta {
                     owner: user.to_string(),
                     mode: Mode::default(),
@@ -518,15 +559,24 @@ impl Vfs {
 
     /// Append to an existing file (creating it if absent).
     pub fn append(&mut self, user: &str, path: &str, extra: &[u8]) -> Result<(), VfsError> {
+        self.append_inner(user, path, extra)?;
+        self.log(|| VfsRecord::Append {
+            user: user.to_string(),
+            path: path.to_string(),
+            data: extra.to_vec(),
+        })
+    }
+
+    fn append_inner(&mut self, user: &str, path: &str, extra: &[u8]) -> Result<(), VfsError> {
         let p = VPath::parse(path)?;
         match self.node(&p) {
             Ok(Node::File { data, .. }) => {
                 let mut combined = data.clone();
                 combined.extend_from_slice(extra);
-                self.write(user, path, combined)
+                self.write_inner(user, path, combined)
             }
             Ok(Node::Dir { .. }) => Err(VfsError::IsADirectory(p.to_string())),
-            Err(VfsError::NotFound(_)) => self.write(user, path, extra.to_vec()),
+            Err(VfsError::NotFound(_)) => self.write_inner(user, path, extra.to_vec()),
             Err(e) => Err(e),
         }
     }
@@ -604,6 +654,15 @@ impl Vfs {
 
     /// Change an entry's permission bits (owner or root only).
     pub fn chmod(&mut self, user: &str, path: &str, mode: Mode) -> Result<(), VfsError> {
+        self.chmod_inner(user, path, mode)?;
+        self.log(|| VfsRecord::Chmod {
+            user: user.to_string(),
+            path: path.to_string(),
+            mode,
+        })
+    }
+
+    fn chmod_inner(&mut self, user: &str, path: &str, mode: Mode) -> Result<(), VfsError> {
         let p = VPath::parse(path)?;
         self.require_user(user)?;
         self.check_traverse(user, &p)?;
@@ -624,12 +683,20 @@ impl Vfs {
 
     /// Remove a file or *empty* directory.
     pub fn remove(&mut self, user: &str, path: &str) -> Result<(), VfsError> {
-        self.remove_inner(user, path, false)
+        self.remove_inner(user, path, false)?;
+        self.log(|| VfsRecord::Remove {
+            user: user.to_string(),
+            path: path.to_string(),
+        })
     }
 
     /// Remove a file or directory subtree.
     pub fn remove_recursive(&mut self, user: &str, path: &str) -> Result<(), VfsError> {
-        self.remove_inner(user, path, true)
+        self.remove_inner(user, path, true)?;
+        self.log(|| VfsRecord::RemoveRecursive {
+            user: user.to_string(),
+            path: path.to_string(),
+        })
     }
 
     fn remove_inner(&mut self, user: &str, path: &str, recursive: bool) -> Result<(), VfsError> {
@@ -648,10 +715,12 @@ impl Vfs {
                 return Err(VfsError::DirectoryNotEmpty(p.to_string()));
             }
         }
-        let name = p.file_name().expect("non-root").to_string();
+        let name = leaf_name(&p)?;
         let removed = match self.node_mut(&parent)? {
-            Node::Dir { children, .. } => children.remove(&name).expect("checked above"),
-            Node::File { .. } => unreachable!("parent checked as dir"),
+            Node::Dir { children, .. } => children
+                .remove(&name)
+                .ok_or_else(|| VfsError::NotFound(p.to_string()))?,
+            Node::File { .. } => return Err(VfsError::NotADirectory(parent.to_string())),
         };
         self.refund_subtree(&removed);
         let t = self.tick();
@@ -662,6 +731,15 @@ impl Vfs {
     /// Copy a file or directory subtree. The copy is owned by `user` and
     /// charged to their quota.
     pub fn copy(&mut self, user: &str, from: &str, to: &str) -> Result<(), VfsError> {
+        self.copy_inner(user, from, to)?;
+        self.log(|| VfsRecord::Copy {
+            user: user.to_string(),
+            from: from.to_string(),
+            to: to.to_string(),
+        })
+    }
+
+    fn copy_inner(&mut self, user: &str, from: &str, to: &str) -> Result<(), VfsError> {
         let pf = VPath::parse(from)?;
         let pt = VPath::parse(to)?;
         self.require_user(user)?;
@@ -693,10 +771,10 @@ impl Vfs {
         src.usage_by_owner(&mut usage);
         let total: u64 = usage.values().sum();
         self.charge(user, total, 0)?;
+        let name = leaf_name(&pt)?;
         let t = self.tick();
         let mut clone = self.node(&pf)?.clone();
         rebrand(&mut clone, user, t);
-        let name = pt.file_name().expect("non-root").to_string();
         match self.node_mut(&dest_parent)? {
             Node::Dir { children, .. } => {
                 children.insert(name, clone);
@@ -709,6 +787,15 @@ impl Vfs {
     /// Move/rename a file or directory. Ownership and quota charges follow
     /// the entry unchanged.
     pub fn rename(&mut self, user: &str, from: &str, to: &str) -> Result<(), VfsError> {
+        self.rename_inner(user, from, to)?;
+        self.log(|| VfsRecord::Rename {
+            user: user.to_string(),
+            from: from.to_string(),
+            to: to.to_string(),
+        })
+    }
+
+    fn rename_inner(&mut self, user: &str, from: &str, to: &str) -> Result<(), VfsError> {
         let pf = VPath::parse(from)?;
         let pt = VPath::parse(to)?;
         self.require_user(user)?;
@@ -734,13 +821,15 @@ impl Vfs {
         self.node(&pf)?; // existence check before any mutation
         self.check_dir_writable(user, &src_parent)?;
         self.check_dir_writable(user, &dst_parent)?;
-        let name_from = pf.file_name().expect("non-root").to_string();
+        let name_from = leaf_name(&pf)?;
+        let name_to = leaf_name(&pt)?;
         let taken = match self.node_mut(&src_parent)? {
-            Node::Dir { children, .. } => children.remove(&name_from).expect("existence checked"),
-            Node::File { .. } => unreachable!("parent checked as dir"),
+            Node::Dir { children, .. } => children
+                .remove(&name_from)
+                .ok_or_else(|| VfsError::NotFound(pf.to_string()))?,
+            Node::File { .. } => return Err(VfsError::NotADirectory(src_parent.to_string())),
         };
         let t = self.tick();
-        let name_to = pt.file_name().expect("non-root").to_string();
         match self.node_mut(&dst_parent)? {
             Node::Dir { children, .. } => {
                 children.insert(name_to, taken);
@@ -768,6 +857,222 @@ impl Vfs {
         let mut out = Vec::new();
         walk_inner(node, &p.to_string(), &mut out);
         Ok(out)
+    }
+
+    // ---- durability ------------------------------------------------------
+
+    /// Attach a durability journal. Subsequent mutations are logged to it;
+    /// open the journal (and apply its [`Recovered`] state via
+    /// [`Vfs::recover`]) *before* attaching.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// Force buffered log records to stable storage (no-op without journal).
+    pub fn flush_wal(&mut self) -> Result<(), VfsError> {
+        match self.journal.as_mut() {
+            Some(j) => j.flush().map_err(|e| VfsError::Wal(e.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    /// Highest LSN known durable, `None` when no journal is attached.
+    pub fn wal_durable_lsn(&self) -> Option<u64> {
+        self.journal.as_ref().map(|j| j.durable_lsn())
+    }
+
+    /// Highest LSN appended (durable or not), `None` without a journal.
+    pub fn wal_last_lsn(&self) -> Option<u64> {
+        self.journal.as_ref().map(|j| j.last_lsn())
+    }
+
+    fn log(&mut self, make: impl FnOnce() -> VfsRecord) -> Result<(), VfsError> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let payload = make().encode();
+        self.log_payload(&payload)
+    }
+
+    fn log_payload(&mut self, payload: &[u8]) -> Result<(), VfsError> {
+        // Take the journal so a snapshot can borrow `self` while appending.
+        let Some(mut j) = self.journal.take() else {
+            return Ok(());
+        };
+        let res = j.append(payload).and_then(|_| {
+            if j.wants_snapshot() {
+                let snap = self.snapshot_bytes();
+                j.install_snapshot(&snap)?;
+            }
+            Ok(())
+        });
+        self.journal = Some(j);
+        res.map(|_| ()).map_err(|e| VfsError::Wal(e.to_string()))
+    }
+
+    /// Re-execute one logged record (replay path; nothing is re-logged).
+    pub fn apply(&mut self, rec: &VfsRecord) -> Result<(), VfsError> {
+        match rec {
+            VfsRecord::AddUser { user, quota } => self.add_user_inner(user, *quota),
+            VfsRecord::Mkdir { user, path } => {
+                let p = VPath::parse(path)?;
+                self.mkdir_as(user, &p)
+            }
+            VfsRecord::MkdirP { user, path } => self.mkdir_p_inner(user, path),
+            VfsRecord::Write { user, path, data } => self.write_inner(user, path, data.clone()),
+            VfsRecord::Append { user, path, data } => self.append_inner(user, path, data),
+            VfsRecord::Chmod { user, path, mode } => self.chmod_inner(user, path, *mode),
+            VfsRecord::Remove { user, path } => self.remove_inner(user, path, false),
+            VfsRecord::RemoveRecursive { user, path } => self.remove_inner(user, path, true),
+            VfsRecord::Copy { user, from, to } => self.copy_inner(user, from, to),
+            VfsRecord::Rename { user, from, to } => self.rename_inner(user, from, to),
+        }
+    }
+
+    /// Canonical byte serialization of the entire filesystem (the snapshot
+    /// payload). Deterministic: equal filesystems encode identically, which
+    /// is what the crash-recovery property test compares.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(SNAP_VERSION).u64(self.clock);
+        let mut names: Vec<&String> = self.users.keys().collect();
+        names.sort();
+        e.u32(names.len() as u32);
+        for name in names {
+            let a = &self.users[name];
+            e.str(name).u64(a.quota_limit).u64(a.quota_used);
+        }
+        encode_node(&mut e, &self.root);
+        e.into_bytes()
+    }
+
+    /// Rebuild a filesystem from a [`Vfs::snapshot_bytes`] payload.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Vfs, VfsError> {
+        let mut d = Dec::new(bytes);
+        if d.u32().map_err(bad_snap)? != SNAP_VERSION {
+            return Err(VfsError::Wal(
+                "unsupported vfs snapshot version".to_string(),
+            ));
+        }
+        let clock = d.u64().map_err(bad_snap)?;
+        let n_users = d.u32().map_err(bad_snap)?;
+        let mut users = HashMap::new();
+        for _ in 0..n_users {
+            let name = d.str().map_err(bad_snap)?;
+            let quota_limit = d.u64().map_err(bad_snap)?;
+            let quota_used = d.u64().map_err(bad_snap)?;
+            users.insert(
+                name,
+                UserAccount {
+                    quota_limit,
+                    quota_used,
+                },
+            );
+        }
+        let root = decode_node(&mut d, 0).map_err(bad_snap)?;
+        d.finish().map_err(bad_snap)?;
+        Ok(Vfs {
+            root,
+            users,
+            clock,
+            journal: None,
+        })
+    }
+
+    /// Rebuild filesystem state from what [`wal::Journal::open`] recovered:
+    /// seed from the snapshot (or a fresh filesystem), then replay the log
+    /// tail. Returns the filesystem and how many records failed to replay —
+    /// individual bad records are skipped, not fatal, so one corrupt entry
+    /// cannot take the whole portal down.
+    pub fn recover(recovered: &Recovered) -> Result<(Vfs, u64), VfsError> {
+        let mut fs = match &recovered.snapshot {
+            Some(bytes) => Vfs::from_snapshot(bytes)?,
+            None => Vfs::new(),
+        };
+        let mut errors = 0u64;
+        for (_lsn, payload) in &recovered.records {
+            match VfsRecord::decode(payload) {
+                Ok(rec) => {
+                    if fs.apply(&rec).is_err() {
+                        errors += 1;
+                    }
+                }
+                Err(_) => errors += 1,
+            }
+        }
+        Ok((fs, errors))
+    }
+}
+
+const SNAP_VERSION: u32 = 1;
+
+/// Guard against stack exhaustion on adversarial snapshot bytes.
+const MAX_SNAP_DEPTH: u32 = 512;
+
+fn bad_snap(_: wal::CodecError) -> VfsError {
+    VfsError::Wal("truncated or malformed vfs snapshot".to_string())
+}
+
+/// The final path component; a typed error for `/`, which has no name and
+/// can never be created, removed, copied onto, or renamed.
+fn leaf_name(p: &VPath) -> Result<String, VfsError> {
+    p.file_name()
+        .map(str::to_string)
+        .ok_or(VfsError::InvalidPath {
+            path: "/".to_string(),
+            reason: "the root directory has no name",
+        })
+}
+
+fn encode_node(e: &mut Enc, node: &Node) {
+    let m = node.meta();
+    match node {
+        Node::File { data, .. } => {
+            e.u8(0)
+                .str(&m.owner)
+                .u8(encode_mode(m.mode))
+                .u64(m.mtime)
+                .bytes(data);
+        }
+        Node::Dir { children, .. } => {
+            e.u8(1)
+                .str(&m.owner)
+                .u8(encode_mode(m.mode))
+                .u64(m.mtime)
+                .u32(children.len() as u32);
+            for (name, child) in children {
+                e.str(name);
+                encode_node(e, child);
+            }
+        }
+    }
+}
+
+fn decode_node(d: &mut Dec, depth: u32) -> Result<Node, wal::CodecError> {
+    if depth > MAX_SNAP_DEPTH {
+        return Err(wal::CodecError("vfs snapshot nests too deep"));
+    }
+    let tag = d.u8()?;
+    let meta = Meta {
+        owner: d.str()?,
+        mode: decode_mode(d.u8()?),
+        mtime: d.u64()?,
+    };
+    match tag {
+        0 => Ok(Node::File {
+            meta,
+            data: d.bytes()?.to_vec(),
+        }),
+        1 => {
+            let n = d.u32()?;
+            let mut children = BTreeMap::new();
+            for _ in 0..n {
+                let name = d.str()?;
+                children.insert(name, decode_node(d, depth + 1)?);
+            }
+            Ok(Node::Dir { meta, children })
+        }
+        _ => Err(wal::CodecError("bad node tag in vfs snapshot")),
     }
 }
 
@@ -1088,5 +1393,110 @@ mod tests {
         fs.write("alice", "/home/alice/f", b"2".to_vec()).unwrap();
         let t2 = fs.stat("alice", "/home/alice/f").unwrap().mtime;
         assert!(t2 > t1);
+    }
+
+    #[test]
+    fn root_path_mutations_return_typed_errors() {
+        let mut fs = fs_with_alice();
+        assert!(fs.remove("root", "/").is_err());
+        assert!(fs.copy("root", "/home/alice", "/").is_err());
+        assert!(fs.rename("root", "/home", "/").is_err());
+        assert!(fs.mkdir("root", "/").is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_identical() {
+        let mut fs = fs_with_alice();
+        fs.mkdir("alice", "/home/alice/src").unwrap();
+        fs.write("alice", "/home/alice/src/a.c", b"int main(){}".to_vec())
+            .unwrap();
+        fs.chmod("alice", "/home/alice/src", Mode::shared())
+            .unwrap();
+        let snap = fs.snapshot_bytes();
+        let restored = Vfs::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.snapshot_bytes(), snap);
+        assert_eq!(restored.quota("alice").unwrap(), fs.quota("alice").unwrap());
+    }
+
+    #[test]
+    fn corrupt_snapshot_bytes_rejected_not_panic() {
+        assert!(matches!(Vfs::from_snapshot(&[]), Err(VfsError::Wal(_))));
+        let mut snap = fs_with_alice().snapshot_bytes();
+        snap.truncate(snap.len() / 2);
+        assert!(matches!(Vfs::from_snapshot(&snap), Err(VfsError::Wal(_))));
+    }
+
+    #[test]
+    fn journaled_history_replays_to_identical_state() {
+        use wal::{FsyncPolicy, Journal, MemStorage};
+        let storage = MemStorage::new();
+        let (j, _) = Journal::open(Box::new(storage.clone()), FsyncPolicy::Always, 0).unwrap();
+        let mut fs = Vfs::new();
+        fs.attach_journal(j);
+        fs.add_user("alice", 10_000).unwrap();
+        fs.add_user("bob", 1_000).unwrap();
+        fs.mkdir("alice", "/home/alice/src").unwrap();
+        fs.write("alice", "/home/alice/src/main.c", b"int main(){}".to_vec())
+            .unwrap();
+        fs.append("alice", "/home/alice/src/main.c", b"\n").unwrap();
+        fs.chmod("alice", "/home/alice", Mode::default()).unwrap();
+        fs.copy("bob", "/home/alice/src/main.c", "/home/bob/copy.c")
+            .unwrap();
+        fs.rename("alice", "/home/alice/src/main.c", "/home/alice/src/app.c")
+            .unwrap();
+        fs.mkdir_p("alice", "/home/alice/a/b/c").unwrap();
+        fs.remove_recursive("alice", "/home/alice/a").unwrap();
+        let want = fs.snapshot_bytes();
+        drop(fs); // "crash"
+
+        let (_, rec) = Journal::open(Box::new(storage), FsyncPolicy::Always, 0).unwrap();
+        let (recovered, replay_errors) = Vfs::recover(&rec).unwrap();
+        assert_eq!(replay_errors, 0);
+        assert_eq!(recovered.snapshot_bytes(), want);
+    }
+
+    #[test]
+    fn snapshot_compaction_midstream_preserves_state() {
+        use wal::{FsyncPolicy, Journal, MemStorage};
+        let storage = MemStorage::new();
+        // Snapshot every 3 records so compaction fires mid-history.
+        let (j, _) = Journal::open(Box::new(storage.clone()), FsyncPolicy::Always, 3).unwrap();
+        let mut fs = Vfs::new();
+        fs.attach_journal(j);
+        fs.add_user("alice", 100_000).unwrap();
+        for i in 0..10 {
+            fs.write("alice", &format!("/home/alice/f{i}"), vec![i as u8; 10])
+                .unwrap();
+        }
+        let want = fs.snapshot_bytes();
+        drop(fs);
+
+        let (_, rec) = Journal::open(Box::new(storage), FsyncPolicy::Always, 3).unwrap();
+        assert!(rec.report.snapshot_lsn.is_some(), "compaction never fired");
+        let (recovered, replay_errors) = Vfs::recover(&rec).unwrap();
+        assert_eq!(replay_errors, 0);
+        assert_eq!(recovered.snapshot_bytes(), want);
+    }
+
+    #[test]
+    fn failed_operations_are_not_logged() {
+        use wal::{FsyncPolicy, Journal, MemStorage};
+        let storage = MemStorage::new();
+        let (j, _) = Journal::open(Box::new(storage.clone()), FsyncPolicy::Always, 0).unwrap();
+        let mut fs = Vfs::new();
+        fs.attach_journal(j);
+        fs.add_user("bob", 10).unwrap();
+        fs.write("bob", "/home/bob/a", vec![0; 10]).unwrap();
+        // Over quota: fails in memory, must leave no record behind.
+        assert!(fs.write("bob", "/home/bob/b", vec![0; 1]).is_err());
+        assert!(fs.read("bob", "/home/bob/missing").is_err());
+        let want = fs.snapshot_bytes();
+        drop(fs);
+
+        let (_, rec) = Journal::open(Box::new(storage), FsyncPolicy::Always, 0).unwrap();
+        assert_eq!(rec.records.len(), 2); // add_user + one successful write
+        let (recovered, replay_errors) = Vfs::recover(&rec).unwrap();
+        assert_eq!(replay_errors, 0);
+        assert_eq!(recovered.snapshot_bytes(), want);
     }
 }

@@ -1,0 +1,268 @@
+//! Durability records for the filesystem: every mutating public operation
+//! maps to one [`VfsRecord`], logged after the mutation commits in memory.
+//!
+//! Replay is *logical*: recovery re-executes the same public operations
+//! against a fresh (or snapshot-seeded) [`crate::Vfs`]. Since every op
+//! advances the logical clock deterministically, a replayed filesystem is
+//! byte-identical to the one that logged — the invariant the kill-at-random-
+//! point property test checks via [`crate::Vfs::snapshot_bytes`].
+
+use crate::fs::Mode;
+use wal::{CodecError, Dec, Enc};
+
+/// One logged filesystem mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsRecord {
+    /// `add_user(user, quota_bytes)`.
+    AddUser {
+        /// New user.
+        user: String,
+        /// Byte quota.
+        quota: u64,
+    },
+    /// `mkdir(user, path)`.
+    Mkdir {
+        /// Acting user.
+        user: String,
+        /// Directory created.
+        path: String,
+    },
+    /// `mkdir_p(user, path)`.
+    MkdirP {
+        /// Acting user.
+        user: String,
+        /// Chain created.
+        path: String,
+    },
+    /// `write(user, path, data)`.
+    Write {
+        /// Acting user.
+        user: String,
+        /// File written.
+        path: String,
+        /// Full new contents.
+        data: Vec<u8>,
+    },
+    /// `append(user, path, extra)`.
+    Append {
+        /// Acting user.
+        user: String,
+        /// File appended to.
+        path: String,
+        /// Bytes appended.
+        data: Vec<u8>,
+    },
+    /// `chmod(user, path, mode)`.
+    Chmod {
+        /// Acting user.
+        user: String,
+        /// Target path.
+        path: String,
+        /// New bits.
+        mode: Mode,
+    },
+    /// `remove(user, path)`.
+    Remove {
+        /// Acting user.
+        user: String,
+        /// Target path.
+        path: String,
+    },
+    /// `remove_recursive(user, path)`.
+    RemoveRecursive {
+        /// Acting user.
+        user: String,
+        /// Subtree root removed.
+        path: String,
+    },
+    /// `copy(user, from, to)`.
+    Copy {
+        /// Acting user.
+        user: String,
+        /// Source.
+        from: String,
+        /// Destination.
+        to: String,
+    },
+    /// `rename(user, from, to)`.
+    Rename {
+        /// Acting user.
+        user: String,
+        /// Source.
+        from: String,
+        /// Destination.
+        to: String,
+    },
+}
+
+const TAG_ADD_USER: u8 = 0;
+const TAG_MKDIR: u8 = 1;
+const TAG_MKDIR_P: u8 = 2;
+const TAG_WRITE: u8 = 3;
+const TAG_APPEND: u8 = 4;
+const TAG_CHMOD: u8 = 5;
+const TAG_REMOVE: u8 = 6;
+const TAG_REMOVE_RECURSIVE: u8 = 7;
+const TAG_COPY: u8 = 8;
+const TAG_RENAME: u8 = 9;
+
+pub(crate) fn encode_mode(m: Mode) -> u8 {
+    (m.owner_read as u8)
+        | (m.owner_write as u8) << 1
+        | (m.world_read as u8) << 2
+        | (m.world_write as u8) << 3
+}
+
+pub(crate) fn decode_mode(b: u8) -> Mode {
+    Mode {
+        owner_read: b & 1 != 0,
+        owner_write: b & 2 != 0,
+        world_read: b & 4 != 0,
+        world_write: b & 8 != 0,
+    }
+}
+
+impl VfsRecord {
+    /// Serialize to a WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            VfsRecord::AddUser { user, quota } => {
+                e.u8(TAG_ADD_USER).str(user).u64(*quota);
+            }
+            VfsRecord::Mkdir { user, path } => {
+                e.u8(TAG_MKDIR).str(user).str(path);
+            }
+            VfsRecord::MkdirP { user, path } => {
+                e.u8(TAG_MKDIR_P).str(user).str(path);
+            }
+            VfsRecord::Write { user, path, data } => {
+                e.u8(TAG_WRITE).str(user).str(path).bytes(data);
+            }
+            VfsRecord::Append { user, path, data } => {
+                e.u8(TAG_APPEND).str(user).str(path).bytes(data);
+            }
+            VfsRecord::Chmod { user, path, mode } => {
+                e.u8(TAG_CHMOD).str(user).str(path).u8(encode_mode(*mode));
+            }
+            VfsRecord::Remove { user, path } => {
+                e.u8(TAG_REMOVE).str(user).str(path);
+            }
+            VfsRecord::RemoveRecursive { user, path } => {
+                e.u8(TAG_REMOVE_RECURSIVE).str(user).str(path);
+            }
+            VfsRecord::Copy { user, from, to } => {
+                e.u8(TAG_COPY).str(user).str(from).str(to);
+            }
+            VfsRecord::Rename { user, from, to } => {
+                e.u8(TAG_RENAME).str(user).str(from).str(to);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Parse a WAL payload back into a record.
+    pub fn decode(payload: &[u8]) -> Result<VfsRecord, CodecError> {
+        let mut d = Dec::new(payload);
+        let rec = match d.u8()? {
+            TAG_ADD_USER => VfsRecord::AddUser {
+                user: d.str()?,
+                quota: d.u64()?,
+            },
+            TAG_MKDIR => VfsRecord::Mkdir {
+                user: d.str()?,
+                path: d.str()?,
+            },
+            TAG_MKDIR_P => VfsRecord::MkdirP {
+                user: d.str()?,
+                path: d.str()?,
+            },
+            TAG_WRITE => VfsRecord::Write {
+                user: d.str()?,
+                path: d.str()?,
+                data: d.bytes()?.to_vec(),
+            },
+            TAG_APPEND => VfsRecord::Append {
+                user: d.str()?,
+                path: d.str()?,
+                data: d.bytes()?.to_vec(),
+            },
+            TAG_CHMOD => VfsRecord::Chmod {
+                user: d.str()?,
+                path: d.str()?,
+                mode: decode_mode(d.u8()?),
+            },
+            TAG_REMOVE => VfsRecord::Remove {
+                user: d.str()?,
+                path: d.str()?,
+            },
+            TAG_REMOVE_RECURSIVE => VfsRecord::RemoveRecursive {
+                user: d.str()?,
+                path: d.str()?,
+            },
+            TAG_COPY => VfsRecord::Copy {
+                user: d.str()?,
+                from: d.str()?,
+                to: d.str()?,
+            },
+            TAG_RENAME => VfsRecord::Rename {
+                user: d.str()?,
+                from: d.str()?,
+                to: d.str()?,
+            },
+            _ => return Err(CodecError("unknown vfs record tag")),
+        };
+        d.finish()?;
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let records = vec![
+            VfsRecord::AddUser {
+                user: "alice".into(),
+                quota: 1 << 20,
+            },
+            VfsRecord::Mkdir {
+                user: "alice".into(),
+                path: "/home/alice/src".into(),
+            },
+            VfsRecord::Write {
+                user: "alice".into(),
+                path: "/home/alice/a.c".into(),
+                data: b"int main(){}".to_vec(),
+            },
+            VfsRecord::Chmod {
+                user: "alice".into(),
+                path: "/home/alice".into(),
+                mode: Mode::shared(),
+            },
+            VfsRecord::Rename {
+                user: "alice".into(),
+                from: "/home/alice/a".into(),
+                to: "/home/alice/b".into(),
+            },
+        ];
+        for r in records {
+            assert_eq!(VfsRecord::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn garbage_payload_rejected() {
+        assert!(VfsRecord::decode(&[0xff, 1, 2]).is_err());
+        assert!(VfsRecord::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn mode_bitfield_roundtrip() {
+        for bits in 0..16u8 {
+            assert_eq!(encode_mode(decode_mode(bits)), bits);
+        }
+    }
+}

@@ -24,8 +24,10 @@
 
 pub mod error;
 pub mod fs;
+pub mod journal;
 pub mod path;
 
 pub use error::VfsError;
 pub use fs::{DirEntry, EntryKind, Mode, Stat, Vfs};
+pub use journal::VfsRecord;
 pub use path::VPath;

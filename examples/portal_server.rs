@@ -4,6 +4,10 @@
 //! Run with: `cargo run --example portal_server`
 //! (binds 127.0.0.1:0 and exercises the API against itself; pass a port
 //! number to keep it running for manual browsing, e.g. `-- 8080`.)
+//!
+//! Set `CCP_DATA_DIR=/some/dir` to boot durable: portal state persists to
+//! write-ahead logs under the directory and survives a kill/restart (the
+//! recovery report shows up in `/api/health`).
 
 use ccp_core::{Portal, PortalConfig};
 use std::io::{Read, Write};
@@ -24,7 +28,22 @@ fn body_of(response: &str) -> &str {
 }
 
 fn main() {
-    let mut portal = Portal::new(PortalConfig::default());
+    let mut config = PortalConfig::default();
+    if let Ok(dir) = std::env::var("CCP_DATA_DIR") {
+        config.data_dir = Some(dir.into());
+    }
+    let mut portal = Portal::new(config);
+    if portal.durable() {
+        for r in portal.recovery_reports() {
+            println!(
+                "recovered {} log: {} records replayed in {}us (snapshot: {:?})",
+                r.stream, r.records_replayed, r.wall_us, r.snapshot_lsn
+            );
+        }
+        if let Some(e) = portal.wal_error() {
+            eprintln!("durability degraded: {e}");
+        }
+    }
     portal
         .bootstrap_admin("admin", "change-me-please")
         .expect("bootstrap");
@@ -117,5 +136,10 @@ fn main() {
         }
     }
     handle.shutdown();
+    // Group commit may still hold a few appends in memory; force them out
+    // so a durable run loses nothing at clean shutdown.
+    if let Err(e) = app.portal.lock().flush_wal() {
+        eprintln!("final WAL flush failed: {e}");
+    }
     println!("server stopped cleanly");
 }

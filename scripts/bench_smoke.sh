@@ -19,6 +19,19 @@ vm_out="${2:-BENCH_vm.json}"
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
+# Capture the checked-in baselines before this run overwrites them, so the
+# fresh datapoint can be diffed against the committed trajectory below.
+base_speedup=""
+base_hit=""
+base_vm=""
+if [ -f "$out" ]; then
+    base_speedup="$(sed -nE 's/.*"speedup_4w":([0-9.]+).*/\1/p' "$out")"
+    base_hit="$(sed -nE 's/.*"cache_hit_rate":([0-9.]+).*/\1/p' "$out")"
+fi
+if [ -f "$vm_out" ]; then
+    base_vm="$(sed -nE 's/.*"min_speedup":([0-9.]+).*/\1/p' "$vm_out")"
+fi
+
 # --test with a fast profile: we want the printed summary, not tight CIs.
 cargo bench -p ccp-bench --bench checker_parallel -- --test 2>&1 | tee "$log"
 
@@ -67,6 +80,29 @@ if [ "$cores" -ge 4 ]; then
     }'
 else
     echo "note: only $cores core(s); skipping the 2x speedup assertion"
+fi
+# Diff the fresh run against the checked-in baselines. Only the
+# machine-independent ratios are compared (raw schedules/sec depend on the
+# runner); slack absorbs CI noise without letting a real regression slide.
+if [ -n "$base_vm" ]; then
+    awk -v s="$vm_speedup" -v b="$base_vm" 'BEGIN {
+        if (s + 0 < b * 0.75) { print "FAIL: vm min_speedup " s " regressed >25% below baseline " b > "/dev/stderr"; exit 1 }
+    }'
+fi
+if [ -n "$base_hit" ]; then
+    awk -v h="$hit_rate" -v b="$base_hit" 'BEGIN {
+        if (h + 0 < b - 0.05) { print "FAIL: cache_hit_rate " h " fell >0.05 below baseline " b > "/dev/stderr"; exit 1 }
+    }'
+fi
+if [ -n "$base_speedup" ] && [ "$cores" -ge 4 ]; then
+    awk -v s="$speedup" -v b="$base_speedup" 'BEGIN {
+        if (s + 0 < b * 0.75) { print "FAIL: speedup_4w " s " regressed >25% below baseline " b > "/dev/stderr"; exit 1 }
+    }'
+fi
+if [ -n "$base_vm$base_hit$base_speedup" ]; then
+    echo "baseline diff OK (speedup_4w ${base_speedup:-n/a} -> ${speedup}, cache_hit_rate ${base_hit:-n/a} -> ${hit_rate}, vm_min_speedup ${base_vm:-n/a} -> ${vm_speedup})"
+else
+    echo "note: no checked-in baseline found; skipping the regression diff"
 fi
 echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate}, vm_snapshot_min_speedup=${vm_speedup}x (cores=$cores)"
 echo "wrote $out and $vm_out"

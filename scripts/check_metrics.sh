@@ -45,8 +45,9 @@ for layer in httpd sched cluster; do
 done
 [ "$status" -eq 0 ] || exit "$status"
 
-# The parallel execution engine and compile cache register their families
-# eagerly, so a fresh scrape must already carry every one of them.
+# The parallel execution engine, compile cache and WAL register their
+# families eagerly, so a fresh scrape must already carry every one of them
+# (the wal families appear even when the portal boots without a data dir).
 for family in \
     "ccp_pool_workers gauge" \
     "ccp_pool_tasks_total counter" \
@@ -61,7 +62,13 @@ for family in \
     "ccp_compile_cache_hits_total counter" \
     "ccp_compile_cache_misses_total counter" \
     "ccp_compile_cache_evictions_total counter" \
-    "ccp_compile_cache_entries gauge"; do
+    "ccp_compile_cache_entries gauge" \
+    "ccp_wal_appends_total counter" \
+    "ccp_wal_bytes_total counter" \
+    "ccp_wal_fsyncs_total counter" \
+    "ccp_wal_snapshots_total counter" \
+    "ccp_wal_recoveries_total counter" \
+    "ccp_wal_recovery_replay_us histogram"; do
     if ! printf '%s\n' "$input" | grep -qF "# TYPE ${family}"; then
         echo "FAIL: missing family: ${family}" >&2
         status=1
