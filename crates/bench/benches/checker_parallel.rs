@@ -118,6 +118,8 @@ fn cache_scenario() -> (f64, f64) {
 
 fn bench(c: &mut Criterion) {
     let (rows, serial) = speedup_table();
+    ccp_bench::banner("Observability overhead: 4-worker pool, telemetry on vs off");
+    let obs_row = ccp_bench::obs_overhead::measure(ccp_bench::obs_overhead::DEFAULT_REPS);
     let (hit_rate, hit_us) = cache_scenario();
 
     // VM fast path: snapshot engine vs the stateless reference, on the
@@ -143,6 +145,8 @@ fn bench(c: &mut Criterion) {
          \"speedup_4w\":{speedup_4w:.2},\"cache_hit_rate\":{hit_rate:.3},\
          \"cache_hit_us\":{hit_us:.2}}}"
     );
+    // And one for BENCH_obs.json: telemetry overhead on the hot path.
+    eprintln!("{}", ccp_bench::obs_overhead::report(&obs_row));
 
     let (program, cfg) = workload();
     let mut g = c.benchmark_group("checker");

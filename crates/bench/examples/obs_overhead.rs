@@ -1,0 +1,16 @@
+//! Criterion-free entry point for the telemetry-overhead comparison:
+//!
+//! ```text
+//! cargo run --release -p ccp-bench --example obs_overhead
+//! ```
+//!
+//! Prints the telemetry-on-vs-off table to stderr and one
+//! `BENCH_OBS_JSON {...}` line that `scripts/bench_smoke.sh` captures into
+//! `BENCH_obs.json`.
+
+fn main() {
+    ccp_bench::banner("Observability overhead: 4-worker pool, telemetry on vs off");
+    let row = ccp_bench::obs_overhead::measure(ccp_bench::obs_overhead::DEFAULT_REPS);
+    let line = ccp_bench::obs_overhead::report(&row);
+    eprintln!("{line}");
+}

@@ -24,4 +24,5 @@ pub fn banner(title: &str) {
     eprintln!("\n=============== {title} ===============");
 }
 
+pub mod obs_overhead;
 pub mod vm_fastpath;

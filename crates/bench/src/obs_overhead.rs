@@ -1,0 +1,90 @@
+//! Telemetry-overhead measurement: the 4-worker exploration hot path with
+//! the continuous-observability pipeline attached (metrics registry +
+//! contention profiler on the steal loop and every task) against the same
+//! pool running bare.
+//!
+//! The acceptance budget from DESIGN.md §12 is <5% throughput overhead.
+//! Used by the `checker_parallel` bench and the `obs_overhead` example
+//! (which `scripts/bench_smoke.sh` runs to emit `BENCH_obs.json`).
+
+use checker::{CheckConfig, Pool};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Repetitions both entry points use: ~1s of measured time per side, small
+/// enough for a CI smoke run, long enough to keep noise inside the budget.
+pub const DEFAULT_REPS: u32 = 50;
+
+/// One telemetry-on-vs-off comparison on the grading workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOverheadRow {
+    /// Schedules/sec on a bare 4-worker pool.
+    pub obs_off_sps: f64,
+    /// Schedules/sec with `Obs` attached (registry + profiler).
+    pub obs_on_sps: f64,
+    /// `(off - on) / off * 100`; negative values are run-to-run noise.
+    pub overhead_pct: f64,
+}
+
+/// The same clean philosophers workload `checker_parallel` times, so the
+/// overhead figure is measured against the speedup table's throughput.
+fn workload() -> (minilang::Program, CheckConfig) {
+    let src = labs::lab6_philosophers::ordered_source(4);
+    let program = minilang::compile(&src).expect("lab source compiles");
+    let cfg = CheckConfig {
+        max_schedules: 64,
+        max_steps: 100_000_000,
+        minimize: false,
+        seed: 42,
+        ..CheckConfig::default()
+    };
+    (program, cfg)
+}
+
+/// Time both pools. `reps` timed repetitions per pool (plus one warm-up
+/// each). The repetitions interleave bare/instrumented in pairs so clock
+/// drift and competing load bias both sides equally instead of whichever
+/// happened to run second.
+pub fn measure(reps: u32) -> ObsOverheadRow {
+    let (program, cfg) = workload();
+    let plain = Pool::new(4);
+    let obs = Arc::new(obs::Obs::new());
+    let instrumented = Pool::new(4).with_obs(obs);
+    let warm = plain.check(&program, &cfg);
+    black_box(instrumented.check(&program, &cfg));
+    let mut off_secs = 0.0;
+    let mut on_secs = 0.0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(plain.check(&program, &cfg));
+        off_secs += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        black_box(instrumented.check(&program, &cfg));
+        on_secs += t.elapsed().as_secs_f64();
+    }
+    let schedules = (warm.schedules * u64::from(reps)) as f64;
+    let obs_off_sps = schedules / off_secs;
+    let obs_on_sps = schedules / on_secs;
+    ObsOverheadRow {
+        obs_off_sps,
+        obs_on_sps,
+        overhead_pct: (obs_off_sps - obs_on_sps) / obs_off_sps * 100.0,
+    }
+}
+
+/// Print the human table to stderr and return the machine-readable
+/// `BENCH_OBS_JSON ...` line (the caller prints it so each entry point
+/// controls its own stream).
+pub fn report(row: &ObsOverheadRow) -> String {
+    eprintln!("  telemetry off: {:>9.0} schedules/sec", row.obs_off_sps);
+    eprintln!(
+        "  telemetry on:  {:>9.0} schedules/sec  (overhead {:+.2}%)",
+        row.obs_on_sps, row.overhead_pct
+    );
+    format!(
+        "BENCH_OBS_JSON {{\"bench\":\"obs_overhead\",\"obs_off_sps\":{:.1},\
+         \"obs_on_sps\":{:.1},\"overhead_pct\":{:.2}}}",
+        row.obs_off_sps, row.obs_on_sps, row.overhead_pct
+    )
+}

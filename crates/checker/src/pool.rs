@@ -156,6 +156,10 @@ impl Pool {
         let steals = AtomicU64::new(0);
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
         let mut busy_idle: Vec<(u64, u64)> = Vec::with_capacity(workers);
+        // Contention profiling is metrics-only (never spans): workers run in
+        // nondeterministic order, and the profiler families are excluded
+        // from the deterministic render surface.
+        let profiler = self.obs.as_deref().map(|o| &o.profiler);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|wi| {
@@ -175,6 +179,7 @@ impl Pool {
                             if task.is_none() {
                                 // Steal from the back: the victim's front
                                 // stays cache-warm for its owner.
+                                let scan0 = Instant::now();
                                 for off in 1..queues.len() {
                                     let v = (wi + off) % queues.len();
                                     let stolen = queues[v].lock().expect("queue lock").pop_back();
@@ -184,12 +189,24 @@ impl Pool {
                                         break;
                                     }
                                 }
+                                if let Some(p) = profiler {
+                                    let us = scan0.elapsed().as_micros() as u64;
+                                    p.observe("pool.steal", us, || {
+                                        format!("worker {wi} steal scan")
+                                    });
+                                }
                             }
                             match task {
                                 Some((i, item)) => {
                                     let t0 = Instant::now();
                                     out.push((i, f(i, item)));
-                                    busy += t0.elapsed().as_micros() as u64;
+                                    let us = t0.elapsed().as_micros() as u64;
+                                    busy += us;
+                                    if let Some(p) = profiler {
+                                        p.observe("pool.task", us, || {
+                                            format!("pool task {i} on worker {wi}")
+                                        });
+                                    }
                                 }
                                 None => break,
                             }

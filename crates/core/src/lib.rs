@@ -36,6 +36,7 @@ pub mod view;
 pub use error::PortalError;
 pub use portal::{Portal, PortalConfig};
 pub use view::{
-    AnalysisView, EventView, FileView, HealthView, JobView, NodeView, QuotaView, RecoveryView,
-    TimelineEventView,
+    AlertView, AnalysisView, DashboardView, EventView, FileView, HealthView, JobView, NodeView,
+    QuantilePanel, QuotaView, RatePanel, RecoveryView, SlowOpView, SpanView, TimelineEventView,
+    TraceView,
 };

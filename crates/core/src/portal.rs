@@ -2,12 +2,12 @@
 
 use crate::error::PortalError;
 use crate::view::{
-    state_label, AnalysisView, EventView, FileView, HealthView, JobView, NodeView, QuotaView,
-    RecoveryView, TimelineEventView,
+    state_label, AlertView, AnalysisView, DashboardView, EventView, FileView, HealthView, JobView,
+    NodeView, QuotaView, RecoveryView, SlowOpView, SpanView, TimelineEventView, TraceView,
 };
 use auth::{Role, SessionManager, Token, UserStore};
 use cluster::{Cluster, ClusterSpec, NodeHealth, SlaveId};
-use obs::Obs;
+use obs::{Obs, SloEngine, TimeSeriesStore, TraceContext};
 use parking_lot::Mutex;
 use sched::{JobId, JobSpec, JobState, SchedPolicyKind, Scheduler};
 use std::path::PathBuf;
@@ -59,6 +59,61 @@ pub struct PortalConfig {
     /// Install a snapshot and compact each log every N records
     /// (0 = never snapshot; the log grows without bound).
     pub snapshot_interval: u64,
+    /// Time-series store depth: how many periodic metrics captures the
+    /// dashboard can window over before old ones roll off.
+    pub ts_capacity: usize,
+    /// Capture the registry into the store every N scheduler ticks.
+    pub sample_every: u64,
+    /// Service-level objectives evaluated over the store each sample.
+    /// Defaults to [`PortalConfig::default_slos`]; empty disables alerting.
+    pub slos: Vec<obs::SloSpec>,
+    /// Operations slower than this (wall-clock µs) land in the bounded
+    /// slowest-ops log at `/api/admin/slow`.
+    pub slow_op_threshold_us: u64,
+    /// Run a checker analysis on every job the distributor executes,
+    /// recording the verdict as a `checker.analyze` span in the job's
+    /// trace. Off by default: it spends checker budget per dispatch.
+    pub auto_analyze: bool,
+}
+
+impl PortalConfig {
+    /// The stock objectives: sustained deep queue, excessive job loss,
+    /// and degraded p99 wait time. All read tick-domain series, so alert
+    /// histories are reproducible across same-seed runs.
+    pub fn default_slos() -> Vec<obs::SloSpec> {
+        use obs::{SloKind, SloSpec};
+        vec![
+            SloSpec {
+                name: "queue-depth".into(),
+                kind: SloKind::GaugeAbove {
+                    series: "ccp_sched_queue_depth".into(),
+                    threshold_milli: 32_000,
+                },
+                short_window: 8,
+                long_window: 32,
+            },
+            SloSpec {
+                name: "job-loss".into(),
+                kind: SloKind::ErrorRatio {
+                    bad: "ccp_sched_jobs_node_lost_total".into(),
+                    total: "ccp_sched_jobs_submitted_total".into(),
+                    objective_milli: 50,
+                },
+                short_window: 8,
+                long_window: 32,
+            },
+            SloSpec {
+                name: "wait-p99".into(),
+                kind: SloKind::QuantileAbove {
+                    series: "ccp_sched_job_wait_ticks".into(),
+                    q: 0.99,
+                    threshold: 500.0,
+                },
+                short_window: 8,
+                long_window: 32,
+            },
+        ]
+    }
 }
 
 impl Default for PortalConfig {
@@ -77,6 +132,11 @@ impl Default for PortalConfig {
             data_dir: None,
             wal_fsync: FsyncPolicy::EveryN(8),
             snapshot_interval: 1024,
+            ts_capacity: 512,
+            sample_every: 1,
+            slos: PortalConfig::default_slos(),
+            slow_op_threshold_us: obs::DEFAULT_SLOW_OP_THRESHOLD_US,
+            auto_analyze: false,
         }
     }
 }
@@ -88,6 +148,10 @@ struct WalMetricHooks {
     bytes: obs::Counter,
     fsyncs: obs::Counter,
     snapshots: obs::Counter,
+    /// For the contention profiler: group-commit storage-sync waits land
+    /// under the `wal.commit` site.
+    obs: Arc<Obs>,
+    stream: &'static str,
 }
 
 impl JournalHooks for WalMetricHooks {
@@ -97,6 +161,11 @@ impl JournalHooks for WalMetricHooks {
     }
     fn on_fsync(&self) {
         self.fsyncs.inc();
+    }
+    fn on_fsync_wait(&self, us: u64) {
+        self.obs
+            .profiler
+            .observe("wal.commit", us, || format!("{} stream fsync", self.stream));
     }
     fn on_snapshot(&self) {
         self.snapshots.inc();
@@ -139,7 +208,7 @@ fn register_wal_metrics(obs: &Obs) {
     }
 }
 
-fn wal_hooks(obs: &Obs, stream: &str) -> Box<dyn JournalHooks> {
+fn wal_hooks(obs: &Arc<Obs>, stream: &'static str) -> Box<dyn JournalHooks> {
     let m = &obs.metrics;
     let labels = &[("stream", stream)];
     Box::new(WalMetricHooks {
@@ -147,6 +216,8 @@ fn wal_hooks(obs: &Obs, stream: &str) -> Box<dyn JournalHooks> {
         bytes: m.counter("ccp_wal_bytes_total", labels),
         fsyncs: m.counter("ccp_wal_fsyncs_total", labels),
         snapshots: m.counter("ccp_wal_snapshots_total", labels),
+        obs: Arc::clone(obs),
+        stream,
     })
 }
 
@@ -156,7 +227,7 @@ fn wal_hooks(obs: &Obs, stream: &str) -> Box<dyn JournalHooks> {
 fn open_durable(
     dir: &std::path::Path,
     config: &PortalConfig,
-    obs: &Obs,
+    obs: &Arc<Obs>,
     fs: &mut Vfs,
     scheduler: &mut Scheduler,
 ) -> Result<Vec<RecoveryView>, String> {
@@ -228,6 +299,8 @@ pub struct Portal {
     pool: Arc<checker::Pool>,
     compile_cache: toolchain::CompileCache,
     obs: Arc<Obs>,
+    store: TimeSeriesStore,
+    slo: SloEngine,
     config: PortalConfig,
     admin_bootstrapped: bool,
     recovery: Vec<RecoveryView>,
@@ -256,6 +329,9 @@ impl Portal {
         let pool = Arc::new(checker::Pool::new(workers).with_obs(Arc::clone(&obs)));
         toolchain::cache::register_cache_metrics(&obs);
         register_wal_metrics(&obs);
+        obs.profiler.set_threshold_us(config.slow_op_threshold_us);
+        let store = TimeSeriesStore::new(config.ts_capacity.max(1));
+        let slo = SloEngine::new(config.slos.clone(), &obs.metrics);
 
         let mut fs = Vfs::new();
         let mut scheduler = Scheduler::new(cluster, config.policy).with_obs(Arc::clone(&obs));
@@ -284,6 +360,8 @@ impl Portal {
             pool,
             compile_cache: toolchain::CompileCache::new(config.compile_cache_capacity),
             obs,
+            store,
+            slo,
             config,
             admin_bootstrapped: false,
             recovery,
@@ -506,7 +584,15 @@ impl Portal {
     ) -> Result<CompileReport, PortalError> {
         let (user, role) = self.whoami(token, now)?;
         let full = self.resolve(&user, role, path)?;
+        // Interactive runs hold this lock for whole VM executions, so the
+        // compile path is where vfs lock contention actually shows up.
+        let t0 = std::time::Instant::now();
         let fs = self.fs.lock();
+        self.obs
+            .profiler
+            .observe("vfs.lock", t0.elapsed().as_micros() as u64, || {
+                format!("compile {full}")
+            });
         Ok(CompileRequest::new(&user, &full).run_cached_observed(
             &fs,
             &mut self.artifacts,
@@ -683,6 +769,34 @@ impl Portal {
         estimated_ticks: u64,
         now: u64,
     ) -> Result<JobId, PortalError> {
+        self.submit_job_inner(token, artifact, cores, estimated_ticks, now, false)
+    }
+
+    /// [`Portal::submit_job`] with causal tracing: mints an `http.request`
+    /// root span at the current scheduler tick and threads its
+    /// [`TraceContext`] through the scheduler, so every later lifecycle
+    /// event — dispatch, cluster allocation, execution, analysis, WAL
+    /// appends — hangs under one tree served by `/api/trace/:job_id`.
+    pub fn submit_job_traced(
+        &mut self,
+        token: &Token,
+        artifact: &str,
+        cores: u32,
+        estimated_ticks: u64,
+        now: u64,
+    ) -> Result<JobId, PortalError> {
+        self.submit_job_inner(token, artifact, cores, estimated_ticks, now, true)
+    }
+
+    fn submit_job_inner(
+        &mut self,
+        token: &Token,
+        artifact: &str,
+        cores: u32,
+        estimated_ticks: u64,
+        now: u64,
+        traced: bool,
+    ) -> Result<JobId, PortalError> {
         let (user, role) = self.whoami(token, now)?;
         let aid = self.artifact_for(&user, role, artifact)?;
         let spec = if cores <= 1 {
@@ -690,16 +804,38 @@ impl Portal {
         } else {
             JobSpec::parallel(&user, aid.as_str(), cores, estimated_ticks.max(1))
         };
-        Ok(self
+        let spec = spec.with_estimate(estimated_ticks.max(1));
+        if !traced {
+            return Ok(self.scheduler.submit(spec)?);
+        }
+        let tick = self.scheduler.now();
+        let span = self.obs.tracer.begin("http.request", tick);
+        self.obs.tracer.set_attr(span, "route", "/api/jobs");
+        let res = self
             .scheduler
-            .submit(spec.with_estimate(estimated_ticks.max(1)))?)
+            .submit_traced(spec, Some(TraceContext::new(span)));
+        // The root closes immediately (admission is synchronous); the
+        // job's asynchronous life keeps attaching children under it.
+        self.obs.tracer.end(span, tick);
+        match res {
+            Ok(id) => {
+                self.obs.tracer.set_attr(span, "job", &id.0.to_string());
+                Ok(id)
+            }
+            Err(e) => {
+                self.obs.tracer.set_attr(span, "error", &e.to_string());
+                Err(e.into())
+            }
+        }
     }
 
     /// Advance the distributor one tick. Newly dispatched jobs execute on
     /// the VM now: their streams fill and their true runtime (derived from
     /// instructions executed) replaces the estimate.
     pub fn tick(&mut self) -> Vec<JobId> {
+        let t0 = std::time::Instant::now();
         let dispatched = self.scheduler.tick();
+        let now_tick = self.scheduler.now();
         for &id in &dispatched {
             let (artifact, user, stdin): (String, String, Vec<String>) = {
                 let job = self.scheduler.job(id).expect("just dispatched");
@@ -734,13 +870,85 @@ impl Portal {
                 ),
                 Err(e) => (None, Some(e.to_string()), Some(1)),
             };
+            // Hang the execution under the job's trace before the outcome
+            // lands, so the tree reads exec.run → wal.append in causal
+            // order. Attrs are tick-domain only — worker counts and wall
+            // clock never leak into the deterministic tree.
+            if let Some(ctx) = self.scheduler.job_trace(id) {
+                let job_attr = id.0.to_string();
+                let ticks_attr = ticks.map(|t| t.to_string());
+                let mut attrs: Vec<(&str, &str)> = vec![("job", &job_attr)];
+                if let Some(t) = &ticks_attr {
+                    attrs.push(("ticks", t));
+                }
+                self.obs
+                    .tracer
+                    .event_child(ctx.parent, "exec.run", now_tick, &attrs);
+            }
             if stdout.is_some() || stderr.is_some() || ticks.is_some() {
                 let _ = self
                     .scheduler
                     .set_outcome(id, stdout.as_deref(), stderr.as_deref(), ticks);
             }
+            if self.config.auto_analyze {
+                self.auto_analyze(id, &aid, now_tick);
+            }
         }
+        self.obs
+            .profiler
+            .observe("sched.tick", t0.elapsed().as_micros() as u64, || {
+                format!("tick {now_tick}: {} dispatched", dispatched.len())
+            });
+        self.sample_metrics(now_tick);
         dispatched
+    }
+
+    /// Run the systematic checker over an executed job's program and
+    /// record the verdict as a `checker.analyze` child in its trace —
+    /// the checker layer of the job's causal tree. The pool's reports
+    /// are bit-identical across worker counts, so the span is too.
+    fn auto_analyze(&mut self, id: JobId, aid: &ArtifactId, now_tick: u64) {
+        let Some(program) = self.artifacts.get(aid).map(|a| a.program.clone()) else {
+            return;
+        };
+        let cfg = checker::CheckConfig {
+            snapshot_prefix: self.config.checker_snapshot_prefix,
+            state_cache_capacity: self.config.checker_state_cache,
+            ..checker::CheckConfig::default()
+        };
+        let report = self.pool.check(&program, &cfg);
+        if let Some(ctx) = self.scheduler.job_trace(id) {
+            self.obs.tracer.event_child(
+                ctx.parent,
+                "checker.analyze",
+                now_tick,
+                &[
+                    ("job", &id.0.to_string()),
+                    ("verdict", report.verdict.class()),
+                    ("schedules", &report.schedules.to_string()),
+                ],
+            );
+        }
+    }
+
+    /// Capture the registry into the time-series store and evaluate the
+    /// SLOs, every [`PortalConfig::sample_every`] ticks. Gauges are
+    /// republished first so captures never window over stale depth.
+    fn sample_metrics(&mut self, now_tick: u64) {
+        let every = self.config.sample_every;
+        if every == 0 || !now_tick.is_multiple_of(every) {
+            return;
+        }
+        self.scheduler.publish_gauges();
+        let t0 = std::time::Instant::now();
+        if self.store.record(now_tick, &self.obs.metrics) {
+            self.obs
+                .profiler
+                .observe("registry.sample", t0.elapsed().as_micros() as u64, || {
+                    format!("capture at tick {now_tick}")
+                });
+            self.slo.evaluate(now_tick, &self.store, &self.obs.events);
+        }
     }
 
     /// Run the distributor until all jobs are terminal (bounded).
@@ -885,7 +1093,133 @@ impl Portal {
             durable: self.wal_enabled,
             recovery: self.recovery.clone(),
             wal_error: self.wal_error(),
+            alerts: self.alerts(),
         }
+    }
+
+    /// The current scheduler tick (the portal's logical clock).
+    pub fn now_tick(&self) -> u64 {
+        self.scheduler.now()
+    }
+
+    /// The time-series store behind `/api/dashboard` (the `ccp-top`
+    /// example queries it directly).
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// Current SLO alert state, in objective declaration order.
+    pub fn alerts(&self) -> Vec<AlertView> {
+        self.slo
+            .alerts()
+            .into_iter()
+            .map(|a| AlertView {
+                slo: a.slo,
+                firing: a.firing,
+                since: a.since,
+                transitions: a.transitions,
+            })
+            .collect()
+    }
+
+    /// Dashboard snapshot for `/api/dashboard`: windowed queries over the
+    /// store, restricted to tick-domain series so the result is
+    /// byte-identical across same-seed runs. A fixed 32-tick window keeps
+    /// the panels comparable run to run.
+    pub fn dashboard_view(&self) -> DashboardView {
+        use crate::view::{QuantilePanel, RatePanel};
+        use obs::SampleValue;
+        const WINDOW: u64 = 32;
+        let s = &self.store;
+        let scalar = |name: &str| -> i64 {
+            match s.latest(name, &[]) {
+                Some(SampleValue::Gauge(g)) => g,
+                Some(SampleValue::Counter(c)) => c as i64,
+                _ => 0,
+            }
+        };
+        let rate = |name: &str| RatePanel {
+            total: scalar(name),
+            rate_milli: s.rate_milli(name, &[], WINDOW),
+        };
+        let quantiles = |name: &str| QuantilePanel {
+            p50: s.window_quantile(name, &[], WINDOW, 0.5),
+            p99: s.window_quantile(name, &[], WINDOW, 0.99),
+        };
+        DashboardView {
+            at: s.last_at().unwrap_or(0),
+            window: WINDOW,
+            captures: s.len(),
+            evicted: s.evicted(),
+            queue_depth: scalar("ccp_sched_queue_depth"),
+            queue_depth_avg_milli: s.window_avg_milli("ccp_sched_queue_depth", &[], WINDOW),
+            jobs_running: scalar("ccp_sched_jobs_running"),
+            submitted: rate("ccp_sched_jobs_submitted_total"),
+            completed: rate("ccp_sched_jobs_completed_total"),
+            dispatched: rate("ccp_sched_jobs_dispatched_total"),
+            node_lost: rate("ccp_sched_jobs_node_lost_total"),
+            wait_ticks: quantiles("ccp_sched_job_wait_ticks"),
+            run_ticks: quantiles("ccp_sched_job_run_ticks"),
+            alerts: self.alerts(),
+        }
+    }
+
+    /// The slowest operations the contention profiler has seen (admin
+    /// only — details name other users' paths). Sorted slowest-first.
+    pub fn slow_ops(&self, token: &Token, now: u64) -> Result<Vec<SlowOpView>, PortalError> {
+        let (_, role) = self.whoami(token, now)?;
+        if !role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("slow-op log requires admin"));
+        }
+        Ok(self
+            .obs
+            .profiler
+            .slowest()
+            .into_iter()
+            .map(|op| SlowOpView {
+                site: op.site.to_string(),
+                us: op.us,
+                detail: op.detail,
+            })
+            .collect())
+    }
+
+    /// The job's full causal span tree — the `http.request` root plus
+    /// every child recorded across scheduler, cluster, execution, checker,
+    /// and WAL layers. Owner or admin, like [`Portal::job`]. Jobs
+    /// submitted without tracing (or recovered from the WAL, which does
+    /// not persist traces) yield an empty tree.
+    pub fn job_trace_tree(
+        &self,
+        token: &Token,
+        id: JobId,
+        now: u64,
+    ) -> Result<TraceView, PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let j = self.scheduler.job(id)?;
+        if j.spec.user != user && !role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("job belongs to another user"));
+        }
+        let (root, spans) = match self.scheduler.job_trace(id) {
+            Some(ctx) => (Some(ctx.root.0), self.obs.tracer.subtree(ctx.root)),
+            None => (None, Vec::new()),
+        };
+        Ok(TraceView {
+            job: id.0,
+            root,
+            spans: spans
+                .into_iter()
+                .map(|s| SpanView {
+                    id: s.id,
+                    parent: s.parent,
+                    name: s.name,
+                    start: s.start,
+                    end: s.end,
+                    attrs: s.attrs,
+                })
+                .collect(),
+            truncated: self.obs.tracer.dropped(),
+        })
     }
 
     /// True when mutations are being journaled to disk.

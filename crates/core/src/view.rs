@@ -131,6 +131,114 @@ pub struct HealthView {
     /// an I/O error mid-run and stopped logging. The portal keeps serving
     /// from memory.
     pub wal_error: Option<String>,
+    /// SLO alert state, in objective declaration order.
+    pub alerts: Vec<AlertView>,
+}
+
+/// One SLO alert row (`/api/health`, `/api/dashboard`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertView {
+    /// Objective name (`queue-depth`, `job-loss`, ...).
+    pub slo: String,
+    /// True while the objective is breached on both burn-rate windows.
+    pub firing: bool,
+    /// Tick the alert entered its current state (`None` before the first
+    /// transition).
+    pub since: Option<u64>,
+    /// Lifetime firing↔cleared transitions.
+    pub transitions: u64,
+}
+
+/// Latest value and windowed rate of one counter (`/api/dashboard`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatePanel {
+    /// Latest captured value.
+    pub total: i64,
+    /// Per-tick rate over the dashboard window, in milli-units (`None`
+    /// until two captures exist).
+    pub rate_milli: Option<i64>,
+}
+
+/// Sliding-window quantiles of one histogram (`/api/dashboard`). A value
+/// of `f64::INFINITY` means the rank landed in the overflow bucket; the
+/// web layer renders it as the string `"+Inf"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantilePanel {
+    pub p50: Option<f64>,
+    pub p99: Option<f64>,
+}
+
+/// The `/api/dashboard` snapshot: windowed queries over the time-series
+/// store, restricted to tick-domain series so same-seed runs render it
+/// byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DashboardView {
+    /// Tick of the newest capture (0 before the first).
+    pub at: u64,
+    /// Window width in ticks behind every rate/quantile/average panel.
+    pub window: u64,
+    /// Captures currently held by the store.
+    pub captures: usize,
+    /// Captures that have rolled off the store's ring.
+    pub evicted: u64,
+    /// Jobs waiting in the ready queue (latest capture).
+    pub queue_depth: i64,
+    /// Windowed average queue depth, in milli-jobs.
+    pub queue_depth_avg_milli: Option<i64>,
+    /// Jobs on cores (latest capture).
+    pub jobs_running: i64,
+    pub submitted: RatePanel,
+    pub completed: RatePanel,
+    pub dispatched: RatePanel,
+    pub node_lost: RatePanel,
+    /// Queue-wait distribution over the window.
+    pub wait_ticks: QuantilePanel,
+    /// Runtime distribution over the window.
+    pub run_ticks: QuantilePanel,
+    /// SLO alert state.
+    pub alerts: Vec<AlertView>,
+}
+
+/// One slowest-operations row (`/api/admin/slow`). Wall-clock timings —
+/// diagnostic only, never part of the deterministic surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowOpView {
+    /// Profiler site (`wal.commit`, `pool.task`, ...).
+    pub site: String,
+    /// Wall-clock duration in microseconds.
+    pub us: u64,
+    /// What the operation was doing.
+    pub detail: String,
+}
+
+/// One span row in a job's causal trace (`/api/trace/:job_id`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanView {
+    pub id: u64,
+    /// Parent span id (`None` only for the trace root).
+    pub parent: Option<u64>,
+    /// Span name (`http.request`, `cluster.alloc`, `wal.append`, ...).
+    pub name: String,
+    /// Start tick.
+    pub start: u64,
+    /// End tick (`None` while open; point events end where they start).
+    pub end: Option<u64>,
+    pub attrs: Vec<(String, String)>,
+}
+
+/// A job's connected span tree: the `http.request` root plus every child
+/// across scheduler, cluster, execution, checker, and WAL layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceView {
+    /// The job id.
+    pub job: u64,
+    /// Root span id (`None` when the job was submitted without tracing).
+    pub root: Option<u64>,
+    /// Reachable spans, ordered by (start, id).
+    pub spans: Vec<SpanView>,
+    /// Spans evicted from the tracer's ring so far — nonzero means the
+    /// tree may be missing its oldest entries.
+    pub truncated: u64,
 }
 
 /// Quota summary for the dashboard.

@@ -99,6 +99,18 @@ impl Json {
     }
 }
 
+/// Serialize a histogram-quantile estimate: `None` (empty histogram) maps
+/// to `null`, a rank landing in the overflow bucket (`f64::INFINITY`, see
+/// `Histogram::quantile` in the obs crate) maps to the string `"+Inf"` —
+/// bare `inf` is not valid JSON — and finite values stay numbers.
+pub fn quantile_json(q: Option<f64>) -> Json {
+    match q {
+        None => Json::Null,
+        Some(v) if v.is_infinite() => Json::str("+Inf"),
+        Some(v) => Json::num(v),
+    }
+}
+
 /// JSON parse error with byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {

@@ -14,16 +14,33 @@
 //! - [`EventLog`] — structured operational events (access-log lines, admin
 //!   actions), also ring-buffered.
 //!
+//! On top of the instruments sit the continuous-observability pieces:
+//!
+//! - [`TimeSeriesStore`] — a bounded ring of periodic registry captures
+//!   keyed by the logical clock, with windowed delta/rate/quantile queries;
+//! - [`SloEngine`] — declarative objectives evaluated over the store with
+//!   multi-window burn-rate alerting;
+//! - [`Profiler`] — wall-clock lock-wait and slow-op timing for the hot
+//!   paths, with a bounded slowest-ops log.
+//!
 //! Naming convention for metric families: `ccp_<crate>_<thing>_<unit>`,
 //! e.g. `ccp_sched_job_wait_ticks`, `ccp_httpd_request_duration_us`.
 
 mod events;
 mod metrics;
+mod profiler;
+mod slo;
 mod trace;
+mod tsdb;
 
 pub use events::{Event, EventLog};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use trace::{Span, SpanId, Tracer};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSample, MetricsRegistry, SampleValue, SeriesSample,
+};
+pub use profiler::{Profiler, SlowOp, DEFAULT_SLOW_OP_THRESHOLD_US, PROFILE_SITES};
+pub use slo::{Alert, SloEngine, SloKind, SloSpec};
+pub use trace::{Span, SpanId, TraceContext, Tracer};
+pub use tsdb::{TimeSeriesStore, TsSample};
 
 /// Bucket bounds (inclusive upper edges) for wall-clock durations in
 /// microseconds: 50µs .. 1s.
@@ -47,15 +64,19 @@ pub struct Obs {
     pub metrics: MetricsRegistry,
     pub tracer: Tracer,
     pub events: EventLog,
+    pub profiler: Profiler,
 }
 
 impl Obs {
     /// Default capacities: 4096 spans, 1024 events.
     pub fn new() -> Self {
+        let metrics = MetricsRegistry::new();
+        let profiler = Profiler::new(&metrics);
         Obs {
-            metrics: MetricsRegistry::new(),
+            metrics,
             tracer: Tracer::new(4096),
             events: EventLog::new(1024),
+            profiler,
         }
     }
 }

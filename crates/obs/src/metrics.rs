@@ -102,32 +102,99 @@ impl Histogram {
             .collect()
     }
 
-    /// Quantile estimate: the upper edge of the bucket holding the sample of
-    /// rank `ceil(q * count)`. Returns `None` for an empty histogram and
-    /// `f64::INFINITY` when the rank falls in the overflow bucket.
+    /// Quantile estimate with upper-bucket-edge semantics: the reported
+    /// value is the **inclusive upper edge** of the bucket holding the
+    /// sample of rank `ceil(q * count)` (clamped to `1..=count`, so `q=0`
+    /// reads the first populated bucket and `q=1` the last).
+    ///
+    /// Consequences of reading edges rather than interpolating:
+    ///
+    /// * a rank landing in a bounded bucket overestimates by at most one
+    ///   bucket's width — conservative in the direction operators care
+    ///   about for latency objectives;
+    /// * a rank landing in the implicit overflow bucket has no finite
+    ///   upper edge, so the estimate saturates to `f64::INFINITY` rather
+    ///   than inventing a finite value. Callers serializing to JSON must
+    ///   map this to the string `"+Inf"` (bare `inf` is not valid JSON);
+    ///   `httpd::json::quantile_json` does exactly that.
+    ///
+    /// Returns `None` for an empty histogram.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        let counts = self.bucket_counts();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
+        quantile_from_counts(&self.bucket_counts(), &self.0.bounds, q)
+    }
+
+    /// Freeze the histogram into a plain-data [`HistogramSample`].
+    pub fn sample(&self) -> HistogramSample {
+        HistogramSample {
+            bounds: self.0.bounds.clone(),
+            buckets: self.bucket_counts(),
+            sum: self.sum(),
+            count: self.count(),
         }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(if i < self.0.bounds.len() {
-                    self.0.bounds[i] as f64
-                } else {
-                    f64::INFINITY
-                });
-            }
-        }
-        unreachable!("rank is clamped to total")
     }
 
     fn bounds(&self) -> &[u64] {
         &self.0.bounds
+    }
+}
+
+/// Shared rank walk behind [`Histogram::quantile`] and
+/// [`HistogramSample::quantile`]: counts are per-bucket (non-cumulative),
+/// the final slot being the `+Inf` overflow bucket.
+fn quantile_from_counts(counts: &[u64], bounds: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(if i < bounds.len() {
+                bounds[i] as f64
+            } else {
+                f64::INFINITY
+            });
+        }
+    }
+    unreachable!("rank is clamped to total")
+}
+
+/// Point-in-time numeric capture of one histogram, as taken by
+/// [`MetricsRegistry::sample`]. `buckets` are per-bucket (non-cumulative)
+/// counts; the final slot is the implicit `+Inf` overflow bucket, so
+/// `buckets.len() == bounds.len() + 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSample {
+    pub bounds: Vec<u64>,
+    pub buckets: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl HistogramSample {
+    /// Same estimator as [`Histogram::quantile`], over the frozen counts.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_counts(&self.buckets, &self.bounds, q)
+    }
+
+    /// Bucket-wise difference `self - earlier`: the distribution of samples
+    /// recorded *between* the two captures, which is what windowed p50/p99
+    /// queries want. Saturates per bucket, so a reset never underflows.
+    pub fn since(&self, earlier: &HistogramSample) -> HistogramSample {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        HistogramSample {
+            bounds: self.bounds.clone(),
+            buckets,
+            sum: self.sum.saturating_sub(earlier.sum),
+            count: self.count.saturating_sub(earlier.count),
+        }
     }
 }
 
@@ -160,6 +227,23 @@ impl Metric {
 /// Label set, kept sorted by key so the same labels in any order map to the
 /// same series.
 type Labels = Vec<(String, String)>;
+
+/// Point-in-time value of one series, captured by
+/// [`MetricsRegistry::sample`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSample),
+}
+
+/// One sampled series: family name, sorted label pairs, frozen value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: SampleValue,
+}
 
 struct Family {
     help: Option<String>,
@@ -242,6 +326,32 @@ impl MetricsRegistry {
 
     pub fn series_count(&self) -> usize {
         self.families.read().values().map(|f| f.series.len()).sum()
+    }
+
+    /// Numeric capture of every registered series, in the same fully
+    /// ordered (family name, then sorted labels) sequence [`render`] uses,
+    /// so two captures of identical registries compare equal element-wise.
+    /// This is what the time-series store ingests each portal tick.
+    ///
+    /// [`render`]: MetricsRegistry::render
+    pub fn sample(&self) -> Vec<SeriesSample> {
+        let fams = self.families.read();
+        let mut out = Vec::new();
+        for (name, fam) in fams.iter() {
+            for (labels, metric) in fam.series.iter() {
+                let value = match metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(h.sample()),
+                };
+                out.push(SeriesSample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        out
     }
 
     /// Render every family in Prometheus text exposition format. Families
@@ -408,6 +518,67 @@ mod tests {
         let h = reg.histogram("ccp_test_empty", &[], &[1, 2]);
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn upper_edge_semantics_pin_the_overflow_bucket_to_infinity() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("ccp_test_edges", &[], &[10]);
+        // Only overflow samples: every quantile must saturate to +Inf —
+        // there is no finite upper edge to report.
+        h.record(11);
+        h.record(1_000);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(f64::INFINITY), "q={q}");
+        }
+        // Exactly on the edge is *inclusive*: it lands in the finite
+        // bucket, so low quantiles become finite again.
+        h.record(10);
+        assert_eq!(h.quantile(0.0), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn histogram_sample_freezes_and_diffs() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("ccp_test_s", &[], &[5, 10]);
+        h.record(3);
+        h.record(7);
+        let early = h.sample();
+        assert_eq!(early.buckets, vec![1, 1, 0]);
+        assert_eq!((early.sum, early.count), (10, 2));
+        assert_eq!(early.quantile(1.0), Some(10.0));
+        h.record(7);
+        h.record(99);
+        let late = h.sample();
+        let window = late.since(&early);
+        // Only the two samples recorded between the captures remain.
+        assert_eq!(window.buckets, vec![0, 1, 1]);
+        assert_eq!((window.sum, window.count), (106, 2));
+        assert_eq!(window.quantile(0.5), Some(10.0));
+        assert_eq!(window.quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn registry_sample_is_ordered_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ccp_z_total", &[]).add(3);
+        reg.gauge("ccp_a_depth", &[("q", "x")]).set(-2);
+        reg.histogram("ccp_m_us", &[], &[1]).record(9);
+        let s = reg.sample();
+        let names: Vec<&str> = s.iter().map(|x| x.name.as_str()).collect();
+        // BTreeMap order, same as render().
+        assert_eq!(names, vec!["ccp_a_depth", "ccp_m_us", "ccp_z_total"]);
+        assert_eq!(s[0].labels, vec![("q".to_string(), "x".to_string())]);
+        assert_eq!(s[0].value, SampleValue::Gauge(-2));
+        assert_eq!(s[2].value, SampleValue::Counter(3));
+        match &s[1].value {
+            SampleValue::Histogram(h) => {
+                assert_eq!(h.buckets, vec![0, 1]);
+                assert_eq!(h.bounds, vec![1]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

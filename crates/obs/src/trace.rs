@@ -11,6 +11,38 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpanId(pub u64);
 
+/// Propagated causal context: the root span of a unit of work (the trace)
+/// plus the span new children should hang under. Minted where the work
+/// enters the system (an HTTP request, a job submission) and threaded by
+/// value through every layer that records spans, so the whole life of the
+/// work renders as one connected tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Root span of the trace.
+    pub root: SpanId,
+    /// Current parent for new child spans/events.
+    pub parent: SpanId,
+}
+
+impl TraceContext {
+    /// A fresh context rooted at (and parenting under) `span`.
+    pub fn new(span: SpanId) -> Self {
+        TraceContext {
+            root: span,
+            parent: span,
+        }
+    }
+
+    /// Same trace, re-parented under `parent` (for handing to a deeper
+    /// layer whose spans should nest under an intermediate span).
+    pub fn under(&self, parent: SpanId) -> Self {
+        TraceContext {
+            root: self.root,
+            parent,
+        }
+    }
+}
+
 /// One recorded span. A point event is a span with `end == Some(start)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Span {
@@ -123,6 +155,49 @@ impl Tracer {
         })
     }
 
+    /// Record a zero-duration point event as a child of `parent`.
+    pub fn event_child(
+        &self,
+        parent: SpanId,
+        name: &str,
+        at: u64,
+        attrs: &[(&str, &str)],
+    ) -> SpanId {
+        self.push(|id| Span {
+            id,
+            parent: Some(parent.0),
+            name: name.to_string(),
+            start: at,
+            end: Some(at),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        })
+    }
+
+    /// Every span still in the ring reachable from `root` through parent
+    /// links (root included), ordered by (start, id). Evicted spans simply
+    /// vanish from the result; pair with [`dropped`] to report truncation.
+    ///
+    /// [`dropped`]: Tracer::dropped
+    pub fn subtree(&self, root: SpanId) -> Vec<Span> {
+        let inner = self.inner.lock();
+        // Ids are assigned in push order and a child is always created
+        // after its parent, so one forward pass over the id-ordered ring
+        // sees every parent before its children.
+        let mut keep = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for s in inner.ring.iter() {
+            if s.id == root.0 || s.parent.is_some_and(|p| keep.contains(&p)) {
+                keep.insert(s.id);
+                out.push(s.clone());
+            }
+        }
+        out.sort_by_key(|s| (s.start, s.id));
+        out
+    }
+
     /// Copy of the ring, oldest first.
     pub fn snapshot(&self) -> Vec<Span> {
         self.inner.lock().ring.iter().cloned().collect()
@@ -197,6 +272,29 @@ mod tests {
         assert_eq!(spans.first().unwrap().start, 2);
         // Ending an evicted span is a no-op, not a panic.
         t.end(SpanId(1), 99);
+    }
+
+    #[test]
+    fn subtree_follows_parent_links_and_skips_other_traces() {
+        let t = Tracer::new(16);
+        let root = t.begin("request", 1);
+        let mid = t.begin_child(root, "sched", 2);
+        t.event_child(mid, "wal.append", 3, &[("lsn", "7")]);
+        t.event("unrelated", 4, &[]);
+        let other = t.begin("other-request", 5);
+        t.begin_child(other, "child-of-other", 6);
+        t.event_child(root, "done", 9, &[]);
+        let tree = t.subtree(root);
+        assert_eq!(
+            tree.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["request", "sched", "wal.append", "done"]
+        );
+        assert_eq!(tree[2].parent, Some(mid.0));
+        assert_eq!(tree[2].attr("lsn"), Some("7"));
+        // Grandchildren connect through the intermediate span.
+        let ctx = TraceContext::new(root);
+        assert_eq!(ctx.under(mid).root, root);
+        assert_eq!(ctx.under(mid).parent, mid);
     }
 
     #[test]

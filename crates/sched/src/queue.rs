@@ -30,7 +30,7 @@ use crate::retry::RetryPolicy;
 use crate::rng::JitterRng;
 use cluster::faults::{FaultEvent, FaultPlan};
 use cluster::{Cluster, ClusterError, NodeHealth, SlaveId};
-use obs::Obs;
+use obs::{Obs, TraceContext};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -220,6 +220,15 @@ pub struct Scheduler {
     /// movement plus a tracer point-event keyed by `job=<id>`.
     obs: Arc<Obs>,
     metrics: SchedMetrics,
+    /// Causal trace contexts per job, for jobs submitted through
+    /// [`Scheduler::submit_traced`]: lifecycle events become children of
+    /// the propagated span so the whole life renders as one tree. Telemetry
+    /// only — never serialized, so recovered jobs fall back to plain
+    /// (unparented) events.
+    traces: BTreeMap<JobId, TraceContext>,
+    /// Context handed to the next [`Scheduler::submit_inner`] call (the job
+    /// id does not exist until then).
+    pending_trace: Option<TraceContext>,
     /// Durability log; `None` runs fully in memory (the default).
     journal: Option<Journal>,
     /// Most recent WAL failure. Logging degrades rather than panicking or
@@ -248,6 +257,8 @@ impl Scheduler {
             faults_applied: 0,
             obs,
             metrics,
+            traces: BTreeMap::new(),
+            pending_trace: None,
             journal: None,
             wal_error: None,
         }
@@ -351,15 +362,71 @@ impl Scheduler {
     /// the *spec* capacity, not current health: during an outage the portal
     /// keeps accepting work and runs it when nodes return (degraded mode).
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SchedError> {
+        self.submit_traced(spec, None)
+    }
+
+    /// [`Scheduler::submit`] carrying a propagated [`TraceContext`]: every
+    /// lifecycle event of the job — queueing, allocation, dispatch, WAL
+    /// appends, completion — is recorded as a child of `ctx.parent`, so the
+    /// job's whole life hangs off the span minted where the work entered
+    /// the system.
+    pub fn submit_traced(
+        &mut self,
+        spec: JobSpec,
+        ctx: Option<TraceContext>,
+    ) -> Result<JobId, SchedError> {
         let payload = self
             .journal
             .is_some()
             .then(|| SchedRecord::Submit { spec: spec.clone() }.encode());
-        let id = self.submit_inner(spec)?;
+        self.pending_trace = ctx;
+        let id = self.submit_inner(spec);
+        self.pending_trace = None;
+        let id = id?;
         if let Some(p) = payload {
-            self.log_payload(&p);
+            if let Some(lsn) = self.log_payload(&p) {
+                self.wal_trace_event(id, lsn, "submit");
+            }
         }
         Ok(id)
+    }
+
+    /// The trace context a job was submitted with, if any.
+    pub fn job_trace(&self, id: JobId) -> Option<TraceContext> {
+        self.traces.get(&id).copied()
+    }
+
+    /// Record a job lifecycle point-event: a child of the job's propagated
+    /// trace context when one exists, a plain event otherwise. Associated
+    /// fn taking field refs so call sites can hold disjoint borrows.
+    fn trace_job_event(
+        obs: &Obs,
+        traces: &BTreeMap<JobId, TraceContext>,
+        id: JobId,
+        name: &str,
+        at: u64,
+        attrs: &[(&str, &str)],
+    ) {
+        match traces.get(&id) {
+            Some(ctx) => obs.tracer.event_child(ctx.parent, name, at, attrs),
+            None => obs.tracer.event(name, at, attrs),
+        };
+    }
+
+    /// Record a `wal.append` child event for a traced job's logged command.
+    fn wal_trace_event(&self, id: JobId, lsn: u64, op: &str) {
+        if let Some(ctx) = self.traces.get(&id) {
+            self.obs.tracer.event_child(
+                ctx.parent,
+                "wal.append",
+                self.now,
+                &[
+                    ("job", &id.0.to_string()),
+                    ("lsn", &lsn.to_string()),
+                    ("op", op),
+                ],
+            );
+        }
     }
 
     fn submit_inner(&mut self, spec: JobSpec) -> Result<JobId, SchedError> {
@@ -372,8 +439,14 @@ impl Scheduler {
             });
         }
         let id = JobId(self.next_id);
+        if let Some(ctx) = self.pending_trace.take() {
+            self.traces.insert(id, ctx);
+        }
         self.metrics.jobs_submitted.inc();
-        self.obs.tracer.event(
+        Self::trace_job_event(
+            &self.obs,
+            &self.traces,
+            id,
             "job.submitted",
             self.now,
             &[
@@ -401,9 +474,14 @@ impl Scheduler {
             },
         );
         self.queue.push(id);
-        self.obs
-            .tracer
-            .event("job.queued", self.now, &[("job", &id.0.to_string())]);
+        Self::trace_job_event(
+            &self.obs,
+            &self.traces,
+            id,
+            "job.queued",
+            self.now,
+            &[("job", &id.0.to_string())],
+        );
         self.publish_gauges();
         Ok(id)
     }
@@ -436,10 +514,12 @@ impl Scheduler {
     /// Queue a line of interactive stdin for a job.
     pub fn push_stdin(&mut self, id: JobId, line: &str) -> Result<(), SchedError> {
         self.push_stdin_inner(id, line)?;
-        self.log(|| SchedRecord::PushStdin {
+        if let Some(lsn) = self.log(|| SchedRecord::PushStdin {
             id,
             line: line.to_string(),
-        });
+        }) {
+            self.wal_trace_event(id, lsn, "stdin");
+        }
         Ok(())
     }
 
@@ -461,12 +541,14 @@ impl Scheduler {
         actual_ticks: Option<u64>,
     ) -> Result<(), SchedError> {
         self.set_outcome_inner(id, stdout, stderr, actual_ticks)?;
-        self.log(|| SchedRecord::SetOutcome {
+        if let Some(lsn) = self.log(|| SchedRecord::SetOutcome {
             id,
             stdout: stdout.map(str::to_string),
             stderr: stderr.map(str::to_string),
             actual_ticks,
-        });
+        }) {
+            self.wal_trace_event(id, lsn, "outcome");
+        }
         Ok(())
     }
 
@@ -493,7 +575,9 @@ impl Scheduler {
     /// Cancel a pending, running, or backoff-waiting job.
     pub fn cancel(&mut self, id: JobId) -> Result<(), SchedError> {
         self.cancel_inner(id)?;
-        self.log(|| SchedRecord::Cancel { id });
+        if let Some(lsn) = self.log(|| SchedRecord::Cancel { id }) {
+            self.wal_trace_event(id, lsn, "cancel");
+        }
         Ok(())
     }
 
@@ -521,9 +605,14 @@ impl Scheduler {
         };
         if cancelled.is_ok() {
             self.metrics.jobs_cancelled.inc();
-            self.obs
-                .tracer
-                .event("job.cancelled", now, &[("job", &id.0.to_string())]);
+            Self::trace_job_event(
+                &self.obs,
+                &self.traces,
+                id,
+                "job.cancelled",
+                now,
+                &[("job", &id.0.to_string())],
+            );
             self.publish_gauges();
         }
         cancelled
@@ -632,7 +721,10 @@ impl Scheduler {
                 .add(cores as u64 * (now - started_at));
             self.metrics.wait_ticks.record(wait);
             self.metrics.run_ticks.record(now - started_at);
-            self.obs.tracer.event(
+            Self::trace_job_event(
+                &self.obs,
+                &self.traces,
+                id,
                 "job.completed",
                 now,
                 &[
@@ -673,7 +765,10 @@ impl Scheduler {
             }
             self.queue.retain(|&q| q != id);
             self.metrics.jobs_timed_out.inc();
-            self.obs.tracer.event(
+            Self::trace_job_event(
+                &self.obs,
+                &self.traces,
+                id,
                 "job.timed_out",
                 now,
                 &[
@@ -732,7 +827,10 @@ impl Scheduler {
                 self.accounting.record_retry(&job.spec.user);
                 self.metrics.retries.inc();
                 self.metrics.backoff_ticks.record(backoff);
-                self.obs.tracer.event(
+                Self::trace_job_event(
+                    &self.obs,
+                    &self.traces,
+                    id,
                     "job.requeued",
                     now,
                     &[
@@ -744,7 +842,10 @@ impl Scheduler {
             } else {
                 job.state = JobState::NodeLost { at: now, attempts };
                 self.metrics.jobs_node_lost.inc();
-                self.obs.tracer.event(
+                Self::trace_job_event(
+                    &self.obs,
+                    &self.traces,
+                    id,
                     "job.node_lost",
                     now,
                     &[
@@ -774,9 +875,14 @@ impl Scheduler {
             // Back of the queue: a recovered job does not preempt work that
             // queued honestly while it was running.
             self.queue.push(id);
-            self.obs
-                .tracer
-                .event("job.queued", now, &[("job", &id.0.to_string())]);
+            Self::trace_job_event(
+                &self.obs,
+                &self.traces,
+                id,
+                "job.queued",
+                now,
+                &[("job", &id.0.to_string())],
+            );
         }
     }
 
@@ -857,7 +963,24 @@ impl Scheduler {
                     self.queue.retain(|&q| q != id);
                     self.dispatch_count += 1;
                     self.metrics.jobs_dispatched.inc();
-                    self.obs.tracer.event(
+                    // The allocation itself is a traced step: which layer
+                    // granted how many cores across how many nodes.
+                    if let Some(ctx) = self.traces.get(&id) {
+                        self.obs.tracer.event_child(
+                            ctx.parent,
+                            "cluster.alloc",
+                            now,
+                            &[
+                                ("job", &id.0.to_string()),
+                                ("cores", &cores_granted.to_string()),
+                                ("nodes", &nodes_touched.to_string()),
+                            ],
+                        );
+                    }
+                    Self::trace_job_event(
+                        &self.obs,
+                        &self.traces,
+                        id,
                         "job.dispatched",
                         now,
                         &[
@@ -911,31 +1034,33 @@ impl Scheduler {
         self.wal_error.as_deref()
     }
 
-    fn log(&mut self, make: impl FnOnce() -> SchedRecord) {
-        if self.journal.is_none() {
-            return;
-        }
+    /// Log one command, returning its LSN when a journal is attached and
+    /// the append succeeded (so traced commands can record it).
+    fn log(&mut self, make: impl FnOnce() -> SchedRecord) -> Option<u64> {
+        self.journal.as_ref()?;
         let payload = make().encode();
-        self.log_payload(&payload);
+        self.log_payload(&payload)
     }
 
-    fn log_payload(&mut self, payload: &[u8]) {
+    fn log_payload(&mut self, payload: &[u8]) -> Option<u64> {
         // Take the journal so a snapshot can borrow `self` while appending.
-        let Some(mut j) = self.journal.take() else {
-            return;
-        };
-        let res = j.append(payload).and_then(|_| {
+        let mut j = self.journal.take()?;
+        let res = j.append(payload).and_then(|lsn| {
             if j.wants_snapshot() {
                 let snap = self.snapshot_bytes();
                 j.install_snapshot(&snap)?;
             }
-            Ok(())
+            Ok(lsn)
         });
         self.journal = Some(j);
-        if let Err(e) = res {
-            // Degrade rather than panic or fail the already-committed
-            // in-memory mutation; the portal surfaces this via health.
-            self.wal_error = Some(e.to_string());
+        match res {
+            Ok(lsn) => Some(lsn),
+            Err(e) => {
+                // Degrade rather than panic or fail the already-committed
+                // in-memory mutation; the portal surfaces this via health.
+                self.wal_error = Some(e.to_string());
+                None
+            }
         }
     }
 

@@ -108,6 +108,9 @@ pub trait JournalHooks: Send {
     fn on_fsync(&self);
     /// One snapshot installed (log compacted).
     fn on_snapshot(&self);
+    /// Wall-clock time one group commit spent waiting on the storage sync,
+    /// for contention profiling. Default: ignored.
+    fn on_fsync_wait(&self, _us: u64) {}
 }
 
 /// An append-only checksummed record log over a [`WalStorage`].
@@ -270,11 +273,14 @@ impl Journal {
     }
 
     fn sync(&mut self) -> Result<(), WalError> {
+        let t0 = Instant::now();
         self.storage.sync()?;
+        let wait_us = t0.elapsed().as_micros() as u64;
         self.durable_lsn = self.next_lsn - 1;
         self.appends_since_sync = 0;
         if let Some(h) = &self.hooks {
             h.on_fsync();
+            h.on_fsync_wait(wait_us);
         }
         Ok(())
     }

@@ -3,7 +3,7 @@
 use auth::{Role, Token};
 use ccp_core::{Portal, PortalError};
 use httpd::forms::{multipart_boundary, parse_cookies, parse_multipart, parse_query};
-use httpd::json::Json;
+use httpd::json::{quantile_json, Json};
 use httpd::{Method, Request, Response, Router, Server, ServerConfig, ServerHandle, Status};
 use parking_lot::Mutex;
 use sched::JobId;
@@ -492,11 +492,16 @@ pub fn build_router(app: Arc<App>) -> Router {
                 .get("estimated_ticks")
                 .and_then(Json::as_num)
                 .unwrap_or(10.0) as u64;
-            let id =
-                try_portal!(app
-                    .portal
-                    .lock()
-                    .submit_job(&token, &artifact, cores, est, now()));
+            // Traced: the portal mints an http.request root span and
+            // threads it through the scheduler, so /api/trace/:id can
+            // render the job's whole life as one tree.
+            let id = try_portal!(app.portal.lock().submit_job_traced(
+                &token,
+                &artifact,
+                cores,
+                est,
+                now()
+            ));
             Response::json(
                 Status::CREATED,
                 &Json::obj(vec![("job", Json::num(id.0 as f64))]),
@@ -657,6 +662,10 @@ pub fn build_router(app: Arc<App>) -> Router {
                         "wal_error",
                         h.wal_error.map(Json::str).unwrap_or(Json::Null),
                     ),
+                    (
+                        "alerts",
+                        Json::Arr(h.alerts.iter().map(alert_json).collect()),
+                    ),
                 ]),
             )
         });
@@ -689,6 +698,78 @@ pub fn build_router(app: Arc<App>) -> Router {
         });
     }
     {
+        // Continuous-observability dashboard: windowed rates, sliding
+        // quantiles, and alert state from the time-series store. Public
+        // like /api/metrics — aggregates only.
+        let app = Arc::clone(&app);
+        router.get("/api/dashboard", move |_req| {
+            let d = app.portal.lock().dashboard_view();
+            let rate = |p: &ccp_core::RatePanel| {
+                Json::obj(vec![
+                    ("total", Json::num(p.total as f64)),
+                    (
+                        "rate_milli",
+                        p.rate_milli
+                            .map(|r| Json::num(r as f64))
+                            .unwrap_or(Json::Null),
+                    ),
+                ])
+            };
+            let quantiles = |p: &ccp_core::QuantilePanel| {
+                Json::obj(vec![
+                    ("p50", quantile_json(p.p50)),
+                    ("p99", quantile_json(p.p99)),
+                ])
+            };
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![
+                    ("at", Json::num(d.at as f64)),
+                    ("window", Json::num(d.window as f64)),
+                    ("captures", Json::num(d.captures as f64)),
+                    ("evicted", Json::num(d.evicted as f64)),
+                    ("queue_depth", Json::num(d.queue_depth as f64)),
+                    (
+                        "queue_depth_avg_milli",
+                        d.queue_depth_avg_milli
+                            .map(|v| Json::num(v as f64))
+                            .unwrap_or(Json::Null),
+                    ),
+                    ("jobs_running", Json::num(d.jobs_running as f64)),
+                    ("submitted", rate(&d.submitted)),
+                    ("completed", rate(&d.completed)),
+                    ("dispatched", rate(&d.dispatched)),
+                    ("node_lost", rate(&d.node_lost)),
+                    ("wait_ticks", quantiles(&d.wait_ticks)),
+                    ("run_ticks", quantiles(&d.run_ticks)),
+                    (
+                        "alerts",
+                        Json::Arr(d.alerts.iter().map(alert_json).collect()),
+                    ),
+                ]),
+            )
+        });
+    }
+    {
+        // Admin: the contention profiler's slowest-operations log.
+        let app = Arc::clone(&app);
+        router.get("/api/admin/slow", move |req| {
+            let token = need_token!(req);
+            let ops = try_portal!(app.portal.lock().slow_ops(&token, now()));
+            let rows = ops
+                .into_iter()
+                .map(|op| {
+                    Json::obj(vec![
+                        ("site", Json::str(op.site)),
+                        ("us", Json::num(op.us as f64)),
+                        ("detail", Json::str(op.detail)),
+                    ])
+                })
+                .collect();
+            Response::json(Status::OK, &Json::obj(vec![("slow", Json::Arr(rows))]))
+        });
+    }
+    {
         let app = Arc::clone(&app);
         router.get("/api/trace/:id", move |req| {
             let token = need_token!(req);
@@ -696,6 +777,7 @@ pub fn build_router(app: Arc<App>) -> Router {
                 return Response::error(Status::BAD_REQUEST, "bad job id");
             };
             let timeline = try_portal!(app.portal.lock().job_timeline(&token, JobId(id), now()));
+            let tree = try_portal!(app.portal.lock().job_trace_tree(&token, JobId(id), now()));
             let rows = timeline
                 .into_iter()
                 .map(|e| {
@@ -714,11 +796,45 @@ pub fn build_router(app: Arc<App>) -> Router {
                     ])
                 })
                 .collect();
+            let spans = tree
+                .spans
+                .into_iter()
+                .map(|s| {
+                    Json::obj(vec![
+                        ("id", Json::num(s.id as f64)),
+                        (
+                            "parent",
+                            s.parent.map(|p| Json::num(p as f64)).unwrap_or(Json::Null),
+                        ),
+                        ("name", Json::str(s.name)),
+                        ("start", Json::num(s.start as f64)),
+                        (
+                            "end",
+                            s.end.map(|e| Json::num(e as f64)).unwrap_or(Json::Null),
+                        ),
+                        (
+                            "attrs",
+                            Json::Obj(
+                                s.attrs
+                                    .into_iter()
+                                    .map(|(k, v)| (k, Json::Str(v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
             Response::json(
                 Status::OK,
                 &Json::obj(vec![
                     ("job", Json::num(id as f64)),
                     ("timeline", Json::Arr(rows)),
+                    (
+                        "root",
+                        tree.root.map(|r| Json::num(r as f64)).unwrap_or(Json::Null),
+                    ),
+                    ("spans", Json::Arr(spans)),
+                    ("truncated", Json::num(tree.truncated as f64)),
                 ]),
             )
         });
@@ -731,6 +847,7 @@ pub fn build_router(app: Arc<App>) -> Router {
                 .and_then(|s| s.parse::<usize>().ok())
                 .unwrap_or(100);
             let events = try_portal!(app.portal.lock().recent_events(&token, limit, now()));
+            let truncated = app.portal.lock().obs().events.dropped();
             let rows = events
                 .into_iter()
                 .map(|e| {
@@ -749,7 +866,13 @@ pub fn build_router(app: Arc<App>) -> Router {
                     ])
                 })
                 .collect();
-            Response::json(Status::OK, &Json::Arr(rows))
+            Response::json(
+                Status::OK,
+                &Json::obj(vec![
+                    ("events", Json::Arr(rows)),
+                    ("truncated", Json::num(truncated as f64)),
+                ]),
+            )
         });
     }
 
@@ -760,6 +883,18 @@ pub fn build_router(app: Arc<App>) -> Router {
     router.set_obs(obs);
 
     router
+}
+
+fn alert_json(a: &ccp_core::AlertView) -> Json {
+    Json::obj(vec![
+        ("slo", Json::str(a.slo.clone())),
+        ("firing", Json::Bool(a.firing)),
+        (
+            "since",
+            a.since.map(|t| Json::num(t as f64)).unwrap_or(Json::Null),
+        ),
+        ("transitions", Json::num(a.transitions as f64)),
+    ])
 }
 
 fn job_json(j: &ccp_core::JobView) -> Json {

@@ -845,15 +845,46 @@ fn trace_endpoint_returns_gated_timeline() {
         .iter()
         .map(|e| e.get("event").unwrap().as_str().unwrap().to_string())
         .collect();
+    // Traced submission: the http.request root and the cluster/exec
+    // children now carry the job attr too, so the timeline shows the
+    // whole causal chain, not just the scheduler lifecycle.
     assert_eq!(
         events,
         vec![
+            "http.request",
             "job.submitted",
             "job.queued",
+            "cluster.alloc",
             "job.dispatched",
+            "exec.run",
             "job.completed"
         ]
     );
+    // The span tree view: one connected tree rooted at http.request.
+    let root = j.get("root").unwrap().as_num().unwrap() as u64;
+    let spans = j.get("spans").unwrap().as_arr().unwrap();
+    assert!(!spans.is_empty());
+    assert_eq!(spans[0].get("id").unwrap().as_num().unwrap() as u64, root);
+    assert_eq!(spans[0].get("name").unwrap().as_str(), Some("http.request"));
+    for s in &spans[1..] {
+        assert!(
+            s.get("parent").unwrap().as_num().is_some(),
+            "disconnected span"
+        );
+    }
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name")?.as_str())
+        .collect();
+    for needle in [
+        "job.submitted",
+        "cluster.alloc",
+        "exec.run",
+        "job.completed",
+    ] {
+        assert!(names.contains(&needle), "missing {needle} in {names:?}");
+    }
+    assert_eq!(j.get("truncated").unwrap().as_num(), Some(0.0));
     let job_state = json_of(&dispatch(
         &router,
         Method::Get,
@@ -902,7 +933,9 @@ fn admin_events_endpoint_gated() {
         Some(&admin),
     );
     assert_eq!(resp.status, Status::OK);
-    assert!(json_of(&resp).as_arr().is_some());
+    let j = json_of(&resp);
+    assert!(j.get("events").unwrap().as_arr().is_some());
+    assert_eq!(j.get("truncated").unwrap().as_num(), Some(0.0));
 }
 
 #[test]

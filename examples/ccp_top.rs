@@ -1,0 +1,113 @@
+//! ccp-top: a terminal dashboard over the portal's time-series store.
+//!
+//! Boots an in-process portal, drives a bursty seeded workload through the
+//! job distributor, and every few ticks renders the same windowed queries
+//! `/api/dashboard` serves — queue depth, throughput rates, wait/run
+//! quantiles, and the SLO alert table. Because every panel reads the
+//! tick-domain store, the frames below are identical on every run.
+//!
+//! Run with: `cargo run --example ccp_top`
+
+use ccp_core::{Portal, PortalConfig, QuantilePanel, RatePanel};
+use cluster::ClusterSpec;
+
+fn rate(p: &RatePanel) -> String {
+    match p.rate_milli {
+        Some(r) => format!("{:>6}  {:>8.3}/t", p.total, r as f64 / 1000.0),
+        None => format!("{:>6}  {:>10}", p.total, "-"),
+    }
+}
+
+fn quant(q: &QuantilePanel) -> String {
+    let show = |v: Option<f64>| match v {
+        Some(v) if v.is_infinite() => "+Inf".to_string(),
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_string(),
+    };
+    format!("p50 {:>6}  p99 {:>6}", show(q.p50), show(q.p99))
+}
+
+fn render_frame(portal: &Portal) {
+    let d = portal.dashboard_view();
+    println!(
+        "── tick {:>4} ── window {} ── captures {} (evicted {}) ──",
+        d.at, d.window, d.captures, d.evicted
+    );
+    let avg = d
+        .queue_depth_avg_milli
+        .map(|m| format!("{:.2}", m as f64 / 1000.0))
+        .unwrap_or_else(|| "-".into());
+    println!(
+        "  queue {:>4} (avg {avg})   running {:>4}",
+        d.queue_depth, d.jobs_running
+    );
+    println!("  submitted  {}", rate(&d.submitted));
+    println!("  dispatched {}", rate(&d.dispatched));
+    println!("  completed  {}", rate(&d.completed));
+    println!("  node-lost  {}", rate(&d.node_lost));
+    println!("  wait ticks  {}", quant(&d.wait_ticks));
+    println!("  run  ticks  {}", quant(&d.run_ticks));
+    for a in &d.alerts {
+        let state = if a.firing { "FIRING" } else { "ok" };
+        let since = a
+            .since
+            .map(|t| format!("since tick {t}"))
+            .unwrap_or_else(|| "never breached".into());
+        println!(
+            "  slo {:<12} {:<7} {} ({} transitions)",
+            a.slo, state, since, a.transitions
+        );
+    }
+}
+
+fn main() {
+    // Two quad-core nodes: small enough that the burst below builds a real
+    // backlog and trips the queue-depth objective.
+    let mut portal = Portal::new(PortalConfig {
+        cluster: ClusterSpec::small(1, 2),
+        // Slow the VM down so each job spans many scheduler ticks.
+        instructions_per_tick: 200,
+        seed: 42,
+        ..PortalConfig::default()
+    });
+    portal.bootstrap_admin("admin", "change-me-please").unwrap();
+    let tok = portal.login("admin", "change-me-please", 0).unwrap();
+
+    // One compiled artifact feeds the whole workload.
+    let program =
+        "fn main() { var s = 0; for (var i = 0; i < 200; i = i + 1) { s = s + i; } return s; }";
+    portal
+        .write_file(&tok, "busy.mini", program.as_bytes().to_vec(), 0)
+        .unwrap();
+    let report = portal.compile(&tok, "busy.mini", 0).unwrap();
+    let artifact = report.artifact.expect("compile succeeded").to_string();
+
+    // A front-loaded burst (wide jobs early, backlog builds) followed by a
+    // drain phase, so the queue-depth SLO fires and clears on screen.
+    let mut submitted = 0u32;
+    for _ in 0..240 {
+        let now = portal.now_tick();
+        if submitted < 80 {
+            let cores = [4u32, 2, 2, 1][(submitted % 4) as usize];
+            let est = 6 + (submitted % 5) as u64 * 3;
+            portal
+                .submit_job(&tok, &artifact, cores, est, now)
+                .expect("cluster fits the job");
+            submitted += 1;
+        }
+        portal.tick();
+        if portal.now_tick().is_multiple_of(16) {
+            render_frame(&portal);
+        }
+    }
+
+    // Drain whatever is left, then show the closing frame.
+    while portal.dashboard_view().queue_depth > 0 || portal.dashboard_view().jobs_running > 0 {
+        portal.tick();
+    }
+    portal.tick();
+    println!("── final ──");
+    render_frame(&portal);
+    let slow = portal.slow_ops(&tok, portal.now_tick()).unwrap();
+    println!("slowest ops recorded: {}", slow.len());
+}

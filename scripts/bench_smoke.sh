@@ -1,21 +1,23 @@
 #!/usr/bin/env bash
 # Smoke-run the checker_parallel bench and capture its machine-readable
-# summaries: BENCH_checker.json (pool speedup + cache hit rate) and
+# summaries: BENCH_checker.json (pool speedup + cache hit rate),
 # BENCH_vm.json (VM fast path: snapshot vs stateless schedules/sec,
-# steps/sec, snapshot hit ratio), so CI archives both datapoints per
-# commit.
+# steps/sec, snapshot hit ratio) and BENCH_obs.json (telemetry overhead on
+# the 4-worker hot path), so CI archives all three datapoints per commit.
 #
-# Usage: bench_smoke.sh [output.json] [vm_output.json]
-#        (defaults: BENCH_checker.json, BENCH_vm.json)
+# Usage: bench_smoke.sh [output.json] [vm_output.json] [obs_output.json]
+#        (defaults: BENCH_checker.json, BENCH_vm.json, BENCH_obs.json)
 #
 # The bench prints exactly one line of each form
 #   BENCH_JSON {"bench":"checker_parallel",...}
 #   BENCH_VM_JSON {"bench":"vm_fastpath",...}
+#   BENCH_OBS_JSON {"bench":"obs_overhead",...}
 # on stderr; everything after the prefix is already valid JSON.
 set -euo pipefail
 
 out="${1:-BENCH_checker.json}"
 vm_out="${2:-BENCH_vm.json}"
+obs_out="${3:-BENCH_obs.json}"
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
@@ -30,6 +32,10 @@ if [ -f "$out" ]; then
 fi
 if [ -f "$vm_out" ]; then
     base_vm="$(sed -nE 's/.*"min_speedup":([0-9.]+).*/\1/p' "$vm_out")"
+fi
+base_overhead=""
+if [ -f "$obs_out" ]; then
+    base_overhead="$(sed -nE 's/.*"overhead_pct":(-?[0-9.]+).*/\1/p' "$obs_out")"
 fi
 
 # --test with a fast profile: we want the printed summary, not tight CIs.
@@ -48,6 +54,13 @@ if [ -z "$vm_line" ]; then
     exit 1
 fi
 printf '%s\n' "${vm_line#BENCH_VM_JSON }" > "$vm_out"
+
+obs_line="$(grep -E '^BENCH_OBS_JSON \{' "$log" | tail -n 1 || true)"
+if [ -z "$obs_line" ]; then
+    echo "FAIL: bench did not print a BENCH_OBS_JSON line" >&2
+    exit 1
+fi
+printf '%s\n' "${obs_line#BENCH_OBS_JSON }" > "$obs_out"
 
 # The snapshot engine's win is algorithmic (it removes prefix re-execution,
 # not wall-clock parallelism), so the floor holds on any core count.
@@ -81,6 +94,17 @@ if [ "$cores" -ge 4 ]; then
 else
     echo "note: only $cores core(s); skipping the 2x speedup assertion"
 fi
+# Telemetry must stay out of the hot path's way: the acceptance budget is
+# <5% throughput overhead (negative overhead is run-to-run noise).
+overhead="$(sed -nE 's/.*"overhead_pct":(-?[0-9.]+).*/\1/p' "$obs_out")"
+if [ -z "$overhead" ]; then
+    echo "FAIL: $obs_out is missing overhead_pct" >&2
+    exit 1
+fi
+awk -v o="$overhead" 'BEGIN {
+    if (o + 0 >= 5.0) { print "FAIL: telemetry overhead " o "% at or above the 5% budget" > "/dev/stderr"; exit 1 }
+}'
+
 # Diff the fresh run against the checked-in baselines. Only the
 # machine-independent ratios are compared (raw schedules/sec depend on the
 # runner); slack absorbs CI noise without letting a real regression slide.
@@ -99,10 +123,17 @@ if [ -n "$base_speedup" ] && [ "$cores" -ge 4 ]; then
         if (s + 0 < b * 0.75) { print "FAIL: speedup_4w " s " regressed >25% below baseline " b > "/dev/stderr"; exit 1 }
     }'
 fi
-if [ -n "$base_vm$base_hit$base_speedup" ]; then
-    echo "baseline diff OK (speedup_4w ${base_speedup:-n/a} -> ${speedup}, cache_hit_rate ${base_hit:-n/a} -> ${hit_rate}, vm_min_speedup ${base_vm:-n/a} -> ${vm_speedup})"
+if [ -n "$base_overhead" ]; then
+    # Absolute-points tolerance: the metric is already a ratio, and single
+    # digit swings are bench noise on shared runners.
+    awk -v o="$overhead" -v b="$base_overhead" 'BEGIN {
+        if (o + 0 > b + 4.0) { print "FAIL: telemetry overhead " o "% rose >4 points above baseline " b "%" > "/dev/stderr"; exit 1 }
+    }'
+fi
+if [ -n "$base_vm$base_hit$base_speedup$base_overhead" ]; then
+    echo "baseline diff OK (speedup_4w ${base_speedup:-n/a} -> ${speedup}, cache_hit_rate ${base_hit:-n/a} -> ${hit_rate}, vm_min_speedup ${base_vm:-n/a} -> ${vm_speedup}, obs_overhead ${base_overhead:-n/a}% -> ${overhead}%)"
 else
     echo "note: no checked-in baseline found; skipping the regression diff"
 fi
-echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate}, vm_snapshot_min_speedup=${vm_speedup}x (cores=$cores)"
-echo "wrote $out and $vm_out"
+echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate}, vm_snapshot_min_speedup=${vm_speedup}x, obs_overhead=${overhead}% (cores=$cores)"
+echo "wrote $out, $vm_out and $obs_out"

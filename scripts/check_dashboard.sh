@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Dashboard + SLO smoke: boot the portal, verify /api/dashboard serves the
+# windowed panels and the alert table, then induce a real queue-depth SLO
+# breach over HTTP — flood the distributor with wide jobs, tick until the
+# multi-window burn rate fires — and finally drain the backlog and verify
+# the alert clears instead of latching.
+#
+# Usage: check_dashboard.sh [port]    (default 8145)
+set -euo pipefail
+
+port="${1:-8145}"
+base="http://127.0.0.1:$port"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ]; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+cargo build --release --example portal_server
+target/release/examples/portal_server "$port" &
+server_pid=$!
+
+for _ in $(seq 1 60); do
+    if curl -sf "$base/api/health" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 1
+done
+
+tok="$(curl -sf -X POST "$base/api/login" \
+    --data-binary '{"user":"admin","password":"change-me-please"}' \
+    | sed -nE 's/.*"token":"([^"]+)".*/\1/p')"
+if [ -z "$tok" ]; then
+    echo "FAIL: could not log in" >&2
+    exit 1
+fi
+
+# ---- quiet baseline: every panel present, every objective quiet ----------
+dash="$(curl -sf "$base/api/dashboard")"
+for key in '"queue_depth"' '"submitted"' '"wait_ticks"' '"p99"' '"alerts"'; do
+    if ! printf '%s' "$dash" | grep -qF "$key"; then
+        echo "FAIL: dashboard missing $key: $dash" >&2
+        exit 1
+    fi
+done
+# Objects render keys alphabetically: firing, since, slo, transitions.
+for slo in queue-depth job-loss wait-p99; do
+    if ! printf '%s' "$dash" | grep -qF "\"firing\":false,\"since\":null,\"slo\":\"$slo\""; then
+        echo "FAIL: objective $slo missing or already firing: $dash" >&2
+        exit 1
+    fi
+done
+
+# ---- induce a breach: 60 jobs x 64 cores against 192 cluster cores -------
+# Only three fit at once, so the ready queue holds far more than the
+# 32-job objective while the burn-rate windows fill.
+printf 'fn main() { return 7; }' \
+    | curl -sf -X POST "$base/api/file?path=flood.mini" \
+        -H "Cookie: sid=$tok" --data-binary @- >/dev/null
+art="$(curl -sf -X POST "$base/api/compile?path=flood.mini" \
+    -H "Cookie: sid=$tok" | sed -nE 's/.*"artifact":"([^"]+)".*/\1/p')"
+if [ -z "$art" ]; then
+    echo "FAIL: flood program did not compile" >&2
+    exit 1
+fi
+for _ in $(seq 1 60); do
+    curl -sf -X POST "$base/api/jobs" -H "Cookie: sid=$tok" \
+        --data-binary '{"artifact":"'"$art"'","cores":64,"estimated_ticks":4}' \
+        >/dev/null
+done
+
+fired=""
+for i in $(seq 1 60); do
+    curl -sf -X POST "$base/api/tick" -H "Cookie: sid=$tok" >/dev/null
+    dash="$(curl -sf "$base/api/dashboard")"
+    if printf '%s' "$dash" | grep -qE '"firing":true,"since":[0-9]+,"slo":"queue-depth"'; then
+        fired="tick $i"
+        break
+    fi
+done
+if [ -z "$fired" ]; then
+    echo "FAIL: queue-depth SLO never fired under a 60-job flood: $dash" >&2
+    exit 1
+fi
+# The firing alert is mirrored into /api/health for probes.
+if ! curl -sf "$base/api/health" \
+    | grep -qE '"firing":true,"since":[0-9]+,"slo":"queue-depth"'; then
+    echo "FAIL: firing alert not visible in /api/health" >&2
+    exit 1
+fi
+
+# ---- drain and verify the alert clears (burn rate, not a latch) ----------
+cleared=""
+for _ in $(seq 1 300); do
+    curl -sf -X POST "$base/api/tick" -H "Cookie: sid=$tok" >/dev/null
+    dash="$(curl -sf "$base/api/dashboard")"
+    if printf '%s' "$dash" | grep -qE '"firing":false,"since":[0-9]+,"slo":"queue-depth"'; then
+        cleared=yes
+        break
+    fi
+done
+if [ -z "$cleared" ]; then
+    echo "FAIL: queue-depth SLO still firing after drain: $dash" >&2
+    exit 1
+fi
+transitions="$(printf '%s' "$dash" \
+    | sed -nE 's/.*"firing":false,"since":[0-9]+,"slo":"queue-depth","transitions":([0-9]+).*/\1/p')"
+if [ -z "$transitions" ] || [ "$transitions" -lt 2 ]; then
+    echo "FAIL: expected >=2 transitions (fire + clear), got '${transitions:-none}': $dash" >&2
+    exit 1
+fi
+
+echo "OK: dashboard served, queue-depth SLO fired ($fired) and cleared after drain ($transitions transitions)"

@@ -68,7 +68,12 @@ for family in \
     "ccp_wal_fsyncs_total counter" \
     "ccp_wal_snapshots_total counter" \
     "ccp_wal_recoveries_total counter" \
-    "ccp_wal_recovery_replay_us histogram"; do
+    "ccp_wal_recovery_replay_us histogram" \
+    "ccp_lock_wait_us histogram" \
+    "ccp_slow_ops_total counter" \
+    "ccp_slo_evaluations_total counter" \
+    "ccp_slo_alerts_firing gauge" \
+    "ccp_slo_transitions_total counter"; do
     if ! printf '%s\n' "$input" | grep -qF "# TYPE ${family}"; then
         echo "FAIL: missing family: ${family}" >&2
         status=1

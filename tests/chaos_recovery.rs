@@ -5,7 +5,9 @@
 //! is deterministic per seed (same seed → identical final state).
 
 use cluster::{Cluster, ClusterSpec, FaultPlan};
+use obs::{Obs, SloEngine, SloKind, SloSpec, TimeSeriesStore};
 use sched::{RetryPolicy, SchedPolicyKind, Scheduler, WorkloadSpec};
+use std::sync::Arc;
 
 const MAX_TICKS: u64 = 3_000;
 
@@ -187,6 +189,115 @@ fn chaos_runs_are_deterministic_per_seed() {
             (b.retries, b.node_losses, b.recovery_wait),
             "seed {seed}: accounting diverged"
         );
+    }
+}
+
+/// The chaos workload with the continuous-observability pipeline attached:
+/// per-tick registry captures into a [`TimeSeriesStore`] and a queue-depth
+/// burn-rate SLO evaluated over them. Returns the `(tick, kind)` alert
+/// transition history.
+fn run_chaos_slo(seed: u64) -> Vec<(u64, String)> {
+    let cluster = Cluster::new(ClusterSpec::small(2, 4));
+    let nodes = cluster.slave_ids();
+    let plan = FaultPlan::random_outages(&nodes, 10, 250, 40, seed);
+    let obs = Arc::new(Obs::new());
+    let mut sched = Scheduler::new(cluster, SchedPolicyKind::Fifo)
+        .with_obs(Arc::clone(&obs))
+        .with_retry(RetryPolicy::default())
+        .with_retry_seed(seed)
+        .with_fault_plan(plan);
+    let store = TimeSeriesStore::new(MAX_TICKS as usize);
+    // A deliberately tight objective: the chaos backlog breaches it
+    // mid-run, and the drained queue at the end clears it.
+    let mut engine = SloEngine::new(
+        vec![SloSpec {
+            name: "queue-depth".into(),
+            kind: SloKind::GaugeAbove {
+                series: "ccp_sched_queue_depth".into(),
+                threshold_milli: 1_000,
+            },
+            short_window: 4,
+            long_window: 16,
+        }],
+        &obs.metrics,
+    );
+
+    let workload = WorkloadSpec {
+        jobs: 60,
+        core_choices: vec![1, 2, 4, 8],
+        runtime_range: (5, 25),
+        mean_interarrival: 2.0,
+        users: 4,
+        ..WorkloadSpec::default()
+    };
+    let arrivals = workload.generate(seed);
+
+    let mut next = 0usize;
+    for _ in 0..MAX_TICKS {
+        let now = sched.now();
+        while next < arrivals.len() && arrivals[next].at_tick <= now + 1 {
+            let mut spec = arrivals[next].spec.clone();
+            if next.is_multiple_of(3) {
+                spec = spec.with_timeout(400);
+            }
+            sched.submit(spec).expect("workload jobs fit the cluster");
+            next += 1;
+        }
+        sched.tick();
+        sched.publish_gauges();
+        let now = sched.now();
+        store.record(now, &obs.metrics);
+        engine.evaluate(now, &store, &obs.events);
+        if next >= arrivals.len() && sched.jobs().all(|j| j.state.is_terminal()) {
+            break;
+        }
+    }
+    obs.events
+        .recent(usize::MAX)
+        .into_iter()
+        .filter(|e| e.kind.starts_with("slo."))
+        .map(|e| (e.at, e.kind))
+        .collect()
+}
+
+#[test]
+fn chaos_drives_slo_alert_through_fire_and_clear_deterministically() {
+    for seed in [11, 42, 1337] {
+        let a = run_chaos_slo(seed);
+        let b = run_chaos_slo(seed);
+        assert_eq!(
+            a, b,
+            "seed {seed}: alert transition history diverged between runs"
+        );
+        let kinds: Vec<&str> = a.iter().map(|(_, k)| k.as_str()).collect();
+        assert!(
+            kinds.contains(&"slo.firing"),
+            "seed {seed}: chaos backlog never fired the queue-depth SLO: {a:?}"
+        );
+        // The workload drains by the end, so the final transition must be
+        // a clear — the alert does not stay latched.
+        assert_eq!(
+            kinds.last().copied(),
+            Some("slo.cleared"),
+            "seed {seed}: alert still firing at the end: {a:?}"
+        );
+        // The state machine alternates: a fire is always followed by a
+        // clear, never by another fire.
+        for w in kinds.windows(2) {
+            assert_ne!(w[0], w[1], "seed {seed}: repeated transition: {a:?}");
+        }
+    }
+}
+
+/// Regenerates the SLO-transition table in EXPERIMENTS.md:
+/// `cargo test --test chaos_recovery -- --ignored --nocapture print_chaos_slo`
+#[test]
+#[ignore]
+fn print_chaos_slo_transitions() {
+    for seed in [11, 42, 1337] {
+        let h = run_chaos_slo(seed);
+        let pretty: Vec<String> = h.iter().map(|(at, k)| format!("{k}@{at}")).collect();
+        println!("seed {seed}: {}", pretty.join(" -> "));
     }
 }
 

@@ -4,10 +4,13 @@
 //! buckets and all. Scheduler and cluster metrics use logical ticks only,
 //! so nothing wall-clock can leak in.
 
+use ccp_core::{Portal, PortalConfig};
 use cluster::{Cluster, ClusterSpec, FaultPlan};
+use httpd::Method;
 use obs::Obs;
 use sched::{RetryPolicy, SchedPolicyKind, Scheduler, WorkloadSpec};
 use std::sync::Arc;
+use webportal::{app::dispatch, build_router, App};
 
 const MAX_TICKS: u64 = 3_000;
 
@@ -80,6 +83,148 @@ fn print_chaos_metrics() {
             .filter(|l| !l.starts_with('#') && !l.contains("_bucket"))
         {
             println!("{line}");
+        }
+    }
+}
+
+/// Drive a full portal — HTTP submission, WAL-journaled scheduler, VM
+/// execution, auto-analysis on the checker pool — and return the raw
+/// `/api/dashboard` and `/api/trace/:id` response bodies. Everything in
+/// them is tick-domain, so two same-seed runs must be byte-identical
+/// regardless of checker worker count.
+fn run_portal_observability(seed: u64, checker_threads: usize) -> (String, String) {
+    let dir = std::env::temp_dir().join(format!(
+        "ccp-obs-det-{}-{seed}-{checker_threads}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut portal = Portal::new(PortalConfig {
+        cluster: ClusterSpec::small(1, 2),
+        seed,
+        checker_threads: Some(checker_threads),
+        data_dir: Some(dir.clone()),
+        auto_analyze: true,
+        ..PortalConfig::default()
+    });
+    portal.bootstrap_admin("admin", "super-secret9").unwrap();
+    let app = App::new(portal);
+    let router = build_router(Arc::clone(&app));
+
+    let login = dispatch(
+        &router,
+        Method::Post,
+        "/api/login",
+        br#"{"user":"admin","password":"super-secret9"}"#,
+        None,
+    );
+    let token = login
+        .body_str()
+        .split("\"token\":\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_string();
+    dispatch(
+        &router,
+        Method::Post,
+        "/api/file?path=phil.mini",
+        labs::lab6_philosophers::ordered_source(3).as_bytes(),
+        Some(&token),
+    );
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/compile?path=phil.mini",
+        b"",
+        Some(&token),
+    );
+    let artifact = resp
+        .body_str()
+        .split("\"artifact\":\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_string();
+    let mut first_job = None;
+    for cores in [1u32, 2, 1] {
+        let body = format!(r#"{{"artifact":"{artifact}","cores":{cores},"estimated_ticks":4}}"#);
+        let resp = dispatch(
+            &router,
+            Method::Post,
+            "/api/jobs",
+            body.as_bytes(),
+            Some(&token),
+        );
+        let id = resp
+            .body_str()
+            .split("\"job\":")
+            .nth(1)
+            .unwrap()
+            .split(['}', ','])
+            .next()
+            .unwrap()
+            .trim()
+            .to_string();
+        first_job.get_or_insert(id);
+    }
+    for _ in 0..25 {
+        dispatch(&router, Method::Post, "/api/tick", b"", Some(&token));
+    }
+    let dashboard = dispatch(&router, Method::Get, "/api/dashboard", b"", None)
+        .body_str()
+        .to_string();
+    let trace = dispatch(
+        &router,
+        Method::Get,
+        &format!("/api/trace/{}", first_job.unwrap()),
+        b"",
+        Some(&token),
+    )
+    .body_str()
+    .to_string();
+    let _ = std::fs::remove_dir_all(&dir);
+    (dashboard, trace)
+}
+
+#[test]
+fn portal_dashboard_and_trace_are_deterministic_across_worker_counts() {
+    for seed in [7, 42] {
+        let (dash_ref, trace_ref) = run_portal_observability(seed, 1);
+        // The dashboard windows real data and carries the alert table.
+        assert!(dash_ref.contains("\"queue_depth\""), "{dash_ref}");
+        assert!(dash_ref.contains("\"alerts\""), "{dash_ref}");
+        assert!(dash_ref.contains("\"p99\""), "{dash_ref}");
+        // The trace is one connected tree spanning every layer: HTTP
+        // entry, scheduler lifecycle, cluster allocation, VM execution,
+        // checker analysis, and WAL appends.
+        for layer in [
+            "http.request",
+            "job.submitted",
+            "cluster.alloc",
+            "exec.run",
+            "checker.analyze",
+            "wal.append",
+        ] {
+            assert!(
+                trace_ref.contains(layer),
+                "missing {layer} in:\n{trace_ref}"
+            );
+        }
+        // Same seed, same bytes — re-run at the same and other widths.
+        for workers in [1usize, 2, 4] {
+            let (dash, trace) = run_portal_observability(seed, workers);
+            assert_eq!(
+                dash, dash_ref,
+                "seed {seed}: dashboard diverged at {workers} checker threads"
+            );
+            assert_eq!(
+                trace, trace_ref,
+                "seed {seed}: trace tree diverged at {workers} checker threads"
+            );
         }
     }
 }
