@@ -129,6 +129,13 @@ fn bench(c: &mut Criterion) {
     let vm_rows = ccp_bench::vm_fastpath::rows(3);
     eprintln!("{}", ccp_bench::vm_fastpath::report(&vm_rows));
 
+    // Partial-order reduction: schedules to exhaust the same trees with
+    // and without DPOR, plus the preemption-bounded certificate. Also
+    // available as `cargo run --release -p ccp-bench --example dpor`.
+    ccp_bench::banner("Partial-order reduction: sleep-set DFS vs DPOR vs preemption bound");
+    let dpor_rows = ccp_bench::dpor::rows();
+    eprintln!("{}", ccp_bench::dpor::report(&dpor_rows));
+
     // One line the smoke script lifts verbatim into BENCH_checker.json.
     let workers_json = rows
         .iter()
@@ -162,6 +169,16 @@ fn bench(c: &mut Criterion) {
     g.bench_function("check_dfs_stateless", |b| {
         let cfg = ccp_bench::vm_fastpath::deep_dfs_cfg(false);
         b.iter(|| black_box(checker::check(&program, &cfg)))
+    });
+    g.bench_function("check_dpor_reduced", |b| {
+        let prog = minilang::compile(&checker::archetypes::scaled_locked_counter(3)).unwrap();
+        let cfg = ccp_bench::dpor::reduction_cfg(true, None);
+        b.iter(|| black_box(checker::check(&prog, &cfg)))
+    });
+    g.bench_function("check_dpor_unreduced", |b| {
+        let prog = minilang::compile(&checker::archetypes::scaled_locked_counter(3)).unwrap();
+        let cfg = ccp_bench::dpor::reduction_cfg(false, None);
+        b.iter(|| black_box(checker::check(&prog, &cfg)))
     });
     g.bench_function("check_4_workers", |b| {
         let pool = Pool::new(4);

@@ -1,0 +1,16 @@
+//! Criterion-free entry point for the partial-order-reduction comparison:
+//!
+//! ```text
+//! cargo run --release -p ccp-bench --example dpor
+//! ```
+//!
+//! Prints the DFS-vs-DPOR-vs-bounded table to stderr and one
+//! `BENCH_DPOR_JSON {...}` line that `scripts/bench_smoke.sh` captures
+//! into `BENCH_dpor.json` (and `scripts/check_dpor.sh` gates on).
+
+fn main() {
+    ccp_bench::banner("Partial-order reduction: sleep-set DFS vs DPOR vs preemption bound");
+    let rows = ccp_bench::dpor::rows();
+    let line = ccp_bench::dpor::report(&rows);
+    eprintln!("{line}");
+}

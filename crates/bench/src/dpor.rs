@@ -1,0 +1,166 @@
+//! Partial-order reduction measurement: the unreduced sleep-set DFS
+//! against DPOR and DPOR with a preemption bound, on deep-DFS clean
+//! archetypes both engines can exhaust.
+//!
+//! The differential suite (`tests/dpor_equivalence.rs`) proves the engines
+//! agree on verdicts; this module measures what the reduction buys — how
+//! many schedules each engine needs to exhaust the same tree, and whether
+//! the bounded run still certifies `exhaustive_within_bound`. Used by the
+//! `checker_parallel` bench and the `dpor` example (which
+//! `scripts/bench_smoke.sh` and `scripts/check_dpor.sh` run to emit
+//! `BENCH_dpor.json`).
+
+use checker::{CheckConfig, Strategy};
+
+/// The preemption bound the bounded column runs at: empirically every
+/// seeded lab bug still surfaces at 2 preemptions, per the CHESS
+/// small-bound hypothesis.
+pub const BOUND: u32 = 2;
+
+/// One archetype's DFS-vs-DPOR-vs-bounded comparison.
+#[derive(Debug, Clone)]
+pub struct DporRow {
+    pub name: &'static str,
+    /// Schedules the unreduced sleep-set DFS ran to exhaust the tree.
+    pub schedules_dfs: u64,
+    /// Schedules DPOR ran to exhaust the same tree.
+    pub schedules_dpor: u64,
+    /// Schedules the DFS phase ran under `preemption_bound: Some(BOUND)`
+    /// (walk fill excluded — the bound makes the DFS phase incomplete by
+    /// design, and the walk phase's size is the budget, not the search).
+    pub schedules_bounded: u64,
+    /// `schedules_dfs / schedules_dpor` — the reduction ratio.
+    pub reduction: f64,
+    /// Both engines exhausted the tree within the budget.
+    pub both_complete: bool,
+    /// The bounded run certified every <=BOUND-preemption schedule seen.
+    pub bounded_exhaustive: bool,
+    /// All three runs returned the same verdict.
+    pub verdicts_agree: bool,
+    /// Backtrack points DPOR inserted (unbounded run).
+    pub backtracks: u64,
+    /// Sibling branches DPOR never had to earn (unbounded run).
+    pub pruned_siblings: u64,
+}
+
+/// Deep-DFS archetypes (see `checker::archetypes`): clean, so no failure
+/// short-circuits either engine and the schedule counts measure tree size,
+/// not luck; small enough that the unreduced DFS exhausts each within the
+/// budget, so every ratio compares completed enumerations.
+fn workloads() -> Vec<(&'static str, minilang::Program)> {
+    [
+        (
+            "locked_counter_x2",
+            checker::archetypes::mini_locked_counter().to_string(),
+        ),
+        (
+            "locked_counter_x3",
+            checker::archetypes::scaled_locked_counter(3),
+        ),
+        (
+            "semaphore_pingpong_x2",
+            checker::archetypes::mini_semaphore_pingpong().to_string(),
+        ),
+        (
+            "semaphore_pingpong_x4",
+            checker::archetypes::scaled_semaphore_pingpong(4),
+        ),
+    ]
+    .into_iter()
+    .map(|(name, src)| (name, minilang::compile(&src).expect("archetype compiles")))
+    .collect()
+}
+
+/// Pure-DFS configuration with a budget big enough for the unreduced
+/// engine to exhaust every workload tree (the deepest needs ~420
+/// schedules), yet modest enough that the bounded run's walk fill stays
+/// cheap.
+pub fn reduction_cfg(dpor: bool, bound: Option<u32>) -> CheckConfig {
+    CheckConfig {
+        max_schedules: 4_096,
+        max_steps: 1_000_000_000,
+        minimize: false,
+        seed: 42,
+        strategy: Strategy::Dfs,
+        dfs_depth: 10_000,
+        dpor,
+        preemption_bound: bound,
+        ..CheckConfig::default()
+    }
+}
+
+/// Run the three engines on every workload.
+pub fn rows() -> Vec<DporRow> {
+    workloads()
+        .iter()
+        .map(|(name, program)| {
+            let (dfs, dfs_stats) = checker::check_with_stats(program, &reduction_cfg(false, None));
+            let (dpor, dpor_stats) = checker::check_with_stats(program, &reduction_cfg(true, None));
+            let (bounded, bounded_stats) =
+                checker::check_with_stats(program, &reduction_cfg(true, Some(BOUND)));
+            DporRow {
+                name,
+                schedules_dfs: dfs_stats.dfs_schedules,
+                schedules_dpor: dpor_stats.dfs_schedules,
+                schedules_bounded: bounded_stats.dfs_schedules,
+                reduction: dfs_stats.dfs_schedules as f64 / dpor_stats.dfs_schedules.max(1) as f64,
+                both_complete: dfs.complete && dpor.complete,
+                bounded_exhaustive: bounded.exhaustive_within_bound,
+                verdicts_agree: dfs.verdict == dpor.verdict && dfs.verdict == bounded.verdict,
+                backtracks: dpor_stats.dpor_backtracks,
+                pruned_siblings: dpor_stats.dpor_pruned_siblings,
+            }
+        })
+        .collect()
+}
+
+/// Print the human table to stderr and return the machine-readable
+/// `BENCH_DPOR_JSON ...` line.
+pub fn report(rows: &[DporRow]) -> String {
+    let mut min_reduction = f64::INFINITY;
+    let mut all_sound = true;
+    for r in rows {
+        min_reduction = min_reduction.min(r.reduction);
+        all_sound &= r.both_complete && r.bounded_exhaustive && r.verdicts_agree;
+        eprintln!(
+            "  {:<24} {:>6} DFS  {:>5} DPOR  {:>5} bound<={}  \
+             ({:.1}x reduction, {} backtracks, {} pruned, complete={} exhaustive={})",
+            r.name,
+            r.schedules_dfs,
+            r.schedules_dpor,
+            r.schedules_bounded,
+            BOUND,
+            r.reduction,
+            r.backtracks,
+            r.pruned_siblings,
+            r.both_complete,
+            r.bounded_exhaustive,
+        );
+    }
+    let per_arch = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "\"{}\":{{\"schedules_dfs\":{},\"schedules_dpor\":{},\
+                 \"schedules_bounded\":{},\"reduction\":{:.2},\
+                 \"both_complete\":{},\"bounded_exhaustive\":{},\
+                 \"backtracks\":{},\"pruned_siblings\":{}}}",
+                r.name,
+                r.schedules_dfs,
+                r.schedules_dpor,
+                r.schedules_bounded,
+                r.reduction,
+                r.both_complete,
+                r.bounded_exhaustive,
+                r.backtracks,
+                r.pruned_siblings
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "BENCH_DPOR_JSON {{\"bench\":\"dpor\",\"preemption_bound\":{BOUND},\
+         \"per_arch\":{{{per_arch}}},\"min_reduction\":{min_reduction:.2},\
+         \"all_sound\":{all_sound}}}"
+    )
+}

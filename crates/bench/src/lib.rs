@@ -24,5 +24,6 @@ pub fn banner(title: &str) {
     eprintln!("\n=============== {title} ===============");
 }
 
+pub mod dpor;
 pub mod obs_overhead;
 pub mod vm_fastpath;

@@ -76,6 +76,10 @@ pub fn deep_dfs_cfg(snapshot: bool) -> CheckConfig {
         // schedule — exactly the regime snapshotting targets.
         dfs_depth: 2_000,
         snapshot_prefix: snapshot,
+        // This comparison is about prefix reuse, not reduction: DPOR forces
+        // the snapshot engine and prunes the tree, which would collapse
+        // both sides onto the same engine. `dpor.rs` measures reduction.
+        dpor: false,
         ..CheckConfig::default()
     }
 }

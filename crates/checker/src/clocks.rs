@@ -209,6 +209,24 @@ impl RaceDetector {
         h.0
     }
 
+    /// Thread `t`'s current epoch: its own clock component, as the next
+    /// event it emits will be stamped. A step by `t` at epoch `e`
+    /// happens-before a later point of thread `p` iff `p`'s clock has
+    /// component `[t] >= e` — releases publish the epoch *before*
+    /// incrementing, so every step up to the release is covered by the
+    /// published value. The DPOR layer (`explore`) reads this to decide
+    /// whether an executed step can still be reordered after a pending op.
+    pub(crate) fn epoch(&self, t: usize) -> u64 {
+        self.clocks.get(t).map(|c| c.get(t)).unwrap_or(0).max(1)
+    }
+
+    /// Component `q` of thread `p`'s current clock (0 when `p` has no
+    /// clock yet): everything of `q` up to this value happens-before
+    /// `p`'s next step.
+    pub(crate) fn clock_component(&self, p: usize, q: usize) -> u64 {
+        self.clocks.get(p).map(|c| c.get(q)).unwrap_or(0)
+    }
+
     /// Make sure thread `t` has a clock with its own component at >= 1
     /// (so its first epoch is distinguishable from "never happened").
     fn touch(&mut self, t: usize) {

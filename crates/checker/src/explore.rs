@@ -254,6 +254,18 @@ impl Exec {
         Vec::new()
     }
 
+    /// Thread `t`'s current FastTrack epoch (its own clock component):
+    /// the happens-before stamp its next visible step will carry.
+    pub(crate) fn epoch_of(&self, t: usize) -> u64 {
+        self.detector.epoch(t)
+    }
+
+    /// Component `q` of thread `p`'s clock: a past step by `q` at epoch
+    /// `e` happens-before `p`'s next step iff `clock_component(p, q) >= e`.
+    pub(crate) fn clock_component(&self, p: usize, q: usize) -> u64 {
+        self.detector.clock_component(p, q)
+    }
+
     /// Take one visible step of thread `tid`, then re-normalize. The caller
     /// must have verified `tid` is in [`Exec::enabled`].
     pub(crate) fn step(&mut self, tid: usize) -> Option<Stop> {
@@ -300,21 +312,13 @@ impl Exec {
     }
 }
 
-/// Do two op keys commute (are independent)? Used by sleep sets: a pruned
-/// choice stays asleep while only independent ops execute.
+/// Do two op keys commute (are independent)? Used by sleep sets (a pruned
+/// choice stays asleep while only independent ops execute) and by DPOR's
+/// dependence scans. The relation itself lives with the op vocabulary in
+/// [`minilang::OpKey::commutes_with`], so external schedulers share one
+/// definition.
 pub(crate) fn independent(a: &OpKey, b: &OpKey) -> bool {
-    if a.kind == OpKind::Opaque || b.kind == OpKind::Opaque {
-        return false; // opaque conflicts with everything (shared RNG, I/O)
-    }
-    if a.kind == OpKind::Io || b.kind == OpKind::Io {
-        return false; // stdout / host-file order is observable
-    }
-    match (a.obj, b.obj) {
-        (OpObj::None, _) | (_, OpObj::None) => true, // spawn/yield touch no shared object
-        (x, y) if x != y => true,
-        // Same object: only read/read commutes.
-        _ => a.kind == OpKind::Read && b.kind == OpKind::Read,
-    }
+    a.commutes_with(b)
 }
 
 /// Replay a previously reported repro `schedule` from scratch. Entries
@@ -365,6 +369,10 @@ struct DfsOutcome {
     failure: Option<(Verdict, Vec<usize>)>,
     /// True if the subtree was fully explored within budget/depth.
     complete: bool,
+    /// True if nothing was lost to budget truncation or the depth-cap
+    /// fallback — children skipped *by the preemption bound* still count
+    /// as covered. Equals `complete` when no bound prunes anything.
+    within_bound: bool,
 }
 
 /// One schedule spent by DFS, in traversal order. Parallel workers record
@@ -411,6 +419,117 @@ impl StateCache {
     }
 }
 
+/// Where an executed step on the current DFS path came from — the target
+/// DPOR backtrack insertions resolve against.
+#[derive(Debug, Clone, Copy)]
+enum StepOrigin {
+    /// The only choice at its state (or a prefix step a worker replayed):
+    /// nothing to backtrack to.
+    Forced,
+    /// Child of the live branch frame at this index in `Dfs::frames`.
+    Frame(usize),
+    /// The dealt root-branch choice of a parallel shard. Insertions here
+    /// are recorded into `Dfs::unit_backtrack` for the coordinator, which
+    /// owns the root frame (see `crate::pool`).
+    UnitRoot,
+}
+
+/// One executed visible step on the current DFS path, with the
+/// happens-before stamp DPOR's dependence scan tests against.
+#[derive(Debug, Clone)]
+struct PathStep {
+    tid: usize,
+    op: OpKey,
+    /// `tid`'s own clock component when the step ran (pre-step). A later
+    /// pending op of thread `p` is ordered after this step iff `p`'s
+    /// clock component for `tid` has reached this value.
+    epoch: u64,
+    origin: StepOrigin,
+}
+
+/// A live DPOR branch point: the enabled candidates and which of them the
+/// search has committed to explore. Children are *earned*, not enumerated:
+/// the frame starts with one member and grows when a later pending op is
+/// found dependent on (and unordered with) one of its children's steps.
+#[derive(Debug)]
+struct DporFrame {
+    /// Enabled threads with pending ops at the branch state, ascending.
+    enabled: Vec<usize>,
+    /// Members committed for exploration (insertion order; picks are by
+    /// ascending thread id so exploration order is canonical).
+    backtrack: Vec<usize>,
+    /// Members already picked (explored or bound-pruned).
+    done: Vec<usize>,
+    /// `Dfs::path_log` length at the branch state; restores truncate to it.
+    path_len: usize,
+}
+
+impl DporFrame {
+    /// Add `t` unless already committed; true if it was new.
+    fn add(&mut self, t: usize) -> bool {
+        if self.backtrack.contains(&t) || self.done.contains(&t) {
+            return false;
+        }
+        self.backtrack.push(t);
+        true
+    }
+
+    /// Next member to explore: lowest-id committed-but-not-done thread.
+    fn next_member(&self) -> Option<usize> {
+        self.backtrack
+            .iter()
+            .copied()
+            .filter(|t| !self.done.contains(t))
+            .min()
+    }
+}
+
+/// Cap on how many *candidate* entries one dependence scan may examine.
+/// Scans walk per-object conflict lists (see [`ConflictIndex`]), so they
+/// normally examine a handful of entries regardless of path length; a
+/// pathological scan that exceeds the cap gives up the exhaustiveness
+/// claim (never soundness — verdicts are unaffected, only
+/// `complete`/`exhaustive_within_bound` drop to false).
+const DPOR_SCAN_CAP: usize = 4096;
+
+/// Per-object index over `Dfs::path_log`: for each shared object the
+/// ascending path indexes of logged steps touching it, plus the
+/// always-conflicting (`Opaque`/`Io`) steps. The dependence scan walks one
+/// object's list instead of the whole path, so deep schedules (thousands
+/// of visible steps) stay scannable without an O(path²) blowup.
+#[derive(Debug, Default)]
+struct ConflictIndex {
+    by_obj: std::collections::HashMap<OpObj, Vec<usize>>,
+    /// `Opaque`/`Io` steps: dependent with every operation.
+    wildcard: Vec<usize>,
+}
+
+impl ConflictIndex {
+    /// Index path step `i` (must be pushed in path order).
+    fn push(&mut self, i: usize, op: &OpKey) {
+        if matches!(op.kind, OpKind::Opaque | OpKind::Io) {
+            self.wildcard.push(i);
+        } else if op.obj != OpObj::None {
+            self.by_obj.entry(op.obj).or_default().push(i);
+        }
+        // `OpObj::None` with a benign kind (spawn/yield) commutes with
+        // everything except the wildcard kinds: never a candidate.
+    }
+
+    /// Drop every indexed step at path position `len` or later (mirror of
+    /// `path_log.truncate(len)` on a branch restore).
+    fn truncate(&mut self, len: usize) {
+        while self.wildcard.last().is_some_and(|&i| i >= len) {
+            self.wildcard.pop();
+        }
+        for list in self.by_obj.values_mut() {
+            while list.last().is_some_and(|&i| i >= len) {
+                list.pop();
+            }
+        }
+    }
+}
+
 /// Bounded DFS with sleep sets, in one of two modes sharing all policy
 /// code (sleep filtering, pruning, budget spends, trace recording):
 ///
@@ -442,6 +561,21 @@ struct Dfs<'a> {
     cache: Option<StateCache>,
     /// Execution-cost counters surfaced through `check_with_stats`.
     stats: CheckStats,
+    /// DPOR: every visible step on the current path, in order.
+    path_log: Vec<PathStep>,
+    /// DPOR: per-object index over `path_log` for the dependence scan.
+    conflicts: ConflictIndex,
+    /// DPOR: live branch frames, root-to-leaf.
+    frames: Vec<DporFrame>,
+    /// DPOR, parallel shards: the root-branch enabled set this unit's
+    /// dealt choice was drawn from (`None` when this Dfs owns the whole
+    /// tree and keeps the root as a real frame).
+    unit_root_enabled: Option<Vec<usize>>,
+    /// DPOR, parallel shards: root-frame backtrack additions earned while
+    /// exploring this shard, for the coordinator's membership loop.
+    unit_backtrack: std::collections::BTreeSet<usize>,
+    /// A dependence scan hit [`DPOR_SCAN_CAP`]: exhaustiveness is forfeit.
+    scan_capped: bool,
 }
 
 impl<'a> Dfs<'a> {
@@ -458,19 +592,43 @@ impl<'a> Dfs<'a> {
             trace: Vec::new(),
             record,
             checked_since_spend: false,
-            cache: (cfg.snapshot_prefix && cfg.state_cache_capacity > 0)
+            cache: (!cfg.dpor && cfg.snapshot_prefix && cfg.state_cache_capacity > 0)
                 .then(|| StateCache::new(cfg.state_cache_capacity)),
             stats: CheckStats::default(),
+            path_log: Vec::new(),
+            conflicts: ConflictIndex::default(),
+            frames: Vec::new(),
+            unit_root_enabled: None,
+            unit_backtrack: std::collections::BTreeSet::new(),
+            scan_capped: false,
         }
     }
 
     /// Explore all schedules extending `path`, dispatching on engine mode.
-    fn run(&mut self, path: &[usize], sleep: Vec<(usize, OpKey)>, depth: u32) -> DfsOutcome {
-        if self.cfg.snapshot_prefix {
-            self.explore_path(path, sleep, depth)
+    /// `preemptions` is the preemptive-switch count the path itself has
+    /// already paid (nonzero only for dealt parallel shards).
+    fn run(
+        &mut self,
+        path: &[usize],
+        sleep: Vec<(usize, OpKey)>,
+        depth: u32,
+        preemptions: u32,
+    ) -> DfsOutcome {
+        let mut out = if self.cfg.dpor {
+            // DPOR always runs on the snapshot engine: restoring a branch
+            // snapshot is what makes per-sibling re-exploration cheap
+            // enough for the backtrack sets to pay off.
+            self.explore_path_dpor(path, depth, preemptions)
+        } else if self.cfg.snapshot_prefix {
+            self.explore_path(path, sleep, depth, preemptions)
         } else {
-            self.explore_stateless(&mut path.to_vec(), sleep, depth)
+            self.explore_stateless(&mut path.to_vec(), sleep, depth, preemptions)
+        };
+        if self.scan_capped {
+            out.complete = false;
+            out.within_bound = false;
         }
+        out
     }
 
     /// Account a Stop: turn it into the outcome the owning frame returns,
@@ -483,7 +641,11 @@ impl<'a> Dfs<'a> {
             _ => None,
         };
         self.spend(ex, &failure);
-        DfsOutcome { failure, complete }
+        DfsOutcome {
+            failure,
+            complete,
+            within_bound: complete,
+        }
     }
 
     /// Snapshot-mode entry: replay `path` once on a fresh Exec (exactly the
@@ -494,9 +656,10 @@ impl<'a> Dfs<'a> {
         path: &[usize],
         sleep: Vec<(usize, OpKey)>,
         depth: u32,
+        preemptions: u32,
     ) -> DfsOutcome {
         let mut ex = Exec::new(self.program, self.cfg);
-        let out = self.explore_path_in(&mut ex, path, sleep, depth);
+        let out = self.explore_path_in(&mut ex, path, sleep, depth, preemptions);
         self.stats.vm_steps += ex.work_steps;
         out
     }
@@ -507,6 +670,7 @@ impl<'a> Dfs<'a> {
         path: &[usize],
         mut sleep: Vec<(usize, OpKey)>,
         depth: u32,
+        preemptions: u32,
     ) -> DfsOutcome {
         let mut i = 0;
         while i < path.len() {
@@ -534,7 +698,7 @@ impl<'a> Dfs<'a> {
                 return self.stop_outcome(ex, stop);
             }
         }
-        self.explore_from(ex, sleep, depth)
+        self.explore_from(ex, sleep, depth, preemptions)
     }
 
     /// The snapshot-mode engine: `ex` sits just past this frame's last
@@ -546,6 +710,7 @@ impl<'a> Dfs<'a> {
         ex: &mut Exec,
         mut sleep: Vec<(usize, OpKey)>,
         depth: u32,
+        preemptions: u32,
     ) -> DfsOutcome {
         let en = loop {
             if let Some(stop) = ex.status() {
@@ -563,6 +728,7 @@ impl<'a> Dfs<'a> {
                 return DfsOutcome {
                     failure: None,
                     complete: true,
+                    within_bound: true,
                 };
             }
             match ex.pending_op(t) {
@@ -581,6 +747,7 @@ impl<'a> Dfs<'a> {
             return DfsOutcome {
                 failure: outcome.failure,
                 complete: false,
+                within_bound: false,
             };
         }
 
@@ -596,19 +763,37 @@ impl<'a> Dfs<'a> {
                 return DfsOutcome {
                     failure: None,
                     complete: true,
+                    within_bound: true,
                 };
             }
         }
 
+        // A switch away from the thread that took the last step, while it
+        // is still enabled here, costs one preemption (see `preempt_cost`).
+        let last = ex.schedule.last().copied();
         let snap = ex.snapshot();
         self.stats.snapshots += 1;
         let prefix_steps = ex.steps;
         let mut dirty = false;
         let mut complete = true;
+        let mut within = true;
         for &t in &en {
+            let cost = preempt_cost(last, t, &en);
+            if let Some(b) = self.cfg.preemption_bound {
+                if preemptions + cost > b {
+                    // Outside the bound by design: not counted against
+                    // `within_bound`, never put to sleep (it was not
+                    // explored, so nothing may prune against it), and no
+                    // budget check (serial and merge agree on that).
+                    self.stats.bound_pruned += 1;
+                    complete = false;
+                    continue;
+                }
+            }
             self.checked_since_spend = true;
             if self.budget.empty() {
                 complete = false;
+                within = false;
                 break;
             }
             if dirty {
@@ -634,17 +819,19 @@ impl<'a> Dfs<'a> {
             let out = if let Some(stop) = ex.step(t) {
                 self.stop_outcome(ex, stop)
             } else {
-                self.explore_from(ex, child_sleep, depth + 1)
+                self.explore_from(ex, child_sleep, depth + 1, preemptions + cost)
             };
             if out.failure.is_some() {
                 return out;
             }
             complete &= out.complete;
+            within &= out.within_bound;
             sleep.push((t, op_t));
         }
         DfsOutcome {
             failure: None,
             complete,
+            within_bound: within,
         }
     }
 
@@ -676,6 +863,7 @@ impl<'a> Dfs<'a> {
         branch_path: &mut Vec<usize>,
         sleep: Vec<(usize, OpKey)>,
         depth: u32,
+        preemptions: u32,
     ) -> DfsOutcome {
         // Re-execute the prefix.
         let mut sleep = sleep;
@@ -723,6 +911,7 @@ impl<'a> Dfs<'a> {
             return DfsOutcome {
                 failure: None,
                 complete: true,
+                within_bound: true,
             };
         }
         if let Some(stop) = stop {
@@ -733,12 +922,17 @@ impl<'a> Dfs<'a> {
             };
             self.spend(&ex, &failure);
             self.stats.vm_steps += ex.work_steps;
-            return DfsOutcome { failure, complete };
+            return DfsOutcome {
+                failure,
+                complete,
+                within_bound: complete,
+            };
         }
 
         // At the frontier with >1 enabled thread: branch.
         let en = ex.enabled();
         let mut complete = true;
+        let mut within = true;
         if depth >= self.cfg.dfs_depth {
             // Too deep to enumerate: finish this one path first-choice and
             // mark the subtree incomplete.
@@ -747,12 +941,23 @@ impl<'a> Dfs<'a> {
             return DfsOutcome {
                 failure: outcome.failure,
                 complete: false,
+                within_bound: false,
             };
         }
+        let last = ex.schedule.last().copied();
         for &t in &en {
+            let cost = preempt_cost(last, t, &en);
+            if let Some(b) = self.cfg.preemption_bound {
+                if preemptions + cost > b {
+                    self.stats.bound_pruned += 1;
+                    complete = false;
+                    continue; // outside the bound; never put to sleep
+                }
+            }
             self.checked_since_spend = true;
             if self.budget.empty() {
                 complete = false;
+                within = false;
                 break;
             }
             let Some(op_t) = ex.pending_op(t) else {
@@ -768,19 +973,22 @@ impl<'a> Dfs<'a> {
                 .copied()
                 .filter(|(_, sop)| independent(sop, &op_t))
                 .collect();
-            let out = self.explore_stateless(branch_path, child_sleep, depth + 1);
+            let out =
+                self.explore_stateless(branch_path, child_sleep, depth + 1, preemptions + cost);
             branch_path.pop();
             if out.failure.is_some() {
                 self.stats.vm_steps += ex.work_steps;
                 return out;
             }
             complete &= out.complete;
+            within &= out.within_bound;
             sleep.push((t, op_t));
         }
         self.stats.vm_steps += ex.work_steps;
         DfsOutcome {
             failure: None,
             complete,
+            within_bound: within,
         }
     }
 
@@ -812,7 +1020,409 @@ impl<'a> Dfs<'a> {
         DfsOutcome {
             failure,
             complete: false,
+            within_bound: false,
         }
+    }
+
+    // ---- DPOR engine -------------------------------------------------------
+
+    /// DPOR entry: replay `path` (a dealt shard's root-branch choice, or
+    /// nothing for a whole-tree run), logging each step so deeper
+    /// dependence scans can see the prefix, then hand off to the frame
+    /// loop. Prefix states are not scanned: every step behind them is
+    /// forced or covered by the root deal, so insertions would be no-ops —
+    /// except against the dealt choice itself, whose frame the coordinator
+    /// owns (origin [`StepOrigin::UnitRoot`]).
+    fn explore_path_dpor(&mut self, path: &[usize], depth: u32, preemptions: u32) -> DfsOutcome {
+        let mut ex = Exec::new(self.program, self.cfg);
+        let mut i = 0;
+        let mut early = None;
+        while i < path.len() {
+            if let Some(stop) = ex.status() {
+                early = Some(self.stop_outcome(&ex, stop));
+                break;
+            }
+            let en = ex.enabled();
+            let (tid, origin) = if en.len() == 1 {
+                (en[0], StepOrigin::Forced)
+            } else {
+                let t = path[i];
+                i += 1;
+                let origin = if i == path.len() {
+                    StepOrigin::UnitRoot
+                } else {
+                    StepOrigin::Forced
+                };
+                (t, origin)
+            };
+            if let Some(stop) = self.step_logged(&mut ex, tid, origin) {
+                early = Some(self.stop_outcome(&ex, stop));
+                break;
+            }
+        }
+        let out = match early {
+            Some(o) => o,
+            // The inherited sleep set is always empty here: the tree's root
+            // frame never propagates sibling sleep (see `explore_from_dpor`),
+            // so both the serial root (trivially) and a dealt shard's root
+            // choice start their subtrees asleep-free.
+            None => self.explore_from_dpor(&mut ex, Vec::new(), depth, preemptions),
+        };
+        self.stats.vm_steps += ex.work_steps;
+        out
+    }
+
+    /// Take one visible step, logging it on the DPOR path with its
+    /// happens-before stamp so later dependence scans can test against it.
+    fn step_logged(&mut self, ex: &mut Exec, tid: usize, origin: StepOrigin) -> Option<Stop> {
+        if let Some(op) = ex.pending_op(tid) {
+            self.conflicts.push(self.path_log.len(), &op);
+            self.path_log.push(PathStep {
+                tid,
+                op,
+                epoch: ex.epoch_of(tid),
+                origin,
+            });
+        }
+        ex.step(tid)
+    }
+
+    /// The DPOR dependence scan, run once per state on the path: for each
+    /// thread's pending op — *including blocked threads*: a blocked
+    /// `lock(m)` is dependent on the earlier `lock(m)` whose critical
+    /// section it must be reordered before — find the most recent executed
+    /// step by another thread that conflicts with it and is not already
+    /// happens-ordered before it. Such a pair is reorderable, so the
+    /// earlier step's branch must also try the pending op's thread — that
+    /// is the backtrack insertion that *earns* DFS children instead of
+    /// enumerating them.
+    fn dpor_update(&mut self, ex: &Exec) {
+        for p in 0..ex.vm.thread_count() {
+            let Some(op_p) = ex.pending_op(p) else {
+                continue;
+            };
+            let Some(i) = self.newest_conflict(p, &op_p) else {
+                continue;
+            };
+            let s = &self.path_log[i];
+            if ex.clock_component(p, s.tid) >= s.epoch {
+                // Ordered after its newest conflict by synchronization: the
+                // pair is not reorderable, and (Flanagan–Godefroid) earlier
+                // conflicts need no insertion here — if reordering past
+                // them matters, the subtree that reorders *this* pair will
+                // see them as its own newest conflict.
+                continue;
+            }
+            self.add_backtrack(i, p);
+        }
+    }
+
+    /// The newest logged step by another thread that conflicts with `op_p`
+    /// — the single candidate Flanagan–Godefroid's insertion rule tests.
+    /// Walks the per-object and wildcard conflict lists from their tails,
+    /// skipping own-thread and read/read entries, and returns the newer of
+    /// the two survivors.
+    fn newest_conflict(&mut self, p: usize, op_p: &OpKey) -> Option<usize> {
+        let mut scanned = 0usize;
+        let mut capped = false;
+        // A wildcard pending op conflicts with every logged step: its
+        // newest conflict is simply the newest step by another thread.
+        if matches!(op_p.kind, OpKind::Opaque | OpKind::Io) {
+            for i in (0..self.path_log.len()).rev() {
+                scanned += 1;
+                if scanned > DPOR_SCAN_CAP {
+                    self.scan_capped = true;
+                    return None;
+                }
+                if self.path_log[i].tid != p {
+                    return Some(i);
+                }
+            }
+            return None;
+        }
+        let same_obj: &[usize] = match op_p.obj {
+            OpObj::None => &[], // benign no-object op: only wildcards conflict
+            obj => self.conflicts.by_obj.get(&obj).map_or(&[], Vec::as_slice),
+        };
+        let mut best: Option<usize> = None;
+        'list: for list in [same_obj, self.conflicts.wildcard.as_slice()] {
+            for &i in list.iter().rev() {
+                scanned += 1;
+                if scanned > DPOR_SCAN_CAP {
+                    capped = true;
+                    break 'list;
+                }
+                let s = &self.path_log[i];
+                if s.tid == p || (s.op.kind == OpKind::Read && op_p.kind == OpKind::Read) {
+                    continue; // own step, or same-object read/read: commutes
+                }
+                best = Some(best.map_or(i, |b| b.max(i)));
+                break;
+            }
+        }
+        if capped {
+            self.scan_capped = true;
+        }
+        best
+    }
+
+    /// Register thread `p` at the branch owning path step `i`
+    /// (Flanagan–Godefroid insertion). Under a preemption bound the
+    /// insertion is conservative — the whole enabled set — because bound
+    /// pruning can cut the single representative DPOR would otherwise
+    /// rely on (Coons et al.'s bounded-search correction).
+    fn add_backtrack(&mut self, i: usize, p: usize) {
+        let conservative = self.cfg.preemption_bound.is_some();
+        match self.path_log[i].origin {
+            StepOrigin::Forced => {} // sole choice at its state: nothing to add
+            StepOrigin::Frame(fi) => {
+                let f = &mut self.frames[fi];
+                if !conservative && f.enabled.contains(&p) {
+                    if f.add(p) {
+                        self.stats.dpor_backtracks += 1;
+                    }
+                } else {
+                    for q in f.enabled.clone() {
+                        if self.frames[fi].add(q) {
+                            self.stats.dpor_backtracks += 1;
+                        }
+                    }
+                }
+            }
+            StepOrigin::UnitRoot => {
+                let root = self.unit_root_enabled.clone().unwrap_or_default();
+                if !conservative && root.contains(&p) {
+                    if self.unit_backtrack.insert(p) {
+                        self.stats.dpor_backtracks += 1;
+                    }
+                } else {
+                    for q in root {
+                        if self.unit_backtrack.insert(q) {
+                            self.stats.dpor_backtracks += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The DPOR frame loop, mirror of `explore_from`: advance through
+    /// forced states (scanning each), then open a branch frame seeded with
+    /// one member and explore members as the backtrack set grows. The
+    /// membership evolution (seed = lowest-id candidate, picks by
+    /// ascending id, additions unioned after each child) is exactly what
+    /// `crate::pool`'s coordinator replays over dealt shards.
+    ///
+    /// Backtrack sets compose with classic sleep sets (Godefroid): an
+    /// explored member is put to sleep for its later siblings, whose
+    /// subtrees skip it until a dependent op wakes it. Without this the
+    /// backtrack sets alone re-explore interleavings the sleep-set DFS
+    /// baseline prunes, and "DPOR ≤ DFS schedules" fails on lock-heavy
+    /// programs. Two deliberate exceptions keep the composition sound:
+    ///
+    /// - The tree's *root* frame never propagates sibling sleep. Dealt
+    ///   shards (`crate::pool`) run speculatively before the membership
+    ///   order is known, so their inherited sleep must not depend on it;
+    ///   serial skips the same pushes to stay bit-identical.
+    /// - Under a preemption bound, no frame propagates sleep. A slept
+    ///   member's behaviors are only covered by an earlier sibling's
+    ///   subtree *as explored*, and bound pruning may have cut exactly the
+    ///   representative the sleep prune relies on — the bounded search
+    ///   keeps only the conservative whole-frame insertions (Coons et
+    ///   al.) and forgoes sleep reduction.
+    fn explore_from_dpor(
+        &mut self,
+        ex: &mut Exec,
+        mut sleep: Vec<(usize, OpKey)>,
+        depth: u32,
+        preemptions: u32,
+    ) -> DfsOutcome {
+        let en = loop {
+            if let Some(stop) = ex.status() {
+                return self.stop_outcome(ex, stop);
+            }
+            let en = ex.enabled();
+            self.dpor_update(ex);
+            if en.len() > 1 {
+                break en;
+            }
+            let t = en[0];
+            // Same pruning as `explore_from`: a lone enabled thread that
+            // is asleep means an equivalent continuation was explored.
+            if sleep.iter().any(|&(st, _)| st == t) {
+                self.spend(ex, &None);
+                return DfsOutcome {
+                    failure: None,
+                    complete: true,
+                    within_bound: true,
+                };
+            }
+            match ex.pending_op(t) {
+                Some(op) => sleep.retain(|(_, sop)| independent(sop, &op)),
+                None => sleep.clear(),
+            }
+            if let Some(stop) = self.step_logged(ex, t, StepOrigin::Forced) {
+                return self.stop_outcome(ex, stop);
+            }
+        };
+
+        if depth >= self.cfg.dfs_depth {
+            // Too deep to open more frames. Unlike the plain engines'
+            // finish_one, keep logging and scanning the tail: conflicts
+            // found past the cap still insert into the frames above it,
+            // which is what lets programs with long branchy tails earn
+            // their reorderings instead of silently losing them.
+            return self.finish_one_dpor(ex, en[0]);
+        }
+
+        let members: Vec<usize> = en
+            .iter()
+            .copied()
+            .filter(|&t| ex.pending_op(t).is_some())
+            .collect();
+        // Seed with the lowest-id member that is awake; a fully asleep
+        // frame is covered by explored sibling subtrees and adds nothing.
+        let Some(&first) = members
+            .iter()
+            .find(|&&t| !sleep.iter().any(|&(st, _)| st == t))
+        else {
+            return DfsOutcome {
+                failure: None,
+                complete: true,
+                within_bound: true,
+            };
+        };
+        // See the method docs for why the root frame and bounded searches
+        // never put explored members to sleep for their siblings.
+        let propagate_sleep = self.cfg.preemption_bound.is_none()
+            && !(self.frames.is_empty() && self.unit_root_enabled.is_none());
+        let last = ex.schedule.last().copied();
+        let fi = self.frames.len();
+        self.frames.push(DporFrame {
+            enabled: members,
+            backtrack: vec![first],
+            done: Vec::new(),
+            path_len: self.path_log.len(),
+        });
+        let snap = ex.snapshot();
+        self.stats.snapshots += 1;
+        let prefix_steps = ex.steps;
+        let mut dirty = false;
+        let mut complete = true;
+        let mut within = true;
+        while let Some(t) = self.frames[fi].next_member() {
+            self.frames[fi].done.push(t);
+            let cost = preempt_cost(last, t, &en);
+            if let Some(b) = self.cfg.preemption_bound {
+                if preemptions + cost > b {
+                    // This member's subtree lies outside the bound. Any
+                    // behavior it alone represented may have ≤-bound
+                    // representatives through siblings, so stop trusting
+                    // the reduction here: enumerate the whole frame.
+                    self.stats.bound_pruned += 1;
+                    complete = false;
+                    for q in self.frames[fi].enabled.clone() {
+                        if self.frames[fi].add(q) {
+                            self.stats.dpor_backtracks += 1;
+                        }
+                    }
+                    continue;
+                }
+            }
+            self.checked_since_spend = true;
+            if self.budget.empty() {
+                complete = false;
+                within = false;
+                break;
+            }
+            // A backtrack insertion can name a thread the inherited sleep
+            // set already covers: an ancestor's sibling subtree explored
+            // its behaviors from here, so skip it.
+            if sleep.iter().any(|&(st, _)| st == t) {
+                continue;
+            }
+            if dirty {
+                ex.restore(&snap);
+                self.path_log.truncate(self.frames[fi].path_len);
+                self.conflicts.truncate(self.frames[fi].path_len);
+            }
+            let op_t = ex.pending_op(t).expect("frame members have pending ops");
+            // The child wakes any sleeper whose op conflicts with `op_t`.
+            let child_sleep: Vec<(usize, OpKey)> = sleep
+                .iter()
+                .copied()
+                .filter(|(_, sop)| independent(sop, &op_t))
+                .collect();
+            self.stats.replay_steps_saved += prefix_steps;
+            dirty = true;
+            let out = if let Some(stop) = self.step_logged(ex, t, StepOrigin::Frame(fi)) {
+                self.stop_outcome(ex, stop)
+            } else {
+                self.explore_from_dpor(ex, child_sleep, depth + 1, preemptions + cost)
+            };
+            if out.failure.is_some() {
+                self.frames.truncate(fi);
+                return out;
+            }
+            complete &= out.complete;
+            within &= out.within_bound;
+            if propagate_sleep {
+                sleep.push((t, op_t));
+            }
+        }
+        let f = self.frames.pop().expect("frame pushed above");
+        self.stats.dpor_pruned_siblings += (f.enabled.len() - f.done.len()) as u64;
+        DfsOutcome {
+            failure: None,
+            complete,
+            within_bound: within,
+        }
+    }
+
+    /// DPOR counterpart of [`Dfs::finish_one`]: run `ex` to a stop past the
+    /// depth cap, same rotation, but still log every step and run the
+    /// dependence scan — insertions land in the frames that are still open
+    /// above the cap, so the capped tail teaches the search its
+    /// reorderings even though it no longer opens frames of its own.
+    fn finish_one_dpor(&mut self, ex: &mut Exec, first: usize) -> DfsOutcome {
+        let mut next = Some(first);
+        let mut cursor = 0usize;
+        let stop = loop {
+            if let Some(stop) = ex.status() {
+                break stop;
+            }
+            self.dpor_update(ex);
+            let tid = next.take().unwrap_or_else(|| {
+                let en = ex.enabled();
+                let t = en[cursor % en.len()];
+                cursor += 1;
+                t
+            });
+            if let Some(stop) = self.step_logged(ex, tid, StepOrigin::Forced) {
+                break stop;
+            }
+        };
+        let failure = match stop {
+            Stop::Failure(v) => Some((v, ex.schedule.clone())),
+            _ => None,
+        };
+        self.spend(ex, &failure);
+        DfsOutcome {
+            failure,
+            complete: false,
+            within_bound: false,
+        }
+    }
+}
+
+/// The CHESS preemption cost of scheduling `t` at a branch: switching away
+/// from the thread that took the last step while it is still enabled is a
+/// preemption; continuing it, or switching after it blocked/finished
+/// (a forced yield), is free.
+fn preempt_cost(last: Option<usize>, t: usize, enabled: &[usize]) -> u32 {
+    match last {
+        Some(l) if l != t && enabled.contains(&l) => 1,
+        _ => 0,
     }
 }
 
@@ -881,10 +1491,15 @@ fn minimize(
 }
 
 /// The schedule budget handed to the DFS phase under `cfg.strategy`.
+/// Under DPOR, Hybrid gives DFS the whole budget: the reduction makes
+/// systematic coverage cheap enough that reserving most of the budget for
+/// walks would waste the exhaustiveness proof. Walks still run on
+/// whatever is left whenever DFS returns incomplete.
 pub(crate) fn dfs_phase_budget(cfg: &CheckConfig) -> u64 {
     match cfg.strategy {
         Strategy::Dfs => cfg.max_schedules,
         Strategy::RandomWalk => 0,
+        Strategy::Hybrid if cfg.dpor => cfg.max_schedules,
         Strategy::Hybrid => cfg.max_schedules / 4,
     }
 }
@@ -898,6 +1513,7 @@ pub(crate) fn finish_report(
     schedules: u64,
     steps: u64,
     complete: bool,
+    within_bound: bool,
     failure: Option<(Verdict, Vec<usize>)>,
 ) -> CheckReport {
     match failure {
@@ -912,6 +1528,7 @@ pub(crate) fn finish_report(
                 schedules,
                 steps,
                 complete: false,
+                exhaustive_within_bound: false,
                 repro: Some(repro),
             }
         }
@@ -920,6 +1537,7 @@ pub(crate) fn finish_report(
             schedules,
             steps,
             complete,
+            exhaustive_within_bound: within_bound,
             repro: None,
         },
     }
@@ -928,6 +1546,26 @@ pub(crate) fn finish_report(
 /// Full exploration per `cfg.strategy`; the engine behind [`crate::check`].
 pub(crate) fn explore(program: &Program, cfg: &CheckConfig) -> CheckReport {
     explore_with_stats(program, cfg).0
+}
+
+/// Stack reservation for exploration threads. The DPOR engine recurses one
+/// stack frame per branch frame, and deep programs (a lab-sized loop body
+/// is thousands of visible steps, each a branch state when two threads are
+/// runnable) overflow the 2 MiB thread default and even the 8 MiB main
+/// default. Virtual reservation only — pages commit on use.
+pub(crate) const EXPLORE_STACK_BYTES: usize = 256 << 20;
+
+/// Run `f` on a thread with [`EXPLORE_STACK_BYTES`] of stack (the serial
+/// check path cannot assume the caller's stack is big enough).
+fn on_explore_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .stack_size(EXPLORE_STACK_BYTES)
+            .spawn_scoped(s, f)
+            .expect("spawn exploration thread")
+            .join()
+            .expect("exploration thread panicked")
+    })
 }
 
 /// [`explore`] plus execution-cost counters. The stats cover the DFS and
@@ -940,18 +1578,25 @@ pub(crate) fn explore_with_stats(
     let mut schedules = 0u64;
     let mut steps = 0u64;
     let mut complete = false;
+    let mut within_bound = false;
     let mut failure: Option<(Verdict, Vec<usize>)> = None;
     let mut stats = CheckStats::default();
 
     let dfs_budget = dfs_phase_budget(cfg);
     if dfs_budget > 0 {
         let mut dfs = Dfs::new(program, cfg, dfs_budget, false);
-        let out = dfs.run(&[], Vec::new(), 0);
+        let out = if cfg.dpor {
+            on_explore_stack(|| dfs.run(&[], Vec::new(), 0, 0))
+        } else {
+            dfs.run(&[], Vec::new(), 0, 0)
+        };
         schedules += dfs.schedules;
         steps += dfs.steps;
         complete = out.complete;
+        within_bound = out.within_bound;
         failure = out.failure;
         stats = dfs.stats;
+        stats.dfs_schedules = schedules;
     }
 
     if failure.is_none() && !complete {
@@ -972,7 +1617,15 @@ pub(crate) fn explore_with_stats(
     }
 
     (
-        finish_report(program, cfg, schedules, steps, complete, failure),
+        finish_report(
+            program,
+            cfg,
+            schedules,
+            steps,
+            complete,
+            within_bound,
+            failure,
+        ),
         stats,
     )
 }
@@ -988,6 +1641,16 @@ pub(crate) struct DfsUnit {
     pub(crate) path: Vec<usize>,
     pub(crate) sleep: Vec<(usize, OpKey)>,
     pub(crate) depth: u32,
+    /// Preemptions the dealt root-branch choice itself costs (0 or 1);
+    /// the shard's subtree explores with this already spent. Under a
+    /// bound, units costing more than it are never run — the coordinator
+    /// prunes them exactly where serial DFS would.
+    pub(crate) preemptions: u32,
+    /// DPOR: the root-branch member set (threads with pending ops), which
+    /// the shard needs for conservative backtrack insertions that target
+    /// the coordinator-owned root frame. Empty for non-DPOR deals and for
+    /// the whole-tree unit.
+    pub(crate) root_enabled: Vec<usize>,
 }
 
 impl DfsUnit {
@@ -998,6 +1661,8 @@ impl DfsUnit {
             path: Vec::new(),
             sleep: Vec::new(),
             depth: 0,
+            preemptions: 0,
+            root_enabled: Vec::new(),
         }
     }
 }
@@ -1011,8 +1676,15 @@ pub(crate) struct UnitTrace {
     /// run with the full phase budget, a superset of whatever serial had
     /// left — the merge re-applies the real budget).
     pub(crate) complete: bool,
+    /// The shard's within-preemption-bound exhaustiveness flag, merged
+    /// like `complete`.
+    pub(crate) within_bound: bool,
     /// A budget check site ran after the shard's last spend.
     pub(crate) trailing_check: bool,
+    /// DPOR: root-frame backtrack members this shard's exploration earned
+    /// (ascending). The coordinator unions these into the root membership
+    /// after consuming the shard, exactly when serial would.
+    pub(crate) root_backtrack: Vec<usize>,
     /// Execution-cost counters for this shard (measurement only — the
     /// merge never reads them).
     pub(crate) stats: CheckStats,
@@ -1031,12 +1703,20 @@ pub(crate) fn split_root(program: &Program, cfg: &CheckConfig) -> Option<Vec<Dfs
         }
         let en = ex.enabled();
         if en.len() > 1 {
+            let last = ex.schedule.last().copied();
+            let members: Vec<usize> = en
+                .iter()
+                .copied()
+                .filter(|&t| ex.pending_op(t).is_some())
+                .collect();
             let mut sleep: Vec<(usize, OpKey)> = Vec::new();
             let mut units = Vec::new();
             for &t in &en {
                 let Some(op_t) = ex.pending_op(t) else {
                     continue;
                 };
+                let cost = preempt_cost(last, t, &en);
+                let bound_pruned = cfg.preemption_bound.map(|b| cost > b).unwrap_or(false);
                 let child_sleep: Vec<(usize, OpKey)> = sleep
                     .iter()
                     .copied()
@@ -1046,8 +1726,18 @@ pub(crate) fn split_root(program: &Program, cfg: &CheckConfig) -> Option<Vec<Dfs
                     path: vec![t],
                     sleep: child_sleep,
                     depth: 1,
+                    preemptions: cost,
+                    root_enabled: if cfg.dpor {
+                        members.clone()
+                    } else {
+                        Vec::new()
+                    },
                 });
-                sleep.push((t, op_t));
+                // A bound-pruned child is never explored, so serial DFS
+                // never puts it to sleep — the deal must not either.
+                if !bound_pruned {
+                    sleep.push((t, op_t));
+                }
             }
             return Some(units);
         }
@@ -1066,11 +1756,16 @@ pub(crate) fn run_dfs_unit(
     phase_budget: u64,
 ) -> UnitTrace {
     let mut dfs = Dfs::new(program, cfg, phase_budget, true);
-    let out = dfs.run(&unit.path, unit.sleep.clone(), unit.depth);
+    if !unit.root_enabled.is_empty() {
+        dfs.unit_root_enabled = Some(unit.root_enabled.clone());
+    }
+    let out = dfs.run(&unit.path, unit.sleep.clone(), unit.depth, unit.preemptions);
     UnitTrace {
         entries: dfs.trace,
         complete: out.complete,
+        within_bound: out.within_bound,
         trailing_check: dfs.checked_since_spend,
+        root_backtrack: dfs.unit_backtrack.iter().copied().collect(),
         stats: dfs.stats,
     }
 }

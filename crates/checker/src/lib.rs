@@ -31,6 +31,7 @@
 //! crate), so the same program and budget produce byte-identical verdicts
 //! and repro schedules on every toolchain.
 
+pub mod archetypes;
 mod clocks;
 mod explore;
 mod pool;
@@ -94,7 +95,28 @@ pub struct CheckConfig {
     /// even if that visit was itself truncated. Effective only with
     /// `snapshot_prefix`; [`Pool::check`] runs cache-enabled configs on
     /// the serial path so parallel merge arithmetic stays untouched.
+    /// Ignored under `dpor` (a cache prune would discard the pruned
+    /// subtree's backtrack contributions and unsound-prune the space).
     pub state_cache_capacity: usize,
+    /// Dynamic partial-order reduction (Flanagan/Godefroid source sets
+    /// with conservative wakeup handling). Instead of enumerating every
+    /// sibling at a branch and pruning with sleep sets, DFS starts each
+    /// branch with a single member and *earns* the rest: whenever a
+    /// pending op is found dependent on — and not happens-ordered after —
+    /// an earlier executed step, the earlier step's branch gains a
+    /// backtrack point. Equivalent verdicts in strictly fewer schedules;
+    /// the happens-before oracle is the FastTrack clocks the race
+    /// detector already maintains. Forces the snapshot engine.
+    pub dpor: bool,
+    /// CHESS-style preemption bound: cap the number of *preemptive*
+    /// context switches per schedule (a switch away from a thread that is
+    /// still enabled). `None` explores unbounded. Bounded runs prove
+    /// [`CheckReport::exhaustive_within_bound`] rather than full
+    /// exhaustion; most real concurrency bugs need very few preemptions,
+    /// so small bounds keep grading budgets honest. Under `dpor` the
+    /// backtrack insertion turns conservative (whole enabled set) so the
+    /// bounded search stays sound.
+    pub preemption_bound: Option<u32>,
 }
 
 impl Default for CheckConfig {
@@ -113,6 +135,8 @@ impl Default for CheckConfig {
             workers: None,
             snapshot_prefix: true,
             state_cache_capacity: 0,
+            dpor: true,
+            preemption_bound: None,
         }
     }
 }
@@ -236,10 +260,20 @@ pub struct CheckReport {
     pub schedules: u64,
     /// Visible steps taken across all schedules.
     pub steps: u64,
-    /// True iff DFS exhausted the (sleep-set-reduced) schedule space, so
+    /// True iff DFS exhausted the (reduced) schedule space, so
     /// [`Verdict::Clean`] is a proof within the per-schedule step bound
-    /// rather than a sampling result.
+    /// rather than a sampling result. A [`CheckConfig::preemption_bound`]
+    /// prune falsifies this — see `exhaustive_within_bound` for the
+    /// bounded claim.
     pub complete: bool,
+    /// True iff DFS exhausted the schedule space *up to the configured
+    /// preemption bound*: every schedule with at most
+    /// [`CheckConfig::preemption_bound`] preemptions was covered, and
+    /// nothing was lost to budget truncation or the depth-cap fallback.
+    /// With no bound configured this equals `complete`. On failure it is
+    /// `false` like `complete`: a found bug is a counterexample, not an
+    /// exhaustion claim.
+    pub exhaustive_within_bound: bool,
     /// On failure: the minimized schedule (thread id per visible step)
     /// that [`replay_schedule`] uses to reproduce it.
     pub repro: Option<Vec<usize>>,
@@ -264,6 +298,23 @@ pub struct CheckStats {
     /// Subtrees pruned by the cache (equals hits today; kept separate so
     /// a future partial-prune policy doesn't change metric meaning).
     pub state_cache_prunes: u64,
+    /// DPOR backtrack points earned: threads added to a branch's
+    /// backtrack set because a pending op was dependent on (and not
+    /// ordered after) an earlier step of that branch.
+    pub dpor_backtracks: u64,
+    /// Branch siblings DPOR never had to explore: enabled threads left
+    /// outside the backtrack set when their branch was fully processed.
+    /// Each one is a whole subtree the unreduced DFS would have entered.
+    pub dpor_pruned_siblings: u64,
+    /// Branch children skipped because taking them would exceed the
+    /// preemption bound.
+    pub bound_pruned: u64,
+    /// Schedules spent by the systematic DFS phase alone, before random
+    /// walks fill any remaining budget. This is the number reduction
+    /// ratios compare: walk fill is bounded by `max_schedules`, not by
+    /// the search, so `CheckReport::schedules` overstates bounded or
+    /// truncated explorations.
+    pub dfs_schedules: u64,
 }
 
 /// Explore a compiled program's interleavings.

@@ -103,6 +103,18 @@ impl Pool {
             "ccp_checker_state_cache_prunes_total",
             "subtrees pruned by the visited-state cache",
         );
+        m.describe(
+            "ccp_checker_dpor_backtracks_total",
+            "DPOR backtrack points earned from dependence scans",
+        );
+        m.describe(
+            "ccp_checker_dpor_pruned_siblings_total",
+            "branch siblings DPOR never had to explore",
+        );
+        m.describe(
+            "ccp_checker_dpor_bound_pruned_total",
+            "branch children skipped by the preemption bound",
+        );
         m.gauge("ccp_pool_workers", &[]).set(self.workers as i64);
         m.counter("ccp_pool_tasks_total", &[]);
         m.counter("ccp_pool_steals_total", &[]);
@@ -113,6 +125,9 @@ impl Pool {
         m.counter("ccp_checker_snapshots_total", &[]);
         m.counter("ccp_checker_state_cache_hits_total", &[]);
         m.counter("ccp_checker_state_cache_prunes_total", &[]);
+        m.counter("ccp_checker_dpor_backtracks_total", &[]);
+        m.counter("ccp_checker_dpor_pruned_siblings_total", &[]);
+        m.counter("ccp_checker_dpor_bound_pruned_total", &[]);
         self.obs = Some(obs);
         self
     }
@@ -166,54 +181,62 @@ impl Pool {
                     let queues = &queues;
                     let steals = &steals;
                     let f = &f;
-                    s.spawn(move || {
-                        let started = Instant::now();
-                        let mut busy = 0u64;
-                        let mut out: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            // Own-queue pop as its own statement: the guard
-                            // must drop before any steal attempt, or two
-                            // drained workers stealing from each other hold
-                            // their own lock while waiting for the other's.
-                            let mut task = queues[wi].lock().expect("queue lock").pop_front();
-                            if task.is_none() {
-                                // Steal from the back: the victim's front
-                                // stays cache-warm for its owner.
-                                let scan0 = Instant::now();
-                                for off in 1..queues.len() {
-                                    let v = (wi + off) % queues.len();
-                                    let stolen = queues[v].lock().expect("queue lock").pop_back();
-                                    if stolen.is_some() {
-                                        steals.fetch_add(1, Ordering::Relaxed);
-                                        task = stolen;
-                                        break;
+                    std::thread::Builder::new()
+                        // DPOR units recurse one stack frame per branch
+                        // frame; deep programs (thousands of branch states)
+                        // need more than the 2 MiB thread default. Virtual
+                        // reservation only — pages commit on use.
+                        .stack_size(crate::explore::EXPLORE_STACK_BYTES)
+                        .spawn_scoped(s, move || {
+                            let started = Instant::now();
+                            let mut busy = 0u64;
+                            let mut out: Vec<(usize, R)> = Vec::new();
+                            loop {
+                                // Own-queue pop as its own statement: the guard
+                                // must drop before any steal attempt, or two
+                                // drained workers stealing from each other hold
+                                // their own lock while waiting for the other's.
+                                let mut task = queues[wi].lock().expect("queue lock").pop_front();
+                                if task.is_none() {
+                                    // Steal from the back: the victim's front
+                                    // stays cache-warm for its owner.
+                                    let scan0 = Instant::now();
+                                    for off in 1..queues.len() {
+                                        let v = (wi + off) % queues.len();
+                                        let stolen =
+                                            queues[v].lock().expect("queue lock").pop_back();
+                                        if stolen.is_some() {
+                                            steals.fetch_add(1, Ordering::Relaxed);
+                                            task = stolen;
+                                            break;
+                                        }
                                     }
-                                }
-                                if let Some(p) = profiler {
-                                    let us = scan0.elapsed().as_micros() as u64;
-                                    p.observe("pool.steal", us, || {
-                                        format!("worker {wi} steal scan")
-                                    });
-                                }
-                            }
-                            match task {
-                                Some((i, item)) => {
-                                    let t0 = Instant::now();
-                                    out.push((i, f(i, item)));
-                                    let us = t0.elapsed().as_micros() as u64;
-                                    busy += us;
                                     if let Some(p) = profiler {
-                                        p.observe("pool.task", us, || {
-                                            format!("pool task {i} on worker {wi}")
+                                        let us = scan0.elapsed().as_micros() as u64;
+                                        p.observe("pool.steal", us, || {
+                                            format!("worker {wi} steal scan")
                                         });
                                     }
                                 }
-                                None => break,
+                                match task {
+                                    Some((i, item)) => {
+                                        let t0 = Instant::now();
+                                        out.push((i, f(i, item)));
+                                        let us = t0.elapsed().as_micros() as u64;
+                                        busy += us;
+                                        if let Some(p) = profiler {
+                                            p.observe("pool.task", us, || {
+                                                format!("pool task {i} on worker {wi}")
+                                            });
+                                        }
+                                    }
+                                    None => break,
+                                }
                             }
-                        }
-                        let wall = started.elapsed().as_micros() as u64;
-                        (out, busy, wall.saturating_sub(busy))
-                    })
+                            let wall = started.elapsed().as_micros() as u64;
+                            (out, busy, wall.saturating_sub(busy))
+                        })
+                        .expect("spawn pool worker")
                 })
                 .collect();
             for h in handles {
@@ -262,10 +285,12 @@ impl Pool {
         cfg: &CheckConfig,
     ) -> (CheckReport, CheckStats) {
         let mut workers = cfg.workers.unwrap_or(self.workers);
-        if cfg.snapshot_prefix && cfg.state_cache_capacity > 0 {
+        if !cfg.dpor && cfg.snapshot_prefix && cfg.state_cache_capacity > 0 {
             // The visited-state cache prunes based on everything seen so
             // far, which shard-local caches cannot reproduce — the merge
             // arithmetic would drift. Cache-enabled configs run serial.
+            // (Under DPOR the cache is disabled entirely, so the parallel
+            // path stays available.)
             workers = 1;
         }
         let out = if workers <= 1 {
@@ -293,6 +318,12 @@ impl Pool {
                 .add(s.state_cache_hits);
             m.counter("ccp_checker_state_cache_prunes_total", &[])
                 .add(s.state_cache_prunes);
+            m.counter("ccp_checker_dpor_backtracks_total", &[])
+                .add(s.dpor_backtracks);
+            m.counter("ccp_checker_dpor_pruned_siblings_total", &[])
+                .add(s.dpor_pruned_siblings);
+            m.counter("ccp_checker_dpor_bound_pruned_total", &[])
+                .add(s.bound_pruned);
         }
         out
     }
@@ -308,10 +339,23 @@ impl std::fmt::Debug for Pool {
 
 impl Pool {
     /// DFS shards + merge, then walk fan-out + merge (see module docs).
+    ///
+    /// Under DPOR the root branch is not a fixed sibling list but a
+    /// *membership loop*: serial DFS seeds the root backtrack set with one
+    /// member and earns the rest from dependence scans inside explored
+    /// subtrees. Shards record the root additions they earn
+    /// ([`explore::UnitTrace::root_backtrack`]); the merge replays the
+    /// exact membership evolution — pick the lowest-id committed member,
+    /// consume its trace, union its additions, repeat — so the dealt
+    /// shards reproduce serial's traversal order and budget arithmetic
+    /// bit for bit. First-failure cancellation is disabled there: the
+    /// membership order is not the shard index order, so a later-indexed
+    /// shard can be consumed before an earlier failing one.
     fn check_parallel(&self, program: &Program, cfg: &CheckConfig) -> (CheckReport, CheckStats) {
         let mut schedules = 0u64;
         let mut steps = 0u64;
         let mut complete = false;
+        let mut within_bound = false;
         let mut failure: Option<(Verdict, Vec<usize>)> = None;
         let mut stats = CheckStats::default();
 
@@ -324,11 +368,21 @@ impl Pool {
                 Some(children) => (children, true),
                 None => (vec![explore::DfsUnit::root()], false),
             };
+            // (dealt tid, preemption cost) per unit, for the merge.
+            let meta: Vec<(usize, u32)> = units
+                .iter()
+                .map(|u| (u.path.first().copied().unwrap_or(0), u.preemptions))
+                .collect();
+            let over_bound = |cost: u32| cfg.preemption_bound.map(|b| cost > b).unwrap_or(false);
             // First failing shard index; shards strictly past it are
             // skipped — the merge stops at the failure before reading them.
+            // (Not under DPOR: membership order ≠ index order.)
             let min_fail = AtomicUsize::new(usize::MAX);
             let traces = self.map(units, |i, unit| {
-                if i > min_fail.load(Ordering::Relaxed) {
+                if over_bound(unit.preemptions) {
+                    return None; // pruned at the root; never explored
+                }
+                if !cfg.dpor && i > min_fail.load(Ordering::Relaxed) {
                     return None;
                 }
                 let trace = explore::run_dfs_unit(program, cfg, &unit, dfs_budget);
@@ -343,6 +397,9 @@ impl Pool {
                 stats.vm_steps += s.vm_steps;
                 stats.replay_steps_saved += s.replay_steps_saved;
                 stats.snapshots += s.snapshots;
+                stats.dpor_backtracks += s.dpor_backtracks;
+                stats.dpor_pruned_siblings += s.dpor_pruned_siblings;
+                stats.bound_pruned += s.bound_pruned;
                 // Cache counters stay zero: cache-enabled configs never
                 // reach this path (forced serial above).
             }
@@ -351,35 +408,114 @@ impl Pool {
             let mut schedules_left = dfs_budget;
             let mut steps_left = cfg.max_steps;
             complete = true;
-            let mut first = true;
-            'merge: for trace in &traces {
-                let Some(trace) = trace else { break };
-                for entry in &trace.entries {
-                    // Serial checks the budget before every schedule except
-                    // the very first when the root never branched (a
-                    // single-path tree spends its one schedule unchecked).
-                    let skip_check = first && !root_branched;
-                    first = false;
-                    if !skip_check && (schedules_left == 0 || steps_left == 0) {
+            within_bound = true;
+            if cfg.dpor && root_branched && !meta.is_empty() {
+                // Membership loop (see method docs).
+                let mut backtrack: Vec<usize> = vec![meta[0].0];
+                let mut done: Vec<usize> = Vec::new();
+                'dpor_merge: loop {
+                    let Some(t) = backtrack
+                        .iter()
+                        .copied()
+                        .filter(|t| !done.contains(t))
+                        .min()
+                    else {
+                        break;
+                    };
+                    done.push(t);
+                    let ui = meta
+                        .iter()
+                        .position(|m| m.0 == t)
+                        .expect("every root member is a dealt shard");
+                    if over_bound(meta[ui].1) {
+                        // Bound-pruned at the root: serial enumerates the
+                        // whole frame from here (see explore_from_dpor).
+                        stats.bound_pruned += 1;
                         complete = false;
-                        break 'merge;
+                        for &(q, _) in &meta {
+                            if !backtrack.contains(&q) && !done.contains(&q) {
+                                backtrack.push(q);
+                                stats.dpor_backtracks += 1;
+                            }
+                        }
+                        continue;
                     }
-                    schedules += 1;
-                    steps += entry.steps;
-                    schedules_left = schedules_left.saturating_sub(1);
-                    steps_left = steps_left.saturating_sub(entry.steps);
-                    if let Some(f) = &entry.failure {
-                        failure = Some(f.clone());
-                        break 'merge;
+                    let trace = traces[ui]
+                        .as_ref()
+                        .expect("DPOR shards are never cancelled");
+                    for entry in &trace.entries {
+                        if schedules_left == 0 || steps_left == 0 {
+                            complete = false;
+                            within_bound = false;
+                            break 'dpor_merge;
+                        }
+                        schedules += 1;
+                        steps += entry.steps;
+                        schedules_left = schedules_left.saturating_sub(1);
+                        steps_left = steps_left.saturating_sub(entry.steps);
+                        if let Some(f) = &entry.failure {
+                            failure = Some(f.clone());
+                            break 'dpor_merge;
+                        }
+                    }
+                    if (schedules_left == 0 || steps_left == 0) && trace.trailing_check {
+                        complete = false;
+                        within_bound = false;
+                    }
+                    complete &= trace.complete;
+                    within_bound &= trace.within_bound;
+                    for &q in &trace.root_backtrack {
+                        if !backtrack.contains(&q) && !done.contains(&q) {
+                            backtrack.push(q);
+                        }
                     }
                 }
-                if (schedules_left == 0 || steps_left == 0) && trace.trailing_check {
-                    complete = false;
+                if failure.is_none() {
+                    stats.dpor_pruned_siblings += (meta.len() - done.len()) as u64;
                 }
-                complete &= trace.complete;
+            } else {
+                let mut first = true;
+                'merge: for (ui, trace) in traces.iter().enumerate() {
+                    if over_bound(meta.get(ui).map(|m| m.1).unwrap_or(0)) {
+                        // Dealt child outside the bound: serial skips it
+                        // without a budget check and without sleeping it.
+                        stats.bound_pruned += 1;
+                        complete = false;
+                        continue;
+                    }
+                    let Some(trace) = trace else { break };
+                    for entry in &trace.entries {
+                        // Serial checks the budget before every schedule
+                        // except the very first when the root never
+                        // branched (a single-path tree spends its one
+                        // schedule unchecked).
+                        let skip_check = first && !root_branched;
+                        first = false;
+                        if !skip_check && (schedules_left == 0 || steps_left == 0) {
+                            complete = false;
+                            within_bound = false;
+                            break 'merge;
+                        }
+                        schedules += 1;
+                        steps += entry.steps;
+                        schedules_left = schedules_left.saturating_sub(1);
+                        steps_left = steps_left.saturating_sub(entry.steps);
+                        if let Some(f) = &entry.failure {
+                            failure = Some(f.clone());
+                            break 'merge;
+                        }
+                    }
+                    if (schedules_left == 0 || steps_left == 0) && trace.trailing_check {
+                        complete = false;
+                        within_bound = false;
+                    }
+                    complete &= trace.complete;
+                    within_bound &= trace.within_bound;
+                }
             }
         }
 
+        stats.dfs_schedules = schedules;
         if failure.is_none() && !complete {
             let walks = cfg.max_schedules.saturating_sub(schedules);
             let min_fail = AtomicUsize::new(usize::MAX);
@@ -411,7 +547,15 @@ impl Pool {
         }
 
         (
-            explore::finish_report(program, cfg, schedules, steps, complete, failure),
+            explore::finish_report(
+                program,
+                cfg,
+                schedules,
+                steps,
+                complete,
+                within_bound,
+                failure,
+            ),
             stats,
         )
     }

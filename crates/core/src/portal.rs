@@ -48,6 +48,14 @@ pub struct PortalConfig {
     /// exploration exhaustive-modulo-budget; nonzero trades soundness of
     /// the `complete` flag for speed and forces analyses serial.
     pub checker_state_cache: usize,
+    /// Dynamic partial-order reduction in analyses (see
+    /// `CheckConfig::dpor`). Same verdicts on strictly fewer schedules;
+    /// off falls back to the sleep-set DFS.
+    pub checker_dpor: bool,
+    /// CHESS-style preemption bound for analyses (see
+    /// `CheckConfig::preemption_bound`). `None` explores freely; `Some(b)`
+    /// certifies `exhaustive_within_bound` instead of `complete`.
+    pub checker_preemption_bound: Option<u32>,
     /// Durability root. `Some(dir)` persists filesystem and scheduler
     /// state to write-ahead logs under `dir` and recovers them at boot;
     /// `None` (the default) keeps the portal fully in-memory, bit-for-bit
@@ -129,6 +137,8 @@ impl Default for PortalConfig {
             compile_cache_capacity: 256,
             checker_snapshot_prefix: true,
             checker_state_cache: 0,
+            checker_dpor: true,
+            checker_preemption_bound: None,
             data_dir: None,
             wal_fsync: FsyncPolicy::EveryN(8),
             snapshot_interval: 1024,
@@ -693,6 +703,8 @@ impl Portal {
         let mut cfg = checker::CheckConfig {
             snapshot_prefix: self.config.checker_snapshot_prefix,
             state_cache_capacity: self.config.checker_state_cache,
+            dpor: self.config.checker_dpor,
+            preemption_bound: self.config.checker_preemption_bound,
             ..checker::CheckConfig::default()
         };
         if let Some(b) = budget {
@@ -700,7 +712,7 @@ impl Portal {
         }
         // Through the shared pool: bit-for-bit the same report as the
         // serial `checker::check`, in a fraction of the wall-clock.
-        let report = self.pool.check(&program, &cfg);
+        let (report, stats) = self.pool.check_with_stats(&program, &cfg);
 
         let m = &self.obs.metrics;
         m.describe(
@@ -715,6 +727,18 @@ impl Portal {
             "ccp_checker_steps_explored_total",
             "visible steps explored across analyses",
         );
+        m.describe(
+            "ccp_checker_dpor_backtracks_total",
+            "DPOR backtrack-set insertions across analyses",
+        );
+        m.describe(
+            "ccp_checker_dpor_pruned_siblings_total",
+            "branch siblings DPOR proved redundant and never explored",
+        );
+        m.describe(
+            "ccp_checker_dpor_bound_pruned_total",
+            "branch members pruned by the preemption bound",
+        );
         m.counter(
             "ccp_checker_analyses_total",
             &[("verdict", report.verdict.class())],
@@ -724,6 +748,14 @@ impl Portal {
             .add(report.schedules);
         m.counter("ccp_checker_steps_explored_total", &[])
             .add(report.steps);
+        // Registered eagerly (even when zero) so dashboards can tell
+        // "reduction off" from "family not exported yet".
+        m.counter("ccp_checker_dpor_backtracks_total", &[])
+            .add(stats.dpor_backtracks);
+        m.counter("ccp_checker_dpor_pruned_siblings_total", &[])
+            .add(stats.dpor_pruned_siblings);
+        m.counter("ccp_checker_dpor_bound_pruned_total", &[])
+            .add(stats.bound_pruned);
 
         Ok(AnalysisView {
             artifact: artifact.to_string(),
@@ -732,6 +764,7 @@ impl Portal {
             schedules: report.schedules,
             steps: report.steps,
             complete: report.complete,
+            exhaustive_within_bound: report.exhaustive_within_bound,
             repro: report.repro.unwrap_or_default(),
         })
     }
@@ -914,6 +947,8 @@ impl Portal {
         let cfg = checker::CheckConfig {
             snapshot_prefix: self.config.checker_snapshot_prefix,
             state_cache_capacity: self.config.checker_state_cache,
+            dpor: self.config.checker_dpor,
+            preemption_bound: self.config.checker_preemption_bound,
             ..checker::CheckConfig::default()
         };
         let report = self.pool.check(&program, &cfg);

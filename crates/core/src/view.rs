@@ -269,6 +269,10 @@ pub struct AnalysisView {
     /// True iff the schedule space was exhausted, making `clean` a proof
     /// within the step bound rather than a sampling result.
     pub complete: bool,
+    /// True iff every schedule within the configured preemption bound was
+    /// explored (equals `complete` when no bound is set): the CHESS-style
+    /// certificate that makes a bounded `clean` a proof up to the bound.
+    pub exhaustive_within_bound: bool,
     /// On failure: thread id per visible step; replaying it reproduces the
     /// failure deterministically.
     pub repro: Vec<usize>,

@@ -27,11 +27,28 @@ fn run_budgeted(src: &str, seed: u64) -> Result<minilang::ExecOutcome, LangError
 /// (a grader runs per submission, not per investigation) but — asserted by
 /// the golden tests — still enough to find the lab 5 seeded race and the
 /// lab 6 deadlock.
+///
+/// DPOR with a preemption bound of 0 turns the 24-schedule budget into a
+/// *certificate* on the reference solutions: the non-preemptive schedule
+/// space of each correct lab fits inside the budget, so their reports come
+/// back `exhaustive_within_bound` — a proof that no preemption-free
+/// interleaving misbehaves — instead of "24 samples looked fine". Bound 0
+/// is also what keeps the seeded bugs findable inside 24 schedules: the
+/// all-grab-left philosophers deadlock is itself preemption-free, and the
+/// lab 5 race is flagged by the vector-clock detector on the very first
+/// schedule. (Higher bounds spend the whole budget on preempted prefixes
+/// and push the deadlock past schedule 24 — measured, not assumed.)
 pub fn grading_check_config() -> checker::CheckConfig {
     checker::CheckConfig {
         max_schedules: 24,
         max_steps: GRADING_BUDGET,
         minimize: false,
+        dpor: true,
+        preemption_bound: Some(0),
+        strategy: checker::Strategy::Dfs,
+        // Lab-sized loop bodies are thousands of branch states deep; the
+        // certificate dies if the depth cap fires first.
+        dfs_depth: 10_000,
         ..checker::CheckConfig::default()
     }
 }
@@ -118,6 +135,13 @@ pub struct GradeReport {
     pub passed: bool,
     /// Per-check outcomes, human readable.
     pub checks: Vec<(String, bool)>,
+    /// For labs graded by systematic exploration (`Bank`, `Philosophers`,
+    /// `BoundedBuffer`): the checker's `exhaustive_within_bound` flag —
+    /// `Some(true)` means the grading budget *proved* every schedule
+    /// within the preemption bound, so "race-free" is a certificate, not a
+    /// sample. `None` for labs graded without exploration. Informational:
+    /// never part of the score.
+    pub exploration_exhaustive: Option<bool>,
 }
 
 /// Pass threshold from the paper.
@@ -132,6 +156,7 @@ fn report(lab: LabId, checks: Vec<(String, bool)>) -> GradeReport {
         score,
         passed: score >= PASS_SCORE,
         checks,
+        exploration_exhaustive: None,
     }
 }
 
@@ -194,10 +219,16 @@ fn grade_counter(lab: LabId, submission: &str, expected: i64) -> GradeReport {
         // exploration: a racy submission fails here even when every sampled
         // seed happened to produce the right number.
         LabId::Bank | LabId::BoundedBuffer => {
-            let clean = explore_submission(submission)
+            let explored = explore_submission(submission);
+            let clean = explored
+                .as_ref()
                 .map(|r| !r.verdict.is_failure())
                 .unwrap_or(false);
             checks.push(("race-free under schedule exploration".to_string(), clean));
+            let mut rep = report(lab, checks);
+            rep.exploration_exhaustive =
+                Some(explored.map(|r| r.exhaustive_within_bound).unwrap_or(false));
+            return rep;
         }
         // Spin-lock style labs busy-wait by design; sampled correctness
         // stays double-weighted there.
@@ -329,14 +360,18 @@ fn grade_philosophers(submission: &str) -> GradeReport {
     checks.push(("no deadlock across seeds".to_string(), never_deadlocks));
     // Systematic exploration: the naive left-then-right submission has a
     // reachable all-grab-left deadlock even on seeds where dinner finished.
-    let deadlock_free = explore_submission(submission)
+    let explored = explore_submission(submission);
+    let deadlock_free = explored
+        .as_ref()
         .map(|r| !r.verdict.is_failure())
         .unwrap_or(false);
     checks.push((
         "deadlock-free under schedule exploration".to_string(),
         deadlock_free,
     ));
-    report(LabId::Philosophers, checks)
+    let mut rep = report(LabId::Philosophers, checks);
+    rep.exploration_exhaustive = Some(explored.map(|r| r.exhaustive_within_bound).unwrap_or(false));
+    rep
 }
 
 #[cfg(test)]
@@ -389,6 +424,52 @@ mod tests {
             let pool = checker::Pool::new(workers);
             assert_eq!(grade_batch(&pool, &batch), serial, "{workers} workers");
         }
+    }
+
+    #[test]
+    fn grading_budget_certifies_references_and_still_flags_bugs() {
+        // The 24-schedule grading budget is not just a sample: under DPOR
+        // with preemption bound 0, the reference solutions' bounded
+        // schedule spaces fit inside it, so their reports carry the
+        // exhaustive-within-bound certificate.
+        for (lab, src) in [
+            (
+                LabId::Bank,
+                lab5_bank::source(lab5_bank::BankStep::ConcurrentLocked),
+            ),
+            (LabId::Philosophers, phil::ordered_source(5)),
+            (LabId::BoundedBuffer, bb::semaphore_source()),
+        ] {
+            let r = grade(lab, &src);
+            assert!(r.passed, "{lab:?} reference failed: {:?}", r.checks);
+            assert_eq!(
+                r.exploration_exhaustive,
+                Some(true),
+                "{lab:?} reference not certified exhaustive within bound"
+            );
+        }
+        // The same budget still flags every seeded-buggy variant — the
+        // certificate was not bought by skipping the schedules that matter.
+        for (lab, src) in [
+            (
+                LabId::Bank,
+                lab5_bank::source(lab5_bank::BankStep::ConcurrentRacy),
+            ),
+            (LabId::Philosophers, phil::naive_source(10)),
+            (LabId::BoundedBuffer, bb::buggy_source()),
+        ] {
+            let r = grade(lab, &src);
+            assert!(!r.passed, "{lab:?} buggy variant passed: {:?}", r.checks);
+        }
+        // Labs graded without exploration carry no claim either way.
+        assert_eq!(
+            grade(LabId::Sync, lab1_sync::FIXED_SOURCE).exploration_exhaustive,
+            None
+        );
+        // Same-seed grading is deterministic down to the rendered report.
+        let a = grade(LabId::Philosophers, &phil::ordered_source(5));
+        let b = grade(LabId::Philosophers, &phil::ordered_source(5));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

@@ -98,6 +98,33 @@ pub struct OpKey {
     pub obj: OpObj,
 }
 
+impl OpKey {
+    /// Do two visible operations commute — would executing them in either
+    /// order from the same state reach the same state and emit the same
+    /// events? This is the independence relation external schedulers
+    /// (sleep sets, partial-order reduction) reduce with, so it must be
+    /// sound: claiming commutativity for a conflicting pair hides
+    /// interleavings. Conservative on the unknown: opaque and I/O
+    /// operations commute with nothing.
+    pub fn commutes_with(&self, other: &OpKey) -> bool {
+        if self.kind == OpKind::Opaque || other.kind == OpKind::Opaque {
+            return false; // shared RNG draws, imminent type errors, ...
+        }
+        if self.kind == OpKind::Io || other.kind == OpKind::Io {
+            return false; // stdout / host-file order is observable
+        }
+        match (self.obj, other.obj) {
+            // Spawn/yield touch no shared object. (A spawned thread's ops
+            // are ordered after the spawn by the happens-before relation,
+            // which reducers must consult separately.)
+            (OpObj::None, _) | (_, OpObj::None) => true,
+            (x, y) if x != y => true,
+            // Same object: only read/read commutes.
+            _ => self.kind == OpKind::Read && other.kind == OpKind::Read,
+        }
+    }
+}
+
 /// What a thread is (or would be) waiting on, for wait-for-graph analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WaitTarget {
@@ -709,6 +736,19 @@ impl Vm {
     pub fn enabled_threads_into(&self, out: &mut Vec<usize>) {
         out.clear();
         out.extend((0..self.threads.len()).filter(|&t| self.is_ready(t)));
+    }
+
+    /// The enabled set with each thread's pending visible op, ascending by
+    /// thread id. Threads whose next instruction is thread-local (no
+    /// [`Vm::next_op`] key) are omitted: a normalizing scheduler runs
+    /// those eagerly, and a branching scheduler has nothing to branch on.
+    /// This is the query partial-order reducers combine with
+    /// [`OpKey::commutes_with`] to decide which enabled ops conflict.
+    pub fn enabled_ops(&self) -> Vec<(usize, OpKey)> {
+        (0..self.threads.len())
+            .filter(|&t| self.is_ready(t))
+            .filter_map(|t| self.next_op(t).map(|op| (t, op)))
+            .collect()
     }
 
     /// When no thread is enabled but some are sleeping, jump the clock to

@@ -470,6 +470,10 @@ pub fn build_router(app: Arc<App>) -> Router {
                     ("schedules", Json::num(view.schedules as f64)),
                     ("steps", Json::num(view.steps as f64)),
                     ("complete", Json::Bool(view.complete)),
+                    (
+                        "exhaustive_within_bound",
+                        Json::Bool(view.exhaustive_within_bound),
+                    ),
                     ("repro", Json::Arr(repro)),
                 ]),
             )

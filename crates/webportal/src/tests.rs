@@ -1018,13 +1018,29 @@ fn analyze_endpoint_reports_race_with_repro() {
         "race carries a repro"
     );
     assert!(j.get("schedules").unwrap().as_num().unwrap() >= 1.0);
-    // The analysis shows up in the metrics exposition.
+    // A failing analysis never certifies exhaustiveness.
+    assert_eq!(
+        j.get("exhaustive_within_bound").unwrap().as_bool(),
+        Some(false)
+    );
+    // The analysis shows up in the metrics exposition, including the eager
+    // DPOR reduction families.
     let resp = dispatch(&router, Method::Get, "/api/metrics", b"", None);
     assert!(
         resp.body_str()
             .contains("ccp_checker_analyses_total{verdict=\"race\"} 1"),
         "checker counters missing from /api/metrics"
     );
+    for family in [
+        "ccp_checker_dpor_backtracks_total",
+        "ccp_checker_dpor_pruned_siblings_total",
+        "ccp_checker_dpor_bound_pruned_total",
+    ] {
+        assert!(
+            resp.body_str().contains(family),
+            "{family} missing from /api/metrics"
+        );
+    }
 }
 
 #[test]
@@ -1061,6 +1077,12 @@ fn analyze_endpoint_clean_program_and_ownership() {
     let j = json_of(&resp);
     assert_eq!(j.get("verdict").unwrap().as_str(), Some("clean"));
     assert_eq!(j.get("complete").unwrap().as_bool(), Some(true));
+    // No preemption bound is configured, so the bounded certificate must
+    // coincide with `complete`.
+    assert_eq!(
+        j.get("exhaustive_within_bound").unwrap().as_bool(),
+        Some(true)
+    );
     assert!(j.get("repro").unwrap().as_arr().unwrap().is_empty());
     // Another student may not analyze alice's artifact.
     let other = make_student(&app, &router, "bob");

@@ -2,22 +2,25 @@
 # Smoke-run the checker_parallel bench and capture its machine-readable
 # summaries: BENCH_checker.json (pool speedup + cache hit rate),
 # BENCH_vm.json (VM fast path: snapshot vs stateless schedules/sec,
-# steps/sec, snapshot hit ratio) and BENCH_obs.json (telemetry overhead on
-# the 4-worker hot path), so CI archives all three datapoints per commit.
+# steps/sec, snapshot hit ratio), BENCH_obs.json (telemetry overhead on
+# the 4-worker hot path) and BENCH_dpor.json (partial-order-reduction
+# ratios), so CI archives all four datapoints per commit.
 #
-# Usage: bench_smoke.sh [output.json] [vm_output.json] [obs_output.json]
-#        (defaults: BENCH_checker.json, BENCH_vm.json, BENCH_obs.json)
+# Usage: bench_smoke.sh [output.json] [vm_output.json] [obs_output.json] [dpor_output.json]
+#        (defaults: BENCH_checker.json, BENCH_vm.json, BENCH_obs.json, BENCH_dpor.json)
 #
 # The bench prints exactly one line of each form
 #   BENCH_JSON {"bench":"checker_parallel",...}
 #   BENCH_VM_JSON {"bench":"vm_fastpath",...}
 #   BENCH_OBS_JSON {"bench":"obs_overhead",...}
+#   BENCH_DPOR_JSON {"bench":"dpor",...}
 # on stderr; everything after the prefix is already valid JSON.
 set -euo pipefail
 
 out="${1:-BENCH_checker.json}"
 vm_out="${2:-BENCH_vm.json}"
 obs_out="${3:-BENCH_obs.json}"
+dpor_out="${4:-BENCH_dpor.json}"
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
@@ -36,6 +39,10 @@ fi
 base_overhead=""
 if [ -f "$obs_out" ]; then
     base_overhead="$(sed -nE 's/.*"overhead_pct":(-?[0-9.]+).*/\1/p' "$obs_out")"
+fi
+base_reduction=""
+if [ -f "$dpor_out" ]; then
+    base_reduction="$(sed -nE 's/.*"min_reduction":([0-9.]+).*/\1/p' "$dpor_out")"
 fi
 
 # --test with a fast profile: we want the printed summary, not tight CIs.
@@ -62,6 +69,13 @@ if [ -z "$obs_line" ]; then
 fi
 printf '%s\n' "${obs_line#BENCH_OBS_JSON }" > "$obs_out"
 
+dpor_line="$(grep -E '^BENCH_DPOR_JSON \{' "$log" | tail -n 1 || true)"
+if [ -z "$dpor_line" ]; then
+    echo "FAIL: bench did not print a BENCH_DPOR_JSON line" >&2
+    exit 1
+fi
+printf '%s\n' "${dpor_line#BENCH_DPOR_JSON }" > "$dpor_out"
+
 # The snapshot engine's win is algorithmic (it removes prefix re-execution,
 # not wall-clock parallelism), so the floor holds on any core count.
 vm_speedup="$(sed -nE 's/.*"min_speedup":([0-9.]+).*/\1/p' "$vm_out")"
@@ -71,6 +85,23 @@ if [ -z "$vm_speedup" ]; then
 fi
 awk -v s="$vm_speedup" 'BEGIN {
     if (s + 0 < 2.0) { print "FAIL: snapshot min speedup " s " below 2.0x" > "/dev/stderr"; exit 1 }
+}'
+
+# The reduction ratio is a schedule count, not a timing: deterministic on
+# any machine. Floor it at 2x and require the soundness bits (verdicts
+# agree, both engines complete, bounded run certifies its bound).
+reduction="$(sed -nE 's/.*"min_reduction":([0-9.]+).*/\1/p' "$dpor_out")"
+all_sound="$(sed -nE 's/.*"all_sound":(true|false).*/\1/p' "$dpor_out")"
+if [ -z "$reduction" ] || [ -z "$all_sound" ]; then
+    echo "FAIL: $dpor_out is missing min_reduction or all_sound" >&2
+    exit 1
+fi
+if [ "$all_sound" != "true" ]; then
+    echo "FAIL: DPOR soundness bits not all true in $dpor_out" >&2
+    exit 1
+fi
+awk -v r="$reduction" 'BEGIN {
+    if (r + 0 < 2.0) { print "FAIL: DPOR min reduction " r "x below 2.0x" > "/dev/stderr"; exit 1 }
 }'
 
 # Sanity: the acceptance floors (4-worker speedup >= 2x, cache hit rate
@@ -130,10 +161,17 @@ if [ -n "$base_overhead" ]; then
         if (o + 0 > b + 4.0) { print "FAIL: telemetry overhead " o "% rose >4 points above baseline " b "%" > "/dev/stderr"; exit 1 }
     }'
 fi
-if [ -n "$base_vm$base_hit$base_speedup$base_overhead" ]; then
-    echo "baseline diff OK (speedup_4w ${base_speedup:-n/a} -> ${speedup}, cache_hit_rate ${base_hit:-n/a} -> ${hit_rate}, vm_min_speedup ${base_vm:-n/a} -> ${vm_speedup}, obs_overhead ${base_overhead:-n/a}% -> ${overhead}%)"
+if [ -n "$base_reduction" ]; then
+    # Schedule counts are deterministic, so any drop below the committed
+    # baseline is a real reduction regression, not noise.
+    awk -v r="$reduction" -v b="$base_reduction" 'BEGIN {
+        if (r + 0 < b - 0.01) { print "FAIL: DPOR min_reduction " r " fell below baseline " b > "/dev/stderr"; exit 1 }
+    }'
+fi
+if [ -n "$base_vm$base_hit$base_speedup$base_overhead$base_reduction" ]; then
+    echo "baseline diff OK (speedup_4w ${base_speedup:-n/a} -> ${speedup}, cache_hit_rate ${base_hit:-n/a} -> ${hit_rate}, vm_min_speedup ${base_vm:-n/a} -> ${vm_speedup}, obs_overhead ${base_overhead:-n/a}% -> ${overhead}%, dpor_min_reduction ${base_reduction:-n/a} -> ${reduction})"
 else
     echo "note: no checked-in baseline found; skipping the regression diff"
 fi
-echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate}, vm_snapshot_min_speedup=${vm_speedup}x, obs_overhead=${overhead}% (cores=$cores)"
-echo "wrote $out, $vm_out and $obs_out"
+echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate}, vm_snapshot_min_speedup=${vm_speedup}x, obs_overhead=${overhead}%, dpor_min_reduction=${reduction}x (cores=$cores)"
+echo "wrote $out, $vm_out, $obs_out and $dpor_out"

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Partial-order-reduction smoke: run the DPOR bench comparison and assert
+# the reduction actually pays (>=2x fewer schedules than the unreduced
+# sleep-set DFS on every deep-DFS archetype, verdicts agreeing and both
+# engines completing), then boot the portal and verify a live /api/analyze
+# of a clean submission reports exhaustive_within_bound:true — the
+# CHESS-style certificate the grader's verdicts lean on.
+#
+# Usage: check_dpor.sh [port]    (default 8147)
+set -euo pipefail
+
+port="${1:-8147}"
+base="http://127.0.0.1:$port"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ]; then
+        kill "$server_pid" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+# ---- 1. the reduction table ------------------------------------------------
+
+log="$(mktemp)"
+cargo run --release -p ccp-bench --example dpor 2>&1 | tee "$log"
+line="$(grep -E '^BENCH_DPOR_JSON \{' "$log" | tail -n 1 || true)"
+rm -f "$log"
+if [ -z "$line" ]; then
+    echo "FAIL: dpor example did not print a BENCH_DPOR_JSON line" >&2
+    exit 1
+fi
+json="${line#BENCH_DPOR_JSON }"
+
+all_sound="$(printf '%s' "$json" | sed -nE 's/.*"all_sound":(true|false).*/\1/p')"
+if [ "$all_sound" != "true" ]; then
+    echo "FAIL: DPOR soundness bits not all true: $json" >&2
+    exit 1
+fi
+# Every archetype's ratio, not just the minimum: the reduction claim is
+# per-workload, and a single archetype regressing to ~1x is a real loss
+# even if the minimum elsewhere stays high.
+ratios="$(printf '%s' "$json" | grep -oE '"reduction":[0-9.]+' | cut -d: -f2)"
+if [ -z "$ratios" ]; then
+    echo "FAIL: no per-archetype reduction ratios in: $json" >&2
+    exit 1
+fi
+for r in $ratios; do
+    awk -v r="$r" 'BEGIN {
+        if (r + 0 < 2.0) { print "FAIL: reduction ratio " r "x below 2.0x" > "/dev/stderr"; exit 1 }
+    }'
+done
+echo "OK: every archetype reduced >=2x (ratios: $(echo "$ratios" | tr '\n' ' '))"
+
+# ---- 2. the live certificate -----------------------------------------------
+
+cargo build --release --example portal_server
+target/release/examples/portal_server "$port" &
+server_pid=$!
+
+for _ in $(seq 1 60); do
+    curl -sf "$base/api/health" >/dev/null 2>&1 && break
+    sleep 1
+done
+if ! curl -sf "$base/api/health" >/dev/null 2>&1; then
+    echo "FAIL: portal did not come up on :$port" >&2
+    exit 1
+fi
+
+tok="$(curl -sf -X POST "$base/api/login" \
+    --data-binary '{"user":"admin","password":"change-me-please"}' \
+    | sed -nE 's/.*"token":"([^"]+)".*/\1/p')"
+if [ -z "$tok" ]; then
+    echo "FAIL: login returned no token" >&2
+    exit 1
+fi
+
+# A clean locked counter: small enough that the default analyze budget
+# exhausts its (reduced) schedule space, so the certificate must be true.
+printf 'var n = 0;\nvar m;\nfn w() { lock(m); n = n + 1; unlock(m); }\nfn main() { m = mutex(); var a = spawn w(); var b = spawn w(); join(a); join(b); return n; }\n' \
+    | curl -sf -X POST "$base/api/file?path=locked.mini" \
+        -H "Cookie: sid=$tok" --data-binary @- >/dev/null
+
+art="$(curl -sf -X POST "$base/api/compile?path=locked.mini" \
+    -H "Cookie: sid=$tok" | sed -nE 's/.*"artifact":"([^"]+)".*/\1/p')"
+if [ -z "$art" ]; then
+    echo "FAIL: compile returned no artifact" >&2
+    exit 1
+fi
+
+body="$(curl -sf -X POST "$base/api/analyze?artifact=$art" -H "Cookie: sid=$tok")"
+printf '%s' "$body" | bash "$(dirname "$0")/check_analyze.sh" clean >/dev/null
+
+exhaustive="$(printf '%s' "$body" | sed -nE 's/.*"exhaustive_within_bound":(true|false).*/\1/p')"
+if [ "$exhaustive" != "true" ]; then
+    echo "FAIL: live analyze did not certify exhaustive_within_bound: $body" >&2
+    exit 1
+fi
+
+# The reduction counters must be live on the portal's registry: the
+# analysis above earned backtrack points, and the families are registered
+# eagerly so a scrape always carries them.
+metrics="$(curl -sf "$base/api/metrics")"
+for family in \
+    ccp_checker_dpor_backtracks_total \
+    ccp_checker_dpor_pruned_siblings_total \
+    ccp_checker_dpor_bound_pruned_total; do
+    if ! printf '%s\n' "$metrics" | grep -qE "^# TYPE $family counter\$"; then
+        echo "FAIL: /api/metrics is missing $family" >&2
+        exit 1
+    fi
+done
+
+echo "OK: live /api/analyze certified exhaustive_within_bound=true and the dpor metric families are exposed"

@@ -59,6 +59,9 @@ for family in \
     "ccp_checker_snapshots_total counter" \
     "ccp_checker_state_cache_hits_total counter" \
     "ccp_checker_state_cache_prunes_total counter" \
+    "ccp_checker_dpor_backtracks_total counter" \
+    "ccp_checker_dpor_pruned_siblings_total counter" \
+    "ccp_checker_dpor_bound_pruned_total counter" \
     "ccp_compile_cache_hits_total counter" \
     "ccp_compile_cache_misses_total counter" \
     "ccp_compile_cache_evictions_total counter" \

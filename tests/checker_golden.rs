@@ -109,6 +109,36 @@ fn lab7_semaphore_buffer_is_clean() {
     );
 }
 
+// ---- reduction-hostile archetypes -----------------------------------------
+//
+// Each hides its violation behind one specific ordering of *dependent*
+// operations (lock/lock, notify/wait, send/send). A reducer that wrongly
+// commutes such a pair only ever sees the clean ordering — these pin that
+// the default (DPOR-on) budget still reaches the losing order.
+
+#[test]
+fn racy_then_synced_is_a_race() {
+    assert_fails_as(checker::archetypes::racy_then_synced(), "race");
+}
+
+#[test]
+fn lost_wakeup_is_a_deadlock() {
+    assert_fails_as(checker::archetypes::lost_wakeup(), "deadlock");
+}
+
+#[test]
+fn channel_drain_race_is_a_deadlock() {
+    assert_fails_as(checker::archetypes::channel_drain_race(), "deadlock");
+}
+
+#[test]
+fn archetype_corpus_matches_its_pinned_classes() {
+    for (name, src, want) in checker::archetypes::corpus() {
+        let report = check_program(src, &cfg()).expect("archetype compiles");
+        assert_eq!(report.verdict.class(), want, "{name}: {:?}", report.verdict);
+    }
+}
+
 // ---- determinism ----------------------------------------------------------
 
 #[test]

@@ -25,6 +25,21 @@ fn archetypes() -> Vec<(&'static str, String)> {
         ("lab6 naive", lab6_philosophers::naive_source(5)),
         ("lab7 semaphore", lab7_boundedbuffer::semaphore_source()),
         ("lab7 buggy", lab7_boundedbuffer::buggy_source()),
+        // Reduction-hostile archetypes (see `checker::archetypes`): their
+        // violations hide behind one ordering of dependent ops, so they
+        // stress exactly the DPOR merge arithmetic the pool replays.
+        (
+            "racy_then_synced",
+            checker::archetypes::racy_then_synced().to_string(),
+        ),
+        (
+            "lost_wakeup",
+            checker::archetypes::lost_wakeup().to_string(),
+        ),
+        (
+            "channel_drain_race",
+            checker::archetypes::channel_drain_race().to_string(),
+        ),
     ]
 }
 
@@ -71,7 +86,13 @@ fn snapshot_engine_matches_stateless_reference_bit_for_bit() {
     for (name, src) in archetypes() {
         let program = minilang::compile(&src).expect("archetype compiles");
         for seed in [0u64, 1, 2] {
-            let cfg = grading_cfg(seed);
+            // `dpor: false` pins both sides to the legacy engines this test
+            // compares; DPOR-vs-reference equivalence lives in
+            // `dpor_equivalence.rs`.
+            let cfg = CheckConfig {
+                dpor: false,
+                ..grading_cfg(seed)
+            };
             let reference = checker::check(
                 &program,
                 &CheckConfig {
@@ -97,7 +118,12 @@ fn snapshot_stats_report_saved_replay_work() {
     // snapshots and skip prefix replay; the stateless engine must not.
     let src = lab6_philosophers::ordered_source(4);
     let program = minilang::compile(&src).unwrap();
-    let cfg = grading_cfg(0);
+    // Pin `dpor: false`: DPOR always snapshots, which would defeat the
+    // stateless-engine half of this comparison.
+    let cfg = CheckConfig {
+        dpor: false,
+        ..grading_cfg(0)
+    };
     let (_, snap_stats) = checker::check_with_stats(&program, &cfg);
     assert!(
         snap_stats.snapshots > 0,
