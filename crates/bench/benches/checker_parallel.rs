@@ -136,6 +136,16 @@ fn bench(c: &mut Criterion) {
     let dpor_rows = ccp_bench::dpor::rows();
     eprintln!("{}", ccp_bench::dpor::report(&dpor_rows));
 
+    // Front-end capacity: the semester workload over real sockets on the
+    // reactor vs the thread-per-connection baseline. Also available as
+    // `cargo run --release -p ccp-bench --example httpd_load`.
+    ccp_bench::banner("Portal front end: closed-loop semester load, reactor vs threads");
+    let (httpd_reactor, httpd_threads) = ccp_bench::httpd_load::smoke_pair();
+    eprintln!(
+        "{}",
+        ccp_bench::httpd_load::report(&httpd_reactor, &httpd_threads)
+    );
+
     // One line the smoke script lifts verbatim into BENCH_checker.json.
     let workers_json = rows
         .iter()

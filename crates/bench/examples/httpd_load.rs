@@ -1,0 +1,19 @@
+//! Criterion-free entry point for the front-end load comparison:
+//!
+//! ```text
+//! cargo run --release -p ccp-bench --example httpd_load
+//! ```
+//!
+//! Replays the closed-loop semester workload (login, edit, compile,
+//! submit, poll `/api/jobs`) against the reactor engine at class scale and
+//! the thread-per-connection baseline, then prints the comparison table to
+//! stderr and one `BENCH_HTTPD_JSON {...}` line that
+//! `scripts/bench_smoke.sh` captures into `BENCH_httpd.json` (and
+//! `scripts/check_httpd_load.sh` gates on).
+
+fn main() {
+    ccp_bench::banner("Portal front end: closed-loop semester load, reactor vs threads");
+    let (reactor, threads) = ccp_bench::httpd_load::smoke_pair();
+    let line = ccp_bench::httpd_load::report(&reactor, &threads);
+    eprintln!("{line}");
+}

@@ -1,0 +1,723 @@
+//! Closed-loop load generator for the portal front end: a whole-semester
+//! workload (login, edit, compile, submit, poll `/api/jobs`) replayed over
+//! hundreds of concurrent keep-alive connections against a real socket.
+//!
+//! The client side is a single thread driving nonblocking sockets off the
+//! same `httpd::sys::Epoll` readiness layer the server's reactor uses, so
+//! one generator sustains far more connections than it has threads — the
+//! point being measured. Two runs are compared:
+//!
+//! * the **reactor** engine holding a few hundred concurrent sessions on a
+//!   fixed worker pool, and
+//! * the **thread-per-connection** engine, where every open session costs
+//!   a 2 MiB-stack OS thread.
+//!
+//! [`report`] folds both into one `BENCH_HTTPD_JSON {...}` line with the
+//! equal-memory capacity ratio `scripts/bench_smoke.sh` gates on: memory a
+//! thread engine would need for the sustained concurrency divided by what
+//! the reactor actually used (worker stacks + per-connection buffers).
+
+use ccp_core::{Portal, PortalConfig};
+use cluster::ClusterSpec;
+use httpd::json::Json;
+use httpd::sys::{self, Epoll, Interest};
+use httpd::{Engine, Method, ServerConfig, ServerHandle};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use webportal::app::{dispatch, serve_with_config};
+use webportal::{build_router, App};
+
+/// Default stack reservation per OS thread — what each connection costs
+/// the thread engine and each pool worker costs the reactor.
+pub const THREAD_STACK_BYTES: u64 = 2 * 1024 * 1024;
+/// Reactor cost per parked connection: a 16 KiB read buffer, a 16 KiB
+/// retained write buffer, and slack for the slab/wheel/epoll bookkeeping.
+pub const REACTOR_CONN_BYTES: u64 = 48 * 1024;
+
+/// The program every connection "writes" in its editor and compiles —
+/// identical source across the class, so the compile cache sees the
+/// resubmission pattern the toolchain was built for.
+const PROGRAM: &str = "fn main() { println(\"semester\"); }";
+
+const STUDENT: &str = "load";
+const PASSWORD: &str = "semester-pass1";
+/// Overall wall-clock budget for one engine's run.
+const RUN_DEADLINE: Duration = Duration::from_secs(120);
+
+/// One engine's run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    pub engine: Engine,
+    /// Concurrent keep-alive connections (each is one "browser session").
+    pub connections: usize,
+    /// Requests each connection issues over its lifetime.
+    pub requests_per_conn: usize,
+    /// Server worker threads (reactor engine; ignored by the thread one).
+    pub workers: usize,
+    /// Server connection budget; kept above `connections` so the run
+    /// measures capacity, not the shedding path.
+    pub max_inflight: usize,
+}
+
+impl LoadConfig {
+    /// The reactor-engine smoke run: hundreds of sessions on 4 workers.
+    pub fn reactor_default() -> LoadConfig {
+        LoadConfig {
+            engine: Engine::Reactor,
+            connections: 192,
+            requests_per_conn: 12,
+            workers: 4,
+            max_inflight: 4096,
+        }
+    }
+
+    /// The thread-engine baseline: same script, fewer sessions — every
+    /// one of these is a dedicated OS thread on the server.
+    pub fn threads_default() -> LoadConfig {
+        LoadConfig {
+            engine: Engine::Threads,
+            connections: 24,
+            requests_per_conn: 12,
+            workers: 0,
+            max_inflight: 4096,
+        }
+    }
+}
+
+/// What one engine's run measured.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    pub engine: &'static str,
+    pub connections: usize,
+    /// Connections that completed their whole script on a single socket
+    /// (no reconnect) — the concurrency actually sustained.
+    pub sustained: usize,
+    /// Peak of the server's open-connections gauge during the run.
+    pub peak_open: usize,
+    pub requests: u64,
+    pub ok: u64,
+    pub shed: u64,
+    pub errors: u64,
+    pub reconnects: u64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    /// OS threads serving: pool workers (reactor) or peak connections
+    /// (thread engine, one thread each).
+    pub server_threads: usize,
+    pub elapsed_ms: u64,
+}
+
+/// Build a request on the wire. Every request opts into keep-alive —
+/// connection reuse is the behaviour under test.
+fn request_bytes(method: &str, path: &str, token: Option<&str>, body: &[u8]) -> Vec<u8> {
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: portal\r\nConnection: keep-alive\r\n\
+         Content-Length: {}\r\n",
+        body.len()
+    );
+    if let Some(t) = token {
+        head.push_str(&format!("Cookie: sid={t}\r\n"));
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Parse one complete response out of `buf`: `(status, body, consumed)`.
+/// `None` until the head and the declared body have both arrived.
+fn parse_response(buf: &[u8]) -> Option<(u16, String, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let status: u16 = head.get(9..12)?.parse().ok()?;
+    let mut len = 0usize;
+    for line in head.lines().skip(1) {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                len = v.trim().parse().ok()?;
+            }
+        }
+    }
+    let total = head_end + 4 + len;
+    if buf.len() < total {
+        return None;
+    }
+    let body = String::from_utf8_lossy(&buf[head_end + 4..total]).into_owned();
+    Some((status, body, total))
+}
+
+/// One simulated browser session working through the semester script.
+struct Client {
+    idx: usize,
+    stream: TcpStream,
+    token: Option<String>,
+    artifact: Option<String>,
+    job: Option<u64>,
+    /// A handful of sessions per class actually submit batch jobs; the
+    /// rest browse, edit and poll (the realistic mix, and it keeps the
+    /// 4-core simulated cluster from drowning in queued jobs).
+    submitter: bool,
+    step: usize,
+    out: Vec<u8>,
+    out_pos: usize,
+    inbuf: Vec<u8>,
+    sent_at: Instant,
+    done: bool,
+    reconnected: bool,
+}
+
+/// What the driver must do next for a client after pumping it.
+enum Need {
+    Write,
+    Read,
+    Done,
+    /// The server closed (or shed) this socket mid-script: dial again and
+    /// retry the current step.
+    Reconnect,
+}
+
+impl Client {
+    fn connect(idx: usize, addr: SocketAddr, nonblocking: bool) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(nonblocking)?;
+        Ok(Client {
+            idx,
+            stream,
+            token: None,
+            artifact: None,
+            job: None,
+            submitter: idx.is_multiple_of(32),
+            step: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            inbuf: Vec::new(),
+            sent_at: Instant::now(),
+            done: false,
+            reconnected: false,
+        })
+    }
+
+    /// The semester script, one request per step: login, edit, compile,
+    /// then (submitters) submit + pump the distributor, and poll the job
+    /// list / stdout tail for the rest of the session.
+    fn build_request(&self, total: usize) -> Option<Vec<u8>> {
+        if self.step >= total {
+            return None;
+        }
+        let tok = self.token.as_deref();
+        Some(match self.step {
+            0 => request_bytes(
+                "POST",
+                "/api/login",
+                None,
+                format!(r#"{{"user":"{STUDENT}","password":"{PASSWORD}"}}"#).as_bytes(),
+            ),
+            1 => request_bytes(
+                "POST",
+                &format!("/api/file?path=sem{}.mini", self.idx),
+                tok,
+                PROGRAM.as_bytes(),
+            ),
+            2 => request_bytes(
+                "POST",
+                &format!("/api/compile?path=sem{}.mini", self.idx),
+                tok,
+                b"",
+            ),
+            3 if self.submitter && self.artifact.is_some() => {
+                let body = format!(
+                    r#"{{"artifact":"{}","cores":1,"estimated_ticks":2}}"#,
+                    self.artifact.as_deref().unwrap()
+                );
+                request_bytes("POST", "/api/jobs", tok, body.as_bytes())
+            }
+            4 if self.submitter => request_bytes("POST", "/api/tick", tok, b""),
+            n if n % 2 == 1 => request_bytes("GET", "/api/jobs", tok, b""),
+            _ => match self.job {
+                Some(id) => {
+                    request_bytes("GET", &format!("/api/jobs/{id}/stdout?from=0"), tok, b"")
+                }
+                None => request_bytes("GET", "/api/health", tok, b""),
+            },
+        })
+    }
+
+    /// Queue the current step's request for sending.
+    fn start_step(&mut self, total: usize) -> bool {
+        match self.build_request(total) {
+            Some(req) => {
+                self.out = req;
+                self.out_pos = 0;
+                self.inbuf.clear();
+                self.sent_at = Instant::now();
+                true
+            }
+            None => {
+                self.done = true;
+                false
+            }
+        }
+    }
+
+    /// Capture what later steps need out of a successful response body.
+    fn absorb(&mut self, body: &str) {
+        let json = Json::parse(body).unwrap_or(Json::Null);
+        match self.step {
+            0 => {
+                self.token = json.get("token").and_then(Json::as_str).map(str::to_string);
+            }
+            2 => {
+                self.artifact = json
+                    .get("artifact")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+            }
+            3 if self.submitter => {
+                self.job = json.get("job").and_then(Json::as_num).map(|n| n as u64);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Outcome counters for one run.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    reconnects: u64,
+    peak_open: usize,
+    first_error: Option<String>,
+}
+
+impl Tally {
+    /// Classify a completed response. Returns `true` when the step is
+    /// finished (advance), `false` when it must be retried (shed).
+    fn classify(&mut self, status: u16, body: &str) -> bool {
+        if status == 503 {
+            self.shed += 1;
+            return false;
+        }
+        if (200..300).contains(&status) {
+            self.ok += 1;
+        } else {
+            self.errors += 1;
+            if self.first_error.is_none() {
+                self.first_error = Some(format!("{status}: {body}"));
+            }
+        }
+        true
+    }
+}
+
+/// Pump one nonblocking client as far as it will go without blocking.
+fn advance(c: &mut Client, total: usize, lats: &mut Vec<f64>, tally: &mut Tally) -> Need {
+    loop {
+        if c.out_pos < c.out.len() {
+            match c.stream.write(&c.out[c.out_pos..]) {
+                Ok(0) => return Need::Reconnect,
+                Ok(n) => {
+                    c.out_pos += n;
+                    continue;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Need::Write,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Need::Reconnect,
+            }
+        }
+        if c.done {
+            return Need::Done;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        match c.stream.read(&mut chunk) {
+            Ok(0) => return Need::Reconnect,
+            Ok(n) => {
+                c.inbuf.extend_from_slice(&chunk[..n]);
+                let Some((status, body, consumed)) = parse_response(&c.inbuf) else {
+                    continue;
+                };
+                c.inbuf.drain(..consumed);
+                lats.push(c.sent_at.elapsed().as_secs_f64() * 1e3);
+                if !tally.classify(status, &body) {
+                    return Need::Reconnect; // shed: server half-closed
+                }
+                c.absorb(&body);
+                c.step += 1;
+                if !c.start_step(total) {
+                    return Need::Done;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Need::Read,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Need::Reconnect,
+        }
+    }
+}
+
+/// The epoll driver: every configured connection concurrently, one thread.
+fn drive_epoll(
+    cfg: &LoadConfig,
+    addr: SocketAddr,
+    handle: &ServerHandle,
+    lats: &mut Vec<f64>,
+) -> (Tally, usize) {
+    use std::os::fd::AsRawFd;
+
+    let total = cfg.requests_per_conn;
+    let ep = Epoll::new().expect("epoll available when sys::SUPPORTED");
+    let mut tally = Tally::default();
+    let mut clients: Vec<Option<Client>> = Vec::with_capacity(cfg.connections);
+    for i in 0..cfg.connections {
+        let mut c = Client::connect(i, addr, true).expect("connect load client");
+        ep.register(c.stream.as_raw_fd(), i as u64)
+            .expect("register load client");
+        c.start_step(total);
+        clients.push(Some(c));
+    }
+    let mut live = cfg.connections;
+    // First pump: freshly connected sockets are writable, so most clients
+    // get their login on the wire before the first epoll wait.
+    for slot in &mut clients {
+        pump_one(&ep, slot, total, lats, &mut tally, &mut live, addr);
+    }
+
+    let deadline = Instant::now() + RUN_DEADLINE;
+    let mut events = Vec::new();
+    while live > 0 && Instant::now() < deadline {
+        ep.wait(&mut events, 50).expect("epoll wait");
+        tally.peak_open = tally.peak_open.max(handle.open_connections());
+        let tokens: Vec<u64> = events.iter().map(|e| e.token).collect();
+        for t in tokens {
+            let i = t as usize;
+            if i < clients.len() {
+                pump_one(
+                    &ep,
+                    &mut clients[i],
+                    total,
+                    lats,
+                    &mut tally,
+                    &mut live,
+                    addr,
+                );
+            }
+        }
+    }
+    // Anything still unfinished at the deadline is an error, once each.
+    tally.errors += live as u64;
+
+    let sustained = clients
+        .iter()
+        .flatten()
+        .filter(|c| c.done && !c.reconnected)
+        .count();
+    (tally, sustained)
+}
+
+/// Pump one client slot, rearming or reconnecting per its verdict.
+#[allow(clippy::too_many_arguments)]
+fn pump_one(
+    ep: &Epoll,
+    slot: &mut Option<Client>,
+    total: usize,
+    lats: &mut Vec<f64>,
+    tally: &mut Tally,
+    live: &mut usize,
+    addr: SocketAddr,
+) {
+    use std::os::fd::AsRawFd;
+
+    loop {
+        let Some(c) = slot.as_mut() else { return };
+        if c.done {
+            return;
+        }
+        match advance(c, total, lats, tally) {
+            Need::Write => {
+                let _ = ep.rearm(c.stream.as_raw_fd(), Interest::Write, c.idx as u64);
+                return;
+            }
+            Need::Read => {
+                let _ = ep.rearm(c.stream.as_raw_fd(), Interest::Read, c.idx as u64);
+                return;
+            }
+            Need::Done => {
+                // Leave the socket open: the session lingers (as browsers
+                // do) so the run's peak concurrency includes it.
+                *live -= 1;
+                return;
+            }
+            Need::Reconnect => {
+                let _ = ep.deregister(c.stream.as_raw_fd());
+                let idx = c.idx;
+                let (token, artifact, job, step, submitter) = (
+                    c.token.clone(),
+                    c.artifact.clone(),
+                    c.job,
+                    c.step,
+                    c.submitter,
+                );
+                match Client::connect(idx, addr, true) {
+                    Ok(mut fresh) => {
+                        fresh.token = token;
+                        fresh.artifact = artifact;
+                        fresh.job = job;
+                        fresh.step = step;
+                        fresh.submitter = submitter;
+                        fresh.reconnected = true;
+                        tally.reconnects += 1;
+                        if ep.register(fresh.stream.as_raw_fd(), idx as u64).is_err() {
+                            tally.errors += 1;
+                            *live -= 1;
+                            *slot = None;
+                            return;
+                        }
+                        fresh.start_step(total);
+                        *slot = Some(fresh);
+                        // Loop: pump the fresh socket immediately.
+                    }
+                    Err(_) => {
+                        tally.errors += 1;
+                        *live -= 1;
+                        *slot = None;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Portable fallback when the platform has no epoll: the same script run
+/// one connection at a time over blocking sockets. Measures correctness,
+/// not concurrency — callers mark the run unsupported.
+fn drive_blocking(
+    cfg: &LoadConfig,
+    addr: SocketAddr,
+    handle: &ServerHandle,
+    lats: &mut Vec<f64>,
+) -> (Tally, usize) {
+    let total = cfg.requests_per_conn;
+    let mut tally = Tally::default();
+    let mut sustained = 0usize;
+    for i in 0..cfg.connections {
+        let Ok(mut c) = Client::connect(i, addr, false) else {
+            tally.errors += 1;
+            continue;
+        };
+        c.start_step(total);
+        while !c.done {
+            match advance(&mut c, total, lats, &mut tally) {
+                Need::Done => break,
+                Need::Reconnect => {
+                    let step = c.step;
+                    let Ok(mut fresh) = Client::connect(i, addr, false) else {
+                        tally.errors += 1;
+                        break;
+                    };
+                    fresh.token = c.token.clone();
+                    fresh.artifact = c.artifact.clone();
+                    fresh.job = c.job;
+                    fresh.step = step;
+                    fresh.reconnected = true;
+                    tally.reconnects += 1;
+                    fresh.start_step(total);
+                    c = fresh;
+                }
+                // Blocking sockets never report WouldBlock.
+                Need::Write | Need::Read => unreachable!("blocking socket signalled readiness"),
+            }
+        }
+        if c.done && !c.reconnected {
+            sustained += 1;
+        }
+        tally.peak_open = tally.peak_open.max(handle.open_connections());
+    }
+    (tally, sustained)
+}
+
+/// In-process setup: a portal with one admin, one shared student account,
+/// served over the configured engine on an ephemeral port.
+fn boot_portal(cfg: &LoadConfig) -> (Arc<App>, ServerHandle) {
+    let mut portal = Portal::new(PortalConfig {
+        cluster: ClusterSpec::small(2, 2),
+        ..PortalConfig::default()
+    });
+    portal.bootstrap_admin("admin", "grader-pass99").unwrap();
+    let app = App::new(portal);
+    let router = build_router(Arc::clone(&app));
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/login",
+        br#"{"user":"admin","password":"grader-pass99"}"#,
+        None,
+    );
+    let admin = Json::parse(resp.body_str())
+        .unwrap()
+        .get("token")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let body = format!(r#"{{"name":"{STUDENT}","password":"{PASSWORD}","role":"student"}}"#);
+    let resp = dispatch(
+        &router,
+        Method::Post,
+        "/api/admin/users",
+        body.as_bytes(),
+        Some(&admin),
+    );
+    assert_eq!(
+        resp.status,
+        httpd::Status::CREATED,
+        "student creation: {}",
+        resp.body_str()
+    );
+
+    let handle = serve_with_config(
+        Arc::clone(&app),
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: cfg.engine,
+            workers: cfg.workers,
+            max_inflight: cfg.max_inflight,
+            // Under closed-loop load on few cores a session can sit a
+            // while between its turns; the run deadline is the real cap.
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(60),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn load-test server");
+    (app, handle)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let i = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[i.min(sorted.len() - 1)]
+}
+
+/// Run the semester workload against one engine and summarise it.
+pub fn run(cfg: &LoadConfig) -> LoadSummary {
+    let (_app, handle) = boot_portal(cfg);
+    let addr = handle.addr();
+    let start = Instant::now();
+    let mut lats = Vec::with_capacity(cfg.connections * cfg.requests_per_conn);
+    let (tally, sustained) = if sys::SUPPORTED {
+        drive_epoll(cfg, addr, &handle, &mut lats)
+    } else {
+        drive_blocking(cfg, addr, &handle, &mut lats)
+    };
+    let elapsed_ms = start.elapsed().as_millis() as u64;
+    if let Some(err) = &tally.first_error {
+        eprintln!("  first error response: {err}");
+    }
+    handle.shutdown();
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (engine, server_threads) = match cfg.engine {
+        Engine::Threads => ("threads", tally.peak_open.max(1)),
+        _ => ("reactor", cfg.workers.max(1)),
+    };
+    LoadSummary {
+        engine,
+        connections: cfg.connections,
+        sustained,
+        peak_open: tally.peak_open,
+        requests: lats.len() as u64,
+        ok: tally.ok,
+        shed: tally.shed,
+        errors: tally.errors,
+        reconnects: tally.reconnects,
+        p50_ms: percentile(&lats, 0.50),
+        p99_ms: percentile(&lats, 0.99),
+        server_threads,
+        elapsed_ms,
+    }
+}
+
+/// The smoke pair `checker_parallel` and the `httpd_load` example run:
+/// reactor at class scale, threads at thread-per-connection scale.
+pub fn smoke_pair() -> (LoadSummary, LoadSummary) {
+    let reactor = run(&LoadConfig::reactor_default());
+    let threads = run(&LoadConfig::threads_default());
+    (reactor, threads)
+}
+
+fn summary_json(s: &LoadSummary) -> String {
+    format!(
+        "{{\"engine\":\"{}\",\"connections\":{},\"sustained\":{},\"peak_open\":{},\
+         \"requests\":{},\"ok\":{},\"shed\":{},\"errors\":{},\"reconnects\":{},\
+         \"p50_ms\":{:.2},\"p99_ms\":{:.2},\"server_threads\":{},\"elapsed_ms\":{}}}",
+        s.engine,
+        s.connections,
+        s.sustained,
+        s.peak_open,
+        s.requests,
+        s.ok,
+        s.shed,
+        s.errors,
+        s.reconnects,
+        s.p50_ms,
+        s.p99_ms,
+        s.server_threads,
+        s.elapsed_ms
+    )
+}
+
+/// The equal-memory capacity ratio: bytes a thread-per-connection front
+/// end needs to hold the reactor's sustained concurrency (a 2 MiB stack
+/// per session) over the bytes the reactor actually used (worker stacks
+/// plus per-connection buffers).
+pub fn capacity_ratio(reactor: &LoadSummary) -> f64 {
+    let reactor_mem = reactor.server_threads as u64 * THREAD_STACK_BYTES
+        + reactor.sustained as u64 * REACTOR_CONN_BYTES;
+    let thread_mem = reactor.sustained as u64 * THREAD_STACK_BYTES;
+    thread_mem as f64 / reactor_mem.max(1) as f64
+}
+
+/// Print the human table to stderr and return the machine-readable
+/// `BENCH_HTTPD_JSON ...` line.
+pub fn report(reactor: &LoadSummary, threads: &LoadSummary) -> String {
+    for s in [reactor, threads] {
+        eprintln!(
+            "  {:<8} {:>4} conns ({} sustained, peak open {}) on {} server thread(s): \
+             {} ok / {} shed / {} errors, p50 {:.1}ms p99 {:.1}ms in {}ms",
+            s.engine,
+            s.connections,
+            s.sustained,
+            s.peak_open,
+            s.server_threads,
+            s.ok,
+            s.shed,
+            s.errors,
+            s.p50_ms,
+            s.p99_ms,
+            s.elapsed_ms
+        );
+    }
+    let ratio = capacity_ratio(reactor);
+    eprintln!(
+        "  equal-memory capacity: {} sessions on {} worker stacks + {} KiB/conn \
+         vs 2 MiB/thread -> {ratio:.1}x",
+        reactor.sustained,
+        reactor.server_threads,
+        REACTOR_CONN_BYTES / 1024,
+    );
+    format!(
+        "BENCH_HTTPD_JSON {{\"bench\":\"httpd_load\",\"reactor_supported\":{},\
+         \"reactor\":{},\"threads\":{},\"mem_model\":{{\"thread_stack_bytes\":{},\
+         \"reactor_conn_bytes\":{}}},\"capacity_ratio\":{ratio:.2}}}",
+        sys::SUPPORTED,
+        summary_json(reactor),
+        summary_json(threads),
+        THREAD_STACK_BYTES,
+        REACTOR_CONN_BYTES,
+    )
+}

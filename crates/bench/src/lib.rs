@@ -25,5 +25,6 @@ pub fn banner(title: &str) {
 }
 
 pub mod dpor;
+pub mod httpd_load;
 pub mod obs_overhead;
 pub mod vm_fastpath;

@@ -1018,6 +1018,33 @@ impl Portal {
         Ok(job_view(j))
     }
 
+    /// The tail of a job's captured stdout from byte offset `from` (owner
+    /// or admin): returns `(total_len, new_bytes)`. Pollers pass the
+    /// offset they already have and receive only the growth, so the
+    /// edit→compile→submit→poll loop moves O(delta) bytes per poll
+    /// instead of re-shipping the whole stream each time.
+    pub fn job_stdout_tail(
+        &self,
+        token: &Token,
+        id: JobId,
+        from: usize,
+        now: u64,
+    ) -> Result<(usize, String), PortalError> {
+        let (user, role) = self.whoami(token, now)?;
+        let j = self.scheduler.job(id)?;
+        if j.spec.user != user && !role.at_least(Role::Admin) {
+            return Err(PortalError::Forbidden("job belongs to another user"));
+        }
+        let out = &j.streams.stdout;
+        let mut start = from.min(out.len());
+        // Snap forward to a char boundary so a client-supplied offset
+        // landing mid-UTF-8 cannot panic the slice.
+        while start < out.len() && !out.is_char_boundary(start) {
+            start += 1;
+        }
+        Ok((out.len(), out[start..].to_string()))
+    }
+
     /// Queue a stdin line for a pending job (consumed when it dispatches).
     pub fn send_stdin(
         &mut self,

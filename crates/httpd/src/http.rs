@@ -157,6 +157,12 @@ impl std::error::Error for HttpError {}
 /// Maximum accepted body (uploads included): 8 MiB.
 pub const MAX_BODY: usize = 8 << 20;
 
+/// Maximum accepted head (request line + headers): 32 KiB. Only the
+/// incremental parser enforces this — it must bound how much a client can
+/// dribble without ever completing a head; the blocking parser's
+/// slow-loris defence is the socket read deadline.
+pub const MAX_HEAD: usize = 32 << 10;
+
 /// Map an io error to the right protocol error: a socket deadline expiring
 /// (`TimedOut` on most platforms, `WouldBlock` on unix sockets with
 /// `SO_RCVTIMEO`) is a stalled client, not a malformed request.
@@ -239,6 +245,108 @@ impl Request {
             body,
             params: BTreeMap::new(),
         })
+    }
+
+    /// Incrementally parse one request from `buf` (the bytes received so
+    /// far on a nonblocking socket). Returns `Ok(None)` when the buffer
+    /// holds a valid *prefix* of a request and more bytes are needed, and
+    /// `Ok(Some((request, consumed)))` once a full request is present —
+    /// `consumed` bytes belong to it, anything after is the next pipelined
+    /// request. Errors are reported as soon as they are decidable: a bad
+    /// request line or header fails on its first complete line, and an
+    /// oversized `Content-Length` fails before any body byte is buffered.
+    pub fn parse_bytes(buf: &[u8], max_body: usize) -> Result<Option<(Request, usize)>, HttpError> {
+        fn take_line<'a>(buf: &'a [u8], pos: &mut usize) -> Result<Option<&'a str>, HttpError> {
+            match buf[*pos..].iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    let line = &buf[*pos..*pos + nl];
+                    *pos += nl + 1;
+                    let s = std::str::from_utf8(line)
+                        .map_err(|_| HttpError::Malformed("non-utf8 header"))?;
+                    Ok(Some(s.trim_end()))
+                }
+                None if buf.len() - *pos > MAX_HEAD => {
+                    Err(HttpError::Malformed("request head too large"))
+                }
+                None => Ok(None),
+            }
+        }
+        let mut pos = 0usize;
+        let Some(line) = take_line(buf, &mut pos)? else {
+            return Ok(None);
+        };
+        let mut parts = line.splitn(3, ' ');
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or(HttpError::Malformed("bad method"))?;
+        let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
+        let version = parts
+            .next()
+            .ok_or(HttpError::Malformed("missing version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported version"));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+        let mut headers = BTreeMap::new();
+        loop {
+            if pos > MAX_HEAD {
+                return Err(HttpError::Malformed("request head too large"));
+            }
+            let Some(hl) = take_line(buf, &mut pos)? else {
+                return Ok(None);
+            };
+            if hl.is_empty() {
+                break;
+            }
+            let (k, v) = hl
+                .split_once(':')
+                .ok_or(HttpError::Malformed("bad header"))?;
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+        let body_len = match headers.get("content-length") {
+            Some(cl) => {
+                let n: usize = cl
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
+                if n > max_body {
+                    return Err(HttpError::TooLarge {
+                        declared: n,
+                        limit: max_body,
+                    });
+                }
+                n
+            }
+            None => 0,
+        };
+        if buf.len() - pos < body_len {
+            return Ok(None);
+        }
+        let body = buf[pos..pos + body_len].to_vec();
+        Ok(Some((
+            Request {
+                method,
+                path,
+                query,
+                headers,
+                body,
+                params: BTreeMap::new(),
+            },
+            pos + body_len,
+        )))
+    }
+
+    /// Whether the client asked to reuse the connection. HTTP/1.1 defaults
+    /// to persistent connections, but the portal is conservative: it keeps
+    /// the socket open only on an explicit `Connection: keep-alive`, so
+    /// clients that read to EOF (curl-style one-shots, every pre-reactor
+    /// test) still get the close they expect.
+    pub fn wants_keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
     }
 
     /// Body as UTF-8 (empty string when not valid).
@@ -353,22 +461,39 @@ impl Response {
         self.with_header("Set-Cookie", &format!("{name}={value}; Path=/; HttpOnly"))
     }
 
-    /// Serialize onto a socket.
+    /// Serialize onto a socket (always `Connection: close` — the blocking
+    /// engine never reuses connections).
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        write!(w, "HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason())?;
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        self.write_into(&mut out, false);
+        w.write_all(&out)?;
+        w.flush()
+    }
+
+    /// Serialize into a memory buffer, choosing the `Connection` header.
+    /// The reactor builds the whole wire image up front so its write path
+    /// is a plain nonblocking flush of `out`.
+    pub fn write_into(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        use std::io::Write as _;
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.0,
+            self.status.reason()
+        );
         let mut has_len = false;
         for (k, v) in &self.headers {
             if k.eq_ignore_ascii_case("content-length") {
                 has_len = true;
             }
-            write!(w, "{k}: {v}\r\n")?;
+            let _ = write!(out, "{k}: {v}\r\n");
         }
         if !has_len {
-            write!(w, "Content-Length: {}\r\n", self.body.len())?;
+            let _ = write!(out, "Content-Length: {}\r\n", self.body.len());
         }
-        write!(w, "Connection: close\r\n\r\n")?;
-        w.write_all(&self.body)?;
-        w.flush()
+        let conn = if keep_alive { "keep-alive" } else { "close" };
+        let _ = write!(out, "Connection: {conn}\r\n\r\n");
+        out.extend_from_slice(&self.body);
     }
 
     /// Body as UTF-8 for assertions.
@@ -482,6 +607,82 @@ mod tests {
         assert_eq!(e.status.0, 403);
         assert_eq!(e.body_str(), "no");
         assert_eq!(Status(418).reason(), "Unknown");
+    }
+
+    #[test]
+    fn incremental_parse_partial_then_complete() {
+        let raw = b"POST /login HTTP/1.1\r\nContent-Length: 9\r\n\r\nuser=alic";
+        for cut in 0..raw.len() {
+            assert!(
+                Request::parse_bytes(&raw[..cut], MAX_BODY)
+                    .unwrap()
+                    .is_none(),
+                "prefix of {cut} bytes parsed as complete"
+            );
+        }
+        let (r, consumed) = Request::parse_bytes(raw, MAX_BODY).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.body_str(), "user=alic");
+    }
+
+    #[test]
+    fn incremental_parse_leaves_pipelined_tail() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (r, consumed) = Request::parse_bytes(raw, MAX_BODY).unwrap().unwrap();
+        assert_eq!(r.path, "/a");
+        let (r2, consumed2) = Request::parse_bytes(&raw[consumed..], MAX_BODY)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r2.path, "/b");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn incremental_parse_errors_eagerly() {
+        // A complete-but-bad request line fails before the head finishes.
+        assert!(Request::parse_bytes(b"FROB / HTTP/1.1\r\nHost", MAX_BODY).is_err());
+        // Oversized declared body fails before any body byte arrives.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n";
+        assert!(matches!(
+            Request::parse_bytes(raw, 5),
+            Err(HttpError::TooLarge {
+                declared: 10,
+                limit: 5
+            })
+        ));
+        // An endless dribble of header bytes trips the head cap.
+        let mut big = b"GET / HTTP/1.1\r\n".to_vec();
+        big.extend(std::iter::repeat_n(b'x', MAX_HEAD + 2));
+        assert!(Request::parse_bytes(&big, MAX_BODY).is_err());
+    }
+
+    #[test]
+    fn keep_alive_is_explicit_opt_in() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        let (r, _) = Request::parse_bytes(raw, MAX_BODY).unwrap().unwrap();
+        assert!(r.wants_keep_alive());
+        let raw = b"GET / HTTP/1.1\r\n\r\n";
+        let (r, _) = Request::parse_bytes(raw, MAX_BODY).unwrap().unwrap();
+        assert!(!r.wants_keep_alive(), "no header means close");
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (r, _) = Request::parse_bytes(raw, MAX_BODY).unwrap().unwrap();
+        assert!(!r.wants_keep_alive());
+    }
+
+    #[test]
+    fn write_into_picks_connection_header() {
+        let r = Response::text("hi");
+        let mut ka = Vec::new();
+        r.write_into(&mut ka, true);
+        let s = String::from_utf8(ka).unwrap();
+        assert!(s.contains("Connection: keep-alive\r\n"));
+        assert!(s.ends_with("\r\n\r\nhi"));
+        let mut cl = Vec::new();
+        r.write_into(&mut cl, false);
+        assert!(String::from_utf8(cl)
+            .unwrap()
+            .contains("Connection: close\r\n"));
     }
 
     #[test]

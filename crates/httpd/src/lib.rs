@@ -5,9 +5,14 @@
 //! dependency list, so this crate implements the slice of HTTP/1.1 the
 //! portal needs, from `std::net` up:
 //!
-//! * [`http`] — request parsing / response serialization, status codes;
+//! * [`http`] — request parsing (blocking and incremental) / response
+//!   serialization, status codes;
 //! * [`router`] — method + path-pattern routing with `:param` captures;
-//! * [`server`] — a threaded TCP accept loop with graceful shutdown;
+//! * [`server`] — the front end: an epoll reactor with an M:N green-task
+//!   worker pool where supported, thread-per-connection elsewhere, with
+//!   graceful shutdown either way;
+//! * [`sys`] — raw epoll/eventfd readiness primitives (no `libc`);
+//! * [`wheel`] — the timer wheel enforcing per-connection deadlines;
 //! * [`json`] — a JSON value type, parser and serializer (RFC 8259 subset:
 //!   no surrogate-pair escapes);
 //! * [`forms`] — query strings, urlencoded bodies, cookies;
@@ -17,10 +22,14 @@ pub mod forms;
 pub mod html;
 pub mod http;
 pub mod json;
+mod reactor;
 pub mod router;
 pub mod server;
+pub mod sys;
+pub mod test_support;
+pub mod wheel;
 
 pub use http::{Method, Request, Response, Status};
 pub use json::Json;
 pub use router::Router;
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Engine, Server, ServerConfig, ServerHandle};

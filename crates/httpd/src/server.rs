@@ -1,20 +1,33 @@
-//! The TCP accept loop: one worker thread per connection (the portal's
-//! traffic is a classroom, not a CDN), hardened against misbehaving
-//! clients: per-connection read/write deadlines (slow-loris defence), a
-//! request-size limit, a bounded in-flight connection count that sheds
-//! excess load with `503 Retry-After`, and a graceful shutdown that stops
-//! accepting but lets in-flight requests finish.
+//! The front-end server: an epoll reactor with an M:N green-task worker
+//! pool where the platform supports it (Linux x86_64/aarch64), falling
+//! back to a thread-per-connection engine elsewhere. Both engines share
+//! the same hardening: per-connection read/write deadlines (slow-loris
+//! defence), a request-size limit, a bounded connection budget that
+//! sheds excess load with `503 Retry-After`, and a graceful shutdown
+//! that stops accepting but lets in-flight requests finish.
 
 use crate::http::{HttpError, Request, Response, Status};
+use crate::reactor;
 use crate::router::Router;
 use obs::Obs;
-use parking_lot::Mutex;
 use std::io::{BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Which connection engine [`Server::spawn`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The reactor where supported, threads elsewhere.
+    #[default]
+    Auto,
+    /// Epoll reactor + worker pool; spawn fails on unsupported targets.
+    Reactor,
+    /// One OS thread per connection (the pre-reactor engine).
+    Threads,
+}
 
 /// Hardening knobs for [`Server::spawn`].
 #[derive(Debug, Clone)]
@@ -27,8 +40,8 @@ pub struct ServerConfig {
     /// Largest accepted request body; larger declared bodies get `413`
     /// without the bytes ever being buffered.
     pub max_body: usize,
-    /// Connections handled concurrently; beyond this, new connections are
-    /// shed immediately with `503` + `Retry-After`.
+    /// Connection budget: open connections beyond this are shed
+    /// immediately with `503` + `Retry-After`.
     pub max_inflight: usize,
     /// How long [`ServerHandle::shutdown`] waits for in-flight requests to
     /// finish before giving up on them.
@@ -38,6 +51,11 @@ pub struct ServerConfig {
     /// log. Covers the pre-router rejections (408/413/400) that would
     /// otherwise vanish silently. No-op unless an obs is attached.
     pub access_log: bool,
+    /// Engine selection; [`Engine::Auto`] picks the reactor when the
+    /// platform has epoll.
+    pub engine: Engine,
+    /// Reactor worker threads (`0` = one per core, clamped to 2..=8).
+    pub workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -49,19 +67,43 @@ impl Default for ServerConfig {
             max_inflight: 64,
             drain_grace: Duration::from_secs(5),
             access_log: false,
+            engine: Engine::Auto,
+            workers: 0,
         }
     }
+}
+
+/// Counters both engines publish and [`ServerHandle`] reads.
+#[derive(Default)]
+pub(crate) struct Shared {
+    /// Shutdown requested.
+    pub(crate) stop: AtomicBool,
+    /// Responses completed (everything except shed 503s).
+    pub(crate) served: AtomicU64,
+    /// Connections shed with 503 at the capacity budget.
+    pub(crate) shed: AtomicU64,
+    /// Requests currently mid-flight.
+    pub(crate) active: AtomicUsize,
+    /// Open (admitted) connections.
+    pub(crate) open: AtomicUsize,
+}
+
+enum EngineRt {
+    Threads {
+        accept: Option<JoinHandle<()>>,
+    },
+    Reactor {
+        core: Arc<reactor::Core>,
+        thread: Option<JoinHandle<()>>,
+    },
 }
 
 /// A running server, returned by [`Server::spawn`].
 pub struct ServerHandle {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    served: Arc<AtomicU64>,
-    shed: Arc<AtomicU64>,
-    inflight: Arc<AtomicUsize>,
+    shared: Arc<Shared>,
     drain_grace: Duration,
-    accept_thread: Option<JoinHandle<()>>,
+    engine: EngineRt,
 }
 
 impl ServerHandle {
@@ -72,35 +114,51 @@ impl ServerHandle {
 
     /// Requests served so far.
     pub fn served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.shared.served.load(Ordering::Relaxed)
     }
 
     /// Connections shed with 503 because the server was at capacity.
     pub fn shed(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shared.shed.load(Ordering::Relaxed)
     }
 
-    /// Connections currently being handled.
+    /// Requests currently being handled.
     pub fn inflight(&self) -> usize {
-        self.inflight.load(Ordering::SeqCst)
+        self.shared.active.load(Ordering::SeqCst)
     }
 
-    /// Stop accepting, join the accept thread, then wait (bounded by the
-    /// configured drain grace) for in-flight requests to complete.
+    /// Open connections (idle keep-alives included).
+    pub fn open_connections(&self) -> usize {
+        self.shared.open.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, then wait (bounded by the configured drain grace)
+    /// for in-flight requests to complete. Never needs to reach the
+    /// listener over the network: the reactor is woken by its eventfd and
+    /// the thread engine polls its accept loop.
     pub fn shutdown(mut self) {
         self.stop_and_drain();
     }
 
     fn stop_and_drain(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Nudge the blocking accept with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        let deadline = Instant::now() + self.drain_grace;
-        while self.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(2));
+        self.shared.stop.store(true, Ordering::SeqCst);
+        match &mut self.engine {
+            EngineRt::Threads { accept } => {
+                if let Some(t) = accept.take() {
+                    let _ = t.join();
+                }
+                let deadline = Instant::now() + self.drain_grace;
+                while self.shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            EngineRt::Reactor { core, thread } => {
+                core.wake();
+                // The reactor performs the bounded drain before exiting.
+                if let Some(t) = thread.take() {
+                    let _ = t.join();
+                }
+            }
         }
     }
 }
@@ -113,7 +171,7 @@ impl Drop for ServerHandle {
 
 /// The HTTP server: a router behind a TCP listener.
 pub struct Server {
-    router: Arc<Mutex<Router>>,
+    router: Arc<Router>,
     config: ServerConfig,
     obs: Option<Arc<Obs>>,
 }
@@ -136,7 +194,7 @@ impl Server {
     pub fn with_config(router: Router, config: ServerConfig) -> Server {
         let obs = router.obs().cloned();
         let mut server = Server {
-            router: Arc::new(Mutex::new(router)),
+            router: Arc::new(router),
             config,
             obs: None,
         };
@@ -147,81 +205,143 @@ impl Server {
     }
 
     /// Attach (or replace) the telemetry domain for connection-level
-    /// counters and the access log (builder style).
+    /// counters and the access log (builder style). Families are
+    /// registered eagerly so they appear in the exposition (at zero)
+    /// from the moment the server exists, not after the first event.
     pub fn with_obs(mut self, obs: Arc<Obs>) -> Server {
-        obs.metrics.describe(
+        let m = &obs.metrics;
+        m.describe(
             "ccp_httpd_shed_total",
             "connections shed at capacity with 503",
         );
-        obs.metrics.describe(
+        m.describe(
             "ccp_httpd_request_timeouts_total",
             "requests cut off by the read deadline",
         );
-        obs.metrics.describe(
+        m.describe(
             "ccp_httpd_rejected_total",
             "requests rejected before routing, by reason",
         );
+        m.describe(
+            "ccp_httpd_open_connections",
+            "connections currently open (idle keep-alives included)",
+        );
+        m.describe(
+            "ccp_httpd_keepalive_reuses_total",
+            "requests served on an already-open connection",
+        );
+        m.describe(
+            "ccp_httpd_reactor_wakeups_total",
+            "reactor epoll wakeups that delivered at least one event",
+        );
+        m.describe(
+            "ccp_httpd_tasks_parked",
+            "connection tasks parked waiting for readiness",
+        );
+        let _ = m.counter("ccp_httpd_shed_total", &[]);
+        let _ = m.counter("ccp_httpd_request_timeouts_total", &[]);
+        let _ = m.counter("ccp_httpd_rejected_total", &[("reason", "too_large")]);
+        let _ = m.counter("ccp_httpd_rejected_total", &[("reason", "bad_request")]);
+        let _ = m.gauge("ccp_httpd_open_connections", &[]);
+        let _ = m.counter("ccp_httpd_keepalive_reuses_total", &[]);
+        let _ = m.counter("ccp_httpd_reactor_wakeups_total", &[]);
+        let _ = m.gauge("ccp_httpd_tasks_parked", &[]);
         self.obs = Some(obs);
         self
     }
 
-    /// Bind `addr` (e.g. `127.0.0.1:0`) and serve on a background thread.
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and serve in the background.
     pub fn spawn(self, addr: &str) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let served = Arc::new(AtomicU64::new(0));
-        let shed = Arc::new(AtomicU64::new(0));
-        let inflight = Arc::new(AtomicUsize::new(0));
+        let shared = Arc::new(Shared::default());
+        let use_reactor = match self.config.engine {
+            Engine::Threads => false,
+            Engine::Reactor => true,
+            Engine::Auto => crate::sys::SUPPORTED,
+        };
+        if use_reactor {
+            let rt = reactor::spawn(
+                listener,
+                self.config.clone(),
+                Arc::clone(&self.router),
+                self.obs.clone(),
+                Arc::clone(&shared),
+            )?;
+            return Ok(ServerHandle {
+                addr: local,
+                shared,
+                drain_grace: self.config.drain_grace,
+                engine: EngineRt::Reactor {
+                    core: rt.core,
+                    thread: rt.thread,
+                },
+            });
+        }
         let router = self.router;
         let config = self.config;
         let obs = self.obs;
         let drain_grace = config.drain_grace;
-        let stop2 = Arc::clone(&stop);
-        let served2 = Arc::clone(&served);
-        let shed2 = Arc::clone(&shed);
-        let inflight2 = Arc::clone(&inflight);
+        let shared2 = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop2.load(Ordering::SeqCst) {
+            // Nonblocking accept so shutdown needs no network nudge: the
+            // loop just observes the stop flag on its next poll tick.
+            let _ = listener.set_nonblocking(true);
+            loop {
+                if shared2.stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = conn else { continue };
-                if inflight2.load(Ordering::SeqCst) >= config.max_inflight {
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
+                };
+                // accept() on Linux does not inherit O_NONBLOCK, but be
+                // explicit: the handler uses blocking reads + deadlines.
+                let _ = stream.set_nonblocking(false);
+                if shared2.active.load(Ordering::SeqCst) >= config.max_inflight {
                     shed_connection(stream, &config, obs.as_deref());
-                    shed2.fetch_add(1, Ordering::Relaxed);
+                    shared2.shed.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 // Count before spawning so a burst cannot overshoot the cap.
-                let now_inflight = inflight2.fetch_add(1, Ordering::SeqCst) + 1;
+                let now_inflight = shared2.active.fetch_add(1, Ordering::SeqCst) + 1;
+                shared2.open.fetch_add(1, Ordering::SeqCst);
                 if let Some(o) = &obs {
                     o.metrics
                         .gauge("ccp_httpd_inflight", &[])
                         .set(now_inflight as i64);
+                    o.metrics.gauge("ccp_httpd_open_connections", &[]).add(1);
                 }
                 let router = Arc::clone(&router);
-                let served = Arc::clone(&served2);
-                let inflight = Arc::clone(&inflight2);
+                let shared = Arc::clone(&shared2);
                 let config = config.clone();
                 let obs = obs.clone();
                 std::thread::spawn(move || {
                     handle_connection(stream, &router, &config, obs.as_deref());
-                    served.fetch_add(1, Ordering::Relaxed);
-                    let left = inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    let left = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+                    shared.open.fetch_sub(1, Ordering::SeqCst);
                     if let Some(o) = &obs {
                         o.metrics.gauge("ccp_httpd_inflight", &[]).set(left as i64);
+                        o.metrics.gauge("ccp_httpd_open_connections", &[]).sub(1);
                     }
                 });
             }
         });
         Ok(ServerHandle {
             addr: local,
-            stop,
-            served,
-            shed,
-            inflight,
+            shared,
             drain_grace,
-            accept_thread: Some(accept_thread),
+            engine: EngineRt::Threads {
+                accept: Some(accept_thread),
+            },
         })
     }
 }
@@ -267,12 +387,7 @@ fn shed_connection(mut stream: TcpStream, config: &ServerConfig, obs: Option<&Ob
     });
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    router: &Mutex<Router>,
-    config: &ServerConfig,
-    obs: Option<&Obs>,
-) {
+fn handle_connection(stream: TcpStream, router: &Router, config: &ServerConfig, obs: Option<&Obs>) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let mut writer = match stream.try_clone() {
@@ -285,7 +400,7 @@ fn handle_connection(
     let response = match Request::parse_with_limit(&mut reader, config.max_body) {
         Ok(mut req) => {
             request_line = (req.method.to_string(), req.path.clone());
-            router.lock().dispatch(&mut req)
+            router.dispatch(&mut req)
         }
         Err(HttpError::TooLarge { declared, limit }) => {
             if let Some(o) = obs {
@@ -336,7 +451,7 @@ fn handle_connection(
     }
 }
 
-fn epoch_secs() -> u64 {
+pub(crate) fn epoch_secs() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -347,15 +462,8 @@ fn epoch_secs() -> u64 {
 mod tests {
     use super::*;
     use crate::http::Method;
+    use crate::test_support::{raw_request, read_response};
     use std::io::{Read, Write};
-
-    fn raw_request(addr: SocketAddr, raw: &str) -> String {
-        let mut s = TcpStream::connect(addr).unwrap();
-        s.write_all(raw.as_bytes()).unwrap();
-        let mut out = String::new();
-        s.read_to_string(&mut out).unwrap();
-        out
-    }
 
     fn test_router() -> Router {
         let mut router = Router::new();
@@ -375,13 +483,30 @@ mod tests {
         Server::new(test_router()).spawn("127.0.0.1:0").unwrap()
     }
 
+    fn engines() -> Vec<Engine> {
+        if crate::sys::SUPPORTED {
+            vec![Engine::Reactor, Engine::Threads]
+        } else {
+            vec![Engine::Threads]
+        }
+    }
+
     #[test]
     fn serves_get_over_real_socket() {
-        let h = test_server();
-        let resp = raw_request(h.addr(), "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
-        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
-        assert!(resp.ends_with("pong"), "{resp}");
-        h.shutdown();
+        // Both engines answer the same on-the-wire traffic.
+        for engine in engines() {
+            let config = ServerConfig {
+                engine,
+                ..ServerConfig::default()
+            };
+            let h = Server::with_config(test_router(), config)
+                .spawn("127.0.0.1:0")
+                .unwrap();
+            let resp = raw_request(h.addr(), "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+            assert!(resp.starts_with("HTTP/1.1 200 OK"), "{engine:?}: {resp}");
+            assert!(resp.ends_with("pong"), "{engine:?}: {resp}");
+            h.shutdown();
+        }
     }
 
     #[test]
@@ -475,6 +600,90 @@ mod tests {
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 408 Request Timeout"), "{out}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_partial_headers_hit_read_timeout() {
+        // Same attack, but stalled mid-headers with the request line
+        // complete: the incremental parser must not treat a valid prefix
+        // as a request, and the deadline must still fire.
+        let config = ServerConfig {
+            read_timeout: Duration::from_millis(80),
+            ..ServerConfig::default()
+        };
+        let h = Server::with_config(test_router(), config)
+            .spawn("127.0.0.1:0")
+            .unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"GET /ping HTTP/1.1\r\nHost: t\r\nX-Dribble: ye")
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408 Request Timeout"), "{out}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        if !crate::sys::SUPPORTED {
+            return; // keep-alive is a reactor feature
+        }
+        let obs = Arc::new(Obs::new());
+        let mut router = test_router();
+        router.set_obs(Arc::clone(&obs));
+        let h = Server::new(router).spawn("127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        for i in 0..3 {
+            s.write_all(b"GET /ping HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap();
+            let resp = read_response(&mut s);
+            assert!(resp.starts_with("HTTP/1.1 200"), "request {i}: {resp}");
+            assert!(
+                resp.contains("Connection: keep-alive"),
+                "request {i}: {resp}"
+            );
+            assert!(resp.ends_with("pong"), "request {i}: {resp}");
+        }
+        // Final request without keep-alive: server closes after it.
+        s.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+        let mut rest = String::new();
+        s.read_to_string(&mut rest).unwrap();
+        assert!(rest.contains("Connection: close"), "{rest}");
+        assert!(rest.ends_with("pong"), "{rest}");
+        assert_eq!(h.served(), 4);
+        if crate::sys::SUPPORTED {
+            assert_eq!(
+                obs.metrics
+                    .counter("ccp_httpd_keepalive_reuses_total", &[])
+                    .get(),
+                3,
+                "three requests rode an already-open connection"
+            );
+        }
+        h.shutdown();
+    }
+
+    #[test]
+    fn pipelined_second_request_in_buffer() {
+        if !crate::sys::SUPPORTED {
+            return; // pipelining needs the reactor's incremental parser
+        }
+        let h = test_server();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        // Two requests in one write: the second is already buffered when
+        // the first response goes out.
+        s.write_all(
+            b"GET /ping HTTP/1.1\r\nConnection: keep-alive\r\n\r\n\
+              GET /jobs/9 HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        let first = read_response(&mut s);
+        assert!(first.ends_with("pong"), "{first}");
+        let mut rest = String::new();
+        s.read_to_string(&mut rest).unwrap();
+        assert!(rest.ends_with("job=9"), "{rest}");
+        assert_eq!(h.served(), 2);
         h.shutdown();
     }
 
@@ -621,6 +830,59 @@ mod tests {
         h.shutdown();
         let resp = slow.join().unwrap();
         assert!(resp.ends_with("done"), "{resp}");
+    }
+
+    #[test]
+    fn shutdown_never_needs_the_listener_port() {
+        // The old engine nudged its own blocking accept with a TCP
+        // connect to the listener — which hung when the port was
+        // unreachable. Both engines must now shut down promptly with no
+        // traffic at all.
+        for engine in engines() {
+            let config = ServerConfig {
+                engine,
+                ..ServerConfig::default()
+            };
+            let h = Server::with_config(test_router(), config)
+                .spawn("127.0.0.1:0")
+                .unwrap();
+            let started = Instant::now();
+            h.shutdown();
+            assert!(
+                started.elapsed() < Duration::from_secs(2),
+                "{engine:?} shutdown took {:?}",
+                started.elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn open_connections_tracks_idle_keepalives() {
+        if !crate::sys::SUPPORTED {
+            return;
+        }
+        let obs = Arc::new(Obs::new());
+        let mut router = test_router();
+        router.set_obs(Arc::clone(&obs));
+        let h = Server::new(router).spawn("127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"GET /ping HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap();
+        let resp = read_response(&mut s);
+        assert!(resp.ends_with("pong"), "{resp}");
+        // Request done, connection idle: still open, no longer inflight.
+        // (The worker decrements inflight just after the final flush, so
+        // allow it a beat.)
+        while h.inflight() != 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(h.open_connections(), 1);
+        assert_eq!(
+            obs.metrics.gauge("ccp_httpd_open_connections", &[]).get(),
+            1
+        );
+        drop(s);
+        h.shutdown();
     }
 
     #[test]

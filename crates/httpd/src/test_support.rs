@@ -1,0 +1,49 @@
+//! On-the-wire test helpers shared by the server/reactor tests here and
+//! the integration suites downstream (webportal, smoke scripts). Not
+//! part of the serving path; compiled into the library so other crates'
+//! tests can use it without copy-pasting raw-socket plumbing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Open a connection, send `raw`, and read to EOF. The one-shot client
+/// shape every pre-reactor test used inline.
+///
+/// # Panics
+/// On any socket error — these helpers are for tests.
+pub fn raw_request(addr: SocketAddr, raw: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// Read exactly one HTTP response (head + `Content-Length` body) off a
+/// stream, leaving the connection open — what keep-alive and pipelining
+/// tests need, where `read_to_string` would block forever.
+///
+/// # Panics
+/// On socket errors, EOF mid-response, or a malformed head.
+pub fn read_response(s: &mut TcpStream) -> String {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = s.read(&mut byte).unwrap();
+        assert!(n > 0, "eof before response head complete");
+        head.push(byte[0]);
+        assert!(head.len() < 64 << 10, "response head never terminated");
+    }
+    let head_str = String::from_utf8(head).unwrap();
+    let mut len = 0usize;
+    for line in head_str.lines() {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                len = v.trim().parse().unwrap();
+            }
+        }
+    }
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).unwrap();
+    head_str + &String::from_utf8_lossy(&body)
+}

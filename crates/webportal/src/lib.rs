@@ -15,7 +15,7 @@
 pub mod app;
 pub mod pages;
 
-pub use app::{build_router, serve, App};
+pub use app::{build_router, serve, serve_with_config, App};
 
 #[cfg(test)]
 mod tests;

@@ -3,17 +3,19 @@
 # summaries: BENCH_checker.json (pool speedup + cache hit rate),
 # BENCH_vm.json (VM fast path: snapshot vs stateless schedules/sec,
 # steps/sec, snapshot hit ratio), BENCH_obs.json (telemetry overhead on
-# the 4-worker hot path) and BENCH_dpor.json (partial-order-reduction
-# ratios), so CI archives all four datapoints per commit.
+# the 4-worker hot path), BENCH_dpor.json (partial-order-reduction
+# ratios) and BENCH_httpd.json (front-end capacity: reactor vs
+# thread-per-connection), so CI archives all five datapoints per commit.
 #
-# Usage: bench_smoke.sh [output.json] [vm_output.json] [obs_output.json] [dpor_output.json]
-#        (defaults: BENCH_checker.json, BENCH_vm.json, BENCH_obs.json, BENCH_dpor.json)
+# Usage: bench_smoke.sh [output.json] [vm_output.json] [obs_output.json] [dpor_output.json] [httpd_output.json]
+#        (defaults: BENCH_checker.json, BENCH_vm.json, BENCH_obs.json, BENCH_dpor.json, BENCH_httpd.json)
 #
 # The bench prints exactly one line of each form
 #   BENCH_JSON {"bench":"checker_parallel",...}
 #   BENCH_VM_JSON {"bench":"vm_fastpath",...}
 #   BENCH_OBS_JSON {"bench":"obs_overhead",...}
 #   BENCH_DPOR_JSON {"bench":"dpor",...}
+#   BENCH_HTTPD_JSON {"bench":"httpd_load",...}
 # on stderr; everything after the prefix is already valid JSON.
 set -euo pipefail
 
@@ -21,6 +23,7 @@ out="${1:-BENCH_checker.json}"
 vm_out="${2:-BENCH_vm.json}"
 obs_out="${3:-BENCH_obs.json}"
 dpor_out="${4:-BENCH_dpor.json}"
+httpd_out="${5:-BENCH_httpd.json}"
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
@@ -43,6 +46,10 @@ fi
 base_reduction=""
 if [ -f "$dpor_out" ]; then
     base_reduction="$(sed -nE 's/.*"min_reduction":([0-9.]+).*/\1/p' "$dpor_out")"
+fi
+base_capacity=""
+if [ -f "$httpd_out" ]; then
+    base_capacity="$(sed -nE 's/.*"capacity_ratio":([0-9.]+).*/\1/p' "$httpd_out")"
 fi
 
 # --test with a fast profile: we want the printed summary, not tight CIs.
@@ -76,6 +83,13 @@ if [ -z "$dpor_line" ]; then
 fi
 printf '%s\n' "${dpor_line#BENCH_DPOR_JSON }" > "$dpor_out"
 
+httpd_line="$(grep -E '^BENCH_HTTPD_JSON \{' "$log" | tail -n 1 || true)"
+if [ -z "$httpd_line" ]; then
+    echo "FAIL: bench did not print a BENCH_HTTPD_JSON line" >&2
+    exit 1
+fi
+printf '%s\n' "${httpd_line#BENCH_HTTPD_JSON }" > "$httpd_out"
+
 # The snapshot engine's win is algorithmic (it removes prefix re-execution,
 # not wall-clock parallelism), so the floor holds on any core count.
 vm_speedup="$(sed -nE 's/.*"min_speedup":([0-9.]+).*/\1/p' "$vm_out")"
@@ -103,6 +117,31 @@ fi
 awk -v r="$reduction" 'BEGIN {
     if (r + 0 < 2.0) { print "FAIL: DPOR min reduction " r "x below 2.0x" > "/dev/stderr"; exit 1 }
 }'
+
+# Front-end capacity: the reactor must hold >=10x the sessions a
+# thread-per-connection engine could at equal memory, with a clean run
+# (zero error responses). The ratio is computed from the measured
+# sustained concurrency and a fixed memory model (2 MiB stack/thread vs
+# 48 KiB buffers/connection), so it is stable across runners. Platforms
+# without epoll report reactor_supported:false and skip the gate.
+httpd_supported="$(sed -nE 's/.*"reactor_supported":(true|false).*/\1/p' "$httpd_out")"
+capacity="$(sed -nE 's/.*"capacity_ratio":([0-9.]+).*/\1/p' "$httpd_out")"
+httpd_errors="$(sed -nE 's/.*"reactor":\{[^}]*"errors":([0-9]+).*/\1/p' "$httpd_out")"
+if [ -z "$httpd_supported" ] || [ -z "$capacity" ] || [ -z "$httpd_errors" ]; then
+    echo "FAIL: $httpd_out is missing reactor_supported, capacity_ratio or errors" >&2
+    exit 1
+fi
+if [ "$httpd_supported" = "true" ]; then
+    if [ "$httpd_errors" != "0" ]; then
+        echo "FAIL: reactor load run had $httpd_errors error responses" >&2
+        exit 1
+    fi
+    awk -v c="$capacity" 'BEGIN {
+        if (c + 0 < 10.0) { print "FAIL: front-end capacity ratio " c "x below 10x" > "/dev/stderr"; exit 1 }
+    }'
+else
+    echo "note: no epoll on this platform; skipping the front-end capacity gate"
+fi
 
 # Sanity: the acceptance floors (4-worker speedup >= 2x, cache hit rate
 # >= 0.9) travel with the artifact; fail loudly if the datapoint regressed.
@@ -168,10 +207,17 @@ if [ -n "$base_reduction" ]; then
         if (r + 0 < b - 0.01) { print "FAIL: DPOR min_reduction " r " fell below baseline " b > "/dev/stderr"; exit 1 }
     }'
 fi
-if [ -n "$base_vm$base_hit$base_speedup$base_overhead$base_reduction" ]; then
-    echo "baseline diff OK (speedup_4w ${base_speedup:-n/a} -> ${speedup}, cache_hit_rate ${base_hit:-n/a} -> ${hit_rate}, vm_min_speedup ${base_vm:-n/a} -> ${vm_speedup}, obs_overhead ${base_overhead:-n/a}% -> ${overhead}%, dpor_min_reduction ${base_reduction:-n/a} -> ${reduction})"
+if [ -n "$base_capacity" ] && [ "$httpd_supported" = "true" ]; then
+    # The ratio only moves when sustained concurrency or the worker count
+    # changes; 25% slack absorbs a session or two lost to runner hiccups.
+    awk -v c="$capacity" -v b="$base_capacity" 'BEGIN {
+        if (c + 0 < b * 0.75) { print "FAIL: front-end capacity_ratio " c " regressed >25% below baseline " b > "/dev/stderr"; exit 1 }
+    }'
+fi
+if [ -n "$base_vm$base_hit$base_speedup$base_overhead$base_reduction$base_capacity" ]; then
+    echo "baseline diff OK (speedup_4w ${base_speedup:-n/a} -> ${speedup}, cache_hit_rate ${base_hit:-n/a} -> ${hit_rate}, vm_min_speedup ${base_vm:-n/a} -> ${vm_speedup}, obs_overhead ${base_overhead:-n/a}% -> ${overhead}%, dpor_min_reduction ${base_reduction:-n/a} -> ${reduction}, httpd_capacity ${base_capacity:-n/a} -> ${capacity})"
 else
     echo "note: no checked-in baseline found; skipping the regression diff"
 fi
-echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate}, vm_snapshot_min_speedup=${vm_speedup}x, obs_overhead=${overhead}%, dpor_min_reduction=${reduction}x (cores=$cores)"
-echo "wrote $out, $vm_out, $obs_out and $dpor_out"
+echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate}, vm_snapshot_min_speedup=${vm_speedup}x, obs_overhead=${overhead}%, dpor_min_reduction=${reduction}x, httpd_capacity_ratio=${capacity}x (cores=$cores)"
+echo "wrote $out, $vm_out, $obs_out, $dpor_out and $httpd_out"

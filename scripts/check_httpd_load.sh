@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Front-end load smoke: replay the closed-loop semester workload (login,
+# edit, compile, submit, poll /api/jobs) against the reactor engine at
+# class scale and the thread-per-connection baseline, then assert
+#
+#   * the reactor run is clean — zero error responses, zero forced
+#     reconnects, every session sustained on one keep-alive socket;
+#   * the equal-memory capacity ratio (2 MiB stack per thread-engine
+#     connection vs worker stacks + 48 KiB buffers per reactor
+#     connection) clears the 10x acceptance floor;
+#   * the reactor's p99 stays inside a generous smoke budget, so a
+#     pathological stall fails loudly instead of shipping.
+#
+# Usage: check_httpd_load.sh [output.json]    (default BENCH_httpd.json
+# is NOT overwritten here — pass a path to capture the datapoint)
+set -euo pipefail
+
+out="${1:-}"
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+cargo run --release -p ccp-bench --example httpd_load 2>&1 | tee "$log"
+
+line="$(grep -E '^BENCH_HTTPD_JSON \{' "$log" | tail -n 1 || true)"
+if [ -z "$line" ]; then
+    echo "FAIL: httpd_load example did not print a BENCH_HTTPD_JSON line" >&2
+    exit 1
+fi
+json="${line#BENCH_HTTPD_JSON }"
+if [ -n "$out" ]; then
+    printf '%s\n' "$json" > "$out"
+fi
+
+supported="$(printf '%s' "$json" | sed -nE 's/.*"reactor_supported":(true|false).*/\1/p')"
+if [ "$supported" != "true" ]; then
+    echo "note: no epoll on this platform; thread fallback smoke only"
+    exit 0
+fi
+
+reactor="$(printf '%s' "$json" | sed -nE 's/.*"reactor":\{([^}]*)\}.*/\1/p')"
+field() { printf '%s' "$reactor" | sed -nE "s/.*\"$1\":([0-9.]+).*/\1/p"; }
+connections="$(field connections)"
+sustained="$(field sustained)"
+errors="$(field errors)"
+reconnects="$(field reconnects)"
+p99="$(field p99_ms)"
+capacity="$(printf '%s' "$json" | sed -nE 's/.*"capacity_ratio":([0-9.]+).*/\1/p')"
+
+status=0
+if [ "$errors" != "0" ]; then
+    echo "FAIL: reactor run returned $errors error responses" >&2
+    status=1
+fi
+if [ "$reconnects" != "0" ]; then
+    echo "FAIL: reactor dropped keep-alive sessions ($reconnects reconnects)" >&2
+    status=1
+fi
+if [ "$sustained" != "$connections" ]; then
+    echo "FAIL: only $sustained of $connections sessions sustained" >&2
+    status=1
+fi
+awk -v c="$capacity" 'BEGIN {
+    if (c + 0 < 10.0) { print "FAIL: capacity ratio " c "x below the 10x floor" > "/dev/stderr"; exit 1 }
+}' || status=1
+# Smoke budget, not a latency SLO: the workload is closed-loop on shared
+# CI cores, so only a wild outlier (seconds) should trip this.
+awk -v p="$p99" 'BEGIN {
+    if (p + 0 > 5000.0) { print "FAIL: reactor p99 " p "ms beyond the 5s smoke budget" > "/dev/stderr"; exit 1 }
+}' || status=1
+[ "$status" -eq 0 ] || exit "$status"
+
+echo "OK: $sustained/$connections sessions sustained, capacity ${capacity}x, p99 ${p99}ms"

@@ -45,10 +45,16 @@ for layer in httpd sched cluster; do
 done
 [ "$status" -eq 0 ] || exit "$status"
 
-# The parallel execution engine, compile cache and WAL register their
-# families eagerly, so a fresh scrape must already carry every one of them
-# (the wal families appear even when the portal boots without a data dir).
+# The parallel execution engine, compile cache, WAL and the reactor front
+# end register their families eagerly, so a fresh scrape must already carry
+# every one of them (the wal families appear even when the portal boots
+# without a data dir; the httpd reactor families appear even before the
+# first connection parks).
 for family in \
+    "ccp_httpd_open_connections gauge" \
+    "ccp_httpd_keepalive_reuses_total counter" \
+    "ccp_httpd_reactor_wakeups_total counter" \
+    "ccp_httpd_tasks_parked gauge" \
     "ccp_pool_workers gauge" \
     "ccp_pool_tasks_total counter" \
     "ccp_pool_steals_total counter" \

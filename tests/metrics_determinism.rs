@@ -229,6 +229,152 @@ fn portal_dashboard_and_trace_are_deterministic_across_worker_counts() {
     }
 }
 
+/// One raw keep-alive-free HTTP exchange against a live socket; returns
+/// the response body.
+fn http(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    token: Option<&str>,
+    body: &str,
+) -> String {
+    let cookie = token
+        .map(|t| format!("Cookie: sid={t}\r\n"))
+        .unwrap_or_default();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\n{cookie}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let resp = httpd::test_support::raw_request(addr, &raw);
+    resp.split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default()
+}
+
+/// The tick-domain slice of an exposition: every family except the
+/// wall-clock ones. Front-end (`ccp_httpd_*`) gauges and counters track
+/// socket lifetimes and reactor wakeups, `*_us` histograms bucket real
+/// durations, and `ccp_slow_ops_total` trips on a wall-time threshold —
+/// all legitimately run-dependent. Everything else is a pure function of
+/// the request sequence.
+fn tick_domain_subset(exposition: &str) -> String {
+    exposition
+        .lines()
+        .filter(|line| {
+            let name = match line
+                .strip_prefix("# HELP ")
+                .or_else(|| line.strip_prefix("# TYPE "))
+            {
+                Some(rest) => rest.split_whitespace().next().unwrap_or(""),
+                None => line.split(['{', ' ']).next().unwrap_or(""),
+            };
+            !(name.starts_with("ccp_httpd_")
+                || name.contains("_us")
+                || name == "ccp_slow_ops_total")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Replay a fixed student session over a real socket — login, edit,
+/// compile, submit, tick, poll, stdout tail — and return the tick-domain
+/// slice of the final `/api/metrics` scrape.
+fn run_session_over_front_end(seed: u64) -> String {
+    let mut portal = Portal::new(PortalConfig {
+        cluster: ClusterSpec::small(2, 2),
+        seed,
+        ..PortalConfig::default()
+    });
+    portal.bootstrap_admin("admin", "super-secret9").unwrap();
+    let app = App::new(portal);
+    let handle = webportal::serve_with_config(
+        Arc::clone(&app),
+        "127.0.0.1:0",
+        httpd::ServerConfig::default(),
+    )
+    .expect("spawn portal front end");
+    let addr = handle.addr();
+
+    let login = http(
+        addr,
+        "POST",
+        "/api/login",
+        None,
+        r#"{"user":"admin","password":"super-secret9"}"#,
+    );
+    let token = login
+        .split("\"token\":\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_string();
+    http(
+        addr,
+        "POST",
+        "/api/file?path=det.mini",
+        Some(&token),
+        "fn main() { println(\"det\"); }",
+    );
+    let compiled = http(addr, "POST", "/api/compile?path=det.mini", Some(&token), "");
+    let artifact = compiled
+        .split("\"artifact\":\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_string();
+    let submitted = http(
+        addr,
+        "POST",
+        "/api/jobs",
+        Some(&token),
+        &format!(r#"{{"artifact":"{artifact}","cores":1,"estimated_ticks":2}}"#),
+    );
+    let job = submitted
+        .split("\"job\":")
+        .nth(1)
+        .unwrap()
+        .split(['}', ','])
+        .next()
+        .unwrap()
+        .trim()
+        .to_string();
+    for _ in 0..5 {
+        http(addr, "POST", "/api/tick", Some(&token), "");
+    }
+    http(addr, "GET", "/api/jobs", Some(&token), "");
+    http(
+        addr,
+        "GET",
+        &format!("/api/jobs/{job}/stdout?from=0"),
+        Some(&token),
+        "",
+    );
+    let metrics = http(addr, "GET", "/api/metrics", None, "");
+    handle.shutdown();
+    tick_domain_subset(&metrics)
+}
+
+#[test]
+fn same_sequence_over_front_end_renders_identical_portal_metrics() {
+    for seed in [7, 42] {
+        let a = run_session_over_front_end(seed);
+        let b = run_session_over_front_end(seed);
+        assert!(
+            a.contains("ccp_sched_jobs_submitted_total 1"),
+            "session metrics missing the submitted job:\n{a}"
+        );
+        assert_eq!(
+            a, b,
+            "seed {seed}: tick-domain metrics diverged between identical \
+             sessions served over the front end"
+        );
+    }
+}
+
 #[test]
 fn chaos_metrics_exposition_is_complete_and_consistent() {
     let text = run_chaos_metrics(42);
