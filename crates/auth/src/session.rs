@@ -40,6 +40,12 @@ pub struct Session {
     pub created_at: u64,
     /// Expiry time (caller clock).
     pub expires_at: u64,
+    /// Issue-order stamp, unique across the manager's lifetime. A
+    /// long-running operation records this at start and compares at
+    /// finish: a mismatch (or a missing token) proves the session was
+    /// revoked — and possibly re-issued — mid-flight, so the result must
+    /// be dropped rather than applied.
+    pub generation: u64,
 }
 
 /// Session errors.
@@ -104,6 +110,7 @@ impl SessionManager {
                 username: username.to_string(),
                 created_at: now,
                 expires_at: now.saturating_add(self.ttl),
+                generation: self.issued,
             },
         );
         tok
@@ -210,6 +217,16 @@ mod tests {
         m.touch(&t, 9).unwrap();
         assert!(m.validate(&t, 15).is_ok());
         assert!(m.validate(&t, 19).is_err());
+    }
+
+    #[test]
+    fn generations_are_unique_and_monotonic() {
+        let mut m = SessionManager::new(100, 1);
+        let a = m.issue("alice", 0);
+        let b = m.issue("alice", 0);
+        let ga = m.validate(&a, 1).unwrap().generation;
+        let gb = m.validate(&b, 1).unwrap().generation;
+        assert!(gb > ga, "second issue must get a later generation");
     }
 
     #[test]

@@ -146,6 +146,13 @@ fn bench(c: &mut Criterion) {
         ccp_bench::httpd_load::report(&httpd_reactor, &httpd_threads)
     );
 
+    // Lock contention: light read routes racing heavy analyses, global
+    // portal mutex vs the fine-grained design. Also available as
+    // `cargo run --release -p ccp-bench --example portal_lock`.
+    ccp_bench::banner("Portal lock: light reads vs heavy analyses, global mutex vs fine-grained");
+    let contention = ccp_bench::portal_lock::compare();
+    eprintln!("{}", ccp_bench::portal_lock::report(&contention));
+
     // One line the smoke script lifts verbatim into BENCH_checker.json.
     let workers_json = rows
         .iter()

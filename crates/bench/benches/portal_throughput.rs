@@ -183,7 +183,7 @@ fn bench(c: &mut Criterion) {
     // Registry-derived latency digest: every dispatch above recorded into
     // ccp_httpd_request_duration_us{route}; read the quantiles back out of
     // the same registry /api/metrics would serve.
-    let obs = Arc::clone(_app.portal.lock().obs());
+    let obs = Arc::clone(_app.obs());
     ccp_bench::banner("HTTP request latency from the telemetry registry");
     for route in [
         "/api/status",

@@ -1,0 +1,20 @@
+//! Criterion-free entry point for the portal lock contention comparison:
+//!
+//! ```text
+//! cargo run --release -p ccp-bench --example portal_lock
+//! ```
+//!
+//! Runs the mixed heavy/light workload (a few students looping `POST
+//! /api/analyze` while others poll jobs/whoami/dashboard) over real
+//! sockets against the global-mutex baseline and the fine-grained lock
+//! design, then prints the comparison table to stderr and one
+//! `BENCH_PORTAL_LOCK_JSON {...}` line that `scripts/bench_smoke.sh`
+//! captures into `BENCH_portal_lock.json` (and
+//! `scripts/check_contention.sh` gates on).
+
+fn main() {
+    ccp_bench::banner("Portal lock: light reads vs heavy analyses, global mutex vs fine-grained");
+    let report = ccp_bench::portal_lock::compare();
+    let line = ccp_bench::portal_lock::report(&report);
+    eprintln!("{line}");
+}

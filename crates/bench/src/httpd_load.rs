@@ -110,8 +110,9 @@ pub struct LoadSummary {
 }
 
 /// Build a request on the wire. Every request opts into keep-alive —
-/// connection reuse is the behaviour under test.
-fn request_bytes(method: &str, path: &str, token: Option<&str>, body: &[u8]) -> Vec<u8> {
+/// connection reuse is the behaviour under test. (Shared with the
+/// `portal_lock` contention workload.)
+pub(crate) fn request_bytes(method: &str, path: &str, token: Option<&str>, body: &[u8]) -> Vec<u8> {
     let mut head = format!(
         "{method} {path} HTTP/1.1\r\nHost: portal\r\nConnection: keep-alive\r\n\
          Content-Length: {}\r\n",
@@ -128,7 +129,7 @@ fn request_bytes(method: &str, path: &str, token: Option<&str>, body: &[u8]) -> 
 
 /// Parse one complete response out of `buf`: `(status, body, consumed)`.
 /// `None` until the head and the declared body have both arrived.
-fn parse_response(buf: &[u8]) -> Option<(u16, String, usize)> {
+pub(crate) fn parse_response(buf: &[u8]) -> Option<(u16, String, usize)> {
     let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
     let head = std::str::from_utf8(&buf[..head_end]).ok()?;
     let status: u16 = head.get(9..12)?.parse().ok()?;

@@ -27,4 +27,5 @@ pub fn banner(title: &str) {
 pub mod dpor;
 pub mod httpd_load;
 pub mod obs_overhead;
+pub mod portal_lock;
 pub mod vm_fastpath;

@@ -1,0 +1,345 @@
+//! Portal lock contention: light read-mostly routes racing heavy analyses.
+//!
+//! The question this workload answers: when a few students hit "analyze"
+//! (seconds of checker CPU each), does everyone else's dashboard still
+//! load? Under the old global portal mutex the answer was no — every
+//! `GET /api/jobs` queued behind whichever analysis held the lock. The
+//! fine-grained design runs the heavy middle of compile/run/analyze with
+//! no portal lock held, so light requests only contend for a read guard.
+//!
+//! Both designs are measured back to back over real sockets on the
+//! reactor engine: [`LockMode::Global`] reproduces the old
+//! one-big-mutex behaviour (every access takes the write guard),
+//! [`LockMode::Fine`] is the shipped design. The summary feeds one
+//! `BENCH_PORTAL_LOCK_JSON {...}` line that `scripts/bench_smoke.sh`
+//! extracts into `BENCH_portal_lock.json` and gates on: light-route p99
+//! must improve at least 5x, with zero error responses in either run.
+
+use crate::httpd_load::{parse_response, request_bytes};
+use ccp_core::{Portal, PortalConfig};
+use cluster::ClusterSpec;
+use httpd::json::Json;
+use httpd::{Engine, Method, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use webportal::app::{dispatch, serve_with_config};
+use webportal::{build_router, App, LockMode};
+
+/// Threads looping heavy `POST /api/analyze` calls.
+const HEAVY_CLIENTS: usize = 3;
+/// Threads looping light reads (jobs / whoami / dashboard).
+const LIGHT_CLIENTS: usize = 4;
+/// Reactor pool: enough workers that the heavy requests cannot starve the
+/// light ones of threads — any queueing we measure is lock queueing.
+const WORKERS: usize = HEAVY_CLIENTS + LIGHT_CLIENTS + 2;
+/// Wall-clock per mode. Long enough that dozens of analyses complete;
+/// short enough for a smoke run.
+const RUN_FOR: Duration = Duration::from_secs(4);
+/// Schedule budget per analysis: a few hundred milliseconds of checker
+/// CPU, so each heavy request holds (or in fine mode, *doesn't* hold)
+/// the portal for a human-noticeable span.
+const ANALYZE_BUDGET: u64 = 192;
+
+/// A deadlock-free program whose schedule tree comfortably exceeds the
+/// analyze budget, so every analysis burns its full budget of checker CPU.
+fn program() -> String {
+    labs::lab6_philosophers::ordered_source(2)
+}
+
+/// One lock mode's measurements.
+#[derive(Debug, Clone)]
+pub struct ModeSummary {
+    pub mode: &'static str,
+    /// Light requests completed (jobs + whoami + dashboard).
+    pub light_requests: u64,
+    pub light_p50_ms: f64,
+    pub light_p99_ms: f64,
+    /// Heavy analyses completed within the window.
+    pub heavy_ops: u64,
+    /// Non-2xx responses across both request classes.
+    pub errors: u64,
+    /// `ccp_lock_wait_us{site="portal.lock"}` p99 from the portal's own
+    /// registry (upper bucket edge, µs) and the number of waits recorded.
+    pub lock_wait_p99_us: f64,
+    pub lock_waits: u64,
+}
+
+/// The pair the smoke gate compares.
+#[derive(Debug, Clone)]
+pub struct ContentionReport {
+    pub global: ModeSummary,
+    pub fine: ModeSummary,
+}
+
+impl ContentionReport {
+    /// Light-route p99 improvement: global-mutex latency over fine-grained.
+    pub fn light_p99_improvement(&self) -> f64 {
+        self.global.light_p99_ms / self.fine.light_p99_ms.max(1e-6)
+    }
+
+    pub fn errors(&self) -> u64 {
+        self.global.errors + self.fine.errors
+    }
+}
+
+/// One blocking keep-alive HTTP exchange; returns `(status, body)`.
+fn exchange(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    token: Option<&str>,
+    body: &[u8],
+) -> std::io::Result<(u16, String)> {
+    stream.write_all(&request_bytes(method, path, token, body))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if let Some((status, body, consumed)) = parse_response(&buf) {
+            debug_assert_eq!(consumed, buf.len());
+            return Ok((status, body));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Portal with one student who has already compiled [`program`]; returns
+/// the app, the student's token and the artifact id.
+fn boot(mode: LockMode) -> (Arc<App>, String, String) {
+    let mut portal = Portal::new(PortalConfig {
+        cluster: ClusterSpec::small(2, 2),
+        ..PortalConfig::default()
+    });
+    portal.bootstrap_admin("admin", "grader-pass99").unwrap();
+    let app = App::with_mode(portal, mode);
+    let router = build_router(Arc::clone(&app));
+    let post = |path: &str, body: &[u8], tok: Option<&str>| {
+        let resp = dispatch(&router, Method::Post, path, body, tok);
+        assert!(
+            (200..300).contains(&resp.status.0),
+            "{path}: {}",
+            resp.body_str()
+        );
+        Json::parse(resp.body_str()).unwrap_or(Json::Null)
+    };
+    let admin = post(
+        "/api/login",
+        br#"{"user":"admin","password":"grader-pass99"}"#,
+        None,
+    )
+    .get("token")
+    .unwrap()
+    .as_str()
+    .unwrap()
+    .to_string();
+    post(
+        "/api/admin/users",
+        br#"{"name":"lock","password":"contend-pass1","role":"student"}"#,
+        Some(&admin),
+    );
+    let token = post(
+        "/api/login",
+        br#"{"user":"lock","password":"contend-pass1"}"#,
+        None,
+    )
+    .get("token")
+    .unwrap()
+    .as_str()
+    .unwrap()
+    .to_string();
+    post(
+        "/api/file?path=contend.mini",
+        program().as_bytes(),
+        Some(&token),
+    );
+    let artifact = post("/api/compile?path=contend.mini", b"", Some(&token))
+        .get("artifact")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    (app, token, artifact)
+}
+
+/// Run the mixed workload against one lock mode.
+pub fn run_mode(mode: LockMode) -> ModeSummary {
+    let (app, token, artifact) = boot(mode);
+    let handle = serve_with_config(
+        Arc::clone(&app),
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: Engine::Reactor,
+            workers: WORKERS,
+            max_inflight: 4096,
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(60),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn contention server");
+    let addr: SocketAddr = handle.addr();
+
+    let stop = AtomicBool::new(false);
+    let heavy_ops = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let mut light_lats: Vec<Vec<f64>> = Vec::new();
+
+    std::thread::scope(|s| {
+        for _ in 0..HEAVY_CLIENTS {
+            let (stop, heavy_ops, errors, token, artifact) =
+                (&stop, &heavy_ops, &errors, &token, &artifact);
+            s.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("heavy connect");
+                stream.set_nodelay(true).unwrap();
+                let path = format!("/api/analyze?artifact={artifact}&budget={ANALYZE_BUDGET}");
+                while !stop.load(Ordering::Relaxed) {
+                    match exchange(&mut stream, "POST", &path, Some(token), b"") {
+                        Ok((status, _)) if (200..300).contains(&status) => {
+                            heavy_ops.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            let Ok(fresh) = TcpStream::connect(addr) else {
+                                return;
+                            };
+                            stream = fresh;
+                        }
+                    }
+                }
+            });
+        }
+        let light_handles: Vec<_> = (0..LIGHT_CLIENTS)
+            .map(|_| {
+                let (stop, errors, token) = (&stop, &errors, &token);
+                s.spawn(move || {
+                    let mut lats = Vec::new();
+                    let mut stream = TcpStream::connect(addr).expect("light connect");
+                    stream.set_nodelay(true).unwrap();
+                    let routes = ["/api/jobs", "/api/whoami", "/api/dashboard"];
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let route = routes[i % routes.len()];
+                        i += 1;
+                        let sent = Instant::now();
+                        match exchange(&mut stream, "GET", route, Some(token), b"") {
+                            Ok((status, _)) if (200..300).contains(&status) => {
+                                lats.push(sent.elapsed().as_secs_f64() * 1e3);
+                            }
+                            Ok(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                let Ok(fresh) = TcpStream::connect(addr) else {
+                                    return lats;
+                                };
+                                stream = fresh;
+                            }
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+
+        std::thread::sleep(RUN_FOR);
+        stop.store(true, Ordering::Relaxed);
+        for h in light_handles {
+            light_lats.push(h.join().expect("light client"));
+        }
+    });
+    handle.shutdown();
+
+    let mut lats: Vec<f64> = light_lats.into_iter().flatten().collect();
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| -> f64 {
+        if lats.is_empty() {
+            return 0.0;
+        }
+        let i = (p * (lats.len() - 1) as f64).round() as usize;
+        lats[i.min(lats.len() - 1)]
+    };
+    let lock_hist = app.obs().metrics.histogram(
+        "ccp_lock_wait_us",
+        &[("site", "portal.lock")],
+        obs::DURATION_US_BOUNDS,
+    );
+    ModeSummary {
+        mode: match mode {
+            LockMode::Fine => "fine",
+            LockMode::Global => "global",
+        },
+        light_requests: lats.len() as u64,
+        light_p50_ms: pct(0.50),
+        light_p99_ms: pct(0.99),
+        heavy_ops: heavy_ops.into_inner(),
+        errors: errors.into_inner(),
+        lock_wait_p99_us: lock_hist.quantile(0.99).unwrap_or(0.0),
+        lock_waits: lock_hist.count(),
+    }
+}
+
+/// Both modes, global-mutex baseline first.
+pub fn compare() -> ContentionReport {
+    ContentionReport {
+        global: run_mode(LockMode::Global),
+        fine: run_mode(LockMode::Fine),
+    }
+}
+
+fn summary_json(s: &ModeSummary) -> String {
+    format!(
+        "{{\"mode\":\"{}\",\"light_requests\":{},\"light_p50_ms\":{:.2},\
+         \"light_p99_ms\":{:.2},\"heavy_ops\":{},\"errors\":{},\
+         \"lock_wait_p99_us\":{:.0},\"lock_waits\":{}}}",
+        s.mode,
+        s.light_requests,
+        s.light_p50_ms,
+        s.light_p99_ms,
+        s.heavy_ops,
+        s.errors,
+        s.lock_wait_p99_us,
+        s.lock_waits
+    )
+}
+
+/// Print the human table to stderr and return the machine-readable
+/// `BENCH_PORTAL_LOCK_JSON ...` line.
+pub fn report(r: &ContentionReport) -> String {
+    for s in [&r.global, &r.fine] {
+        eprintln!(
+            "  {:<6} lock: {:>5} light reqs p50 {:>8.2}ms p99 {:>8.2}ms | \
+             {:>3} analyses | {} errors | portal.lock p99 <= {:.0}us over {} waits",
+            s.mode,
+            s.light_requests,
+            s.light_p50_ms,
+            s.light_p99_ms,
+            s.heavy_ops,
+            s.errors,
+            s.lock_wait_p99_us,
+            s.lock_waits
+        );
+    }
+    let improvement = r.light_p99_improvement();
+    eprintln!(
+        "  light-route p99: {:.2}ms (global) -> {:.2}ms (fine), {improvement:.1}x better",
+        r.global.light_p99_ms, r.fine.light_p99_ms
+    );
+    format!(
+        "BENCH_PORTAL_LOCK_JSON {{\"bench\":\"portal_lock\",\"heavy_clients\":{HEAVY_CLIENTS},\
+         \"light_clients\":{LIGHT_CLIENTS},\"global\":{},\"fine\":{},\
+         \"light_p99_improvement\":{improvement:.2},\"errors\":{}}}",
+        summary_json(&r.global),
+        summary_json(&r.fine),
+        r.errors(),
+    )
+}

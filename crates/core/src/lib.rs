@@ -34,7 +34,10 @@ pub mod portal;
 pub mod view;
 
 pub use error::PortalError;
-pub use portal::{Portal, PortalConfig};
+pub use portal::{
+    AnalyzeDone, AnalyzePhase, CompileDone, CompilePhase, Portal, PortalConfig, RunDone, RunPhase,
+    SessionStamp,
+};
 pub use view::{
     AlertView, AnalysisView, DashboardView, EventView, FileView, HealthView, JobView, NodeView,
     QuantilePanel, QuotaView, RatePanel, RecoveryView, SlowOpView, SpanView, TimelineEventView,

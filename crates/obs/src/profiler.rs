@@ -25,6 +25,7 @@ use std::time::Instant;
 pub const PROFILE_SITES: &[&str] = &[
     "pool.steal",
     "pool.task",
+    "portal.lock",
     "registry.sample",
     "sched.tick",
     "vfs.lock",
@@ -177,6 +178,7 @@ mod tests {
         assert!(text.contains("# TYPE ccp_slow_ops_total counter"), "{text}");
         assert!(text.contains("ccp_slow_ops_total{site=\"wal.commit\"} 0"));
         assert!(text.contains("ccp_lock_wait_us_count{site=\"pool.steal\"} 0"));
+        assert!(text.contains("ccp_lock_wait_us_count{site=\"portal.lock\"} 0"));
     }
 
     #[test]

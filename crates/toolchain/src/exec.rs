@@ -6,7 +6,7 @@
 //! which submits these executions as jobs; this module is the part that
 //! actually runs bytecode.
 
-use crate::artifact::{ArtifactId, ArtifactStore};
+use crate::artifact::{Artifact, ArtifactId, ArtifactStore};
 use minilang::{ExecOutcome, HostIo, RuntimeError, SchedPolicy, Vm, VmConfig};
 use parking_lot::Mutex;
 use std::fmt;
@@ -159,39 +159,17 @@ impl Executor {
     ) -> Result<ExecReport, ExecutorError> {
         let started = std::time::Instant::now();
         let result = self.run_with_stdin(store, artifact, fs, user, stdin);
-        let m = &obs.metrics;
-        m.describe("ccp_toolchain_execs_total", "artifact executions by result");
-        m.describe(
-            "ccp_toolchain_exec_duration_us",
-            "execution wall-clock latency",
-        );
-        m.describe(
-            "ccp_toolchain_exec_instructions",
-            "VM instructions per execution",
-        );
         let label = match &result {
             Ok(report) if report.success() => "ok",
             Ok(_) => "runtime_error",
             Err(_) => "error",
         };
-        m.counter("ccp_toolchain_execs_total", &[("result", label)])
-            .inc();
-        m.histogram(
-            "ccp_toolchain_exec_duration_us",
-            &[],
-            obs::DURATION_US_BOUNDS,
-        )
-        .record(started.elapsed().as_micros() as u64);
-        if let Ok(report) = &result {
-            if let Some(outcome) = &report.outcome {
-                m.histogram(
-                    "ccp_toolchain_exec_instructions",
-                    &[],
-                    obs::INSTRUCTION_BOUNDS,
-                )
-                .record(outcome.executed);
-            }
-        }
+        let executed = result
+            .as_ref()
+            .ok()
+            .and_then(|r| r.outcome.as_ref())
+            .map(|o| o.executed);
+        record_exec_metrics(obs, label, started.elapsed().as_micros() as u64, executed);
         result
     }
 
@@ -207,6 +185,21 @@ impl Executor {
         let art = store
             .get(artifact)
             .ok_or_else(|| ExecutorError::NoSuchArtifact(artifact.to_string()))?;
+        Ok(self.run_artifact_with_stdin(art, fs, user, stdin))
+    }
+
+    /// Like [`Executor::run_with_stdin`], but for an already-fetched
+    /// [`Artifact`]: a caller that cloned the artifact under one lock can
+    /// execute it later with no store access at all (the program rides in
+    /// the artifact). Infallible — the VM's own failures land in the
+    /// report.
+    pub fn run_artifact_with_stdin(
+        &self,
+        art: &Artifact,
+        fs: Arc<Mutex<Vfs>>,
+        user: &str,
+        stdin: &[String],
+    ) -> ExecReport {
         let config = VmConfig {
             seed: self.seed,
             policy: self.policy,
@@ -219,17 +212,74 @@ impl Executor {
             vm.push_stdin(line.clone());
         }
         match vm.run() {
-            Ok(outcome) => Ok(ExecReport {
-                artifact: artifact.clone(),
+            Ok(outcome) => ExecReport {
+                artifact: art.id.clone(),
                 outcome: Some(outcome),
                 error: None,
-            }),
-            Err(e) => Ok(ExecReport {
-                artifact: artifact.clone(),
+            },
+            Err(e) => ExecReport {
+                artifact: art.id.clone(),
                 outcome: None,
                 error: Some(e),
-            }),
+            },
         }
+    }
+
+    /// [`Executor::run_artifact_with_stdin`] with the same telemetry as
+    /// [`Executor::run_with_stdin_observed`].
+    pub fn run_artifact_with_stdin_observed(
+        &self,
+        art: &Artifact,
+        fs: Arc<Mutex<Vfs>>,
+        user: &str,
+        stdin: &[String],
+        obs: &obs::Obs,
+    ) -> ExecReport {
+        let started = std::time::Instant::now();
+        let report = self.run_artifact_with_stdin(art, fs, user, stdin);
+        let label = if report.success() {
+            "ok"
+        } else {
+            "runtime_error"
+        };
+        let executed = report.outcome.as_ref().map(|o| o.executed);
+        record_exec_metrics(obs, label, started.elapsed().as_micros() as u64, executed);
+        report
+    }
+}
+
+/// Shared recorder for the `ccp_toolchain_exec*` families.
+fn record_exec_metrics(
+    obs: &obs::Obs,
+    label: &'static str,
+    duration_us: u64,
+    executed: Option<u64>,
+) {
+    let m = &obs.metrics;
+    m.describe("ccp_toolchain_execs_total", "artifact executions by result");
+    m.describe(
+        "ccp_toolchain_exec_duration_us",
+        "execution wall-clock latency",
+    );
+    m.describe(
+        "ccp_toolchain_exec_instructions",
+        "VM instructions per execution",
+    );
+    m.counter("ccp_toolchain_execs_total", &[("result", label)])
+        .inc();
+    m.histogram(
+        "ccp_toolchain_exec_duration_us",
+        &[],
+        obs::DURATION_US_BOUNDS,
+    )
+    .record(duration_us);
+    if let Some(executed) = executed {
+        m.histogram(
+            "ccp_toolchain_exec_instructions",
+            &[],
+            obs::INSTRUCTION_BOUNDS,
+        )
+        .record(executed);
     }
 }
 

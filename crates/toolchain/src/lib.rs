@@ -28,4 +28,6 @@ pub use artifact::{Artifact, ArtifactId, ArtifactStore};
 pub use cache::{CacheStats, CompileCache};
 pub use exec::{ExecReport, Executor, ExecutorError, VfsIo};
 pub use language::LanguageId;
-pub use pipeline::{CompileReport, CompileRequest, Diagnostic, Severity};
+pub use pipeline::{
+    CompileReport, CompileRequest, Diagnostic, PreparedCompile, Severity, SourceSnapshot,
+};

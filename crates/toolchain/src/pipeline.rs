@@ -6,7 +6,8 @@
 use crate::artifact::{ArtifactId, ArtifactStore};
 use crate::cache::CompileCache;
 use crate::language::LanguageId;
-use minilang::LangError;
+use minilang::{LangError, Program};
+use parking_lot::Mutex;
 use std::fmt;
 use vfs::Vfs;
 
@@ -134,26 +135,9 @@ impl CompileRequest {
         store: &mut ArtifactStore,
         obs: &obs::Obs,
     ) -> CompileReport {
-        let started = std::time::Instant::now();
-        let report = self.run(fs, store);
-        let result = if report.success() { "ok" } else { "error" };
-        obs.metrics
-            .describe("ccp_toolchain_compiles_total", "compilations by result");
-        obs.metrics.describe(
-            "ccp_toolchain_compile_duration_us",
-            "compilation wall-clock latency",
-        );
-        obs.metrics
-            .counter("ccp_toolchain_compiles_total", &[("result", result)])
-            .inc();
-        obs.metrics
-            .histogram(
-                "ccp_toolchain_compile_duration_us",
-                &[],
-                obs::DURATION_US_BOUNDS,
-            )
-            .record(started.elapsed().as_micros() as u64);
-        report
+        self.snapshot(fs)
+            .compile_with(CacheRef::None)
+            .commit_observed(store, obs)
     }
 
     /// [`CompileRequest::run_cached`] with telemetry: the
@@ -167,11 +151,263 @@ impl CompileRequest {
         cache: &mut CompileCache,
         obs: &obs::Obs,
     ) -> CompileReport {
-        let before = cache.stats();
+        self.snapshot(fs)
+            .compile_with(CacheRef::Exclusive(cache))
+            .commit_observed(store, obs)
+    }
+
+    /// Like [`CompileRequest::run`], but consult (and fill) the compile
+    /// cache: a byte-identical `(language, flags, source)` skips the
+    /// compiler and stores the cached program as this user's artifact.
+    pub fn run_cached(
+        &self,
+        fs: &Vfs,
+        store: &mut ArtifactStore,
+        cache: &mut CompileCache,
+    ) -> CompileReport {
+        self.snapshot(fs)
+            .compile_with(CacheRef::Exclusive(cache))
+            .commit(store)
+    }
+
+    /// Execute the request against the filesystem and artifact store.
+    pub fn run(&self, fs: &Vfs, store: &mut ArtifactStore) -> CompileReport {
+        self.snapshot(fs).compile_with(CacheRef::None).commit(store)
+    }
+
+    /// Phase 1 of the split pipeline: capture the source out of the vfs.
+    /// The caller holds whatever lock guards the filesystem only for this
+    /// call; the returned snapshot owns everything the compile phase
+    /// needs, so phases 2 and 3 can run under different (or no) locks.
+    pub fn snapshot(&self, fs: &Vfs) -> SourceSnapshot {
+        let fail = |message: String| Diagnostic {
+            severity: Severity::Error,
+            file: self.source_path.clone(),
+            line: 0,
+            col: 0,
+            message,
+        };
+        let fetched = match fs.read(&self.user, &self.source_path) {
+            Ok(bytes) => {
+                String::from_utf8(bytes).map_err(|_| fail("source is not valid UTF-8".to_string()))
+            }
+            Err(e) => Err(fail(e.to_string())),
+        };
+        SourceSnapshot {
+            request: self.clone(),
+            fetched,
+        }
+    }
+}
+
+/// Which compile cache phase 2 consults: none, an exclusively borrowed
+/// one (the single-owner legacy paths), or a shared mutex-guarded one
+/// (concurrent compiles; the lock is held per lookup/insert, never across
+/// the compiler).
+enum CacheRef<'a> {
+    None,
+    Exclusive(&'a mut CompileCache),
+    Shared(&'a Mutex<CompileCache>),
+}
+
+/// Cache accounting for one compilation: stat deltas plus the live entry
+/// count, captured under the same guard as the operations themselves so
+/// concurrent compiles cannot misattribute each other's hits.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheEvents {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    entries: usize,
+    used: bool,
+}
+
+impl CacheEvents {
+    fn track<T>(&mut self, c: &mut CompileCache, op: impl FnOnce(&mut CompileCache) -> T) -> T {
+        let before = c.stats();
+        let out = op(c);
+        let after = c.stats();
+        self.hits += after.hits - before.hits;
+        self.misses += after.misses - before.misses;
+        self.evictions += after.evictions - before.evictions;
+        self.entries = after.entries;
+        self.used = true;
+        out
+    }
+}
+
+impl CacheRef<'_> {
+    fn with<T>(
+        &mut self,
+        events: &mut CacheEvents,
+        op: impl FnOnce(&mut CompileCache) -> T,
+    ) -> Option<T> {
+        match self {
+            CacheRef::None => None,
+            CacheRef::Exclusive(c) => Some(events.track(c, op)),
+            CacheRef::Shared(m) => Some(events.track(&mut m.lock(), op)),
+        }
+    }
+}
+
+/// A source file captured out of the vfs (phase 1's output). Owns the
+/// bytes, so compiling it requires no filesystem access.
+pub struct SourceSnapshot {
+    request: CompileRequest,
+    fetched: Result<String, Diagnostic>,
+}
+
+impl SourceSnapshot {
+    /// Phase 2: detect the language and compile. The shared cache — when
+    /// given — is locked per lookup/insert only; the compiler itself runs
+    /// with no locks held.
+    pub fn compile(self, cache: Option<&Mutex<CompileCache>>) -> PreparedCompile {
+        self.compile_with(match cache {
+            Some(m) => CacheRef::Shared(m),
+            None => CacheRef::None,
+        })
+    }
+
+    fn compile_with(self, cache: CacheRef<'_>) -> PreparedCompile {
         let started = std::time::Instant::now();
-        let report = self.run_inner(fs, store, Some(cache));
-        let after = cache.stats();
-        let result = if report.success() { "ok" } else { "error" };
+        let mut events = CacheEvents::default();
+        let (request, language, diagnostics, compiled) = self.compile_parts(cache, &mut events);
+        PreparedCompile {
+            request,
+            language,
+            diagnostics,
+            compiled,
+            cache_events: events,
+            compile_us: started.elapsed().as_micros() as u64,
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn compile_parts(
+        self,
+        mut cache: CacheRef<'_>,
+        events: &mut CacheEvents,
+    ) -> (
+        CompileRequest,
+        LanguageId,
+        Vec<Diagnostic>,
+        Option<(String, Program)>,
+    ) {
+        let request = self.request;
+        let mut diagnostics = Vec::new();
+        let source = match self.fetched {
+            Ok(s) => s,
+            Err(d) => {
+                diagnostics.push(d);
+                return (request, LanguageId::Unknown, diagnostics, None);
+            }
+        };
+        let language = LanguageId::detect(&request.source_path, &source);
+        if !language.executable_here() {
+            diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                file: request.source_path.clone(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "{language} sources are recognized but not executable on this cluster"
+                ),
+            });
+            if let Some(hint) = language.porting_hint() {
+                diagnostics.push(Diagnostic {
+                    severity: Severity::Note,
+                    file: request.source_path.clone(),
+                    line: 0,
+                    col: 0,
+                    message: hint.to_string(),
+                });
+            }
+            return (request, language, diagnostics, None);
+        }
+        if let Some(Some(program)) =
+            cache.with(events, |c| c.lookup(language, &request.flags, &source))
+        {
+            return (request, language, diagnostics, Some((source, program)));
+        }
+        match minilang::compile(&source) {
+            Ok(program) => {
+                cache.with(events, |c| {
+                    c.insert(language, &request.flags, &source, program.clone())
+                });
+                (request, language, diagnostics, Some((source, program)))
+            }
+            Err(err) => {
+                let (line, col, message) = match &err {
+                    LangError::Lex(e) => (e.pos.line, e.pos.col, e.message.clone()),
+                    LangError::Parse(e) => (e.pos.line, e.pos.col, e.message.clone()),
+                    LangError::Compile(e) => (e.pos.line, e.pos.col, e.message.clone()),
+                    LangError::Runtime(e) => (0, 0, e.to_string()),
+                };
+                diagnostics.push(Diagnostic {
+                    severity: Severity::Error,
+                    file: request.source_path.clone(),
+                    line,
+                    col,
+                    message,
+                });
+                (request, language, diagnostics, None)
+            }
+        }
+    }
+}
+
+/// A finished compilation not yet recorded in an [`ArtifactStore`] —
+/// phase 2's output, phase 3's input. Carries the compiled program (and
+/// the source the store's content-addressed id derives from), so the
+/// commit is a map insert, not a compile.
+pub struct PreparedCompile {
+    request: CompileRequest,
+    language: LanguageId,
+    diagnostics: Vec<Diagnostic>,
+    compiled: Option<(String, Program)>,
+    cache_events: CacheEvents,
+    compile_us: u64,
+}
+
+impl PreparedCompile {
+    /// Did the compilation produce a program?
+    pub fn success(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Phase 3: record the artifact. The caller holds whatever lock
+    /// guards the store only for this call.
+    pub fn commit(self, store: &mut ArtifactStore) -> CompileReport {
+        let PreparedCompile {
+            request,
+            language,
+            diagnostics,
+            compiled,
+            ..
+        } = self;
+        let artifact = compiled.map(|(source, program)| {
+            store.put(
+                &request.user,
+                &request.source_path,
+                language,
+                &source,
+                program,
+            )
+        });
+        CompileReport {
+            request,
+            language,
+            diagnostics,
+            artifact,
+        }
+    }
+
+    /// [`PreparedCompile::commit`] plus telemetry: the `ccp_toolchain_*`
+    /// compile series and — when a cache was consulted — the
+    /// `ccp_compile_cache_*` series.
+    pub fn commit_observed(self, store: &mut ArtifactStore, obs: &obs::Obs) -> CompileReport {
+        let result = if self.success() { "ok" } else { "error" };
+        let events = self.cache_events;
         let m = &obs.metrics;
         m.describe("ccp_toolchain_compiles_total", "compilations by result");
         m.describe(
@@ -185,152 +421,19 @@ impl CompileRequest {
             &[],
             obs::DURATION_US_BOUNDS,
         )
-        .record(started.elapsed().as_micros() as u64);
-        crate::cache::register_cache_metrics(obs);
-        m.counter("ccp_compile_cache_hits_total", &[])
-            .add(after.hits - before.hits);
-        m.counter("ccp_compile_cache_misses_total", &[])
-            .add(after.misses - before.misses);
-        m.counter("ccp_compile_cache_evictions_total", &[])
-            .add(after.evictions - before.evictions);
-        m.gauge("ccp_compile_cache_entries", &[])
-            .set(after.entries as i64);
-        report
-    }
-
-    /// Like [`CompileRequest::run`], but consult (and fill) the compile
-    /// cache: a byte-identical `(language, flags, source)` skips the
-    /// compiler and stores the cached program as this user's artifact.
-    pub fn run_cached(
-        &self,
-        fs: &Vfs,
-        store: &mut ArtifactStore,
-        cache: &mut CompileCache,
-    ) -> CompileReport {
-        self.run_inner(fs, store, Some(cache))
-    }
-
-    /// Execute the request against the filesystem and artifact store.
-    pub fn run(&self, fs: &Vfs, store: &mut ArtifactStore) -> CompileReport {
-        self.run_inner(fs, store, None)
-    }
-
-    fn run_inner(
-        &self,
-        fs: &Vfs,
-        store: &mut ArtifactStore,
-        mut cache: Option<&mut CompileCache>,
-    ) -> CompileReport {
-        let mut diagnostics = Vec::new();
-        let bytes = match fs.read(&self.user, &self.source_path) {
-            Ok(b) => b,
-            Err(e) => {
-                diagnostics.push(Diagnostic {
-                    severity: Severity::Error,
-                    file: self.source_path.clone(),
-                    line: 0,
-                    col: 0,
-                    message: e.to_string(),
-                });
-                return CompileReport {
-                    request: self.clone(),
-                    language: LanguageId::Unknown,
-                    diagnostics,
-                    artifact: None,
-                };
-            }
-        };
-        let source = match String::from_utf8(bytes) {
-            Ok(s) => s,
-            Err(_) => {
-                diagnostics.push(Diagnostic {
-                    severity: Severity::Error,
-                    file: self.source_path.clone(),
-                    line: 0,
-                    col: 0,
-                    message: "source is not valid UTF-8".to_string(),
-                });
-                return CompileReport {
-                    request: self.clone(),
-                    language: LanguageId::Unknown,
-                    diagnostics,
-                    artifact: None,
-                };
-            }
-        };
-        let language = LanguageId::detect(&self.source_path, &source);
-        if !language.executable_here() {
-            diagnostics.push(Diagnostic {
-                severity: Severity::Error,
-                file: self.source_path.clone(),
-                line: 0,
-                col: 0,
-                message: format!(
-                    "{language} sources are recognized but not executable on this cluster"
-                ),
-            });
-            if let Some(hint) = language.porting_hint() {
-                diagnostics.push(Diagnostic {
-                    severity: Severity::Note,
-                    file: self.source_path.clone(),
-                    line: 0,
-                    col: 0,
-                    message: hint.to_string(),
-                });
-            }
-            return CompileReport {
-                request: self.clone(),
-                language,
-                diagnostics,
-                artifact: None,
-            };
+        .record(self.compile_us);
+        if events.used {
+            crate::cache::register_cache_metrics(obs);
+            m.counter("ccp_compile_cache_hits_total", &[])
+                .add(events.hits);
+            m.counter("ccp_compile_cache_misses_total", &[])
+                .add(events.misses);
+            m.counter("ccp_compile_cache_evictions_total", &[])
+                .add(events.evictions);
+            m.gauge("ccp_compile_cache_entries", &[])
+                .set(events.entries as i64);
         }
-        if let Some(c) = cache.as_deref_mut() {
-            if let Some(program) = c.lookup(language, &self.flags, &source) {
-                let id = store.put(&self.user, &self.source_path, language, &source, program);
-                return CompileReport {
-                    request: self.clone(),
-                    language,
-                    diagnostics,
-                    artifact: Some(id),
-                };
-            }
-        }
-        match minilang::compile(&source) {
-            Ok(program) => {
-                if let Some(c) = cache {
-                    c.insert(language, &self.flags, &source, program.clone());
-                }
-                let id = store.put(&self.user, &self.source_path, language, &source, program);
-                CompileReport {
-                    request: self.clone(),
-                    language,
-                    diagnostics,
-                    artifact: Some(id),
-                }
-            }
-            Err(err) => {
-                let (line, col, message) = match &err {
-                    LangError::Lex(e) => (e.pos.line, e.pos.col, e.message.clone()),
-                    LangError::Parse(e) => (e.pos.line, e.pos.col, e.message.clone()),
-                    LangError::Compile(e) => (e.pos.line, e.pos.col, e.message.clone()),
-                    LangError::Runtime(e) => (0, 0, e.to_string()),
-                };
-                diagnostics.push(Diagnostic {
-                    severity: Severity::Error,
-                    file: self.source_path.clone(),
-                    line,
-                    col,
-                    message,
-                });
-                CompileReport {
-                    request: self.clone(),
-                    language,
-                    diagnostics,
-                    artifact: None,
-                }
-            }
-        }
+        self.commit(store)
     }
 }
 
@@ -413,6 +516,42 @@ mod tests {
             .iter()
             .any(|d| d.severity == Severity::Note));
         assert!(report.render().contains("synchronized"));
+    }
+
+    #[test]
+    fn split_phases_match_run_and_share_a_mutexed_cache() {
+        let (mut fs, mut store) = setup();
+        fs.write(
+            "alice",
+            "/home/alice/p.mini",
+            b"fn main() { println(9); }".to_vec(),
+        )
+        .unwrap();
+        let cache = Mutex::new(CompileCache::new(8));
+        let req = CompileRequest::new("alice", "/home/alice/p.mini");
+        // Snapshot, then drop all filesystem access before compiling.
+        let snap = req.snapshot(&fs);
+        drop(fs);
+        let prepared = snap.compile(Some(&cache));
+        assert!(prepared.success());
+        assert_eq!(store.len(), 0, "nothing stored before commit");
+        let report = prepared.commit(&mut store);
+        assert!(report.success());
+        assert_eq!(store.len(), 1);
+        let st = cache.lock().stats();
+        assert_eq!((st.hits, st.misses, st.entries), (0, 1, 1));
+    }
+
+    #[test]
+    fn snapshot_carries_read_errors_through_commit() {
+        let (fs, mut store) = setup();
+        let report = CompileRequest::new("alice", "/home/alice/nope.mini")
+            .snapshot(&fs)
+            .compile(None)
+            .commit(&mut store);
+        assert!(!report.success());
+        assert!(report.diagnostics[0].message.contains("no such file"));
+        assert!(store.is_empty());
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub struct Recovered {
 
 /// Telemetry callbacks so the durability layer stays metrics-agnostic; the
 /// portal wires these to `ccp_wal_*` counters.
-pub trait JournalHooks: Send {
+pub trait JournalHooks: Send + Sync {
     /// One record appended (`bytes` = full framed size).
     fn on_append(&self, bytes: u64);
     /// One fsync issued.

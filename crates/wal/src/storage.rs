@@ -10,7 +10,11 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// Where journal bytes live. The journal is written through this trait so
 /// tests can substitute an in-memory backend that models torn writes: bytes
 /// appended but not yet synced may partially survive a crash.
-pub trait WalStorage: std::fmt::Debug + Send {
+///
+/// `Sync` is required so a portal holding a journal can sit behind a
+/// reader-writer lock; every method takes `&mut self`, so implementors get
+/// it for free unless they contain unsynchronized interior mutability.
+pub trait WalStorage: std::fmt::Debug + Send + Sync {
     /// Append raw bytes to the log (buffered; not durable until [`sync`]).
     ///
     /// [`sync`]: WalStorage::sync

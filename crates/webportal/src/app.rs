@@ -5,23 +5,93 @@ use ccp_core::{Portal, PortalError};
 use httpd::forms::{multipart_boundary, parse_cookies, parse_multipart, parse_query};
 use httpd::json::{quantile_json, Json};
 use httpd::{Method, Request, Response, Router, Server, ServerConfig, ServerHandle, Status};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use sched::JobId;
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// How routes lock the portal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Fine-grained (the default): read-mostly routes share an `RwLock`
+    /// read guard, mutations take the write guard, and the heavy
+    /// operations (compile / run / analyze) run their expensive middle
+    /// phase with no portal lock held at all.
+    Fine,
+    /// One big lock: every route takes the exclusive guard and heavy
+    /// operations run to completion under it. This reproduces the old
+    /// `Mutex<Portal>` behaviour faithfully — it exists as the baseline
+    /// the contention bench measures [`LockMode::Fine`] against.
+    Global,
+}
 
 /// The shared application state.
 pub struct App {
-    /// The portal backend.
-    pub portal: Mutex<Portal>,
+    /// The portal backend. Reads share; mutations and ticks are exclusive.
+    pub portal: RwLock<Portal>,
+    mode: LockMode,
+    /// The portal's telemetry domain, `Arc`-shared out so metrics render
+    /// and route instrumentation never need a portal lock.
+    obs: Arc<obs::Obs>,
 }
 
 impl App {
-    /// Wrap a portal.
+    /// Wrap a portal with fine-grained locking.
     pub fn new(portal: Portal) -> Arc<App> {
+        App::with_mode(portal, LockMode::Fine)
+    }
+
+    /// Wrap a portal with an explicit [`LockMode`] (the bench boots one
+    /// app per mode to measure the difference).
+    pub fn with_mode(portal: Portal, mode: LockMode) -> Arc<App> {
+        let obs = Arc::clone(portal.obs());
         Arc::new(App {
-            portal: Mutex::new(portal),
+            portal: RwLock::new(portal),
+            mode,
+            obs,
         })
+    }
+
+    /// This app's locking discipline.
+    pub fn mode(&self) -> LockMode {
+        self.mode
+    }
+
+    /// The portal's telemetry domain, lock-free.
+    pub fn obs(&self) -> &Arc<obs::Obs> {
+        &self.obs
+    }
+
+    /// Run `f` under a shared read guard ([`LockMode::Global`] degrades
+    /// to the write guard — the faithful single-lock baseline). The wait
+    /// for the guard is recorded at the profiler's `portal.lock` site.
+    pub fn read<R>(&self, f: impl FnOnce(&Portal) -> R) -> R {
+        match self.mode {
+            LockMode::Fine => {
+                let t0 = Instant::now();
+                let guard = self.portal.read();
+                self.observe_lock_wait(t0, "read");
+                f(&guard)
+            }
+            LockMode::Global => self.write(|p| f(p)),
+        }
+    }
+
+    /// Run `f` under the exclusive write guard, recording the wait at the
+    /// profiler's `portal.lock` site.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Portal) -> R) -> R {
+        let t0 = Instant::now();
+        let mut guard = self.portal.write();
+        self.observe_lock_wait(t0, "write");
+        f(&mut guard)
+    }
+
+    fn observe_lock_wait(&self, since: Instant, kind: &'static str) {
+        self.obs
+            .profiler
+            .observe("portal.lock", since.elapsed().as_micros() as u64, || {
+                format!("portal {kind} guard")
+            });
     }
 }
 
@@ -129,7 +199,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             else {
                 return Response::error(Status::BAD_REQUEST, "need user and password");
             };
-            let token = try_portal!(app.portal.lock().login(&user, &password, now()));
+            let token = try_portal!(app.write(|p| p.login(&user, &password, now())));
             Response::json(
                 Status::OK,
                 &Json::obj(vec![
@@ -144,7 +214,7 @@ pub fn build_router(app: Arc<App>) -> Router {
         let app = Arc::clone(&app);
         router.post("/api/logout", move |req| {
             let token = need_token!(req);
-            app.portal.lock().logout(&token);
+            app.write(|p| p.logout(&token));
             Response::json(Status::OK, &Json::obj(vec![("ok", Json::Bool(true))]))
         });
     }
@@ -152,7 +222,7 @@ pub fn build_router(app: Arc<App>) -> Router {
         let app = Arc::clone(&app);
         router.get("/api/whoami", move |req| {
             let token = need_token!(req);
-            let (user, role) = try_portal!(app.portal.lock().whoami(&token, now()));
+            let (user, role) = try_portal!(app.read(|p| p.whoami(&token, now())));
             Response::json(
                 Status::OK,
                 &Json::obj(vec![
@@ -181,10 +251,7 @@ pub fn build_router(app: Arc<App>) -> Router {
                 Some("admin") => Role::Admin,
                 _ => Role::Student,
             };
-            try_portal!(app
-                .portal
-                .lock()
-                .create_user(&token, &name, &password, role, now()));
+            try_portal!(app.write(|p| p.create_user(&token, &name, &password, role, now())));
             Response::json(
                 Status::CREATED,
                 &Json::obj(vec![("created", Json::str(name))]),
@@ -195,7 +262,7 @@ pub fn build_router(app: Arc<App>) -> Router {
         let app = Arc::clone(&app);
         router.get("/api/admin/users", move |req| {
             let token = need_token!(req);
-            let users = try_portal!(app.portal.lock().list_users(&token, now()));
+            let users = try_portal!(app.read(|p| p.list_users(&token, now())));
             Response::json(
                 Status::OK,
                 &Json::Arr(users.into_iter().map(Json::Str).collect()),
@@ -209,7 +276,7 @@ pub fn build_router(app: Arc<App>) -> Router {
         router.get("/api/files", move |req| {
             let token = need_token!(req);
             let path = qparam(req, "path").unwrap_or_default();
-            let listing = try_portal!(app.portal.lock().list_dir(&token, &path, now()));
+            let listing = try_portal!(app.read(|p| p.list_dir(&token, &path, now())));
             let rows = listing
                 .into_iter()
                 .map(|f| {
@@ -232,7 +299,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(path) = qparam(req, "path") else {
                 return Response::error(Status::BAD_REQUEST, "need path");
             };
-            let data = try_portal!(app.portal.lock().read_file(&token, &path, now()));
+            let data = try_portal!(app.read(|p| p.read_file(&token, &path, now())));
             Response::new(Status::OK)
                 .with_header("Content-Type", "application/octet-stream")
                 .with_body(data)
@@ -245,10 +312,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(path) = qparam(req, "path") else {
                 return Response::error(Status::BAD_REQUEST, "need path");
             };
-            try_portal!(app
-                .portal
-                .lock()
-                .write_file(&token, &path, req.body.clone(), now()));
+            try_portal!(app.write(|p| p.write_file(&token, &path, req.body.clone(), now())));
             Response::json(
                 Status::CREATED,
                 &Json::obj(vec![("saved", Json::str(path))]),
@@ -280,10 +344,7 @@ pub fn build_router(app: Arc<App>) -> Router {
                 } else {
                     format!("{dir}/{filename}")
                 };
-                try_portal!(app
-                    .portal
-                    .lock()
-                    .write_file(&token, &path, part.data, now()));
+                try_portal!(app.write(|p| p.write_file(&token, &path, part.data, now())));
                 saved.push(Json::str(path));
             }
             Response::json(
@@ -299,7 +360,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(path) = qparam(req, "path") else {
                 return Response::error(Status::BAD_REQUEST, "need path");
             };
-            try_portal!(app.portal.lock().mkdir(&token, &path, now()));
+            try_portal!(app.write(|p| p.mkdir(&token, &path, now())));
             Response::json(
                 Status::CREATED,
                 &Json::obj(vec![("created", Json::str(path))]),
@@ -313,7 +374,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(path) = qparam(req, "path") else {
                 return Response::error(Status::BAD_REQUEST, "need path");
             };
-            try_portal!(app.portal.lock().remove(&token, &path, now()));
+            try_portal!(app.write(|p| p.remove(&token, &path, now())));
             Response::json(Status::OK, &Json::obj(vec![("removed", Json::str(path))]))
         });
     }
@@ -324,7 +385,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             let (Some(from), Some(to)) = (qparam(req, "from"), qparam(req, "to")) else {
                 return Response::error(Status::BAD_REQUEST, "need from and to");
             };
-            try_portal!(app.portal.lock().rename(&token, &from, &to, now()));
+            try_portal!(app.write(|p| p.rename(&token, &from, &to, now())));
             Response::json(Status::OK, &Json::obj(vec![("moved", Json::str(to))]))
         });
     }
@@ -335,7 +396,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             let (Some(from), Some(to)) = (qparam(req, "from"), qparam(req, "to")) else {
                 return Response::error(Status::BAD_REQUEST, "need from and to");
             };
-            try_portal!(app.portal.lock().copy(&token, &from, &to, now()));
+            try_portal!(app.write(|p| p.copy(&token, &from, &to, now())));
             Response::json(Status::OK, &Json::obj(vec![("copied", Json::str(to))]))
         });
     }
@@ -343,7 +404,7 @@ pub fn build_router(app: Arc<App>) -> Router {
         let app = Arc::clone(&app);
         router.get("/api/quota", move |req| {
             let token = need_token!(req);
-            let q = try_portal!(app.portal.lock().quota(&token, now()));
+            let q = try_portal!(app.read(|p| p.quota(&token, now())));
             Response::json(
                 Status::OK,
                 &Json::obj(vec![
@@ -362,7 +423,19 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(path) = qparam(req, "path") else {
                 return Response::error(Status::BAD_REQUEST, "need path");
             };
-            let report = try_portal!(app.portal.lock().compile(&token, &path, now()));
+            // Two-phase under fine locking: validate + snapshot inputs
+            // under a brief read guard, compile with NO portal lock held,
+            // then commit the artifact under a brief write guard. The
+            // stamp check at commit drops results from sessions revoked
+            // mid-compile.
+            let report = match app.mode() {
+                LockMode::Fine => {
+                    let phase = try_portal!(app.read(|p| p.compile_begin(&token, &path, now())));
+                    let done = phase.run();
+                    try_portal!(app.write(|p| p.compile_commit(done, now())))
+                }
+                LockMode::Global => try_portal!(app.write(|p| p.compile(&token, &path, now()))),
+            };
             let status = if report.success() {
                 Status::OK
             } else {
@@ -399,7 +472,7 @@ pub fn build_router(app: Arc<App>) -> Router {
         let app = Arc::clone(&app);
         router.get("/api/artifacts", move |req| {
             let token = need_token!(req);
-            let arts = try_portal!(app.portal.lock().my_artifacts(&token, now()));
+            let arts = try_portal!(app.read(|p| p.my_artifacts(&token, now())));
             let rows = arts
                 .into_iter()
                 .map(|(id, src)| Json::obj(vec![("id", Json::str(id)), ("source", Json::str(src))]))
@@ -418,13 +491,28 @@ pub fn build_router(app: Arc<App>) -> Router {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(0);
             let stdin: Vec<String> = req.body_str().lines().map(String::from).collect();
-            let report = try_portal!(app.portal.lock().run_interactive_stdin(
-                &token,
-                &artifact,
-                seed,
-                &stdin,
-                now()
-            ));
+            // The whole VM execution runs without the portal lock in fine
+            // mode; only the begin/finish bookends touch it, both briefly.
+            let report = match app.mode() {
+                LockMode::Fine => {
+                    let phase = try_portal!(app.read(|p| p.run_begin(
+                        &token,
+                        &artifact,
+                        seed,
+                        &stdin,
+                        now()
+                    )));
+                    let done = phase.run();
+                    try_portal!(app.read(|p| p.run_finish(done, now())))
+                }
+                LockMode::Global => try_portal!(app.write(|p| p.run_interactive_stdin(
+                    &token,
+                    &artifact,
+                    seed,
+                    &stdin,
+                    now()
+                ))),
+            };
             match (&report.outcome, &report.error) {
                 (Some(out), _) => Response::json(
                     Status::OK,
@@ -456,10 +544,23 @@ pub fn build_router(app: Arc<App>) -> Router {
                 return Response::error(Status::BAD_REQUEST, "need artifact");
             };
             let budget: Option<u64> = qparam(req, "budget").and_then(|s| s.parse().ok());
-            let view = try_portal!(app
-                .portal
-                .lock()
-                .analyze_job(&token, &artifact, budget, now()));
+            // Exploration burns real checker CPU on the shared pool; in
+            // fine mode no portal lock is held while it runs.
+            let view = match app.mode() {
+                LockMode::Fine => {
+                    let phase = try_portal!(app.read(|p| p.analyze_begin(
+                        &token,
+                        &artifact,
+                        budget,
+                        now()
+                    )));
+                    let done = phase.run();
+                    try_portal!(app.read(|p| p.analyze_finish(done, now())))
+                }
+                LockMode::Global => {
+                    try_portal!(app.write(|p| p.analyze_job(&token, &artifact, budget, now())))
+                }
+            };
             let repro = view.repro.iter().map(|&t| Json::num(t as f64)).collect();
             Response::json(
                 Status::OK,
@@ -499,13 +600,13 @@ pub fn build_router(app: Arc<App>) -> Router {
             // Traced: the portal mints an http.request root span and
             // threads it through the scheduler, so /api/trace/:id can
             // render the job's whole life as one tree.
-            let id = try_portal!(app.portal.lock().submit_job_traced(
+            let id = try_portal!(app.write(|p| p.submit_job_traced(
                 &token,
                 &artifact,
                 cores,
                 est,
                 now()
-            ));
+            )));
             Response::json(
                 Status::CREATED,
                 &Json::obj(vec![("job", Json::num(id.0 as f64))]),
@@ -516,7 +617,7 @@ pub fn build_router(app: Arc<App>) -> Router {
         let app = Arc::clone(&app);
         router.get("/api/jobs", move |req| {
             let token = need_token!(req);
-            let jobs = try_portal!(app.portal.lock().jobs(&token, now()));
+            let jobs = try_portal!(app.read(|p| p.jobs(&token, now())));
             let rows = jobs.into_iter().map(|j| job_json(&j)).collect();
             Response::json(Status::OK, &Json::Arr(rows))
         });
@@ -528,7 +629,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
                 return Response::error(Status::BAD_REQUEST, "bad job id");
             };
-            let job = try_portal!(app.portal.lock().job(&token, JobId(id), now()));
+            let job = try_portal!(app.read(|p| p.job(&token, JobId(id), now())));
             Response::json(Status::OK, &job_json(&job))
         });
     }
@@ -547,10 +648,7 @@ pub fn build_router(app: Arc<App>) -> Router {
                 .and_then(|s| s.parse::<usize>().ok())
                 .unwrap_or(0);
             let (len, tail) =
-                try_portal!(app
-                    .portal
-                    .lock()
-                    .job_stdout_tail(&token, JobId(id), from, now()));
+                try_portal!(app.read(|p| p.job_stdout_tail(&token, JobId(id), from, now())));
             Response::json(
                 Status::OK,
                 &Json::obj(vec![
@@ -568,10 +666,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
                 return Response::error(Status::BAD_REQUEST, "bad job id");
             };
-            try_portal!(app
-                .portal
-                .lock()
-                .send_stdin(&token, JobId(id), req.body_str(), now()));
+            try_portal!(app.write(|p| p.send_stdin(&token, JobId(id), req.body_str(), now())));
             Response::json(Status::OK, &Json::obj(vec![("ok", Json::Bool(true))]))
         });
     }
@@ -582,7 +677,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
                 return Response::error(Status::BAD_REQUEST, "bad job id");
             };
-            try_portal!(app.portal.lock().cancel_job(&token, JobId(id), now()));
+            try_portal!(app.write(|p| p.cancel_job(&token, JobId(id), now())));
             Response::json(
                 Status::OK,
                 &Json::obj(vec![("cancelled", Json::num(id as f64))]),
@@ -595,8 +690,13 @@ pub fn build_router(app: Arc<App>) -> Router {
             let token = need_token!(req);
             // Only authenticated users may pump the clock (any role: the
             // test driver and the background ticker both authenticate).
-            let _ = try_portal!(app.portal.lock().whoami(&token, now()));
-            let dispatched = app.portal.lock().tick();
+            // Validation and the tick happen under ONE acquisition: a
+            // token revoked between two separate lock takes could
+            // otherwise still drive the clock (TOCTOU).
+            let dispatched = try_portal!(app.write(|p| {
+                p.whoami(&token, now())?;
+                Ok::<_, PortalError>(p.tick())
+            }));
             Response::json(
                 Status::OK,
                 &Json::obj(vec![(
@@ -617,7 +717,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             ) else {
                 return Response::error(Status::BAD_REQUEST, "need segment and slot");
             };
-            try_portal!(app.portal.lock().drain_node(&token, segment, slot, now()));
+            try_portal!(app.write(|p| p.drain_node(&token, segment, slot, now())));
             Response::json(Status::OK, &Json::obj(vec![("draining", Json::Bool(true))]))
         });
     }
@@ -631,7 +731,7 @@ pub fn build_router(app: Arc<App>) -> Router {
             ) else {
                 return Response::error(Status::BAD_REQUEST, "need segment and slot");
             };
-            try_portal!(app.portal.lock().undrain_node(&token, segment, slot, now()));
+            try_portal!(app.write(|p| p.undrain_node(&token, segment, slot, now())));
             Response::json(
                 Status::OK,
                 &Json::obj(vec![("draining", Json::Bool(false))]),
@@ -644,15 +744,15 @@ pub fn build_router(app: Arc<App>) -> Router {
         // all one snapshot, so the counts cannot contradict the flag.
         let app = Arc::clone(&app);
         router.get("/api/health", move |_req| {
-            let (h, open_connections) = {
-                let portal = app.portal.lock();
-                let open = portal
-                    .obs()
-                    .metrics
-                    .gauge("ccp_httpd_open_connections", &[])
-                    .get();
-                (portal.health_view(), open)
-            };
+            // The view is cloned out under the guard; serialization below
+            // happens with no portal lock held. The server gauge lives in
+            // the shared registry and needs no lock at all.
+            let h = app.read(|p| p.health_view());
+            let open_connections = app
+                .obs()
+                .metrics
+                .gauge("ccp_httpd_open_connections", &[])
+                .get();
             let nodes = h
                 .nodes
                 .into_iter()
@@ -715,7 +815,7 @@ pub fn build_router(app: Arc<App>) -> Router {
     {
         let app = Arc::clone(&app);
         router.get("/api/status", move |_req| {
-            let (free, total, util) = app.portal.lock().cluster_status();
+            let (free, total, util) = app.read(|p| p.cluster_status());
             Response::json(
                 Status::OK,
                 &Json::obj(vec![
@@ -733,7 +833,17 @@ pub fn build_router(app: Arc<App>) -> Router {
         // aggregates only, no per-user data.
         let app = Arc::clone(&app);
         router.get("/api/metrics", move |_req| {
-            let text = app.portal.lock().metrics_text();
+            // Republish live gauges under a brief guard, then render the
+            // full exposition from the shared registry with no portal
+            // lock held — the render walks every family and is exactly
+            // the kind of work a scrape must not serialize behind.
+            let text = match app.mode() {
+                LockMode::Fine => {
+                    app.read(|p| p.publish_gauges());
+                    app.obs().metrics.render()
+                }
+                LockMode::Global => app.write(|p| p.metrics_text()),
+            };
             Response::new(Status::OK)
                 .with_header("Content-Type", "text/plain; version=0.0.4")
                 .with_body(text.into_bytes())
@@ -745,7 +855,9 @@ pub fn build_router(app: Arc<App>) -> Router {
         // like /api/metrics — aggregates only.
         let app = Arc::clone(&app);
         router.get("/api/dashboard", move |_req| {
-            let d = app.portal.lock().dashboard_view();
+            // The view (a small struct of panels) is built under a read
+            // guard; all JSON serialization happens after release.
+            let d = app.read(|p| p.dashboard_view());
             let rate = |p: &ccp_core::RatePanel| {
                 Json::obj(vec![
                     ("total", Json::num(p.total as f64)),
@@ -797,7 +909,7 @@ pub fn build_router(app: Arc<App>) -> Router {
         let app = Arc::clone(&app);
         router.get("/api/admin/slow", move |req| {
             let token = need_token!(req);
-            let ops = try_portal!(app.portal.lock().slow_ops(&token, now()));
+            let ops = try_portal!(app.read(|p| p.slow_ops(&token, now())));
             let rows = ops
                 .into_iter()
                 .map(|op| {
@@ -818,8 +930,13 @@ pub fn build_router(app: Arc<App>) -> Router {
             let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
                 return Response::error(Status::BAD_REQUEST, "bad job id");
             };
-            let timeline = try_portal!(app.portal.lock().job_timeline(&token, JobId(id), now()));
-            let tree = try_portal!(app.portal.lock().job_trace_tree(&token, JobId(id), now()));
+            // One acquisition for both views, so the timeline and the
+            // span tree cannot disagree about the job's state.
+            let (timeline, tree) = try_portal!(app.read(|p| {
+                let timeline = p.job_timeline(&token, JobId(id), now())?;
+                let tree = p.job_trace_tree(&token, JobId(id), now())?;
+                Ok::<_, PortalError>((timeline, tree))
+            }));
             let rows = timeline
                 .into_iter()
                 .map(|e| {
@@ -888,8 +1005,8 @@ pub fn build_router(app: Arc<App>) -> Router {
             let limit = qparam(req, "limit")
                 .and_then(|s| s.parse::<usize>().ok())
                 .unwrap_or(100);
-            let events = try_portal!(app.portal.lock().recent_events(&token, limit, now()));
-            let truncated = app.portal.lock().obs().events.dropped();
+            let events = try_portal!(app.read(|p| p.recent_events(&token, limit, now())));
+            let truncated = app.obs().events.dropped();
             let rows = events
                 .into_iter()
                 .map(|e| {
@@ -921,8 +1038,7 @@ pub fn build_router(app: Arc<App>) -> Router {
     // Route the request-level telemetry (per-route counters, latency
     // histograms, access log) into the portal's own domain, so one
     // /api/metrics scrape covers the whole stack.
-    let obs = Arc::clone(app.portal.lock().obs());
-    router.set_obs(obs);
+    router.set_obs(Arc::clone(app.obs()));
 
     router
 }
@@ -983,7 +1099,7 @@ pub fn serve_with_config(
     // The server shares the portal's registry, so request metrics land in
     // the same /api/metrics exposition the portal already serves — and the
     // reactor's eagerly-registered families show up on a fresh scrape.
-    let obs = Arc::clone(app.portal.lock().obs());
+    let obs = Arc::clone(app.obs());
     Server::with_config(build_router(app), config)
         .with_obs(obs)
         .spawn(addr)

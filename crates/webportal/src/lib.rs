@@ -15,7 +15,7 @@
 pub mod app;
 pub mod pages;
 
-pub use app::{build_router, serve, serve_with_config, App};
+pub use app::{build_router, serve, serve_with_config, App, LockMode};
 
 #[cfg(test)]
 mod tests;

@@ -21,12 +21,12 @@ fn session_user(app: &App, req: &Request) -> Option<String> {
     let cookie = req.header("cookie")?;
     let sid = parse_cookies(cookie).get("sid")?.clone();
     let token = auth::Token::from_string(sid);
-    app.portal.lock().whoami(&token, now()).ok().map(|(u, _)| u)
+    app.read(|p| p.whoami(&token, now()).ok().map(|(u, _)| u))
 }
 
 /// `GET /` — dashboard: cluster status + login state.
 pub fn home(app: &Arc<App>, req: &Request) -> Response {
-    let (free, total, util) = app.portal.lock().cluster_status();
+    let (free, total, util) = app.read(|p| p.cluster_status());
     let who = session_user(app, req);
     let body = format!(
         "<p>Welcome to the cluster computing portal.</p>\
@@ -56,7 +56,7 @@ pub fn files(app: &Arc<App>, req: &Request) -> Response {
         .get("path")
         .cloned()
         .unwrap_or_default();
-    match app.portal.lock().list_dir(&token, &path, now()) {
+    match app.read(|p| p.list_dir(&token, &path, now())) {
         Ok(listing) => {
             let rows: Vec<Vec<String>> = listing
                 .iter()
@@ -96,7 +96,7 @@ pub fn jobs(app: &Arc<App>, req: &Request) -> Response {
         return Response::redirect("/");
     };
     let token = auth::Token::from_string(sid);
-    match app.portal.lock().jobs(&token, now()) {
+    match app.read(|p| p.jobs(&token, now())) {
         Ok(jobs) => {
             let rows: Vec<Vec<String>> = jobs
                 .iter()

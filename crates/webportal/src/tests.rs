@@ -689,8 +689,7 @@ fn job_json_reports_attempts_and_failure_cause() {
     // Stretch the job's true runtime (the trivial program finished in one
     // tick) so the node failure lands while it is still running, then kill
     // every node: the job is requeued and the monitor shows the cause.
-    {
-        let mut portal = app.portal.lock();
+    app.write(|portal| {
         let sched = portal.scheduler_mut();
         sched.job_mut(sched::JobId(id)).unwrap().spec.actual_ticks = 100;
         for node in sched.cluster().slave_ids() {
@@ -699,7 +698,7 @@ fn job_json_reports_attempts_and_failure_cause() {
                 .set_health(node, cluster::NodeHealth::Down)
                 .unwrap();
         }
-    }
+    });
     dispatch(&router, Method::Post, "/api/tick", b"", Some(&tok));
     let j = json_of(&dispatch(
         &router,

@@ -138,7 +138,7 @@ fn main() {
     handle.shutdown();
     // Group commit may still hold a few appends in memory; force them out
     // so a durable run loses nothing at clean shutdown.
-    if let Err(e) = app.portal.lock().flush_wal() {
+    if let Err(e) = app.write(|p| p.flush_wal()) {
         eprintln!("final WAL flush failed: {e}");
     }
     println!("server stopped cleanly");

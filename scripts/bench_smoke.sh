@@ -4,11 +4,13 @@
 # BENCH_vm.json (VM fast path: snapshot vs stateless schedules/sec,
 # steps/sec, snapshot hit ratio), BENCH_obs.json (telemetry overhead on
 # the 4-worker hot path), BENCH_dpor.json (partial-order-reduction
-# ratios) and BENCH_httpd.json (front-end capacity: reactor vs
-# thread-per-connection), so CI archives all five datapoints per commit.
+# ratios), BENCH_httpd.json (front-end capacity: reactor vs
+# thread-per-connection) and BENCH_portal_lock.json (light-route latency
+# under heavy contention: global portal mutex vs fine-grained locking),
+# so CI archives all six datapoints per commit.
 #
-# Usage: bench_smoke.sh [output.json] [vm_output.json] [obs_output.json] [dpor_output.json] [httpd_output.json]
-#        (defaults: BENCH_checker.json, BENCH_vm.json, BENCH_obs.json, BENCH_dpor.json, BENCH_httpd.json)
+# Usage: bench_smoke.sh [output.json] [vm_output.json] [obs_output.json] [dpor_output.json] [httpd_output.json] [portal_lock_output.json]
+#        (defaults: BENCH_checker.json, BENCH_vm.json, BENCH_obs.json, BENCH_dpor.json, BENCH_httpd.json, BENCH_portal_lock.json)
 #
 # The bench prints exactly one line of each form
 #   BENCH_JSON {"bench":"checker_parallel",...}
@@ -16,6 +18,7 @@
 #   BENCH_OBS_JSON {"bench":"obs_overhead",...}
 #   BENCH_DPOR_JSON {"bench":"dpor",...}
 #   BENCH_HTTPD_JSON {"bench":"httpd_load",...}
+#   BENCH_PORTAL_LOCK_JSON {"bench":"portal_lock",...}
 # on stderr; everything after the prefix is already valid JSON.
 set -euo pipefail
 
@@ -24,6 +27,7 @@ vm_out="${2:-BENCH_vm.json}"
 obs_out="${3:-BENCH_obs.json}"
 dpor_out="${4:-BENCH_dpor.json}"
 httpd_out="${5:-BENCH_httpd.json}"
+lock_out="${6:-BENCH_portal_lock.json}"
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
@@ -50,6 +54,10 @@ fi
 base_capacity=""
 if [ -f "$httpd_out" ]; then
     base_capacity="$(sed -nE 's/.*"capacity_ratio":([0-9.]+).*/\1/p' "$httpd_out")"
+fi
+base_improvement=""
+if [ -f "$lock_out" ]; then
+    base_improvement="$(sed -nE 's/.*"light_p99_improvement":([0-9.]+).*/\1/p' "$lock_out")"
 fi
 
 # --test with a fast profile: we want the printed summary, not tight CIs.
@@ -89,6 +97,13 @@ if [ -z "$httpd_line" ]; then
     exit 1
 fi
 printf '%s\n' "${httpd_line#BENCH_HTTPD_JSON }" > "$httpd_out"
+
+lock_line="$(grep -E '^BENCH_PORTAL_LOCK_JSON \{' "$log" | tail -n 1 || true)"
+if [ -z "$lock_line" ]; then
+    echo "FAIL: bench did not print a BENCH_PORTAL_LOCK_JSON line" >&2
+    exit 1
+fi
+printf '%s\n' "${lock_line#BENCH_PORTAL_LOCK_JSON }" > "$lock_out"
 
 # The snapshot engine's win is algorithmic (it removes prefix re-execution,
 # not wall-clock parallelism), so the floor holds on any core count.
@@ -142,6 +157,24 @@ if [ "$httpd_supported" = "true" ]; then
 else
     echo "note: no epoll on this platform; skipping the front-end capacity gate"
 fi
+
+# Lock contention: breaking the global portal mutex must actually pay.
+# Light-route p99 under concurrent heavy analyses improves >=5x over the
+# global-lock baseline with zero error responses; the latency ratio is
+# lock queueing, not raw speed, so it is stable across runners.
+lock_errors="$(sed -nE 's/.*"light_p99_improvement":[0-9.]+,"errors":([0-9]+).*/\1/p' "$lock_out")"
+improvement="$(sed -nE 's/.*"light_p99_improvement":([0-9.]+).*/\1/p' "$lock_out")"
+if [ -z "$lock_errors" ] || [ -z "$improvement" ]; then
+    echo "FAIL: $lock_out is missing light_p99_improvement or errors" >&2
+    exit 1
+fi
+if [ "$lock_errors" != "0" ]; then
+    echo "FAIL: contention run had $lock_errors error responses" >&2
+    exit 1
+fi
+awk -v i="$improvement" 'BEGIN {
+    if (i + 0 < 5.0) { print "FAIL: light-route p99 improvement " i "x below the 5x floor" > "/dev/stderr"; exit 1 }
+}'
 
 # Sanity: the acceptance floors (4-worker speedup >= 2x, cache hit rate
 # >= 0.9) travel with the artifact; fail loudly if the datapoint regressed.
@@ -214,10 +247,16 @@ if [ -n "$base_capacity" ] && [ "$httpd_supported" = "true" ]; then
         if (c + 0 < b * 0.75) { print "FAIL: front-end capacity_ratio " c " regressed >25% below baseline " b > "/dev/stderr"; exit 1 }
     }'
 fi
-if [ -n "$base_vm$base_hit$base_speedup$base_overhead$base_reduction$base_capacity" ]; then
-    echo "baseline diff OK (speedup_4w ${base_speedup:-n/a} -> ${speedup}, cache_hit_rate ${base_hit:-n/a} -> ${hit_rate}, vm_min_speedup ${base_vm:-n/a} -> ${vm_speedup}, obs_overhead ${base_overhead:-n/a}% -> ${overhead}%, dpor_min_reduction ${base_reduction:-n/a} -> ${reduction}, httpd_capacity ${base_capacity:-n/a} -> ${capacity})"
+if [ -n "$base_improvement" ]; then
+    # Queueing ratios wobble with runner load; halving is a real regression.
+    awk -v i="$improvement" -v b="$base_improvement" 'BEGIN {
+        if (i + 0 < b * 0.5) { print "FAIL: light_p99_improvement " i " regressed >50% below baseline " b > "/dev/stderr"; exit 1 }
+    }'
+fi
+if [ -n "$base_vm$base_hit$base_speedup$base_overhead$base_reduction$base_capacity$base_improvement" ]; then
+    echo "baseline diff OK (speedup_4w ${base_speedup:-n/a} -> ${speedup}, cache_hit_rate ${base_hit:-n/a} -> ${hit_rate}, vm_min_speedup ${base_vm:-n/a} -> ${vm_speedup}, obs_overhead ${base_overhead:-n/a}% -> ${overhead}%, dpor_min_reduction ${base_reduction:-n/a} -> ${reduction}, httpd_capacity ${base_capacity:-n/a} -> ${capacity}, lock_p99_improvement ${base_improvement:-n/a} -> ${improvement})"
 else
     echo "note: no checked-in baseline found; skipping the regression diff"
 fi
-echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate}, vm_snapshot_min_speedup=${vm_speedup}x, obs_overhead=${overhead}%, dpor_min_reduction=${reduction}x, httpd_capacity_ratio=${capacity}x (cores=$cores)"
-echo "wrote $out, $vm_out, $obs_out, $dpor_out and $httpd_out"
+echo "OK: speedup_4w=${speedup}x, cache_hit_rate=${hit_rate}, vm_snapshot_min_speedup=${vm_speedup}x, obs_overhead=${overhead}%, dpor_min_reduction=${reduction}x, httpd_capacity_ratio=${capacity}x, lock_p99_improvement=${improvement}x (cores=$cores)"
+echo "wrote $out, $vm_out, $obs_out, $dpor_out, $httpd_out and $lock_out"

@@ -90,6 +90,17 @@ for family in \
 done
 [ "$status" -eq 0 ] || exit "$status"
 
+# The contention profiler registers every site eagerly, so a fresh scrape
+# must already carry the portal-lock series the contention gate reads —
+# a renamed or dropped site would silently blind scripts/check_contention.sh.
+for site in "portal.lock" "vfs.lock" "sched.tick" "wal.commit"; do
+    if ! printf '%s\n' "$input" | grep -qF "ccp_lock_wait_us_count{site=\"${site}\"}"; then
+        echo "FAIL: missing profiler series: ccp_lock_wait_us{site=\"${site}\"}" >&2
+        status=1
+    fi
+done
+[ "$status" -eq 0 ] || exit "$status"
+
 samples="$(printf '%s\n' "$input" | grep -cvE '^#')"
 families="$(printf '%s\n' "$input" | grep -cE '^# TYPE ')"
 echo "OK: $families families, $samples samples, all layers covered"
